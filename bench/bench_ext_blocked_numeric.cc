@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extension experiment: the paper's blocking prediction (Section 3) —
+ * "with block-mode numerical algorithms the percentage of write
+ * traffic saved [by a write-back cache] should be significantly
+ * higher."
+ *
+ * Runs the same matrix multiply in streaming and cache-blocked
+ * schedules (identical arithmetic and reference counts) and compares
+ * the write-back cache's write-traffic removal across cache sizes.
+ */
+
+#include <iostream>
+
+#include "sim/run.hh"
+#include "stats/table.hh"
+#include "workloads/gemm.hh"
+
+int
+main()
+{
+    using namespace jcache;
+
+    workloads::WorkloadConfig wconfig;
+    trace::Trace streaming = workloads::generateTrace(
+        workloads::GemmWorkload(wconfig, /*blocked=*/false));
+    trace::Trace blocked = workloads::generateTrace(
+        workloads::GemmWorkload(wconfig, /*blocked=*/true));
+
+    std::cout << "gemm-streaming: " << streaming.size()
+              << " refs; gemm-blocked: " << blocked.size()
+              << " refs (same arithmetic, different order)\n\n";
+
+    stats::TextTable table(
+        "Write traffic removed by a write-back cache (percent of "
+        "writes to already-dirty lines, 16B lines)");
+    std::vector<std::string> header{"schedule"};
+    std::vector<Count> sizes;
+    for (Count kb = 1; kb <= 64; kb *= 2) {
+        sizes.push_back(kb * 1024);
+        header.push_back(stats::formatSize(kb * 1024));
+    }
+    table.setHeader(header);
+
+    for (const trace::Trace* t : {&streaming, &blocked}) {
+        std::vector<double> values;
+        for (Count size : sizes) {
+            core::CacheConfig config;
+            config.sizeBytes = size;
+            config.lineBytes = 16;
+            config.hitPolicy = core::WriteHitPolicy::WriteBack;
+            config.missPolicy = core::WriteMissPolicy::FetchOnWrite;
+            sim::RunResult r = sim::runTrace(*t, config, false);
+            values.push_back(r.percentWritesToDirtyLines());
+        }
+        table.addRow(t->name(), values);
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nPaper reference (Section 3): restructuring numeric code "
+        "for cache blocking\nshould significantly raise the write "
+        "traffic a write-back cache removes — the\nblocked schedule "
+        "keeps each C tile resident across its repeated updates.\n";
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Extension experiment: end-to-end CPI comparison of complete cache
+ * organizations — the bottom line the paper's individual analyses
+ * feed into.
+ *
+ * Organizations (all 8KB/16B direct-mapped):
+ *  A. write-through + fetch-on-write, 4-entry write buffer
+ *  B. write-through + write-validate, 4-entry write buffer
+ *  C. write-back + fetch-on-write, delayed-write register,
+ *     1-entry dirty victim buffer
+ *  D. write-back + write-validate, delayed-write register,
+ *     1-entry dirty victim buffer
+ *
+ * CPI = 1 + fetch stalls + store-pipeline overhead + write stalls.
+ */
+
+#include <iostream>
+
+#include "sim/cpi_model.hh"
+#include "stats/table.hh"
+#include "sim/sweeps.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+struct Organization
+{
+    std::string label;
+    core::CacheConfig config;
+    sim::CpiParams params;
+};
+
+std::vector<Organization>
+organizations()
+{
+    std::vector<Organization> all;
+    core::CacheConfig base;
+    base.sizeBytes = 8 * 1024;
+    base.lineBytes = 16;
+
+    {
+        Organization o;
+        o.label = "WT + fetch-on-write";
+        o.config = base;
+        o.config.hitPolicy = core::WriteHitPolicy::WriteThrough;
+        o.config.missPolicy = core::WriteMissPolicy::FetchOnWrite;
+        o.params.storeScheme = core::StoreScheme::WriteThroughDirect;
+        all.push_back(o);
+    }
+    {
+        Organization o;
+        o.label = "WT + write-validate";
+        o.config = base;
+        o.config.hitPolicy = core::WriteHitPolicy::WriteThrough;
+        o.config.missPolicy = core::WriteMissPolicy::WriteValidate;
+        o.params.storeScheme = core::StoreScheme::WriteThroughDirect;
+        all.push_back(o);
+    }
+    {
+        Organization o;
+        o.label = "WB + fetch-on-write";
+        o.config = base;
+        o.config.hitPolicy = core::WriteHitPolicy::WriteBack;
+        o.config.missPolicy = core::WriteMissPolicy::FetchOnWrite;
+        o.params.storeScheme = core::StoreScheme::DelayedWrite;
+        all.push_back(o);
+    }
+    {
+        Organization o;
+        o.label = "WB + write-validate";
+        o.config = base;
+        o.config.hitPolicy = core::WriteHitPolicy::WriteBack;
+        o.config.missPolicy = core::WriteMissPolicy::WriteValidate;
+        o.params.storeScheme = core::StoreScheme::DelayedWrite;
+        all.push_back(o);
+    }
+    return all;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace jcache;
+
+    const auto& traces = sim::TraceSet::standard();
+
+    stats::TextTable table(
+        "End-to-end CPI of complete organizations (8KB/16B, fetch "
+        "penalty 12) — six-benchmark average");
+    table.setHeader({"organization", "fetch", "store", "write-stall",
+                     "total CPI"});
+
+    for (const Organization& org : organizations()) {
+        double fetch = 0, store = 0, wstall = 0, total = 0;
+        for (const trace::Trace& t : traces.traces()) {
+            sim::CpiBreakdown b =
+                sim::evaluateCpi(t, org.config, org.params);
+            fetch += b.fetchStall;
+            store += b.storeOverhead;
+            wstall += b.writeStall;
+            total += b.total();
+        }
+        auto n = static_cast<double>(traces.size());
+        table.addRow({org.label, stats::formatFixed(fetch / n, 4),
+                      stats::formatFixed(store / n, 4),
+                      stats::formatFixed(wstall / n, 4),
+                      stats::formatFixed(total / n, 4)});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nWrite-validate removes write-miss fetch stalls for either "
+        "hit policy — the\nlargest single lever, as the paper's "
+        "Section 4 argues; the write buffer and\ndelayed-write/"
+        "victim-buffer costs of the two hit policies are minor by "
+        "comparison\nonce properly provisioned (Section 3.3's "
+        "conclusion).\n";
+    return 0;
+}

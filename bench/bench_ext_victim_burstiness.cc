@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extension experiment: dirty-victim burstiness (paper Section 5.2
+ * explicitly leaves this unstudied: "Since misses are known to be
+ * bursty, dirty victims are likely to be bursty as well").
+ *
+ * Measures the inter-arrival distribution of dirty victims on the
+ * six benchmarks (8KB/16B write-back cache) and the conflict rate of
+ * a dirty victim buffer of 1, 2 and 4 entries — quantifying the
+ * paper's hypothesis that burstiness may justify more than one
+ * victim-buffer entry.
+ */
+
+#include <iostream>
+
+#include "core/data_cache.hh"
+#include "core/victim_buffer.hh"
+#include "mem/mem_level.hh"
+#include "stats/counter.hh"
+#include "stats/distribution.hh"
+#include "stats/table.hh"
+#include "sim/sweeps.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+/** Captures the cycle of every dirty-victim write-back. */
+class VictimClock : public mem::MemLevel
+{
+  public:
+    void fetchLine(Addr, unsigned) override {}
+    void writeThrough(Addr, unsigned) override {}
+
+    void
+    writeBack(Addr, unsigned, unsigned, bool is_flush) override
+    {
+        if (!is_flush)
+            arrivals.push_back(now);
+    }
+
+    Cycles now = 0;
+    std::vector<Cycles> arrivals;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace jcache;
+
+    stats::TextTable table(
+        "Dirty-victim burstiness, 8KB/16B write-back cache "
+        "(victim-buffer drain = 12 cycles)");
+    table.setHeader({"program", "dirty victims", "mean gap (cyc)",
+                     "p(gap<12)", "conflicts@1", "conflicts@2",
+                     "conflicts@4"});
+
+    for (const trace::Trace& trace :
+         sim::TraceSet::standard().traces()) {
+        VictimClock clock;
+        core::CacheConfig config;
+        config.sizeBytes = 8 * 1024;
+        config.lineBytes = 16;
+        config.hitPolicy = core::WriteHitPolicy::WriteBack;
+        config.missPolicy = core::WriteMissPolicy::FetchOnWrite;
+        core::DataCache cache(config, clock);
+        for (const trace::TraceRecord& r : trace) {
+            clock.now += r.instrDelta;
+            cache.access(r);
+        }
+
+        // Inter-arrival statistics.
+        stats::RunningStat gaps;
+        Count short_gaps = 0;
+        for (std::size_t i = 1; i < clock.arrivals.size(); ++i) {
+            auto gap = static_cast<double>(clock.arrivals[i] -
+                                           clock.arrivals[i - 1]);
+            gaps.add(gap);
+            if (gap < 12.0)
+                ++short_gaps;
+        }
+
+        // Victim-buffer conflicts at various depths.
+        std::vector<std::string> row{
+            trace.name(), std::to_string(clock.arrivals.size()),
+            stats::formatFixed(gaps.mean(), 1),
+            stats::formatFixed(stats::ratio(short_gaps, gaps.count()),
+                               3)};
+        for (unsigned entries : {1u, 2u, 4u}) {
+            core::DirtyVictimBuffer buffer(entries, 12);
+            for (Cycles t : clock.arrivals)
+                buffer.insert(0, t);
+            row.push_back(stats::formatFixed(
+                100.0 * stats::ratio(buffer.conflicts(),
+                                     buffer.insertions()), 2) + "%");
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nThe paper (Section 5.2) predicted dirty victims would be "
+        "bursty like misses;\nthe short-gap fraction and the drop in "
+        "conflicts from 1 to 2 entries quantify\nhow much buffering "
+        "the burstiness actually demands.\n";
+    return 0;
+}

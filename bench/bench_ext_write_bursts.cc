@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension experiment: bursty write traffic (paper Section 3, third
+ * dimension).  Register windows and CISC call instructions produce
+ * long store bursts that overflow a write-through cache's write
+ * buffer, while a write-back cache absorbs them (unless the burst
+ * misses with dirty victims).
+ *
+ * Compares write-buffer stall CPI across calling conventions and
+ * buffer depths.
+ */
+
+#include <iostream>
+
+#include "core/write_buffer.hh"
+#include "stats/counter.hh"
+#include "stats/table.hh"
+#include "trace/summary.hh"
+#include "workloads/callburst.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+/** Stall CPI of an n-entry write buffer on a trace (retire = 6). */
+double
+bufferStallCpi(const trace::Trace& trace, unsigned entries)
+{
+    core::WriteBufferConfig config;
+    config.entries = entries;
+    config.entryBytes = 16;
+    config.retireInterval = 6;
+    core::CoalescingWriteBuffer buffer(config);
+    Cycles now = 0;
+    Count instructions = 0;
+    for (const trace::TraceRecord& r : trace) {
+        now += r.instrDelta;
+        instructions += r.instrDelta;
+        if (r.type == trace::RefType::Write)
+            now += buffer.write(r.addr, now);
+    }
+    return stats::ratio(buffer.stallCycles(), instructions);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace jcache;
+    using workloads::CallConvention;
+
+    stats::TextTable table(
+        "Write-buffer stall CPI vs calling convention (retire "
+        "interval 6)");
+    table.setHeader({"convention", "writes/instr", "1-entry",
+                     "2-entry", "4-entry", "8-entry"});
+
+    for (CallConvention convention :
+         {CallConvention::GlobalAllocation,
+          CallConvention::PerCallSaves,
+          CallConvention::RegisterWindows}) {
+        workloads::CallBurstWorkload workload({}, convention);
+        trace::Trace trace = workloads::generateTrace(workload);
+        trace::TraceSummary summary = trace::summarize(trace);
+
+        std::vector<std::string> row;
+        row.push_back(workloads::name(convention));
+        row.push_back(stats::formatFixed(
+            stats::ratio(summary.writes, summary.instructions), 3));
+        for (unsigned entries : {1u, 2u, 4u, 8u}) {
+            row.push_back(stats::formatFixed(
+                bufferStallCpi(trace, entries), 4));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nPaper reference (Section 3): global register allocation "
+        "(the paper's own\ncompiler) produces virtually no "
+        "save/restore bursts; per-call saves and\nregister-window "
+        "dumps (30+ back-to-back stores) overflow small write "
+        "buffers\nand stall the CPU until entries retire.\n";
+    return 0;
+}

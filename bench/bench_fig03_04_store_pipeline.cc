@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Quantifies Figures 3 and 4: cycles-per-store overhead of the three
+ * store pipelining schemes — direct-mapped write-through (write in
+ * parallel with probe), naive probe-then-write, and the delayed-write
+ * register — on an 8KB/16B cache over the six benchmarks.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "figure_printer.hh"
+#include "sim/experiments.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jcache;
+
+    const auto& traces = sim::TraceSet::standard();
+    sim::FigureData fig = sim::storePipelineComparison(traces);
+    bench::printFigure(fig, 4);
+
+    std::cout <<
+        "Values are CPI added by store handling (lower is better).\n"
+        "Paper reference (Section 3/3.1): probe-then-write costs up "
+        "to a cycle per store\nwhen memory ops are back to back; the "
+        "delayed-write register recovers nearly\nall of it, leaving "
+        "only probe-miss and read-miss flushes.\n";
+
+    std::string csv_path = bench::csvPathFromArgs(argc, argv);
+    if (!csv_path.empty()) {
+        std::ofstream ofs(csv_path);
+        bench::writeFigureCsv(fig, ofs);
+    }
+    return 0;
+}

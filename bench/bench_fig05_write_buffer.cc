@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Figure 5: coalescing write buffer merge rate and
+ * buffer-full stall CPI as a function of the write retirement
+ * interval (8 entries of 16B, six-benchmark average), with the
+ * 6-entry write cache merge rate as the reference line.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "figure_printer.hh"
+#include "sim/experiments.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jcache;
+
+    const auto& traces = sim::TraceSet::standard();
+    sim::FigureData fig = sim::figure5WriteBufferSweep(traces);
+    bench::printFigure(fig, 2);
+
+    std::cout <<
+        "Paper reference: merging only becomes significant when "
+        "entries linger, but then\nthe buffer is nearly always full "
+        "and store stalls dominate (the paper's example:\n50% merging "
+        "needs a 38-cycle retire interval at ~7 CPI of stalls).  A "
+        "write cache\nmerges comparably with zero stalls.\n";
+
+    std::string csv_path = bench::csvPathFromArgs(argc, argv);
+    if (!csv_path.empty()) {
+        std::ofstream ofs(csv_path);
+        bench::writeFigureCsv(fig, ofs);
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figures 7, 8 and 9: write-cache traffic reduction —
+ * absolute (percent of all writes removed vs entry count), relative
+ * to a 4KB direct-mapped write-back cache, and relative across
+ * write-back cache sizes for 1/5/15-entry write caches.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "figure_printer.hh"
+#include "sim/experiments.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jcache;
+
+    const auto& traces = sim::TraceSet::standard();
+    sim::FigureData fig7 = sim::figure7WriteCacheAbsolute(traces);
+    sim::FigureData fig8 = sim::figure8WriteCacheRelative(traces);
+    sim::FigureData fig9 = sim::figure9WriteCacheVsWbSize(traces);
+
+    bench::printFigure(fig7);
+    bench::printFigure(fig8);
+    bench::printFigure(fig9);
+
+    std::cout <<
+        "Paper reference: a five-entry write cache removes ~40% of "
+        "all writes (~63% of\nwhat a 4KB write-back cache removes); "
+        "relative effectiveness declines slowly as\nthe comparison "
+        "write-back cache grows (72% vs 1KB to 49% vs 32KB).\n";
+
+    std::string csv_path = bench::csvPathFromArgs(argc, argv);
+    if (!csv_path.empty()) {
+        std::ofstream ofs(csv_path);
+        bench::writeFigureCsv(fig7, ofs);
+        bench::writeFigureCsv(fig8, ofs);
+        bench::writeFigureCsv(fig9, ofs);
+    }
+    return 0;
+}

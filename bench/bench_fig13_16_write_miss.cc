@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Figures 13-16: write-miss-rate and total-miss-rate
+ * reductions of write-validate, write-around and write-invalidate
+ * relative to fetch-on-write, across cache sizes (16B lines) and
+ * line sizes (8KB caches).
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "figure_printer.hh"
+#include "sim/experiments.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jcache;
+
+    const auto& traces = sim::TraceSet::standard();
+    std::string csv_path = bench::csvPathFromArgs(argc, argv);
+    std::ofstream csv;
+    if (!csv_path.empty())
+        csv.open(csv_path);
+
+    auto show = [&](const std::vector<sim::FigureData>& figures) {
+        for (const sim::FigureData& f : figures) {
+            bench::printFigure(f);
+            if (csv.is_open())
+                bench::writeFigureCsv(f, csv);
+        }
+    };
+
+    show(sim::figure13WriteMissReductionVsCacheSize(traces));
+    show(sim::figure14TotalMissReductionVsCacheSize(traces));
+    show(sim::figure15WriteMissReductionVsLineSize(traces));
+    show(sim::figure16TotalMissReductionVsLineSize(traces));
+
+    std::cout <<
+        "Paper reference: write-validate removes >90% of write "
+        "misses on average\n(write-around 40-70%, write-invalidate "
+        "30-50%); total-miss reductions average\n~30-35% / 15-25% / "
+        "10-20% for 8-128KB caches with 16B lines, shrinking as\n"
+        "lines grow.  Write-around can exceed 100% (liver at "
+        "32-64KB) by also avoiding\nread misses.\n";
+    return 0;
+}

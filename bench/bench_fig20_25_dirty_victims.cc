@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Figures 20-25: dirty-victim statistics of write-back
+ * caches — percent of victims dirty, percent of bytes dirty within
+ * dirty victims, and dirty bytes per victim — versus cache size (16B
+ * lines, Figures 20-22) and line size (8KB, Figures 23-25), under
+ * cold-stop and flush-stop accounting.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "figure_printer.hh"
+#include "sim/experiments.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jcache;
+
+    const auto& traces = sim::TraceSet::standard();
+    std::string csv_path = bench::csvPathFromArgs(argc, argv);
+    std::ofstream csv;
+    if (!csv_path.empty())
+        csv.open(csv_path);
+
+    auto show = [&](const sim::FigureData& f) {
+        bench::printFigure(f);
+        if (csv.is_open())
+            bench::writeFigureCsv(f, csv);
+    };
+
+    show(sim::figure20VictimsDirtyVsCacheSize(traces, false));
+    show(sim::figure20VictimsDirtyVsCacheSize(traces, true));
+    show(sim::figure21BytesDirtyInDirtyVictimVsCacheSize(traces,
+                                                         false));
+    show(sim::figure21BytesDirtyInDirtyVictimVsCacheSize(traces,
+                                                         true));
+    show(sim::figure22BytesDirtyPerVictimVsCacheSize(traces));
+    show(sim::figure23VictimsDirtyVsLineSize(traces, true));
+    show(sim::figure24BytesDirtyInDirtyVictimVsLineSize(traces,
+                                                        true));
+    show(sim::figure25BytesDirtyPerVictimVsLineSize(traces));
+
+    std::cout <<
+        "Paper reference: ~50% of victims dirty on average (wide "
+        "per-program spread);\nbytes dirty within a dirty 16B victim "
+        "rise ~70->90% with cache size; with line\nsize the dirty "
+        "fraction falls from 100% at 4B lines to ~40-65% at 32-64B "
+        "—\nmotivating subblock dirty bits for long lines.\n";
+    return 0;
+}

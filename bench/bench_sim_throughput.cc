@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Engineering microbenchmark (google-benchmark): raw simulation
+ * throughput of the DataCache hot path under the policies and
+ * geometries the paper sweeps, plus trace generation and replay
+ * throughput.  Not a paper figure — this guards the simulator's
+ * performance so the figure sweeps stay fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/data_cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/traffic_meter.hh"
+#include "sim/run.hh"
+#include "sim/sweeps.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+/** Deterministic address stream shared by the access benchmarks. */
+struct Lcg
+{
+    std::uint64_t x = 88172645463325252ull;
+
+    Addr
+    next()
+    {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return (x >> 16) % (256 * 1024);
+    }
+};
+
+void
+cacheAccessMix(benchmark::State& state, core::WriteHitPolicy hit,
+               core::WriteMissPolicy miss)
+{
+    core::CacheConfig config;
+    config.sizeBytes = 8 * 1024;
+    config.lineBytes = 16;
+    config.hitPolicy = hit;
+    config.missPolicy = miss;
+    mem::MainMemory memory(0);
+    mem::TrafficMeter meter(&memory);
+    core::DataCache cache(config, meter);
+    Lcg lcg;
+    for (auto _ : state) {
+        Addr addr = lcg.next() & ~Addr{3};
+        if ((addr >> 5) & 1)
+            cache.write(addr, 4);
+        else
+            cache.read(addr, 4);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_WriteBackFetchOnWrite(benchmark::State& state)
+{
+    cacheAccessMix(state, core::WriteHitPolicy::WriteBack,
+                   core::WriteMissPolicy::FetchOnWrite);
+}
+
+void
+BM_WriteThroughWriteValidate(benchmark::State& state)
+{
+    cacheAccessMix(state, core::WriteHitPolicy::WriteThrough,
+                   core::WriteMissPolicy::WriteValidate);
+}
+
+void
+BM_WriteThroughWriteAround(benchmark::State& state)
+{
+    cacheAccessMix(state, core::WriteHitPolicy::WriteThrough,
+                   core::WriteMissPolicy::WriteAround);
+}
+
+void
+BM_SetAssociativeLookup(benchmark::State& state)
+{
+    core::CacheConfig config;
+    config.sizeBytes = 8 * 1024;
+    config.lineBytes = 16;
+    config.assoc = static_cast<unsigned>(state.range(0));
+    mem::MainMemory memory(0);
+    core::DataCache cache(config, memory);
+    Lcg lcg;
+    for (auto _ : state) {
+        cache.read(lcg.next() & ~Addr{3}, 4);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_TraceReplay(benchmark::State& state)
+{
+    const trace::Trace& trace = sim::TraceSet::standard().get("grr");
+    core::CacheConfig config;
+    for (auto _ : state) {
+        sim::RunResult result = sim::runTrace(trace, config, false);
+        benchmark::DoNotOptimize(result.cache.linesFetched);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * trace.size()));
+}
+
+void
+BM_TraceGeneration(benchmark::State& state)
+{
+    for (auto _ : state) {
+        workloads::WorkloadConfig config;
+        auto workload = workloads::makeWorkload("liver", config);
+        trace::Trace t = workloads::generateTrace(*workload);
+        benchmark::DoNotOptimize(t.size());
+    }
+}
+
+BENCHMARK(BM_WriteBackFetchOnWrite);
+BENCHMARK(BM_WriteThroughWriteValidate);
+BENCHMARK(BM_WriteThroughWriteAround);
+BENCHMARK(BM_SetAssociativeLookup)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

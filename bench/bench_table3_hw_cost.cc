@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Tables 2/3 quantitatively: the storage bill (in bits)
+ * of high-performance write-through and write-back organizations
+ * across cache sizes, showing the paper's claim that the two are
+ * surprisingly similar once each is built for performance.
+ */
+
+#include <iostream>
+
+#include "core/hw_cost.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace jcache;
+    using core::CacheConfig;
+    using core::HwCost;
+    using core::HwCostParams;
+
+    HwCostParams params;
+
+    stats::TextTable table(
+        "Table 3 (quantified): storage bits for high-performance "
+        "write-through vs write-back");
+    table.setHeader({"config", "org", "data", "tags", "valid",
+                     "dirty", "protect", "buffers", "total",
+                     "overhead%"});
+
+    for (Count kb : {4u, 8u, 16u, 32u}) {
+        CacheConfig config;
+        config.sizeBytes = kb * 1024;
+        config.lineBytes = 16;
+
+        auto add = [&](const std::string& org, const HwCost& cost) {
+            table.addRow(
+                {stats::formatSize(config.sizeBytes) + "/16B " + org,
+                 org, std::to_string(cost.dataBits),
+                 std::to_string(cost.tagBits),
+                 std::to_string(cost.validBits),
+                 std::to_string(cost.dirtyBits),
+                 std::to_string(cost.protectionBits),
+                 std::to_string(cost.bufferBits),
+                 std::to_string(cost.totalBits()),
+                 stats::formatFixed(100.0 * cost.overheadFraction(),
+                                    1)});
+        };
+        add("WT", core::writeThroughCost(config, params));
+        add("WB", core::writeBackCost(config, params));
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nWT = write-through + parity + 4-entry write buffer + "
+        "5-entry write cache.\nWB = write-back + word ECC + line "
+        "dirty bits + dirty-victim and delayed-write\nregisters.  "
+        "Paper reference (Section 3.3): the WT cache's extra buffer "
+        "entries\nare offset by the WB cache's dirty bits and "
+        "heavier ECC, leaving totals within\na few percent; parity "
+        "is 2/3 the overhead of ECC and tolerates more errors.\n";
+    return 0;
+}

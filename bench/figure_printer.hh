@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helper for the bench binaries: render a FigureData as a
+ * paper-style text table (one row per series, one column per x), and
+ * optionally mirror it to CSV.
+ */
+
+#ifndef JCACHE_BENCH_FIGURE_PRINTER_HH
+#define JCACHE_BENCH_FIGURE_PRINTER_HH
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/experiments.hh"
+#include "stats/csv.hh"
+#include "stats/table.hh"
+
+namespace jcache::bench
+{
+
+/** Print one figure as an aligned table on stdout. */
+inline void
+printFigure(const sim::FigureData& figure, int precision = 1)
+{
+    stats::TextTable table(figure.title);
+    std::vector<std::string> header;
+    header.push_back(figure.xAxis);
+    for (const std::string& x : figure.xLabels)
+        header.push_back(x);
+    table.setHeader(header);
+    for (const sim::Series& s : figure.series) {
+        if (s.label == "average")
+            table.addSeparator();
+        table.addRow(s.label, s.values, precision);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+/** Append a figure to a CSV stream (used with --csv <path>). */
+inline void
+writeFigureCsv(const sim::FigureData& figure, std::ostream& os)
+{
+    stats::CsvWriter csv(os);
+    std::vector<std::string> header;
+    header.push_back(figure.title);
+    for (const std::string& x : figure.xLabels)
+        header.push_back(x);
+    csv.writeRow(header);
+    for (const sim::Series& s : figure.series)
+        csv.writeRow(s.label, s.values);
+}
+
+/** Parse an optional "--csv <path>" argument; empty if absent. */
+inline std::string
+csvPathFromArgs(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--csv")
+            return argv[i + 1];
+    }
+    return "";
+}
+
+} // namespace jcache::bench
+
+#endif // JCACHE_BENCH_FIGURE_PRINTER_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Block copy: the paper's Section 4 motivating example.
+ *
+ * "If fetch-on-write is used ... the original contents of the target
+ * of the copy will be fetched even though they are never used" —
+ * costing a third of the copy bandwidth.  This example performs a
+ * real block copy through instrumented memory and measures the fetch
+ * traffic under each write-miss policy, reproducing the 3:2 ratio.
+ */
+
+#include <iostream>
+
+#include "sim/run.hh"
+#include "stats/table.hh"
+#include "trace/recorder.hh"
+#include "workloads/traced_memory.hh"
+
+int
+main()
+{
+    using namespace jcache;
+
+    // A real 256KB block copy, captured as a trace.
+    constexpr std::size_t kWords = 64 * 1024;
+    trace::TraceRecorder recorder("block-copy");
+    workloads::TracedMemory memory(recorder);
+    workloads::TracedArray<std::int32_t> src(memory, kWords);
+    workloads::TracedArray<std::int32_t> dst(memory, kWords);
+    for (std::size_t i = 0; i < kWords; ++i)
+        src.poke(i, static_cast<std::int32_t>(i * 2654435761u));
+    for (std::size_t i = 0; i < kWords; ++i) {
+        dst.set(i, src.get(i));
+        recorder.tick(2);
+    }
+    trace::Trace trace = recorder.take();
+
+    stats::TextTable table(
+        "256KB block copy through an 8KB/16B 2-way write-through "
+        "cache");
+    table.setHeader({"write-miss policy", "fetch txns", "fetch bytes",
+                     "write bytes", "total back-side bytes",
+                     "relative copy cost"});
+
+    Count baseline_bytes = 0;
+    for (core::WriteMissPolicy miss :
+         {core::WriteMissPolicy::FetchOnWrite,
+          core::WriteMissPolicy::WriteValidate,
+          core::WriteMissPolicy::WriteAround,
+          core::WriteMissPolicy::WriteInvalidate}) {
+        core::CacheConfig config;
+        config.sizeBytes = 8 * 1024;
+        config.lineBytes = 16;
+        // Two ways, so same-offset source/destination lines coexist
+        // and the comparison isolates the fetch policy itself.
+        config.assoc = 2;
+        config.hitPolicy = core::WriteHitPolicy::WriteThrough;
+        config.missPolicy = miss;
+        sim::RunResult r = sim::runTrace(trace, config, false);
+        Count total = r.fetchTraffic.bytes + r.writeThroughTraffic.bytes;
+        if (miss == core::WriteMissPolicy::FetchOnWrite)
+            baseline_bytes = total;
+        table.addRow({core::name(miss),
+                      std::to_string(r.fetchTraffic.transactions),
+                      std::to_string(r.fetchTraffic.bytes),
+                      std::to_string(r.writeThroughTraffic.bytes),
+                      std::to_string(total),
+                      stats::formatFixed(
+                          static_cast<double>(total) /
+                              static_cast<double>(baseline_bytes),
+                          2)});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nFetch-on-write moves ~1.5x the bytes of the no-fetch "
+        "policies: it fetches every\ndestination line only to "
+        "overwrite it, wasting a third of the available\nbandwidth — "
+        "exactly the paper's large-block-copy argument.  Verified "
+        "result: the\ndestination holds a faithful copy ("
+              << (dst.peek(12345) == src.peek(12345) ? "yes" : "NO")
+              << ").\n";
+    return 0;
+}

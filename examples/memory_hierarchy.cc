@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Memory hierarchy study: a full two-level stack assembled from the
+ * library's building blocks —
+ *
+ *   CPU -> L1 (8KB WT, write-validate) -> write cache (5 x 8B)
+ *       -> L2 (64KB WB, 32B lines) -> main memory
+ *
+ * with a victim cache attached to the L1 and traffic meters between
+ * every level, replaying the `grr` router benchmark.  Demonstrates
+ * the Section 3.3 recommendation (small parity-protected WT L1 with
+ * a write cache, ECC WB L2) and cold-stop vs flush-stop accounting.
+ */
+
+#include <iostream>
+
+#include "core/data_cache.hh"
+#include "core/victim_cache.hh"
+#include "core/write_cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/second_level_cache.hh"
+#include "mem/traffic_meter.hh"
+#include "stats/counter.hh"
+#include "stats/table.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace jcache;
+
+    trace::Trace trace =
+        workloads::generateTrace(*workloads::makeWorkload("grr"));
+
+    // Assemble the stack bottom-up.
+    mem::MainMemory memory(20);
+    mem::TrafficMeter l2_back(&memory);
+
+    core::CacheConfig l2_config;
+    l2_config.sizeBytes = 64 * 1024;
+    l2_config.lineBytes = 32;
+    l2_config.hitPolicy = core::WriteHitPolicy::WriteBack;
+    l2_config.missPolicy = core::WriteMissPolicy::FetchOnWrite;
+    mem::SecondLevelCache l2(l2_config, l2_back);
+
+    mem::TrafficMeter l1_back(&l2);
+    core::WriteCache write_cache(5, 8, &l1_back);
+
+    core::CacheConfig l1_config;
+    l1_config.sizeBytes = 8 * 1024;
+    l1_config.lineBytes = 16;
+    l1_config.hitPolicy = core::WriteHitPolicy::WriteThrough;
+    l1_config.missPolicy = core::WriteMissPolicy::WriteValidate;
+    core::DataCache l1(l1_config, write_cache);
+
+    core::VictimCache victim_cache(4, 16, &write_cache);
+    l1.attachVictimCache(&victim_cache);
+
+    // Replay.
+    Count instructions = 0;
+    for (const trace::TraceRecord& record : trace) {
+        instructions += record.instrDelta;
+        l1.access(record);
+    }
+    // Flush stop: drain every level.
+    write_cache.flush();
+    victim_cache.flush();
+    l2.flush();
+
+    const core::CacheStats& s1 = l1.stats();
+    const core::CacheStats& s2 = l2.stats();
+
+    stats::TextTable table("Two-level hierarchy on grr (" +
+                           std::to_string(trace.size()) +
+                           " refs, " + std::to_string(instructions) +
+                           " instr)");
+    table.setHeader({"metric", "value"});
+    auto row = [&](const std::string& k, const std::string& v) {
+        table.addRow({k, v});
+    };
+    auto pct = [](double v) { return stats::formatFixed(v, 2) + "%"; };
+
+    row("L1 miss ratio",
+        pct(100.0 * stats::ratio(s1.countedMisses(), s1.accesses())));
+    row("L1 victim-cache hits", std::to_string(s1.victimCacheHits));
+    row("write-cache merge rate",
+        pct(100.0 * write_cache.fractionRemoved()));
+    row("L1->L2 fetch transactions",
+        std::to_string(l1_back.fetches().transactions));
+    row("L1->L2 write transactions (post write cache)",
+        std::to_string(l1_back.writeThroughs().transactions));
+    row("L2 miss ratio",
+        pct(100.0 * stats::ratio(s2.countedMisses(), s2.accesses())));
+    row("L2->memory transactions (cold stop)",
+        std::to_string(l2_back.totalTransactions()));
+    row("L2->memory flush transactions",
+        std::to_string(l2_back.flushBacks().transactions));
+    row("memory busy cycles", std::to_string(memory.busyCycles()));
+    row("memory cycles per instruction",
+        stats::formatFixed(stats::ratio(memory.busyCycles(),
+                                        instructions), 4));
+    table.print(std::cout);
+
+    std::cout <<
+        "\nThe write cache removes most store traffic before it "
+        "reaches the L2, the victim\ncache recovers direct-mapped "
+        "conflicts, and the write-back L2 keeps memory\ntraffic to "
+        "misses plus a small flushed-dirty residue.\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Implementation of the policy taxonomy and configuration checks.
+ */
+
+#include "core/config.hh"
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+
+std::string
+name(WriteHitPolicy policy)
+{
+    switch (policy) {
+      case WriteHitPolicy::WriteThrough:
+        return "write-through";
+      case WriteHitPolicy::WriteBack:
+        return "write-back";
+    }
+    panic("unknown WriteHitPolicy");
+}
+
+std::string
+name(WriteMissPolicy policy)
+{
+    switch (policy) {
+      case WriteMissPolicy::FetchOnWrite:
+        return "fetch-on-write";
+      case WriteMissPolicy::WriteValidate:
+        return "write-validate";
+      case WriteMissPolicy::WriteAround:
+        return "write-around";
+      case WriteMissPolicy::WriteInvalidate:
+        return "write-invalidate";
+    }
+    panic("unknown WriteMissPolicy");
+}
+
+std::string
+name(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Lru:
+        return "LRU";
+      case ReplacementPolicy::Fifo:
+        return "FIFO";
+      case ReplacementPolicy::Random:
+        return "random";
+    }
+    panic("unknown ReplacementPolicy");
+}
+
+bool
+fetchesOnWrite(WriteMissPolicy policy)
+{
+    return policy == WriteMissPolicy::FetchOnWrite;
+}
+
+bool
+allocatesOnWriteMiss(WriteMissPolicy policy)
+{
+    return policy == WriteMissPolicy::FetchOnWrite ||
+           policy == WriteMissPolicy::WriteValidate;
+}
+
+bool
+invalidatesOnWriteMiss(WriteMissPolicy policy)
+{
+    return policy == WriteMissPolicy::WriteInvalidate;
+}
+
+std::optional<WriteMissPolicy>
+classifyWriteMiss(bool fetch_on_write, bool write_allocate,
+                  bool write_invalidate)
+{
+    // Fetching the old data only to discard or invalidate it is not
+    // useful; neither is allocating a line and then marking it invalid
+    // (Section 4).
+    if (fetch_on_write && (!write_allocate || write_invalidate))
+        return std::nullopt;
+    if (write_allocate && write_invalidate)
+        return std::nullopt;
+
+    if (fetch_on_write)
+        return WriteMissPolicy::FetchOnWrite;
+    if (write_allocate)
+        return WriteMissPolicy::WriteValidate;
+    if (write_invalidate)
+        return WriteMissPolicy::WriteInvalidate;
+    return WriteMissPolicy::WriteAround;
+}
+
+void
+CacheConfig::validate() const
+{
+    fatalIf(!isPowerOfTwo(sizeBytes),
+            "cache size must be a power of two");
+    fatalIf(!isPowerOfTwo(lineBytes) || lineBytes < 4 || lineBytes > 64,
+            "line size must be a power of two in [4, 64]");
+    fatalIf(assoc == 0, "associativity must be at least 1");
+    fatalIf(sizeBytes % (static_cast<Count>(lineBytes) * assoc) != 0,
+            "cache size must be divisible by lineBytes * assoc");
+    fatalIf(sizeBytes < static_cast<Count>(lineBytes) * assoc,
+            "cache must hold at least one set");
+
+    bool no_allocate = !allocatesOnWriteMiss(missPolicy);
+    fatalIf(hitPolicy == WriteHitPolicy::WriteBack && no_allocate,
+            "no-write-allocate policies (" + name(missPolicy) +
+            ") require a write-through cache");
+
+    fatalIf(!isPowerOfTwo(validGranularity) ||
+            validGranularity > lineBytes,
+            "valid-bit granularity must be a power of two no larger "
+            "than the line");
+}
+
+std::string
+CacheConfig::describe() const
+{
+    std::ostringstream oss;
+    if (sizeBytes >= 1024 && sizeBytes % 1024 == 0)
+        oss << sizeBytes / 1024 << "KB";
+    else
+        oss << sizeBytes << "B";
+    oss << "/" << lineBytes << "B/";
+    if (assoc == 1)
+        oss << "DM";
+    else
+        oss << assoc << "-way";
+    oss << " " << name(hitPolicy) << "+" << name(missPolicy);
+    return oss.str();
+}
+
+} // namespace jcache::core

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Implementation of DataCache.
+ */
+
+#include "core/data_cache.hh"
+
+#include <algorithm>
+
+#include "core/victim_cache.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+
+DataCache::DataCache(const CacheConfig& config, mem::MemLevel& next)
+    : config_(config), geom_(config), next_(next),
+      lines_(geom_.numLines()),
+      isWriteBack_(config.hitPolicy == WriteHitPolicy::WriteBack),
+      fullMask_(maskBits(config.lineBytes))
+{
+}
+
+CacheLine*
+DataCache::lookup(Addr addr)
+{
+    auto set = geom_.setIndex(addr);
+    Addr tag = geom_.tag(addr);
+    CacheLine* base = &lines_[set * geom_.assoc()];
+    for (unsigned way = 0; way < geom_.assoc(); ++way) {
+        CacheLine& line = base[way];
+        if (line.isValid() && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine*
+DataCache::lookup(Addr addr) const
+{
+    return const_cast<DataCache*>(this)->lookup(addr);
+}
+
+CacheLine&
+DataCache::victimWay(Addr addr)
+{
+    auto set = geom_.setIndex(addr);
+    CacheLine* base = &lines_[set * geom_.assoc()];
+    CacheLine* victim = base;
+    for (unsigned way = 0; way < geom_.assoc(); ++way) {
+        CacheLine& line = base[way];
+        if (!line.isValid())
+            return line;
+        switch (config_.replacement) {
+          case ReplacementPolicy::Lru:
+            if (line.lastUse < victim->lastUse)
+                victim = &line;
+            break;
+          case ReplacementPolicy::Fifo:
+            if (line.insertedAt < victim->insertedAt)
+                victim = &line;
+            break;
+          case ReplacementPolicy::Random:
+            break;  // selected below
+        }
+    }
+    if (config_.replacement == ReplacementPolicy::Random) {
+        rngState_ ^= rngState_ << 13;
+        rngState_ ^= rngState_ >> 7;
+        rngState_ ^= rngState_ << 17;
+        victim = &base[rngState_ % geom_.assoc()];
+    }
+    return *victim;
+}
+
+void
+DataCache::evict(CacheLine& line, std::uint64_t set)
+{
+    if (!line.isValid())
+        return;
+    ++stats_.victims;
+    Addr line_addr = geom_.lineAddrFromTag(line.tag, set);
+    if (line.isDirty()) {
+        ++stats_.dirtyVictims;
+        unsigned dirty_bytes = line.dirtyBytes();
+        stats_.dirtyVictimDirtyBytes += dirty_bytes;
+        if (!victimCache_) {
+            next_.writeBack(line_addr, geom_.lineBytes(), dirty_bytes);
+        }
+    }
+    if (victimCache_)
+        victimCache_->insert(line_addr, line.dirty);
+    line.invalidate();
+}
+
+bool
+DataCache::evictAndFillFromVictimCache(Addr addr, CacheLine& way)
+{
+    if (!victimCache_) {
+        evict(way, geom_.setIndex(addr));
+        return false;
+    }
+    // Probe for the missing line BEFORE the victim of this miss is
+    // inserted: hardware presents the miss address to the victim
+    // cache in the same cycle the victim transfers in, so a one-entry
+    // victim cache can still satisfy a ping-pong conflict pair.
+    auto dirty = victimCache_->probe(geom_.lineAddr(addr));
+    evict(way, geom_.setIndex(addr));
+    if (!dirty)
+        return false;
+    ++stats_.victimCacheHits;
+    way.tag = geom_.tag(addr);
+    way.valid = fullMask_;
+    way.dirty = isWriteBack_ ? *dirty : 0;
+    way.lastUse = accessCounter_;
+    way.insertedAt = accessCounter_;
+    return true;
+}
+
+void
+DataCache::attachVictimCache(VictimCache* victim_cache)
+{
+    fatalIf(victim_cache &&
+            victim_cache->lineBytes() != geom_.lineBytes(),
+            "victim cache line size must match the data cache");
+    victimCache_ = victim_cache;
+}
+
+template <typename Piece>
+void
+DataCache::forEachPiece(Addr addr, unsigned size, Piece piece)
+{
+    // An aligned 8B access straddles two lines only when lines are 4B
+    // (the paper's smallest configuration); split at line boundaries
+    // and treat each piece as a separate access, which is how the
+    // MultiTitan's word-wide interface would have issued it.  Sizes
+    // are computed from the in-line offset so the final line of the
+    // 64-bit address space (whose line end would wrap to zero) works.
+    while (size > 0) {
+        unsigned room = geom_.lineBytes() - geom_.offset(addr);
+        unsigned piece_size = std::min(size, room);
+        piece(addr, piece_size);
+        addr += piece_size;
+        size -= piece_size;
+    }
+}
+
+void
+DataCache::read(Addr addr, unsigned size)
+{
+    forEachPiece(addr, size,
+                 [this](Addr a, unsigned s) { readPiece(a, s); });
+}
+
+void
+DataCache::write(Addr addr, unsigned size)
+{
+    forEachPiece(addr, size,
+                 [this](Addr a, unsigned s) { writePiece(a, s); });
+}
+
+void
+DataCache::access(const trace::TraceRecord& record)
+{
+    if (record.type == trace::RefType::Read)
+        read(record.addr, record.size);
+    else
+        write(record.addr, record.size);
+}
+
+void
+DataCache::readPiece(Addr addr, unsigned size)
+{
+    ++stats_.reads;
+    ++accessCounter_;
+    ByteMask mask = byteMaskFor(geom_.offset(addr), size);
+
+    if (CacheLine* line = lookup(addr)) {
+        line->lastUse = accessCounter_;
+        if (line->covers(mask)) {
+            ++stats_.readHits;
+            return;
+        }
+        // Tag hit but some requested bytes invalid: a deferred
+        // write-validate miss surfaces here.  Fetch the line and merge
+        // (fetched data fills the invalid bytes; dirty bytes keep
+        // their newer values).
+        ++stats_.readMisses;
+        ++stats_.partialValidReadMisses;
+        ++stats_.linesFetched;
+        next_.fetchLine(geom_.lineAddr(addr), geom_.lineBytes());
+        line->valid = fullMask_;
+        return;
+    }
+
+    // Genuine miss: allocate, fetching the whole line (unless an
+    // attached victim cache still holds it).
+    ++stats_.readMisses;
+    CacheLine& way = victimWay(addr);
+    if (evictAndFillFromVictimCache(addr, way))
+        return;
+    ++stats_.linesFetched;
+    next_.fetchLine(geom_.lineAddr(addr), geom_.lineBytes());
+    way.tag = geom_.tag(addr);
+    way.valid = fullMask_;
+    way.dirty = 0;
+    way.lastUse = accessCounter_;
+    way.insertedAt = accessCounter_;
+}
+
+void
+DataCache::writePiece(Addr addr, unsigned size)
+{
+    ++stats_.writes;
+    ++accessCounter_;
+    ByteMask mask = byteMaskFor(geom_.offset(addr), size);
+
+    if (CacheLine* line = lookup(addr)) {
+        ++stats_.writeHits;
+        line->lastUse = accessCounter_;
+        if (isWriteBack_) {
+            if (line->isDirty())
+                ++stats_.writesToDirtyLines;
+            line->dirty |= mask;
+            line->valid |= mask;
+        } else {
+            line->valid |= mask;
+            ++stats_.writeThroughs;
+            next_.writeThrough(addr, size);
+        }
+        return;
+    }
+
+    ++stats_.writeMisses;
+    switch (config_.missPolicy) {
+      case WriteMissPolicy::FetchOnWrite: {
+        CacheLine& way = victimWay(addr);
+        if (!evictAndFillFromVictimCache(addr, way)) {
+            ++stats_.linesFetched;
+            ++stats_.writeMissFetches;
+            next_.fetchLine(geom_.lineAddr(addr), geom_.lineBytes());
+            way.tag = geom_.tag(addr);
+            way.valid = fullMask_;
+            way.dirty = 0;
+            way.lastUse = accessCounter_;
+            way.insertedAt = accessCounter_;
+        }
+        if (isWriteBack_) {
+            way.dirty |= mask;
+        } else {
+            way.dirty = 0;
+            ++stats_.writeThroughs;
+            next_.writeThrough(addr, size);
+        }
+        return;
+      }
+      case WriteMissPolicy::WriteValidate: {
+        // A write narrower than the valid-bit granularity cannot set
+        // its valid bits exactly; such machines fetch-on-write for
+        // sub-quantum writes instead (Section 4).
+        if (geom_.offset(addr) % config_.validGranularity != 0 ||
+            size % config_.validGranularity != 0) {
+            ++stats_.validateFallbacks;
+            CacheLine& way = victimWay(addr);
+            if (!evictAndFillFromVictimCache(addr, way)) {
+                ++stats_.linesFetched;
+                ++stats_.writeMissFetches;
+                next_.fetchLine(geom_.lineAddr(addr),
+                                geom_.lineBytes());
+                way.tag = geom_.tag(addr);
+                way.valid = fullMask_;
+                way.dirty = 0;
+                way.lastUse = accessCounter_;
+                way.insertedAt = accessCounter_;
+            }
+            if (isWriteBack_) {
+                way.dirty |= mask;
+            } else {
+                ++stats_.writeThroughs;
+                next_.writeThrough(addr, size);
+            }
+            return;
+        }
+        // Allocate without fetching; only the written bytes are valid
+        // (a victim-cache hit recovers the full line instead).
+        CacheLine& way = victimWay(addr);
+        if (evictAndFillFromVictimCache(addr, way)) {
+            if (isWriteBack_) {
+                way.dirty |= mask;
+            } else {
+                ++stats_.writeThroughs;
+                next_.writeThrough(addr, size);
+            }
+            return;
+        }
+        way.tag = geom_.tag(addr);
+        way.valid = mask;
+        way.lastUse = accessCounter_;
+        way.insertedAt = accessCounter_;
+        if (isWriteBack_) {
+            way.dirty = mask;
+        } else {
+            way.dirty = 0;
+            ++stats_.writeThroughs;
+            next_.writeThrough(addr, size);
+        }
+        return;
+      }
+      case WriteMissPolicy::WriteAround: {
+        // The cache is untouched; the write goes around it.
+        ++stats_.writeThroughs;
+        next_.writeThrough(addr, size);
+        return;
+      }
+      case WriteMissPolicy::WriteInvalidate: {
+        // In a direct-mapped write-through cache the data was written
+        // concurrently with the tag probe, corrupting the resident
+        // line, which is therefore invalidated (it is clean, so
+        // nothing is lost downstream).  With associativity the probe
+        // precedes the write and nothing is corrupted.
+        ++stats_.writeThroughs;
+        next_.writeThrough(addr, size);
+        if (geom_.assoc() == 1) {
+            CacheLine& resident =
+                lines_[geom_.setIndex(addr) * geom_.assoc()];
+            if (resident.isValid()) {
+                resident.invalidate();
+                ++stats_.invalidations;
+            }
+        }
+        return;
+      }
+    }
+    panic("unhandled WriteMissPolicy");
+}
+
+void
+DataCache::allocateLine(Addr addr)
+{
+    ++accessCounter_;
+    ++stats_.lineAllocs;
+    if (CacheLine* line = lookup(addr)) {
+        // Already resident: the instruction just validates the whole
+        // line (and commits to writing all of it).
+        line->valid = fullMask_;
+        if (isWriteBack_)
+            line->dirty = fullMask_;
+        line->lastUse = accessCounter_;
+        return;
+    }
+    CacheLine& way = victimWay(addr);
+    evict(way, geom_.setIndex(addr));
+    if (victimCache_)
+        victimCache_->probe(geom_.lineAddr(addr));  // drop stale copy
+    way.tag = geom_.tag(addr);
+    way.valid = fullMask_;
+    way.dirty = isWriteBack_ ? fullMask_ : 0;
+    way.lastUse = accessCounter_;
+    way.insertedAt = accessCounter_;
+}
+
+void
+DataCache::flush()
+{
+    for (std::uint64_t set = 0; set < geom_.numSets(); ++set) {
+        for (unsigned way = 0; way < geom_.assoc(); ++way) {
+            CacheLine& line = lines_[set * geom_.assoc() + way];
+            if (!line.isValid())
+                continue;
+            ++stats_.flushedValidLines;
+            if (line.isDirty()) {
+                ++stats_.flushedDirtyLines;
+                unsigned dirty_bytes = line.dirtyBytes();
+                stats_.flushedDirtyBytes += dirty_bytes;
+                next_.writeBack(geom_.lineAddrFromTag(line.tag, set),
+                                geom_.lineBytes(), dirty_bytes,
+                                /*is_flush=*/true);
+                line.dirty = 0;
+            }
+        }
+    }
+}
+
+void
+DataCache::reset()
+{
+    for (CacheLine& line : lines_)
+        line = CacheLine{};
+    stats_ = CacheStats{};
+    accessCounter_ = 0;
+}
+
+bool
+DataCache::contains(Addr addr) const
+{
+    return lookup(addr) != nullptr;
+}
+
+ByteMask
+DataCache::validMask(Addr addr) const
+{
+    const CacheLine* line = lookup(addr);
+    return line ? line->valid : 0;
+}
+
+ByteMask
+DataCache::dirtyMask(Addr addr) const
+{
+    const CacheLine* line = lookup(addr);
+    return line ? line->dirty : 0;
+}
+
+Count
+DataCache::validLineCount() const
+{
+    return static_cast<Count>(
+        std::count_if(lines_.begin(), lines_.end(),
+                      [](const CacheLine& l) { return l.isValid(); }));
+}
+
+Count
+DataCache::dirtyLineCount() const
+{
+    return static_cast<Count>(
+        std::count_if(lines_.begin(), lines_.end(),
+                      [](const CacheLine& l) { return l.isDirty(); }));
+}
+
+} // namespace jcache::core

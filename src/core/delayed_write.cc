@@ -1,0 +1,15 @@
+/**
+ * @file
+ * DelayedWriteRegister is header-only; this translation unit pins its
+ * triviality so accidental growth is visible in review.
+ */
+
+#include "core/delayed_write.hh"
+
+namespace jcache::core
+{
+
+static_assert(sizeof(DelayedWriteRegister) <= 24,
+              "DelayedWriteRegister should stay a single register");
+
+} // namespace jcache::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Delayed write register (paper Section 3.1, Figure 4).
+ *
+ * A write-back (or set-associative write-through) cache must probe the
+ * tags before writing data.  With separate tag and data address lines,
+ * the probe of the *current* store can share a cycle with the data
+ * write of the *previous* store, as long as the previous probe hit and
+ * no intervening read miss displaced the line.  The register holds
+ * that pending last write; reads must check it (the paper's
+ * "comparator" requirement) and forward from it on a match.
+ */
+
+#ifndef JCACHE_CORE_DELAYED_WRITE_HH
+#define JCACHE_CORE_DELAYED_WRITE_HH
+
+#include <optional>
+
+#include "util/types.hh"
+
+namespace jcache::core
+{
+
+/**
+ * One-entry last-write register with a match comparator.
+ */
+class DelayedWriteRegister
+{
+  public:
+    /** Latch a store (address + size) whose data write is deferred. */
+    void latch(Addr addr, unsigned size)
+    {
+        addr_ = addr;
+        size_ = size;
+        pending_ = true;
+    }
+
+    /** Complete the deferred write (the data entered the array). */
+    void retire() { pending_ = false; }
+
+    /** Is a write pending in the register? */
+    bool pending() const { return pending_; }
+
+    /**
+     * Would a read of [addr, addr+size) overlap the pending write?
+     * A match means the read must be supplied from the register.
+     */
+    bool matches(Addr addr, unsigned size) const
+    {
+        if (!pending_)
+            return false;
+        return addr < addr_ + size_ && addr_ < addr + size;
+    }
+
+    /** Address of the pending write, if any. */
+    std::optional<Addr> pendingAddr() const
+    {
+        if (!pending_)
+            return std::nullopt;
+        return addr_;
+    }
+
+    void reset() { pending_ = false; }
+
+  private:
+    Addr addr_ = 0;
+    unsigned size_ = 0;
+    bool pending_ = false;
+};
+
+} // namespace jcache::core
+
+#endif // JCACHE_CORE_DELAYED_WRITE_HH

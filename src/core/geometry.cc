@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Implementation of CacheGeometry.
+ */
+
+#include "core/geometry.hh"
+
+#include "util/bitops.hh"
+
+namespace jcache::core
+{
+
+CacheGeometry::CacheGeometry(const CacheConfig& config)
+{
+    config.validate();
+    lineBytes_ = config.lineBytes;
+    assoc_ = config.assoc;
+    numSets_ = config.sizeBytes /
+               (static_cast<Count>(lineBytes_) * assoc_);
+    lineShift_ = floorLog2(lineBytes_);
+    indexBits_ = floorLog2(numSets_);
+    lineMask_ = lineBytes_ - 1;
+    indexMask_ = numSets_ - 1;
+}
+
+} // namespace jcache::core

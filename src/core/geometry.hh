@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Address decomposition for a set-associative cache.
+ *
+ * CacheGeometry precomputes the shifts and masks to split a byte
+ * address into {tag, set index, line offset} for a given size/line/
+ * associativity, so the hot DataCache lookup path is three bit
+ * operations.
+ */
+
+#ifndef JCACHE_CORE_GEOMETRY_HH
+#define JCACHE_CORE_GEOMETRY_HH
+
+#include "core/config.hh"
+#include "util/types.hh"
+
+namespace jcache::core
+{
+
+/**
+ * Precomputed address decomposition.
+ */
+class CacheGeometry
+{
+  public:
+    /** @param config validated cache configuration. */
+    explicit CacheGeometry(const CacheConfig& config);
+
+    unsigned lineBytes() const { return lineBytes_; }
+    unsigned assoc() const { return assoc_; }
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint64_t numLines() const { return numSets_ * assoc_; }
+    Count sizeBytes() const
+    {
+        return numLines() * lineBytes_;
+    }
+
+    /** Line-aligned base address of the line containing addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask_; }
+
+    /** Byte offset of addr within its line. */
+    unsigned offset(Addr addr) const
+    {
+        return static_cast<unsigned>(addr & lineMask_);
+    }
+
+    /** Set index of addr. */
+    std::uint64_t setIndex(Addr addr) const
+    {
+        return (addr >> lineShift_) & indexMask_;
+    }
+
+    /** Tag of addr (the address bits above index and offset). */
+    Addr tag(Addr addr) const
+    {
+        return addr >> (lineShift_ + indexBits_);
+    }
+
+    /** Reconstruct the line base address from a tag and set index. */
+    Addr lineAddrFromTag(Addr tag, std::uint64_t set) const
+    {
+        return (tag << (lineShift_ + indexBits_)) | (set << lineShift_);
+    }
+
+  private:
+    unsigned lineBytes_;
+    unsigned assoc_;
+    std::uint64_t numSets_;
+    unsigned lineShift_;
+    unsigned indexBits_;
+    Addr lineMask_;
+    std::uint64_t indexMask_;
+};
+
+} // namespace jcache::core
+
+#endif // JCACHE_CORE_GEOMETRY_HH

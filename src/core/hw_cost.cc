@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Implementation of the storage cost model.
+ */
+
+#include "core/hw_cost.hh"
+
+#include "core/geometry.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+
+double
+HwCost::overheadFraction() const
+{
+    if (dataBits == 0)
+        return 0.0;
+    return static_cast<double>(totalBits() - dataBits) /
+           static_cast<double>(dataBits);
+}
+
+Count
+protectionOverheadBits(Protection scheme, Count data_bits)
+{
+    switch (scheme) {
+      case Protection::None:
+        return 0;
+      case Protection::ByteParity:
+        // One parity bit per 8 data bits.
+        return data_bits / 8;
+      case Protection::WordEcc:
+        // Single-error-correcting ECC: 6 bits per 32-bit word.
+        return (data_bits / 32) * 6;
+    }
+    panic("unknown Protection scheme");
+}
+
+namespace
+{
+
+/** Address/buffer bits common to both organizations. */
+struct Common
+{
+    Count lines;
+    Count dataBits;
+    Count tagBitsPerLine;
+};
+
+Common
+commonBits(const CacheConfig& config, const HwCostParams& params)
+{
+    CacheGeometry geom(config);
+    Common c;
+    c.lines = geom.numLines();
+    c.dataBits = static_cast<Count>(config.sizeBytes) * 8;
+    unsigned offset_bits = floorLog2(config.lineBytes);
+    unsigned index_bits = floorLog2(geom.numSets());
+    c.tagBitsPerLine = params.addressBits - offset_bits - index_bits;
+    return c;
+}
+
+} // namespace
+
+HwCost
+writeThroughCost(const CacheConfig& config, const HwCostParams& params)
+{
+    Common c = commonBits(config, params);
+    HwCost cost;
+    cost.dataBits = c.dataBits;
+    cost.tagBits = c.lines * c.tagBitsPerLine;
+    // One valid bit per line, or one per 32-bit word for
+    // write-validate sub-blocking.
+    cost.validBits = params.subblockValidBits
+        ? c.lines * (config.lineBytes / 4)
+        : c.lines;
+    cost.dirtyBits = 0;
+    // Parity is enough: the cache holds no unique dirty data, so a
+    // parity error simply becomes a miss (Section 3, dimension 4).
+    cost.protectionBits =
+        protectionOverheadBits(Protection::ByteParity, c.dataBits);
+
+    // Write buffer: entries of 8B data + full address + per-byte valid
+    // bits.  Write cache: same entry layout plus LRU state (3 bits is
+    // plenty for <= 16 entries).
+    Count entry_bits = 64 + params.addressBits + 8;
+    cost.bufferBits = params.writeBufferEntries * entry_bits +
+                      params.writeCacheEntries * (entry_bits + 3);
+    return cost;
+}
+
+HwCost
+writeBackCost(const CacheConfig& config, const HwCostParams& params)
+{
+    Common c = commonBits(config, params);
+    HwCost cost;
+    cost.dataBits = c.dataBits;
+    cost.tagBits = c.lines * c.tagBitsPerLine;
+    cost.validBits = params.subblockValidBits
+        ? c.lines * (config.lineBytes / 4)
+        : c.lines;
+    // Dirty bits: one per line, or per 32-bit word if subblock
+    // write-backs are supported (Section 5.2's suggestion).
+    cost.dirtyBits = params.subblockDirtyBits
+        ? c.lines * (config.lineBytes / 4)
+        : c.lines;
+    // A write-back cache holds unique dirty data, so single-bit errors
+    // are only survivable with ECC.
+    cost.protectionBits =
+        protectionOverheadBits(Protection::WordEcc, c.dataBits);
+
+    // Dirty victim register: one line of data plus address.  Delayed
+    // write register: one 8B write plus address and comparator state.
+    Count victim_bits = static_cast<Count>(config.lineBytes) * 8 +
+                        params.addressBits;
+    Count delayed_bits = 64 + params.addressBits + 1;
+    cost.bufferBits = victim_bits + delayed_bits;
+    return cost;
+}
+
+} // namespace jcache::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Storage cost model for high-performance write-through vs.
+ * write-back caches (paper Section 3.3, Tables 2 and 3).
+ *
+ * The paper argues the hardware requirements of the two organizations
+ * are surprisingly similar once each is built for performance: the
+ * write-back cache needs a dirty victim register, a delayed-write
+ * register, per-line dirty bits and ECC; the write-through cache needs
+ * a multi-entry write buffer, a write cache and only parity.  This
+ * model counts the bits so the claim can be reproduced quantitatively.
+ */
+
+#ifndef JCACHE_CORE_HW_COST_HH
+#define JCACHE_CORE_HW_COST_HH
+
+#include <string>
+
+#include "core/config.hh"
+#include "util/types.hh"
+
+namespace jcache::core
+{
+
+/** Error-protection scheme for the data array. */
+enum class Protection : std::uint8_t
+{
+    None,
+    ByteParity,   //!< 1 bit per byte; enough for write-through
+    WordEcc,      //!< SEC ECC, 6 bits per 32-bit word; needed for WB
+};
+
+/** Storage bill for one cache organization, in bits. */
+struct HwCost
+{
+    Count dataBits = 0;
+    Count tagBits = 0;
+    Count validBits = 0;        //!< line (or subblock) valid bits
+    Count dirtyBits = 0;        //!< write-back line dirty bits
+    Count protectionBits = 0;   //!< parity or ECC over data
+    Count bufferBits = 0;       //!< write buffer / write cache /
+                                //!< victim & delayed-write registers
+
+    Count totalBits() const
+    {
+        return dataBits + tagBits + validBits + dirtyBits +
+               protectionBits + bufferBits;
+    }
+
+    /** Overhead beyond the raw data array, as a fraction of it. */
+    double overheadFraction() const;
+};
+
+/** Parameters shared by the costed organizations. */
+struct HwCostParams
+{
+    unsigned addressBits = 32;      //!< physical address width
+    unsigned writeBufferEntries = 4; //!< WT write buffer depth
+    unsigned writeCacheEntries = 5;  //!< WT write cache depth (8B each)
+    bool subblockValidBits = false;  //!< per-word valid (write-validate)
+    bool subblockDirtyBits = false;  //!< per-word dirty (Section 5.2)
+};
+
+/**
+ * Cost of a high-performance write-through organization: data + tags
+ * + byte parity + write buffer + write cache (Table 3 column 2).
+ */
+HwCost writeThroughCost(const CacheConfig& config,
+                        const HwCostParams& params);
+
+/**
+ * Cost of a high-performance write-back organization: data + tags +
+ * dirty bits + word ECC + dirty victim register + delayed write
+ * register (Table 3 column 1).
+ */
+HwCost writeBackCost(const CacheConfig& config,
+                     const HwCostParams& params);
+
+/** Bits of protection overhead for `data_bits` of data. */
+Count protectionOverheadBits(Protection scheme, Count data_bits);
+
+} // namespace jcache::core
+
+#endif // JCACHE_CORE_HW_COST_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Static checks for CacheLine mask invariants.
+ */
+
+#include "core/line.hh"
+
+namespace jcache::core
+{
+
+// CacheLine is a plain aggregate; all behaviour lives in the header.
+// Pin the size so an accidental payload addition (which would slow the
+// hot lookup path) is caught at compile time.
+static_assert(sizeof(CacheLine) == 40,
+              "CacheLine grew beyond tag + masks + replacement stamps");
+
+} // namespace jcache::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-line state: tag plus per-byte valid and dirty masks.
+ *
+ * The paper's analyses need byte granularity in two places: the
+ * write-validate policy keeps sub-line valid bits (Section 4), and
+ * Section 5.2 measures how many bytes of a dirty victim are actually
+ * dirty.  Lines are at most 64 bytes, so one 64-bit mask each suffices.
+ */
+
+#ifndef JCACHE_CORE_LINE_HH
+#define JCACHE_CORE_LINE_HH
+
+#include "util/bitops.hh"
+#include "util/types.hh"
+
+namespace jcache::core
+{
+
+/**
+ * State of one cache line (no data payload: the simulator is
+ * trace-driven, so only metadata matters).
+ */
+struct CacheLine
+{
+    /** Tag of the cached address; meaningful only if valid != 0. */
+    Addr tag = 0;
+
+    /** Per-byte valid bits; 0 means the line is empty/invalid. */
+    ByteMask valid = 0;
+
+    /** Per-byte dirty bits (subset of valid); write-back caches only. */
+    ByteMask dirty = 0;
+
+    /** LRU timestamp: the access sequence number of the last touch. */
+    Count lastUse = 0;
+
+    /** FIFO timestamp: the access sequence number at installation. */
+    Count insertedAt = 0;
+
+    bool isValid() const { return valid != 0; }
+    bool isDirty() const { return dirty != 0; }
+
+    /** Number of dirty bytes in the line. */
+    unsigned dirtyBytes() const { return popcount(dirty); }
+
+    /** Are all bytes covered by `mask` valid? */
+    bool covers(ByteMask mask) const { return (valid & mask) == mask; }
+
+    /** Drop all state. */
+    void invalidate()
+    {
+        valid = 0;
+        dirty = 0;
+    }
+};
+
+} // namespace jcache::core
+
+#endif // JCACHE_CORE_LINE_HH

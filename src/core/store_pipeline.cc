@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Implementation of the store pipeline timing model.
+ */
+
+#include "core/store_pipeline.hh"
+
+#include "core/data_cache.hh"
+#include "core/delayed_write.hh"
+#include "mem/main_memory.hh"
+#include "stats/counter.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+
+std::string
+name(StoreScheme scheme)
+{
+    switch (scheme) {
+      case StoreScheme::WriteThroughDirect:
+        return "write-through direct-mapped";
+      case StoreScheme::ProbeThenWrite:
+        return "probe-then-write";
+      case StoreScheme::DelayedWrite:
+        return "delayed-write register";
+    }
+    panic("unknown StoreScheme");
+}
+
+double
+StorePipelineResult::cyclesPerStoreOverhead() const
+{
+    return stats::ratio(extraCycles, stores);
+}
+
+double
+StorePipelineResult::cpiOverhead() const
+{
+    return stats::ratio(extraCycles, instructions);
+}
+
+StorePipelineResult
+simulateStorePipeline(const trace::Trace& trace,
+                      const CacheConfig& config, StoreScheme scheme)
+{
+    // Track hit/miss with a write-back fetch-on-write cache: the
+    // schemes differ only in how store cycles are scheduled, not in
+    // what hits.
+    CacheConfig shadow = config;
+    shadow.hitPolicy = WriteHitPolicy::WriteBack;
+    shadow.missPolicy = WriteMissPolicy::FetchOnWrite;
+    mem::MainMemory memory(0);
+    DataCache cache(shadow, memory);
+    DelayedWriteRegister dwr;
+
+    StorePipelineResult result;
+
+    const auto& records = trace.records();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const trace::TraceRecord& r = records[i];
+        result.instructions += r.instrDelta;
+
+        bool next_is_back_to_back_mem =
+            i + 1 < records.size() && records[i + 1].instrDelta == 1;
+
+        // Any non-memory instruction leaves the cache data port idle
+        // for a cycle, letting a pending delayed write retire for
+        // free.
+        if (scheme == StoreScheme::DelayedWrite && r.instrDelta > 1)
+            dwr.retire();
+
+        if (r.type == trace::RefType::Read) {
+            Count misses_before = cache.stats().readMisses;
+            cache.read(r.addr, r.size);
+            bool missed = cache.stats().readMisses != misses_before;
+            if (scheme == StoreScheme::DelayedWrite && missed &&
+                dwr.pending()) {
+                // The refill may displace the register's line: the
+                // pending write (still unretired because the ops were
+                // back to back) must complete first, costing a cycle.
+                ++result.extraCycles;
+                ++result.delayedWriteFlushes;
+                dwr.retire();
+            }
+            continue;
+        }
+
+        ++result.stores;
+        Count hits_before = cache.stats().writeHits;
+        cache.write(r.addr, r.size);
+        bool hit = cache.stats().writeHits != hits_before;
+
+        switch (scheme) {
+          case StoreScheme::WriteThroughDirect:
+            // Data written in parallel with the probe; on a miss the
+            // conventional miss recovery repeats the write cycle, which
+            // is already part of miss service, so no store-specific
+            // overhead accrues here.
+            break;
+          case StoreScheme::ProbeThenWrite:
+            // The data write occupies the cycle after the probe.  If
+            // the next instruction is a load or store issued back to
+            // back, it interlocks for one cycle.
+            if (next_is_back_to_back_mem) {
+                ++result.extraCycles;
+                ++result.interlockStalls;
+            }
+            break;
+          case StoreScheme::DelayedWrite:
+            if (hit) {
+                // The previous store's data (if still pending) retires
+                // during this store's probe cycle; the new store's
+                // write is deferred in its place.
+                dwr.latch(r.addr, r.size);
+            } else {
+                // A probe miss folds the store's own write into miss
+                // service (as the other schemes do), but a still-
+                // pending previous write must drain first.
+                if (dwr.pending()) {
+                    ++result.extraCycles;
+                    ++result.delayedWriteFlushes;
+                    dwr.retire();
+                }
+            }
+            break;
+        }
+    }
+
+    return result;
+}
+
+} // namespace jcache::core

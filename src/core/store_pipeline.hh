@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Store pipeline timing model (paper Section 3, Figures 3 and 4).
+ *
+ * Quantifies the store-bandwidth argument of the paper's fifth and
+ * sixth dimensions of comparison: a direct-mapped write-through cache
+ * writes data in parallel with the tag probe (one cycle per store),
+ * while a straightforward write-back or set-associative cache needs a
+ * probe cycle followed by a write cycle, interlocking against a memory
+ * access in the next instruction slot.  The delayed-write register of
+ * Section 3.1 recovers most of the loss by retiring the previous
+ * store's data during the current store's probe.
+ */
+
+#ifndef JCACHE_CORE_STORE_PIPELINE_HH
+#define JCACHE_CORE_STORE_PIPELINE_HH
+
+#include "core/config.hh"
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace jcache::core
+{
+
+/** Store pipelining scheme being modeled. */
+enum class StoreScheme : std::uint8_t
+{
+    /** Direct-mapped write-through: write with the probe; 1 cycle. */
+    WriteThroughDirect,
+
+    /** Naive write-back/set-associative: probe then write; 2 cycles. */
+    ProbeThenWrite,
+
+    /** Write-back with a delayed write register (Figure 4). */
+    DelayedWrite,
+};
+
+std::string name(StoreScheme scheme);
+
+/** Result of a store-pipeline timing run. */
+struct StorePipelineResult
+{
+    Count instructions = 0;
+    Count stores = 0;
+    Count extraCycles = 0;       //!< cycles beyond 1 per instruction
+
+    /** Interlocks: a memory op issued right after a store's write. */
+    Count interlockStalls = 0;
+
+    /** Delayed-write flushes forced by read misses or probe misses. */
+    Count delayedWriteFlushes = 0;
+
+    /** Extra cycles per store. */
+    double cyclesPerStoreOverhead() const;
+
+    /** Extra CPI from store handling. */
+    double cpiOverhead() const;
+};
+
+/**
+ * Run the timing model over a trace.
+ *
+ * The model charges base CPI 1 and adds store-handling stalls per the
+ * scheme.  It tracks cache hits/misses with an internal write-back
+ * fetch-on-write cache of the given geometry so the delayed-write
+ * scheme knows when its register must flush (probe miss, or read miss
+ * displacing state since the last store).
+ *
+ * @param trace  the reference stream.
+ * @param config cache geometry (hit/miss policies are overridden).
+ * @param scheme store scheme to model.
+ */
+StorePipelineResult
+simulateStorePipeline(const trace::Trace& trace,
+                      const CacheConfig& config, StoreScheme scheme);
+
+} // namespace jcache::core
+
+#endif // JCACHE_CORE_STORE_PIPELINE_HH

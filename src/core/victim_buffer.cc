@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of DirtyVictimBuffer.
+ */
+
+#include "core/victim_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+
+DirtyVictimBuffer::DirtyVictimBuffer(unsigned entries,
+                                     Cycles drain_cycles)
+    : entries_(entries), drainCycles_(drain_cycles)
+{
+    fatalIf(entries == 0, "victim buffer needs at least one entry");
+}
+
+void
+DirtyVictimBuffer::drainUpTo(Cycles now)
+{
+    while (!drainDone_.empty() && drainDone_.front() <= now)
+        drainDone_.pop_front();
+}
+
+Cycles
+DirtyVictimBuffer::insert(Addr, Cycles now)
+{
+    drainUpTo(now);
+    ++insertions_;
+
+    Cycles stall = 0;
+    if (drainDone_.size() >= entries_) {
+        ++conflicts_;
+        stall = drainDone_.front() - now;
+        stallCycles_ += stall;
+        drainUpTo(now + stall);
+        now += stall;
+    }
+
+    // The drain port is serial: a new victim starts draining after the
+    // one ahead of it finishes.
+    Cycles start = drainDone_.empty() ? now : drainDone_.back();
+    if (start < now)
+        start = now;
+    drainDone_.push_back(start + drainCycles_);
+    return stall;
+}
+
+unsigned
+DirtyVictimBuffer::occupancy(Cycles now) const
+{
+    unsigned n = 0;
+    for (Cycles done : drainDone_) {
+        if (done > now)
+            ++n;
+    }
+    return n;
+}
+
+void
+DirtyVictimBuffer::reset()
+{
+    drainDone_.clear();
+    insertions_ = 0;
+    conflicts_ = 0;
+    stallCycles_ = 0;
+}
+
+} // namespace jcache::core

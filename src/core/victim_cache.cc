@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Implementation of VictimCache.
+ */
+
+#include "core/victim_cache.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+
+VictimCache::VictimCache(unsigned entries, unsigned line_bytes,
+                         mem::MemLevel* next)
+    : lineBytes_(line_bytes), next_(next), entries_(entries)
+{
+    fatalIf(!isPowerOfTwo(line_bytes),
+            "victim cache line size must be a power of two");
+}
+
+void
+VictimCache::drainEntry(Entry& entry)
+{
+    if (entry.valid && entry.dirty != 0 && next_) {
+        next_->writeBack(entry.addr, lineBytes_,
+                         popcount(entry.dirty));
+    }
+    entry.valid = false;
+    entry.dirty = 0;
+}
+
+void
+VictimCache::insert(Addr line_addr, ByteMask dirty)
+{
+    ++insertions_;
+    ++useCounter_;
+    if (entries_.empty()) {
+        // Degenerate victim cache: dirty victims go straight down.
+        if (dirty != 0 && next_)
+            next_->writeBack(line_addr, lineBytes_, popcount(dirty));
+        return;
+    }
+
+    Entry* slot = nullptr;
+    for (Entry& e : entries_) {
+        if (!e.valid) {
+            slot = &e;
+            break;
+        }
+        if (!slot || e.lastUse < slot->lastUse)
+            slot = &e;
+    }
+    if (slot->valid) {
+        drainEntry(*slot);
+        ++evictions_;
+    }
+    slot->addr = line_addr;
+    slot->dirty = dirty;
+    slot->valid = true;
+    slot->lastUse = useCounter_;
+}
+
+std::optional<ByteMask>
+VictimCache::probe(Addr line_addr)
+{
+    ++probes_;
+    ++useCounter_;
+    for (Entry& e : entries_) {
+        if (e.valid && e.addr == line_addr) {
+            ++hits_;
+            ByteMask dirty = e.dirty;
+            e.valid = false;
+            e.dirty = 0;
+            return dirty;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+VictimCache::flush()
+{
+    for (Entry& e : entries_)
+        drainEntry(e);
+}
+
+unsigned
+VictimCache::occupancy() const
+{
+    return static_cast<unsigned>(
+        std::count_if(entries_.begin(), entries_.end(),
+                      [](const Entry& e) { return e.valid; }));
+}
+
+void
+VictimCache::reset()
+{
+    for (Entry& e : entries_)
+        e = Entry{};
+    useCounter_ = 0;
+    insertions_ = 0;
+    hits_ = 0;
+    probes_ = 0;
+    evictions_ = 0;
+}
+
+} // namespace jcache::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Victim cache (extension; Jouppi [10], referenced in Section 3.2).
+ *
+ * The paper notes a write cache "can also be implemented with the
+ * additional functionality of a victim cache, in which case not all
+ * entries in the small fully-associative cache would be dirty."  This
+ * class provides that extension: a small fully-associative cache of
+ * full lines that absorbs victims from the data cache and is probed on
+ * misses; a hit returns the line (with its dirty bytes) without a
+ * fetch from below.
+ */
+
+#ifndef JCACHE_CORE_VICTIM_CACHE_HH
+#define JCACHE_CORE_VICTIM_CACHE_HH
+
+#include <optional>
+#include <vector>
+
+#include "mem/mem_level.hh"
+#include "util/types.hh"
+
+namespace jcache::core
+{
+
+/**
+ * Small fully-associative victim cache holding full lines.
+ */
+class VictimCache
+{
+  public:
+    /**
+     * @param entries    number of line entries.
+     * @param line_bytes line size (must match the cache above).
+     * @param next       level that receives dirty lines evicted from
+     *                   the victim cache; may be null.
+     */
+    VictimCache(unsigned entries, unsigned line_bytes,
+                mem::MemLevel* next = nullptr);
+
+    /**
+     * Insert a victim line evicted by the cache above.
+     *
+     * @param line_addr  line-aligned address.
+     * @param dirty      per-byte dirty mask (0 for clean victims).
+     */
+    void insert(Addr line_addr, ByteMask dirty);
+
+    /**
+     * Probe for a line on a miss in the cache above.  On a hit the
+     * entry is removed (it swaps back into the data cache) and its
+     * dirty mask returned.
+     */
+    std::optional<ByteMask> probe(Addr line_addr);
+
+    /** Drain all dirty entries downstream. */
+    void flush();
+
+    unsigned lineBytes() const { return lineBytes_; }
+    Count insertions() const { return insertions_; }
+    Count hits() const { return hits_; }
+    Count probes() const { return probes_; }
+    Count evictions() const { return evictions_; }
+    unsigned occupancy() const;
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Addr addr = 0;
+        ByteMask dirty = 0;
+        Count lastUse = 0;
+        bool valid = false;
+    };
+
+    void drainEntry(Entry& entry);
+
+    unsigned lineBytes_;
+    mem::MemLevel* next_;
+    std::vector<Entry> entries_;
+    Count useCounter_ = 0;
+    Count insertions_ = 0;
+    Count hits_ = 0;
+    Count probes_ = 0;
+    Count evictions_ = 0;
+};
+
+} // namespace jcache::core
+
+#endif // JCACHE_CORE_VICTIM_CACHE_HH

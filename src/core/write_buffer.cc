@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of CoalescingWriteBuffer.
+ */
+
+#include "core/write_buffer.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+
+CoalescingWriteBuffer::CoalescingWriteBuffer(
+        const WriteBufferConfig& config)
+    : config_(config), nextRetire_(config.retireInterval)
+{
+    fatalIf(config.entries == 0, "write buffer needs at least 1 entry");
+    fatalIf(!isPowerOfTwo(config.entryBytes),
+            "write buffer entry width must be a power of two");
+}
+
+void
+CoalescingWriteBuffer::drainUpTo(Cycles now)
+{
+    if (config_.retireInterval == 0)
+        return;
+    // Retirement slots tick every retireInterval cycles whether or not
+    // an entry is available to drain; catch up past long idle gaps.
+    if (fifo_.empty() && nextRetire_ <= now) {
+        Cycles missed = (now - nextRetire_) / config_.retireInterval + 1;
+        nextRetire_ += missed * config_.retireInterval;
+        return;
+    }
+    while (nextRetire_ <= now) {
+        if (!fifo_.empty()) {
+            fifo_.pop_front();
+            ++retirements_;
+        }
+        nextRetire_ += config_.retireInterval;
+    }
+}
+
+Cycles
+CoalescingWriteBuffer::write(Addr addr, Cycles now)
+{
+    ++writes_;
+    if (config_.retireInterval == 0) {
+        // Entries drain instantly: the store passes straight through.
+        ++retirements_;
+        return 0;
+    }
+
+    drainUpTo(now);
+
+    Addr entry_addr = alignDown(addr, config_.entryBytes);
+    auto it = std::find(fifo_.begin(), fifo_.end(), entry_addr);
+    if (it != fifo_.end()) {
+        ++merges_;
+        return 0;
+    }
+
+    Cycles stall = 0;
+    if (fifo_.size() >= config_.entries) {
+        // Full: the CPU stalls until the next retirement slot frees an
+        // entry.
+        stall = nextRetire_ - now;
+        stallCycles_ += stall;
+        drainUpTo(nextRetire_);
+    }
+    fifo_.push_back(entry_addr);
+    return stall;
+}
+
+double
+CoalescingWriteBuffer::mergeFraction() const
+{
+    if (writes_ == 0)
+        return 0.0;
+    return static_cast<double>(merges_) / static_cast<double>(writes_);
+}
+
+void
+CoalescingWriteBuffer::reset()
+{
+    fifo_.clear();
+    nextRetire_ = config_.retireInterval;
+    writes_ = 0;
+    merges_ = 0;
+    retirements_ = 0;
+    stallCycles_ = 0;
+}
+
+} // namespace jcache::core

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Implementation of WriteCache.
+ */
+
+#include "core/write_cache.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+
+WriteCache::WriteCache(unsigned entries, unsigned entry_bytes,
+                       mem::MemLevel* next)
+    : entryBytes_(entry_bytes), next_(next), entries_(entries)
+{
+    fatalIf(!isPowerOfTwo(entry_bytes) || entry_bytes > 64,
+            "write cache entry width must be a power of two <= 64");
+}
+
+WriteCache::Entry*
+WriteCache::find(Addr entry_addr)
+{
+    for (Entry& e : entries_) {
+        if (e.dirty != 0 && e.addr == entry_addr)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+WriteCache::drainEntry(Entry& entry)
+{
+    if (entry.dirty == 0)
+        return;
+    if (next_)
+        next_->writeThrough(entry.addr, popcount(entry.dirty));
+    entry.dirty = 0;
+}
+
+void
+WriteCache::writeThrough(Addr addr, unsigned bytes)
+{
+    ++writesIn_;
+    ++useCounter_;
+
+    if (entries_.empty()) {
+        if (next_)
+            next_->writeThrough(addr, bytes);
+        return;
+    }
+
+    // A write wider than an entry cannot occur with the paper's 8B
+    // entries, but split defensively for narrower configurations.
+    Addr entry_addr = alignDown(addr, entryBytes_);
+    unsigned offset = static_cast<unsigned>(addr - entry_addr);
+    fatalIf(offset + bytes > entryBytes_,
+            "write cache writes must not straddle entries");
+    ByteMask mask = byteMaskFor(offset, bytes);
+
+    if (Entry* hit = find(entry_addr)) {
+        hit->dirty |= mask;
+        hit->lastUse = useCounter_;
+        ++merges_;
+        return;
+    }
+
+    // Miss: claim a free slot, or evict the LRU entry to the next
+    // level to make room (Figure 6).
+    Entry* slot = nullptr;
+    for (Entry& e : entries_) {
+        if (e.dirty == 0) {
+            slot = &e;
+            break;
+        }
+        if (!slot || e.lastUse < slot->lastUse)
+            slot = &e;
+    }
+    if (slot->dirty != 0) {
+        drainEntry(*slot);
+        ++evictions_;
+    }
+    slot->addr = entry_addr;
+    slot->dirty = mask;
+    slot->lastUse = useCounter_;
+}
+
+void
+WriteCache::fetchLine(Addr addr, unsigned bytes)
+{
+    // Flush overlapping dirty entries first so the fetch returns data
+    // that includes them.
+    Addr line_end = addr + bytes;
+    for (Entry& e : entries_) {
+        if (e.dirty != 0 && e.addr >= addr && e.addr < line_end) {
+            drainEntry(e);
+            ++fetchFlushes_;
+        }
+    }
+    if (next_)
+        next_->fetchLine(addr, bytes);
+}
+
+void
+WriteCache::writeBack(Addr addr, unsigned line_bytes,
+                      unsigned dirty_bytes, bool is_flush)
+{
+    if (next_)
+        next_->writeBack(addr, line_bytes, dirty_bytes, is_flush);
+}
+
+void
+WriteCache::flush()
+{
+    for (Entry& e : entries_)
+        drainEntry(e);
+}
+
+unsigned
+WriteCache::occupancy() const
+{
+    return static_cast<unsigned>(
+        std::count_if(entries_.begin(), entries_.end(),
+                      [](const Entry& e) { return e.dirty != 0; }));
+}
+
+double
+WriteCache::fractionRemoved() const
+{
+    if (writesIn_ == 0)
+        return 0.0;
+    return static_cast<double>(merges_) /
+           static_cast<double>(writesIn_);
+}
+
+void
+WriteCache::reset()
+{
+    for (Entry& e : entries_)
+        e = Entry{};
+    useCounter_ = 0;
+    writesIn_ = 0;
+    merges_ = 0;
+    evictions_ = 0;
+    fetchFlushes_ = 0;
+}
+
+} // namespace jcache::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Write cache (paper Section 3.2, Figures 6-9).
+ *
+ * The paper's proposal: a small fully-associative cache of 8B lines
+ * placed behind a write-through data cache and in front of the write
+ * buffer.  Stores that hit an entry coalesce (removing traffic); a
+ * store that misses evicts the LRU entry into the write buffer.
+ *
+ * WriteCache implements MemLevel so it can be stacked directly behind
+ * a DataCache: the data cache's write-through stream feeds it, and
+ * line fetches pass through (after flushing any overlapping dirty
+ * entries downstream, preserving memory ordering).
+ */
+
+#ifndef JCACHE_CORE_WRITE_CACHE_HH
+#define JCACHE_CORE_WRITE_CACHE_HH
+
+#include <vector>
+
+#include "mem/mem_level.hh"
+#include "util/types.hh"
+
+namespace jcache::core
+{
+
+/**
+ * Small fully-associative coalescing cache for store traffic.
+ */
+class WriteCache : public mem::MemLevel
+{
+  public:
+    /**
+     * @param entries     number of entries (0 = pass-through).
+     * @param entry_bytes entry width; the paper uses 8B because no
+     *                    write is larger and off-chip write paths are
+     *                    often 8B wide.
+     * @param next        downstream level (write buffer or memory);
+     *                    may be null.
+     */
+    WriteCache(unsigned entries, unsigned entry_bytes = 8,
+               mem::MemLevel* next = nullptr);
+
+    /** Stores arriving from the write-through cache above. */
+    void writeThrough(Addr addr, unsigned bytes) override;
+
+    /**
+     * Fetches pass through; overlapping dirty entries are flushed
+     * downstream first so the fetched line observes them.
+     */
+    void fetchLine(Addr addr, unsigned bytes) override;
+
+    /** Write-backs pass through (a WT cache above never sends any). */
+    void writeBack(Addr addr, unsigned line_bytes, unsigned dirty_bytes,
+                   bool is_flush) override;
+
+    /** Drain every entry downstream. */
+    void flush();
+
+    Count writesIn() const { return writesIn_; }
+
+    /** Stores absorbed by an existing entry (traffic removed). */
+    Count merges() const { return merges_; }
+
+    /** Entries evicted downstream by LRU replacement. */
+    Count evictions() const { return evictions_; }
+
+    /** Entries flushed because a fetch overlapped them. */
+    Count fetchFlushes() const { return fetchFlushes_; }
+
+    unsigned occupancy() const;
+
+    /** Fraction of incoming stores removed (Figure 7's y-axis). */
+    double fractionRemoved() const;
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Addr addr = 0;        //!< entry-aligned base address
+        ByteMask dirty = 0;   //!< bytes written (0 = free slot)
+        Count lastUse = 0;
+    };
+
+    Entry* find(Addr entry_addr);
+    void drainEntry(Entry& entry);
+
+    unsigned entryBytes_;
+    mem::MemLevel* next_;
+    std::vector<Entry> entries_;
+    Count useCounter_ = 0;
+    Count writesIn_ = 0;
+    Count merges_ = 0;
+    Count evictions_ = 0;
+    Count fetchFlushes_ = 0;
+};
+
+} // namespace jcache::core
+
+#endif // JCACHE_CORE_WRITE_CACHE_HH

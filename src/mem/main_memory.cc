@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Implementation of MainMemory.
+ */
+
+#include "mem/main_memory.hh"
+
+namespace jcache::mem
+{
+
+void
+MainMemory::account(unsigned n)
+{
+    ++transactions_;
+    bytes_ += n;
+    busyCycles_ += accessCycles_;
+}
+
+void
+MainMemory::fetchLine(Addr, unsigned bytes)
+{
+    account(bytes);
+}
+
+void
+MainMemory::writeThrough(Addr, unsigned bytes)
+{
+    account(bytes);
+}
+
+void
+MainMemory::writeBack(Addr, unsigned, unsigned dirty_bytes, bool)
+{
+    account(dirty_bytes);
+}
+
+void
+MainMemory::reset()
+{
+    transactions_ = 0;
+    bytes_ = 0;
+    busyCycles_ = 0;
+}
+
+} // namespace jcache::mem

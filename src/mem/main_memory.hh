@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MainMemory: the terminal level of the hierarchy.
+ *
+ * Accepts every operation and keeps simple totals plus a fixed-latency
+ * timing model, so multi-level stacks have a concrete bottom and
+ * examples can report memory-side totals.
+ */
+
+#ifndef JCACHE_MEM_MAIN_MEMORY_HH
+#define JCACHE_MEM_MAIN_MEMORY_HH
+
+#include "mem/mem_level.hh"
+
+namespace jcache::mem
+{
+
+/**
+ * Terminal memory level with fixed access latency.
+ */
+class MainMemory : public MemLevel
+{
+  public:
+    /** @param access_cycles latency charged per transaction. */
+    explicit MainMemory(Cycles access_cycles = 20)
+        : accessCycles_(access_cycles)
+    {}
+
+    void fetchLine(Addr addr, unsigned bytes) override;
+    void writeThrough(Addr addr, unsigned bytes) override;
+    void writeBack(Addr addr, unsigned line_bytes, unsigned dirty_bytes,
+                   bool is_flush) override;
+
+    /** Total transactions of any kind. */
+    Count transactions() const { return transactions_; }
+
+    /** Total bytes moved in either direction. */
+    Count bytes() const { return bytes_; }
+
+    /** Total cycles spent servicing transactions. */
+    Cycles busyCycles() const { return busyCycles_; }
+
+    void reset();
+
+  private:
+    void account(unsigned bytes);
+
+    Cycles accessCycles_;
+    Count transactions_ = 0;
+    Count bytes_ = 0;
+    Cycles busyCycles_ = 0;
+};
+
+} // namespace jcache::mem
+
+#endif // JCACHE_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Anchor for the MemLevel vtable.
+ */
+
+#include "mem/mem_level.hh"
+
+namespace jcache::mem
+{
+
+// MemLevel is a pure interface; this translation unit exists so the
+// vtable and type info have a home and the header stays light.
+
+} // namespace jcache::mem

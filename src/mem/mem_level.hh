@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The interface between a cache and the next lower level of the
+ * memory hierarchy.
+ *
+ * The paper characterizes the traffic "out the back" of the first-level
+ * data cache in three categories (Section 5): line fetches (read misses
+ * and fetch-on-write), written-through data, and dirty victims.
+ * MemLevel exposes exactly those three operations; anything that can
+ * sit below a cache (main memory, a second-level cache, a traffic
+ * meter) implements it.
+ */
+
+#ifndef JCACHE_MEM_MEM_LEVEL_HH
+#define JCACHE_MEM_MEM_LEVEL_HH
+
+#include "util/types.hh"
+
+namespace jcache::mem
+{
+
+/**
+ * Abstract next-lower level of the memory hierarchy.
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Fetch a full cache line.
+     *
+     * @param addr   line-aligned address.
+     * @param bytes  line size in bytes.
+     */
+    virtual void fetchLine(Addr addr, unsigned bytes) = 0;
+
+    /**
+     * A write passed through to this level (write-through stores,
+     * write-around and write-invalidate misses).
+     *
+     * @param addr   address of the written data.
+     * @param bytes  size of the write in bytes.
+     */
+    virtual void writeThrough(Addr addr, unsigned bytes) = 0;
+
+    /**
+     * A dirty victim written back from the cache above.
+     *
+     * @param addr        line-aligned victim address.
+     * @param line_bytes  full line size in bytes.
+     * @param dirty_bytes number of bytes actually dirty in the victim
+     *                    (what a subblock-dirty-bit write-back port
+     *                    would transfer; a whole-line port transfers
+     *                    line_bytes).
+     * @param is_flush    true when the write-back comes from an
+     *                    explicit flush (flush-stop accounting) rather
+     *                    than a replacement during execution.
+     */
+    virtual void writeBack(Addr addr, unsigned line_bytes,
+                           unsigned dirty_bytes,
+                           bool is_flush = false) = 0;
+};
+
+} // namespace jcache::mem
+
+#endif // JCACHE_MEM_MEM_LEVEL_HH

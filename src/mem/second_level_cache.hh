@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SecondLevelCache: a DataCache adapted to the MemLevel interface.
+ *
+ * The paper assumes "two or more levels of caching" (Section 1); the
+ * figures measure the first level, but examples and multi-level tests
+ * want a real L2 behind it.  This adapter turns the first-level
+ * cache's back-side operations into accesses on an internal DataCache:
+ * a line fetch becomes a read, written-through data and write-backs
+ * become writes.
+ */
+
+#ifndef JCACHE_MEM_SECOND_LEVEL_CACHE_HH
+#define JCACHE_MEM_SECOND_LEVEL_CACHE_HH
+
+#include "core/data_cache.hh"
+#include "mem/mem_level.hh"
+
+namespace jcache::mem
+{
+
+/**
+ * A second-level cache built from a DataCache.
+ */
+class SecondLevelCache : public MemLevel
+{
+  public:
+    /**
+     * @param config L2 configuration (size, line, policies).
+     * @param next   the level below the L2 (e.g. MainMemory).
+     */
+    SecondLevelCache(const core::CacheConfig& config, MemLevel& next)
+        : cache_(config, next)
+    {}
+
+    void fetchLine(Addr addr, unsigned bytes) override;
+    void writeThrough(Addr addr, unsigned bytes) override;
+    void writeBack(Addr addr, unsigned line_bytes, unsigned dirty_bytes,
+                   bool is_flush) override;
+
+    /** Drain the L2's own dirty lines. */
+    void flush() { cache_.flush(); }
+
+    const core::CacheStats& stats() const { return cache_.stats(); }
+    const core::DataCache& cache() const { return cache_; }
+
+  private:
+    core::DataCache cache_;
+};
+
+} // namespace jcache::mem
+
+#endif // JCACHE_MEM_SECOND_LEVEL_CACHE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Implementation of TrafficMeter.
+ */
+
+#include "mem/traffic_meter.hh"
+
+namespace jcache::mem
+{
+
+void
+TrafficMeter::fetchLine(Addr addr, unsigned bytes)
+{
+    fetches_.add(bytes);
+    if (next_)
+        next_->fetchLine(addr, bytes);
+}
+
+void
+TrafficMeter::writeThrough(Addr addr, unsigned bytes)
+{
+    writeThroughs_.add(bytes);
+    if (next_)
+        next_->writeThrough(addr, bytes);
+}
+
+void
+TrafficMeter::writeBack(Addr addr, unsigned line_bytes,
+                        unsigned dirty_bytes, bool is_flush)
+{
+    if (is_flush) {
+        flushBacks_.add(dirty_bytes);
+    } else {
+        writeBacks_.add(dirty_bytes);
+        wbWholeLineBytes_ += line_bytes;
+    }
+    if (next_)
+        next_->writeBack(addr, line_bytes, dirty_bytes, is_flush);
+}
+
+Count
+TrafficMeter::totalTransactions() const
+{
+    return fetches_.transactions + writeThroughs_.transactions +
+           writeBacks_.transactions;
+}
+
+Count
+TrafficMeter::totalBytes() const
+{
+    return fetches_.bytes + writeThroughs_.bytes + writeBacks_.bytes;
+}
+
+void
+TrafficMeter::reset()
+{
+    fetches_.reset();
+    writeThroughs_.reset();
+    writeBacks_.reset();
+    flushBacks_.reset();
+    wbWholeLineBytes_ = 0;
+}
+
+} // namespace jcache::mem

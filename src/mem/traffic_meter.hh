@@ -1,0 +1,85 @@
+/**
+ * @file
+ * TrafficMeter: back-side traffic accounting (paper Section 5).
+ *
+ * Sits between a cache and its next level, counting transactions and
+ * bytes in each of the paper's categories — fetches, write-throughs,
+ * execution write-backs, and flush write-backs — then forwards the
+ * operation downstream.  Figures 18/19 are transactions per
+ * instruction from these counters; Section 5.2's byte analysis uses
+ * the byte totals.
+ */
+
+#ifndef JCACHE_MEM_TRAFFIC_METER_HH
+#define JCACHE_MEM_TRAFFIC_METER_HH
+
+#include "mem/mem_level.hh"
+
+namespace jcache::mem
+{
+
+/**
+ * Transaction/byte counters for one traffic category.
+ */
+struct TrafficClass
+{
+    Count transactions = 0;
+    Count bytes = 0;
+
+    void add(unsigned n) { ++transactions; bytes += n; }
+    void reset() { transactions = 0; bytes = 0; }
+};
+
+/**
+ * Pass-through traffic monitor.
+ */
+class TrafficMeter : public MemLevel
+{
+  public:
+    /** @param next downstream level; may be null (sink). */
+    explicit TrafficMeter(MemLevel* next = nullptr) : next_(next) {}
+
+    void fetchLine(Addr addr, unsigned bytes) override;
+    void writeThrough(Addr addr, unsigned bytes) override;
+    void writeBack(Addr addr, unsigned line_bytes, unsigned dirty_bytes,
+                   bool is_flush) override;
+
+    /** Line fetches: read misses plus fetch-on-write fetches. */
+    const TrafficClass& fetches() const { return fetches_; }
+
+    /** Stores written through (incl. write-around/invalidate). */
+    const TrafficClass& writeThroughs() const { return writeThroughs_; }
+
+    /** Dirty victims replaced during execution (cold stop). */
+    const TrafficClass& writeBacks() const { return writeBacks_; }
+
+    /** Dirty lines drained by an explicit flush (flush stop extra). */
+    const TrafficClass& flushBacks() const { return flushBacks_; }
+
+    /**
+     * Bytes the write-back port would move with whole-line write-backs
+     * (dirty victims * line size), for comparing against the
+     * subblock-dirty-bit byte counts in writeBacks().bytes.
+     */
+    Count writeBackWholeLineBytes() const { return wbWholeLineBytes_; }
+
+    /** All transactions, excluding flush traffic (cold stop). */
+    Count totalTransactions() const;
+
+    /** All bytes, excluding flush traffic (cold stop). */
+    Count totalBytes() const;
+
+    void reset();
+
+  private:
+    MemLevel* next_;
+    TrafficClass fetches_;
+    TrafficClass writeThroughs_;
+    TrafficClass writeBacks_;
+    TrafficClass flushBacks_;
+    Count wbWholeLineBytes_ = 0;
+};
+
+} // namespace jcache::mem
+
+#endif // JCACHE_MEM_TRAFFIC_METER_HH

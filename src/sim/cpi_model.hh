@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CPI model: turn a replay's event counts into cycles per
+ * instruction, the quantity the paper's tradeoffs ultimately serve.
+ *
+ * The paper argues policies through traffic and miss counts but
+ * frames the stakes in CPI terms (Section 3.2: "write buffer stalls
+ * should be well under 0.1 CPI"; Section 4: fetch latency is what
+ * write-miss policies avoid).  CpiModel composes those pieces:
+ *
+ *   CPI = 1 (base)
+ *       + fetch penalty x line fetches / instr
+ *       + store-scheme overhead (Figure 3/4 model)
+ *       + write stalls (write buffer or dirty-victim buffer timing)
+ *
+ * so whole organizations — not just miss counts — can be compared.
+ */
+
+#ifndef JCACHE_SIM_CPI_MODEL_HH
+#define JCACHE_SIM_CPI_MODEL_HH
+
+#include "core/config.hh"
+#include "core/store_pipeline.hh"
+#include "core/write_buffer.hh"
+#include "sim/run.hh"
+#include "trace/trace.hh"
+
+namespace jcache::sim
+{
+
+/** Latency parameters of the level below the L1. */
+struct CpiParams
+{
+    /** Cycles to fetch a line from the next level (miss penalty). */
+    Cycles fetchPenalty = 12;
+
+    /** Write buffer used by write-through organizations. */
+    core::WriteBufferConfig writeBuffer = {4, 16, 6};
+
+    /** Dirty-victim drain time for write-back organizations. */
+    Cycles victimDrain = 12;
+
+    /** Dirty-victim buffer entries. */
+    unsigned victimBufferEntries = 1;
+
+    /** Store pipelining scheme (Figure 3/4). */
+    core::StoreScheme storeScheme =
+        core::StoreScheme::WriteThroughDirect;
+};
+
+/** CPI decomposition of one organization on one trace. */
+struct CpiBreakdown
+{
+    double base = 1.0;
+    double fetchStall = 0.0;    //!< miss fetches
+    double storeOverhead = 0.0; //!< pipeline scheme (Figures 3/4)
+    double writeStall = 0.0;    //!< write buffer / victim buffer
+
+    double total() const
+    {
+        return base + fetchStall + storeOverhead + writeStall;
+    }
+};
+
+/**
+ * Evaluate a cache organization's CPI on a trace.
+ *
+ * Replays the trace twice: once through the cache model for event
+ * counts, once through the write-path timing models for stalls.
+ */
+CpiBreakdown evaluateCpi(const trace::Trace& trace,
+                         const core::CacheConfig& config,
+                         const CpiParams& params = {});
+
+} // namespace jcache::sim
+
+#endif // JCACHE_SIM_CPI_MODEL_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * One function per paper figure/table: each returns the figure's data
+ * (per-benchmark series plus the six-benchmark average) so the same
+ * computation is unit-tested and pretty-printed by the bench binaries.
+ */
+
+#ifndef JCACHE_SIM_EXPERIMENTS_HH
+#define JCACHE_SIM_EXPERIMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "sim/run.hh"
+#include "sim/sweeps.hh"
+#include "trace/summary.hh"
+
+namespace jcache::sim
+{
+
+/** One plotted line: a label and a value per x position. */
+struct Series
+{
+    std::string label;
+    std::vector<double> values;
+};
+
+/** One figure: x-axis labels and a set of series. */
+struct FigureData
+{
+    std::string title;
+    std::string xAxis;
+    std::vector<std::string> xLabels;
+    std::vector<Series> series;
+
+    /** Series by label; throws FatalError if missing. */
+    const Series& get(const std::string& label) const;
+};
+
+/** Append an "average" series (arithmetic mean across series). */
+void appendAverage(FigureData& figure);
+
+/**
+ * Figure 1: percent of writes to already-dirty lines vs line size,
+ * 8KB write-back caches.
+ */
+FigureData figure1WritesToDirtyVsLineSize(const TraceSet& traces);
+
+/**
+ * Figure 2: percent of writes to already-dirty lines vs cache size,
+ * 16B lines.
+ */
+FigureData figure2WritesToDirtyVsCacheSize(const TraceSet& traces);
+
+/**
+ * Figures 3/4 (quantified): store cycle overhead of the three store
+ * pipelining schemes on an 8KB/16B cache.  One series per scheme; x =
+ * benchmark.
+ */
+FigureData storePipelineComparison(const TraceSet& traces);
+
+/**
+ * Figure 5: coalescing write buffer — percent of writes merged and
+ * stall CPI vs cycles per write retirement, eight 16B entries,
+ * averaged over the six benchmarks.  Also includes the paper's
+ * reference line: percent merged by a 6-entry write cache.
+ */
+FigureData figure5WriteBufferSweep(const TraceSet& traces);
+
+/**
+ * Figure 7: cumulative percent of all writes removed by a write cache
+ * vs number of 8B entries.
+ */
+FigureData figure7WriteCacheAbsolute(const TraceSet& traces);
+
+/**
+ * Figure 8: percent of writes removed relative to those removed by a
+ * 4KB direct-mapped write-back cache.
+ */
+FigureData figure8WriteCacheRelative(const TraceSet& traces);
+
+/**
+ * Figure 9: relative traffic reduction of 1/5/15-entry write caches
+ * vs the comparison write-back cache size (1KB-64KB); averaged over
+ * benchmarks.
+ */
+FigureData figure9WriteCacheVsWbSize(const TraceSet& traces);
+
+/**
+ * Figure 10: write misses as a percent of all misses vs cache size
+ * (16B lines, fetch-on-write).
+ */
+FigureData figure10WriteMissShareVsCacheSize(const TraceSet& traces);
+
+/** Figure 11: write-miss share vs line size (8KB caches). */
+FigureData figure11WriteMissShareVsLineSize(const TraceSet& traces);
+
+/**
+ * Figures 13-16: miss-rate reductions of write-validate, write-around
+ * and write-invalidate relative to fetch-on-write.
+ *
+ * The reduction definitions follow the paper: the change in total
+ * counted misses (line fetches) is expressed relative to the
+ * fetch-on-write write-miss count (Figures 13/15) or total-miss count
+ * (Figures 14/16) — so Figure 14 is "basically Figure 13 multiplied
+ * by Figure 10".  Returns one FigureData per policy, in the order
+ * {write-validate, write-around, write-invalidate}.
+ */
+std::vector<FigureData>
+figure13WriteMissReductionVsCacheSize(const TraceSet& traces);
+std::vector<FigureData>
+figure14TotalMissReductionVsCacheSize(const TraceSet& traces);
+std::vector<FigureData>
+figure15WriteMissReductionVsLineSize(const TraceSet& traces);
+std::vector<FigureData>
+figure16TotalMissReductionVsLineSize(const TraceSet& traces);
+
+/**
+ * Figure 17: the partial order of fetch traffic.  Returns true when,
+ * for every benchmark, lines fetched obey
+ *   write-validate <= write-invalidate <= fetch-on-write and
+ *   write-around   <= write-invalidate,
+ * for the given geometry.  `violations` (optional) collects
+ * human-readable descriptions of any failures.
+ */
+bool verifyFigure17PartialOrder(const TraceSet& traces,
+                                Count cache_size, unsigned line_bytes,
+                                std::vector<std::string>* violations =
+                                    nullptr);
+
+/**
+ * Figure 18: back-side transactions per instruction vs cache size
+ * (16B lines): series write-through, write-back, write misses, read
+ * misses; averaged over benchmarks.
+ */
+FigureData figure18TrafficVsCacheSize(const TraceSet& traces);
+
+/** Figure 19: back-side transactions per instruction vs line size. */
+FigureData figure19TrafficVsLineSize(const TraceSet& traces);
+
+/** Figures 20-22: dirty-victim statistics vs cache size, 16B lines. */
+FigureData figure20VictimsDirtyVsCacheSize(const TraceSet& traces,
+                                           bool flush_stop);
+FigureData figure21BytesDirtyInDirtyVictimVsCacheSize(
+    const TraceSet& traces, bool flush_stop);
+FigureData figure22BytesDirtyPerVictimVsCacheSize(
+    const TraceSet& traces);
+
+/** Figures 23-25: dirty-victim statistics vs line size, 8KB caches. */
+FigureData figure23VictimsDirtyVsLineSize(const TraceSet& traces,
+                                          bool flush_stop);
+FigureData figure24BytesDirtyInDirtyVictimVsLineSize(
+    const TraceSet& traces, bool flush_stop);
+FigureData figure25BytesDirtyPerVictimVsLineSize(
+    const TraceSet& traces);
+
+/** Table 1: per-benchmark trace characteristics. */
+std::vector<std::pair<std::string, trace::TraceSummary>>
+table1Characteristics(const TraceSet& traces);
+
+} // namespace jcache::sim
+
+#endif // JCACHE_SIM_EXPERIMENTS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Implementation of the trace replay driver and derived metrics.
+ */
+
+#include "sim/run.hh"
+
+#include "mem/main_memory.hh"
+#include "stats/counter.hh"
+
+namespace jcache::sim
+{
+
+double
+RunResult::transactionsPerInstruction() const
+{
+    Count txns = fetchTraffic.transactions +
+                 writeThroughTraffic.transactions +
+                 writeBackTraffic.transactions;
+    return stats::ratio(txns, instructions);
+}
+
+double
+RunResult::percentWritesToDirtyLines() const
+{
+    return stats::percent(cache.writesToDirtyLines, cache.writes);
+}
+
+double
+RunResult::percentWriteMissesOfAllMisses() const
+{
+    return stats::percent(cache.writeMissFetches,
+                          cache.countedMisses());
+}
+
+double
+RunResult::percentVictimsDirty(bool flush_stop) const
+{
+    if (!flush_stop)
+        return stats::percent(cache.dirtyVictims, cache.victims);
+    return stats::percent(cache.dirtyVictims + cache.flushedDirtyLines,
+                          cache.victims + cache.flushedValidLines);
+}
+
+double
+RunResult::percentBytesDirtyInDirtyVictims(bool flush_stop) const
+{
+    Count line = config.lineBytes;
+    if (!flush_stop) {
+        return stats::percent(cache.dirtyVictimDirtyBytes,
+                              cache.dirtyVictims * line);
+    }
+    return stats::percent(
+        cache.dirtyVictimDirtyBytes + cache.flushedDirtyBytes,
+        (cache.dirtyVictims + cache.flushedDirtyLines) * line);
+}
+
+double
+RunResult::percentBytesDirtyPerVictim(bool flush_stop) const
+{
+    Count line = config.lineBytes;
+    if (!flush_stop) {
+        return stats::percent(cache.dirtyVictimDirtyBytes,
+                              cache.victims * line);
+    }
+    return stats::percent(
+        cache.dirtyVictimDirtyBytes + cache.flushedDirtyBytes,
+        (cache.victims + cache.flushedValidLines) * line);
+}
+
+RunResult
+runTrace(const trace::Trace& trace, const core::CacheConfig& config,
+         bool flush_at_end)
+{
+    mem::MainMemory memory(0);
+    mem::TrafficMeter meter(&memory);
+    core::DataCache cache(config, meter);
+
+    Count instructions = 0;
+    for (const trace::TraceRecord& record : trace) {
+        instructions += record.instrDelta;
+        cache.access(record);
+    }
+    if (flush_at_end)
+        cache.flush();
+
+    RunResult result;
+    result.config = config;
+    result.cache = cache.stats();
+    result.fetchTraffic = meter.fetches();
+    result.writeThroughTraffic = meter.writeThroughs();
+    result.writeBackTraffic = meter.writeBacks();
+    result.flushTraffic = meter.flushBacks();
+    result.instructions = instructions;
+    return result;
+}
+
+} // namespace jcache::sim

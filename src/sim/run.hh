@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace replay driver: one trace through one cache configuration.
+ */
+
+#ifndef JCACHE_SIM_RUN_HH
+#define JCACHE_SIM_RUN_HH
+
+#include "core/config.hh"
+#include "core/data_cache.hh"
+#include "mem/traffic_meter.hh"
+#include "trace/trace.hh"
+
+namespace jcache::sim
+{
+
+/** Everything measured by one replay. */
+struct RunResult
+{
+    core::CacheConfig config;
+    core::CacheStats cache;
+
+    /** Back-side traffic (fetch / write-through / write-back). */
+    mem::TrafficClass fetchTraffic;
+    mem::TrafficClass writeThroughTraffic;
+    mem::TrafficClass writeBackTraffic;
+    mem::TrafficClass flushTraffic;
+
+    Count instructions = 0;
+
+    /** Back-side transactions per instruction, cold stop. */
+    double transactionsPerInstruction() const;
+
+    /** Percent of all writes landing on an already-dirty line. */
+    double percentWritesToDirtyLines() const;
+
+    /** Write misses as a percent of all counted misses. */
+    double percentWriteMissesOfAllMisses() const;
+
+    /** Percent of victims dirty; cold stop or flush stop. */
+    double percentVictimsDirty(bool flush_stop) const;
+
+    /** Percent of bytes dirty within dirty victims. */
+    double percentBytesDirtyInDirtyVictims(bool flush_stop) const;
+
+    /** Percent of bytes dirty averaged over all victims. */
+    double percentBytesDirtyPerVictim(bool flush_stop) const;
+};
+
+/**
+ * Replay a trace through a cache built from `config`, backed by a
+ * traffic meter and main memory.
+ *
+ * @param trace        the reference stream.
+ * @param config       cache configuration.
+ * @param flush_at_end drain dirty lines afterwards so flush-stop
+ *                     statistics are available (cold-stop numbers are
+ *                     unaffected either way).
+ */
+RunResult runTrace(const trace::Trace& trace,
+                   const core::CacheConfig& config,
+                   bool flush_at_end = true);
+
+} // namespace jcache::sim
+
+#endif // JCACHE_SIM_RUN_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Implementation of sweep axes and the shared trace set.
+ */
+
+#include "sim/sweeps.hh"
+
+#include "util/logging.hh"
+
+namespace jcache::sim
+{
+
+std::vector<Count>
+standardCacheSizes()
+{
+    std::vector<Count> sizes;
+    for (Count kb = 1; kb <= 128; kb *= 2)
+        sizes.push_back(kb * 1024);
+    return sizes;
+}
+
+std::vector<unsigned>
+standardLineSizes()
+{
+    return {4, 8, 16, 32, 64};
+}
+
+TraceSet::TraceSet(const workloads::WorkloadConfig& config)
+{
+    for (const auto& workload : workloads::makeAllWorkloads(config))
+        traces_.push_back(workloads::generateTrace(*workload));
+}
+
+const trace::Trace&
+TraceSet::get(const std::string& name) const
+{
+    for (const trace::Trace& t : traces_) {
+        if (t.name() == name)
+            return t;
+    }
+    fatal("no trace named " + name);
+}
+
+const TraceSet&
+TraceSet::standard()
+{
+    static const TraceSet instance;
+    return instance;
+}
+
+} // namespace jcache::sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sweep axes and the shared trace set.
+ *
+ * The paper sweeps two axes: cache size 1KB-128KB at 16B lines, and
+ * line size 4B-64B at 8KB.  TraceSet generates the six benchmark
+ * traces once and shares them across every experiment in a process
+ * (trace generation costs far more than a replay).
+ */
+
+#ifndef JCACHE_SIM_SWEEPS_HH
+#define JCACHE_SIM_SWEEPS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace jcache::sim
+{
+
+/** 1KB..128KB, the paper's cache-size axis (Figures 2, 10, 13, ...). */
+std::vector<Count> standardCacheSizes();
+
+/** 4B..64B, the paper's line-size axis (Figures 1, 11, 15, ...). */
+std::vector<unsigned> standardLineSizes();
+
+/**
+ * The six benchmark traces, generated once.
+ */
+class TraceSet
+{
+  public:
+    explicit TraceSet(const workloads::WorkloadConfig& config = {});
+
+    const std::vector<trace::Trace>& traces() const { return traces_; }
+
+    /** Trace by benchmark name; throws FatalError if unknown. */
+    const trace::Trace& get(const std::string& name) const;
+
+    std::size_t size() const { return traces_.size(); }
+
+    /**
+     * Process-wide shared instance at scale 1.  Benches and tests use
+     * this so the traces are generated exactly once per binary.
+     */
+    static const TraceSet& standard();
+
+  private:
+    std::vector<trace::Trace> traces_;
+};
+
+} // namespace jcache::sim
+
+#endif // JCACHE_SIM_SWEEPS_HH

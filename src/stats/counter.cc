@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Ratio helpers for turning raw counts into figure data.
+ */
+
+#include "stats/counter.hh"
+
+namespace jcache::stats
+{
+
+double
+ratio(Count numerator, Count denominator)
+{
+    if (denominator == 0)
+        return 0.0;
+    return static_cast<double>(numerator) /
+           static_cast<double>(denominator);
+}
+
+double
+percent(Count numerator, Count denominator)
+{
+    return 100.0 * ratio(numerator, denominator);
+}
+
+double
+percentReduction(Count baseline, Count value)
+{
+    if (baseline == 0)
+        return 0.0;
+    return 100.0 * (static_cast<double>(baseline) -
+                    static_cast<double>(value)) /
+           static_cast<double>(baseline);
+}
+
+} // namespace jcache::stats

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simple named statistics counters and ratio helpers.
+ *
+ * The cache models expose their statistics as plain Count members for
+ * speed; Counter/Ratio are the presentation-side helpers the experiment
+ * layer uses to turn those raw counts into the percentages the paper's
+ * figures plot.
+ */
+
+#ifndef JCACHE_STATS_COUNTER_HH
+#define JCACHE_STATS_COUNTER_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace jcache::stats
+{
+
+/**
+ * A named monotonically increasing event counter.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    /** Add n events (default one). */
+    void add(Count n = 1) { value_ += n; }
+
+    Count value() const { return value_; }
+    const std::string& name() const { return name_; }
+
+    /** Reset to zero (used when re-running a config). */
+    void reset() { value_ = 0; }
+
+    Counter& operator+=(Count n) { value_ += n; return *this; }
+    Counter& operator++() { ++value_; return *this; }
+
+  private:
+    std::string name_;
+    Count value_ = 0;
+};
+
+/**
+ * numerator/denominator as a fraction in [0, inf); 0 if the denominator
+ * is zero.  All of the paper's percentages go through this.
+ */
+double ratio(Count numerator, Count denominator);
+
+/** ratio() scaled to percent. */
+double percent(Count numerator, Count denominator);
+
+/**
+ * Percent reduction of `value` relative to `baseline`:
+ * 100 * (baseline - value) / baseline.  May exceed 100 when the
+ * alternative removes more events than the baseline had (the paper's
+ * Figure 13 shows >100% for liver), and may be negative when the
+ * alternative is worse.  0 if baseline is zero.
+ */
+double percentReduction(Count baseline, Count value);
+
+} // namespace jcache::stats
+
+#endif // JCACHE_STATS_COUNTER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Implementation of the CSV writer.
+ */
+
+#include "stats/csv.hh"
+
+#include <sstream>
+
+namespace jcache::stats
+{
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(fields[i]);
+    }
+    os_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::string& label,
+                    const std::vector<double>& values)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size() + 1);
+    fields.push_back(label);
+    for (double v : values) {
+        std::ostringstream oss;
+        oss << v;
+        fields.push_back(oss.str());
+    }
+    writeRow(fields);
+}
+
+std::string
+CsvWriter::escape(const std::string& field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n\r") !=
+                        std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace jcache::stats

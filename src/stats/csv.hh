@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal CSV emission for bench results.
+ *
+ * Every bench binary can mirror its table to a CSV file so figure data
+ * can be re-plotted without re-running the simulation.  Quoting follows
+ * RFC 4180: fields containing commas, quotes or newlines are quoted and
+ * embedded quotes doubled.
+ */
+
+#ifndef JCACHE_STATS_CSV_HH
+#define JCACHE_STATS_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jcache::stats
+{
+
+/**
+ * Streaming CSV writer over an externally owned ostream.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+    /** Write one row of raw string fields. */
+    void writeRow(const std::vector<std::string>& fields);
+
+    /** Write a label followed by numeric fields. */
+    void writeRow(const std::string& label,
+                  const std::vector<double>& values);
+
+    /** Escape a single field per RFC 4180. */
+    static std::string escape(const std::string& field);
+
+  private:
+    std::ostream& os_;
+};
+
+} // namespace jcache::stats
+
+#endif // JCACHE_STATS_CSV_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Implementation of RunningStat and Histogram.
+ */
+
+#include "stats/distribution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace jcache::stats
+{
+
+void
+RunningStat::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    sum_ += sample;
+    double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    Count n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double nd = static_cast<double>(n);
+    m2_ = m2_ + other.m2_ + delta * delta * na * nb / nd;
+    mean_ = (na * mean_ + nb * other.mean_) / nd;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
+Histogram::Histogram(std::size_t bins, double bin_width)
+    : buckets_(bins, 0), binWidth_(bin_width)
+{
+    fatalIf(bins == 0, "Histogram needs at least one bin");
+    fatalIf(bin_width <= 0.0, "Histogram bin width must be positive");
+}
+
+void
+Histogram::add(double sample)
+{
+    auto index = sample <= 0.0
+        ? std::size_t{0}
+        : static_cast<std::size_t>(sample / binWidth_);
+    if (index >= buckets_.size())
+        index = buckets_.size() - 1;
+    ++buckets_[index];
+    ++total_;
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(buckets_.at(i)) /
+           static_cast<double>(total_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+}
+
+} // namespace jcache::stats

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Running-statistics accumulators.
+ *
+ * RunningStat tracks count/mean/min/max/variance of a stream of samples
+ * (Welford's algorithm).  Histogram buckets integer samples into
+ * fixed-width bins.  The dirty-victim figures (20-25) are averages over
+ * per-victim samples, which these classes accumulate.
+ */
+
+#ifndef JCACHE_STATS_DISTRIBUTION_HH
+#define JCACHE_STATS_DISTRIBUTION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace jcache::stats
+{
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    Count count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat& other);
+
+    void reset() { *this = RunningStat(); }
+
+  private:
+    Count count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bin histogram over [0, bins*binWidth); samples beyond the top
+ * bin clamp into it.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bins       number of buckets (must be > 0).
+     * @param bin_width  width of each bucket (must be > 0).
+     */
+    Histogram(std::size_t bins, double bin_width);
+
+    void add(double sample);
+
+    Count total() const { return total_; }
+    Count bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t bins() const { return buckets_.size(); }
+    double binWidth() const { return binWidth_; }
+
+    /** Fraction of samples in bucket i (0 if empty histogram). */
+    double fraction(std::size_t i) const;
+
+    void reset();
+
+  private:
+    std::vector<Count> buckets_;
+    double binWidth_;
+    Count total_ = 0;
+};
+
+} // namespace jcache::stats
+
+#endif // JCACHE_STATS_DISTRIBUTION_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Implementation of TextTable rendering.
+ */
+
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace jcache::stats
+{
+
+TextTable::TextTable(std::string title) : title_(std::move(title))
+{}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    fatalIf(!header_.empty() && row.size() != header_.size(),
+            "TextTable row width does not match header");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRow(const std::string& label,
+                  const std::vector<double>& values, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatFixed(v, precision));
+    addRow(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::size_t columns = header_.size();
+    for (const auto& row : rows_)
+        columns = std::max(columns, row.size());
+
+    std::vector<std::size_t> widths(columns, 0);
+    auto measure = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto& row : rows_)
+        measure(row);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    auto rule = [&]() { os << std::string(total, '-') << '\n'; };
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[c])) << row[c]
+               << "  ";
+        }
+        os << '\n';
+    };
+
+    os << title_ << '\n';
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end()) {
+            rule();
+        }
+        emit(rows_[r]);
+    }
+    rule();
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatSize(std::uint64_t bytes)
+{
+    std::ostringstream oss;
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+        oss << bytes / (1024 * 1024) << "MB";
+    else if (bytes >= 1024 && bytes % 1024 == 0)
+        oss << bytes / 1024 << "KB";
+    else
+        oss << bytes << "B";
+    return oss.str();
+}
+
+} // namespace jcache::stats

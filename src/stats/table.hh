@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Text-table formatting for bench output.
+ *
+ * Every bench binary prints the rows/series of one paper figure or
+ * table.  TextTable right-aligns numeric columns and left-aligns the
+ * first (label) column, mirroring the row-per-series layout the paper
+ * uses, so the shape of a figure can be read directly off the terminal.
+ */
+
+#ifndef JCACHE_STATS_TABLE_HH
+#define JCACHE_STATS_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jcache::stats
+{
+
+/**
+ * A simple column-aligned text table.
+ */
+class TextTable
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TextTable(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a fully formatted row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /**
+     * Convenience: label plus numeric cells formatted with fixed
+     * precision.
+     */
+    void addRow(const std::string& label,
+                const std::vector<double>& values, int precision = 1);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the table. */
+    void print(std::ostream& os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatFixed(double value, int precision);
+
+/** Format a byte count as "1KB", "16B", "128KB" like the paper's axes. */
+std::string formatSize(std::uint64_t bytes);
+
+} // namespace jcache::stats
+
+#endif // JCACHE_STATS_TABLE_HH

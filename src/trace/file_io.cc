@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Implementation of the binary trace file format.
+ */
+
+#include "trace/file_io.hh"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace jcache::trace
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> kMagic = {'J', 'C', 'T', 'R'};
+constexpr std::array<char, 4> kMagicCompressed = {'J', 'C', 'T', 'Z'};
+
+template <typename T>
+void
+putLe(std::ostream& os, T value)
+{
+    for (unsigned i = 0; i < sizeof(T); ++i) {
+        char byte = static_cast<char>((value >> (8 * i)) & 0xff);
+        os.put(byte);
+    }
+}
+
+template <typename T>
+T
+getLe(std::istream& is)
+{
+    T value = 0;
+    for (unsigned i = 0; i < sizeof(T); ++i) {
+        int byte = is.get();
+        if (byte == std::char_traits<char>::eof())
+            fatal("trace file truncated");
+        value |= static_cast<T>(static_cast<std::uint8_t>(byte))
+                 << (8 * i);
+    }
+    return value;
+}
+
+/** LEB128-style unsigned varint. */
+void
+putVarint(std::ostream& os, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        os.put(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    os.put(static_cast<char>(value));
+}
+
+std::uint64_t
+getVarint(std::istream& is)
+{
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    while (true) {
+        int byte = is.get();
+        if (byte == std::char_traits<char>::eof())
+            fatal("trace file truncated in varint");
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            break;
+        shift += 7;
+        fatalIf(shift >= 64, "varint too long");
+    }
+    return value;
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+void
+writeHeader(std::ostream& os, const std::array<char, 4>& magic,
+            const Trace& trace)
+{
+    os.write(magic.data(), magic.size());
+    putLe<std::uint32_t>(os, kTraceFormatVersion);
+    putLe<std::uint64_t>(os, trace.size());
+    putLe<std::uint32_t>(
+        os, static_cast<std::uint32_t>(trace.name().size()));
+    os.write(trace.name().data(),
+             static_cast<std::streamsize>(trace.name().size()));
+}
+
+} // namespace
+
+void
+writeTrace(const Trace& trace, std::ostream& os)
+{
+    writeHeader(os, kMagic, trace);
+    for (const TraceRecord& r : trace) {
+        putLe<std::uint64_t>(os, r.addr);
+        putLe<std::uint32_t>(os, r.instrDelta);
+        putLe<std::uint8_t>(os, r.size);
+        putLe<std::uint8_t>(os, static_cast<std::uint8_t>(r.type));
+    }
+}
+
+void
+saveTrace(const Trace& trace, const std::string& path)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    fatalIf(!ofs, "cannot open trace file for writing: " + path);
+    writeTrace(trace, ofs);
+    ofs.flush();
+    fatalIf(!ofs, "error writing trace file: " + path);
+}
+
+void
+writeTraceCompressed(const Trace& trace, std::ostream& os)
+{
+    writeHeader(os, kMagicCompressed, trace);
+    Addr prev_addr = 0;
+    for (const TraceRecord& r : trace) {
+        unsigned size_log2 = floorLog2(r.size);
+        std::uint8_t meta = static_cast<std::uint8_t>(
+            (r.type == RefType::Write ? 1 : 0) | (size_log2 << 1));
+        os.put(static_cast<char>(meta));
+        putVarint(os, zigzag(static_cast<std::int64_t>(r.addr) -
+                             static_cast<std::int64_t>(prev_addr)));
+        putVarint(os, r.instrDelta);
+        prev_addr = r.addr;
+    }
+}
+
+void
+saveTraceCompressed(const Trace& trace, const std::string& path)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    fatalIf(!ofs, "cannot open trace file for writing: " + path);
+    writeTraceCompressed(trace, ofs);
+    ofs.flush();
+    fatalIf(!ofs, "error writing trace file: " + path);
+}
+
+Trace
+readTrace(std::istream& is)
+{
+    std::array<char, 4> magic = {};
+    is.read(magic.data(), magic.size());
+    fatalIf(!is || (magic != kMagic && magic != kMagicCompressed),
+            "not a jcache trace file");
+    bool compressed = magic == kMagicCompressed;
+
+    auto version = getLe<std::uint32_t>(is);
+    fatalIf(version != kTraceFormatVersion,
+            "unsupported trace file version " + std::to_string(version));
+
+    auto count = getLe<std::uint64_t>(is);
+    auto name_len = getLe<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    fatalIf(!is, "trace file truncated in name");
+
+    Trace trace(name);
+    trace.reserve(count);
+    Addr prev_addr = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord r;
+        if (compressed) {
+            auto meta = getLe<std::uint8_t>(is);
+            r.type = (meta & 1) ? RefType::Write : RefType::Read;
+            r.size = static_cast<std::uint8_t>(1u << ((meta >> 1) &
+                                                      0x3));
+            r.addr = static_cast<Addr>(
+                static_cast<std::int64_t>(prev_addr) +
+                unzigzag(getVarint(is)));
+            auto delta = getVarint(is);
+            fatalIf(delta > 0xffffffffull,
+                    "instruction delta out of range");
+            r.instrDelta = static_cast<std::uint32_t>(delta);
+            prev_addr = r.addr;
+        } else {
+            r.addr = getLe<std::uint64_t>(is);
+            r.instrDelta = getLe<std::uint32_t>(is);
+            r.size = getLe<std::uint8_t>(is);
+            r.type = static_cast<RefType>(getLe<std::uint8_t>(is));
+        }
+        trace.append(r);
+    }
+    validate(trace);
+    return trace;
+}
+
+Trace
+loadTrace(const std::string& path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    fatalIf(!ifs, "cannot open trace file for reading: " + path);
+    return readTrace(ifs);
+}
+
+} // namespace jcache::trace

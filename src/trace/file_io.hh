@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Binary trace file format.
+ *
+ * Traces can be saved to disk and replayed later so a workload need
+ * only be generated once.  Two layouts share a common header shape
+ * (magic | u32 version | u64 record count | u32 name length | name):
+ *
+ *  - raw ("JCTR"): fixed little-endian records of
+ *      u64 addr | u32 instrDelta | u8 size | u8 type
+ *  - compressed ("JCTZ"): per record a meta byte (type in bit 0,
+ *    log2 size in bits 1-2) followed by the zigzag-varint address
+ *    delta from the previous record and the varint instrDelta.
+ *    Data references have strong spatial locality, so deltas are
+ *    short: compressed traces are typically 4-6x smaller.
+ *
+ * loadTrace()/readTrace() auto-detect the format from the magic.
+ * Readers validate the magic, version, and every record.
+ */
+
+#ifndef JCACHE_TRACE_FILE_IO_HH
+#define JCACHE_TRACE_FILE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace jcache::trace
+{
+
+/** Current trace file format version. */
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** Serialize a trace to a stream (raw format). */
+void writeTrace(const Trace& trace, std::ostream& os);
+
+/** Serialize a trace to a file.  Throws FatalError on I/O failure. */
+void saveTrace(const Trace& trace, const std::string& path);
+
+/** Serialize a trace to a stream in the compressed format. */
+void writeTraceCompressed(const Trace& trace, std::ostream& os);
+
+/** Save a trace in the compressed format. */
+void saveTraceCompressed(const Trace& trace, const std::string& path);
+
+/**
+ * Deserialize a trace from a stream.  Throws FatalError on corrupt or
+ * mismatched input.
+ */
+Trace readTrace(std::istream& is);
+
+/** Deserialize a trace from a file.  Throws FatalError on failure. */
+Trace loadTrace(const std::string& path);
+
+} // namespace jcache::trace
+
+#endif // JCACHE_TRACE_FILE_IO_HH

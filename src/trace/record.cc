@@ -1,0 +1,25 @@
+/**
+ * @file
+ * RefType helpers.
+ */
+
+#include "trace/record.hh"
+
+#include "util/logging.hh"
+
+namespace jcache::trace
+{
+
+std::string
+refTypeName(RefType type)
+{
+    switch (type) {
+      case RefType::Read:
+        return "read";
+      case RefType::Write:
+        return "write";
+    }
+    panic("unknown RefType");
+}
+
+} // namespace jcache::trace

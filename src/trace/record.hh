@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The fundamental unit of the trace substrate: one data reference.
+ *
+ * The paper's simulator executed MultiTitan binaries and fed the data
+ * reference stream to the cache models.  Our substitute records the
+ * same information from instrumented workloads: reference type, byte
+ * address, access size, and the number of instructions executed since
+ * the previous data reference (so benches can compute per-instruction
+ * rates for Figures 18/19 and Table 1).
+ */
+
+#ifndef JCACHE_TRACE_RECORD_HH
+#define JCACHE_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace jcache::trace
+{
+
+/** Kind of data reference. */
+enum class RefType : std::uint8_t
+{
+    Read = 0,
+    Write = 1,
+};
+
+/** Human-readable name of a RefType. */
+std::string refTypeName(RefType type);
+
+/**
+ * One data reference.
+ *
+ * MultiTitan had no byte stores (byte writes became word
+ * read-modify-writes), so workloads emit 4B and 8B accesses only; the
+ * cache models nevertheless accept any power-of-two size from 1 to 8.
+ */
+struct TraceRecord
+{
+    /** Byte address of the access in the workload's address space. */
+    Addr addr = 0;
+
+    /**
+     * Instructions executed since the previous record (including the
+     * load/store instruction performing this reference).
+     */
+    std::uint32_t instrDelta = 1;
+
+    /** Access size in bytes (power of two, 1..8). */
+    std::uint8_t size = 4;
+
+    /** Read or write. */
+    RefType type = RefType::Read;
+
+    bool operator==(const TraceRecord&) const = default;
+};
+
+} // namespace jcache::trace
+
+#endif // JCACHE_TRACE_RECORD_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Implementation of TraceRecorder.
+ */
+
+#include "trace/recorder.hh"
+
+#include <utility>
+
+namespace jcache::trace
+{
+
+void
+TraceRecorder::emit(Addr addr, std::uint8_t size, RefType type)
+{
+    TraceRecord record;
+    record.addr = addr;
+    record.size = size;
+    record.type = type;
+    // The reference itself is one instruction (a load or store).
+    record.instrDelta = pendingInstr_ + 1;
+    pendingInstr_ = 0;
+    instructions_ += record.instrDelta;
+    trace_.append(record);
+}
+
+Trace
+TraceRecorder::take()
+{
+    pendingInstr_ = 0;
+    return std::move(trace_);
+}
+
+} // namespace jcache::trace

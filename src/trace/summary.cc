@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Implementation of trace summarization.
+ */
+
+#include "trace/summary.hh"
+
+#include "stats/counter.hh"
+
+namespace jcache::trace
+{
+
+double
+TraceSummary::loadStoreRatio() const
+{
+    return stats::ratio(reads, writes);
+}
+
+double
+TraceSummary::refsPerInstruction() const
+{
+    return stats::ratio(references(), instructions);
+}
+
+TraceSummary
+summarize(const Trace& trace)
+{
+    TraceSummary s;
+    for (const TraceRecord& r : trace) {
+        s.instructions += r.instrDelta;
+        if (r.type == RefType::Read) {
+            ++s.reads;
+            s.readBytes += r.size;
+        } else {
+            ++s.writes;
+            s.writeBytes += r.size;
+        }
+    }
+    return s;
+}
+
+} // namespace jcache::trace

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace summary statistics — the data behind the paper's Table 1.
+ *
+ * For each workload trace Table 1 reports dynamic instructions, data
+ * reads, data writes and total references.  TraceSummary computes the
+ * same columns plus a few derived ratios used elsewhere (loads per
+ * store, references per instruction).
+ */
+
+#ifndef JCACHE_TRACE_SUMMARY_HH
+#define JCACHE_TRACE_SUMMARY_HH
+
+#include "trace/trace.hh"
+
+namespace jcache::trace
+{
+
+/**
+ * Aggregate characteristics of a trace.
+ */
+struct TraceSummary
+{
+    Count instructions = 0;   //!< dynamic instruction count
+    Count reads = 0;          //!< data reads
+    Count writes = 0;         //!< data writes
+    Count readBytes = 0;      //!< bytes read
+    Count writeBytes = 0;     //!< bytes written
+
+    Count references() const { return reads + writes; }
+
+    /** Loads per store (paper: roughly 2.4:1 over the six programs). */
+    double loadStoreRatio() const;
+
+    /** Data references per instruction. */
+    double refsPerInstruction() const;
+};
+
+/** Compute the summary of a trace in one pass. */
+TraceSummary summarize(const Trace& trace);
+
+} // namespace jcache::trace
+
+#endif // JCACHE_TRACE_SUMMARY_HH

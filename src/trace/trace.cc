@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Trace validation.
+ */
+
+#include "trace/trace.hh"
+
+#include <string>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace jcache::trace
+{
+
+bool
+isValid(const TraceRecord& record)
+{
+    if (record.size == 0 || record.size > 8)
+        return false;
+    if (!isPowerOfTwo(record.size))
+        return false;
+    if (record.type != RefType::Read && record.type != RefType::Write)
+        return false;
+    return true;
+}
+
+void
+validate(const Trace& trace)
+{
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (!isValid(trace[i])) {
+            fatal("trace '" + trace.name() + "' record " +
+                  std::to_string(i) + " is malformed");
+        }
+    }
+}
+
+} // namespace jcache::trace

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Compile-time checks for the bitops helpers.  All functions are
+ * constexpr and defined in the header; this translation unit pins the
+ * key identities so a regression fails the build rather than a test.
+ */
+
+#include "util/bitops.hh"
+
+namespace jcache
+{
+
+static_assert(isPowerOfTwo(1) && isPowerOfTwo(4096));
+static_assert(!isPowerOfTwo(0) && !isPowerOfTwo(12));
+static_assert(floorLog2(1) == 0 && floorLog2(16) == 4 &&
+              floorLog2(17) == 4);
+static_assert(ceilLog2(16) == 4 && ceilLog2(17) == 5);
+static_assert(alignDown(0x1234, 16) == 0x1230);
+static_assert(alignUp(0x1231, 16) == 0x1240);
+static_assert(maskBits(0) == 0 && maskBits(8) == 0xff &&
+              maskBits(64) == ~std::uint64_t{0});
+static_assert(byteMaskFor(4, 4) == 0xf0);
+static_assert(popcount(0xf0) == 4);
+
+} // namespace jcache

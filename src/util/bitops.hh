@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the cache models.
+ *
+ * Cache geometry code needs exact power-of-two arithmetic: index and tag
+ * extraction, alignment, and byte masks over a line.  Everything here is
+ * constexpr so geometry errors surface in tests (and often at compile
+ * time) rather than as silent mis-indexing.
+ */
+
+#ifndef JCACHE_UTIL_BITOPS_HH
+#define JCACHE_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace jcache
+{
+
+/** Return true if x is a (non-zero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/**
+ * Floor of log base 2.
+ *
+ * @param x must be non-zero.
+ * @return the position of the highest set bit.
+ */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x | 1));
+}
+
+/** Ceiling of log base 2. @param x must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return floorLog2(x) + (isPowerOfTwo(x) ? 0u : 1u);
+}
+
+/** Align addr down to a multiple of the power-of-two size. */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t size)
+{
+    return addr & ~(size - 1);
+}
+
+/** Align addr up to a multiple of the power-of-two size. */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t size)
+{
+    return (addr + size - 1) & ~(size - 1);
+}
+
+/**
+ * A mask with `width` low bits set.  width may be 0..64.
+ */
+constexpr std::uint64_t
+maskBits(unsigned width)
+{
+    return width >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << width) - 1);
+}
+
+/**
+ * Byte mask for an access of `size` bytes at line offset `offset`.
+ *
+ * Bit i of the result corresponds to byte i of the line.  The access
+ * must fit within the line; DataCache splits straddling accesses before
+ * calling this.
+ */
+constexpr ByteMask
+byteMaskFor(unsigned offset, unsigned size)
+{
+    return maskBits(size) << offset;
+}
+
+/** Number of set bits in a byte mask. */
+constexpr unsigned
+popcount(ByteMask mask)
+{
+    return static_cast<unsigned>(std::popcount(mask));
+}
+
+} // namespace jcache
+
+#endif // JCACHE_UTIL_BITOPS_HH

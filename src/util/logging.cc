@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Implementation of the fatal()/panic() error reporters.
+ */
+
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jcache
+{
+
+void
+fatal(const std::string& message)
+{
+    throw FatalError(message);
+}
+
+void
+panic(const std::string& message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+} // namespace jcache

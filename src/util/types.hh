@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every jcache module.
+ *
+ * The simulator models a 64-bit byte-addressed memory; Addr is always a
+ * byte address.  Counts of events (references, cycles, transactions)
+ * use Count so that overflow is impossible for any realistic run.
+ */
+
+#ifndef JCACHE_UTIL_TYPES_HH
+#define JCACHE_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace jcache
+{
+
+/** A byte address in the simulated virtual address space. */
+using Addr = std::uint64_t;
+
+/** An event count (references, cycles, bytes, transactions). */
+using Count = std::uint64_t;
+
+/** A simulated-time value in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** A per-byte mask covering one cache line (lines are at most 64B). */
+using ByteMask = std::uint64_t;
+
+} // namespace jcache
+
+#endif // JCACHE_UTIL_TYPES_HH

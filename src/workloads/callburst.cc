@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Implementation of the call-burst workload.
+ */
+
+#include "workloads/callburst.hh"
+
+#include <random>
+
+#include "util/logging.hh"
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+std::string
+name(CallConvention convention)
+{
+    switch (convention) {
+      case CallConvention::GlobalAllocation:
+        return "global-allocation";
+      case CallConvention::PerCallSaves:
+        return "per-call-saves";
+      case CallConvention::RegisterWindows:
+        return "register-windows";
+    }
+    panic("unknown CallConvention");
+}
+
+std::string
+CallBurstWorkload::name() const
+{
+    return "callburst-" + workloads::name(convention_);
+}
+
+std::string
+CallBurstWorkload::description() const
+{
+    return "call-intensive synthetic, " +
+           workloads::name(convention_);
+}
+
+void
+CallBurstWorkload::run(trace::TraceRecorder& rec) const
+{
+    TracedMemory mem(rec);
+    // Call stack region (save areas grow downward like real frames)
+    // and a modest data region for the "work" between calls.
+    constexpr unsigned kMaxDepth = 64;
+    constexpr unsigned kFrameWords = 32;
+    TracedArray<std::int32_t> stack(mem, kMaxDepth * kFrameWords);
+    TracedArray<std::int32_t> data(mem, 16 * 1024);
+
+    std::mt19937_64 rng(config_.seed);
+    unsigned depth = 0;
+    // Register-window machines spill only when the window stack
+    // overflows (modeled as every 8th net call level).
+    unsigned window_level = 0;
+
+    auto save_burst = [&](unsigned words) {
+        std::size_t frame = static_cast<std::size_t>(
+                                depth % kMaxDepth) * kFrameWords;
+        for (unsigned w = 0; w < words; ++w) {
+            // Back-to-back stores: no ticks between them, exactly the
+            // bursty pattern the paper warns about.
+            stack.set(frame + w, static_cast<std::int32_t>(w));
+        }
+    };
+    auto restore_burst = [&](unsigned words) {
+        std::size_t frame = static_cast<std::size_t>(
+                                depth % kMaxDepth) * kFrameWords;
+        for (unsigned w = 0; w < words; ++w)
+            stack.get(frame + w);
+    };
+
+    unsigned calls = calls_ * config_.scale;
+    for (unsigned call = 0; call < calls; ++call) {
+        // The call itself.
+        ++depth;
+        switch (convention_) {
+          case CallConvention::GlobalAllocation:
+            rec.tick(2);  // just the jump-and-link
+            break;
+          case CallConvention::PerCallSaves:
+            rec.tick(2);
+            save_burst(12);
+            break;
+          case CallConvention::RegisterWindows:
+            rec.tick(1);
+            if (++window_level == 8) {
+                window_level = 0;
+                save_burst(32);  // window overflow dump
+            }
+            break;
+        }
+
+        // Callee body: ~30 instructions of work over the data region.
+        std::size_t base = (rng() % (data.size() - 16));
+        for (unsigned i = 0; i < 6; ++i) {
+            data.update(base + i, [&](std::int32_t v) {
+                rec.tick(3);
+                return v + static_cast<std::int32_t>(i);
+            });
+        }
+        rec.tick(12);
+
+        // Return.
+        switch (convention_) {
+          case CallConvention::GlobalAllocation:
+            rec.tick(1);
+            break;
+          case CallConvention::PerCallSaves:
+            restore_burst(12);
+            rec.tick(1);
+            break;
+          case CallConvention::RegisterWindows:
+            rec.tick(1);
+            break;
+        }
+        if (depth > 0 && (rng() & 3) != 0)
+            --depth;  // mostly shallow call trees
+    }
+}
+
+} // namespace jcache::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * callburst: extension workload for the paper's write-burstiness
+ * discussion (Section 3, third dimension of comparison).
+ *
+ * Models three procedure-call register-save conventions:
+ *
+ *  - global:   global register allocation (the paper's own compiler
+ *              [17]) — "virtually no save and restore traffic";
+ *  - percall:  per-procedure register allocation / CISC call
+ *              instructions — a store burst at every call;
+ *  - windows:  register windows — rare but very long (32-store)
+ *              window-overflow dumps.
+ *
+ * Each variant interleaves the same base computation with its calling
+ * convention's save/restore traffic, so write-buffer stall behaviour
+ * under bursts can be compared.
+ */
+
+#ifndef JCACHE_WORKLOADS_CALLBURST_HH
+#define JCACHE_WORKLOADS_CALLBURST_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/** Register save/restore convention being modeled. */
+enum class CallConvention : std::uint8_t
+{
+    GlobalAllocation,  //!< no save/restore bursts
+    PerCallSaves,      //!< ~12-store burst per call
+    RegisterWindows,   //!< 32-store dump on window overflow
+};
+
+std::string name(CallConvention convention);
+
+/**
+ * Call-intensive workload with configurable save/restore bursts.
+ */
+class CallBurstWorkload : public Workload
+{
+  public:
+    explicit CallBurstWorkload(const WorkloadConfig& config = {},
+                               CallConvention convention =
+                                   CallConvention::GlobalAllocation,
+                               unsigned calls = 8000)
+        : Workload(config), convention_(convention), calls_(calls)
+    {}
+
+    std::string name() const override;
+    std::string description() const override;
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    CallConvention convention_;
+    unsigned calls_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_CALLBURST_HH

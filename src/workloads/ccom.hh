@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ccom: the paper's C-compiler benchmark.
+ *
+ * A miniature multi-pass compiler over a synthetic expression
+ * language: lex (source tokens -> token records), parse (tokens -> AST
+ * node pool via a shift/reduce-style stack), constant folding (AST
+ * rewrite in place), and code generation (AST -> instruction buffer).
+ * The paper's key observation about ccom — "a number of sequential
+ * passes, each one reading the data structure written by the last pass
+ * and writing a different one", giving write-validate a copy-like
+ * advantage — is structural here.
+ */
+
+#ifndef JCACHE_WORKLOADS_CCOM_HH
+#define JCACHE_WORKLOADS_CCOM_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * Miniature multi-pass expression compiler.
+ */
+class CcomWorkload : public Workload
+{
+  public:
+    /**
+     * @param config standard knobs; scale multiplies the number of
+     *               functions compiled.
+     * @param functions base number of functions per run.
+     */
+    explicit CcomWorkload(const WorkloadConfig& config = {},
+                          unsigned functions = 60)
+        : Workload(config), functions_(functions)
+    {}
+
+    std::string name() const override { return "ccom"; }
+    std::string description() const override
+    {
+        return "C compiler (multi-pass)";
+    }
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    unsigned functions_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_CCOM_HH

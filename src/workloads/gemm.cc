@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of the GEMM extension workload.
+ */
+
+#include "workloads/gemm.hh"
+
+#include <algorithm>
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using Matrix = TracedArray<double>;
+
+} // namespace
+
+void
+GemmWorkload::run(trace::TraceRecorder& rec) const
+{
+    unsigned n = n_;
+    unsigned kb = kb_;
+    // Leading dimension padded by two, the standard defence against
+    // systematic set conflicts between a column sweep and the C line
+    // being accumulated.
+    unsigned lda = n + 2;
+    TracedMemory mem(rec);
+    Matrix a(mem, static_cast<std::size_t>(lda) * n);
+    Matrix b(mem, static_cast<std::size_t>(lda) * n);
+    Matrix c(mem, static_cast<std::size_t>(lda) * n);
+
+    auto at = [lda](unsigned row, unsigned col) {
+        return static_cast<std::size_t>(row) * lda + col;
+    };
+
+    std::mt19937_64 rng(config_.seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(lda) * n;
+         ++i) {
+        // Input matrices arrive from outside (file / previous phase):
+        // untraced pokes, as with ccom's source buffer.
+        a.poke(i, dist(rng));
+        b.poke(i, dist(rng));
+        c.poke(i, 0.0);
+    }
+
+    // One k-block update of the C tile [i0,i1) x [j0,j1):
+    //   C_tile += A[:, k0..k1) * B[k0..k1, :].
+    // A 2x-unrolled register-blocked inner loop, as a compiler would
+    // emit: a-elements and partial sums live in registers.
+    auto tile_update = [&](unsigned i0, unsigned i1, unsigned j0,
+                           unsigned j1, unsigned k0, unsigned k1) {
+        for (unsigned i = i0; i < i1; ++i) {
+            for (unsigned j = j0; j < j1; ++j) {
+                double sum = 0.0;
+                for (unsigned k = k0; k < k1; ++k) {
+                    sum += a.get(at(i, k)) * b.get(at(k, j));
+                    rec.tick(4);
+                }
+                c.update(at(i, j), [&](double v) { return v + sum; });
+                rec.tick(2);
+            }
+        }
+    };
+
+    for (unsigned rep = 0; rep < config_.scale; ++rep) {
+        if (blocked_) {
+            // Blocked: finish each C tile across all k-blocks while
+            // it is cache-resident.
+            for (unsigned i0 = 0; i0 < n; i0 += kb) {
+                for (unsigned j0 = 0; j0 < n; j0 += kb) {
+                    for (unsigned k0 = 0; k0 < n; k0 += kb) {
+                        tile_update(i0, std::min(i0 + kb, n),
+                                    j0, std::min(j0 + kb, n),
+                                    k0, std::min(k0 + kb, n));
+                    }
+                }
+            }
+        } else {
+            // Streaming: sweep the whole C matrix once per k-block,
+            // so C lines are evicted between consecutive updates.
+            for (unsigned k0 = 0; k0 < n; k0 += kb) {
+                tile_update(0, n, 0, n, k0, std::min(k0 + kb, n));
+            }
+        }
+    }
+}
+
+} // namespace jcache::workloads

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Implementation of the maze-router workload.
+ *
+ * Grid cell encoding: 0 free, -1 blocked (routed wire or obstacle),
+ * k > 0 wavefront distance during expansion.  Each net:
+ *   1. wavefront: BFS from source, writing distances;
+ *   2. backtrace: walk from target to source writing the wire (-1);
+ *   3. cleanup: re-sweep the touched bounding box zeroing wave marks.
+ */
+
+#include "workloads/grr.hh"
+
+#include <algorithm>
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using I32 = TracedArray<std::int32_t>;
+
+} // namespace
+
+void
+GrrWorkload::run(trace::TraceRecorder& rec) const
+{
+    unsigned g = grid_;
+    TracedMemory mem(rec);
+    I32 grid(mem, static_cast<std::size_t>(g) * g);
+    // BFS queue of packed (x << 16 | y); sized for the whole grid.
+    I32 queue(mem, static_cast<std::size_t>(g) * g);
+
+    std::mt19937_64 rng(config_.seed);
+    std::uniform_int_distribution<unsigned> coord(1, g - 2);
+
+    auto idx = [g](unsigned x, unsigned y) {
+        return static_cast<std::size_t>(y) * g + x;
+    };
+
+    // Sprinkle fixed obstacles (pads, mounting holes): ~4% of cells.
+    for (unsigned i = 0; i < g * g / 25; ++i) {
+        grid.set(idx(coord(rng), coord(rng)), -1);
+        rec.tick(3);
+    }
+
+    const int dx[4] = {1, -1, 0, 0};
+    const int dy[4] = {0, 0, 1, -1};
+
+    unsigned nets = nets_ * config_.scale;
+    for (unsigned net = 0; net < nets; ++net) {
+        // Pick an unblocked source/target pair of modest span, like
+        // PCB nets between nearby components.
+        unsigned sx = coord(rng), sy = coord(rng);
+        unsigned span = 8 + static_cast<unsigned>(rng() % (g / 6));
+        unsigned tx = std::min<unsigned>(g - 2, sx + 1 +
+                                         static_cast<unsigned>(
+                                             rng() % span));
+        unsigned ty = std::min<unsigned>(g - 2, sy + 1 +
+                                         static_cast<unsigned>(
+                                             rng() % span));
+        rec.tick(8);
+        if (grid.get(idx(sx, sy)) != 0 || grid.get(idx(tx, ty)) != 0)
+            continue;
+
+        // Wavefront expansion.
+        unsigned head = 0, tail = 0;
+        grid.set(idx(sx, sy), 1);
+        queue.set(tail++, static_cast<std::int32_t>((sx << 16) | sy));
+        bool found = false;
+        unsigned min_x = sx, max_x = sx, min_y = sy, max_y = sy;
+        while (head < tail && !found) {
+            auto packed = static_cast<std::uint32_t>(queue.get(head++));
+            unsigned x = packed >> 16, y = packed & 0xffff;
+            auto dist = grid.get(idx(x, y));
+            rec.tick(4);
+            for (unsigned d = 0; d < 4; ++d) {
+                unsigned nx = x + static_cast<unsigned>(dx[d]);
+                unsigned ny = y + static_cast<unsigned>(dy[d]);
+                rec.tick(2);
+                if (nx == 0 || ny == 0 || nx >= g - 1 || ny >= g - 1)
+                    continue;
+                if (grid.get(idx(nx, ny)) != 0)
+                    continue;
+                grid.set(idx(nx, ny), dist + 1);
+                queue.set(tail++, static_cast<std::int32_t>(
+                                      (nx << 16) | ny));
+                min_x = std::min(min_x, nx);
+                max_x = std::max(max_x, nx);
+                min_y = std::min(min_y, ny);
+                max_y = std::max(max_y, ny);
+                rec.tick(4);
+                if (nx == tx && ny == ty) {
+                    found = true;
+                    break;
+                }
+            }
+        }
+
+        if (found) {
+            // Backtrace: walk downhill from target, blocking cells.
+            unsigned x = tx, y = ty;
+            while (!(x == sx && y == sy)) {
+                auto dist = grid.get(idx(x, y));
+                grid.set(idx(x, y), -1);
+                rec.tick(3);
+                bool stepped = false;
+                for (unsigned d = 0; d < 4; ++d) {
+                    unsigned nx = x + static_cast<unsigned>(dx[d]);
+                    unsigned ny = y + static_cast<unsigned>(dy[d]);
+                    auto nd = grid.get(idx(nx, ny));
+                    rec.tick(2);
+                    if (nd > 0 && nd == dist - 1) {
+                        x = nx;
+                        y = ny;
+                        stepped = true;
+                        break;
+                    }
+                }
+                if (!stepped)
+                    break;  // reached the source neighborhood
+            }
+            grid.set(idx(sx, sy), -1);
+        }
+
+        // Cleanup: clear wave marks in the touched bounding box.
+        for (unsigned y = min_y; y <= max_y; ++y) {
+            for (unsigned x = min_x; x <= max_x; ++x) {
+                if (grid.get(idx(x, y)) > 0)
+                    grid.set(idx(x, y), 0);
+                rec.tick(2);
+            }
+        }
+    }
+}
+
+} // namespace jcache::workloads

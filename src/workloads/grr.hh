@@ -1,0 +1,54 @@
+/**
+ * @file
+ * grr: the paper's PC-board CAD benchmark #1 (DEC WRL's grr was a
+ * printed-circuit-board router; cf. Dion, "Fast Printed Circuit Board
+ * Routing", WRL RR 88/1).
+ *
+ * Re-implements the classic Lee-algorithm maze router: breadth-first
+ * wavefront expansion over a cost grid, backtrace writing the path,
+ * and wave cleanup, net after net.  Wavefront expansion touches
+ * spatially adjacent cells repeatedly, giving the strong write
+ * locality the paper reports for grr.
+ */
+
+#ifndef JCACHE_WORKLOADS_GRR_HH
+#define JCACHE_WORKLOADS_GRR_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * Lee-algorithm PCB maze router.
+ */
+class GrrWorkload : public Workload
+{
+  public:
+    /**
+     * @param config standard knobs; scale multiplies the number of
+     *               nets routed.
+     * @param grid   grid edge length (cells).
+     * @param nets   base number of nets per run.
+     */
+    explicit GrrWorkload(const WorkloadConfig& config = {},
+                         unsigned grid = 144, unsigned nets = 170)
+        : Workload(config), grid_(grid), nets_(nets)
+    {}
+
+    std::string name() const override { return "grr"; }
+    std::string description() const override
+    {
+        return "PC board CAD tool (maze router)";
+    }
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    unsigned grid_;
+    unsigned nets_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_GRR_HH

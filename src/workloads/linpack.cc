@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Implementation of the LINPACK workload: dgefa/dgesl with daxpy,
+ * dscal and idamax inner routines, column-major as in the original
+ * Fortran.
+ */
+
+#include "workloads/linpack.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using Matrix = TracedArray<double>;
+
+/** Column-major element index. */
+inline std::size_t
+at(unsigned n, unsigned row, unsigned col)
+{
+    return static_cast<std::size_t>(col) * n + row;
+}
+
+/** index of max |a| over a[base+0..len); traced reads. */
+unsigned
+idamax(trace::TraceRecorder& rec, const Matrix& a, std::size_t base,
+       unsigned len)
+{
+    unsigned imax = 0;
+    double vmax = std::abs(a.get(base));
+    rec.tick(2);
+    for (unsigned i = 1; i < len; ++i) {
+        double v = std::abs(a.get(base + i));
+        rec.tick(3);  // abs, compare, loop
+        if (v > vmax) {
+            vmax = v;
+            imax = i;
+            rec.tick(1);
+        }
+    }
+    return imax;
+}
+
+/** a[base+i] *= s for i in [0, len); traced. */
+void
+dscal(trace::TraceRecorder& rec, Matrix& a, std::size_t base,
+      unsigned len, double s)
+{
+    for (unsigned i = 0; i < len; ++i) {
+        a.update(base + i, [&](double v) { return v * s; });
+        rec.tick(3);  // multiply + index + loop
+    }
+}
+
+/** y[ybase+i] += s * x[xbase+i]; the LINPACK inner loop; traced. */
+void
+daxpy(trace::TraceRecorder& rec, Matrix& y, std::size_t ybase,
+      const Matrix& x, std::size_t xbase, unsigned len, double s)
+{
+    if (s == 0.0)
+        return;
+    for (unsigned i = 0; i < len; ++i) {
+        double xv = x.get(xbase + i);
+        y.update(ybase + i, [&](double v) { return v + s * xv; });
+        rec.tick(4);  // multiply, add, 2x index/loop
+    }
+}
+
+} // namespace
+
+void
+LinpackWorkload::run(trace::TraceRecorder& rec) const
+{
+    unsigned n = n_;
+    TracedMemory mem(rec);
+    Matrix a(mem, static_cast<std::size_t>(n) * n);
+    Matrix b(mem, n);
+    TracedArray<std::int32_t> ipvt(mem, n);
+
+    std::mt19937_64 rng(config_.seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+    for (unsigned rep = 0; rep < config_.scale; ++rep) {
+        // matgen: fill the matrix and right-hand side (writes).
+        for (unsigned j = 0; j < n; ++j) {
+            for (unsigned i = 0; i < n; ++i) {
+                a.set(at(n, i, j), dist(rng));
+                rec.tick(2);
+            }
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            b.set(i, dist(rng));
+            rec.tick(2);
+        }
+
+        // dgefa: LU factorization with partial pivoting.
+        for (unsigned k = 0; k + 1 < n; ++k) {
+            unsigned len = n - k;
+            unsigned l = k + idamax(rec, a, at(n, k, k), len);
+            ipvt.set(static_cast<std::size_t>(k),
+                     static_cast<std::int32_t>(l));
+            double pivot = a.get(at(n, l, k));
+            rec.tick(2);
+            if (pivot == 0.0)
+                continue;
+            if (l != k) {
+                // Swap a(l,k) and a(k,k).
+                double tmp = a.get(at(n, k, k));
+                a.set(at(n, k, k), pivot);
+                a.set(at(n, l, k), tmp);
+                rec.tick(2);
+            }
+            double t = -1.0 / a.get(at(n, k, k));
+            rec.tick(2);
+            dscal(rec, a, at(n, k + 1, k), len - 1, t);
+            for (unsigned j = k + 1; j < n; ++j) {
+                double mult = a.get(at(n, l, j));
+                rec.tick(1);
+                if (l != k) {
+                    double tmp = a.get(at(n, k, j));
+                    a.set(at(n, k, j), mult);
+                    a.set(at(n, l, j), tmp);
+                    rec.tick(1);
+                }
+                daxpy(rec, a, at(n, k + 1, j), a, at(n, k + 1, k),
+                      len - 1, mult);
+            }
+        }
+        ipvt.set(n - 1, static_cast<std::int32_t>(n - 1));
+
+        // dgesl: solve using the factors (forward elimination then
+        // back substitution).
+        for (unsigned k = 0; k + 1 < n; ++k) {
+            auto l = static_cast<unsigned>(ipvt.get(k));
+            double t = b.get(l);
+            rec.tick(1);
+            if (l != k) {
+                b.set(l, b.get(k));
+                b.set(k, t);
+            }
+            daxpy(rec, b, k + 1, a, at(n, k + 1, k), n - k - 1, t);
+        }
+        for (unsigned kk = 0; kk < n; ++kk) {
+            unsigned k = n - 1 - kk;
+            double bk = b.get(k) / a.get(at(n, k, k));
+            b.set(k, bk);
+            rec.tick(3);
+            if (k > 0)
+                daxpy(rec, b, 0, a, at(n, 0, k), k, -bk);
+        }
+    }
+}
+
+} // namespace jcache::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * linpack: the paper's numeric benchmark #1.
+ *
+ * Re-implements the LINPACK 100x100 kernel: dgefa (LU factorization
+ * with partial pivoting, column-major, daxpy inner loop) followed by
+ * dgesl (forward/back substitution).  The reference behaviour the
+ * paper leans on — saxpy's read-modify-write of matrix rows, unit
+ * stride through an 80KB matrix that does not fit in small caches —
+ * comes directly from running the real algorithm through traced
+ * storage.
+ */
+
+#ifndef JCACHE_WORKLOADS_LINPACK_HH
+#define JCACHE_WORKLOADS_LINPACK_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * LINPACK 100x100 LU factorization and solve.
+ */
+class LinpackWorkload : public Workload
+{
+  public:
+    /**
+     * @param config standard knobs; scale repeats the
+     *               factor-and-solve cycle.
+     * @param n      matrix order (default 100, as in the paper).
+     */
+    explicit LinpackWorkload(const WorkloadConfig& config = {},
+                             unsigned n = 100)
+        : Workload(config), n_(n)
+    {}
+
+    std::string name() const override { return "linpack"; }
+    std::string description() const override
+    {
+        return "numeric, 100x100 linpack";
+    }
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    unsigned n_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_LINPACK_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Implementation of the Livermore loops workload.
+ *
+ * The kernels follow the classic Fortran forms (hydro fragment, ICCG,
+ * inner product, banded equations, tri-diagonal elimination, linear
+ * recurrence, equation of state, ADI, predictors, sums/differences,
+ * particle-in-cell), each reading the shared input arrays and writing
+ * a kernel-private output region.
+ */
+
+#include "workloads/liver.hh"
+
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using Vec = TracedArray<double>;
+
+} // namespace
+
+void
+LiverWorkload::run(trace::TraceRecorder& rec) const
+{
+    unsigned n = n_;
+    TracedMemory mem(rec);
+
+    // Shared inputs (the "original matrices" every pass re-reads).
+    Vec y(mem, n + 16);
+    Vec z(mem, n + 16);
+    Vec u(mem, n + 16);
+    Vec v(mem, n + 16);
+
+    // Kernel-private outputs: one region per kernel so no kernel reads
+    // another's results.
+    constexpr unsigned kKernels = 14;
+    std::vector<Vec> out;
+    out.reserve(kKernels);
+    for (unsigned k = 0; k < kKernels; ++k)
+        out.emplace_back(mem, n + 16);
+
+    std::mt19937_64 rng(config_.seed);
+    std::uniform_real_distribution<double> dist(0.01, 1.0);
+
+    // Initialize inputs once (loader-style writes, traced).
+    for (unsigned i = 0; i < n + 16; ++i) {
+        y.set(i, dist(rng));
+        z.set(i, dist(rng));
+        u.set(i, dist(rng));
+        v.set(i, dist(rng));
+        rec.tick(4);
+    }
+
+    const double q = 0.5, r = 0.25, t = 0.125;
+    unsigned passes = 25 * config_.scale;
+
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        // Kernel 1: hydro fragment.  z[k+10] is the previous
+        // iteration's z[k+11]: a compiler keeps it in a register, so
+        // only one new z element loads per iteration.
+        {
+            double z_lo = z.get(10);
+            for (unsigned k = 0; k < n; ++k) {
+                double z_hi = z.get(k + 11);
+                double val = q + y.get(k) * (r * z_lo + t * z_hi);
+                out[0].set(k, val);
+                z_lo = z_hi;
+                rec.tick(5);
+            }
+        }
+
+        // Kernel 2: ICCG excerpt (incomplete Cholesky, halved spans).
+        for (unsigned span = n / 2; span >= 1; span /= 2) {
+            for (unsigned i = 0; i + span < n; i += 2 * span) {
+                double val = u.get(i) - v.get(i) * u.get(i + span);
+                out[1].set(i, val);
+                rec.tick(5);
+            }
+            rec.tick(2);
+            if (span == 1)
+                break;
+        }
+
+        // Kernel 3: inner product.
+        {
+            double sum = 0.0;
+            for (unsigned k = 0; k < n; ++k) {
+                sum += z.get(k) * y.get(k);
+                rec.tick(3);
+            }
+            out[2].set(0, sum);
+        }
+
+        // Kernel 4: banded linear equations.
+        for (unsigned k = 6; k < n; k += 5) {
+            double sum = 0.0;
+            for (unsigned j = 0; j < 5; ++j) {
+                sum += y.get(k - j - 1) * z.get(j);
+                rec.tick(3);
+            }
+            out[3].set(k, y.get(k) - sum);
+            rec.tick(2);
+        }
+
+        // Kernel 5: tri-diagonal elimination, below diagonal.  The
+        // recurrence reads the kernel's own previous output — the one
+        // intra-kernel read-after-write in the suite.
+        out[4].set(0, z.get(0) * y.get(0));
+        for (unsigned i = 1; i < n; ++i) {
+            double val = z.get(i) * (y.get(i) - out[4].get(i - 1));
+            out[4].set(i, val);
+            rec.tick(4);
+        }
+
+        // Kernel 6: general linear recurrence (banded, width 4).
+        for (unsigned i = 1; i < n; ++i) {
+            double sum = 0.0;
+            unsigned width = i < 4 ? i : 4;
+            for (unsigned k = 1; k <= width; ++k) {
+                sum += u.get(i - k) * v.get(k);
+                rec.tick(3);
+            }
+            out[5].set(i, y.get(i) + sum);
+            rec.tick(2);
+        }
+
+        // Kernel 7: equation of state fragment.  The u[k..k+6] window
+        // slides by one per iteration; registers carry six of the
+        // seven values, so only u[k+6] loads fresh.
+        {
+            double uw[7];
+            for (unsigned j = 0; j < 6; ++j)
+                uw[j] = u.get(j);
+            for (unsigned k = 0; k < n; ++k) {
+                uw[6] = u.get(k + 6);
+                double val = uw[0] + r * (z.get(k) + r * y.get(k)) +
+                    t * (uw[3] + r * (uw[2] + r * uw[1]) +
+                         t * (uw[6] + q * (uw[5] + q * uw[4])));
+                out[6].set(k, val);
+                for (unsigned j = 0; j < 6; ++j)
+                    uw[j] = uw[j + 1];
+                rec.tick(12);
+            }
+        }
+
+        // Kernel 8: ADI integration (two interleaved sweeps).
+        for (unsigned k = 1; k + 1 < n; k += 2) {
+            double a = y.get(k - 1) + r * z.get(k);
+            double b = y.get(k + 1) - r * z.get(k);
+            out[7].set(k - 1, a);
+            out[7].set(k, b);
+            rec.tick(6);
+        }
+
+        // Kernel 9: integrate predictors.  Same sliding-window
+        // register reuse as kernel 7: one fresh u load per iteration.
+        {
+            double uw[6];
+            for (unsigned j = 0; j < 5; ++j)
+                uw[j] = u.get(j + 1);
+            for (unsigned k = 0; k + 12 < n; ++k) {
+                uw[5] = u.get(k + 6);
+                double val = v.get(k) + q * (uw[0] + uw[1]) +
+                    r * (uw[2] + uw[3]) + t * (uw[4] + uw[5]);
+                out[8].set(k, val);
+                for (unsigned j = 0; j < 5; ++j)
+                    uw[j] = uw[j + 1];
+                rec.tick(9);
+            }
+        }
+
+        // Kernel 10: difference predictors.
+        for (unsigned k = 0; k + 10 < n; ++k) {
+            double ar = u.get(k);
+            double br = ar - v.get(k);
+            double cr = br - y.get(k);
+            out[9].set(k, ar + br + cr);
+            rec.tick(6);
+        }
+
+        // Kernel 11: first sum (prefix), reads own previous output.
+        out[10].set(0, y.get(0));
+        for (unsigned k = 1; k < n; ++k) {
+            out[10].set(k, out[10].get(k - 1) + y.get(k));
+            rec.tick(3);
+        }
+
+        // Kernel 12: first difference.
+        for (unsigned k = 0; k < n; ++k) {
+            out[11].set(k, y.get(k + 1) - y.get(k));
+            rec.tick(3);
+        }
+
+        // Kernel 13: 2-D particle in cell (gather via index arrays).
+        for (unsigned k = 0; k + 1 < n; k += 2) {
+            auto i1 = static_cast<unsigned>(z.get(k) * (n - 8));
+            double val = u.get(i1) + v.get(i1 + 1) + y.get(k);
+            out[12].set(k, val);
+            rec.tick(7);
+        }
+
+        // Kernel 14: 1-D particle in cell (scatter accumulate).
+        for (unsigned k = 0; k + 1 < n; k += 2) {
+            auto ix = static_cast<unsigned>(y.get(k) * (n - 4));
+            out[13].update(ix, [&](double cur) {
+                rec.tick(1);
+                return cur + z.get(k);
+            });
+            rec.tick(5);
+        }
+    }
+}
+
+} // namespace jcache::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * liver: the paper's numeric benchmark #2 — Livermore loops 1-14.
+ *
+ * A sequence of loop kernels sweeping unit-stride through
+ * double-precision arrays.  As the paper observes, kernel results are
+ * not read by successive kernels, but successive kernels re-read the
+ * original input arrays; each output region therefore gets written
+ * once per pass and replaced before being written again unless the
+ * cache holds the whole footprint (which happens between 64KB and
+ * 128KB, producing the knees in Figures 2 and 18).
+ */
+
+#ifndef JCACHE_WORKLOADS_LIVER_HH
+#define JCACHE_WORKLOADS_LIVER_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * Livermore loops 1-14 over double-precision arrays.
+ */
+class LiverWorkload : public Workload
+{
+  public:
+    /**
+     * @param config standard knobs; scale multiplies the number of
+     *               passes over the 14 kernels.
+     * @param n      base loop trip count per kernel.
+     */
+    explicit LiverWorkload(const WorkloadConfig& config = {},
+                           unsigned n = 500)
+        : Workload(config), n_(n)
+    {}
+
+    std::string name() const override { return "liver"; }
+    std::string description() const override
+    {
+        return "numeric, Livermore loops 1-14";
+    }
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    unsigned n_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_LIVER_HH

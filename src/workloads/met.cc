@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Implementation of the annealing-placer workload.
+ *
+ * Traced structures:
+ *  - cell_x/cell_y:   cell positions (hot read/write)
+ *  - cell_nets:       per-cell net adjacency (read-only after build)
+ *  - net_pins:        per-net cell lists (read-only after build)
+ *  - net_cost:        cached per-net half-perimeter cost (read/write)
+ *  - scratch:         per-move working set (very hot writes)
+ */
+
+#include "workloads/met.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using I32 = TracedArray<std::int32_t>;
+
+constexpr unsigned kPinsPerNet = 4;
+constexpr unsigned kNetsPerCell = 3;
+
+} // namespace
+
+void
+MetWorkload::run(trace::TraceRecorder& rec) const
+{
+    unsigned num_cells = cells_;
+    unsigned num_nets = num_cells * kNetsPerCell / kPinsPerNet;
+    auto side = static_cast<unsigned>(std::ceil(
+        std::sqrt(static_cast<double>(num_cells))));
+
+    TracedMemory mem(rec);
+    I32 cell_x(mem, num_cells);
+    I32 cell_y(mem, num_cells);
+    I32 cell_nets(mem, static_cast<std::size_t>(num_cells) *
+                           kNetsPerCell);
+    I32 net_pins(mem, static_cast<std::size_t>(num_nets) *
+                          kPinsPerNet);
+    I32 net_cost(mem, num_nets);
+    I32 scratch(mem, 64);
+
+    std::mt19937_64 rng(config_.seed);
+
+    // Build placement: cells in row-major initial positions.
+    for (unsigned c = 0; c < num_cells; ++c) {
+        cell_x.set(c, static_cast<std::int32_t>(c % side));
+        cell_y.set(c, static_cast<std::int32_t>(c / side));
+        rec.tick(3);
+    }
+
+    // Build netlist: each net connects a seed cell with nearby cells
+    // (physical designs are mostly local).
+    for (unsigned n = 0; n < num_nets; ++n) {
+        auto seed = static_cast<unsigned>(rng() % num_cells);
+        for (unsigned pin = 0; pin < kPinsPerNet; ++pin) {
+            unsigned neighborhood = 64;
+            unsigned cell = pin == 0
+                ? seed
+                : (seed + static_cast<unsigned>(
+                              rng() % (2 * neighborhood)) +
+                   num_cells - neighborhood) % num_cells;
+            net_pins.set(static_cast<std::size_t>(n) * kPinsPerNet +
+                         pin, static_cast<std::int32_t>(cell));
+            rec.tick(4);
+        }
+    }
+    // Reverse map: first kNetsPerCell nets seen per cell.
+    {
+        std::vector<unsigned> fill(num_cells, 0);
+        for (unsigned n = 0; n < num_nets; ++n) {
+            for (unsigned pin = 0; pin < kPinsPerNet; ++pin) {
+                auto cell = static_cast<unsigned>(net_pins.get(
+                    static_cast<std::size_t>(n) * kPinsPerNet + pin));
+                rec.tick(2);
+                if (fill[cell] < kNetsPerCell) {
+                    cell_nets.set(static_cast<std::size_t>(cell) *
+                                  kNetsPerCell + fill[cell],
+                                  static_cast<std::int32_t>(n));
+                    ++fill[cell];
+                }
+            }
+        }
+        // Pad unfilled slots with net 0.
+        for (unsigned c = 0; c < num_cells; ++c) {
+            for (unsigned s = fill[c]; s < kNetsPerCell; ++s)
+                cell_nets.set(static_cast<std::size_t>(c) *
+                              kNetsPerCell + s, 0);
+        }
+    }
+
+    // Half-perimeter cost of one net.  Pin coordinates are gathered
+    // into a local scratch frame first (the spilled working set of a
+    // real cost routine), then reduced.
+    auto net_hpwl = [&](unsigned n) {
+        for (unsigned pin = 0; pin < kPinsPerNet; ++pin) {
+            auto cell = static_cast<unsigned>(net_pins.get(
+                static_cast<std::size_t>(n) * kPinsPerNet + pin));
+            scratch.set(48 + pin * 2, cell_x.get(cell));
+            scratch.set(48 + pin * 2 + 1, cell_y.get(cell));
+            rec.tick(4);
+        }
+        std::int32_t min_x = 1 << 20, max_x = -1;
+        std::int32_t min_y = 1 << 20, max_y = -1;
+        for (unsigned pin = 0; pin < kPinsPerNet; ++pin) {
+            std::int32_t x = scratch.get(48 + pin * 2);
+            std::int32_t y = scratch.get(48 + pin * 2 + 1);
+            min_x = std::min(min_x, x);
+            max_x = std::max(max_x, x);
+            min_y = std::min(min_y, y);
+            max_y = std::max(max_y, y);
+            rec.tick(5);
+        }
+        return (max_x - min_x) + (max_y - min_y);
+    };
+
+    // Initial cached costs.
+    for (unsigned n = 0; n < num_nets; ++n) {
+        net_cost.set(n, net_hpwl(n));
+        rec.tick(2);
+    }
+
+    // Annealing loop.
+    double temperature = 8.0;
+    std::uniform_real_distribution<double> accept_dist(0.0, 1.0);
+    unsigned moves = moves_ * config_.scale;
+    for (unsigned move = 0; move < moves; ++move) {
+        if (move % 1000 == 999)
+            temperature *= 0.92;
+
+        auto a = static_cast<unsigned>(rng() % num_cells);
+        // Range-limited partner selection.
+        auto b = (a + 1 + static_cast<unsigned>(rng() % 256)) %
+                 num_cells;
+        rec.tick(6);
+
+        // Gather the nets affected by the swap into scratch (hot
+        // per-move working storage).
+        unsigned affected = 0;
+        for (unsigned s = 0; s < kNetsPerCell; ++s) {
+            scratch.set(affected++, cell_nets.get(
+                static_cast<std::size_t>(a) * kNetsPerCell + s));
+            scratch.set(affected++, cell_nets.get(
+                static_cast<std::size_t>(b) * kNetsPerCell + s));
+            rec.tick(2);
+        }
+
+        // Old cost from the cache, new cost by trial swap.
+        std::int32_t old_cost = 0;
+        for (unsigned i = 0; i < affected; ++i) {
+            old_cost += net_cost.get(
+                static_cast<unsigned>(scratch.get(i)));
+            rec.tick(2);
+        }
+
+        // Swap positions (writes), evaluate, maybe revert.
+        std::int32_t ax = cell_x.get(a), ay = cell_y.get(a);
+        std::int32_t bx = cell_x.get(b), by = cell_y.get(b);
+        cell_x.set(a, bx);
+        cell_y.set(a, by);
+        cell_x.set(b, ax);
+        cell_y.set(b, ay);
+        rec.tick(4);
+
+        std::int32_t new_cost = 0;
+        for (unsigned i = 0; i < affected; ++i) {
+            auto n = static_cast<unsigned>(scratch.get(i));
+            std::int32_t c = net_hpwl(n);
+            scratch.set(32 + i, c);  // remember trial costs
+            new_cost += c;
+            rec.tick(3);
+        }
+
+        double delta = new_cost - old_cost;
+        bool accept = delta <= 0.0 ||
+                      accept_dist(rng) <
+                          std::exp(-delta / temperature);
+        rec.tick(4);
+        if (accept) {
+            // Commit cached costs.
+            for (unsigned i = 0; i < affected; ++i) {
+                net_cost.set(static_cast<unsigned>(scratch.get(i)),
+                             scratch.get(32 + i));
+                rec.tick(2);
+            }
+        } else {
+            // Revert the swap.
+            cell_x.set(a, ax);
+            cell_y.set(a, ay);
+            cell_x.set(b, bx);
+            cell_y.set(b, by);
+            rec.tick(2);
+        }
+    }
+}
+
+} // namespace jcache::workloads

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * met: the paper's PC-board CAD benchmark #2.
+ *
+ * Re-implements a range-limited simulated-annealing standard-cell
+ * placer: cells on a grid, nets connecting them, half-perimeter
+ * bounding-box wirelength cost.  Each move swaps two nearby cells,
+ * re-evaluates the nets touching them (reads over adjacency lists),
+ * and commits position and cached-cost updates on acceptance — a mix
+ * of read-mostly netlist traversal and clustered writes.
+ */
+
+#ifndef JCACHE_WORKLOADS_MET_HH
+#define JCACHE_WORKLOADS_MET_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * Simulated-annealing standard-cell placement.
+ */
+class MetWorkload : public Workload
+{
+  public:
+    /**
+     * @param config standard knobs; scale multiplies the number of
+     *               annealing moves.
+     * @param cells  number of cells.
+     * @param moves  base number of proposed moves per run.
+     */
+    explicit MetWorkload(const WorkloadConfig& config = {},
+                         unsigned cells = 3000, unsigned moves = 7000)
+        : Workload(config), cells_(cells), moves_(moves)
+    {}
+
+    std::string name() const override { return "met"; }
+    std::string description() const override
+    {
+        return "PC board CAD tool (annealing placer)";
+    }
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    unsigned cells_;
+    unsigned moves_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_MET_HH

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * TracedMemory/TracedArray are header-only templates; this unit
+ * instantiates the element types the workloads use so template errors
+ * surface when the library builds, not when a client does.
+ */
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+template class TracedArray<std::int32_t>;
+template class TracedArray<std::uint32_t>;
+template class TracedArray<std::int64_t>;
+template class TracedArray<double>;
+
+} // namespace jcache::workloads

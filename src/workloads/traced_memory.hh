@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Instrumented storage for workload trace capture.
+ *
+ * The paper's traces came from executing real programs on an
+ * architectural simulator.  Our substitute executes real algorithms
+ * in-process, but routes every data access through TracedArray, which
+ * records the reference (virtual address, size, read/write) into a
+ * TraceRecorder while performing the actual operation on backing
+ * storage — so control flow (pivot selection, parser actions, router
+ * wavefronts) depends on real data, exactly as in a traced execution.
+ *
+ * TracedMemory is a bump allocator handing out virtual addresses, so
+ * distinct structures occupy distinct, stable address ranges, giving
+ * the cache models a realistic address space layout.
+ */
+
+#ifndef JCACHE_WORKLOADS_TRACED_MEMORY_HH
+#define JCACHE_WORKLOADS_TRACED_MEMORY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/recorder.hh"
+#include "util/bitops.hh"
+#include "util/types.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * Virtual address space with a bump allocator.
+ */
+class TracedMemory
+{
+  public:
+    /**
+     * @param recorder sink for the reference stream (not owned).
+     * @param base     first address handed out; defaults past the
+     *                 zero page like a real process image.
+     */
+    explicit TracedMemory(trace::TraceRecorder& recorder,
+                          Addr base = 0x10000)
+        : recorder_(&recorder), next_(base)
+    {}
+
+    /** Allocate `bytes` of address space with the given alignment. */
+    Addr allocate(Count bytes, unsigned align = 8)
+    {
+        next_ = alignUp(next_, align);
+        Addr addr = next_;
+        next_ += bytes;
+        return addr;
+    }
+
+    /** Top of the allocated region (current footprint end). */
+    Addr brk() const { return next_; }
+
+    trace::TraceRecorder& recorder() { return *recorder_; }
+
+  private:
+    trace::TraceRecorder* recorder_;
+    Addr next_;
+};
+
+/**
+ * A fixed-size array whose element accesses are traced.
+ *
+ * @tparam T element type; must be 4 or 8 bytes wide (the MultiTitan
+ *           had no byte loads/stores, so workloads use words and
+ *           doublewords only).
+ */
+template <typename T>
+class TracedArray
+{
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                  "traced elements must be 4 or 8 bytes (no byte "
+                  "accesses on the MultiTitan)");
+
+  public:
+    /** Allocate and zero-initialize n elements. */
+    TracedArray(TracedMemory& mem, std::size_t n)
+        : mem_(&mem), base_(mem.allocate(n * sizeof(T), sizeof(T))),
+          data_(n)
+    {}
+
+    std::size_t size() const { return data_.size(); }
+
+    /** Virtual address of element i. */
+    Addr addrOf(std::size_t i) const { return base_ + i * sizeof(T); }
+
+    /** Traced read of element i. */
+    T get(std::size_t i) const
+    {
+        mem_->recorder().read(addrOf(i), sizeof(T));
+        return data_[i];
+    }
+
+    /** Traced write of element i. */
+    void set(std::size_t i, T value)
+    {
+        mem_->recorder().write(addrOf(i), sizeof(T));
+        data_[i] = value;
+    }
+
+    /** Traced read-modify-write convenience. */
+    template <typename Fn>
+    void update(std::size_t i, Fn&& fn)
+    {
+        set(i, fn(get(i)));
+    }
+
+    /**
+     * Untraced peek, for test assertions and result checks that are
+     * not part of the simulated program.
+     */
+    T peek(std::size_t i) const { return data_[i]; }
+
+    /** Untraced poke, for initialization that a loader would do. */
+    void poke(std::size_t i, T value) { data_[i] = value; }
+
+  private:
+    TracedMemory* mem_;
+    Addr base_;
+    std::vector<T> data_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_TRACED_MEMORY_HH

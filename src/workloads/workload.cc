@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Workload registry and trace generation.
+ */
+
+#include "workloads/workload.hh"
+
+#include "trace/recorder.hh"
+#include "util/logging.hh"
+#include "workloads/ccom.hh"
+#include "workloads/grr.hh"
+#include "workloads/linpack.hh"
+#include "workloads/liver.hh"
+#include "workloads/met.hh"
+#include "workloads/yacc.hh"
+
+namespace jcache::workloads
+{
+
+trace::Trace
+generateTrace(const Workload& workload)
+{
+    trace::TraceRecorder recorder(workload.name());
+    workload.run(recorder);
+    return recorder.take();
+}
+
+const std::vector<std::string>&
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "ccom", "grr", "yacc", "met", "linpack", "liver",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string& name, const WorkloadConfig& config)
+{
+    if (name == "ccom")
+        return std::make_unique<CcomWorkload>(config);
+    if (name == "grr")
+        return std::make_unique<GrrWorkload>(config);
+    if (name == "yacc")
+        return std::make_unique<YaccWorkload>(config);
+    if (name == "met")
+        return std::make_unique<MetWorkload>(config);
+    if (name == "linpack")
+        return std::make_unique<LinpackWorkload>(config);
+    if (name == "liver")
+        return std::make_unique<LiverWorkload>(config);
+    fatal("unknown workload: " + name);
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads(const WorkloadConfig& config)
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    for (const std::string& name : benchmarkNames())
+        all.push_back(makeWorkload(name, config));
+    return all;
+}
+
+} // namespace jcache::workloads

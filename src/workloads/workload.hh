@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Workload interface and the registry of the paper's six benchmarks.
+ *
+ * Each workload re-implements the algorithmic core of one Table 1
+ * program and runs it through traced storage.  A `scale` knob grows
+ * the amount of work (not the footprint) roughly linearly, so traces
+ * can be made longer without changing locality; a seed makes every
+ * trace deterministic.
+ */
+
+#ifndef JCACHE_WORKLOADS_WORKLOAD_HH
+#define JCACHE_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hh"
+#include "trace/trace.hh"
+
+namespace jcache::workloads
+{
+
+/** Shared workload knobs. */
+struct WorkloadConfig
+{
+    /** Work multiplier; 1 gives a trace of roughly 1-3M references. */
+    unsigned scale = 1;
+
+    /** PRNG seed; identical seeds give identical traces. */
+    std::uint64_t seed = 0x5eed0f00du;
+};
+
+/**
+ * A program whose execution can be captured as a trace.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadConfig& config) : config_(config) {}
+    virtual ~Workload() = default;
+
+    Workload(const Workload&) = delete;
+    Workload& operator=(const Workload&) = delete;
+
+    /** Short name matching the paper's Table 1 (e.g. "linpack"). */
+    virtual std::string name() const = 0;
+
+    /** One-line description ("program type" column of Table 1). */
+    virtual std::string description() const = 0;
+
+    /** Execute the program, recording all data references. */
+    virtual void run(trace::TraceRecorder& recorder) const = 0;
+
+    const WorkloadConfig& config() const { return config_; }
+
+  protected:
+    WorkloadConfig config_;
+};
+
+/** Execute a workload and return its trace. */
+trace::Trace generateTrace(const Workload& workload);
+
+/** The six Table 1 benchmark names, in the paper's order. */
+const std::vector<std::string>& benchmarkNames();
+
+/**
+ * Instantiate one benchmark by name ("ccom", "grr", "yacc", "met",
+ * "linpack", "liver").  Throws FatalError for unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string& name,
+                                       const WorkloadConfig& config = {});
+
+/** Instantiate all six benchmarks. */
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads(const WorkloadConfig& config = {});
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_WORKLOAD_HH

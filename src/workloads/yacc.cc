@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Implementation of the yacc workload: LR(0) item-set construction.
+ *
+ * Data structures (all traced):
+ *  - productions: (lhs, rhs0..rhs3, len) records
+ *  - prod_index:  first production of each nonterminal
+ *  - states:      packed item lists (production id << 4 | dot)
+ *  - transitions: (state, symbol) -> state action table
+ *
+ * The algorithm is the standard worklist construction: close the
+ * start state, derive goto sets per symbol, deduplicate against
+ * existing states, emit transitions.
+ */
+
+#include "workloads/yacc.hh"
+
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using I32 = TracedArray<std::int32_t>;
+
+constexpr unsigned kMaxRhs = 4;
+constexpr unsigned kProdFields = kMaxRhs + 2;   // lhs, rhs[4], len
+constexpr unsigned kMaxItems = 48;              // items per state
+constexpr unsigned kMaxStates = 220;
+
+/** Pack an LR(0) item. */
+inline std::int32_t
+item(std::int32_t prod, unsigned dot)
+{
+    return (prod << 3) | static_cast<std::int32_t>(dot);
+}
+
+inline std::int32_t
+itemProd(std::int32_t it)
+{
+    return it >> 3;
+}
+
+inline unsigned
+itemDot(std::int32_t it)
+{
+    return static_cast<unsigned>(it & 7);
+}
+
+} // namespace
+
+void
+YaccWorkload::run(trace::TraceRecorder& rec) const
+{
+    TracedMemory mem(rec);
+
+    // Grammar shape: symbols [0, terminals) are terminals,
+    // [terminals, symbols) nonterminals.
+    constexpr unsigned kTerminals = 24;
+    constexpr unsigned kNonterminals = 16;
+    constexpr unsigned kSymbols = kTerminals + kNonterminals;
+    constexpr unsigned kProductions = 96;
+
+    I32 prods(mem, kProductions * kProdFields);
+    I32 prod_first(mem, kNonterminals + 1);
+    I32 states(mem, kMaxStates * kMaxItems);
+    I32 state_size(mem, kMaxStates);
+    I32 actions(mem, kMaxStates * kSymbols);
+    I32 scratch(mem, kMaxItems * 2);
+    I32 worklist(mem, kMaxStates);
+    // Per-symbol goto buckets, filled by one pass over a state's
+    // items (as yacc distributes items, rather than rescanning the
+    // state once per symbol).
+    constexpr unsigned kBucketItems = 12;
+    I32 goto_items(mem, static_cast<std::size_t>(kTerminals +
+                                                 kNonterminals) *
+                            kBucketItems);
+    I32 goto_count(mem, kTerminals + kNonterminals);
+    I32 nt_added(mem, kNonterminals);
+    // Hash-chained state lookup, as yacc's own state table uses.
+    constexpr unsigned kBuckets = 128;
+    I32 bucket_head(mem, kBuckets);
+    I32 chain_next(mem, kMaxStates);
+    I32 state_hash(mem, kMaxStates);
+
+    std::mt19937_64 rng(config_.seed);
+
+    unsigned grammars = grammars_ * config_.scale;
+    for (unsigned g = 0; g < grammars; ++g) {
+        std::uniform_int_distribution<std::int32_t>
+            any_symbol(0, kSymbols - 1);
+        std::uniform_int_distribution<unsigned> rhs_len(1, kMaxRhs);
+
+        // Generate a random grammar, productions grouped by lhs so
+        // prod_first works like yacc's production index.
+        unsigned p = 0;
+        for (unsigned nt = 0; nt < kNonterminals; ++nt) {
+            prod_first.set(nt, static_cast<std::int32_t>(p));
+            unsigned count = 2 + (rng() % 5);
+            for (unsigned c = 0; c < count && p < kProductions;
+                 ++c, ++p) {
+                std::size_t base =
+                    static_cast<std::size_t>(p) * kProdFields;
+                prods.set(base, static_cast<std::int32_t>(
+                                    kTerminals + nt));
+                unsigned len = rhs_len(rng);
+                for (unsigned s = 0; s < kMaxRhs; ++s) {
+                    prods.set(base + 1 + s,
+                              s < len ? any_symbol(rng) : -1);
+                }
+                prods.set(base + 1 + kMaxRhs,
+                          static_cast<std::int32_t>(len));
+                rec.tick(8);
+            }
+        }
+        unsigned num_prods = p;
+        prod_first.set(kNonterminals,
+                       static_cast<std::int32_t>(num_prods));
+
+        // closure(): expand scratch[0..n) with productions of every
+        // nonterminal after a dot.  Dot-0 items are unique per
+        // production, so a per-nonterminal "already added" flag (as
+        // in yacc's closure) replaces any membership scan.  A single
+        // pass over the growing list reaches the fixpoint.
+        auto closure = [&](unsigned n) {
+            for (unsigned nt = 0; nt < kNonterminals; ++nt)
+                nt_added.set(nt, 0);
+            for (unsigned i = 0; i < n; ++i) {
+                std::int32_t it = scratch.get(i);
+                std::int32_t pr = itemProd(it);
+                unsigned dot = itemDot(it);
+                std::size_t base =
+                    static_cast<std::size_t>(pr) * kProdFields;
+                auto len = static_cast<unsigned>(
+                    prods.get(base + 1 + kMaxRhs));
+                rec.tick(4);
+                if (dot >= len)
+                    continue;
+                std::int32_t sym = prods.get(base + 1 + dot);
+                if (sym < static_cast<std::int32_t>(kTerminals))
+                    continue;
+                unsigned nt = static_cast<unsigned>(sym) - kTerminals;
+                if (nt_added.get(nt) != 0)
+                    continue;
+                nt_added.set(nt, 1);
+                auto first = static_cast<unsigned>(
+                    prod_first.get(nt));
+                auto last = static_cast<unsigned>(
+                    prod_first.get(nt + 1));
+                for (unsigned q = first; q < last && n < kMaxItems;
+                     ++q) {
+                    scratch.set(n++,
+                                item(static_cast<std::int32_t>(q), 0));
+                    rec.tick(2);
+                }
+            }
+            return n;
+        };
+
+        // Hash of the item list in scratch[0..n).  Item order is
+        // deterministic (same construction everywhere), so an
+        // order-sensitive hash is fine.
+        auto hash_items = [&](unsigned n) {
+            std::uint32_t h = 2166136261u;
+            for (unsigned i = 0; i < n; ++i) {
+                h ^= static_cast<std::uint32_t>(scratch.get(i));
+                h *= 16777619u;
+                rec.tick(2);
+            }
+            return static_cast<std::int32_t>(h & 0x7fffffff);
+        };
+
+        // Find an existing state equal to scratch[0..n) via the hash
+        // chains, else return -1.
+        auto intern = [&](unsigned n, std::int32_t h) -> std::int32_t {
+            std::int32_t s = bucket_head.get(
+                static_cast<unsigned>(h) % kBuckets);
+            rec.tick(2);
+            while (s >= 0) {
+                auto su = static_cast<unsigned>(s);
+                rec.tick(3);
+                if (state_hash.get(su) == h &&
+                    static_cast<unsigned>(state_size.get(su)) == n) {
+                    bool equal = true;
+                    for (unsigned i = 0; i < n; ++i) {
+                        rec.tick(1);
+                        if (states.get(static_cast<std::size_t>(su) *
+                                       kMaxItems + i) !=
+                            scratch.get(i)) {
+                            equal = false;
+                            break;
+                        }
+                    }
+                    if (equal)
+                        return s;
+                }
+                s = chain_next.get(su);
+            }
+            return -1;
+        };
+
+        // Register state `s` (already stored) in the hash chains.
+        auto add_to_chain = [&](unsigned s, std::int32_t h) {
+            unsigned b = static_cast<unsigned>(h) % kBuckets;
+            state_hash.set(s, h);
+            chain_next.set(s, bucket_head.get(b));
+            bucket_head.set(b, static_cast<std::int32_t>(s));
+            rec.tick(3);
+        };
+
+        for (unsigned b = 0; b < kBuckets; ++b)
+            bucket_head.set(b, -1);
+
+        // Seed state 0 with the first production of the start symbol.
+        unsigned num_states = 0;
+        scratch.set(0, item(prod_first.get(0) /* start nt prods */, 0));
+        unsigned n0 = closure(1);
+        for (unsigned i = 0; i < n0; ++i) {
+            states.set(static_cast<std::size_t>(0) * kMaxItems + i,
+                       scratch.get(i));
+        }
+        state_size.set(0, static_cast<std::int32_t>(n0));
+        add_to_chain(0, hash_items(n0));
+        num_states = 1;
+        unsigned wl_head = 0, wl_tail = 0;
+        worklist.set(wl_tail++, 0);
+
+        while (wl_head < wl_tail) {
+            auto s = static_cast<unsigned>(worklist.get(wl_head++));
+            auto sz = static_cast<unsigned>(state_size.get(s));
+            rec.tick(3);
+
+            // One pass over the state's items distributes them into
+            // per-symbol goto buckets.
+            for (unsigned sym = 0; sym < kSymbols; ++sym)
+                goto_count.set(sym, 0);
+            for (unsigned i = 0; i < sz; ++i) {
+                std::int32_t it = states.get(
+                    static_cast<std::size_t>(s) * kMaxItems + i);
+                std::int32_t pr = itemProd(it);
+                unsigned dot = itemDot(it);
+                std::size_t base =
+                    static_cast<std::size_t>(pr) * kProdFields;
+                auto len = static_cast<unsigned>(
+                    prods.get(base + 1 + kMaxRhs));
+                rec.tick(4);
+                if (dot >= len)
+                    continue;
+                auto sym =
+                    static_cast<unsigned>(prods.get(base + 1 + dot));
+                auto cnt = static_cast<unsigned>(goto_count.get(sym));
+                if (cnt < kBucketItems) {
+                    goto_items.set(static_cast<std::size_t>(sym) *
+                                   kBucketItems + cnt,
+                                   item(pr, dot + 1));
+                    goto_count.set(sym,
+                                   static_cast<std::int32_t>(cnt + 1));
+                }
+                rec.tick(2);
+            }
+
+            for (unsigned sym = 0; sym < kSymbols; ++sym) {
+                auto n = static_cast<unsigned>(goto_count.get(sym));
+                rec.tick(1);
+                if (n == 0) {
+                    actions.set(static_cast<std::size_t>(s) *
+                                kSymbols + sym, -1);
+                    continue;
+                }
+                for (unsigned i = 0; i < n; ++i) {
+                    scratch.set(i, goto_items.get(
+                        static_cast<std::size_t>(sym) * kBucketItems +
+                        i));
+                }
+                n = closure(n);
+                std::int32_t h = hash_items(n);
+                std::int32_t target = intern(n, h);
+                if (target < 0 && num_states < kMaxStates) {
+                    target = static_cast<std::int32_t>(num_states);
+                    for (unsigned i = 0; i < n; ++i) {
+                        states.set(static_cast<std::size_t>(
+                                       num_states) * kMaxItems + i,
+                                   scratch.get(i));
+                    }
+                    state_size.set(num_states,
+                                   static_cast<std::int32_t>(n));
+                    add_to_chain(num_states, h);
+                    worklist.set(wl_tail++,
+                                 static_cast<std::int32_t>(
+                                     num_states));
+                    ++num_states;
+                }
+                actions.set(static_cast<std::size_t>(s) * kSymbols +
+                            sym, target);
+                rec.tick(2);
+            }
+        }
+        rec.tick(50);  // per-grammar bookkeeping / output
+    }
+}
+
+} // namespace jcache::workloads

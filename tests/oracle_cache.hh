@@ -1,0 +1,246 @@
+/**
+ * @file
+ * An independent, deliberately naive reference implementation of the
+ * cache semantics, used only by the differential tests.
+ *
+ * OracleCache favours obvious correctness over speed: lines live in a
+ * std::map keyed by line address, sets are recovered by modular
+ * arithmetic, and every policy decision is written out longhand.  If
+ * DataCache and OracleCache ever disagree on a counter over a random
+ * stream, one of them is wrong — and the oracle is easy to audit.
+ */
+
+#ifndef JCACHE_TESTS_ORACLE_CACHE_HH
+#define JCACHE_TESTS_ORACLE_CACHE_HH
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/config.hh"
+#include "util/types.hh"
+
+namespace jcache::test
+{
+
+/** Counters mirroring the subset of CacheStats the oracle checks. */
+struct OracleStats
+{
+    Count readHits = 0;
+    Count readMisses = 0;
+    Count writeHits = 0;
+    Count writeMisses = 0;
+    Count linesFetched = 0;
+    Count writesToDirtyLines = 0;
+    Count dirtyVictims = 0;
+    Count dirtyVictimDirtyBytes = 0;
+};
+
+/**
+ * Naive model of a set-associative cache with the paper's write
+ * policies (LRU replacement only).
+ */
+class OracleCache
+{
+  public:
+    explicit OracleCache(const core::CacheConfig& config)
+        : config_(config)
+    {
+        config.validate();
+        numSets_ = config.sizeBytes /
+                   (static_cast<Count>(config.lineBytes) *
+                    config.assoc);
+    }
+
+    void
+    read(Addr addr, unsigned size)
+    {
+        for (auto [a, s] : split(addr, size))
+            readPiece(a, s);
+    }
+
+    void
+    write(Addr addr, unsigned size)
+    {
+        for (auto [a, s] : split(addr, size))
+            writePiece(a, s);
+    }
+
+    const OracleStats& stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        std::vector<bool> valid;
+        std::vector<bool> dirty;
+        Count lastUse = 0;
+    };
+
+    Addr lineAddr(Addr a) const { return a - a % config_.lineBytes; }
+    Count setOf(Addr a) const
+    {
+        return (a / config_.lineBytes) % numSets_;
+    }
+
+    std::vector<std::pair<Addr, unsigned>>
+    split(Addr addr, unsigned size) const
+    {
+        std::vector<std::pair<Addr, unsigned>> pieces;
+        while (size > 0) {
+            auto room = static_cast<unsigned>(
+                config_.lineBytes - addr % config_.lineBytes);
+            unsigned piece = std::min(size, room);
+            pieces.emplace_back(addr, piece);
+            addr += piece;
+            size -= piece;
+        }
+        return pieces;
+    }
+
+    Line*
+    find(Addr addr)
+    {
+        auto it = lines_.find(lineAddr(addr));
+        return it == lines_.end() ? nullptr : &it->second;
+    }
+
+    bool
+    allValid(const Line& line, Addr addr, unsigned size) const
+    {
+        Addr base = lineAddr(addr);
+        for (unsigned i = 0; i < size; ++i) {
+            if (!line.valid[addr - base + i])
+                return false;
+        }
+        return true;
+    }
+
+    /** Evict LRU from addr's set if it holds assoc lines already. */
+    void
+    makeRoom(Addr addr)
+    {
+        Count set = setOf(addr);
+        std::vector<std::map<Addr, Line>::iterator> residents;
+        for (auto it = lines_.begin(); it != lines_.end(); ++it) {
+            if (setOf(it->first) == set)
+                residents.push_back(it);
+        }
+        if (residents.size() < config_.assoc)
+            return;
+        auto victim = *std::min_element(
+            residents.begin(), residents.end(),
+            [](auto a, auto b) {
+                return a->second.lastUse < b->second.lastUse;
+            });
+        unsigned dirty_bytes = 0;
+        for (bool d : victim->second.dirty)
+            dirty_bytes += d ? 1 : 0;
+        if (dirty_bytes > 0) {
+            ++stats_.dirtyVictims;
+            stats_.dirtyVictimDirtyBytes += dirty_bytes;
+        }
+        lines_.erase(victim);
+    }
+
+    Line&
+    install(Addr addr, bool fully_valid)
+    {
+        makeRoom(addr);
+        Line line;
+        line.valid.assign(config_.lineBytes, fully_valid);
+        line.dirty.assign(config_.lineBytes, false);
+        line.lastUse = ++clock_;
+        return lines_[lineAddr(addr)] = line;
+    }
+
+    void
+    markBytes(Line& line, Addr addr, unsigned size, bool set_dirty)
+    {
+        Addr base = lineAddr(addr);
+        for (unsigned i = 0; i < size; ++i) {
+            line.valid[addr - base + i] = true;
+            if (set_dirty)
+                line.dirty[addr - base + i] = true;
+        }
+    }
+
+    void
+    readPiece(Addr addr, unsigned size)
+    {
+        ++clock_;
+        if (Line* line = find(addr)) {
+            line->lastUse = clock_;
+            if (allValid(*line, addr, size)) {
+                ++stats_.readHits;
+                return;
+            }
+            ++stats_.readMisses;
+            ++stats_.linesFetched;
+            std::fill(line->valid.begin(), line->valid.end(), true);
+            return;
+        }
+        ++stats_.readMisses;
+        ++stats_.linesFetched;
+        install(addr, true);
+    }
+
+    void
+    writePiece(Addr addr, unsigned size)
+    {
+        ++clock_;
+        bool write_back =
+            config_.hitPolicy == core::WriteHitPolicy::WriteBack;
+        if (Line* line = find(addr)) {
+            ++stats_.writeHits;
+            line->lastUse = clock_;
+            if (write_back) {
+                bool was_dirty =
+                    std::find(line->dirty.begin(), line->dirty.end(),
+                              true) != line->dirty.end();
+                if (was_dirty)
+                    ++stats_.writesToDirtyLines;
+            }
+            markBytes(*line, addr, size, write_back);
+            return;
+        }
+        ++stats_.writeMisses;
+        switch (config_.missPolicy) {
+          case core::WriteMissPolicy::FetchOnWrite: {
+            ++stats_.linesFetched;
+            Line& line = install(addr, true);
+            markBytes(line, addr, size, write_back);
+            break;
+          }
+          case core::WriteMissPolicy::WriteValidate: {
+            Line& line = install(addr, false);
+            markBytes(line, addr, size, write_back);
+            break;
+          }
+          case core::WriteMissPolicy::WriteAround:
+            break;
+          case core::WriteMissPolicy::WriteInvalidate:
+            if (config_.assoc == 1) {
+                // Drop whatever resides in this set.
+                Count set = setOf(addr);
+                for (auto it = lines_.begin(); it != lines_.end();
+                     ++it) {
+                    if (setOf(it->first) == set) {
+                        lines_.erase(it);
+                        break;
+                    }
+                }
+            }
+            break;
+        }
+    }
+
+    core::CacheConfig config_;
+    Count numSets_;
+    std::map<Addr, Line> lines_;
+    OracleStats stats_;
+    Count clock_ = 0;
+};
+
+} // namespace jcache::test
+
+#endif // JCACHE_TESTS_ORACLE_CACHE_HH

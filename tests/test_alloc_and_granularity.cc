@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for two Section 4 mechanisms: the cache-line allocation
+ * instruction (801/MultiTitan/PA-RISC style) and write-validate's
+ * valid-bit granularity fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/data_cache.hh"
+#include "mem/traffic_meter.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+CacheConfig
+config(WriteHitPolicy hit = WriteHitPolicy::WriteBack,
+       WriteMissPolicy miss = WriteMissPolicy::FetchOnWrite)
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;
+    c.lineBytes = 16;
+    c.hitPolicy = hit;
+    c.missPolicy = miss;
+    return c;
+}
+
+// ---------------------------------------------------------------- //
+// allocateLine
+// ---------------------------------------------------------------- //
+
+TEST(AllocateLine, InstallsFullyValidWithoutFetch)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.allocateLine(0x100);
+    EXPECT_EQ(meter.fetches().transactions, 0u);
+    EXPECT_EQ(cache.validMask(0x100), ByteMask{0xffff});
+    EXPECT_EQ(cache.stats().lineAllocs, 1u);
+    // Subsequent writes and reads hit.
+    cache.write(0x104, 4);
+    cache.read(0x108, 4);
+    EXPECT_EQ(cache.stats().writeHits, 1u);
+    EXPECT_EQ(cache.stats().readHits, 1u);
+}
+
+TEST(AllocateLine, WriteBackLineIsFullyDirty)
+{
+    // The allocated line's contents must be written back in full: the
+    // software contract says the program writes all of it, and the
+    // cache cannot tell which bytes (the context-switch hazard the
+    // paper describes).
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.allocateLine(0x100);
+    EXPECT_EQ(cache.dirtyMask(0x100), ByteMask{0xffff});
+    cache.read(0x500, 4);  // evict
+    EXPECT_EQ(meter.writeBacks().bytes, 16u);
+}
+
+TEST(AllocateLine, EvictsVictimNormally)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.write(0x100, 4);      // dirty resident line
+    cache.allocateLine(0x500);  // conflicts: dirty victim write-back
+    EXPECT_EQ(cache.stats().victims, 1u);
+    EXPECT_EQ(meter.writeBacks().transactions, 1u);
+    EXPECT_FALSE(cache.contains(0x100));
+}
+
+TEST(AllocateLine, ResidentLineJustValidates)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteBack,
+                           WriteMissPolicy::WriteValidate), meter);
+    cache.write(0x104, 4);      // partial line resident
+    cache.allocateLine(0x100);  // validates the rest
+    EXPECT_EQ(cache.stats().victims, 0u);
+    EXPECT_EQ(cache.validMask(0x100), ByteMask{0xffff});
+    cache.read(0x108, 4);       // no deferred miss
+    EXPECT_EQ(cache.stats().readMisses, 0u);
+}
+
+TEST(AllocateLine, WriteThroughAllocationIsNotDirty)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteThrough,
+                           WriteMissPolicy::FetchOnWrite), meter);
+    cache.allocateLine(0x100);
+    EXPECT_EQ(cache.dirtyMask(0x100), 0u);
+    cache.flush();
+    EXPECT_EQ(meter.flushBacks().transactions, 0u);
+}
+
+TEST(AllocateLine, MatchesWriteValidateForFullLineWrites)
+{
+    // The paper's claim: no-fetch-on-write + write-allocate subsumes
+    // allocation instructions.  For a full-line write sequence the
+    // fetch counts agree.
+    mem::TrafficMeter meter_alloc, meter_wv;
+    DataCache with_alloc(config(), meter_alloc);
+    DataCache with_wv(config(WriteHitPolicy::WriteBack,
+                             WriteMissPolicy::WriteValidate),
+                      meter_wv);
+    for (Addr line = 0; line < 512; line += 16) {
+        with_alloc.allocateLine(line);
+        for (unsigned off = 0; off < 16; off += 4) {
+            with_alloc.write(line + off, 4);
+            with_wv.write(line + off, 4);
+        }
+    }
+    EXPECT_EQ(meter_alloc.fetches().transactions, 0u);
+    EXPECT_EQ(meter_wv.fetches().transactions, 0u);
+    EXPECT_EQ(with_alloc.stats().linesFetched,
+              with_wv.stats().linesFetched);
+}
+
+// ---------------------------------------------------------------- //
+// valid-bit granularity
+// ---------------------------------------------------------------- //
+
+CacheConfig
+wvConfig(unsigned granularity)
+{
+    CacheConfig c = config(WriteHitPolicy::WriteThrough,
+                           WriteMissPolicy::WriteValidate);
+    c.validGranularity = granularity;
+    return c;
+}
+
+TEST(ValidGranularity, ConfigValidation)
+{
+    CacheConfig c = wvConfig(4);
+    EXPECT_NO_THROW(c.validate());
+    c.validGranularity = 3;
+    EXPECT_THROW(c.validate(), FatalError);
+    c.validGranularity = 32;  // larger than the 16B line
+    EXPECT_THROW(c.validate(), FatalError);
+}
+
+TEST(ValidGranularity, AlignedWordWritesValidateNormally)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wvConfig(4), meter);
+    cache.write(0x104, 4);
+    EXPECT_EQ(meter.fetches().transactions, 0u);
+    EXPECT_EQ(cache.stats().validateFallbacks, 0u);
+    EXPECT_EQ(cache.validMask(0x100), ByteMask{0xf0});
+}
+
+TEST(ValidGranularity, DoubleWordGranularityForcesFallbackForWords)
+{
+    // With 8B valid quanta, a 4B write cannot mark valid bits
+    // precisely: the line must be fetched (fetch-on-write fallback).
+    mem::TrafficMeter meter;
+    DataCache cache(wvConfig(8), meter);
+    cache.write(0x104, 4);
+    EXPECT_EQ(cache.stats().validateFallbacks, 1u);
+    EXPECT_EQ(meter.fetches().transactions, 1u);
+    EXPECT_EQ(cache.validMask(0x100), ByteMask{0xffff});
+    // 8B writes still validate without a fetch.
+    cache.write(0x508, 8);
+    EXPECT_EQ(cache.stats().validateFallbacks, 1u);
+    EXPECT_EQ(meter.fetches().transactions, 1u);
+}
+
+TEST(ValidGranularity, FallbackCountsAsWriteMissFetch)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wvConfig(16), meter);  // whole-line quanta
+    cache.write(0x104, 4);
+    EXPECT_EQ(cache.stats().writeMissFetches, 1u);
+    EXPECT_EQ(cache.stats().countedMisses(), 1u);
+}
+
+TEST(ValidGranularity, ByteGranularityNeverFallsBack)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wvConfig(1), meter);
+    cache.write(0x101, 1);  // even a byte write validates
+    EXPECT_EQ(cache.stats().validateFallbacks, 0u);
+    EXPECT_EQ(cache.validMask(0x100), ByteMask{0x2});
+}
+
+TEST(ValidGranularity, CoarserQuantaMeanMoreFetches)
+{
+    auto fetches = [](unsigned granularity) {
+        mem::TrafficMeter meter;
+        DataCache cache(wvConfig(granularity), meter);
+        // Mixed word/doubleword write stream.
+        std::uint64_t x = 5;
+        for (int i = 0; i < 30000; ++i) {
+            x = x * 6364136223846793005ull + 1;
+            unsigned size = (x & 1) ? 8 : 4;
+            Addr addr = ((x >> 16) % 65536) & ~Addr{size - 1};
+            cache.write(addr, size);
+        }
+        return cache.stats().linesFetched;
+    };
+    Count g1 = fetches(1);
+    Count g4 = fetches(4);
+    Count g8 = fetches(8);
+    Count g16 = fetches(16);
+    EXPECT_EQ(g1, g4);   // every access is word-aligned and -sized
+    EXPECT_LT(g4, g8);   // word writes fall back under 8B quanta
+    EXPECT_LT(g8, g16);  // doubleword writes fall back under 16B
+}
+
+} // namespace
+} // namespace jcache::core

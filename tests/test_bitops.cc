@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for util/bitops: the power-of-two arithmetic every cache
+ * geometry computation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace jcache
+{
+namespace
+{
+
+TEST(Bitops, PowerOfTwoDetection)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(6));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, AlignDown)
+{
+    EXPECT_EQ(alignDown(0x0, 16), 0x0u);
+    EXPECT_EQ(alignDown(0xf, 16), 0x0u);
+    EXPECT_EQ(alignDown(0x10, 16), 0x10u);
+    EXPECT_EQ(alignDown(0x1237, 8), 0x1230u);
+}
+
+TEST(Bitops, AlignUp)
+{
+    EXPECT_EQ(alignUp(0x0, 16), 0x0u);
+    EXPECT_EQ(alignUp(0x1, 16), 0x10u);
+    EXPECT_EQ(alignUp(0x10, 16), 0x10u);
+    EXPECT_EQ(alignUp(0x1231, 8), 0x1238u);
+}
+
+TEST(Bitops, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(16), 0xffffu);
+    EXPECT_EQ(maskBits(64), ~0ull);
+}
+
+TEST(Bitops, ByteMaskFor)
+{
+    EXPECT_EQ(byteMaskFor(0, 4), 0x0fu);
+    EXPECT_EQ(byteMaskFor(4, 4), 0xf0u);
+    EXPECT_EQ(byteMaskFor(8, 8), 0xff00u);
+    EXPECT_EQ(byteMaskFor(0, 64), ~0ull);
+}
+
+TEST(Bitops, ByteMasksWithinLineAreDisjoint)
+{
+    // Adjacent word masks within a 16B line never overlap.
+    for (unsigned a = 0; a < 16; a += 4) {
+        for (unsigned b = 0; b < 16; b += 4) {
+            if (a == b)
+                continue;
+            EXPECT_EQ(byteMaskFor(a, 4) & byteMaskFor(b, 4), 0u)
+                << "offsets " << a << " and " << b;
+        }
+    }
+}
+
+TEST(Bitops, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(0xff), 8u);
+    EXPECT_EQ(popcount(~0ull), 64u);
+    EXPECT_EQ(popcount(byteMaskFor(3, 5)), 5u);
+}
+
+} // namespace
+} // namespace jcache

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the policy taxonomy (paper Figure 12) and cache
+ * configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+TEST(PolicyNames, MatchPaperSpelling)
+{
+    EXPECT_EQ(name(WriteHitPolicy::WriteThrough), "write-through");
+    EXPECT_EQ(name(WriteHitPolicy::WriteBack), "write-back");
+    EXPECT_EQ(name(WriteMissPolicy::FetchOnWrite), "fetch-on-write");
+    EXPECT_EQ(name(WriteMissPolicy::WriteValidate), "write-validate");
+    EXPECT_EQ(name(WriteMissPolicy::WriteAround), "write-around");
+    EXPECT_EQ(name(WriteMissPolicy::WriteInvalidate),
+              "write-invalidate");
+}
+
+TEST(PolicyPredicates, Figure12Columns)
+{
+    using P = WriteMissPolicy;
+    EXPECT_TRUE(fetchesOnWrite(P::FetchOnWrite));
+    EXPECT_FALSE(fetchesOnWrite(P::WriteValidate));
+    EXPECT_FALSE(fetchesOnWrite(P::WriteAround));
+    EXPECT_FALSE(fetchesOnWrite(P::WriteInvalidate));
+
+    EXPECT_TRUE(allocatesOnWriteMiss(P::FetchOnWrite));
+    EXPECT_TRUE(allocatesOnWriteMiss(P::WriteValidate));
+    EXPECT_FALSE(allocatesOnWriteMiss(P::WriteAround));
+    EXPECT_FALSE(allocatesOnWriteMiss(P::WriteInvalidate));
+
+    EXPECT_FALSE(invalidatesOnWriteMiss(P::FetchOnWrite));
+    EXPECT_FALSE(invalidatesOnWriteMiss(P::WriteValidate));
+    EXPECT_FALSE(invalidatesOnWriteMiss(P::WriteAround));
+    EXPECT_TRUE(invalidatesOnWriteMiss(P::WriteInvalidate));
+}
+
+TEST(ClassifyWriteMiss, UsefulCombinations)
+{
+    using P = WriteMissPolicy;
+    EXPECT_EQ(classifyWriteMiss(true, true, false), P::FetchOnWrite);
+    EXPECT_EQ(classifyWriteMiss(false, true, false), P::WriteValidate);
+    EXPECT_EQ(classifyWriteMiss(false, false, false), P::WriteAround);
+    EXPECT_EQ(classifyWriteMiss(false, false, true),
+              P::WriteInvalidate);
+}
+
+TEST(ClassifyWriteMiss, NotUsefulCombinationsRejected)
+{
+    // Fetching data only to discard or invalidate it (Section 4).
+    EXPECT_EQ(classifyWriteMiss(true, false, false), std::nullopt);
+    EXPECT_EQ(classifyWriteMiss(true, false, true), std::nullopt);
+    EXPECT_EQ(classifyWriteMiss(true, true, true), std::nullopt);
+    // Allocating a line only to mark it invalid.
+    EXPECT_EQ(classifyWriteMiss(false, true, true), std::nullopt);
+}
+
+TEST(ClassifyWriteMiss, RoundTripsWithPredicates)
+{
+    using P = WriteMissPolicy;
+    for (P p : {P::FetchOnWrite, P::WriteValidate, P::WriteAround,
+                P::WriteInvalidate}) {
+        auto back = classifyWriteMiss(fetchesOnWrite(p),
+                                      allocatesOnWriteMiss(p),
+                                      invalidatesOnWriteMiss(p));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, p);
+    }
+}
+
+TEST(CacheConfig, DefaultIsPaperBaseCase)
+{
+    CacheConfig config;
+    EXPECT_EQ(config.sizeBytes, 8u * 1024u);
+    EXPECT_EQ(config.lineBytes, 16u);
+    EXPECT_EQ(config.assoc, 1u);
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(CacheConfig, RejectsNonPowerOfTwoSize)
+{
+    CacheConfig config;
+    config.sizeBytes = 3000;
+    EXPECT_THROW(config.validate(), FatalError);
+}
+
+TEST(CacheConfig, RejectsBadLineSizes)
+{
+    CacheConfig config;
+    config.lineBytes = 2;
+    EXPECT_THROW(config.validate(), FatalError);
+    config.lineBytes = 128;
+    EXPECT_THROW(config.validate(), FatalError);
+    config.lineBytes = 24;
+    EXPECT_THROW(config.validate(), FatalError);
+}
+
+TEST(CacheConfig, RejectsZeroAssociativity)
+{
+    CacheConfig config;
+    config.assoc = 0;
+    EXPECT_THROW(config.validate(), FatalError);
+}
+
+TEST(CacheConfig, RejectsCacheSmallerThanOneSet)
+{
+    CacheConfig config;
+    config.sizeBytes = 64;
+    config.lineBytes = 64;
+    config.assoc = 2;
+    EXPECT_THROW(config.validate(), FatalError);
+}
+
+TEST(CacheConfig, RejectsNoAllocatePoliciesWithWriteBack)
+{
+    // Write-around and write-invalidate require write-through
+    // (Section 4: "only useful with write-through caches").
+    CacheConfig config;
+    config.hitPolicy = WriteHitPolicy::WriteBack;
+    config.missPolicy = WriteMissPolicy::WriteAround;
+    EXPECT_THROW(config.validate(), FatalError);
+    config.missPolicy = WriteMissPolicy::WriteInvalidate;
+    EXPECT_THROW(config.validate(), FatalError);
+    // Fetch-on-write and write-validate are fine with write-back.
+    config.missPolicy = WriteMissPolicy::FetchOnWrite;
+    EXPECT_NO_THROW(config.validate());
+    config.missPolicy = WriteMissPolicy::WriteValidate;
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(CacheConfig, DescribeIsReadable)
+{
+    CacheConfig config;
+    config.hitPolicy = WriteHitPolicy::WriteBack;
+    config.missPolicy = WriteMissPolicy::WriteValidate;
+    EXPECT_EQ(config.describe(), "8KB/16B/DM write-back+write-validate");
+    config.assoc = 2;
+    config.sizeBytes = 512;
+    EXPECT_EQ(config.describe(),
+              "512B/16B/2-way write-back+write-validate");
+}
+
+} // namespace
+} // namespace jcache::core

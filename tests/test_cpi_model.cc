@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the CPI model: decomposition arithmetic and the
+ * directional effects the paper's arguments predict.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpi_model.hh"
+#include "trace/recorder.hh"
+
+namespace jcache::sim
+{
+namespace
+{
+
+using core::CacheConfig;
+using core::WriteHitPolicy;
+using core::WriteMissPolicy;
+using trace::RefType;
+
+CacheConfig
+config(WriteHitPolicy hit, WriteMissPolicy miss)
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;
+    c.lineBytes = 16;
+    c.hitPolicy = hit;
+    c.missPolicy = miss;
+    return c;
+}
+
+TEST(CpiModel, EmptyTraceIsBaseCpi)
+{
+    trace::Trace t("empty");
+    CpiBreakdown b = evaluateCpi(
+        t, config(WriteHitPolicy::WriteBack,
+                  WriteMissPolicy::FetchOnWrite));
+    EXPECT_DOUBLE_EQ(b.total(), 1.0);
+}
+
+TEST(CpiModel, FetchStallEqualsPenaltyTimesMissRate)
+{
+    // 4 reads, each its own line and a miss; 8 instructions total.
+    trace::Trace t("misses");
+    for (Addr a = 0; a < 4 * 16; a += 16)
+        t.append({a, 2, 4, RefType::Read});
+    CpiParams params;
+    params.fetchPenalty = 10;
+    CpiBreakdown b = evaluateCpi(
+        t, config(WriteHitPolicy::WriteBack,
+                  WriteMissPolicy::FetchOnWrite),
+        params);
+    EXPECT_DOUBLE_EQ(b.fetchStall, 10.0 * 4.0 / 8.0);
+    EXPECT_DOUBLE_EQ(b.base, 1.0);
+    EXPECT_DOUBLE_EQ(b.total(),
+                     1.0 + b.fetchStall + b.storeOverhead +
+                         b.writeStall);
+}
+
+TEST(CpiModel, WriteValidateLowersFetchStallOnWriteMissStream)
+{
+    trace::Trace t("writes");
+    for (Addr a = 0; a < 40 * 16; a += 16)
+        t.append({a, 3, 4, RefType::Write});
+    CpiBreakdown fow = evaluateCpi(
+        t, config(WriteHitPolicy::WriteThrough,
+                  WriteMissPolicy::FetchOnWrite));
+    CpiBreakdown wv = evaluateCpi(
+        t, config(WriteHitPolicy::WriteThrough,
+                  WriteMissPolicy::WriteValidate));
+    EXPECT_GT(fow.fetchStall, 0.0);
+    EXPECT_DOUBLE_EQ(wv.fetchStall, 0.0);
+    EXPECT_LT(wv.total(), fow.total());
+}
+
+TEST(CpiModel, SaturatedWriteBufferShowsUpAsWriteStall)
+{
+    // Back-to-back store storm to distinct lines: a 4-entry buffer
+    // retiring every 6 cycles must stall.
+    trace::Trace t("storm");
+    for (Addr a = 0; a < 400 * 16; a += 16)
+        t.append({a, 1, 4, RefType::Write});
+    CpiParams params;
+    params.writeBuffer.entries = 4;
+    params.writeBuffer.retireInterval = 6;
+    CpiBreakdown b = evaluateCpi(
+        t, config(WriteHitPolicy::WriteThrough,
+                  WriteMissPolicy::WriteValidate),
+        params);
+    EXPECT_GT(b.writeStall, 1.0);
+    // A deeper, faster buffer reduces the stall.
+    params.writeBuffer.entries = 16;
+    params.writeBuffer.retireInterval = 1;
+    CpiBreakdown relaxed = evaluateCpi(
+        t, config(WriteHitPolicy::WriteThrough,
+                  WriteMissPolicy::WriteValidate),
+        params);
+    EXPECT_LT(relaxed.writeStall, b.writeStall);
+}
+
+TEST(CpiModel, WriteBackUsesVictimBufferTiming)
+{
+    // Dirty ping-pong: every miss produces a dirty victim.
+    trace::Trace t("pingpong");
+    for (int i = 0; i < 200; ++i) {
+        t.append({static_cast<Addr>(i % 2) * 0x400, 1, 4,
+                  RefType::Write});
+    }
+    CpiParams params;
+    params.victimDrain = 20;
+    params.victimBufferEntries = 1;
+    CpiBreakdown one = evaluateCpi(
+        t, config(WriteHitPolicy::WriteBack,
+                  WriteMissPolicy::FetchOnWrite),
+        params);
+    params.victimBufferEntries = 4;
+    CpiBreakdown four = evaluateCpi(
+        t, config(WriteHitPolicy::WriteBack,
+                  WriteMissPolicy::FetchOnWrite),
+        params);
+    EXPECT_GT(one.writeStall, 0.0);
+    EXPECT_LE(four.writeStall, one.writeStall);
+}
+
+TEST(CpiModel, StoreSchemeContributes)
+{
+    trace::Trace t("dense");
+    t.append({0x100, 1, 4, RefType::Read});
+    for (int i = 0; i < 50; ++i) {
+        t.append({0x100, 1, 4, RefType::Write});
+        t.append({0x104, 1, 4, RefType::Read});
+    }
+    CpiParams naive;
+    naive.storeScheme = core::StoreScheme::ProbeThenWrite;
+    CpiParams delayed;
+    delayed.storeScheme = core::StoreScheme::DelayedWrite;
+    CacheConfig c = config(WriteHitPolicy::WriteBack,
+                           WriteMissPolicy::FetchOnWrite);
+    EXPECT_GT(evaluateCpi(t, c, naive).storeOverhead,
+              evaluateCpi(t, c, delayed).storeOverhead);
+}
+
+} // namespace
+} // namespace jcache::sim

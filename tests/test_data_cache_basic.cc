@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for DataCache fundamentals: hits, misses, replacement,
+ * associativity, victim accounting and access splitting — independent
+ * of write-policy subtleties (covered by their own suites).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/data_cache.hh"
+#include "mem/traffic_meter.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+CacheConfig
+wbConfig(Count size = 1024, unsigned line = 16, unsigned assoc = 1)
+{
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.assoc = assoc;
+    c.hitPolicy = WriteHitPolicy::WriteBack;
+    c.missPolicy = WriteMissPolicy::FetchOnWrite;
+    return c;
+}
+
+class DataCacheBasic : public ::testing::Test
+{
+  protected:
+    mem::TrafficMeter meter;
+};
+
+TEST_F(DataCacheBasic, ColdReadMissesThenHits)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.read(0x100, 4);
+    EXPECT_EQ(cache.stats().readMisses, 1u);
+    EXPECT_EQ(cache.stats().linesFetched, 1u);
+    cache.read(0x100, 4);
+    cache.read(0x104, 4);   // same line
+    cache.read(0x10c, 4);   // same line, last word
+    EXPECT_EQ(cache.stats().readHits, 3u);
+    EXPECT_EQ(cache.stats().readMisses, 1u);
+}
+
+TEST_F(DataCacheBasic, FetchIsLineAlignedAndLineSized)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.read(0x10c, 4);
+    EXPECT_EQ(meter.fetches().transactions, 1u);
+    EXPECT_EQ(meter.fetches().bytes, 16u);
+}
+
+TEST_F(DataCacheBasic, DistinctLinesMissSeparately)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.read(0x100, 4);
+    cache.read(0x110, 4);
+    cache.read(0x120, 4);
+    EXPECT_EQ(cache.stats().readMisses, 3u);
+    EXPECT_TRUE(cache.contains(0x100));
+    EXPECT_TRUE(cache.contains(0x110));
+    EXPECT_TRUE(cache.contains(0x120));
+}
+
+TEST_F(DataCacheBasic, DirectMappedConflictEvicts)
+{
+    // 1KB direct-mapped, 16B lines: addresses 1KB apart conflict.
+    DataCache cache(wbConfig(), meter);
+    cache.read(0x000, 4);
+    cache.read(0x400, 4);
+    EXPECT_FALSE(cache.contains(0x000));
+    EXPECT_TRUE(cache.contains(0x400));
+    EXPECT_EQ(cache.stats().victims, 1u);
+    EXPECT_EQ(cache.stats().dirtyVictims, 0u);
+    cache.read(0x000, 4);
+    EXPECT_EQ(cache.stats().readMisses, 3u);
+}
+
+TEST_F(DataCacheBasic, TwoWaySetHoldsConflictingPair)
+{
+    DataCache cache(wbConfig(1024, 16, 2), meter);
+    cache.read(0x000, 4);
+    cache.read(0x200, 4);  // same set, second way (512B apart)
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_TRUE(cache.contains(0x200));
+    cache.read(0x000, 4);
+    cache.read(0x200, 4);
+    EXPECT_EQ(cache.stats().readHits, 2u);
+}
+
+TEST_F(DataCacheBasic, LruReplacementInSet)
+{
+    DataCache cache(wbConfig(1024, 16, 2), meter);
+    cache.read(0x000, 4);   // way A
+    cache.read(0x200, 4);   // way B
+    cache.read(0x000, 4);   // touch A: B is now LRU
+    cache.read(0x400, 4);   // evicts B
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_FALSE(cache.contains(0x200));
+    EXPECT_TRUE(cache.contains(0x400));
+}
+
+TEST_F(DataCacheBasic, LruUpdatedByWritesToo)
+{
+    DataCache cache(wbConfig(1024, 16, 2), meter);
+    cache.read(0x000, 4);
+    cache.read(0x200, 4);
+    cache.write(0x000, 4);  // touch A by writing
+    cache.read(0x400, 4);   // must evict B, not A
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_FALSE(cache.contains(0x200));
+}
+
+TEST_F(DataCacheBasic, DirtyVictimIsWrittenBack)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x000, 4);   // fetch-on-write then dirty
+    cache.read(0x400, 4);    // conflict: dirty victim
+    EXPECT_EQ(cache.stats().victims, 1u);
+    EXPECT_EQ(cache.stats().dirtyVictims, 1u);
+    EXPECT_EQ(cache.stats().dirtyVictimDirtyBytes, 4u);
+    EXPECT_EQ(meter.writeBacks().transactions, 1u);
+    EXPECT_EQ(meter.writeBacks().bytes, 4u);
+}
+
+TEST_F(DataCacheBasic, CleanVictimProducesNoWriteBack)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.read(0x000, 4);
+    cache.read(0x400, 4);
+    EXPECT_EQ(cache.stats().victims, 1u);
+    EXPECT_EQ(meter.writeBacks().transactions, 0u);
+}
+
+TEST_F(DataCacheBasic, AccessDispatchesOnRecordType)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.access({0x100, 1, 4, trace::RefType::Read});
+    cache.access({0x200, 1, 4, trace::RefType::Write});
+    EXPECT_EQ(cache.stats().reads, 1u);
+    EXPECT_EQ(cache.stats().writes, 1u);
+}
+
+TEST_F(DataCacheBasic, StraddlingAccessSplitsIntoTwoPieces)
+{
+    // 4B lines: an aligned 8B access covers two lines (the paper's
+    // double-precision-on-4B-lines case).
+    DataCache cache(wbConfig(1024, 4), meter);
+    cache.read(0x100, 8);
+    EXPECT_EQ(cache.stats().reads, 2u);
+    EXPECT_EQ(cache.stats().readMisses, 2u);
+    EXPECT_TRUE(cache.contains(0x100));
+    EXPECT_TRUE(cache.contains(0x104));
+}
+
+TEST_F(DataCacheBasic, AlignedAccessesDoNotSplit)
+{
+    DataCache cache(wbConfig(1024, 16), meter);
+    cache.read(0x108, 8);
+    EXPECT_EQ(cache.stats().reads, 1u);
+}
+
+TEST_F(DataCacheBasic, HitPlusMissEqualsAccesses)
+{
+    DataCache cache(wbConfig(), meter);
+    for (Addr a = 0; a < 0x1000; a += 12)
+        cache.read(a & ~Addr{3}, 4);
+    const CacheStats& s = cache.stats();
+    EXPECT_EQ(s.readHits + s.readMisses, s.reads);
+}
+
+TEST_F(DataCacheBasic, ResetClearsLinesAndStats)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x100, 4);
+    cache.reset();
+    EXPECT_FALSE(cache.contains(0x100));
+    EXPECT_EQ(cache.stats().writes, 0u);
+    EXPECT_EQ(cache.validLineCount(), 0u);
+    cache.read(0x100, 4);
+    EXPECT_EQ(cache.stats().readMisses, 1u);
+}
+
+TEST_F(DataCacheBasic, ValidAndDirtyLineCounts)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.read(0x000, 4);
+    cache.read(0x010, 4);
+    cache.write(0x020, 4);
+    EXPECT_EQ(cache.validLineCount(), 3u);
+    EXPECT_EQ(cache.dirtyLineCount(), 1u);
+}
+
+TEST_F(DataCacheBasic, GeometryAndConfigAccessors)
+{
+    CacheConfig config = wbConfig(2048, 32, 2);
+    DataCache cache(config, meter);
+    EXPECT_EQ(cache.config(), config);
+    EXPECT_EQ(cache.geometry().numSets(), 32u);
+}
+
+TEST_F(DataCacheBasic, TagAliasingAcrossLargeAddresses)
+{
+    DataCache cache(wbConfig(), meter);
+    cache.read(0x0000000100000100ull, 4);
+    cache.read(0x0000000200000100ull, 4);  // same index, distinct tag
+    EXPECT_EQ(cache.stats().readMisses, 2u);
+    EXPECT_FALSE(cache.contains(0x0000000100000100ull));
+    EXPECT_TRUE(cache.contains(0x0000000200000100ull));
+}
+
+} // namespace
+} // namespace jcache::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for byte-granularity dirty accounting — the machinery
+ * behind paper Section 5.2 (Figures 20-25).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/data_cache.hh"
+#include "mem/traffic_meter.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+CacheConfig
+wbConfig(unsigned line = 16)
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;
+    c.lineBytes = line;
+    c.hitPolicy = WriteHitPolicy::WriteBack;
+    c.missPolicy = WriteMissPolicy::FetchOnWrite;
+    return c;
+}
+
+TEST(DirtyBytes, SingleWordDirty)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x104, 4);
+    EXPECT_EQ(cache.dirtyMask(0x100), ByteMask{0x0f0});
+    cache.read(0x500, 4);  // evict
+    EXPECT_EQ(cache.stats().dirtyVictimDirtyBytes, 4u);
+}
+
+TEST(DirtyBytes, OverlappingWritesDoNotDoubleCount)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x100, 8);
+    cache.write(0x104, 4);  // overlaps the first write
+    cache.read(0x500, 4);
+    EXPECT_EQ(cache.stats().dirtyVictimDirtyBytes, 8u);
+}
+
+TEST(DirtyBytes, WholeLineDirtyAfterFullCoverage)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    for (unsigned off = 0; off < 16; off += 4)
+        cache.write(0x100 + off, 4);
+    EXPECT_EQ(cache.dirtyMask(0x100), ByteMask{0xffff});
+    cache.read(0x500, 4);
+    EXPECT_EQ(cache.stats().dirtyVictimDirtyBytes, 16u);
+    EXPECT_EQ(meter.writeBacks().bytes, 16u);
+}
+
+TEST(DirtyBytes, FourByteLinesAreAllOrNothing)
+{
+    // The paper's Figure 24 endpoint: with 4B lines and word writes,
+    // a dirty line is 100% dirty.
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(4), meter);
+    cache.write(0x100, 4);
+    cache.write(0x204, 4);
+    cache.read(0x500, 4);  // evicts 0x100's line
+    cache.read(0x604, 4);  // evicts 0x204's line
+    const CacheStats& s = cache.stats();
+    EXPECT_EQ(s.dirtyVictims, 2u);
+    EXPECT_EQ(s.dirtyVictimDirtyBytes, 8u);  // 100% of 2 x 4B
+}
+
+TEST(DirtyBytes, SixtyFourByteLineLowUtilization)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(64), meter);
+    cache.write(0x100, 4);  // one word of a 64B line
+    cache.read(0x500, 4);   // evict (0x500 maps to the same set? see below)
+    cache.flush();
+    const CacheStats& s = cache.stats();
+    Count dirty_bytes = s.dirtyVictimDirtyBytes + s.flushedDirtyBytes;
+    EXPECT_EQ(dirty_bytes, 4u);  // 6.25% of the line
+}
+
+TEST(DirtyBytes, MergeFetchDoesNotDirtyFetchedBytes)
+{
+    mem::TrafficMeter meter;
+    CacheConfig c = wbConfig();
+    c.missPolicy = WriteMissPolicy::WriteValidate;
+    DataCache cache(c, meter);
+    cache.write(0x104, 4);
+    cache.read(0x108, 4);   // deferred miss: fetch fills the line
+    cache.read(0x500, 4);   // evict
+    cache.flush();
+    Count dirty_bytes = cache.stats().dirtyVictimDirtyBytes +
+                        cache.stats().flushedDirtyBytes;
+    EXPECT_EQ(dirty_bytes, 4u);  // only the written word
+}
+
+TEST(DirtyBytes, SubblockVsWholeLineWriteBackBytes)
+{
+    // Section 5.2's question: should write-backs move whole lines or
+    // just dirty subblocks?  The meter tracks both.
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(32), meter);
+    cache.write(0x100, 4);
+    cache.write(0x104, 4);
+    cache.read(0x500, 4);  // evict: 8 dirty of 32 bytes
+    EXPECT_EQ(meter.writeBacks().bytes, 8u);
+    EXPECT_EQ(meter.writeBackWholeLineBytes(), 32u);
+}
+
+TEST(DirtyBytes, EightByteWritesMarkEightBytes)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x108, 8);
+    EXPECT_EQ(cache.dirtyMask(0x100), ByteMask{0xff00});
+}
+
+} // namespace
+} // namespace jcache::core

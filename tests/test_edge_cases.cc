@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Edge-case tests: unusual geometries, access shapes and sequences
+ * the main suites don't reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/data_cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/second_level_cache.hh"
+#include "mem/traffic_meter.hh"
+#include "sim/sweeps.hh"
+#include "util/logging.hh"
+
+namespace jcache
+{
+namespace
+{
+
+using core::CacheConfig;
+using core::DataCache;
+using core::WriteHitPolicy;
+using core::WriteMissPolicy;
+
+CacheConfig
+config(Count size = 1024, unsigned line = 16, unsigned assoc = 1)
+{
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.assoc = assoc;
+    c.hitPolicy = WriteHitPolicy::WriteBack;
+    c.missPolicy = WriteMissPolicy::FetchOnWrite;
+    return c;
+}
+
+TEST(EdgeCases, SingleLineCache)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(16, 16, 1), meter);
+    cache.read(0x000, 4);
+    cache.read(0x010, 4);  // every distinct line conflicts
+    cache.read(0x000, 4);
+    EXPECT_EQ(cache.stats().readMisses, 3u);
+    EXPECT_EQ(cache.stats().victims, 2u);
+}
+
+TEST(EdgeCases, FullyAssociativeCache)
+{
+    // 8 lines, 8 ways: one set; no conflict misses within capacity.
+    mem::TrafficMeter meter;
+    DataCache cache(config(128, 16, 8), meter);
+    for (Addr a = 0; a < 8 * 0x1000; a += 0x1000)
+        cache.read(a, 4);  // wildly conflicting addresses
+    for (Addr a = 0; a < 8 * 0x1000; a += 0x1000)
+        cache.read(a, 4);
+    EXPECT_EQ(cache.stats().readMisses, 8u);
+    EXPECT_EQ(cache.stats().readHits, 8u);
+}
+
+TEST(EdgeCases, MinimumLineSize)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(1024, 4), meter);
+    cache.write(0x100, 4);
+    EXPECT_EQ(cache.dirtyMask(0x100), ByteMask{0xf});
+    // An 8B write covers two whole 4B lines.
+    cache.write(0x200, 8);
+    EXPECT_EQ(cache.stats().writes, 3u);
+    EXPECT_TRUE(cache.contains(0x200));
+    EXPECT_TRUE(cache.contains(0x204));
+}
+
+TEST(EdgeCases, MaximumLineSize)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(1024, 64), meter);
+    cache.read(0x3C, 4);
+    EXPECT_EQ(cache.validMask(0x00), ~ByteMask{0});
+    EXPECT_EQ(meter.fetches().bytes, 64u);
+}
+
+TEST(EdgeCases, SingleByteAccesses)
+{
+    // The models accept sub-word accesses even though the MultiTitan
+    // workloads never issue them.
+    mem::TrafficMeter meter;
+    CacheConfig c = config();
+    c.hitPolicy = WriteHitPolicy::WriteBack;
+    c.missPolicy = WriteMissPolicy::WriteValidate;
+    DataCache cache(c, meter);
+    cache.write(0x101, 1);
+    EXPECT_EQ(cache.validMask(0x100), ByteMask{0x2});
+    cache.write(0x102, 2);  // bytes 2 and 3
+    EXPECT_EQ(cache.validMask(0x100), ByteMask{0xe});
+    EXPECT_EQ(cache.dirtyMask(0x100), ByteMask{0xe});
+}
+
+TEST(EdgeCases, MisalignedAccessWithinLine)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.write(0x103, 4);  // straddles word but not line boundary
+    EXPECT_EQ(cache.stats().writes, 1u);
+    EXPECT_EQ(cache.dirtyMask(0x100), ByteMask{0x78});
+}
+
+TEST(EdgeCases, MisalignedAccessAcrossLineBoundary)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.read(0x10e, 4);  // bytes 14,15 of one line + 0,1 of next
+    EXPECT_EQ(cache.stats().reads, 2u);
+    EXPECT_EQ(cache.stats().readMisses, 2u);
+    EXPECT_TRUE(cache.contains(0x100));
+    EXPECT_TRUE(cache.contains(0x110));
+}
+
+TEST(EdgeCases, HugeAddressesNearTopOfSpace)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    Addr top = ~Addr{0} - 15;  // last line of the address space
+    cache.write(top, 4);
+    EXPECT_TRUE(cache.contains(top));
+    cache.read(top + 8, 4);
+    EXPECT_EQ(cache.stats().readHits, 1u);
+}
+
+TEST(EdgeCases, RepeatedFlushesAndAccesses)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    for (int i = 0; i < 4; ++i) {
+        cache.write(0x100, 4);
+        cache.flush();
+    }
+    // Only the first write misses; each flush re-cleans the line.
+    EXPECT_EQ(cache.stats().writeMisses, 1u);
+    EXPECT_EQ(meter.flushBacks().transactions, 4u);
+    EXPECT_EQ(meter.flushBacks().bytes, 16u);
+}
+
+TEST(EdgeCases, L2WithEqualGeometryToL1)
+{
+    mem::MainMemory memory(0);
+    mem::TrafficMeter l2_back(&memory);
+    mem::SecondLevelCache l2(config(1024, 16), l2_back);
+    mem::TrafficMeter l1_back(&l2);
+    DataCache l1(config(1024, 16), l1_back);
+    // Identical geometry: the L2 never hits what the L1 missed
+    // (inclusion makes it a pure pass-through for this stream).
+    for (Addr a = 0; a < 4096; a += 16)
+        l1.read(a, 4);
+    EXPECT_EQ(l2.stats().readMisses, l1.stats().readMisses);
+}
+
+TEST(EdgeCases, TraceSetLookupFailsCleanly)
+{
+    EXPECT_THROW(sim::TraceSet::standard().get("nonexistent"),
+                 FatalError);
+}
+
+TEST(EdgeCases, ZeroScaleWorkloadStillTerminates)
+{
+    workloads::WorkloadConfig c;
+    c.scale = 0;  // degenerate: no work, but must not hang or crash
+    trace::Trace t =
+        workloads::generateTrace(*workloads::makeWorkload("linpack",
+                                                          c));
+    EXPECT_EQ(t.size(), 0u);
+}
+
+} // namespace
+} // namespace jcache

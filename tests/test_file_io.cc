@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the binary trace file format: round trips, format
+ * validation, and corruption detection.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/file_io.hh"
+#include "util/logging.hh"
+
+namespace jcache::trace
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace t("sample");
+    t.append({0x10000, 1, 4, RefType::Read});
+    t.append({0x10008, 3, 8, RefType::Write});
+    t.append({0xffffffffdeadbeefull, 70000, 4, RefType::Write});
+    return t;
+}
+
+TEST(TraceFileIo, StreamRoundTrip)
+{
+    Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(original, buffer);
+    Trace loaded = readTrace(buffer);
+    EXPECT_EQ(loaded, original);
+}
+
+TEST(TraceFileIo, EmptyTraceRoundTrip)
+{
+    Trace original("empty");
+    std::stringstream buffer;
+    writeTrace(original, buffer);
+    Trace loaded = readTrace(buffer);
+    EXPECT_EQ(loaded, original);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceFileIo, FileRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "/jcache_trace_test.bin";
+    Trace original = sampleTrace();
+    saveTrace(original, path);
+    Trace loaded = loadTrace(path);
+    EXPECT_EQ(loaded, original);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileIo, RejectsBadMagic)
+{
+    std::stringstream buffer;
+    buffer << "NOPE-this-is-not-a-trace";
+    EXPECT_THROW(readTrace(buffer), FatalError);
+}
+
+TEST(TraceFileIo, RejectsTruncatedFile)
+{
+    Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(original, buffer);
+    std::string bytes = buffer.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 5));
+    EXPECT_THROW(readTrace(truncated), FatalError);
+}
+
+TEST(TraceFileIo, RejectsWrongVersion)
+{
+    Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(original, buffer);
+    std::string bytes = buffer.str();
+    bytes[4] = 99;  // version field, little-endian low byte
+    std::stringstream tampered(bytes);
+    EXPECT_THROW(readTrace(tampered), FatalError);
+}
+
+TEST(TraceFileIo, RejectsCorruptRecordSize)
+{
+    Trace t("x");
+    t.append({0x0, 1, 4, RefType::Read});
+    std::stringstream buffer;
+    writeTrace(t, buffer);
+    std::string bytes = buffer.str();
+    // The record's size byte is 12 bytes into the record: addr(8) +
+    // instrDelta(4).  Header is 4+4+8+4+1 bytes ("x" name).
+    std::size_t record_start = 4 + 4 + 8 + 4 + 1;
+    bytes[record_start + 12] = 3;  // invalid access size
+    std::stringstream tampered(bytes);
+    EXPECT_THROW(readTrace(tampered), FatalError);
+}
+
+TEST(TraceFileIo, MissingFileFails)
+{
+    EXPECT_THROW(loadTrace("/nonexistent/path/trace.bin"), FatalError);
+}
+
+TEST(TraceFileIo, PreservesName)
+{
+    Trace t("a-name-with-unicode-\xc3\xa9");
+    std::stringstream buffer;
+    writeTrace(t, buffer);
+    EXPECT_EQ(readTrace(buffer).name(), t.name());
+}
+
+TEST(TraceFileIo, CompressedRoundTrip)
+{
+    Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeTraceCompressed(original, buffer);
+    Trace loaded = readTrace(buffer);  // auto-detects the format
+    EXPECT_EQ(loaded, original);
+}
+
+TEST(TraceFileIo, CompressedFileRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "/jcache_trace_z.bin";
+    Trace original = sampleTrace();
+    saveTraceCompressed(original, path);
+    Trace loaded = loadTrace(path);
+    EXPECT_EQ(loaded, original);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileIo, CompressionShrinksLocalTraces)
+{
+    // A sequential access pattern (the common case) compresses well.
+    Trace t("sequential");
+    for (Addr a = 0x10000; a < 0x10000 + 64 * 1024; a += 8) {
+        t.append({a, 3, 8, RefType::Read});
+        t.append({a, 1, 8, RefType::Write});
+    }
+    std::stringstream raw, compressed;
+    writeTrace(t, raw);
+    writeTraceCompressed(t, compressed);
+    EXPECT_LT(compressed.str().size() * 3, raw.str().size());
+    EXPECT_EQ(readTrace(compressed), t);
+}
+
+TEST(TraceFileIo, CompressedHandlesNegativeDeltasAndLargeJumps)
+{
+    Trace t("jumps");
+    t.append({0xffffffffffffff00ull, 1, 4, RefType::Read});
+    t.append({0x10, 100000, 4, RefType::Write});  // huge negative
+    t.append({0xdeadbeef00ull, 1, 8, RefType::Read});
+    std::stringstream buffer;
+    writeTraceCompressed(t, buffer);
+    EXPECT_EQ(readTrace(buffer), t);
+}
+
+TEST(TraceFileIo, CompressedTruncationDetected)
+{
+    Trace t = sampleTrace();
+    std::stringstream buffer;
+    writeTraceCompressed(t, buffer);
+    std::string bytes = buffer.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 2));
+    EXPECT_THROW(readTrace(truncated), FatalError);
+}
+
+} // namespace
+} // namespace jcache::trace

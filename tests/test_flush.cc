@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for flush(): the cold-stop vs flush-stop accounting of
+ * paper Section 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/data_cache.hh"
+#include "mem/traffic_meter.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+CacheConfig
+wbConfig()
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;
+    c.lineBytes = 16;
+    c.hitPolicy = WriteHitPolicy::WriteBack;
+    c.missPolicy = WriteMissPolicy::FetchOnWrite;
+    return c;
+}
+
+TEST(Flush, DrainsDirtyLinesAsFlushTraffic)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x000, 4);
+    cache.write(0x010, 8);
+    cache.read(0x020, 4);
+    cache.flush();
+    EXPECT_EQ(meter.flushBacks().transactions, 2u);
+    EXPECT_EQ(meter.flushBacks().bytes, 12u);
+    // Flush traffic is kept apart from execution write-backs.
+    EXPECT_EQ(meter.writeBacks().transactions, 0u);
+}
+
+TEST(Flush, CountsValidAndDirtyFlushedLines)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x000, 4);
+    cache.read(0x010, 4);
+    cache.read(0x020, 4);
+    cache.flush();
+    const CacheStats& s = cache.stats();
+    EXPECT_EQ(s.flushedValidLines, 3u);
+    EXPECT_EQ(s.flushedDirtyLines, 1u);
+    EXPECT_EQ(s.flushedDirtyBytes, 4u);
+}
+
+TEST(Flush, LinesStayValidButClean)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x000, 4);
+    cache.flush();
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_EQ(cache.dirtyMask(0x000), 0u);
+    cache.read(0x000, 4);
+    EXPECT_EQ(cache.stats().readHits, 1u);
+}
+
+TEST(Flush, SecondFlushIsANoOp)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    cache.write(0x000, 4);
+    cache.flush();
+    cache.flush();
+    EXPECT_EQ(meter.flushBacks().transactions, 1u);
+    // flushedValidLines counts both passes' valid lines though; use
+    // dirty counters for idempotence checks.
+    EXPECT_EQ(cache.stats().flushedDirtyLines, 1u);
+}
+
+TEST(Flush, EmptyCacheFlushDoesNothing)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    cache.flush();
+    EXPECT_EQ(cache.stats().flushedValidLines, 0u);
+    EXPECT_EQ(meter.flushBacks().transactions, 0u);
+}
+
+TEST(Flush, ColdStopMissesWriteBackDifference)
+{
+    // The paper's liver example: with a large cache most written
+    // lines never leave during execution; flushing reveals them.
+    mem::TrafficMeter meter;
+    DataCache cache(wbConfig(), meter);
+    for (Addr a = 0; a < 512; a += 4)
+        cache.write(a, 4);  // fits: no evictions
+    EXPECT_EQ(meter.writeBacks().transactions, 0u);     // cold stop: 0
+    cache.flush();
+    EXPECT_EQ(meter.flushBacks().transactions, 512u / 16u);
+}
+
+TEST(Flush, WriteThroughCacheHasNothingToFlush)
+{
+    mem::TrafficMeter meter;
+    CacheConfig c = wbConfig();
+    c.hitPolicy = WriteHitPolicy::WriteThrough;
+    DataCache cache(c, meter);
+    cache.write(0x000, 4);
+    cache.flush();
+    EXPECT_EQ(cache.stats().flushedDirtyLines, 0u);
+    EXPECT_EQ(meter.flushBacks().transactions, 0u);
+    EXPECT_EQ(cache.stats().flushedValidLines, 1u);
+}
+
+} // namespace
+} // namespace jcache::core

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for CacheGeometry address decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/geometry.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+CacheConfig
+config(Count size, unsigned line, unsigned assoc)
+{
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.assoc = assoc;
+    return c;
+}
+
+TEST(Geometry, DirectMapped8K16B)
+{
+    CacheGeometry g(config(8 * 1024, 16, 1));
+    EXPECT_EQ(g.numSets(), 512u);
+    EXPECT_EQ(g.numLines(), 512u);
+    EXPECT_EQ(g.lineBytes(), 16u);
+    EXPECT_EQ(g.sizeBytes(), 8u * 1024u);
+}
+
+TEST(Geometry, SetAssociativeSetCount)
+{
+    CacheGeometry g(config(8 * 1024, 16, 4));
+    EXPECT_EQ(g.numSets(), 128u);
+    EXPECT_EQ(g.numLines(), 512u);
+}
+
+TEST(Geometry, OffsetAndLineAddr)
+{
+    CacheGeometry g(config(8 * 1024, 16, 1));
+    EXPECT_EQ(g.offset(0x12345), 0x5u);
+    EXPECT_EQ(g.lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(g.offset(0x12340), 0u);
+}
+
+TEST(Geometry, SetIndexWraps)
+{
+    CacheGeometry g(config(8 * 1024, 16, 1));
+    // 512 sets: index field is bits [4, 13).
+    EXPECT_EQ(g.setIndex(0x0), 0u);
+    EXPECT_EQ(g.setIndex(0x10), 1u);
+    EXPECT_EQ(g.setIndex(0x2000), 0u);  // 8KB aliases back to set 0
+    EXPECT_EQ(g.setIndex(0x2010), 1u);
+}
+
+TEST(Geometry, TagDistinguishesAliases)
+{
+    CacheGeometry g(config(8 * 1024, 16, 1));
+    EXPECT_NE(g.tag(0x0), g.tag(0x2000));
+    EXPECT_EQ(g.tag(0x0), g.tag(0xf));
+}
+
+TEST(Geometry, LineAddrFromTagRoundTrip)
+{
+    for (unsigned assoc : {1u, 2u, 4u}) {
+        CacheGeometry g(config(4 * 1024, 32, assoc));
+        for (Addr addr : {Addr{0x0}, Addr{0x123456f8}, Addr{0xabcdef00},
+                          Addr{0x7fffffffffc0}}) {
+            Addr line = g.lineAddr(addr);
+            EXPECT_EQ(g.lineAddrFromTag(g.tag(addr), g.setIndex(addr)),
+                      line)
+                << "assoc=" << assoc << " addr=" << std::hex << addr;
+        }
+    }
+}
+
+TEST(Geometry, SingleSetFullyAssociative)
+{
+    // 8 lines of 16B, 8-way: one set; index bits are zero.
+    CacheGeometry g(config(128, 16, 8));
+    EXPECT_EQ(g.numSets(), 1u);
+    EXPECT_EQ(g.setIndex(0xdeadbeef), 0u);
+    EXPECT_EQ(g.tag(0x100), 0x10u);
+}
+
+TEST(Geometry, DecompositionPartitionsAddressBits)
+{
+    CacheGeometry g(config(2 * 1024, 64, 2));
+    Addr addr = 0xfedcba9876543210ull;
+    Addr rebuilt = g.lineAddrFromTag(g.tag(addr), g.setIndex(addr)) +
+                   g.offset(addr);
+    EXPECT_EQ(rebuilt, addr);
+}
+
+} // namespace
+} // namespace jcache::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: MainMemory accounting and
+ * TrafficMeter classification/forwarding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "mem/traffic_meter.hh"
+
+namespace jcache::mem
+{
+namespace
+{
+
+TEST(MainMemory, CountsTransactionsBytesAndCycles)
+{
+    MainMemory memory(10);
+    memory.fetchLine(0x100, 16);
+    memory.writeThrough(0x200, 4);
+    memory.writeBack(0x300, 16, 9, false);
+    EXPECT_EQ(memory.transactions(), 3u);
+    EXPECT_EQ(memory.bytes(), 16u + 4u + 9u);
+    EXPECT_EQ(memory.busyCycles(), 30u);
+    memory.reset();
+    EXPECT_EQ(memory.transactions(), 0u);
+    EXPECT_EQ(memory.bytes(), 0u);
+}
+
+TEST(TrafficMeter, ClassifiesByCategory)
+{
+    TrafficMeter meter;
+    meter.fetchLine(0x0, 16);
+    meter.fetchLine(0x10, 16);
+    meter.writeThrough(0x20, 4);
+    meter.writeBack(0x30, 16, 12, false);
+    meter.writeBack(0x40, 16, 16, true);
+
+    EXPECT_EQ(meter.fetches().transactions, 2u);
+    EXPECT_EQ(meter.fetches().bytes, 32u);
+    EXPECT_EQ(meter.writeThroughs().transactions, 1u);
+    EXPECT_EQ(meter.writeThroughs().bytes, 4u);
+    EXPECT_EQ(meter.writeBacks().transactions, 1u);
+    EXPECT_EQ(meter.writeBacks().bytes, 12u);
+    EXPECT_EQ(meter.flushBacks().transactions, 1u);
+    EXPECT_EQ(meter.flushBacks().bytes, 16u);
+}
+
+TEST(TrafficMeter, ColdStopTotalsExcludeFlush)
+{
+    TrafficMeter meter;
+    meter.fetchLine(0x0, 16);
+    meter.writeBack(0x40, 16, 16, true);
+    EXPECT_EQ(meter.totalTransactions(), 1u);
+    EXPECT_EQ(meter.totalBytes(), 16u);
+}
+
+TEST(TrafficMeter, TracksWholeLineWriteBackBytes)
+{
+    TrafficMeter meter;
+    meter.writeBack(0x0, 32, 5, false);
+    meter.writeBack(0x20, 32, 32, false);
+    // Subblock port: 37 bytes; whole-line port: 64 bytes.
+    EXPECT_EQ(meter.writeBacks().bytes, 37u);
+    EXPECT_EQ(meter.writeBackWholeLineBytes(), 64u);
+}
+
+TEST(TrafficMeter, ForwardsDownstream)
+{
+    MainMemory memory(1);
+    TrafficMeter meter(&memory);
+    meter.fetchLine(0x0, 16);
+    meter.writeThrough(0x20, 8);
+    meter.writeBack(0x40, 16, 7, false);
+    EXPECT_EQ(memory.transactions(), 3u);
+    EXPECT_EQ(memory.bytes(), 16u + 8u + 7u);
+}
+
+TEST(TrafficMeter, ChainsWithOtherMeters)
+{
+    TrafficMeter inner;
+    TrafficMeter outer(&inner);
+    outer.fetchLine(0x0, 64);
+    EXPECT_EQ(inner.fetches().transactions, 1u);
+    EXPECT_EQ(outer.fetches().transactions, 1u);
+}
+
+TEST(TrafficMeter, ResetClearsAllClasses)
+{
+    TrafficMeter meter;
+    meter.fetchLine(0x0, 16);
+    meter.writeThrough(0x20, 4);
+    meter.writeBack(0x30, 16, 4, false);
+    meter.writeBack(0x30, 16, 4, true);
+    meter.reset();
+    EXPECT_EQ(meter.totalTransactions(), 0u);
+    EXPECT_EQ(meter.flushBacks().transactions, 0u);
+    EXPECT_EQ(meter.writeBackWholeLineBytes(), 0u);
+}
+
+} // namespace
+} // namespace jcache::mem

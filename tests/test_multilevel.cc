@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Integration tests for two-level cache stacks (the paper assumes two
+ * or more levels; Section 1): an L1 DataCache backed by a
+ * SecondLevelCache backed by MainMemory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/data_cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/second_level_cache.hh"
+#include "mem/traffic_meter.hh"
+
+namespace jcache
+{
+namespace
+{
+
+using core::CacheConfig;
+using core::DataCache;
+using core::WriteHitPolicy;
+using core::WriteMissPolicy;
+
+CacheConfig
+l1Config()
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;
+    c.lineBytes = 16;
+    c.hitPolicy = WriteHitPolicy::WriteBack;
+    c.missPolicy = WriteMissPolicy::FetchOnWrite;
+    return c;
+}
+
+CacheConfig
+l2Config()
+{
+    CacheConfig c;
+    c.sizeBytes = 16 * 1024;
+    c.lineBytes = 64;
+    c.hitPolicy = WriteHitPolicy::WriteBack;
+    c.missPolicy = WriteMissPolicy::FetchOnWrite;
+    return c;
+}
+
+struct Stack
+{
+    mem::MainMemory memory{0};
+    mem::TrafficMeter l2_back;
+    mem::SecondLevelCache l2;
+    mem::TrafficMeter l1_back;
+    DataCache l1;
+
+    Stack()
+        : l2_back(&memory), l2(l2Config(), l2_back), l1_back(&l2),
+          l1(l1Config(), l1_back)
+    {}
+};
+
+TEST(MultiLevel, L1MissFetchesThroughL2)
+{
+    Stack stack;
+    stack.l1.read(0x100, 4);
+    EXPECT_EQ(stack.l1.stats().readMisses, 1u);
+    EXPECT_EQ(stack.l2.stats().readMisses, 1u);
+    EXPECT_EQ(stack.l2_back.fetches().transactions, 1u);
+    EXPECT_EQ(stack.l2_back.fetches().bytes, 64u);  // L2 line
+}
+
+TEST(MultiLevel, L2AbsorbsL1ConflictMisses)
+{
+    Stack stack;
+    // 0x000 and 0x400 conflict in the 1KB L1 but not in the 16KB L2.
+    stack.l1.read(0x000, 4);
+    stack.l1.read(0x400, 4);
+    stack.l1.read(0x000, 4);
+    stack.l1.read(0x400, 4);
+    EXPECT_EQ(stack.l1.stats().readMisses, 4u);
+    // L2: 0x000 and 0x400 are two distinct 64B lines -> 2 misses,
+    // then hits.
+    EXPECT_EQ(stack.l2.stats().readMisses, 2u);
+    EXPECT_EQ(stack.l2.stats().readHits, 2u);
+    EXPECT_EQ(stack.l2_back.fetches().transactions, 2u);
+}
+
+TEST(MultiLevel, L1SpatialLocalityWithinL2Line)
+{
+    Stack stack;
+    // Four consecutive L1 lines share one 64B L2 line.
+    for (Addr a = 0; a < 64; a += 16)
+        stack.l1.read(a, 4);
+    EXPECT_EQ(stack.l1.stats().readMisses, 4u);
+    EXPECT_EQ(stack.l2.stats().readMisses, 1u);
+    EXPECT_EQ(stack.l2.stats().readHits, 3u);
+}
+
+TEST(MultiLevel, DirtyVictimWritesIntoL2)
+{
+    Stack stack;
+    stack.l1.write(0x000, 4);
+    stack.l1.read(0x400, 4);  // evicts dirty line into L2
+    // The write-back is an L2 write hit (line already resident from
+    // the fetch-on-write), so no extra memory traffic.
+    EXPECT_EQ(stack.l2.stats().writes, 1u);
+    EXPECT_EQ(stack.l2.stats().writeHits, 1u);
+    EXPECT_EQ(stack.l2_back.writeBacks().transactions, 0u);
+    // The dirty data now lives in the L2.
+    EXPECT_TRUE(stack.l2.cache().contains(0x000));
+    EXPECT_NE(stack.l2.cache().dirtyMask(0x000), 0u);
+}
+
+TEST(MultiLevel, FlushCascades)
+{
+    Stack stack;
+    stack.l1.write(0x000, 4);
+    stack.l1.flush();       // dirty line -> L2
+    stack.l2.flush();       // L2's dirty line -> memory
+    EXPECT_EQ(stack.l2_back.flushBacks().transactions, 1u);
+    EXPECT_EQ(stack.memory.transactions(), 2u);  // fetch + flush
+}
+
+TEST(MultiLevel, WriteThroughL1OverWriteBackL2)
+{
+    // A common real organization: WT L1 (parity only) over WB L2
+    // (ECC) — the paper's Section 3.3 recommendation for small L1s.
+    mem::MainMemory memory(0);
+    mem::TrafficMeter l2_back(&memory);
+    mem::SecondLevelCache l2(l2Config(), l2_back);
+    mem::TrafficMeter l1_back(&l2);
+    CacheConfig wt = l1Config();
+    wt.hitPolicy = WriteHitPolicy::WriteThrough;
+    wt.missPolicy = WriteMissPolicy::WriteValidate;
+    DataCache l1(wt, l1_back);
+
+    for (int i = 0; i < 100; ++i)
+        l1.write(0x100, 4);
+    // All 100 stores reach the L2 but coalesce in its line.
+    EXPECT_EQ(l2.stats().writes, 100u);
+    EXPECT_EQ(l2_back.writeBacks().transactions, 0u);
+    EXPECT_EQ(l2_back.writeThroughs().transactions, 0u);
+    // Memory saw only the L2's fetch-on-write of the line; the dirty
+    // data stays in the write-back L2.
+    EXPECT_EQ(l2_back.fetches().transactions, 1u);
+    EXPECT_EQ(memory.transactions(), 1u);
+}
+
+TEST(MultiLevel, L2SmallerLinesThanL1Work)
+{
+    mem::MainMemory memory(0);
+    CacheConfig small_line = l2Config();
+    small_line.lineBytes = 16;
+    mem::TrafficMeter l2_back(&memory);
+    mem::SecondLevelCache l2(small_line, l2_back);
+    mem::TrafficMeter l1_back(&l2);
+    CacheConfig l1cfg = l1Config();
+    l1cfg.lineBytes = 64;
+    l1cfg.sizeBytes = 4096;
+    DataCache l1(l1cfg, l1_back);
+
+    l1.read(0x100, 4);  // 64B fetch = four 16B L2 accesses
+    EXPECT_EQ(l2.stats().reads, 4u);
+    EXPECT_EQ(l2.stats().readMisses, 4u);
+}
+
+} // namespace
+} // namespace jcache

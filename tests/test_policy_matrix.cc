@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Parameterized semantic invariants across the full legal policy
+ * matrix — states that must hold for any (hit, miss) combination on
+ * any reference, checked on structured micro-streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/data_cache.hh"
+#include "mem/traffic_meter.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+using Combo = std::pair<WriteHitPolicy, WriteMissPolicy>;
+
+const Combo kLegalCombos[] = {
+    {WriteHitPolicy::WriteThrough, WriteMissPolicy::FetchOnWrite},
+    {WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteValidate},
+    {WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteAround},
+    {WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteInvalidate},
+    {WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite},
+    {WriteHitPolicy::WriteBack, WriteMissPolicy::WriteValidate},
+};
+
+class PolicyMatrix : public ::testing::TestWithParam<Combo>
+{
+  protected:
+    CacheConfig
+    config() const
+    {
+        CacheConfig c;
+        c.sizeBytes = 1024;
+        c.lineBytes = 16;
+        c.hitPolicy = GetParam().first;
+        c.missPolicy = GetParam().second;
+        return c;
+    }
+
+    bool isWriteBack() const
+    {
+        return GetParam().first == WriteHitPolicy::WriteBack;
+    }
+};
+
+TEST_P(PolicyMatrix, ConfigIsLegal)
+{
+    EXPECT_NO_THROW(config().validate());
+}
+
+TEST_P(PolicyMatrix, ReadAfterWriteToSameAddressHits)
+{
+    // Whatever the policies, a read of just-written data never goes
+    // to memory for *stale* data; at worst it refetches the line
+    // (write-around / write-invalidate).  If the line is present and
+    // the bytes valid, it must hit.
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.write(0x104, 4);
+    if (cache.contains(0x104) &&
+        (cache.validMask(0x104) & byteMaskFor(4, 4)) ==
+            byteMaskFor(4, 4)) {
+        Count hits_before = cache.stats().readHits;
+        cache.read(0x104, 4);
+        EXPECT_EQ(cache.stats().readHits, hits_before + 1);
+    }
+}
+
+TEST_P(PolicyMatrix, WriteThroughTrafficIffWriteThroughPolicy)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.write(0x104, 4);   // miss
+    cache.write(0x104, 4);   // hit if allocated
+    if (isWriteBack())
+        EXPECT_EQ(meter.writeThroughs().transactions, 0u);
+    else
+        EXPECT_EQ(meter.writeThroughs().transactions, 2u);
+}
+
+TEST_P(PolicyMatrix, DirtyBitsOnlyInWriteBack)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.write(0x104, 4);
+    cache.read(0x200, 4);
+    cache.write(0x204, 4);
+    if (!isWriteBack()) {
+        EXPECT_EQ(cache.dirtyLineCount(), 0u);
+        cache.flush();
+        EXPECT_EQ(meter.flushBacks().transactions, 0u);
+    }
+}
+
+TEST_P(PolicyMatrix, ValidMaskAlwaysContainsDirtyMask)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    std::uint64_t x = 42;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        Addr addr = ((x >> 16) % 4096) & ~Addr{3};
+        if (x & 1)
+            cache.write(addr, 4);
+        else
+            cache.read(addr, 4);
+        ByteMask valid = cache.validMask(addr);
+        ByteMask dirty = cache.dirtyMask(addr);
+        ASSERT_EQ(dirty & ~valid, 0u)
+            << "dirty bytes outside valid bytes";
+    }
+}
+
+TEST_P(PolicyMatrix, EveryWriteIsHitOrMiss)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    std::uint64_t x = 7;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        cache.write(((x >> 16) % 8192) & ~Addr{3}, 4);
+    }
+    const CacheStats& s = cache.stats();
+    EXPECT_EQ(s.writeHits + s.writeMisses, s.writes);
+    EXPECT_LE(s.writeMissFetches, s.writeMisses);
+}
+
+TEST_P(PolicyMatrix, FetchBytesMatchFetchCount)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    std::uint64_t x = 99;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        Addr addr = ((x >> 16) % 8192) & ~Addr{7};
+        if (x & 2)
+            cache.write(addr, 8);
+        else
+            cache.read(addr, 8);
+    }
+    EXPECT_EQ(meter.fetches().transactions,
+              cache.stats().linesFetched);
+    EXPECT_EQ(meter.fetches().bytes,
+              cache.stats().linesFetched * 16);
+}
+
+TEST_P(PolicyMatrix, ResetRestoresVirginState)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.write(0x104, 4);
+    cache.read(0x208, 4);
+    CacheStats before_first = cache.stats();
+    cache.reset();
+    meter.reset();
+    cache.write(0x104, 4);
+    cache.read(0x208, 4);
+    EXPECT_EQ(cache.stats().readMisses, before_first.readMisses);
+    EXPECT_EQ(cache.stats().writeMisses, before_first.writeMisses);
+    EXPECT_EQ(cache.stats().linesFetched, before_first.linesFetched);
+}
+
+TEST_P(PolicyMatrix, AllocateLineAlwaysValidatesFully)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(), meter);
+    cache.allocateLine(0x140);
+    EXPECT_EQ(cache.validMask(0x140), maskBits(16));
+    EXPECT_EQ(meter.fetches().transactions, 0u);
+    if (isWriteBack())
+        EXPECT_EQ(cache.dirtyMask(0x140), maskBits(16));
+    else
+        EXPECT_EQ(cache.dirtyMask(0x140), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLegalCombos, PolicyMatrix, ::testing::ValuesIn(kLegalCombos),
+    [](const auto& info) {
+        std::string hit = info.param.first == WriteHitPolicy::WriteBack
+            ? "wb" : "wt";
+        switch (info.param.second) {
+          case WriteMissPolicy::FetchOnWrite:
+            return hit + "_fetch_on_write";
+          case WriteMissPolicy::WriteValidate:
+            return hit + "_write_validate";
+          case WriteMissPolicy::WriteAround:
+            return hit + "_write_around";
+          case WriteMissPolicy::WriteInvalidate:
+            return hit + "_write_invalidate";
+        }
+        return hit + "_unknown";
+    });
+
+} // namespace
+} // namespace jcache::core

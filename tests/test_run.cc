@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the trace replay driver and its derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/run.hh"
+#include "trace/recorder.hh"
+
+namespace jcache::sim
+{
+namespace
+{
+
+using core::CacheConfig;
+using core::WriteHitPolicy;
+using core::WriteMissPolicy;
+using trace::RefType;
+
+trace::Trace
+smallTrace()
+{
+    trace::Trace t("small");
+    t.append({0x100, 2, 4, RefType::Read});    // miss
+    t.append({0x104, 1, 4, RefType::Write});   // hit
+    t.append({0x500, 3, 4, RefType::Write});   // write miss
+    t.append({0x500, 1, 4, RefType::Read});    // hit
+    return t;
+}
+
+CacheConfig
+wb(Count size = 1024)
+{
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = 16;
+    c.hitPolicy = WriteHitPolicy::WriteBack;
+    c.missPolicy = WriteMissPolicy::FetchOnWrite;
+    return c;
+}
+
+TEST(RunTrace, CountsInstructionsAndEvents)
+{
+    RunResult r = runTrace(smallTrace(), wb());
+    EXPECT_EQ(r.instructions, 7u);
+    EXPECT_EQ(r.cache.reads, 2u);
+    EXPECT_EQ(r.cache.writes, 2u);
+    EXPECT_EQ(r.cache.readMisses, 1u);
+    EXPECT_EQ(r.cache.writeMisses, 1u);
+    EXPECT_EQ(r.fetchTraffic.transactions, 2u);
+}
+
+TEST(RunTrace, FlushAtEndPopulatesFlushStats)
+{
+    RunResult with_flush = runTrace(smallTrace(), wb(), true);
+    RunResult without = runTrace(smallTrace(), wb(), false);
+    EXPECT_GT(with_flush.cache.flushedDirtyLines, 0u);
+    EXPECT_EQ(without.cache.flushedDirtyLines, 0u);
+    EXPECT_GT(with_flush.flushTraffic.transactions, 0u);
+    // Cold-stop numbers are identical either way.
+    EXPECT_EQ(with_flush.cache.victims, without.cache.victims);
+    EXPECT_EQ(with_flush.writeBackTraffic.transactions,
+              without.writeBackTraffic.transactions);
+}
+
+TEST(RunTrace, TransactionsPerInstruction)
+{
+    RunResult r = runTrace(smallTrace(), wb(), false);
+    // 2 fetches + 1 dirty-victim write-back (0x100 and 0x500 conflict
+    // in a 1KB cache); 7 instructions.
+    EXPECT_DOUBLE_EQ(r.transactionsPerInstruction(), 3.0 / 7.0);
+}
+
+TEST(RunTrace, PercentWritesToDirtyLines)
+{
+    trace::Trace t("dirty-writes");
+    t.append({0x100, 1, 4, RefType::Write});  // miss -> dirty
+    t.append({0x104, 1, 4, RefType::Write});  // to dirty line
+    t.append({0x108, 1, 4, RefType::Write});  // to dirty line
+    t.append({0x200, 1, 4, RefType::Write});  // other line
+    RunResult r = runTrace(t, wb(), false);
+    EXPECT_DOUBLE_EQ(r.percentWritesToDirtyLines(), 50.0);
+}
+
+TEST(RunTrace, PercentWriteMissesOfAllMisses)
+{
+    RunResult r = runTrace(smallTrace(), wb(), false);
+    // 1 read miss + 1 write-miss fetch.
+    EXPECT_DOUBLE_EQ(r.percentWriteMissesOfAllMisses(), 50.0);
+}
+
+TEST(RunTrace, VictimPercentagesColdVsFlush)
+{
+    trace::Trace t("victims");
+    t.append({0x000, 1, 4, RefType::Write});  // line A dirty
+    t.append({0x400, 1, 4, RefType::Read});   // evict A (dirty victim)
+    t.append({0x800, 1, 4, RefType::Read});   // evict B (clean victim)
+    RunResult r = runTrace(t, wb(), true);
+    // Cold stop: 2 victims, 1 dirty.
+    EXPECT_DOUBLE_EQ(r.percentVictimsDirty(false), 50.0);
+    // Flush stop adds the resident clean line C: 3 victims, 1 dirty.
+    EXPECT_NEAR(r.percentVictimsDirty(true), 100.0 / 3.0, 1e-9);
+}
+
+TEST(RunTrace, BytesDirtyMetrics)
+{
+    trace::Trace t("bytes");
+    t.append({0x000, 1, 4, RefType::Write});
+    t.append({0x008, 1, 8, RefType::Write});  // 12B dirty on line A
+    t.append({0x400, 1, 4, RefType::Read});   // evict A
+    RunResult r = runTrace(t, wb(), true);
+    EXPECT_DOUBLE_EQ(r.percentBytesDirtyInDirtyVictims(false), 75.0);
+    // Per-victim over all victims (cold): only victim A -> 75%.
+    EXPECT_DOUBLE_EQ(r.percentBytesDirtyPerVictim(false), 75.0);
+    // Flush stop adds the clean resident 0x400 line: 12 of 32 bytes.
+    EXPECT_DOUBLE_EQ(r.percentBytesDirtyPerVictim(true), 37.5);
+}
+
+TEST(RunTrace, EmptyTraceIsAllZeros)
+{
+    trace::Trace t("empty");
+    RunResult r = runTrace(t, wb());
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_DOUBLE_EQ(r.transactionsPerInstruction(), 0.0);
+    EXPECT_DOUBLE_EQ(r.percentVictimsDirty(false), 0.0);
+}
+
+TEST(RunTrace, WriteThroughTrafficRecorded)
+{
+    CacheConfig c = wb();
+    c.hitPolicy = WriteHitPolicy::WriteThrough;
+    c.missPolicy = WriteMissPolicy::WriteAround;
+    RunResult r = runTrace(smallTrace(), c, false);
+    EXPECT_EQ(r.writeThroughTraffic.transactions, 2u);
+    EXPECT_EQ(r.writeBackTraffic.transactions, 0u);
+}
+
+} // namespace
+} // namespace jcache::sim

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the stats module: counters/ratios, running
+ * statistics, histograms, text tables and CSV output.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/counter.hh"
+#include "stats/csv.hh"
+#include "stats/distribution.hh"
+#include "stats/table.hh"
+#include "util/logging.hh"
+
+namespace jcache::stats
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c("hits");
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.name(), "hits");
+    c.add();
+    c.add(4);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 16u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Ratio, HandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(5, 0), 0.0);
+}
+
+TEST(Ratio, ComputesFractionsAndPercents)
+{
+    EXPECT_DOUBLE_EQ(ratio(1, 4), 0.25);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percent(3, 2), 150.0);
+}
+
+TEST(PercentReduction, BaselineSemantics)
+{
+    EXPECT_DOUBLE_EQ(percentReduction(100, 40), 60.0);
+    EXPECT_DOUBLE_EQ(percentReduction(100, 100), 0.0);
+    // The paper's Figure 13 shows >100% reductions (write-around on
+    // liver): removing more events than the baseline class had.
+    EXPECT_DOUBLE_EQ(percentReduction(100, 0), 100.0);
+    EXPECT_LT(percentReduction(100, 130), 0.0);
+    EXPECT_DOUBLE_EQ(percentReduction(0, 10), 0.0);
+}
+
+TEST(RunningStat, MeanMinMax)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 6.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStat, EmptyIsAllZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, VarianceMatchesDirectComputation)
+{
+    RunningStat s;
+    const double samples[] = {1, 2, 3, 4, 5, 6, 7, 8};
+    double mean = 4.5;
+    double var = 0;
+    for (double v : samples) {
+        s.add(v);
+        var += (v - mean) * (v - mean);
+    }
+    var /= 8;
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(RunningStat, MergeEqualsSingleStream)
+{
+    RunningStat a, b, whole;
+    for (int i = 0; i < 50; ++i) {
+        double v = i * 0.37 - 3;
+        (i % 2 ? a : b).add(v);
+        whole.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(4, 10.0);  // [0,10) [10,20) [20,30) [30,inf)
+    h.add(0);
+    h.add(9.99);
+    h.add(10);
+    h.add(25);
+    h.add(1000);  // clamps into the top bin
+    h.add(-5);    // clamps into bin 0
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.bucket(0), 3u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(Histogram, RejectsDegenerateShapes)
+{
+    EXPECT_THROW(Histogram(0, 1.0), jcache::FatalError);
+    EXPECT_THROW(Histogram(4, 0.0), jcache::FatalError);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table("Demo");
+    table.setHeader({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow("beta", {2.25}, 2);
+    std::ostringstream oss;
+    table.print(oss);
+    std::string text = oss.str();
+    EXPECT_NE(text.find("Demo"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("2.25"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth)
+{
+    TextTable table("Demo");
+    table.setHeader({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), jcache::FatalError);
+}
+
+TEST(FormatFixed, Precision)
+{
+    EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(formatFixed(1.0, 0), "1");
+    EXPECT_EQ(formatFixed(-0.5, 1), "-0.5");
+}
+
+TEST(FormatSize, PaperAxisLabels)
+{
+    EXPECT_EQ(formatSize(16), "16B");
+    EXPECT_EQ(formatSize(1024), "1KB");
+    EXPECT_EQ(formatSize(128 * 1024), "128KB");
+    EXPECT_EQ(formatSize(2 * 1024 * 1024), "2MB");
+    EXPECT_EQ(formatSize(1500), "1500B");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow({"x", "y"});
+    csv.writeRow("bench", {1.5, 2.0});
+    EXPECT_EQ(oss.str(), "x,y\nbench,1.5,2\n");
+}
+
+} // namespace
+} // namespace jcache::stats

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: records, the Trace container,
+ * TraceRecorder instruction accounting, and summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/recorder.hh"
+#include "trace/summary.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+
+namespace jcache::trace
+{
+namespace
+{
+
+TEST(TraceRecord, Defaults)
+{
+    TraceRecord r;
+    EXPECT_EQ(r.addr, 0u);
+    EXPECT_EQ(r.size, 4u);
+    EXPECT_EQ(r.instrDelta, 1u);
+    EXPECT_EQ(r.type, RefType::Read);
+}
+
+TEST(TraceRecord, Names)
+{
+    EXPECT_EQ(refTypeName(RefType::Read), "read");
+    EXPECT_EQ(refTypeName(RefType::Write), "write");
+}
+
+TEST(TraceRecord, Validity)
+{
+    TraceRecord r;
+    EXPECT_TRUE(isValid(r));
+    r.size = 8;
+    EXPECT_TRUE(isValid(r));
+    r.size = 0;
+    EXPECT_FALSE(isValid(r));
+    r.size = 3;
+    EXPECT_FALSE(isValid(r));
+    r.size = 16;
+    EXPECT_FALSE(isValid(r));
+    r.size = 4;
+    r.type = static_cast<RefType>(7);
+    EXPECT_FALSE(isValid(r));
+}
+
+TEST(Trace, AppendAndIterate)
+{
+    Trace t("demo");
+    EXPECT_TRUE(t.empty());
+    t.append({0x100, 1, 4, RefType::Read});
+    t.append({0x104, 2, 4, RefType::Write});
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.name(), "demo");
+    EXPECT_EQ(t[1].addr, 0x104u);
+    unsigned count = 0;
+    for (const TraceRecord& r : t) {
+        (void)r;
+        ++count;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(Trace, ValidateRejectsMalformedRecords)
+{
+    Trace t("bad");
+    t.append({0x100, 1, 3, RefType::Read});
+    EXPECT_THROW(validate(t), FatalError);
+}
+
+TEST(TraceRecorder, FoldsTicksIntoNextReference)
+{
+    TraceRecorder rec("demo");
+    rec.tick(3);
+    rec.read(0x100, 4);
+    rec.write(0x200, 8);
+    rec.tick(5);
+    rec.write(0x208, 4);
+    Trace t = rec.take();
+    ASSERT_EQ(t.size(), 3u);
+    // 3 ticks + the load itself.
+    EXPECT_EQ(t[0].instrDelta, 4u);
+    EXPECT_EQ(t[0].type, RefType::Read);
+    // Back-to-back store.
+    EXPECT_EQ(t[1].instrDelta, 1u);
+    EXPECT_EQ(t[1].size, 8u);
+    EXPECT_EQ(t[2].instrDelta, 6u);
+}
+
+TEST(TraceRecorder, InstructionCountIncludesPendingTicks)
+{
+    TraceRecorder rec("demo");
+    rec.read(0x0, 4);
+    rec.tick(10);
+    EXPECT_EQ(rec.instructions(), 11u);
+}
+
+TEST(Summary, CountsByType)
+{
+    TraceRecorder rec("demo");
+    rec.tick(2);
+    rec.read(0x100, 4);
+    rec.read(0x104, 8);
+    rec.write(0x200, 4);
+    Trace t = rec.take();
+    TraceSummary s = summarize(t);
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.references(), 3u);
+    EXPECT_EQ(s.readBytes, 12u);
+    EXPECT_EQ(s.writeBytes, 4u);
+    EXPECT_EQ(s.instructions, 5u);  // 2 ticks + 3 refs
+    EXPECT_DOUBLE_EQ(s.loadStoreRatio(), 2.0);
+    EXPECT_DOUBLE_EQ(s.refsPerInstruction(), 3.0 / 5.0);
+}
+
+TEST(Summary, EmptyTrace)
+{
+    Trace t("empty");
+    TraceSummary s = summarize(t);
+    EXPECT_EQ(s.references(), 0u);
+    EXPECT_DOUBLE_EQ(s.loadStoreRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(s.refsPerInstruction(), 0.0);
+}
+
+} // namespace
+} // namespace jcache::trace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the workload instrumentation substrate: TracedMemory
+ * allocation and TracedArray access recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/recorder.hh"
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+namespace
+{
+
+TEST(TracedMemory, BumpAllocatorAlignsAndAdvances)
+{
+    trace::TraceRecorder rec("t");
+    TracedMemory mem(rec, 0x10000);
+    Addr a = mem.allocate(10, 8);
+    Addr b = mem.allocate(4, 8);
+    EXPECT_EQ(a, 0x10000u);
+    EXPECT_EQ(b, 0x10010u);  // 10 rounds up to 16
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_EQ(mem.brk(), 0x10014u);
+}
+
+TEST(TracedArray, DistinctArraysGetDisjointRanges)
+{
+    trace::TraceRecorder rec("t");
+    TracedMemory mem(rec);
+    TracedArray<double> x(mem, 100);
+    TracedArray<double> y(mem, 100);
+    EXPECT_GE(y.addrOf(0), x.addrOf(99) + sizeof(double));
+}
+
+TEST(TracedArray, GetRecordsRead)
+{
+    trace::TraceRecorder rec("t");
+    TracedMemory mem(rec);
+    TracedArray<std::int32_t> a(mem, 8);
+    a.poke(3, 42);
+    EXPECT_EQ(a.get(3), 42);
+    trace::Trace t = rec.take();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].type, trace::RefType::Read);
+    EXPECT_EQ(t[0].addr, a.addrOf(3));
+    EXPECT_EQ(t[0].size, 4u);
+}
+
+TEST(TracedArray, SetRecordsWriteAndStoresValue)
+{
+    trace::TraceRecorder rec("t");
+    TracedMemory mem(rec);
+    TracedArray<double> a(mem, 8);
+    a.set(2, 2.5);
+    EXPECT_EQ(a.peek(2), 2.5);
+    trace::Trace t = rec.take();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].type, trace::RefType::Write);
+    EXPECT_EQ(t[0].size, 8u);
+}
+
+TEST(TracedArray, UpdateIsReadThenWrite)
+{
+    trace::TraceRecorder rec("t");
+    TracedMemory mem(rec);
+    TracedArray<std::int32_t> a(mem, 4);
+    a.poke(0, 10);
+    a.update(0, [](std::int32_t v) { return v + 5; });
+    EXPECT_EQ(a.peek(0), 15);
+    trace::Trace t = rec.take();
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].type, trace::RefType::Read);
+    EXPECT_EQ(t[1].type, trace::RefType::Write);
+    EXPECT_EQ(t[0].addr, t[1].addr);
+}
+
+TEST(TracedArray, PokeAndPeekAreUntraced)
+{
+    trace::TraceRecorder rec("t");
+    TracedMemory mem(rec);
+    TracedArray<std::int32_t> a(mem, 4);
+    a.poke(1, 7);
+    EXPECT_EQ(a.peek(1), 7);
+    EXPECT_EQ(rec.take().size(), 0u);
+}
+
+TEST(TracedArray, ElementAddressesAreContiguous)
+{
+    trace::TraceRecorder rec("t");
+    TracedMemory mem(rec);
+    TracedArray<double> a(mem, 16);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_EQ(a.addrOf(i), a.addrOf(i - 1) + 8);
+}
+
+} // namespace
+} // namespace jcache::workloads

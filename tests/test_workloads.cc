@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Integration tests for the six reconstructed Table 1 workloads:
+ * registry, determinism, scale behaviour, and the trace
+ * characteristics the paper's analysis leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/summary.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+namespace
+{
+
+TEST(WorkloadRegistry, SixBenchmarksInPaperOrder)
+{
+    const auto& names = benchmarkNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names[0], "ccom");
+    EXPECT_EQ(names[1], "grr");
+    EXPECT_EQ(names[2], "yacc");
+    EXPECT_EQ(names[3], "met");
+    EXPECT_EQ(names[4], "linpack");
+    EXPECT_EQ(names[5], "liver");
+}
+
+TEST(WorkloadRegistry, MakeWorkloadByName)
+{
+    for (const std::string& name : benchmarkNames()) {
+        auto w = makeWorkload(name);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->name(), name);
+        EXPECT_FALSE(w->description().empty());
+    }
+}
+
+TEST(WorkloadRegistry, UnknownNameThrows)
+{
+    EXPECT_THROW(makeWorkload("spice"), FatalError);
+}
+
+TEST(WorkloadRegistry, MakeAllProducesAllSix)
+{
+    auto all = makeAllWorkloads();
+    ASSERT_EQ(all.size(), 6u);
+}
+
+class WorkloadTraces : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTraces, DeterministicForFixedSeed)
+{
+    WorkloadConfig config;
+    config.seed = 42;
+    trace::Trace a = generateTrace(*makeWorkload(GetParam(), config));
+    trace::Trace b = generateTrace(*makeWorkload(GetParam(), config));
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(WorkloadTraces, SeedChangesTheTrace)
+{
+    WorkloadConfig c1, c2;
+    c1.seed = 1;
+    c2.seed = 2;
+    trace::Trace a = generateTrace(*makeWorkload(GetParam(), c1));
+    trace::Trace b = generateTrace(*makeWorkload(GetParam(), c2));
+    EXPECT_NE(a, b);
+}
+
+TEST_P(WorkloadTraces, AllRecordsWellFormed)
+{
+    trace::Trace t = generateTrace(*makeWorkload(GetParam()));
+    EXPECT_NO_THROW(trace::validate(t));
+    EXPECT_EQ(t.name(), GetParam());
+}
+
+TEST_P(WorkloadTraces, SubstantialLength)
+{
+    trace::Trace t = generateTrace(*makeWorkload(GetParam()));
+    trace::TraceSummary s = summarize(t);
+    // Each benchmark contributes at least a quarter-million
+    // references at scale 1 and has a sane instruction mix.
+    EXPECT_GT(s.references(), 250'000u);
+    EXPECT_GT(s.writes, 10'000u);
+    EXPECT_GT(s.instructions, s.references());
+    double rpi = s.refsPerInstruction();
+    EXPECT_GT(rpi, 0.15);
+    EXPECT_LT(rpi, 0.75);
+}
+
+TEST_P(WorkloadTraces, AccessesAreWordOrDoubleword)
+{
+    // MultiTitan had no byte stores: workloads emit 4B/8B only.
+    trace::Trace t = generateTrace(*makeWorkload(GetParam()));
+    for (const trace::TraceRecord& r : t) {
+        ASSERT_TRUE(r.size == 4 || r.size == 8);
+        ASSERT_EQ(r.addr % r.size, 0u) << "unaligned access";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadTraces,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadScale, ScaleGrowsWorkNotFootprint)
+{
+    WorkloadConfig small, big;
+    small.scale = 1;
+    big.scale = 2;
+    trace::Trace a = generateTrace(*makeWorkload("liver", small));
+    trace::Trace b = generateTrace(*makeWorkload("liver", big));
+    EXPECT_GT(summarize(b).references(),
+              summarize(a).references() * 3 / 2);
+}
+
+TEST(WorkloadMix, NumericCodesUseDoubles)
+{
+    for (const char* name : {"linpack", "liver"}) {
+        trace::Trace t = generateTrace(*makeWorkload(name));
+        Count doubles = 0, words = 0;
+        for (const trace::TraceRecord& r : t)
+            (r.size == 8 ? doubles : words) += 1;
+        EXPECT_GT(doubles, words) << name;
+    }
+}
+
+TEST(WorkloadMix, LoadsOutnumberStoresOverall)
+{
+    // Paper Table 1: loads:stores ~ 2.4:1 over the suite.
+    Count reads = 0, writes = 0;
+    for (const std::string& name : benchmarkNames()) {
+        trace::TraceSummary s =
+            summarize(generateTrace(*makeWorkload(name)));
+        reads += s.reads;
+        writes += s.writes;
+    }
+    double ratio = static_cast<double>(reads) /
+                   static_cast<double>(writes);
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 4.0);
+}
+
+} // namespace
+} // namespace jcache::workloads

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the coalescing write buffer (paper Figure 5 model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/write_buffer.hh"
+#include "util/logging.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+WriteBufferConfig
+config(unsigned entries, Cycles retire, unsigned entry_bytes = 16)
+{
+    WriteBufferConfig c;
+    c.entries = entries;
+    c.entryBytes = entry_bytes;
+    c.retireInterval = retire;
+    return c;
+}
+
+TEST(WriteBuffer, RejectsZeroEntries)
+{
+    EXPECT_THROW(CoalescingWriteBuffer(config(0, 5)), FatalError);
+}
+
+TEST(WriteBuffer, InstantRetireNeverMergesNorStalls)
+{
+    CoalescingWriteBuffer buffer(config(8, 0));
+    for (Cycles t = 0; t < 100; ++t)
+        EXPECT_EQ(buffer.write(0x100, t), 0u);
+    EXPECT_EQ(buffer.merges(), 0u);
+    EXPECT_EQ(buffer.stallCycles(), 0u);
+    EXPECT_EQ(buffer.retirements(), 100u);
+}
+
+TEST(WriteBuffer, MergesWritesToSameEntryLine)
+{
+    CoalescingWriteBuffer buffer(config(8, 100));
+    buffer.write(0x100, 0);
+    buffer.write(0x104, 1);   // same 16B entry
+    buffer.write(0x10c, 2);   // same entry
+    buffer.write(0x110, 3);   // next entry
+    EXPECT_EQ(buffer.writes(), 4u);
+    EXPECT_EQ(buffer.merges(), 2u);
+    EXPECT_EQ(buffer.occupancy(), 2u);
+}
+
+TEST(WriteBuffer, RetirementFreesOldestEntry)
+{
+    CoalescingWriteBuffer buffer(config(2, 10));
+    buffer.write(0x000, 0);
+    buffer.write(0x100, 1);
+    EXPECT_EQ(buffer.occupancy(), 2u);
+    // At cycle 10 the oldest entry (0x000) retires.
+    buffer.write(0x200, 11);
+    EXPECT_EQ(buffer.occupancy(), 2u);
+    EXPECT_EQ(buffer.retirements(), 1u);
+    // 0x000 is gone: a new write to it is not a merge.
+    buffer.write(0x000, 12);
+    EXPECT_EQ(buffer.merges(), 0u);
+}
+
+TEST(WriteBuffer, FullBufferStallsUntilNextRetirement)
+{
+    CoalescingWriteBuffer buffer(config(2, 10));
+    buffer.write(0x000, 0);
+    buffer.write(0x100, 1);
+    // Buffer full; next retirement slot is cycle 10.
+    Cycles stall = buffer.write(0x200, 4);
+    EXPECT_EQ(stall, 6u);
+    EXPECT_EQ(buffer.stallCycles(), 6u);
+    EXPECT_EQ(buffer.occupancy(), 2u);
+}
+
+TEST(WriteBuffer, MergeAvoidsStallEvenWhenFull)
+{
+    CoalescingWriteBuffer buffer(config(2, 100));
+    buffer.write(0x000, 0);
+    buffer.write(0x100, 1);
+    EXPECT_EQ(buffer.write(0x004, 2), 0u);  // merges into entry 0
+    EXPECT_EQ(buffer.merges(), 1u);
+}
+
+TEST(WriteBuffer, IdleGapRetiresAtMostOnePerSlot)
+{
+    CoalescingWriteBuffer buffer(config(4, 10));
+    buffer.write(0x000, 0);
+    buffer.write(0x100, 1);
+    buffer.write(0x200, 2);
+    // Long idle gap: slots at 10, 20, 30 drain all three.
+    buffer.write(0x300, 35);
+    EXPECT_EQ(buffer.retirements(), 3u);
+    EXPECT_EQ(buffer.occupancy(), 1u);
+}
+
+TEST(WriteBuffer, EmptySlotsDoNotBankRetirements)
+{
+    CoalescingWriteBuffer buffer(config(2, 10));
+    // Nothing in the buffer while slots at 10..90 pass.
+    buffer.write(0x000, 95);
+    buffer.write(0x100, 96);
+    // Next retirement is the slot at 100, not an instant drain of
+    // banked slots.
+    Cycles stall = buffer.write(0x200, 97);
+    EXPECT_EQ(stall, 3u);
+}
+
+TEST(WriteBuffer, MergeFractionAndReset)
+{
+    CoalescingWriteBuffer buffer(config(8, 1000));
+    buffer.write(0x000, 0);
+    buffer.write(0x004, 1);
+    buffer.write(0x008, 2);
+    buffer.write(0x100, 3);
+    EXPECT_DOUBLE_EQ(buffer.mergeFraction(), 0.5);
+    buffer.reset();
+    EXPECT_EQ(buffer.writes(), 0u);
+    EXPECT_EQ(buffer.occupancy(), 0u);
+    EXPECT_DOUBLE_EQ(buffer.mergeFraction(), 0.0);
+}
+
+TEST(WriteBuffer, PaperShapeMoreRetireLatencyMoreMerging)
+{
+    // Figure 5's tension: a slower-retiring buffer merges more of a
+    // bursty write stream but stalls more.
+    auto run = [](Cycles retire) {
+        CoalescingWriteBuffer buffer(config(8, retire));
+        Cycles now = 0;
+        Count stalls = 0;
+        std::uint64_t x = 99;
+        for (int i = 0; i < 20000; ++i) {
+            now += 4;
+            x = x * 6364136223846793005ull + 1;
+            Addr addr = ((x >> 20) % 64) * 8;  // 64 hot words
+            Cycles s = buffer.write(addr, now);
+            now += s;
+            stalls += s;
+        }
+        return std::make_pair(buffer.mergeFraction(), stalls);
+    };
+    auto [m_fast, s_fast] = run(2);
+    auto [m_slow, s_slow] = run(40);
+    EXPECT_LT(m_fast, m_slow);
+    EXPECT_LE(s_fast, s_slow);
+    EXPECT_GT(m_slow, 0.2);
+}
+
+} // namespace
+} // namespace jcache::core

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for write-hit behaviour: write-through vs write-back
+ * (paper Section 3), including the writes-to-already-dirty-lines
+ * statistic behind Figures 1 and 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/data_cache.hh"
+#include "mem/traffic_meter.hh"
+
+namespace jcache::core
+{
+namespace
+{
+
+CacheConfig
+config(WriteHitPolicy hit, Count size = 1024, unsigned line = 16)
+{
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.hitPolicy = hit;
+    c.missPolicy = WriteMissPolicy::FetchOnWrite;
+    return c;
+}
+
+TEST(WriteThrough, EveryWriteGoesDownstream)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteThrough), meter);
+    cache.read(0x100, 4);
+    for (int i = 0; i < 5; ++i)
+        cache.write(0x100, 4);
+    EXPECT_EQ(meter.writeThroughs().transactions, 5u);
+    EXPECT_EQ(meter.writeThroughs().bytes, 20u);
+    EXPECT_EQ(cache.stats().writeThroughs, 5u);
+}
+
+TEST(WriteThrough, LinesNeverDirty)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteThrough), meter);
+    cache.write(0x100, 4);
+    cache.write(0x104, 4);
+    EXPECT_EQ(cache.dirtyLineCount(), 0u);
+    EXPECT_EQ(cache.dirtyMask(0x100), 0u);
+    EXPECT_EQ(cache.stats().writesToDirtyLines, 0u);
+}
+
+TEST(WriteThrough, NoVictimWriteBacks)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteThrough), meter);
+    cache.write(0x000, 4);
+    cache.read(0x400, 4);  // evicts the (clean) written line
+    EXPECT_EQ(meter.writeBacks().transactions, 0u);
+}
+
+TEST(WriteBack, WriteHitsProduceNoImmediateTraffic)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteBack), meter);
+    cache.read(0x100, 4);
+    for (int i = 0; i < 5; ++i)
+        cache.write(0x100, 4);
+    EXPECT_EQ(meter.writeThroughs().transactions, 0u);
+    EXPECT_EQ(meter.writeBacks().transactions, 0u);
+}
+
+TEST(WriteBack, DirtyDataEmergesOnlyOnEviction)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteBack), meter);
+    cache.write(0x000, 4);
+    cache.write(0x004, 4);
+    cache.read(0x400, 4);  // conflict eviction
+    EXPECT_EQ(meter.writeBacks().transactions, 1u);
+    EXPECT_EQ(meter.writeBacks().bytes, 8u);  // two dirty words
+}
+
+TEST(WriteBack, WritesToAlreadyDirtyLinesCounted)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteBack), meter);
+    cache.write(0x100, 4);  // miss; line becomes dirty
+    cache.write(0x104, 4);  // hit on dirty line  -> counted
+    cache.write(0x104, 4);  // again              -> counted
+    cache.write(0x200, 4);  // different line, first write
+    const CacheStats& s = cache.stats();
+    EXPECT_EQ(s.writes, 4u);
+    EXPECT_EQ(s.writesToDirtyLines, 2u);
+}
+
+TEST(WriteBack, FirstWriteAfterCleanFetchIsNotToDirtyLine)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteBack), meter);
+    cache.read(0x100, 4);    // clean line resident
+    cache.write(0x100, 4);   // hit, but line was clean
+    EXPECT_EQ(cache.stats().writesToDirtyLines, 0u);
+    cache.write(0x100, 4);   // now it was dirty
+    EXPECT_EQ(cache.stats().writesToDirtyLines, 1u);
+}
+
+TEST(WriteBack, PaperTrafficIdentityHolds)
+{
+    // Section 3: write-back transactions = writes - writes to already
+    // dirty lines (for the write-hit component; every non-dirty write
+    // creates exactly one future write-back).
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteBack, 1024), meter);
+    // A write stream confined to lines that never leave the cache.
+    for (int rep = 0; rep < 7; ++rep) {
+        for (Addr a = 0; a < 256; a += 4)
+            cache.write(a, 4);
+    }
+    cache.flush();
+    const CacheStats& s = cache.stats();
+    Count wb_transactions = meter.writeBacks().transactions +
+                            meter.flushBacks().transactions;
+    EXPECT_EQ(wb_transactions, s.writes - s.writesToDirtyLines);
+}
+
+TEST(WriteBack, WriteMissFetchThenWriteMakesLineDirty)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteBack), meter);
+    cache.write(0x100, 4);
+    EXPECT_EQ(cache.stats().writeMisses, 1u);
+    EXPECT_EQ(cache.stats().writeMissFetches, 1u);
+    EXPECT_EQ(cache.dirtyMask(0x100), 0xfu);
+    EXPECT_EQ(cache.validMask(0x100), 0xffffu);
+}
+
+TEST(WriteThrough, WriteMissFetchStillWritesThrough)
+{
+    mem::TrafficMeter meter;
+    DataCache cache(config(WriteHitPolicy::WriteThrough), meter);
+    cache.write(0x100, 4);
+    EXPECT_EQ(meter.fetches().transactions, 1u);
+    EXPECT_EQ(meter.writeThroughs().transactions, 1u);
+    EXPECT_EQ(cache.dirtyLineCount(), 0u);
+}
+
+TEST(WriteHitPolicies, SameMissCountsUnderFetchOnWrite)
+{
+    // With fetch-on-write, WT and WB caches hold identical contents,
+    // so counted misses agree; only traffic differs.
+    mem::TrafficMeter meter_wt, meter_wb;
+    DataCache wt(config(WriteHitPolicy::WriteThrough), meter_wt);
+    DataCache wb(config(WriteHitPolicy::WriteBack), meter_wb);
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 4000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        Addr addr = (x >> 16) % 4096;
+        addr &= ~Addr{3};
+        if (x & 1) {
+            wt.write(addr, 4);
+            wb.write(addr, 4);
+        } else {
+            wt.read(addr, 4);
+            wb.read(addr, 4);
+        }
+    }
+    EXPECT_EQ(wt.stats().countedMisses(), wb.stats().countedMisses());
+    EXPECT_EQ(wt.stats().readMisses, wb.stats().readMisses);
+    EXPECT_EQ(wt.stats().writeMisses, wb.stats().writeMisses);
+}
+
+} // namespace
+} // namespace jcache::core

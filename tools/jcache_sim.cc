@@ -1,0 +1,176 @@
+/**
+ * @file
+ * jcache-sim: run one cache configuration over a trace (file or
+ * built-in workload) and print the full statistics block.
+ *
+ * Usage:
+ *   jcache-sim <trace.jct | workload-name>
+ *       [--size KB] [--line B] [--assoc N]
+ *       [--hit wt|wb] [--miss fow|wv|wa|wi]
+ *       [--replacement lru|fifo|random] [--no-flush]
+ *
+ * Defaults: 8KB, 16B lines, direct-mapped, write-back,
+ * fetch-on-write — the paper's base configuration.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "sim/run.hh"
+#include "stats/counter.hh"
+#include "stats/table.hh"
+#include "trace/file_io.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: jcache-sim <trace.jct | workload-name>\n"
+        "  [--size KB] [--line B] [--assoc N] [--hit wt|wb]\n"
+        "  [--miss fow|wv|wa|wi] [--replacement lru|fifo|random]\n"
+        "  [--no-flush]\n";
+    return 2;
+}
+
+core::WriteHitPolicy
+parseHit(const std::string& v)
+{
+    if (v == "wt")
+        return core::WriteHitPolicy::WriteThrough;
+    if (v == "wb")
+        return core::WriteHitPolicy::WriteBack;
+    fatal("unknown hit policy: " + v + " (use wt|wb)");
+}
+
+core::WriteMissPolicy
+parseMiss(const std::string& v)
+{
+    if (v == "fow")
+        return core::WriteMissPolicy::FetchOnWrite;
+    if (v == "wv")
+        return core::WriteMissPolicy::WriteValidate;
+    if (v == "wa")
+        return core::WriteMissPolicy::WriteAround;
+    if (v == "wi")
+        return core::WriteMissPolicy::WriteInvalidate;
+    fatal("unknown miss policy: " + v + " (use fow|wv|wa|wi)");
+}
+
+core::ReplacementPolicy
+parseReplacement(const std::string& v)
+{
+    if (v == "lru")
+        return core::ReplacementPolicy::Lru;
+    if (v == "fifo")
+        return core::ReplacementPolicy::Fifo;
+    if (v == "random")
+        return core::ReplacementPolicy::Random;
+    fatal("unknown replacement policy: " + v +
+          " (use lru|fifo|random)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+
+    core::CacheConfig config;
+    config.hitPolicy = core::WriteHitPolicy::WriteBack;
+    bool flush = true;
+
+    try {
+        for (int i = 2; i < argc; ++i) {
+            std::string flag = argv[i];
+            if (flag == "--no-flush") {
+                flush = false;
+                continue;
+            }
+            if (i + 1 >= argc)
+                return usage();
+            std::string value = argv[++i];
+            if (flag == "--size") {
+                config.sizeBytes =
+                    std::strtoull(value.c_str(), nullptr, 10) * 1024;
+            } else if (flag == "--line") {
+                config.lineBytes = static_cast<unsigned>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+            } else if (flag == "--assoc") {
+                config.assoc = static_cast<unsigned>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+            } else if (flag == "--hit") {
+                config.hitPolicy = parseHit(value);
+            } else if (flag == "--miss") {
+                config.missPolicy = parseMiss(value);
+            } else if (flag == "--replacement") {
+                config.replacement = parseReplacement(value);
+            } else {
+                return usage();
+            }
+        }
+        config.validate();
+
+        std::string source = argv[1];
+        trace::Trace trace = std::filesystem::exists(source)
+            ? trace::loadTrace(source)
+            : workloads::generateTrace(
+                  *workloads::makeWorkload(source));
+
+        sim::RunResult r = sim::runTrace(trace, config, flush);
+        const core::CacheStats& s = r.cache;
+
+        stats::TextTable table(config.describe() + " on '" +
+                               trace.name() + "'");
+        table.setHeader({"metric", "value"});
+        auto row = [&](const std::string& k, Count v) {
+            table.addRow({k, std::to_string(v)});
+        };
+        row("instructions", r.instructions);
+        row("reads", s.reads);
+        row("writes", s.writes);
+        row("read hits", s.readHits);
+        row("read misses", s.readMisses);
+        row("write hits", s.writeHits);
+        row("write misses", s.writeMisses);
+        row("counted misses (fetches)", s.countedMisses());
+        table.addRow({"miss ratio",
+                      stats::formatFixed(
+                          100.0 * stats::ratio(s.countedMisses(),
+                                               s.accesses()), 3) +
+                          "%"});
+        row("writes to dirty lines", s.writesToDirtyLines);
+        row("victims", s.victims);
+        row("dirty victims", s.dirtyVictims);
+        table.addSeparator();
+        row("fetch transactions", r.fetchTraffic.transactions);
+        row("fetch bytes", r.fetchTraffic.bytes);
+        row("write-through transactions",
+            r.writeThroughTraffic.transactions);
+        row("write-back transactions",
+            r.writeBackTraffic.transactions);
+        row("write-back bytes", r.writeBackTraffic.bytes);
+        if (flush) {
+            row("flush transactions", r.flushTraffic.transactions);
+            row("flush bytes", r.flushTraffic.bytes);
+        }
+        table.addRow({"txns per instruction",
+                      stats::formatFixed(
+                          r.transactionsPerInstruction(), 4)});
+        table.print(std::cout);
+        return 0;
+    } catch (const FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * jcache-sweep: sweep one axis of a cache configuration over a trace
+ * and print a metric matrix — the interactive counterpart of the
+ * figure benches.
+ *
+ * Usage:
+ *   jcache-sweep <trace.jct | workload> --axis size|line|assoc
+ *       [--metric miss|traffic|dirty]
+ *       [--hit wt|wb] [--miss fow|wv|wa|wi]
+ *
+ * Metrics:
+ *   miss    — counted-miss ratio (%)
+ *   traffic — back-side transactions per instruction
+ *   dirty   — percent of writes to already-dirty lines
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "sim/run.hh"
+#include "stats/counter.hh"
+#include "stats/table.hh"
+#include "trace/file_io.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: jcache-sweep <trace.jct | workload> --axis "
+        "size|line|assoc\n"
+        "  [--metric miss|traffic|dirty] [--hit wt|wb] "
+        "[--miss fow|wv|wa|wi]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+
+    std::string axis = "size";
+    std::string metric = "miss";
+    core::CacheConfig base;
+    base.hitPolicy = core::WriteHitPolicy::WriteBack;
+
+    try {
+        for (int i = 2; i + 1 < argc; i += 2) {
+            std::string flag = argv[i];
+            std::string value = argv[i + 1];
+            if (flag == "--axis") {
+                axis = value;
+            } else if (flag == "--metric") {
+                metric = value;
+            } else if (flag == "--hit") {
+                base.hitPolicy = value == "wb"
+                    ? core::WriteHitPolicy::WriteBack
+                    : core::WriteHitPolicy::WriteThrough;
+            } else if (flag == "--miss") {
+                if (value == "fow") {
+                    base.missPolicy =
+                        core::WriteMissPolicy::FetchOnWrite;
+                } else if (value == "wv") {
+                    base.missPolicy =
+                        core::WriteMissPolicy::WriteValidate;
+                } else if (value == "wa") {
+                    base.missPolicy =
+                        core::WriteMissPolicy::WriteAround;
+                } else if (value == "wi") {
+                    base.missPolicy =
+                        core::WriteMissPolicy::WriteInvalidate;
+                } else {
+                    return usage();
+                }
+            } else {
+                return usage();
+            }
+        }
+
+        std::string source = argv[1];
+        trace::Trace trace = std::filesystem::exists(source)
+            ? trace::loadTrace(source)
+            : workloads::generateTrace(
+                  *workloads::makeWorkload(source));
+
+        // Build the sweep points.
+        std::vector<core::CacheConfig> points;
+        std::vector<std::string> labels;
+        if (axis == "size") {
+            for (Count kb = 1; kb <= 128; kb *= 2) {
+                core::CacheConfig c = base;
+                c.sizeBytes = kb * 1024;
+                points.push_back(c);
+                labels.push_back(stats::formatSize(c.sizeBytes));
+            }
+        } else if (axis == "line") {
+            for (unsigned line : {4u, 8u, 16u, 32u, 64u}) {
+                core::CacheConfig c = base;
+                c.lineBytes = line;
+                points.push_back(c);
+                labels.push_back(std::to_string(line) + "B");
+            }
+        } else if (axis == "assoc") {
+            for (unsigned ways : {1u, 2u, 4u, 8u}) {
+                core::CacheConfig c = base;
+                c.assoc = ways;
+                points.push_back(c);
+                labels.push_back(std::to_string(ways) + "-way");
+            }
+        } else {
+            return usage();
+        }
+
+        stats::TextTable table("sweep of " + axis + " on '" +
+                               trace.name() + "' (" +
+                               core::name(base.hitPolicy) + "+" +
+                               core::name(base.missPolicy) + ")");
+        std::vector<std::string> header{"metric: " + metric};
+        for (const std::string& l : labels)
+            header.push_back(l);
+        table.setHeader(header);
+
+        std::vector<double> values;
+        for (const core::CacheConfig& config : points) {
+            sim::RunResult r = sim::runTrace(trace, config, false);
+            if (metric == "miss") {
+                values.push_back(100.0 *
+                                 stats::ratio(r.cache.countedMisses(),
+                                              r.cache.accesses()));
+            } else if (metric == "traffic") {
+                values.push_back(r.transactionsPerInstruction());
+            } else if (metric == "dirty") {
+                values.push_back(r.percentWritesToDirtyLines());
+            } else {
+                return usage();
+            }
+        }
+        table.addRow(metric, values,
+                     metric == "traffic" ? 4 : 2);
+        table.print(std::cout);
+        return 0;
+    } catch (const FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * jcache-trace: generate, inspect and convert trace files.
+ *
+ * Usage:
+ *   jcache-trace generate <workload> <out.jct> [--scale N] [--seed S]
+ *   jcache-trace info <trace.jct>
+ *   jcache-trace head <trace.jct> [count]
+ *
+ * Workloads: ccom grr yacc met linpack liver
+ *            gemm-streaming gemm-blocked
+ *            callburst-global callburst-percall callburst-windows
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "stats/table.hh"
+#include "trace/file_io.hh"
+#include "trace/summary.hh"
+#include "util/logging.hh"
+#include "workloads/callburst.hh"
+#include "workloads/gemm.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+std::unique_ptr<workloads::Workload>
+makeAnyWorkload(const std::string& name,
+                const workloads::WorkloadConfig& config)
+{
+    if (name == "gemm-streaming") {
+        return std::make_unique<workloads::GemmWorkload>(config,
+                                                         false);
+    }
+    if (name == "gemm-blocked")
+        return std::make_unique<workloads::GemmWorkload>(config, true);
+    if (name == "callburst-global") {
+        return std::make_unique<workloads::CallBurstWorkload>(
+            config, workloads::CallConvention::GlobalAllocation);
+    }
+    if (name == "callburst-percall") {
+        return std::make_unique<workloads::CallBurstWorkload>(
+            config, workloads::CallConvention::PerCallSaves);
+    }
+    if (name == "callburst-windows") {
+        return std::make_unique<workloads::CallBurstWorkload>(
+            config, workloads::CallConvention::RegisterWindows);
+    }
+    return workloads::makeWorkload(name, config);
+}
+
+int
+usage()
+{
+    std::cerr <<
+        "usage:\n"
+        "  jcache-trace generate <workload> <out.jct> "
+        "[--scale N] [--seed S] [--compress]\n"
+        "  jcache-trace info <trace.jct>\n"
+        "  jcache-trace head <trace.jct> [count]\n";
+    return 2;
+}
+
+int
+cmdGenerate(int argc, char** argv)
+{
+    if (argc < 4)
+        return usage();
+    workloads::WorkloadConfig config;
+    bool compress = false;
+    for (int i = 4; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--compress") {
+            compress = true;
+        } else if (flag == "--scale" && i + 1 < argc) {
+            config.scale = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (flag == "--seed" && i + 1 < argc) {
+            config.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
+    auto workload = makeAnyWorkload(argv[2], config);
+    trace::Trace trace = workloads::generateTrace(*workload);
+    if (compress)
+        trace::saveTraceCompressed(trace, argv[3]);
+    else
+        trace::saveTrace(trace, argv[3]);
+    std::cout << "wrote " << trace.size() << " records ("
+              << workload->description() << ") to " << argv[3]
+              << (compress ? " [compressed]" : "") << "\n";
+    return 0;
+}
+
+int
+cmdInfo(int argc, char** argv)
+{
+    if (argc < 3)
+        return usage();
+    trace::Trace trace = trace::loadTrace(argv[2]);
+    trace::TraceSummary s = trace::summarize(trace);
+
+    stats::TextTable table("trace: " + trace.name());
+    table.setHeader({"metric", "value"});
+    table.addRow({"records", std::to_string(trace.size())});
+    table.addRow({"instructions", std::to_string(s.instructions)});
+    table.addRow({"data reads", std::to_string(s.reads)});
+    table.addRow({"data writes", std::to_string(s.writes)});
+    table.addRow({"read bytes", std::to_string(s.readBytes)});
+    table.addRow({"write bytes", std::to_string(s.writeBytes)});
+    table.addRow({"loads per store",
+                  stats::formatFixed(s.loadStoreRatio(), 2)});
+    table.addRow({"refs per instruction",
+                  stats::formatFixed(s.refsPerInstruction(), 3)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdHead(int argc, char** argv)
+{
+    if (argc < 3)
+        return usage();
+    std::size_t count = argc > 3
+        ? std::strtoull(argv[3], nullptr, 10)
+        : 20;
+    trace::Trace trace = trace::loadTrace(argv[2]);
+    count = std::min(count, trace.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        const trace::TraceRecord& r = trace[i];
+        std::cout << (r.type == trace::RefType::Read ? "R " : "W ")
+                  << std::hex << "0x" << r.addr << std::dec << " +"
+                  << static_cast<unsigned>(r.size) << "B  (+"
+                  << r.instrDelta << " instr)\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string command = argv[1];
+    try {
+        if (command == "generate")
+            return cmdGenerate(argc, argv);
+        if (command == "info")
+            return cmdInfo(argc, argv);
+        if (command == "head")
+            return cmdHead(argc, argv);
+    } catch (const jcache::FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
