@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_alloc_instructions.dir/bench_ext_alloc_instructions.cc.o"
+  "CMakeFiles/bench_ext_alloc_instructions.dir/bench_ext_alloc_instructions.cc.o.d"
+  "bench_ext_alloc_instructions"
+  "bench_ext_alloc_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_alloc_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_blocked_numeric.dir/bench_ext_blocked_numeric.cc.o"
+  "CMakeFiles/bench_ext_blocked_numeric.dir/bench_ext_blocked_numeric.cc.o.d"
+  "bench_ext_blocked_numeric"
+  "bench_ext_blocked_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_blocked_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_victim_burstiness.dir/bench_ext_victim_burstiness.cc.o"
+  "CMakeFiles/bench_ext_victim_burstiness.dir/bench_ext_victim_burstiness.cc.o.d"
+  "bench_ext_victim_burstiness"
+  "bench_ext_victim_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_victim_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_write_bursts.dir/bench_ext_write_bursts.cc.o"
+  "CMakeFiles/bench_ext_write_bursts.dir/bench_ext_write_bursts.cc.o.d"
+  "bench_ext_write_bursts"
+  "bench_ext_write_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_write_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

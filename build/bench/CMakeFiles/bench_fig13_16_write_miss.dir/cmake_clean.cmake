@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_16_write_miss.dir/bench_fig13_16_write_miss.cc.o"
+  "CMakeFiles/bench_fig13_16_write_miss.dir/bench_fig13_16_write_miss.cc.o.d"
+  "bench_fig13_16_write_miss"
+  "bench_fig13_16_write_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_16_write_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_16_write_miss.
+# This may be replaced when dependencies are built.

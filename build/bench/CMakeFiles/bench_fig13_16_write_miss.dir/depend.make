@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_16_write_miss.
+# This may be replaced when dependencies are built.

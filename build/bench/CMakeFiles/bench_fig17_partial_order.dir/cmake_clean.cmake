@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_partial_order.dir/bench_fig17_partial_order.cc.o"
+  "CMakeFiles/bench_fig17_partial_order.dir/bench_fig17_partial_order.cc.o.d"
+  "bench_fig17_partial_order"
+  "bench_fig17_partial_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_partial_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

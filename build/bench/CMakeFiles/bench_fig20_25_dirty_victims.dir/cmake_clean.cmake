@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_25_dirty_victims.dir/bench_fig20_25_dirty_victims.cc.o"
+  "CMakeFiles/bench_fig20_25_dirty_victims.dir/bench_fig20_25_dirty_victims.cc.o.d"
+  "bench_fig20_25_dirty_victims"
+  "bench_fig20_25_dirty_victims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_25_dirty_victims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

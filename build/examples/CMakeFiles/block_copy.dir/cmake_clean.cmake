@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_copy.dir/block_copy.cc.o"
+  "CMakeFiles/block_copy.dir/block_copy.cc.o.d"
+  "block_copy"
+  "block_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_policy_explorer.dir/write_policy_explorer.cc.o"
+  "CMakeFiles/write_policy_explorer.dir/write_policy_explorer.cc.o.d"
+  "write_policy_explorer"
+  "write_policy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_policy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/jcache.dir/core/config.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/config.cc.o.d"
+  "/root/repo/src/core/data_cache.cc" "src/CMakeFiles/jcache.dir/core/data_cache.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/data_cache.cc.o.d"
+  "/root/repo/src/core/delayed_write.cc" "src/CMakeFiles/jcache.dir/core/delayed_write.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/delayed_write.cc.o.d"
+  "/root/repo/src/core/geometry.cc" "src/CMakeFiles/jcache.dir/core/geometry.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/geometry.cc.o.d"
+  "/root/repo/src/core/hw_cost.cc" "src/CMakeFiles/jcache.dir/core/hw_cost.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/hw_cost.cc.o.d"
+  "/root/repo/src/core/line.cc" "src/CMakeFiles/jcache.dir/core/line.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/line.cc.o.d"
+  "/root/repo/src/core/store_pipeline.cc" "src/CMakeFiles/jcache.dir/core/store_pipeline.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/store_pipeline.cc.o.d"
+  "/root/repo/src/core/victim_buffer.cc" "src/CMakeFiles/jcache.dir/core/victim_buffer.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/victim_buffer.cc.o.d"
+  "/root/repo/src/core/victim_cache.cc" "src/CMakeFiles/jcache.dir/core/victim_cache.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/victim_cache.cc.o.d"
+  "/root/repo/src/core/write_buffer.cc" "src/CMakeFiles/jcache.dir/core/write_buffer.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/write_buffer.cc.o.d"
+  "/root/repo/src/core/write_cache.cc" "src/CMakeFiles/jcache.dir/core/write_cache.cc.o" "gcc" "src/CMakeFiles/jcache.dir/core/write_cache.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/jcache.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/jcache.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/mem_level.cc" "src/CMakeFiles/jcache.dir/mem/mem_level.cc.o" "gcc" "src/CMakeFiles/jcache.dir/mem/mem_level.cc.o.d"
+  "/root/repo/src/mem/second_level_cache.cc" "src/CMakeFiles/jcache.dir/mem/second_level_cache.cc.o" "gcc" "src/CMakeFiles/jcache.dir/mem/second_level_cache.cc.o.d"
+  "/root/repo/src/mem/traffic_meter.cc" "src/CMakeFiles/jcache.dir/mem/traffic_meter.cc.o" "gcc" "src/CMakeFiles/jcache.dir/mem/traffic_meter.cc.o.d"
+  "/root/repo/src/sim/cpi_model.cc" "src/CMakeFiles/jcache.dir/sim/cpi_model.cc.o" "gcc" "src/CMakeFiles/jcache.dir/sim/cpi_model.cc.o.d"
+  "/root/repo/src/sim/experiments.cc" "src/CMakeFiles/jcache.dir/sim/experiments.cc.o" "gcc" "src/CMakeFiles/jcache.dir/sim/experiments.cc.o.d"
+  "/root/repo/src/sim/run.cc" "src/CMakeFiles/jcache.dir/sim/run.cc.o" "gcc" "src/CMakeFiles/jcache.dir/sim/run.cc.o.d"
+  "/root/repo/src/sim/sweeps.cc" "src/CMakeFiles/jcache.dir/sim/sweeps.cc.o" "gcc" "src/CMakeFiles/jcache.dir/sim/sweeps.cc.o.d"
+  "/root/repo/src/stats/counter.cc" "src/CMakeFiles/jcache.dir/stats/counter.cc.o" "gcc" "src/CMakeFiles/jcache.dir/stats/counter.cc.o.d"
+  "/root/repo/src/stats/csv.cc" "src/CMakeFiles/jcache.dir/stats/csv.cc.o" "gcc" "src/CMakeFiles/jcache.dir/stats/csv.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/CMakeFiles/jcache.dir/stats/distribution.cc.o" "gcc" "src/CMakeFiles/jcache.dir/stats/distribution.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/jcache.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/jcache.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/file_io.cc" "src/CMakeFiles/jcache.dir/trace/file_io.cc.o" "gcc" "src/CMakeFiles/jcache.dir/trace/file_io.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/CMakeFiles/jcache.dir/trace/record.cc.o" "gcc" "src/CMakeFiles/jcache.dir/trace/record.cc.o.d"
+  "/root/repo/src/trace/recorder.cc" "src/CMakeFiles/jcache.dir/trace/recorder.cc.o" "gcc" "src/CMakeFiles/jcache.dir/trace/recorder.cc.o.d"
+  "/root/repo/src/trace/summary.cc" "src/CMakeFiles/jcache.dir/trace/summary.cc.o" "gcc" "src/CMakeFiles/jcache.dir/trace/summary.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/jcache.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/jcache.dir/trace/trace.cc.o.d"
+  "/root/repo/src/util/bitops.cc" "src/CMakeFiles/jcache.dir/util/bitops.cc.o" "gcc" "src/CMakeFiles/jcache.dir/util/bitops.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/jcache.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/jcache.dir/util/logging.cc.o.d"
+  "/root/repo/src/workloads/callburst.cc" "src/CMakeFiles/jcache.dir/workloads/callburst.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/callburst.cc.o.d"
+  "/root/repo/src/workloads/ccom.cc" "src/CMakeFiles/jcache.dir/workloads/ccom.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/ccom.cc.o.d"
+  "/root/repo/src/workloads/gemm.cc" "src/CMakeFiles/jcache.dir/workloads/gemm.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/gemm.cc.o.d"
+  "/root/repo/src/workloads/grr.cc" "src/CMakeFiles/jcache.dir/workloads/grr.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/grr.cc.o.d"
+  "/root/repo/src/workloads/linpack.cc" "src/CMakeFiles/jcache.dir/workloads/linpack.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/linpack.cc.o.d"
+  "/root/repo/src/workloads/liver.cc" "src/CMakeFiles/jcache.dir/workloads/liver.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/liver.cc.o.d"
+  "/root/repo/src/workloads/met.cc" "src/CMakeFiles/jcache.dir/workloads/met.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/met.cc.o.d"
+  "/root/repo/src/workloads/traced_memory.cc" "src/CMakeFiles/jcache.dir/workloads/traced_memory.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/traced_memory.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/jcache.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/workload.cc.o.d"
+  "/root/repo/src/workloads/yacc.cc" "src/CMakeFiles/jcache.dir/workloads/yacc.cc.o" "gcc" "src/CMakeFiles/jcache.dir/workloads/yacc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

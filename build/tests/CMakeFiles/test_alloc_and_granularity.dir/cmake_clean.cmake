@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_and_granularity.dir/test_alloc_and_granularity.cc.o"
+  "CMakeFiles/test_alloc_and_granularity.dir/test_alloc_and_granularity.cc.o.d"
+  "test_alloc_and_granularity"
+  "test_alloc_and_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_and_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

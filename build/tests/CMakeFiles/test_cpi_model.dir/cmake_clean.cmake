@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpi_model.dir/test_cpi_model.cc.o"
+  "CMakeFiles/test_cpi_model.dir/test_cpi_model.cc.o.d"
+  "test_cpi_model"
+  "test_cpi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

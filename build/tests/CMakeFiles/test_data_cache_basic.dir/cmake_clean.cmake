@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_cache_basic.dir/test_data_cache_basic.cc.o"
+  "CMakeFiles/test_data_cache_basic.dir/test_data_cache_basic.cc.o.d"
+  "test_data_cache_basic"
+  "test_data_cache_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_cache_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_io.dir/test_file_io.cc.o"
+  "CMakeFiles/test_file_io.dir/test_file_io.cc.o.d"
+  "test_file_io"
+  "test_file_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

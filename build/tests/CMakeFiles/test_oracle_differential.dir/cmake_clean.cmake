@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_differential.dir/test_oracle_differential.cc.o"
+  "CMakeFiles/test_oracle_differential.dir/test_oracle_differential.cc.o.d"
+  "test_oracle_differential"
+  "test_oracle_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

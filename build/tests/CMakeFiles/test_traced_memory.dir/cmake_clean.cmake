@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traced_memory.dir/test_traced_memory.cc.o"
+  "CMakeFiles/test_traced_memory.dir/test_traced_memory.cc.o.d"
+  "test_traced_memory"
+  "test_traced_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traced_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

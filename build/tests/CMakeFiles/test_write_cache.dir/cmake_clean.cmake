@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_cache.dir/test_write_cache.cc.o"
+  "CMakeFiles/test_write_cache.dir/test_write_cache.cc.o.d"
+  "test_write_cache"
+  "test_write_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_hit_policies.dir/test_write_hit_policies.cc.o"
+  "CMakeFiles/test_write_hit_policies.dir/test_write_hit_policies.cc.o.d"
+  "test_write_hit_policies"
+  "test_write_hit_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_hit_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

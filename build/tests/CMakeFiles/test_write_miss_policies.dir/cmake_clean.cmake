@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_miss_policies.dir/test_write_miss_policies.cc.o"
+  "CMakeFiles/test_write_miss_policies.dir/test_write_miss_policies.cc.o.d"
+  "test_write_miss_policies"
+  "test_write_miss_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_miss_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

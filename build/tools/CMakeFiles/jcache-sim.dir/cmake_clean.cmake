@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcache-sim.dir/jcache_sim.cc.o"
+  "CMakeFiles/jcache-sim.dir/jcache_sim.cc.o.d"
+  "jcache-sim"
+  "jcache-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcache-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

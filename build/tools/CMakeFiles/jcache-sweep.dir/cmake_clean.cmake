@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcache-sweep.dir/jcache_sweep.cc.o"
+  "CMakeFiles/jcache-sweep.dir/jcache_sweep.cc.o.d"
+  "jcache-sweep"
+  "jcache-sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcache-sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jcache-trace.dir/jcache_trace.cc.o"
+  "CMakeFiles/jcache-trace.dir/jcache_trace.cc.o.d"
+  "jcache-trace"
+  "jcache-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jcache-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
