@@ -17,6 +17,7 @@ main(int argc, char** argv)
 {
     using namespace jcache;
 
+    bench::applyJobsFromArgs(argc, argv);
     const auto& traces = sim::TraceSet::standard();
     sim::FigureData fig18 = sim::figure18TrafficVsCacheSize(traces);
     sim::FigureData fig19 = sim::figure19TrafficVsLineSize(traces);

@@ -18,6 +18,7 @@ main(int argc, char** argv)
 {
     using namespace jcache;
 
+    bench::applyJobsFromArgs(argc, argv);
     const auto& traces = sim::TraceSet::standard();
     std::string csv_path = bench::csvPathFromArgs(argc, argv);
     std::ofstream csv;

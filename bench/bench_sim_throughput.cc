@@ -9,9 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <vector>
+
 #include "core/data_cache.hh"
 #include "mem/main_memory.hh"
 #include "mem/traffic_meter.hh"
+#include "sim/parallel.hh"
 #include "sim/run.hh"
 #include "sim/sweeps.hh"
 #include "workloads/workload.hh"
@@ -120,12 +124,76 @@ BM_TraceGeneration(benchmark::State& state)
     }
 }
 
+/**
+ * Serial-vs-parallel grid sweep: the full policy matrix across the
+ * cache-size axis on one trace, replayed by the ParallelExecutor at
+ * the thread count given by the benchmark argument.  Compare
+ * /threads:1 against /threads:N for the executor speedup; the
+ * "speedup vs serial" counter reports wall time relative to the
+ * thread-pool-free serial loop measured once up front.
+ */
+void
+BM_GridSweepParallel(benchmark::State& state)
+{
+    const trace::Trace& trace = sim::TraceSet::standard().get("grr");
+    std::vector<core::CacheConfig> configs;
+    for (Count size : sim::standardCacheSizes()) {
+        for (auto [hit, miss] : sim::legalPolicyPairs()) {
+            core::CacheConfig c;
+            c.sizeBytes = size;
+            c.hitPolicy = hit;
+            c.missPolicy = miss;
+            configs.push_back(c);
+        }
+    }
+    std::vector<sim::SweepJob> grid;
+    for (const core::CacheConfig& c : configs)
+        grid.push_back({&trace, c, false});
+
+    // Serial reference: a plain loop with no executor at all.
+    static double serial_seconds = [&] {
+        auto start = std::chrono::steady_clock::now();
+        for (const sim::SweepJob& job : grid) {
+            sim::RunResult r =
+                sim::runTrace(*job.trace, job.config, job.flushAtEnd);
+            benchmark::DoNotOptimize(r.instructions);
+        }
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }();
+
+    auto threads = static_cast<unsigned>(state.range(0));
+    sim::ParallelExecutor executor(threads);
+    Count total = 0;
+    double wall = 0.0;
+    for (auto _ : state) {
+        sim::SweepOutcome outcome = executor.run(grid);
+        total += outcome.report.totalInstructions();
+        wall += outcome.report.wallSeconds;
+        benchmark::DoNotOptimize(outcome.results.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+    state.counters["speedup_vs_serial"] =
+        wall > 0.0 ? serial_seconds *
+                         static_cast<double>(state.iterations()) / wall
+                   : 0.0;
+    state.counters["grid_jobs"] =
+        static_cast<double>(grid.size());
+}
+
 BENCHMARK(BM_WriteBackFetchOnWrite);
 BENCHMARK(BM_WriteThroughWriteValidate);
 BENCHMARK(BM_WriteThroughWriteAround);
 BENCHMARK(BM_SetAssociativeLookup)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GridSweepParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

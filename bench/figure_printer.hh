@@ -8,11 +8,13 @@
 #ifndef JCACHE_BENCH_FIGURE_PRINTER_HH
 #define JCACHE_BENCH_FIGURE_PRINTER_HH
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "sim/experiments.hh"
+#include "sim/parallel.hh"
 #include "stats/csv.hh"
 #include "stats/table.hh"
 
@@ -61,6 +63,22 @@ csvPathFromArgs(int argc, char** argv)
             return argv[i + 1];
     }
     return "";
+}
+
+/**
+ * Parse an optional "--jobs N" argument and set the parallel
+ * executor's process-wide default, so every sweep in the bench fans
+ * out over N threads (absent: all hardware threads).
+ */
+inline void
+applyJobsFromArgs(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs") {
+            sim::setDefaultJobs(static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10)));
+        }
+    }
 }
 
 } // namespace jcache::bench

@@ -10,6 +10,7 @@
 #include "core/store_pipeline.hh"
 #include "core/write_buffer.hh"
 #include "core/write_cache.hh"
+#include "sim/parallel.hh"
 #include "stats/counter.hh"
 #include "stats/table.hh"
 #include "util/logging.hh"
@@ -37,7 +38,13 @@ makeConfig(Count size, unsigned line, WriteHitPolicy hit,
     return config;
 }
 
-/** Per-benchmark sweep over one axis; metric(trace, x) -> value. */
+/**
+ * Per-benchmark sweep over one axis; metric(trace, x) -> value.
+ *
+ * The (trace x x) grid fans out over the parallel executor; values
+ * land in grid-index order, so the figure is identical to a serial
+ * sweep regardless of thread count.
+ */
 template <typename X, typename Metric>
 FigureData
 sweep(const std::string& title, const std::string& x_axis,
@@ -50,11 +57,20 @@ sweep(const std::string& title, const std::string& x_axis,
     figure.xAxis = x_axis;
     for (X x : xs)
         figure.xLabels.push_back(x_label(x));
-    for (const trace::Trace& t : traces.traces()) {
+
+    const std::vector<trace::Trace>& ts = traces.traces();
+    std::size_t nx = xs.size();
+    std::vector<double> values(ts.size() * nx);
+    ParallelExecutor().runTasks(values.size(), [&](std::size_t i) {
+        values[i] = metric(ts[i / nx], xs[i % nx]);
+        return Count{0};
+    });
+
+    for (std::size_t ti = 0; ti < ts.size(); ++ti) {
         Series series;
-        series.label = t.name();
-        for (X x : xs)
-            series.values.push_back(metric(t, x));
+        series.label = ts[ti].name();
+        series.values.assign(values.begin() + ti * nx,
+                             values.begin() + (ti + 1) * nx);
         figure.series.push_back(std::move(series));
     }
     appendAverage(figure);
@@ -105,6 +121,10 @@ countedMisses(const trace::Trace& t, Count size, unsigned line,
  * the reduction in counted misses relative to fetch-on-write is
  * normalized by the fetch-on-write write-miss count (write_basis =
  * true; Figures 13/15) or total-miss count (Figures 14/16).
+ *
+ * One parallel grid replays all four policies per (trace, x) point —
+ * the fetch-on-write baseline runs once and is shared by the three
+ * reduction figures, where the serial version re-ran it per policy.
  */
 template <typename X>
 std::vector<FigureData>
@@ -116,23 +136,42 @@ missReductionSweep(const std::string& figure_name,
                                                    WriteMissPolicy)>&
                        config_for)
 {
+    // Grid: trace-major, then x, then policy (baseline + the three
+    // no-fetch policies).
+    std::vector<WriteMissPolicy> policies{
+        WriteMissPolicy::FetchOnWrite};
+    policies.insert(policies.end(), kNoFetchPolicies.begin(),
+                    kNoFetchPolicies.end());
+    std::vector<CacheConfig> configs;
+    for (X x : xs) {
+        for (WriteMissPolicy p : policies)
+            configs.push_back(config_for(x, p));
+    }
+    SweepOutcome outcome =
+        ParallelExecutor().run(buildGrid(traces, configs, false));
+
+    std::size_t np = policies.size();
+    std::size_t nx = xs.size();
+    auto at = [&](std::size_t ti, std::size_t xi,
+                  std::size_t pi) -> const RunResult& {
+        return outcome.results[ti * nx * np + xi * np + pi];
+    };
+
     std::vector<FigureData> result;
-    for (WriteMissPolicy policy : kNoFetchPolicies) {
+    for (std::size_t pi = 1; pi < np; ++pi) {
         FigureData figure;
-        figure.title = figure_name + " — " + core::name(policy);
+        figure.title = figure_name + " — " +
+                       core::name(policies[pi]);
         figure.xAxis = x_axis;
         for (X x : xs)
             figure.xLabels.push_back(x_label(x));
 
-        for (const trace::Trace& t : traces.traces()) {
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
             Series series;
-            series.label = t.name();
-            for (X x : xs) {
-                RunResult base = runTrace(
-                    t, config_for(x, WriteMissPolicy::FetchOnWrite),
-                    false);
-                RunResult alt = runTrace(t, config_for(x, policy),
-                                         false);
+            series.label = traces.traces()[ti].name();
+            for (std::size_t xi = 0; xi < nx; ++xi) {
+                const RunResult& base = at(ti, xi, 0);
+                const RunResult& alt = at(ti, xi, pi);
                 Count basis = write_basis
                     ? base.cache.writeMisses
                     : base.cache.countedMisses();
@@ -545,17 +584,27 @@ trafficComponents(const std::string& title, const std::string& x_axis,
     for (X x : xs)
         figure.xLabels.push_back(x_label(x));
 
+    // Grid: trace-major, then x, then hit policy (WT, WB).
+    std::vector<CacheConfig> configs;
+    for (X x : xs) {
+        configs.push_back(config_for(x, WriteHitPolicy::WriteThrough));
+        configs.push_back(config_for(x, WriteHitPolicy::WriteBack));
+    }
+    SweepOutcome outcome =
+        ParallelExecutor().run(buildGrid(traces, configs, false));
+
+    std::size_t nx = xs.size();
     Series wt{"write-through", {}};
     Series wb{"write-back", {}};
     Series wm{"write misses", {}};
     Series rm{"read misses", {}};
-    for (X x : xs) {
+    for (std::size_t xi = 0; xi < nx; ++xi) {
         double wt_sum = 0, wb_sum = 0, wm_sum = 0, rm_sum = 0;
-        for (const trace::Trace& t : traces.traces()) {
-            RunResult r_wt = runTrace(
-                t, config_for(x, WriteHitPolicy::WriteThrough), false);
-            RunResult r_wb = runTrace(
-                t, config_for(x, WriteHitPolicy::WriteBack), false);
+        for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+            const RunResult& r_wt =
+                outcome.results[ti * nx * 2 + xi * 2];
+            const RunResult& r_wb =
+                outcome.results[ti * nx * 2 + xi * 2 + 1];
             wt_sum += r_wt.transactionsPerInstruction();
             wb_sum += r_wb.transactionsPerInstruction();
             wm_sum += stats::ratio(r_wb.cache.writeMissFetches,
@@ -589,13 +638,20 @@ victimSweep(const std::string& title, const std::string& x_axis,
     figure.xAxis = x_axis;
     for (X x : xs)
         figure.xLabels.push_back(x_label(x));
-    for (const trace::Trace& t : traces.traces()) {
+
+    std::vector<CacheConfig> configs;
+    for (X x : xs)
+        configs.push_back(config_for(x));
+    SweepOutcome outcome = ParallelExecutor().run(
+        buildGrid(traces, configs, /*flush_at_end=*/true));
+
+    std::size_t nx = xs.size();
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
         Series series;
-        series.label = t.name();
-        for (X x : xs) {
-            RunResult r = runTrace(t, config_for(x), true);
-            series.values.push_back(metric(r));
-        }
+        series.label = traces.traces()[ti].name();
+        for (std::size_t xi = 0; xi < nx; ++xi)
+            series.values.push_back(
+                metric(outcome.results[ti * nx + xi]));
         figure.series.push_back(std::move(series));
     }
     appendAverage(figure);

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Implementation of the parallel sweep executor.
+ */
+
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "stats/csv.hh"
+#include "stats/json.hh"
+#include "stats/table.hh"
+
+namespace jcache::sim
+{
+
+namespace
+{
+
+std::atomic<unsigned> default_jobs_override{0};
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    unsigned jobs = default_jobs_override.load();
+    if (jobs == 0) {
+        if (const char* env = std::getenv("JCACHE_JOBS"))
+            jobs = static_cast<unsigned>(std::strtoul(env, nullptr,
+                                                      10));
+    }
+    if (jobs == 0)
+        jobs = std::thread::hardware_concurrency();
+    return jobs == 0 ? 1 : jobs;
+}
+
+void
+setDefaultJobs(unsigned jobs)
+{
+    default_jobs_override.store(jobs);
+}
+
+double
+SweepReport::busySeconds() const
+{
+    double sum = 0.0;
+    for (const JobTiming& t : timings)
+        sum += t.wallSeconds;
+    return sum;
+}
+
+Count
+SweepReport::totalInstructions() const
+{
+    Count sum = 0;
+    for (const JobTiming& t : timings)
+        sum += t.instructions;
+    return sum;
+}
+
+double
+SweepReport::megaInstructionsPerSecond() const
+{
+    if (wallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(totalInstructions()) / wallSeconds /
+           1e6;
+}
+
+double
+SweepReport::utilization() const
+{
+    if (wallSeconds <= 0.0 || threads == 0)
+        return 0.0;
+    double u = busySeconds() / (threads * wallSeconds);
+    return u > 1.0 ? 1.0 : u;
+}
+
+void
+SweepReport::writeCsv(std::ostream& os) const
+{
+    stats::CsvWriter csv(os);
+    csv.writeRow({"job", "wall_seconds", "instructions",
+                  "m_ins_per_sec"});
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        const JobTiming& t = timings[i];
+        double mips = t.wallSeconds > 0.0
+            ? static_cast<double>(t.instructions) / t.wallSeconds / 1e6
+            : 0.0;
+        csv.writeRow(std::to_string(i),
+                     {t.wallSeconds, static_cast<double>(t.instructions),
+                      mips});
+    }
+}
+
+void
+SweepReport::writeJson(std::ostream& os) const
+{
+    stats::JsonWriter json(os);
+    json.beginObject();
+    json.field("threads", static_cast<double>(threads));
+    json.field("jobs", static_cast<double>(jobs()));
+    json.field("wall_seconds", wallSeconds);
+    json.field("busy_seconds", busySeconds());
+    json.field("utilization", utilization());
+    json.field("instructions",
+               static_cast<double>(totalInstructions()));
+    json.field("m_ins_per_sec", megaInstructionsPerSecond());
+    json.beginArray("job_timings");
+    for (const JobTiming& t : timings) {
+        json.beginObject();
+        json.field("wall_seconds", t.wallSeconds);
+        json.field("instructions",
+                   static_cast<double>(t.instructions));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+std::string
+SweepReport::summary() const
+{
+    std::ostringstream oss;
+    oss << jobs() << " jobs on " << threads << " thread"
+        << (threads == 1 ? "" : "s") << " in "
+        << stats::formatFixed(wallSeconds, 3) << "s ("
+        << stats::formatFixed(megaInstructionsPerSecond(), 1)
+        << " M ins/s, " << stats::formatFixed(utilization() * 100.0, 0)
+        << "% utilization)";
+    return oss.str();
+}
+
+ParallelExecutor::ParallelExecutor(unsigned threads,
+                                   ProgressFn progress)
+    : threads_(threads == 0 ? defaultJobs() : threads),
+      progress_(std::move(progress))
+{
+}
+
+SweepReport
+ParallelExecutor::runTasks(
+    std::size_t count,
+    const std::function<Count(std::size_t)>& task) const
+{
+    SweepReport report;
+    report.timings.resize(count);
+    // Oversubscription (threads > grid) just idles the excess
+    // workers; clamp so the report reflects the pool that can do work.
+    unsigned workers = threads_;
+    if (count < workers)
+        workers = count == 0 ? 1 : static_cast<unsigned>(count);
+    report.threads = workers;
+
+    Clock::time_point grid_start = Clock::now();
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1);
+            if (i >= count)
+                return;
+            Clock::time_point job_start = Clock::now();
+            Count instructions = task(i);
+            report.timings[i].wallSeconds = secondsSince(job_start);
+            report.timings[i].instructions = instructions;
+            std::size_t completed = done.fetch_add(1) + 1;
+            if (progress_) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress_(completed, count);
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread& t : pool)
+            t.join();
+    }
+    report.wallSeconds = secondsSince(grid_start);
+    return report;
+}
+
+SweepOutcome
+ParallelExecutor::run(const std::vector<SweepJob>& grid) const
+{
+    SweepOutcome outcome;
+    outcome.results.resize(grid.size());
+    outcome.report = runTasks(grid.size(), [&](std::size_t i) {
+        const SweepJob& job = grid[i];
+        outcome.results[i] =
+            runTrace(*job.trace, job.config, job.flushAtEnd);
+        return outcome.results[i].instructions;
+    });
+    return outcome;
+}
+
+} // namespace jcache::sim

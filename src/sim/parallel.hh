@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Parallel sweep executor and run observability.
+ *
+ * Every figure in the paper is a sweep over {cache size x line size x
+ * write policy x benchmark}, and each point is an independent replay:
+ * the grid is embarrassingly parallel.  ParallelExecutor fans a grid
+ * of SweepJobs out over a fixed-size std::thread pool and collects the
+ * RunResults into deterministically ordered output — results are keyed
+ * by grid index, never by completion order, so an N-thread sweep is
+ * bit-for-bit identical to a 1-thread sweep.
+ *
+ * Observability rides along: every run produces a SweepReport with
+ * per-job wall time, replayed-instruction throughput and thread
+ * utilization, exportable as CSV or JSON.
+ */
+
+#ifndef JCACHE_SIM_PARALLEL_HH
+#define JCACHE_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "core/config.hh"
+#include "sim/run.hh"
+#include "trace/trace.hh"
+
+namespace jcache::sim
+{
+
+/**
+ * Default worker count for executors constructed with threads = 0:
+ * the process-wide override set by setDefaultJobs() if any, else the
+ * JCACHE_JOBS environment variable, else hardware concurrency.
+ * Always at least 1.
+ */
+unsigned defaultJobs();
+
+/**
+ * Process-wide override for defaultJobs(); tools and benches plumb
+ * their --jobs flag through here.  0 restores automatic selection.
+ */
+void setDefaultJobs(unsigned jobs);
+
+/** Wall time and replay volume of one grid job. */
+struct JobTiming
+{
+    double wallSeconds = 0.0;
+
+    /** Instructions replayed by the job (0 for non-replay tasks). */
+    Count instructions = 0;
+};
+
+/**
+ * Observability record of one sweep: per-job timings plus grid-level
+ * throughput and utilization.
+ */
+struct SweepReport
+{
+    /** Worker threads the grid actually ran on. */
+    unsigned threads = 1;
+
+    /** Wall time of the whole grid, start to last completion. */
+    double wallSeconds = 0.0;
+
+    /** Per-job timings, ordered by grid index. */
+    std::vector<JobTiming> timings;
+
+    std::size_t jobs() const { return timings.size(); }
+
+    /** Sum of per-job wall times (total busy time across workers). */
+    double busySeconds() const;
+
+    /** Instructions replayed across the grid. */
+    Count totalInstructions() const;
+
+    /** Replay throughput in million instructions per second. */
+    double megaInstructionsPerSecond() const;
+
+    /**
+     * Fraction of the pool's capacity spent replaying, in [0, 1]:
+     * busySeconds / (threads * wallSeconds).
+     */
+    double utilization() const;
+
+    /** One row per job: index, wall seconds, instructions, M ins/s. */
+    void writeCsv(std::ostream& os) const;
+
+    /** Grid summary plus the per-job array, as a JSON object. */
+    void writeJson(std::ostream& os) const;
+
+    /** One-line human summary for --progress output. */
+    std::string summary() const;
+};
+
+/** One point of a sweep grid: a trace through a configuration. */
+struct SweepJob
+{
+    const trace::Trace* trace = nullptr;
+    core::CacheConfig config;
+    bool flushAtEnd = false;
+};
+
+/** Results and observability of one executed grid. */
+struct SweepOutcome
+{
+    /** One RunResult per job, ordered by grid index. */
+    std::vector<RunResult> results;
+
+    SweepReport report;
+};
+
+/**
+ * Called after each job completes with (done, total); serialized, so
+ * callbacks need no locking of their own.
+ */
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/**
+ * Fixed-size thread pool over a sweep grid.
+ *
+ * Workers claim jobs from a shared atomic cursor and write each result
+ * into its grid slot, so output order is independent of scheduling.
+ * The pool is sized once at construction; run() and runTasks() may be
+ * called repeatedly and spin the pool up per call (replays are
+ * milliseconds to seconds, thread start-up is microseconds).
+ */
+class ParallelExecutor
+{
+  public:
+    /**
+     * @param threads  worker count; 0 selects defaultJobs().
+     * @param progress optional per-job completion callback.
+     */
+    explicit ParallelExecutor(unsigned threads = 0,
+                              ProgressFn progress = nullptr);
+
+    /** Configured worker count (before clamping to a grid's size). */
+    unsigned threads() const { return threads_; }
+
+    /** Replay every job in the grid; results keyed by grid index. */
+    SweepOutcome run(const std::vector<SweepJob>& grid) const;
+
+    /**
+     * Generic fan-out: invoke task(i) for i in [0, count) across the
+     * pool.  The task returns the number of instructions it replayed
+     * (0 if not applicable) for the report's throughput accounting.
+     * Tasks must write their outputs to per-index slots; the executor
+     * guarantees each index runs exactly once.
+     */
+    SweepReport
+    runTasks(std::size_t count,
+             const std::function<Count(std::size_t)>& task) const;
+
+  private:
+    unsigned threads_;
+    ProgressFn progress_;
+};
+
+} // namespace jcache::sim
+
+#endif // JCACHE_SIM_PARALLEL_HH

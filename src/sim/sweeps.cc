@@ -1,9 +1,12 @@
 /**
  * @file
- * Implementation of sweep axes and the shared trace set.
+ * Implementation of sweep axes, grid builders and the shared trace
+ * set.
  */
 
 #include "sim/sweeps.hh"
+
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -25,6 +28,22 @@ standardLineSizes()
     return {4, 8, 16, 32, 64};
 }
 
+std::vector<std::pair<core::WriteHitPolicy, core::WriteMissPolicy>>
+legalPolicyPairs()
+{
+    using core::WriteHitPolicy;
+    using core::WriteMissPolicy;
+    return {
+        {WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite},
+        {WriteHitPolicy::WriteBack, WriteMissPolicy::WriteValidate},
+        {WriteHitPolicy::WriteThrough, WriteMissPolicy::FetchOnWrite},
+        {WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteValidate},
+        {WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteAround},
+        {WriteHitPolicy::WriteThrough,
+         WriteMissPolicy::WriteInvalidate},
+    };
+}
+
 TraceSet::TraceSet(const workloads::WorkloadConfig& config)
 {
     for (const auto& workload : workloads::makeAllWorkloads(config))
@@ -41,11 +60,37 @@ TraceSet::get(const std::string& name) const
     fatal("no trace named " + name);
 }
 
+namespace
+{
+
+std::once_flag standard_once;
+const TraceSet* standard_instance = nullptr;
+
+} // namespace
+
 const TraceSet&
 TraceSet::standard()
 {
-    static const TraceSet instance;
-    return instance;
+    // Intentionally leaked: workers may still hold references at
+    // static-destruction time, and the set lives for the process
+    // anyway.
+    std::call_once(standard_once,
+                   [] { standard_instance = new TraceSet(); });
+    return *standard_instance;
+}
+
+std::vector<SweepJob>
+buildGrid(const TraceSet& traces,
+          const std::vector<core::CacheConfig>& configs,
+          bool flush_at_end)
+{
+    std::vector<SweepJob> grid;
+    grid.reserve(traces.size() * configs.size());
+    for (const trace::Trace& t : traces.traces()) {
+        for (const core::CacheConfig& c : configs)
+            grid.push_back({&t, c, flush_at_end});
+    }
+    return grid;
 }
 
 } // namespace jcache::sim

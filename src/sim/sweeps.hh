@@ -1,19 +1,23 @@
 /**
  * @file
- * Sweep axes and the shared trace set.
+ * Sweep axes, grid builders and the shared trace set.
  *
  * The paper sweeps two axes: cache size 1KB-128KB at 16B lines, and
  * line size 4B-64B at 8KB.  TraceSet generates the six benchmark
  * traces once and shares them across every experiment in a process
- * (trace generation costs far more than a replay).
+ * (trace generation costs far more than a replay); construction of the
+ * shared instance is guarded by std::once_flag so the first use may
+ * come from any worker thread of the parallel executor.
  */
 
 #ifndef JCACHE_SIM_SWEEPS_HH
 #define JCACHE_SIM_SWEEPS_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/parallel.hh"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
 
@@ -25,6 +29,14 @@ std::vector<Count> standardCacheSizes();
 
 /** 4B..64B, the paper's line-size axis (Figures 1, 11, 15, ...). */
 std::vector<unsigned> standardLineSizes();
+
+/**
+ * Every legal (hit, miss) policy pair: write-back only combines with
+ * the allocating miss policies, write-through with all four — six
+ * pairs, the full Figure 12 matrix after the paper's exclusions.
+ */
+std::vector<std::pair<core::WriteHitPolicy, core::WriteMissPolicy>>
+legalPolicyPairs();
 
 /**
  * The six benchmark traces, generated once.
@@ -44,12 +56,25 @@ class TraceSet
     /**
      * Process-wide shared instance at scale 1.  Benches and tests use
      * this so the traces are generated exactly once per binary.
+     * Thread-safe: construction happens under a std::once_flag, so
+     * concurrent first calls from executor workers are well-defined.
      */
     static const TraceSet& standard();
 
   private:
     std::vector<trace::Trace> traces_;
 };
+
+/**
+ * Build a replay grid: the cross product of every trace in the set
+ * with every configuration, trace-major (all configs of trace 0, then
+ * trace 1, ...).  Feed the result to ParallelExecutor::run(); index
+ * back with trace_index * configs.size() + config_index.
+ */
+std::vector<SweepJob>
+buildGrid(const TraceSet& traces,
+          const std::vector<core::CacheConfig>& configs,
+          bool flush_at_end = false);
 
 } // namespace jcache::sim
 

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementation of the JSON writer.
+ */
+
+#include "stats/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace jcache::stats
+{
+
+void
+JsonWriter::comma()
+{
+    if (!first_in_scope_)
+        os_ << ",";
+    if (!scopes_.empty())
+        os_ << "\n";
+    indent();
+    first_in_scope_ = false;
+}
+
+void
+JsonWriter::indent()
+{
+    for (std::size_t i = 0; i < scopes_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    os_ << "{";
+    scopes_.push_back('{');
+    first_in_scope_ = true;
+}
+
+void
+JsonWriter::beginObject(const std::string& key)
+{
+    comma();
+    os_ << quote(key) << ": {";
+    scopes_.push_back('{');
+    first_in_scope_ = true;
+}
+
+void
+JsonWriter::endObject()
+{
+    if (scopes_.empty() || scopes_.back() != '{')
+        panic("JsonWriter::endObject outside an object scope");
+    bool empty = first_in_scope_;
+    scopes_.pop_back();
+    if (!empty) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "}";
+    first_in_scope_ = false;
+    if (scopes_.empty())
+        os_ << "\n";
+}
+
+void
+JsonWriter::beginArray(const std::string& key)
+{
+    comma();
+    os_ << quote(key) << ": [";
+    scopes_.push_back('[');
+    first_in_scope_ = true;
+}
+
+void
+JsonWriter::endArray()
+{
+    if (scopes_.empty() || scopes_.back() != '[')
+        panic("JsonWriter::endArray outside an array scope");
+    bool empty = first_in_scope_;
+    scopes_.pop_back();
+    if (!empty) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "]";
+    first_in_scope_ = false;
+}
+
+void
+JsonWriter::field(const std::string& key, const std::string& value)
+{
+    comma();
+    os_ << quote(key) << ": " << quote(value);
+}
+
+void
+JsonWriter::field(const std::string& key, double value)
+{
+    comma();
+    os_ << quote(key) << ": " << number(value);
+}
+
+void
+JsonWriter::field(const std::string& key, bool value)
+{
+    comma();
+    os_ << quote(key) << ": " << (value ? "true" : "false");
+}
+
+void
+JsonWriter::element(double value)
+{
+    comma();
+    os_ << number(value);
+}
+
+std::string
+JsonWriter::quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char ch : s) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+JsonWriter::number(double value)
+{
+    // JSON has no NaN/Inf; clamp to null-adjacent zero rather than
+    // emit an invalid document.
+    if (!std::isfinite(value))
+        return "0";
+    // Integers (the common case: counts) print without an exponent.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+} // namespace jcache::stats

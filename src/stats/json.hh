@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal streaming JSON emission for run reports.
+ *
+ * The counterpart of csv.hh for structured export: enough of a writer
+ * to serialize sweep reports (nested objects, arrays, numbers,
+ * strings) without any third-party dependency.  Strings are escaped
+ * per RFC 8259; numbers print with enough precision to round-trip a
+ * double.
+ */
+
+#ifndef JCACHE_STATS_JSON_HH
+#define JCACHE_STATS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jcache::stats
+{
+
+/**
+ * Streaming JSON writer over an externally owned ostream.
+ *
+ * Usage follows document order: beginObject()/endObject() and
+ * beginArray()/endArray() nest, field() emits "key": value pairs
+ * inside objects, and the writer inserts commas and indentation.
+ * Misnesting (ending a scope that was never begun) aborts via panic —
+ * it is a programming error, not an I/O condition.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    /** Open an object: anonymous at top level / inside arrays. */
+    void beginObject();
+
+    /** Open an object-valued field inside the current object. */
+    void beginObject(const std::string& key);
+
+    void endObject();
+
+    /** Open an array-valued field inside the current object. */
+    void beginArray(const std::string& key);
+
+    void endArray();
+
+    void field(const std::string& key, const std::string& value);
+    void field(const std::string& key, double value);
+    void field(const std::string& key, bool value);
+
+    /** A bare numeric array element (inside beginArray scopes). */
+    void element(double value);
+
+    /** Escape and quote a string per RFC 8259. */
+    static std::string quote(const std::string& s);
+
+    /** Shortest representation that round-trips the double. */
+    static std::string number(double value);
+
+  private:
+    void comma();
+    void indent();
+
+    std::ostream& os_;
+    std::vector<char> scopes_;   // '{' or '[' per open scope
+    bool first_in_scope_ = true;
+};
+
+} // namespace jcache::stats
+
+#endif // JCACHE_STATS_JSON_HH

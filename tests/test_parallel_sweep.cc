@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the parallel sweep executor: determinism across thread
+ * counts, oversubscription, report accounting, and CSV/JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "sim/parallel.hh"
+#include "sim/sweeps.hh"
+#include "trace/recorder.hh"
+
+namespace jcache::sim
+{
+namespace
+{
+
+using core::CacheConfig;
+using core::WriteHitPolicy;
+using core::WriteMissPolicy;
+using trace::RefType;
+
+/** A small trace with hits, misses, conflicts and dirty victims. */
+trace::Trace
+mixedTrace(const std::string& name, Addr seed)
+{
+    trace::Trace t(name);
+    Addr base = seed * 0x40;
+    for (unsigned i = 0; i < 400; ++i) {
+        Addr addr = (base + i * 24) % 0x3000;
+        t.append({addr & ~Addr{3}, 2, 4,
+                  i % 3 ? RefType::Read : RefType::Write});
+        // Conflicting line in a 1-4KB cache to force victims.
+        if (i % 7 == 0)
+            t.append({(addr + 0x1000) & ~Addr{3}, 1, 4,
+                      RefType::Write});
+    }
+    return t;
+}
+
+/** The policy matrix crossed with two sizes and two line sizes. */
+std::vector<CacheConfig>
+policyMatrixConfigs()
+{
+    std::vector<CacheConfig> configs;
+    for (auto [hit, miss] : legalPolicyPairs()) {
+        for (Count size : {1024u, 4096u}) {
+            for (unsigned line : {8u, 32u}) {
+                CacheConfig c;
+                c.sizeBytes = size;
+                c.lineBytes = line;
+                c.hitPolicy = hit;
+                c.missPolicy = miss;
+                configs.push_back(c);
+            }
+        }
+    }
+    return configs;
+}
+
+std::vector<SweepJob>
+matrixGrid(const std::vector<trace::Trace>& traces,
+           const std::vector<CacheConfig>& configs)
+{
+    std::vector<SweepJob> grid;
+    for (const trace::Trace& t : traces) {
+        for (const CacheConfig& c : configs)
+            grid.push_back({&t, c, true});
+    }
+    return grid;
+}
+
+/** Field-by-field equality of everything a RunResult carries. */
+void
+expectIdentical(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.instructions, b.instructions);
+
+    const core::CacheStats& s = a.cache;
+    const core::CacheStats& o = b.cache;
+    EXPECT_EQ(s.reads, o.reads);
+    EXPECT_EQ(s.writes, o.writes);
+    EXPECT_EQ(s.readHits, o.readHits);
+    EXPECT_EQ(s.writeHits, o.writeHits);
+    EXPECT_EQ(s.readMisses, o.readMisses);
+    EXPECT_EQ(s.partialValidReadMisses, o.partialValidReadMisses);
+    EXPECT_EQ(s.writeMisses, o.writeMisses);
+    EXPECT_EQ(s.writeMissFetches, o.writeMissFetches);
+    EXPECT_EQ(s.linesFetched, o.linesFetched);
+    EXPECT_EQ(s.writesToDirtyLines, o.writesToDirtyLines);
+    EXPECT_EQ(s.writeThroughs, o.writeThroughs);
+    EXPECT_EQ(s.invalidations, o.invalidations);
+    EXPECT_EQ(s.victims, o.victims);
+    EXPECT_EQ(s.dirtyVictims, o.dirtyVictims);
+    EXPECT_EQ(s.dirtyVictimDirtyBytes, o.dirtyVictimDirtyBytes);
+    EXPECT_EQ(s.flushedValidLines, o.flushedValidLines);
+    EXPECT_EQ(s.flushedDirtyLines, o.flushedDirtyLines);
+    EXPECT_EQ(s.flushedDirtyBytes, o.flushedDirtyBytes);
+
+    auto traffic_eq = [](const mem::TrafficClass& x,
+                         const mem::TrafficClass& y) {
+        EXPECT_EQ(x.transactions, y.transactions);
+        EXPECT_EQ(x.bytes, y.bytes);
+    };
+    traffic_eq(a.fetchTraffic, b.fetchTraffic);
+    traffic_eq(a.writeThroughTraffic, b.writeThroughTraffic);
+    traffic_eq(a.writeBackTraffic, b.writeBackTraffic);
+    traffic_eq(a.flushTraffic, b.flushTraffic);
+}
+
+TEST(ParallelExecutor, MultiThreadMatchesSingleThreadExactly)
+{
+    std::vector<trace::Trace> traces;
+    traces.push_back(mixedTrace("alpha", 1));
+    traces.push_back(mixedTrace("beta", 5));
+    traces.push_back(mixedTrace("gamma", 11));
+    std::vector<SweepJob> grid =
+        matrixGrid(traces, policyMatrixConfigs());
+
+    SweepOutcome serial = ParallelExecutor(1).run(grid);
+    SweepOutcome wide = ParallelExecutor(4).run(grid);
+
+    ASSERT_EQ(serial.results.size(), grid.size());
+    ASSERT_EQ(wide.results.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        expectIdentical(serial.results[i], wide.results[i]);
+}
+
+TEST(ParallelExecutor, OversubscribedPoolStillCoversEveryJob)
+{
+    std::vector<trace::Trace> traces;
+    traces.push_back(mixedTrace("tiny", 3));
+    std::vector<CacheConfig> configs(3);  // 3-job grid
+    std::vector<SweepJob> grid = matrixGrid(traces, configs);
+
+    // Far more threads than jobs: every job must still run exactly
+    // once and the report must reflect the clamped pool.
+    SweepOutcome outcome = ParallelExecutor(16).run(grid);
+    ASSERT_EQ(outcome.results.size(), 3u);
+    EXPECT_EQ(outcome.report.threads, 3u);
+    for (const RunResult& r : outcome.results)
+        EXPECT_GT(r.instructions, 0u);
+
+    SweepOutcome reference = ParallelExecutor(1).run(grid);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        expectIdentical(reference.results[i], outcome.results[i]);
+}
+
+TEST(ParallelExecutor, EmptyGrid)
+{
+    SweepOutcome outcome = ParallelExecutor(4).run({});
+    EXPECT_TRUE(outcome.results.empty());
+    EXPECT_EQ(outcome.report.jobs(), 0u);
+    EXPECT_EQ(outcome.report.totalInstructions(), 0u);
+    EXPECT_DOUBLE_EQ(outcome.report.utilization(), 0.0);
+}
+
+TEST(ParallelExecutor, RunTasksVisitsEachIndexOnce)
+{
+    std::vector<std::atomic<int>> visits(100);
+    ParallelExecutor(8).runTasks(100, [&](std::size_t i) {
+        visits[i].fetch_add(1);
+        return Count{i + 1};
+    });
+    for (const auto& v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelExecutor, ReportAccountsInstructionsAndUtilization)
+{
+    std::vector<trace::Trace> traces;
+    traces.push_back(mixedTrace("acct", 7));
+    std::vector<CacheConfig> configs(4);
+    std::vector<SweepJob> grid = matrixGrid(traces, configs);
+
+    SweepOutcome outcome = ParallelExecutor(2).run(grid);
+    const SweepReport& report = outcome.report;
+    ASSERT_EQ(report.jobs(), grid.size());
+
+    Count expected = 0;
+    for (const RunResult& r : outcome.results)
+        expected += r.instructions;
+    EXPECT_EQ(report.totalInstructions(), expected);
+    EXPECT_GT(report.totalInstructions(), 0u);
+    EXPECT_GE(report.wallSeconds, 0.0);
+    EXPECT_GE(report.busySeconds(), 0.0);
+    EXPECT_GE(report.utilization(), 0.0);
+    EXPECT_LE(report.utilization(), 1.0);
+    EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(ParallelExecutor, ProgressCallbackSeesEveryCompletion)
+{
+    std::vector<std::size_t> seen;
+    ParallelExecutor executor(
+        4, [&](std::size_t done, std::size_t total) {
+            EXPECT_EQ(total, 10u);
+            seen.push_back(done);
+        });
+    executor.runTasks(10, [](std::size_t) { return Count{0}; });
+    ASSERT_EQ(seen.size(), 10u);
+    // Callbacks are serialized; done counts are the 1..10 set in some
+    // completion order, ending at 10.
+    std::sort(seen.begin(), seen.end());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(SweepReport, CsvHasHeaderAndOneRowPerJob)
+{
+    SweepReport report;
+    report.threads = 2;
+    report.wallSeconds = 0.5;
+    report.timings = {{0.25, 1000}, {0.25, 3000}};
+
+    std::ostringstream oss;
+    report.writeCsv(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("job,wall_seconds,instructions,m_ins_per_sec"),
+              std::string::npos);
+    std::size_t rows = 0;
+    for (char ch : out)
+        rows += ch == '\n';
+    EXPECT_EQ(rows, 3u);  // header + 2 jobs
+}
+
+TEST(SweepReport, JsonIsBalancedAndCarriesTotals)
+{
+    SweepReport report;
+    report.threads = 4;
+    report.wallSeconds = 2.0;
+    report.timings = {{1.0, 4000000}, {1.0, 4000000}};
+
+    std::ostringstream oss;
+    report.writeJson(oss);
+    std::string out = oss.str();
+
+    long depth = 0;
+    for (char ch : out) {
+        if (ch == '{' || ch == '[')
+            ++depth;
+        if (ch == '}' || ch == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_NE(out.find("\"threads\": 4"), std::string::npos);
+    EXPECT_NE(out.find("\"jobs\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\"instructions\": 8000000"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"m_ins_per_sec\": 4"), std::string::npos);
+    EXPECT_NE(out.find("\"utilization\": 0.25"), std::string::npos);
+    EXPECT_NE(out.find("\"job_timings\""), std::string::npos);
+}
+
+TEST(TraceSetStandard, ConcurrentFirstUseYieldsOneInstance)
+{
+    // The once_flag guard must make racing first calls safe and give
+    // every caller the same instance.
+    std::vector<const TraceSet*> seen(4, nullptr);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        threads.emplace_back(
+            [&seen, i] { seen[i] = &TraceSet::standard(); });
+    for (std::thread& t : threads)
+        t.join();
+    for (const TraceSet* p : seen) {
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p, seen.front());
+    }
+    EXPECT_EQ(seen.front()->size(), 6u);
+}
+
+TEST(DefaultJobs, OverrideAndRestore)
+{
+    setDefaultJobs(3);
+    EXPECT_EQ(defaultJobs(), 3u);
+    EXPECT_EQ(ParallelExecutor().threads(), 3u);
+    setDefaultJobs(0);
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+} // namespace
+} // namespace jcache::sim

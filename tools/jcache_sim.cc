@@ -8,9 +8,15 @@
  *       [--size KB] [--line B] [--assoc N]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
  *       [--replacement lru|fifo|random] [--no-flush]
+ *       [--jobs N] [--progress]
  *
  * Defaults: 8KB, 16B lines, direct-mapped, write-back,
  * fetch-on-write — the paper's base configuration.
+ *
+ * The replay runs through the parallel executor (a one-job grid);
+ * --progress adds the run's observability summary — wall time,
+ * replayed M ins/s — on stderr, and --jobs sets the executor width
+ * for scripts that pass uniform flags to every jcache tool.
  */
 
 #include <cstdlib>
@@ -18,6 +24,7 @@
 #include <iostream>
 #include <string>
 
+#include "sim/parallel.hh"
 #include "sim/run.hh"
 #include "stats/counter.hh"
 #include "stats/table.hh"
@@ -37,7 +44,7 @@ usage()
         "usage: jcache-sim <trace.jct | workload-name>\n"
         "  [--size KB] [--line B] [--assoc N] [--hit wt|wb]\n"
         "  [--miss fow|wv|wa|wi] [--replacement lru|fifo|random]\n"
-        "  [--no-flush]\n";
+        "  [--no-flush] [--jobs N] [--progress]\n";
     return 2;
 }
 
@@ -89,12 +96,18 @@ main(int argc, char** argv)
     core::CacheConfig config;
     config.hitPolicy = core::WriteHitPolicy::WriteBack;
     bool flush = true;
+    bool progress = false;
+    unsigned jobs = 0;
 
     try {
         for (int i = 2; i < argc; ++i) {
             std::string flag = argv[i];
             if (flag == "--no-flush") {
                 flush = false;
+                continue;
+            }
+            if (flag == "--progress") {
+                progress = true;
                 continue;
             }
             if (i + 1 >= argc)
@@ -115,6 +128,9 @@ main(int argc, char** argv)
                 config.missPolicy = parseMiss(value);
             } else if (flag == "--replacement") {
                 config.replacement = parseReplacement(value);
+            } else if (flag == "--jobs") {
+                jobs = static_cast<unsigned>(
+                    std::strtoul(value.c_str(), nullptr, 10));
             } else {
                 return usage();
             }
@@ -127,7 +143,10 @@ main(int argc, char** argv)
             : workloads::generateTrace(
                   *workloads::makeWorkload(source));
 
-        sim::RunResult r = sim::runTrace(trace, config, flush);
+        sim::ParallelExecutor executor(jobs);
+        sim::SweepOutcome outcome =
+            executor.run({{&trace, config, flush}});
+        const sim::RunResult& r = outcome.results.front();
         const core::CacheStats& s = r.cache;
 
         stats::TextTable table(config.describe() + " on '" +
@@ -168,6 +187,8 @@ main(int argc, char** argv)
                       stats::formatFixed(
                           r.transactionsPerInstruction(), 4)});
         table.print(std::cout);
+        if (progress)
+            std::cerr << outcome.report.summary() << "\n";
         return 0;
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";

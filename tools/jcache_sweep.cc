@@ -8,18 +8,28 @@
  *   jcache-sweep <trace.jct | workload> --axis size|line|assoc
  *       [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
+ *       [--jobs N] [--progress] [--json <report.json>]
  *
  * Metrics:
  *   miss    — counted-miss ratio (%)
  *   traffic — back-side transactions per instruction
  *   dirty   — percent of writes to already-dirty lines
+ *
+ * The sweep points run on the parallel executor (--jobs N threads;
+ * default: all hardware threads).  Results are ordered by sweep point,
+ * never by completion, so the table is identical at any job count.
+ * --progress reports per-point completion and a run summary on
+ * stderr; --json exports the SweepReport (per-job wall time,
+ * throughput, utilization) for observability tooling.
  */
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "sim/parallel.hh"
 #include "sim/run.hh"
 #include "stats/counter.hh"
 #include "stats/table.hh"
@@ -39,7 +49,8 @@ usage()
         "usage: jcache-sweep <trace.jct | workload> --axis "
         "size|line|assoc\n"
         "  [--metric miss|traffic|dirty] [--hit wt|wb] "
-        "[--miss fow|wv|wa|wi]\n";
+        "[--miss fow|wv|wa|wi]\n"
+        "  [--jobs N] [--progress] [--json <report.json>]\n";
     return 2;
 }
 
@@ -53,17 +64,31 @@ main(int argc, char** argv)
 
     std::string axis = "size";
     std::string metric = "miss";
+    std::string json_path;
+    unsigned jobs = 0;
+    bool progress = false;
     core::CacheConfig base;
     base.hitPolicy = core::WriteHitPolicy::WriteBack;
 
     try {
-        for (int i = 2; i + 1 < argc; i += 2) {
+        for (int i = 2; i < argc; ++i) {
             std::string flag = argv[i];
-            std::string value = argv[i + 1];
+            if (flag == "--progress") {
+                progress = true;
+                continue;
+            }
+            if (i + 1 >= argc)
+                return usage();
+            std::string value = argv[++i];
             if (flag == "--axis") {
                 axis = value;
             } else if (flag == "--metric") {
                 metric = value;
+            } else if (flag == "--jobs") {
+                jobs = static_cast<unsigned>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+            } else if (flag == "--json") {
+                json_path = value;
             } else if (flag == "--hit") {
                 base.hitPolicy = value == "wb"
                     ? core::WriteHitPolicy::WriteBack
@@ -88,6 +113,10 @@ main(int argc, char** argv)
                 return usage();
             }
         }
+
+        if (metric != "miss" && metric != "traffic" &&
+            metric != "dirty")
+            return usage();
 
         std::string source = argv[1];
         trace::Trace trace = std::filesystem::exists(source)
@@ -132,24 +161,47 @@ main(int argc, char** argv)
             header.push_back(l);
         table.setHeader(header);
 
+        // Fan the points out over the executor; results come back in
+        // point order regardless of completion order.
+        std::vector<sim::SweepJob> grid;
+        for (const core::CacheConfig& config : points)
+            grid.push_back({&trace, config, false});
+
+        sim::ProgressFn on_progress;
+        if (progress) {
+            on_progress = [](std::size_t done, std::size_t total) {
+                std::cerr << "\r[" << done << "/" << total
+                          << "] points replayed" << std::flush;
+                if (done == total)
+                    std::cerr << "\n";
+            };
+        }
+        sim::ParallelExecutor executor(jobs, on_progress);
+        sim::SweepOutcome outcome = executor.run(grid);
+
         std::vector<double> values;
-        for (const core::CacheConfig& config : points) {
-            sim::RunResult r = sim::runTrace(trace, config, false);
+        for (const sim::RunResult& r : outcome.results) {
             if (metric == "miss") {
                 values.push_back(100.0 *
                                  stats::ratio(r.cache.countedMisses(),
                                               r.cache.accesses()));
             } else if (metric == "traffic") {
                 values.push_back(r.transactionsPerInstruction());
-            } else if (metric == "dirty") {
-                values.push_back(r.percentWritesToDirtyLines());
             } else {
-                return usage();
+                values.push_back(r.percentWritesToDirtyLines());
             }
         }
         table.addRow(metric, values,
                      metric == "traffic" ? 4 : 2);
         table.print(std::cout);
+
+        if (progress)
+            std::cerr << outcome.report.summary() << "\n";
+        if (!json_path.empty()) {
+            std::ofstream ofs(json_path);
+            fatalIf(!ofs, "cannot open " + json_path);
+            outcome.report.writeJson(ofs);
+        }
         return 0;
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";
