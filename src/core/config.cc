@@ -55,6 +55,78 @@ name(ReplacementPolicy policy)
     panic("unknown ReplacementPolicy");
 }
 
+std::string
+shortCode(WriteHitPolicy policy)
+{
+    return policy == WriteHitPolicy::WriteThrough ? "wt" : "wb";
+}
+
+std::string
+shortCode(WriteMissPolicy policy)
+{
+    switch (policy) {
+      case WriteMissPolicy::FetchOnWrite:
+        return "fow";
+      case WriteMissPolicy::WriteValidate:
+        return "wv";
+      case WriteMissPolicy::WriteAround:
+        return "wa";
+      case WriteMissPolicy::WriteInvalidate:
+        return "wi";
+    }
+    panic("unknown WriteMissPolicy");
+}
+
+std::string
+shortCode(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Lru:
+        return "lru";
+      case ReplacementPolicy::Fifo:
+        return "fifo";
+      case ReplacementPolicy::Random:
+        return "random";
+    }
+    panic("unknown ReplacementPolicy");
+}
+
+std::optional<WriteHitPolicy>
+parseHitPolicy(const std::string& code)
+{
+    if (code == "wt")
+        return WriteHitPolicy::WriteThrough;
+    if (code == "wb")
+        return WriteHitPolicy::WriteBack;
+    return std::nullopt;
+}
+
+std::optional<WriteMissPolicy>
+parseMissPolicy(const std::string& code)
+{
+    if (code == "fow")
+        return WriteMissPolicy::FetchOnWrite;
+    if (code == "wv")
+        return WriteMissPolicy::WriteValidate;
+    if (code == "wa")
+        return WriteMissPolicy::WriteAround;
+    if (code == "wi")
+        return WriteMissPolicy::WriteInvalidate;
+    return std::nullopt;
+}
+
+std::optional<ReplacementPolicy>
+parseReplacementPolicy(const std::string& code)
+{
+    if (code == "lru")
+        return ReplacementPolicy::Lru;
+    if (code == "fifo")
+        return ReplacementPolicy::Fifo;
+    if (code == "random")
+        return ReplacementPolicy::Random;
+    return std::nullopt;
+}
+
 bool
 fetchesOnWrite(WriteMissPolicy policy)
 {

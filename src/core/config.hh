@@ -58,6 +58,25 @@ std::string name(WriteHitPolicy policy);
 std::string name(WriteMissPolicy policy);
 std::string name(ReplacementPolicy policy);
 
+/** Short codes used by CLI flags and the wire protocol: "wt"/"wb". */
+std::string shortCode(WriteHitPolicy policy);
+
+/** Short codes: "fow"/"wv"/"wa"/"wi". */
+std::string shortCode(WriteMissPolicy policy);
+
+/** Short codes: "lru"/"fifo"/"random". */
+std::string shortCode(ReplacementPolicy policy);
+
+/** Parse a hit-policy short code; nullopt for unknown input. */
+std::optional<WriteHitPolicy> parseHitPolicy(const std::string& code);
+
+/** Parse a miss-policy short code; nullopt for unknown input. */
+std::optional<WriteMissPolicy> parseMissPolicy(const std::string& code);
+
+/** Parse a replacement-policy short code; nullopt for unknown input. */
+std::optional<ReplacementPolicy>
+parseReplacementPolicy(const std::string& code);
+
 /** Does this write-miss policy fetch the missed line? */
 bool fetchesOnWrite(WriteMissPolicy policy);
 

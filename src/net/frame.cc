@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of length-prefixed framing.
+ */
+
+#include "net/frame.hh"
+
+#include <array>
+
+namespace jcache::net
+{
+
+std::string
+name(FrameStatus status)
+{
+    switch (status) {
+      case FrameStatus::Ok:
+        return "ok";
+      case FrameStatus::Closed:
+        return "closed";
+      case FrameStatus::Idle:
+        return "idle";
+      case FrameStatus::Truncated:
+        return "truncated";
+      case FrameStatus::Oversized:
+        return "oversized";
+      case FrameStatus::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+FrameStatus
+readFrame(Socket& socket, std::string& payload)
+{
+    std::array<unsigned char, 4> prefix = {};
+    IoResult r = socket.readAll(prefix.data(), prefix.size());
+    if (r.status == IoStatus::Closed && r.bytes == 0)
+        return FrameStatus::Closed;
+    if (r.status == IoStatus::Timeout && r.bytes == 0)
+        return FrameStatus::Idle;
+    if (!r.ok())
+        return r.status == IoStatus::Error ? FrameStatus::Error
+                                           : FrameStatus::Truncated;
+
+    std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                        static_cast<std::uint32_t>(prefix[1]) << 8 |
+                        static_cast<std::uint32_t>(prefix[2]) << 16 |
+                        static_cast<std::uint32_t>(prefix[3]) << 24;
+    if (len > kMaxFrameBytes)
+        return FrameStatus::Oversized;
+
+    payload.resize(len);
+    if (len == 0)
+        return FrameStatus::Ok;
+    r = socket.readAll(payload.data(), len);
+    if (!r.ok())
+        return r.status == IoStatus::Error ? FrameStatus::Error
+                                           : FrameStatus::Truncated;
+    return FrameStatus::Ok;
+}
+
+FrameStatus
+writeFrame(Socket& socket, const std::string& payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return FrameStatus::Oversized;
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    std::array<unsigned char, 4> prefix = {
+        static_cast<unsigned char>(len & 0xff),
+        static_cast<unsigned char>((len >> 8) & 0xff),
+        static_cast<unsigned char>((len >> 16) & 0xff),
+        static_cast<unsigned char>((len >> 24) & 0xff),
+    };
+    if (!socket.writeAll(prefix.data(), prefix.size()).ok())
+        return FrameStatus::Error;
+    if (!payload.empty() &&
+        !socket.writeAll(payload.data(), payload.size()).ok())
+        return FrameStatus::Error;
+    return FrameStatus::Ok;
+}
+
+} // namespace jcache::net

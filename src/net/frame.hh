@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Length-prefixed JSON request framing.
+ *
+ * Every message on a jcached connection is one frame: a 4-byte
+ * little-endian payload length followed by that many bytes of UTF-8
+ * JSON.  The prefix bounds each read up front, so the daemon can
+ * reject an oversized or truncated frame without ever buffering more
+ * than kMaxFrameBytes, and a partial frame (slow or vanished client)
+ * times out instead of wedging the connection thread.
+ */
+
+#ifndef JCACHE_NET_FRAME_HH
+#define JCACHE_NET_FRAME_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hh"
+
+namespace jcache::net
+{
+
+/**
+ * Upper bound on a frame payload (16 MB).  Far above any legitimate
+ * request or response; a larger prefix is a protocol violation and
+ * closes the connection.
+ */
+inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+/** Outcome of reading one frame. */
+enum class FrameStatus : std::uint8_t
+{
+    Ok,         //!< a complete frame was read into the payload
+    Closed,     //!< clean EOF on the frame boundary (peer finished)
+    Idle,       //!< timeout before any byte of a new frame arrived
+    Truncated,  //!< EOF or timeout in the middle of a frame
+    Oversized,  //!< length prefix exceeded kMaxFrameBytes
+    Error,      //!< socket error
+};
+
+/** Human-readable status name for logs and error responses. */
+std::string name(FrameStatus status);
+
+/**
+ * Read one frame from the socket into `payload`.
+ *
+ * The socket's configured timeout applies independently to the prefix
+ * and the payload; a timeout before any prefix byte reports Idle
+ * (the peer is quiet, the stream is still frame-aligned) while a
+ * timeout mid-frame reports Truncated (the stream is broken).
+ */
+FrameStatus readFrame(Socket& socket, std::string& payload);
+
+/**
+ * Write one frame.  Returns Ok or Error (a peer that disconnected
+ * mid-response surfaces here, never as a signal).
+ */
+FrameStatus writeFrame(Socket& socket, const std::string& payload);
+
+} // namespace jcache::net
+
+#endif // JCACHE_NET_FRAME_HH

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Implementation of the POSIX socket wrappers.
+ */
+
+#include "net/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace jcache::net
+{
+
+namespace
+{
+
+void
+setSockTimeout(int fd, int option, unsigned millis)
+{
+    timeval tv = {};
+    tv.tv_sec = static_cast<time_t>(millis / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+Socket::~Socket()
+{
+    close();
+}
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{
+}
+
+Socket&
+Socket::operator=(Socket&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+Socket
+Socket::connectTo(const std::string& host, std::uint16_t port,
+                  std::string* error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = "socket: " + errnoString();
+        return {};
+    }
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (error)
+            *error = "invalid address: " + host;
+        ::close(fd);
+        return {};
+    }
+
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error) {
+            *error = "connect to " + host + ":" +
+                     std::to_string(port) + ": " + errnoString();
+        }
+        ::close(fd);
+        return {};
+    }
+
+    // Request/response frames are small; don't batch them.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+}
+
+void
+Socket::setTimeout(unsigned millis)
+{
+    setReadTimeout(millis);
+    setWriteTimeout(millis);
+}
+
+void
+Socket::setReadTimeout(unsigned millis)
+{
+    if (fd_ >= 0)
+        setSockTimeout(fd_, SO_RCVTIMEO, millis);
+}
+
+void
+Socket::setWriteTimeout(unsigned millis)
+{
+    if (fd_ >= 0)
+        setSockTimeout(fd_, SO_SNDTIMEO, millis);
+}
+
+IoResult
+Socket::readAll(void* buf, std::size_t len)
+{
+    IoResult result;
+    char* p = static_cast<char*>(buf);
+    while (result.bytes < len) {
+        ssize_t n = ::recv(fd_, p + result.bytes, len - result.bytes,
+                           0);
+        if (n > 0) {
+            result.bytes += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            result.status = IoStatus::Closed;
+            return result;
+        }
+        if (errno == EINTR)
+            continue;
+        result.status =
+            (errno == EAGAIN || errno == EWOULDBLOCK)
+                ? IoStatus::Timeout
+                : IoStatus::Error;
+        return result;
+    }
+    return result;
+}
+
+IoResult
+Socket::writeAll(const void* buf, std::size_t len)
+{
+    IoResult result;
+    const char* p = static_cast<const char*>(buf);
+    while (result.bytes < len) {
+        // MSG_NOSIGNAL: a peer that disconnected mid-response must
+        // surface as an error on this connection, not kill the daemon
+        // with SIGPIPE.
+        ssize_t n = ::send(fd_, p + result.bytes, len - result.bytes,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            result.bytes += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        result.status =
+            (errno == EAGAIN || errno == EWOULDBLOCK)
+                ? IoStatus::Timeout
+                : IoStatus::Error;
+        return result;
+    }
+    return result;
+}
+
+void
+Socket::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0))
+{
+}
+
+Listener&
+Listener::operator=(Listener&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        port_ = std::exchange(other.port_, 0);
+    }
+    return *this;
+}
+
+Listener
+Listener::listenOn(std::uint16_t port, std::string* error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = "socket: " + errnoString();
+        return {};
+    }
+
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, SOMAXCONN) != 0) {
+        if (error) {
+            *error = "bind/listen on port " + std::to_string(port) +
+                     ": " + errnoString();
+        }
+        ::close(fd);
+        return {};
+    }
+
+    socklen_t addr_len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+
+    Listener listener;
+    listener.fd_ = fd;
+    listener.port_ = ntohs(addr.sin_port);
+    return listener;
+}
+
+Socket
+Listener::accept(const std::atomic<bool>* stop, unsigned poll_millis)
+{
+    while (fd_ >= 0) {
+        if (stop && stop->load())
+            return {};
+        pollfd pfd = {};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        int ready = ::poll(&pfd, 1, static_cast<int>(poll_millis));
+        if (ready < 0 && errno != EINTR)
+            return {};
+        if (ready <= 0)
+            continue;
+        int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return {};
+        }
+        int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        return Socket(client);
+    }
+    return {};
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace jcache::net

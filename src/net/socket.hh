@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Thin RAII wrappers around POSIX TCP sockets.
+ *
+ * The service layer needs exactly three things from the transport:
+ * a listener bound to a loopback port, blocking connections with
+ * per-operation timeouts, and a way to interrupt a blocked accept for
+ * graceful shutdown.  Socket and Listener provide those and nothing
+ * else; framing lives one layer up in net/frame.hh.
+ *
+ * All operations report failure by return value (IoResult) rather
+ * than exceptions: a peer resetting a connection is a normal event
+ * for a server, not an error path.
+ */
+
+#ifndef JCACHE_NET_SOCKET_HH
+#define JCACHE_NET_SOCKET_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace jcache::net
+{
+
+/** Outcome of a socket read or write. */
+enum class IoStatus : std::uint8_t
+{
+    Ok,       //!< the full requested transfer completed
+    Closed,   //!< the peer closed the connection (EOF before any byte)
+    Timeout,  //!< the per-operation timeout expired mid-transfer
+    Error,    //!< any other socket error (reset, EPIPE, ...)
+};
+
+/** Status plus the number of bytes actually transferred. */
+struct IoResult
+{
+    IoStatus status = IoStatus::Ok;
+    std::size_t bytes = 0;
+
+    bool ok() const { return status == IoStatus::Ok; }
+};
+
+/**
+ * An owned, connected TCP socket.
+ *
+ * Move-only; the destructor closes the descriptor.  Reads and writes
+ * loop until the requested length completes, the peer closes, the
+ * timeout set by setTimeout() expires, or an error occurs.
+ */
+class Socket
+{
+  public:
+    /** An empty (invalid) socket. */
+    Socket() = default;
+
+    /** Adopt an already-open descriptor (from accept or socketpair). */
+    explicit Socket(int fd) : fd_(fd) {}
+
+    ~Socket();
+
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    /**
+     * Connect to host:port.  Returns an invalid Socket (and sets
+     * `error` when non-null) on failure.
+     */
+    static Socket connectTo(const std::string& host, std::uint16_t port,
+                            std::string* error = nullptr);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Per-operation timeout for both reads and writes, in
+     * milliseconds; 0 disables (block indefinitely).
+     */
+    void setTimeout(unsigned millis);
+
+    /** Read-side timeout only. */
+    void setReadTimeout(unsigned millis);
+
+    /** Write-side timeout only. */
+    void setWriteTimeout(unsigned millis);
+
+    /** Read exactly `len` bytes unless EOF/timeout/error intervenes. */
+    IoResult readAll(void* buf, std::size_t len);
+
+    /** Write exactly `len` bytes unless timeout/error intervenes. */
+    IoResult writeAll(const void* buf, std::size_t len);
+
+    /** Half-close the write side (peer sees EOF after buffered data). */
+    void shutdownWrite();
+
+    /** Close now rather than at destruction. */
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * A listening TCP socket bound to the loopback interface.
+ *
+ * Binding to port 0 picks an ephemeral port, readable back through
+ * port() — tests and the daemon's --port-file use this to avoid
+ * collisions.  accept() polls with a short period and re-checks an
+ * external stop flag, so a signal handler that sets the flag
+ * interrupts the accept loop within one period.
+ */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(Listener&& other) noexcept;
+    Listener& operator=(Listener&& other) noexcept;
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    /**
+     * Bind and listen on 127.0.0.1:port (0 = ephemeral).  Returns an
+     * invalid Listener (and sets `error` when non-null) on failure.
+     */
+    static Listener listenOn(std::uint16_t port,
+                             std::string* error = nullptr);
+
+    bool valid() const { return fd_ >= 0; }
+
+    /** The bound port (the chosen one, if constructed with port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Accept one connection.  Polls in `poll_millis` slices and
+     * returns an invalid Socket as soon as `stop` (if non-null) reads
+     * true, so shutdown latency is bounded by one slice.
+     */
+    Socket accept(const std::atomic<bool>* stop = nullptr,
+                  unsigned poll_millis = 100);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace jcache::net
+
+#endif // JCACHE_NET_SOCKET_HH

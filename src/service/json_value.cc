@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Implementation of the JSON parser.
+ */
+
+#include "service/json_value.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace jcache::service
+{
+
+namespace
+{
+
+const JsonValue kNullValue;
+
+/** Depth cap: hostile nesting must not overflow the C++ stack. */
+constexpr unsigned kMaxDepth = 64;
+
+} // namespace
+
+/** Recursive-descent parser over a complete document. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {
+    }
+
+    JsonValue run()
+    {
+        JsonValue value;
+        if (!parseValue(value, 0))
+            return {};
+        skipWhitespace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            return {};
+        }
+        return value;
+    }
+
+  private:
+    bool fail(const std::string& message)
+    {
+        if (error_ && error_->empty()) {
+            *error_ =
+                message + " at byte offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char expected)
+    {
+        if (pos_ < text_.size() && text_[pos_] == expected) {
+            ++pos_;
+            return true;
+        }
+        return fail(std::string("expected '") + expected + "'");
+    }
+
+    bool parseLiteral(const char* word, JsonValue& out,
+                      JsonValue::Type type, bool boolean)
+    {
+        for (const char* p = word; *p; ++p, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                return fail("invalid literal");
+        }
+        out.type_ = type;
+        out.bool_ = boolean;
+        return true;
+    }
+
+    bool parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            unsigned char ch =
+                static_cast<unsigned char>(text_[pos_++]);
+            if (ch == '"')
+                return true;
+            if (ch < 0x20)
+                return fail("raw control character in string");
+            if (ch != '\\') {
+                out += static_cast<char>(ch);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                if (!parseHex4(code))
+                    return false;
+                // Combine a high surrogate with the following \u
+                // escape; unpaired surrogates are an error.
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        return fail("unpaired high surrogate");
+                    pos_ += 2;
+                    unsigned low = 0;
+                    if (!parseHex4(low))
+                        return false;
+                    if (low < 0xdc00 || low > 0xdfff)
+                        return fail("invalid low surrogate");
+                    code = 0x10000 + ((code - 0xd800) << 10) +
+                           (low - 0xdc00);
+                } else if (code >= 0xdc00 && code <= 0xdfff) {
+                    return fail("unpaired low surrogate");
+                }
+                appendUtf8(out, code);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool parseHex4(unsigned& out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                return fail("truncated \\u escape");
+            char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    static void appendUtf8(std::string& out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    bool parseNumber(JsonValue& out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a number");
+        std::string token = text_.substr(start, pos_ - start);
+        // RFC 8259: no leading zeros ("01") and no bare signs; strtod
+        // is laxer than the JSON grammar, so pre-check the prefix.
+        std::size_t digits = token[0] == '-' ? 1 : 0;
+        if (digits >= token.size() ||
+            !std::isdigit(static_cast<unsigned char>(token[digits])))
+            return fail("malformed number");
+        if (token[digits] == '0' && digits + 1 < token.size() &&
+            std::isdigit(
+                static_cast<unsigned char>(token[digits + 1])))
+            return fail("leading zero in number");
+        char* end = nullptr;
+        double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number");
+        out.type_ = JsonValue::Type::Number;
+        out.number_ = value;
+        return true;
+    }
+
+    bool parseValue(JsonValue& out, unsigned depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.type_ = JsonValue::Type::String;
+            return parseString(out.string_);
+          case 't':
+            return parseLiteral("true", out, JsonValue::Type::Bool,
+                                true);
+          case 'f':
+            return parseLiteral("false", out, JsonValue::Type::Bool,
+                                false);
+          case 'n':
+            return parseLiteral("null", out, JsonValue::Type::Null,
+                                false);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue& out, unsigned depth)
+    {
+        ++pos_; // '{'
+        out.type_ = JsonValue::Type::Object;
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWhitespace();
+            if (!consume(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.members_[key] = std::move(value);
+            skipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool parseArray(JsonValue& out, unsigned depth)
+    {
+        ++pos_; // '['
+        out.type_ = JsonValue::Type::Array;
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.items_.push_back(std::move(value));
+            skipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+const JsonValue&
+JsonValue::get(const std::string& key) const
+{
+    auto it = members_.find(key);
+    return it == members_.end() ? kNullValue : it->second;
+}
+
+bool
+JsonValue::has(const std::string& key) const
+{
+    return members_.find(key) != members_.end();
+}
+
+std::string
+JsonValue::getString(const std::string& key,
+                     const std::string& fallback) const
+{
+    const JsonValue& v = get(key);
+    return v.isString() ? v.string() : fallback;
+}
+
+double
+JsonValue::getNumber(const std::string& key, double fallback) const
+{
+    const JsonValue& v = get(key);
+    return v.isNumber() ? v.number() : fallback;
+}
+
+bool
+JsonValue::getBool(const std::string& key, bool fallback) const
+{
+    const JsonValue& v = get(key);
+    return v.isBool() ? v.boolean() : fallback;
+}
+
+JsonValue
+JsonValue::parse(const std::string& text, std::string* error)
+{
+    if (error)
+        error->clear();
+    return JsonParser(text, error).run();
+}
+
+} // namespace jcache::service

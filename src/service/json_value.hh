@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON parsing for the wire protocol.
+ *
+ * stats/json.hh writes JSON; the service needs the other direction to
+ * decode requests (and the client to decode responses).  JsonValue is
+ * a small immutable DOM: parse() builds one from a complete document
+ * and reports malformed input via error string — requests arrive from
+ * the network, so parse failure is an expected condition, never an
+ * exception or abort.
+ *
+ * Supported: objects, arrays, strings (all RFC 8259 escapes including
+ * \uXXXX surrogate pairs), numbers (as double), booleans, null.
+ * Nesting depth is capped so a hostile request cannot overflow the
+ * parser's stack.
+ */
+
+#ifndef JCACHE_SERVICE_JSON_VALUE_HH
+#define JCACHE_SERVICE_JSON_VALUE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jcache::service
+{
+
+/** One parsed JSON value. */
+class JsonValue
+{
+  public:
+    /** The JSON type of this value. */
+    enum class Type : unsigned char
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** The boolean payload (false unless isBool()). */
+    bool boolean() const { return bool_; }
+
+    /** The numeric payload (0 unless isNumber()). */
+    double number() const { return number_; }
+
+    /** The string payload (empty unless isString()). */
+    const std::string& string() const { return string_; }
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<JsonValue>& items() const { return items_; }
+
+    /**
+     * Object member by key, or null-typed sentinel when the key is
+     * absent (or this is not an object) — lookups chain safely.
+     */
+    const JsonValue& get(const std::string& key) const;
+
+    /** True if this object has the member. */
+    bool has(const std::string& key) const;
+
+    /** Member as string with a default for absent/mistyped values. */
+    std::string getString(const std::string& key,
+                          const std::string& fallback = "") const;
+
+    /** Member as number with a default for absent/mistyped values. */
+    double getNumber(const std::string& key, double fallback) const;
+
+    /** Member as bool with a default for absent/mistyped values. */
+    bool getBool(const std::string& key, bool fallback) const;
+
+    /**
+     * Parse a complete JSON document.  On failure returns a null
+     * value and sets `error` (when non-null) to a message with the
+     * byte offset.  Trailing non-whitespace is an error.
+     */
+    static JsonValue parse(const std::string& text,
+                           std::string* error = nullptr);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::map<std::string, JsonValue> members_;
+
+    friend class JsonParser;
+};
+
+} // namespace jcache::service
+
+#endif // JCACHE_SERVICE_JSON_VALUE_HH

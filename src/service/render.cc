@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Implementation of shared rendering and wire serialization.
+ */
+
+#include "service/render.hh"
+
+#include "stats/counter.hh"
+#include "stats/table.hh"
+#include "util/logging.hh"
+
+namespace jcache::service
+{
+
+void
+renderRunTable(std::ostream& os, const sim::RunResult& result,
+               const std::string& trace_name, bool flushed)
+{
+    const core::CacheStats& s = result.cache;
+
+    stats::TextTable table(result.config.describe() + " on '" +
+                           trace_name + "'");
+    table.setHeader({"metric", "value"});
+    auto row = [&](const std::string& k, Count v) {
+        table.addRow({k, std::to_string(v)});
+    };
+    row("instructions", result.instructions);
+    row("reads", s.reads);
+    row("writes", s.writes);
+    row("read hits", s.readHits);
+    row("read misses", s.readMisses);
+    row("write hits", s.writeHits);
+    row("write misses", s.writeMisses);
+    row("counted misses (fetches)", s.countedMisses());
+    table.addRow({"miss ratio",
+                  stats::formatFixed(
+                      100.0 * stats::ratio(s.countedMisses(),
+                                           s.accesses()), 3) +
+                      "%"});
+    row("writes to dirty lines", s.writesToDirtyLines);
+    row("victims", s.victims);
+    row("dirty victims", s.dirtyVictims);
+    table.addSeparator();
+    row("fetch transactions", result.fetchTraffic.transactions);
+    row("fetch bytes", result.fetchTraffic.bytes);
+    row("write-through transactions",
+        result.writeThroughTraffic.transactions);
+    row("write-back transactions",
+        result.writeBackTraffic.transactions);
+    row("write-back bytes", result.writeBackTraffic.bytes);
+    if (flushed) {
+        row("flush transactions", result.flushTraffic.transactions);
+        row("flush bytes", result.flushTraffic.bytes);
+    }
+    table.addRow({"txns per instruction",
+                  stats::formatFixed(
+                      result.transactionsPerInstruction(), 4)});
+    table.print(os);
+}
+
+bool
+isSweepMetric(const std::string& metric)
+{
+    return metric == "miss" || metric == "traffic" ||
+           metric == "dirty";
+}
+
+double
+sweepMetricValue(const std::string& metric,
+                 const sim::RunResult& result)
+{
+    if (metric == "miss") {
+        return 100.0 * stats::ratio(result.cache.countedMisses(),
+                                    result.cache.accesses());
+    }
+    if (metric == "traffic")
+        return result.transactionsPerInstruction();
+    if (metric == "dirty")
+        return result.percentWritesToDirtyLines();
+    fatal("unknown sweep metric: " + metric +
+          " (use miss|traffic|dirty)");
+}
+
+void
+renderSweepTable(std::ostream& os, const std::string& axis,
+                 const std::string& metric,
+                 const std::string& trace_name,
+                 const core::CacheConfig& base,
+                 const std::vector<std::string>& labels,
+                 const std::vector<sim::RunResult>& results)
+{
+    stats::TextTable table("sweep of " + axis + " on '" + trace_name +
+                           "' (" + core::name(base.hitPolicy) + "+" +
+                           core::name(base.missPolicy) + ")");
+    std::vector<std::string> header{"metric: " + metric};
+    for (const std::string& l : labels)
+        header.push_back(l);
+    table.setHeader(header);
+
+    std::vector<double> values;
+    values.reserve(results.size());
+    for (const sim::RunResult& r : results)
+        values.push_back(sweepMetricValue(metric, r));
+    table.addRow(metric, values, metric == "traffic" ? 4 : 2);
+    table.print(os);
+}
+
+void
+writeCacheConfig(stats::JsonWriter& json, const std::string& key,
+                 const core::CacheConfig& config)
+{
+    json.beginObject(key);
+    json.field("size_bytes", static_cast<double>(config.sizeBytes));
+    json.field("line_bytes", static_cast<double>(config.lineBytes));
+    json.field("assoc", static_cast<double>(config.assoc));
+    json.field("hit", core::shortCode(config.hitPolicy));
+    json.field("miss", core::shortCode(config.missPolicy));
+    json.field("replacement", core::shortCode(config.replacement));
+    json.field("valid_granularity",
+               static_cast<double>(config.validGranularity));
+    json.endObject();
+}
+
+core::CacheConfig
+parseCacheConfig(const JsonValue& value)
+{
+    core::CacheConfig config;
+    config.sizeBytes = static_cast<Count>(value.getNumber(
+        "size_bytes", static_cast<double>(config.sizeBytes)));
+    config.lineBytes = static_cast<unsigned>(value.getNumber(
+        "line_bytes", static_cast<double>(config.lineBytes)));
+    config.assoc = static_cast<unsigned>(
+        value.getNumber("assoc", static_cast<double>(config.assoc)));
+    config.validGranularity = static_cast<unsigned>(value.getNumber(
+        "valid_granularity",
+        static_cast<double>(config.validGranularity)));
+
+    std::string hit = value.getString("hit",
+                                      core::shortCode(config.hitPolicy));
+    auto hit_policy = core::parseHitPolicy(hit);
+    fatalIf(!hit_policy, "unknown hit policy: " + hit);
+    config.hitPolicy = *hit_policy;
+
+    std::string miss = value.getString(
+        "miss", core::shortCode(config.missPolicy));
+    auto miss_policy = core::parseMissPolicy(miss);
+    fatalIf(!miss_policy, "unknown miss policy: " + miss);
+    config.missPolicy = *miss_policy;
+
+    std::string repl = value.getString(
+        "replacement", core::shortCode(config.replacement));
+    auto repl_policy = core::parseReplacementPolicy(repl);
+    fatalIf(!repl_policy, "unknown replacement policy: " + repl);
+    config.replacement = *repl_policy;
+    return config;
+}
+
+namespace
+{
+
+void
+writeTrafficClass(stats::JsonWriter& json, const std::string& key,
+                  const mem::TrafficClass& traffic)
+{
+    json.beginObject(key);
+    json.field("transactions",
+               static_cast<double>(traffic.transactions));
+    json.field("bytes", static_cast<double>(traffic.bytes));
+    json.endObject();
+}
+
+mem::TrafficClass
+parseTrafficClass(const JsonValue& value)
+{
+    mem::TrafficClass traffic;
+    traffic.transactions =
+        static_cast<Count>(value.getNumber("transactions", 0));
+    traffic.bytes = static_cast<Count>(value.getNumber("bytes", 0));
+    return traffic;
+}
+
+} // namespace
+
+void
+writeRunResult(stats::JsonWriter& json, const std::string& key,
+               const sim::RunResult& result)
+{
+    const core::CacheStats& s = result.cache;
+    json.beginObject(key);
+    writeCacheConfig(json, "config", result.config);
+    json.field("instructions",
+               static_cast<double>(result.instructions));
+    json.beginObject("cache");
+    json.field("reads", static_cast<double>(s.reads));
+    json.field("writes", static_cast<double>(s.writes));
+    json.field("read_hits", static_cast<double>(s.readHits));
+    json.field("write_hits", static_cast<double>(s.writeHits));
+    json.field("read_misses", static_cast<double>(s.readMisses));
+    json.field("partial_valid_read_misses",
+               static_cast<double>(s.partialValidReadMisses));
+    json.field("write_misses", static_cast<double>(s.writeMisses));
+    json.field("write_miss_fetches",
+               static_cast<double>(s.writeMissFetches));
+    json.field("lines_fetched", static_cast<double>(s.linesFetched));
+    json.field("writes_to_dirty_lines",
+               static_cast<double>(s.writesToDirtyLines));
+    json.field("write_throughs",
+               static_cast<double>(s.writeThroughs));
+    json.field("invalidations",
+               static_cast<double>(s.invalidations));
+    json.field("victims", static_cast<double>(s.victims));
+    json.field("dirty_victims", static_cast<double>(s.dirtyVictims));
+    json.field("dirty_victim_dirty_bytes",
+               static_cast<double>(s.dirtyVictimDirtyBytes));
+    json.field("flushed_valid_lines",
+               static_cast<double>(s.flushedValidLines));
+    json.field("flushed_dirty_lines",
+               static_cast<double>(s.flushedDirtyLines));
+    json.field("flushed_dirty_bytes",
+               static_cast<double>(s.flushedDirtyBytes));
+    json.field("victim_cache_hits",
+               static_cast<double>(s.victimCacheHits));
+    json.field("line_allocs", static_cast<double>(s.lineAllocs));
+    json.field("validate_fallbacks",
+               static_cast<double>(s.validateFallbacks));
+    json.endObject();
+    writeTrafficClass(json, "fetch_traffic", result.fetchTraffic);
+    writeTrafficClass(json, "write_through_traffic",
+                      result.writeThroughTraffic);
+    writeTrafficClass(json, "write_back_traffic",
+                      result.writeBackTraffic);
+    writeTrafficClass(json, "flush_traffic", result.flushTraffic);
+    json.endObject();
+}
+
+sim::RunResult
+parseRunResult(const JsonValue& value)
+{
+    fatalIf(!value.isObject(), "run result must be an object");
+    sim::RunResult result;
+    result.config = parseCacheConfig(value.get("config"));
+    result.instructions =
+        static_cast<Count>(value.getNumber("instructions", 0));
+
+    const JsonValue& c = value.get("cache");
+    fatalIf(!c.isObject(), "run result is missing cache stats");
+    auto count = [&](const char* key) {
+        return static_cast<Count>(c.getNumber(key, 0));
+    };
+    core::CacheStats& s = result.cache;
+    s.reads = count("reads");
+    s.writes = count("writes");
+    s.readHits = count("read_hits");
+    s.writeHits = count("write_hits");
+    s.readMisses = count("read_misses");
+    s.partialValidReadMisses = count("partial_valid_read_misses");
+    s.writeMisses = count("write_misses");
+    s.writeMissFetches = count("write_miss_fetches");
+    s.linesFetched = count("lines_fetched");
+    s.writesToDirtyLines = count("writes_to_dirty_lines");
+    s.writeThroughs = count("write_throughs");
+    s.invalidations = count("invalidations");
+    s.victims = count("victims");
+    s.dirtyVictims = count("dirty_victims");
+    s.dirtyVictimDirtyBytes = count("dirty_victim_dirty_bytes");
+    s.flushedValidLines = count("flushed_valid_lines");
+    s.flushedDirtyLines = count("flushed_dirty_lines");
+    s.flushedDirtyBytes = count("flushed_dirty_bytes");
+    s.victimCacheHits = count("victim_cache_hits");
+    s.lineAllocs = count("line_allocs");
+    s.validateFallbacks = count("validate_fallbacks");
+
+    result.fetchTraffic = parseTrafficClass(value.get("fetch_traffic"));
+    result.writeThroughTraffic =
+        parseTrafficClass(value.get("write_through_traffic"));
+    result.writeBackTraffic =
+        parseTrafficClass(value.get("write_back_traffic"));
+    result.flushTraffic = parseTrafficClass(value.get("flush_traffic"));
+    return result;
+}
+
+} // namespace jcache::service

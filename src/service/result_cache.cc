@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of the LRU result cache.
+ */
+
+#include "service/result_cache.hh"
+
+#include <cstdio>
+
+namespace jcache::service
+{
+
+std::string
+digestKey(const std::string& canonical_key)
+{
+    // FNV-1a, 64-bit.
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char ch : canonical_key) {
+        hash ^= ch;
+        hash *= 0x100000001b3ull;
+    }
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string& digest)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(digest);
+    if (it == map_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->payload;
+}
+
+void
+ResultCache::insert(const std::string& digest, std::string payload)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(digest);
+    if (it != map_.end()) {
+        it->second->payload = std::move(payload);
+        order_.splice(order_.begin(), order_, it->second);
+        return;
+    }
+    if (order_.size() >= capacity_) {
+        map_.erase(order_.back().digest);
+        order_.pop_back();
+        ++evictions_;
+    }
+    order_.push_front({digest, std::move(payload)});
+    map_[digest] = order_.begin();
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ResultCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = order_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+} // namespace jcache::service

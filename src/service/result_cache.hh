@@ -1,0 +1,98 @@
+/**
+ * @file
+ * LRU cache of completed simulation results.
+ *
+ * A replay is pure: (workload, geometry, policy) fully determines the
+ * RunResults, so the service can serve a repeated point from memory
+ * instead of re-replaying millions of references.  Entries are keyed
+ * by a digest of the canonical request key and hold the serialized
+ * result payload; capacity is bounded by entry count with
+ * least-recently-used eviction.
+ *
+ * Thread-safe: connection handlers look up and insert concurrently.
+ */
+
+#ifndef JCACHE_SERVICE_RESULT_CACHE_HH
+#define JCACHE_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace jcache::service
+{
+
+/**
+ * FNV-1a 64-bit digest of a canonical request key, as fixed-width
+ * hex.  Stable across runs and platforms, so digests can appear in
+ * responses and logs.
+ */
+std::string digestKey(const std::string& canonical_key);
+
+/** Hit/miss/eviction counters of one cache instance. */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+
+    /** hits / (hits + misses); 0 before any lookup. */
+    double hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/**
+ * Bounded map from result digest to serialized result payload, with
+ * LRU eviction.
+ */
+class ResultCache
+{
+  public:
+    /** @param capacity maximum entries; 0 disables caching. */
+    explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Look the digest up, refreshing its recency.  Counts a hit or a
+     * miss.
+     */
+    std::optional<std::string> lookup(const std::string& digest);
+
+    /**
+     * Insert (or refresh) an entry, evicting the least recently used
+     * entry if the cache is full.  No-op when capacity is 0.
+     */
+    void insert(const std::string& digest, std::string payload);
+
+    ResultCacheStats stats() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+
+    struct Entry
+    {
+        std::string digest;
+        std::string payload;
+    };
+
+    /** Most recently used at the front. */
+    std::list<Entry> order_;
+    std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace jcache::service
+
+#endif // JCACHE_SERVICE_RESULT_CACHE_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Implementation of the TCP front end.
+ */
+
+#include "service/server.hh"
+
+#include <sstream>
+
+#include "net/frame.hh"
+#include "stats/json.hh"
+
+namespace jcache::service
+{
+
+namespace
+{
+
+/** Best-effort error frame for a transport-level violation. */
+std::string
+frameErrorResponse(net::FrameStatus status)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("ok", false);
+    json.field("code", "frame_" + net::name(status));
+    json.field("error", "malformed frame (" + net::name(status) +
+                            "); closing connection");
+    json.endObject();
+    return oss.str();
+}
+
+} // namespace
+
+Server::Server(const ServerConfig& config)
+    : config_(config), service_(config.service)
+{
+}
+
+Server::~Server()
+{
+    requestStop();
+    // Move the threads out before joining: a connection thread takes
+    // threads_mutex_ to mark itself finished, so joining under the
+    // lock would deadlock.
+    std::list<std::pair<std::uint64_t, std::thread>> draining;
+    {
+        std::lock_guard<std::mutex> lock(threads_mutex_);
+        draining.swap(threads_);
+    }
+    for (auto& [id, thread] : draining) {
+        if (thread.joinable())
+            thread.join();
+    }
+}
+
+bool
+Server::start(std::string* error)
+{
+    listener_ = net::Listener::listenOn(config_.port, error);
+    return listener_.valid();
+}
+
+void
+Server::reapFinished()
+{
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::uint64_t id : finished_) {
+        for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+            if (it->first == id) {
+                it->second.join();
+                threads_.erase(it);
+                break;
+            }
+        }
+    }
+    finished_.clear();
+}
+
+void
+Server::serve()
+{
+    while (!stop_.load()) {
+        net::Socket client = listener_.accept(&stop_);
+        if (!client.valid())
+            continue;
+        reapFinished();
+        std::lock_guard<std::mutex> lock(threads_mutex_);
+        std::uint64_t id = next_id_++;
+        threads_.emplace_back(
+            id, std::thread([this, id,
+                             sock = std::move(client)]() mutable {
+                handleConnection(std::move(sock), id);
+            }));
+    }
+    listener_.close();
+    // Drain: every accepted connection finishes its in-flight
+    // request/response before the server returns.  Joining happens
+    // outside threads_mutex_ — exiting connection threads take it.
+    std::list<std::pair<std::uint64_t, std::thread>> draining;
+    {
+        std::lock_guard<std::mutex> lock(threads_mutex_);
+        draining.swap(threads_);
+    }
+    for (auto& [id, thread] : draining) {
+        if (thread.joinable())
+            thread.join();
+    }
+}
+
+void
+Server::handleConnection(net::Socket socket, std::uint64_t id)
+{
+    // Read in short slices so an idle connection re-checks stop_
+    // promptly; idle time accumulates toward the configured limit.
+    // Writes keep the full timeout — a response to a slow reader is
+    // not an idle condition.
+    constexpr unsigned kSliceMillis = 250;
+    socket.setReadTimeout(kSliceMillis);
+    socket.setWriteTimeout(config_.connectionTimeoutMillis);
+    unsigned idle_millis = 0;
+
+    std::string payload;
+    while (!stop_.load()) {
+        net::FrameStatus status = net::readFrame(socket, payload);
+        if (status == net::FrameStatus::Idle) {
+            idle_millis += kSliceMillis;
+            if (idle_millis >= config_.connectionTimeoutMillis)
+                break;
+            continue;
+        }
+        idle_millis = 0;
+        if (status == net::FrameStatus::Closed)
+            break;
+        if (status != net::FrameStatus::Ok) {
+            // Truncated/oversized/error: the stream can no longer be
+            // trusted to be frame-aligned.  Tell the peer best-effort
+            // and drop only this connection.
+            service_.noteProtocolError();
+            net::writeFrame(socket, frameErrorResponse(status));
+            break;
+        }
+        std::string response = service_.handle(payload);
+        if (net::writeFrame(socket, response) !=
+            net::FrameStatus::Ok) {
+            // Peer vanished mid-response; nothing else to do for it.
+            break;
+        }
+        if (service_.shutdownRequested()) {
+            requestStop();
+            break;
+        }
+    }
+    socket.close();
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    finished_.push_back(id);
+}
+
+} // namespace jcache::service

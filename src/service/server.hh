@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The jcached TCP front end.
+ *
+ * Server owns a loopback Listener and a Service, accepts connections
+ * on the calling thread, and handles each connection on its own
+ * thread: read frame, route through Service::handle(), write the
+ * response frame, repeat until the peer closes or violates the
+ * protocol.  A protocol violation (truncated or oversized frame) is
+ * answered best-effort and closes only that connection; the daemon
+ * keeps serving others — that property is pinned by the robustness
+ * tests.
+ *
+ * Shutdown is graceful from either direction: requestStop() (the
+ * SIGINT/SIGTERM path — it only sets an atomic flag, so it is safe
+ * from a signal handler) or an in-band `shutdown` request.  Both stop
+ * the accept loop and drain in-flight connections before serve()
+ * returns.
+ */
+
+#ifndef JCACHE_SERVICE_SERVER_HH
+#define JCACHE_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hh"
+#include "service/service.hh"
+
+namespace jcache::service
+{
+
+/** Tunables of one Server instance. */
+struct ServerConfig
+{
+    /** Loopback port to bind; 0 picks an ephemeral port. */
+    std::uint16_t port = 7421;
+
+    /**
+     * Per-connection socket timeout in milliseconds.  A connection
+     * idle longer than this (or stalled mid-frame) is closed.
+     */
+    unsigned connectionTimeoutMillis = 30000;
+
+    ServiceConfig service;
+};
+
+/**
+ * Accept loop plus per-connection framing around a Service.
+ */
+class Server
+{
+  public:
+    explicit Server(const ServerConfig& config);
+
+    /** Joins every connection thread. */
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Bind the listener.  Returns false (and sets `error` when
+     * non-null) if the port is unavailable.
+     */
+    bool start(std::string* error = nullptr);
+
+    /** The bound port; meaningful after start(). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /**
+     * Accept and serve until stopped.  Returns after every in-flight
+     * connection has drained.
+     */
+    void serve();
+
+    /**
+     * Stop accepting and begin draining.  Async-signal-safe: only
+     * stores to an atomic flag.
+     */
+    void requestStop() { stop_.store(true); }
+
+    /** The request router (for tests and in-process callers). */
+    Service& service() { return service_; }
+
+  private:
+    void handleConnection(net::Socket socket, std::uint64_t id);
+    void reapFinished();
+
+    ServerConfig config_;
+    Service service_;
+    net::Listener listener_;
+    std::atomic<bool> stop_{false};
+
+    std::mutex threads_mutex_;
+    std::list<std::pair<std::uint64_t, std::thread>> threads_;
+    std::vector<std::uint64_t> finished_;
+    std::uint64_t next_id_ = 0;
+};
+
+} // namespace jcache::service
+
+#endif // JCACHE_SERVICE_SERVER_HH

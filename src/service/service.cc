@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Implementation of the request router and job queue.
+ */
+
+#include "service/service.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "service/json_value.hh"
+#include "service/render.hh"
+#include "stats/json.hh"
+#include "util/logging.hh"
+#include "util/version.hh"
+
+namespace jcache::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Cap on retained per-job wall-time samples (newest kept). */
+constexpr std::size_t kMaxWallSamples = 4096;
+
+/**
+ * Canonical text of a configuration for digesting: every field that
+ * changes replay results, in fixed order.
+ */
+std::string
+canonicalConfigKey(const core::CacheConfig& config)
+{
+    std::ostringstream oss;
+    oss << config.sizeBytes << '|' << config.lineBytes << '|'
+        << config.assoc << '|' << core::shortCode(config.hitPolicy)
+        << '|' << core::shortCode(config.missPolicy) << '|'
+        << core::shortCode(config.replacement) << '|'
+        << config.validGranularity;
+    return oss.str();
+}
+
+/** An `ok: false` response with a machine-readable code. */
+std::string
+errorResponse(const std::string& code, const std::string& message)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("ok", false);
+    json.field("code", code);
+    json.field("error", message);
+    json.endObject();
+    return oss.str();
+}
+
+/** An `ok: true` envelope around a serialized result payload. */
+std::string
+okResponse(const std::string& type, const std::string& digest,
+           bool cached, const std::string& payload)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("ok", true);
+    json.field("type", type);
+    json.field("digest", digest);
+    json.field("cached", cached);
+    json.rawField("payload", payload);
+    json.endObject();
+    return oss.str();
+}
+
+/** Percentile of a sample set (nearest-rank); 0 when empty. */
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    auto idx = static_cast<std::size_t>(rank);
+    return samples[idx];
+}
+
+} // namespace
+
+Service::Service(const ServiceConfig& config)
+    : config_(config),
+      traces_(config.traces ? *config.traces
+                            : sim::TraceSet::standard()),
+      executor_(config.executorThreads),
+      cache_(config.cacheCapacity),
+      start_(Clock::now())
+{
+    scheduler_ = std::thread([this] { schedulerLoop(); });
+}
+
+Service::~Service()
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        stopping_.store(true);
+    }
+    queue_cv_.notify_all();
+    if (scheduler_.joinable())
+        scheduler_.join();
+}
+
+void
+Service::schedulerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] {
+                return stopping_.load() || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                // stopping_ with a non-empty queue still drains: an
+                // accepted job must complete or its submitter hangs.
+                return;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        Clock::time_point start = Clock::now();
+        try {
+            job.outcome->payload = job.work();
+        } catch (const FatalError& e) {
+            job.outcome->error = e.what();
+        } catch (const std::exception& e) {
+            job.outcome->error = std::string("internal error: ") +
+                                 e.what();
+        }
+        // Account the job before signaling the submitter: a stats
+        // request issued right after a run must already see it.
+        double seconds =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++jobsExecuted_;
+            if (jobWallSamples_.size() >= kMaxWallSamples) {
+                jobWallSamples_.erase(jobWallSamples_.begin());
+            }
+            jobWallSamples_.push_back(seconds);
+        }
+        {
+            std::lock_guard<std::mutex> lock(*job.done_mutex);
+            *job.done = true;
+        }
+        job.done_cv->notify_one();
+    }
+}
+
+void
+Service::recordJobTiming(double job_seconds,
+                         const sim::SweepReport& report)
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    jobBusySeconds_ += report.busySeconds();
+    jobGridSeconds_ += job_seconds;
+}
+
+bool
+Service::submitAndWait(std::function<std::string()> work,
+                       JobOutcome& outcome)
+{
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (queue_.size() >= config_.queueCapacity) {
+            std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++rejectedBusy_;
+            return false;
+        }
+        Job job;
+        job.work = std::move(work);
+        job.outcome = &outcome;
+        job.done_mutex = &done_mutex;
+        job.done_cv = &done_cv;
+        job.done = &done;
+        queue_.push_back(std::move(job));
+    }
+    queue_cv_.notify_one();
+
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done; });
+    return true;
+}
+
+std::size_t
+Service::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return queue_.size();
+}
+
+void
+Service::noteProtocolError()
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++protocolErrors_;
+}
+
+std::string
+Service::handle(const std::string& request_json)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++requests_;
+    }
+
+    std::string parse_error;
+    JsonValue request = JsonValue::parse(request_json, &parse_error);
+    if (!parse_error.empty() || !request.isObject()) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++errors_;
+        return errorResponse(
+            "parse_error",
+            parse_error.empty() ? "request must be a JSON object"
+                                : parse_error);
+    }
+
+    double protocol = request.getNumber(
+        "protocol", static_cast<double>(kProtocolVersion));
+    if (protocol != static_cast<double>(kProtocolVersion)) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++errors_;
+        return errorResponse(
+            "protocol_mismatch",
+            "daemon speaks protocol " +
+                std::to_string(kProtocolVersion));
+    }
+
+    std::string type = request.getString("type");
+    try {
+        if (type == "run") {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++runRequests_;
+        } else if (type == "sweep") {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++sweepRequests_;
+        }
+
+        if (type == "run")
+            return handleRun(request);
+        if (type == "sweep")
+            return handleSweep(request);
+        if (type == "stats")
+            return handleStats();
+        if (type == "ping")
+            return handlePing();
+        if (type == "shutdown")
+            return handleShutdown();
+
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++errors_;
+        return errorResponse(
+            "unknown_type",
+            "unknown request type: '" + type +
+                "' (use run|sweep|stats|ping|shutdown)");
+    } catch (const FatalError& e) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++errors_;
+        return errorResponse("bad_request", e.what());
+    } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++errors_;
+        return errorResponse("internal_error", e.what());
+    }
+}
+
+std::string
+Service::handleRun(const JsonValue& request)
+{
+    std::string workload = request.getString("workload");
+    fatalIf(workload.empty(), "run request needs a 'workload'");
+    core::CacheConfig config =
+        parseCacheConfig(request.get("config"));
+    config.validate();
+    bool flush = request.getBool("flush", true);
+
+    // Resolving the trace before queueing turns an unknown workload
+    // into an immediate error rather than a queued failure.
+    const trace::Trace& trace = traces_.get(workload);
+
+    std::string digest = digestKey("run|" + workload + "|" +
+                                   canonicalConfigKey(config) + "|" +
+                                   (flush ? "f1" : "f0"));
+    if (auto hit = cache_.lookup(digest))
+        return okResponse("run", digest, true, *hit);
+
+    JobOutcome outcome;
+    bool admitted = submitAndWait(
+        [this, &trace, config, flush, workload] {
+            Clock::time_point start = Clock::now();
+            sim::SweepOutcome grid =
+                executor_.run({{&trace, config, flush}});
+            recordJobTiming(
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count(),
+                grid.report);
+
+            std::ostringstream oss;
+            stats::JsonWriter json(oss);
+            json.beginObject();
+            json.field("workload", workload);
+            json.field("flushed", flush);
+            writeRunResult(json, "result", grid.results.front());
+            json.endObject();
+            return oss.str();
+        },
+        outcome);
+    if (!admitted) {
+        return errorResponse("busy",
+                             "job queue is full; retry later");
+    }
+    if (!outcome.error.empty())
+        return errorResponse("bad_request", outcome.error);
+
+    cache_.insert(digest, outcome.payload);
+    return okResponse("run", digest, false, outcome.payload);
+}
+
+std::string
+Service::handleSweep(const JsonValue& request)
+{
+    std::string workload = request.getString("workload");
+    fatalIf(workload.empty(), "sweep request needs a 'workload'");
+    std::string axis = request.getString("axis");
+    fatalIf(axis.empty(), "sweep request needs an 'axis'");
+    core::CacheConfig base = parseCacheConfig(request.get("config"));
+
+    sim::AxisPoints points = sim::buildAxisPoints(axis, base);
+    for (const core::CacheConfig& c : points.configs)
+        c.validate();
+
+    const trace::Trace& trace = traces_.get(workload);
+
+    // The digest covers the axis and base config, not the metric:
+    // every metric is derivable from the cached raw counts.
+    std::string digest = digestKey("sweep|" + workload + "|" + axis +
+                                   "|" + canonicalConfigKey(base));
+    if (auto hit = cache_.lookup(digest))
+        return okResponse("sweep", digest, true, *hit);
+
+    JobOutcome outcome;
+    bool admitted = submitAndWait(
+        [this, &trace, &points, axis, workload] {
+            std::vector<sim::SweepJob> grid;
+            grid.reserve(points.configs.size());
+            for (const core::CacheConfig& c : points.configs)
+                grid.push_back({&trace, c, false});
+
+            Clock::time_point start = Clock::now();
+            sim::SweepOutcome swept = executor_.run(grid);
+            recordJobTiming(
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count(),
+                swept.report);
+
+            std::ostringstream oss;
+            stats::JsonWriter json(oss);
+            json.beginObject();
+            json.field("workload", workload);
+            json.field("axis", axis);
+            json.beginArray("labels");
+            for (const std::string& label : points.labels)
+                json.element(label);
+            json.endArray();
+            json.beginArray("results");
+            for (std::size_t i = 0; i < swept.results.size(); ++i) {
+                json.beginObject();
+                writeRunResult(json, "result", swept.results[i]);
+                json.endObject();
+            }
+            json.endArray();
+            json.endObject();
+            return oss.str();
+        },
+        outcome);
+    if (!admitted) {
+        return errorResponse("busy",
+                             "job queue is full; retry later");
+    }
+    if (!outcome.error.empty())
+        return errorResponse("bad_request", outcome.error);
+
+    cache_.insert(digest, outcome.payload);
+    return okResponse("sweep", digest, false, outcome.payload);
+}
+
+std::string
+Service::handlePing()
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++pingRequests_;
+    }
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("ok", true);
+    json.field("type", "ping");
+    json.field("version", std::string(kVersion));
+    json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.endObject();
+    return oss.str();
+}
+
+std::string
+Service::handleShutdown()
+{
+    shutdown_.store(true);
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("ok", true);
+    json.field("type", "shutdown");
+    json.field("draining", true);
+    json.endObject();
+    return oss.str();
+}
+
+std::string
+Service::statsPayload() const
+{
+    ResultCacheStats cache_stats = cache_.stats();
+    std::size_t depth = queueDepth();
+
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    double uptime =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("version", std::string(kVersion));
+    json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("uptime_seconds", uptime);
+    json.beginObject("requests");
+    json.field("total", static_cast<double>(requests_));
+    json.field("run", static_cast<double>(runRequests_));
+    json.field("sweep", static_cast<double>(sweepRequests_));
+    json.field("stats", static_cast<double>(statsRequests_));
+    json.field("ping", static_cast<double>(pingRequests_));
+    json.field("errors", static_cast<double>(errors_));
+    json.field("protocol_errors",
+               static_cast<double>(protocolErrors_));
+    json.endObject();
+    json.beginObject("result_cache");
+    json.field("entries", static_cast<double>(cache_stats.entries));
+    json.field("capacity", static_cast<double>(cache_stats.capacity));
+    json.field("hits", static_cast<double>(cache_stats.hits));
+    json.field("misses", static_cast<double>(cache_stats.misses));
+    json.field("evictions",
+               static_cast<double>(cache_stats.evictions));
+    json.field("hit_rate", cache_stats.hitRate());
+    json.endObject();
+    json.beginObject("queue");
+    json.field("depth", static_cast<double>(depth));
+    json.field("capacity",
+               static_cast<double>(config_.queueCapacity));
+    json.field("rejected_busy",
+               static_cast<double>(rejectedBusy_));
+    json.endObject();
+    json.beginObject("jobs");
+    json.field("executed", static_cast<double>(jobsExecuted_));
+    json.field("executor_threads",
+               static_cast<double>(executor_.threads()));
+    json.field("busy_seconds", jobBusySeconds_);
+    json.field("grid_seconds", jobGridSeconds_);
+    double capacity_seconds =
+        jobGridSeconds_ * executor_.threads();
+    json.field("utilization",
+               capacity_seconds > 0.0
+                   ? std::min(1.0, jobBusySeconds_ / capacity_seconds)
+                   : 0.0);
+    json.beginObject("wall_seconds");
+    json.field("p50", percentile(jobWallSamples_, 50.0));
+    json.field("p90", percentile(jobWallSamples_, 90.0));
+    json.field("p99", percentile(jobWallSamples_, 99.0));
+    json.field("max",
+               jobWallSamples_.empty()
+                   ? 0.0
+                   : *std::max_element(jobWallSamples_.begin(),
+                                       jobWallSamples_.end()));
+    json.endObject();
+    json.endObject();
+    json.endObject();
+    return oss.str();
+}
+
+std::string
+Service::handleStats()
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++statsRequests_;
+    }
+    return okResponse("stats", "", false, statsPayload());
+}
+
+} // namespace jcache::service

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The jcached request router, job queue and observability.
+ *
+ * Service is the transport-independent half of the daemon: it takes
+ * one request document (already deframed) and returns one response
+ * document.  Behind handle():
+ *
+ *  - a TraceSet registry bootstrapped once at construction, so no
+ *    request ever pays trace generation;
+ *  - an LRU ResultCache keyed by a digest of (workload, geometry,
+ *    policy), so a repeated point is served without replay;
+ *  - a bounded job queue drained by one scheduler thread that fans
+ *    each simulation out through the existing sim::ParallelExecutor —
+ *    the queue bounds backlog (overload answers `busy` immediately
+ *    instead of accumulating latency), while the executor keeps every
+ *    grid deterministic and parallel.
+ *
+ * Request/response schema is documented in docs/SERVICE.md; every
+ * response is a JSON object with an "ok" field, and errors carry a
+ * machine-readable "code".
+ */
+
+#ifndef JCACHE_SERVICE_SERVICE_HH
+#define JCACHE_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/result_cache.hh"
+#include "sim/parallel.hh"
+#include "sim/sweeps.hh"
+
+namespace jcache::service
+{
+
+class JsonValue;
+
+/** Tunables of one Service instance. */
+struct ServiceConfig
+{
+    /** Executor width per job; 0 selects sim::defaultJobs(). */
+    unsigned executorThreads = 0;
+
+    /** Jobs admitted but not yet started; beyond this, `busy`. */
+    std::size_t queueCapacity = 64;
+
+    /** Result-cache entries; 0 disables result caching. */
+    std::size_t cacheCapacity = 256;
+
+    /**
+     * Trace registry override for tests; null uses
+     * sim::TraceSet::standard() (the six paper benchmarks).  Not
+     * owned; must outlive the Service.
+     */
+    const sim::TraceSet* traces = nullptr;
+};
+
+/**
+ * Transport-independent request processor.
+ *
+ * handle() is safe to call from any number of connection threads
+ * concurrently; simulation jobs are serialized through the scheduler
+ * thread and parallelized inside each job by the executor.
+ */
+class Service
+{
+  public:
+    explicit Service(const ServiceConfig& config = {});
+
+    /** Drains the scheduler thread. */
+    ~Service();
+
+    Service(const Service&) = delete;
+    Service& operator=(const Service&) = delete;
+
+    /**
+     * Process one request document and return the response document.
+     * Never throws: malformed input produces an `ok: false` response.
+     */
+    std::string handle(const std::string& request_json);
+
+    /** True once a shutdown request has been accepted. */
+    bool shutdownRequested() const { return shutdown_.load(); }
+
+    /**
+     * Count a transport-level protocol violation (truncated or
+     * oversized frame); surfaces in the stats response.
+     */
+    void noteProtocolError();
+
+    /** Number of jobs waiting in the queue right now. */
+    std::size_t queueDepth() const;
+
+  private:
+    struct JobOutcome
+    {
+        std::string payload;
+        std::string error;
+    };
+
+    /** One queued simulation: fills `outcome`, then signals `done`. */
+    struct Job
+    {
+        std::function<std::string()> work;
+        JobOutcome* outcome = nullptr;
+        std::mutex* done_mutex = nullptr;
+        std::condition_variable* done_cv = nullptr;
+        bool* done = nullptr;
+    };
+
+    std::string handleRun(const JsonValue& request);
+    std::string handleSweep(const JsonValue& request);
+    std::string handleStats();
+    std::string handlePing();
+    std::string handleShutdown();
+
+    /**
+     * Push `work` through the bounded queue and wait for completion.
+     * Returns false (and sets `error`) when the queue is full.
+     */
+    bool submitAndWait(std::function<std::string()> work,
+                       JobOutcome& outcome);
+
+    void schedulerLoop();
+    void recordJobTiming(double job_seconds,
+                         const sim::SweepReport& report);
+    std::string statsPayload() const;
+
+    ServiceConfig config_;
+    const sim::TraceSet& traces_;
+    sim::ParallelExecutor executor_;
+    ResultCache cache_;
+
+    std::atomic<bool> shutdown_{false};
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Job> queue_;
+    std::thread scheduler_;
+
+    mutable std::mutex stats_mutex_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t runRequests_ = 0;
+    std::uint64_t sweepRequests_ = 0;
+    std::uint64_t statsRequests_ = 0;
+    std::uint64_t pingRequests_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t protocolErrors_ = 0;
+    std::uint64_t rejectedBusy_ = 0;
+    std::uint64_t jobsExecuted_ = 0;
+    double jobBusySeconds_ = 0.0;
+    double jobGridSeconds_ = 0.0;
+    std::vector<double> jobWallSamples_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace jcache::service
+
+#endif // JCACHE_SERVICE_SERVICE_HH

@@ -8,6 +8,7 @@
 
 #include <mutex>
 
+#include "stats/table.hh"
 #include "util/logging.hh"
 
 namespace jcache::sim
@@ -77,6 +78,38 @@ TraceSet::standard()
     std::call_once(standard_once,
                    [] { standard_instance = new TraceSet(); });
     return *standard_instance;
+}
+
+AxisPoints
+buildAxisPoints(const std::string& axis,
+                const core::CacheConfig& base)
+{
+    AxisPoints points;
+    if (axis == "size") {
+        for (Count size : standardCacheSizes()) {
+            core::CacheConfig c = base;
+            c.sizeBytes = size;
+            points.configs.push_back(c);
+            points.labels.push_back(stats::formatSize(size));
+        }
+    } else if (axis == "line") {
+        for (unsigned line : standardLineSizes()) {
+            core::CacheConfig c = base;
+            c.lineBytes = line;
+            points.configs.push_back(c);
+            points.labels.push_back(std::to_string(line) + "B");
+        }
+    } else if (axis == "assoc") {
+        for (unsigned ways : {1u, 2u, 4u, 8u}) {
+            core::CacheConfig c = base;
+            c.assoc = ways;
+            points.configs.push_back(c);
+            points.labels.push_back(std::to_string(ways) + "-way");
+        }
+    } else {
+        fatal("unknown sweep axis: " + axis + " (use size|line|assoc)");
+    }
+    return points;
 }
 
 std::vector<SweepJob>

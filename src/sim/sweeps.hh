@@ -65,6 +65,26 @@ class TraceSet
     std::vector<trace::Trace> traces_;
 };
 
+/** One sweep axis expanded into concrete points with display labels. */
+struct AxisPoints
+{
+    /** One configuration per sweep point, in axis order. */
+    std::vector<core::CacheConfig> configs;
+
+    /** Matching table-column labels ("1KB", "16B", "2-way", ...). */
+    std::vector<std::string> labels;
+};
+
+/**
+ * Expand a named sweep axis ("size", "line" or "assoc") from a base
+ * configuration into concrete points.  jcache-sweep, jcache-client
+ * and the service all expand through this one function so a swept
+ * table is identical wherever it is computed.  Throws FatalError for
+ * an unknown axis.
+ */
+AxisPoints buildAxisPoints(const std::string& axis,
+                           const core::CacheConfig& base);
+
 /**
  * Build a replay grid: the cross product of every trace in the set
  * with every configuration, trace-major (all configs of trace 0, then

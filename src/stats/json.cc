@@ -112,10 +112,25 @@ JsonWriter::field(const std::string& key, bool value)
 }
 
 void
+JsonWriter::rawField(const std::string& key,
+                     const std::string& raw_json)
+{
+    comma();
+    os_ << quote(key) << ": " << raw_json;
+}
+
+void
 JsonWriter::element(double value)
 {
     comma();
     os_ << number(value);
+}
+
+void
+JsonWriter::element(const std::string& value)
+{
+    comma();
+    os_ << quote(value);
 }
 
 std::string
@@ -126,6 +141,8 @@ JsonWriter::quote(const std::string& s)
         switch (ch) {
           case '"':  out += "\\\""; break;
           case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
           case '\n': out += "\\n"; break;
           case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;

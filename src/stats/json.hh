@@ -51,8 +51,32 @@ class JsonWriter
     void field(const std::string& key, double value);
     void field(const std::string& key, bool value);
 
+    /**
+     * String-literal values must not fall into the bool overload
+     * (pointer-to-bool is a standard conversion and would win over
+     * the user-defined conversion to std::string).
+     */
+    void field(const std::string& key, const char* value)
+    {
+        field(key, std::string(value));
+    }
+
+    /**
+     * A field whose value is an already-serialized JSON document —
+     * the service layer uses this to embed a cached result payload in
+     * a response envelope without reparsing it.  The caller vouches
+     * that `raw_json` is valid JSON.
+     */
+    void rawField(const std::string& key, const std::string& raw_json);
+
     /** A bare numeric array element (inside beginArray scopes). */
     void element(double value);
+
+    /** A bare string array element (inside beginArray scopes). */
+    void element(const std::string& value);
+
+    /** Literal elements, same pointer-to-bool hazard as field(). */
+    void element(const char* value) { element(std::string(value)); }
 
     /** Escape and quote a string per RFC 8259. */
     static std::string quote(const std::string& s);

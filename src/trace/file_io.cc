@@ -155,26 +155,57 @@ saveTraceCompressed(const Trace& trace, const std::string& path)
     fatalIf(!ofs, "error writing trace file: " + path);
 }
 
-Trace
-readTrace(std::istream& is)
+namespace
+{
+
+/** Shared header decode for readTrace()/readTraceInfo(). */
+TraceFileInfo
+readHeader(std::istream& is)
 {
     std::array<char, 4> magic = {};
     is.read(magic.data(), magic.size());
     fatalIf(!is || (magic != kMagic && magic != kMagicCompressed),
             "not a jcache trace file");
-    bool compressed = magic == kMagicCompressed;
 
-    auto version = getLe<std::uint32_t>(is);
-    fatalIf(version != kTraceFormatVersion,
-            "unsupported trace file version " + std::to_string(version));
+    TraceFileInfo info;
+    info.format = magic == kMagicCompressed ? "compressed" : "raw";
+    info.version = getLe<std::uint32_t>(is);
+    fatalIf(info.version != kTraceFormatVersion,
+            "unsupported trace file version " +
+                std::to_string(info.version));
 
-    auto count = getLe<std::uint64_t>(is);
+    info.records = getLe<std::uint64_t>(is);
     auto name_len = getLe<std::uint32_t>(is);
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
+    info.name.assign(name_len, '\0');
+    is.read(info.name.data(), name_len);
     fatalIf(!is, "trace file truncated in name");
+    return info;
+}
 
-    Trace trace(name);
+} // namespace
+
+TraceFileInfo
+readTraceInfo(std::istream& is)
+{
+    return readHeader(is);
+}
+
+TraceFileInfo
+loadTraceInfo(const std::string& path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    fatalIf(!ifs, "cannot open trace file for reading: " + path);
+    return readTraceInfo(ifs);
+}
+
+Trace
+readTrace(std::istream& is)
+{
+    TraceFileInfo info = readHeader(is);
+    bool compressed = info.format == "compressed";
+    std::uint64_t count = info.records;
+
+    Trace trace(info.name);
     trace.reserve(count);
     Addr prev_addr = 0;
     for (std::uint64_t i = 0; i < count; ++i) {

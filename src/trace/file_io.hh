@@ -32,6 +32,36 @@ namespace jcache::trace
 /** Current trace file format version. */
 inline constexpr std::uint32_t kTraceFormatVersion = 1;
 
+/**
+ * The header of a trace file, readable without loading the records —
+ * `jcache-trace info` inspects multi-megabyte traces through this in
+ * constant time.
+ */
+struct TraceFileInfo
+{
+    /** "raw" or "compressed" (from the magic). */
+    std::string format;
+
+    /** Format version from the header. */
+    std::uint32_t version = 0;
+
+    /** Record count from the header. */
+    std::uint64_t records = 0;
+
+    /** Workload name stored in the header. */
+    std::string name;
+};
+
+/**
+ * Read only the header from a stream positioned at the start of a
+ * trace file.  Throws FatalError on bad magic, unsupported version or
+ * a truncated header.
+ */
+TraceFileInfo readTraceInfo(std::istream& is);
+
+/** Read only the header of a trace file.  Throws FatalError. */
+TraceFileInfo loadTraceInfo(const std::string& path);
+
 /** Serialize a trace to a stream (raw format). */
 void writeTrace(const Trace& trace, std::ostream& os);
 

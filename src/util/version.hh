@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Build identification shared by every CLI tool and the service.
+ *
+ * Deployments of the daemon and its clients need to be identifiable
+ * (a `stats` response and every tool's --version flag report the same
+ * string), so the version lives in one header visible to all layers.
+ */
+
+#ifndef JCACHE_UTIL_VERSION_HH
+#define JCACHE_UTIL_VERSION_HH
+
+#include <string>
+
+namespace jcache
+{
+
+/** Semantic version of the jcache library and tools. */
+inline constexpr const char* kVersion = "0.2.0";
+
+/**
+ * Wire-protocol version spoken by jcached and jcache-client.  Bumped
+ * whenever the framing or the request/response schema changes
+ * incompatibly; the daemon rejects requests that name a different
+ * protocol.
+ */
+inline constexpr unsigned kProtocolVersion = 1;
+
+/** The "--version" line of one tool, e.g. "jcache-sim (jcache 0.2.0)". */
+inline std::string
+versionLine(const std::string& tool)
+{
+    return tool + " (jcache " + std::string(kVersion) + ")";
+}
+
+} // namespace jcache
+
+#endif // JCACHE_UTIL_VERSION_HH

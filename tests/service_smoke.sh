@@ -1,0 +1,93 @@
+#!/bin/sh
+# End-to-end smoke test of the jcached service stack.
+#
+# Starts the daemon on an ephemeral loopback port, then checks the
+# acceptance properties of the service layer from the outside:
+#
+#   1. `jcache-client run`   output is byte-identical to jcache-sim
+#   2. `jcache-client sweep` output is byte-identical to jcache-sweep
+#   3. a repeated run is reported as a result-cache hit
+#   4. stats reflect the cache hit
+#   5. an in-band shutdown drains the daemon
+#
+# Usage: service_smoke.sh <jcached> <jcache-client> <jcache-sim> \
+#            <jcache-sweep> <workdir>
+set -eu
+
+JCACHED=$1
+CLIENT=$2
+SIM=$3
+SWEEP=$4
+WORKDIR=$5
+
+mkdir -p "$WORKDIR"
+PORT_FILE="$WORKDIR/jcached.port"
+DAEMON_LOG="$WORKDIR/jcached.log"
+rm -f "$PORT_FILE"
+
+fail() {
+    echo "service_smoke: FAIL: $1" >&2
+    [ -s "$DAEMON_LOG" ] && sed 's/^/  jcached: /' "$DAEMON_LOG" >&2
+    kill "$DAEMON_PID" 2>/dev/null || true
+    exit 1
+}
+
+"$JCACHED" --port 0 --port-file "$PORT_FILE" > "$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the daemon to publish its ephemeral port.
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -gt 100 ] && fail "daemon never wrote its port file"
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited early"
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+echo "service_smoke: jcached pid $DAEMON_PID on port $PORT"
+
+"$CLIENT" --port "$PORT" ping > /dev/null || fail "ping"
+
+# 1. Run through the service vs. offline: byte-identical tables.
+"$CLIENT" --port "$PORT" run ccom --size 16 > "$WORKDIR/run_client.txt" \
+    || fail "client run"
+"$SIM" ccom --size 16 > "$WORKDIR/run_offline.txt" || fail "offline sim"
+cmp "$WORKDIR/run_client.txt" "$WORKDIR/run_offline.txt" \
+    || fail "run output differs from jcache-sim"
+echo "service_smoke: run output byte-identical"
+
+# 2. Sweep through the service vs. offline.
+"$CLIENT" --port "$PORT" sweep yacc --axis assoc \
+    > "$WORKDIR/sweep_client.txt" || fail "client sweep"
+"$SWEEP" yacc --axis assoc > "$WORKDIR/sweep_offline.txt" \
+    || fail "offline sweep"
+cmp "$WORKDIR/sweep_client.txt" "$WORKDIR/sweep_offline.txt" \
+    || fail "sweep output differs from jcache-sweep"
+echo "service_smoke: sweep output byte-identical"
+
+# 3. The repeated run must be served from the result cache (--verbose
+#    reports the digest and hit/computed on stderr) and stay identical.
+"$CLIENT" --port "$PORT" --verbose run ccom --size 16 \
+    > "$WORKDIR/run_repeat.txt" 2> "$WORKDIR/run_repeat.err" \
+    || fail "repeat run"
+grep -q "result-cache hit" "$WORKDIR/run_repeat.err" \
+    || fail "repeated run was not a result-cache hit"
+cmp "$WORKDIR/run_repeat.txt" "$WORKDIR/run_offline.txt" \
+    || fail "cached run output differs"
+echo "service_smoke: repeated run served from result cache"
+
+# 4. The stats response accounts for that hit.
+"$CLIENT" --port "$PORT" stats > "$WORKDIR/stats.json" || fail "stats"
+grep -q '"hits": 1' "$WORKDIR/stats.json" \
+    || fail "stats do not show the result-cache hit"
+
+# 5. Graceful in-band shutdown.
+"$CLIENT" --port "$PORT" shutdown > /dev/null || fail "shutdown"
+tries=0
+while kill -0 "$DAEMON_PID" 2>/dev/null; do
+    tries=$((tries + 1))
+    [ "$tries" -gt 100 ] && fail "daemon did not exit after shutdown"
+    sleep 0.1
+done
+wait "$DAEMON_PID" 2>/dev/null || true
+echo "service_smoke: PASS"

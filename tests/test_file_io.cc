@@ -167,5 +167,54 @@ TEST(TraceFileIo, CompressedTruncationDetected)
     EXPECT_THROW(readTrace(truncated), FatalError);
 }
 
+TEST(TraceFileIo, InfoReadsRawHeader)
+{
+    Trace t = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(t, buffer);
+    TraceFileInfo info = readTraceInfo(buffer);
+    EXPECT_EQ(info.format, "raw");
+    EXPECT_EQ(info.version, kTraceFormatVersion);
+    EXPECT_EQ(info.records, t.size());
+    EXPECT_EQ(info.name, "sample");
+}
+
+TEST(TraceFileIo, InfoReadsCompressedHeader)
+{
+    Trace t = sampleTrace();
+    std::string path = ::testing::TempDir() + "/jcache_info_z.bin";
+    saveTraceCompressed(t, path);
+    TraceFileInfo info = loadTraceInfo(path);
+    EXPECT_EQ(info.format, "compressed");
+    EXPECT_EQ(info.version, kTraceFormatVersion);
+    EXPECT_EQ(info.records, t.size());
+    EXPECT_EQ(info.name, "sample");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileIo, InfoIgnoresRecordCorruption)
+{
+    // The whole point of the header path: record bytes are never
+    // read, so a damaged body does not prevent inspection.
+    Trace t = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(t, buffer);
+    std::string bytes = buffer.str();
+    std::stringstream damaged(bytes.substr(0, bytes.size() - 3));
+    TraceFileInfo info = readTraceInfo(damaged);
+    EXPECT_EQ(info.records, t.size());
+    // loadTrace on the same bytes must still fail.
+    std::stringstream damaged2(bytes.substr(0, bytes.size() - 3));
+    EXPECT_THROW(readTrace(damaged2), FatalError);
+}
+
+TEST(TraceFileIo, InfoRejectsBadMagicAndMissingFile)
+{
+    std::stringstream bogus("XXXX not a trace");
+    EXPECT_THROW(readTraceInfo(bogus), FatalError);
+    EXPECT_THROW(loadTraceInfo("/nonexistent/path/trace.bin"),
+                 FatalError);
+}
+
 } // namespace
 } // namespace jcache::trace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the wire-protocol JSON parser (service/json_value.hh):
+ * primitives, nesting, escapes, accessors, and the error paths a
+ * hostile or broken client can trigger.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/json_value.hh"
+#include "stats/json.hh"
+
+using jcache::service::JsonValue;
+
+namespace
+{
+
+JsonValue
+parseOk(const std::string& text)
+{
+    std::string error;
+    JsonValue v = JsonValue::parse(text, &error);
+    EXPECT_EQ(error, "") << "while parsing: " << text;
+    return v;
+}
+
+std::string
+parseError(const std::string& text)
+{
+    std::string error;
+    JsonValue v = JsonValue::parse(text, &error);
+    EXPECT_TRUE(v.isNull()) << "expected failure parsing: " << text;
+    EXPECT_NE(error, "") << "expected error parsing: " << text;
+    return error;
+}
+
+} // namespace
+
+TEST(JsonValue, ParsesPrimitives)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").boolean());
+    EXPECT_FALSE(parseOk("false").boolean());
+    EXPECT_DOUBLE_EQ(parseOk("42").number(), 42.0);
+    EXPECT_DOUBLE_EQ(parseOk("-3.5e2").number(), -350.0);
+    EXPECT_EQ(parseOk("\"hi\"").string(), "hi");
+}
+
+TEST(JsonValue, ParsesNestedDocument)
+{
+    JsonValue v = parseOk(
+        "{\"type\": \"run\", \"config\": {\"size_bytes\": 8192},"
+        " \"points\": [1, 2, 3], \"flush\": true}");
+    EXPECT_TRUE(v.isObject());
+    EXPECT_EQ(v.getString("type"), "run");
+    EXPECT_DOUBLE_EQ(v.get("config").getNumber("size_bytes", 0), 8192);
+    ASSERT_EQ(v.get("points").items().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.get("points").items()[1].number(), 2.0);
+    EXPECT_TRUE(v.getBool("flush", false));
+}
+
+TEST(JsonValue, MissingKeysChainToNullSentinel)
+{
+    JsonValue v = parseOk("{\"a\": {\"b\": 1}}");
+    EXPECT_TRUE(v.get("nope").isNull());
+    // Chained lookups through an absent member must not crash.
+    EXPECT_TRUE(v.get("nope").get("deeper").get("still").isNull());
+    EXPECT_EQ(v.getString("nope", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(v.getNumber("nope", 7.0), 7.0);
+    EXPECT_FALSE(v.has("nope"));
+    EXPECT_TRUE(v.has("a"));
+}
+
+TEST(JsonValue, FallbacksCoverMistypedMembers)
+{
+    JsonValue v = parseOk("{\"n\": \"text\", \"s\": 12}");
+    EXPECT_DOUBLE_EQ(v.getNumber("n", -1.0), -1.0);
+    EXPECT_EQ(v.getString("s", "dflt"), "dflt");
+    EXPECT_TRUE(v.getBool("n", true));
+}
+
+TEST(JsonValue, DecodesEscapes)
+{
+    JsonValue v = parseOk(
+        "\"a\\\"b\\\\c\\/d\\b\\f\\n\\r\\te\\u0041\"");
+    EXPECT_EQ(v.string(), "a\"b\\c/d\b\f\n\r\teA");
+}
+
+TEST(JsonValue, DecodesSurrogatePairsToUtf8)
+{
+    // U+1F600 as a surrogate pair; expect 4-byte UTF-8.
+    JsonValue v = parseOk("\"\\uD83D\\uDE00\"");
+    EXPECT_EQ(v.string(), "\xF0\x9F\x98\x80");
+    // Basic-plane escape becomes 3-byte UTF-8.
+    EXPECT_EQ(parseOk("\"\\u20AC\"").string(), "\xE2\x82\xAC");
+}
+
+TEST(JsonValue, RejectsMalformedDocuments)
+{
+    parseError("");
+    parseError("{");
+    parseError("[1, 2");
+    parseError("{\"a\": }");
+    parseError("{\"a\" 1}");
+    parseError("\"unterminated");
+    parseError("\"bad escape \\q\"");
+    parseError("\"lone surrogate \\uD83D\"");
+    parseError("tru");
+    parseError("01");  // leading zero
+    parseError("{} trailing");
+    parseError("nan");
+}
+
+TEST(JsonValue, ErrorsCarryByteOffset)
+{
+    std::string error = parseError("{\"a\": 1,}");
+    EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+TEST(JsonValue, RejectsExcessiveNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    parseError(deep);
+    // Just inside the cap still parses.
+    std::string ok(40, '[');
+    ok += std::string(40, ']');
+    parseOk(ok);
+}
+
+TEST(JsonValue, RoundTripsJsonWriterOutput)
+{
+    std::ostringstream oss;
+    jcache::stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("name", "control \x01 and \"quote\"");
+    json.field("count", 12345.0);
+    json.field("flag", true);
+    json.beginArray("labels");
+    json.element("1KB");
+    json.element("2KB");
+    json.endArray();
+    json.endObject();
+
+    JsonValue v = parseOk(oss.str());
+    EXPECT_EQ(v.getString("name"), "control \x01 and \"quote\"");
+    EXPECT_DOUBLE_EQ(v.getNumber("count", 0), 12345.0);
+    EXPECT_TRUE(v.getBool("flag", false));
+    ASSERT_EQ(v.get("labels").items().size(), 2u);
+    EXPECT_EQ(v.get("labels").items()[0].string(), "1KB");
+}
+
+TEST(JsonValue, LiteralFieldsAreStringsNotBooleans)
+{
+    // A string-literal value must select the string overload of
+    // JsonWriter::field(), not decay to the bool overload.
+    std::ostringstream oss;
+    jcache::stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("type", "run");
+    json.endObject();
+    JsonValue v = parseOk(oss.str());
+    EXPECT_TRUE(v.get("type").isString());
+    EXPECT_EQ(v.getString("type"), "run");
+}

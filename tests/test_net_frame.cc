@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the length-prefixed framing layer (net/frame.hh) over
+ * socketpair-backed Sockets: round trips, clean EOF, truncation,
+ * oversized prefixes, and idle timeouts.
+ */
+
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.hh"
+#include "net/socket.hh"
+
+using namespace jcache::net;
+
+namespace
+{
+
+/** A connected local socket pair to frame across. */
+std::pair<Socket, Socket>
+makePair()
+{
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    return {Socket(fds[0]), Socket(fds[1])};
+}
+
+/** The raw 4-byte little-endian prefix for a payload length. */
+std::string
+prefix(std::uint32_t len)
+{
+    std::string bytes(4, '\0');
+    for (unsigned i = 0; i < 4; ++i)
+        bytes[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    return bytes;
+}
+
+} // namespace
+
+TEST(NetFrame, RoundTripsPayloads)
+{
+    auto [a, b] = makePair();
+    EXPECT_EQ(writeFrame(a, "{\"type\": \"ping\"}"), FrameStatus::Ok);
+    std::string payload;
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "{\"type\": \"ping\"}");
+
+    // Several frames queue on the stream and deframe in order.
+    EXPECT_EQ(writeFrame(a, "one"), FrameStatus::Ok);
+    EXPECT_EQ(writeFrame(a, ""), FrameStatus::Ok);
+    EXPECT_EQ(writeFrame(a, "three"), FrameStatus::Ok);
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "one");
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "");
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "three");
+}
+
+TEST(NetFrame, RoundTripsBinaryPayload)
+{
+    auto [a, b] = makePair();
+    std::string binary("\x00\x01\xff{}\n", 6);
+    EXPECT_EQ(writeFrame(a, binary), FrameStatus::Ok);
+    std::string payload;
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, binary);
+}
+
+TEST(NetFrame, CleanEofOnFrameBoundaryIsClosed)
+{
+    auto [a, b] = makePair();
+    a.close();
+    std::string payload;
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Closed);
+}
+
+TEST(NetFrame, EofInsidePrefixIsTruncated)
+{
+    auto [a, b] = makePair();
+    std::string partial = prefix(10).substr(0, 2);
+    EXPECT_TRUE(a.writeAll(partial.data(), partial.size()).ok());
+    a.close();
+    std::string payload;
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Truncated);
+}
+
+TEST(NetFrame, EofInsidePayloadIsTruncated)
+{
+    auto [a, b] = makePair();
+    std::string partial = prefix(100) + "only twenty bytes...";
+    EXPECT_TRUE(a.writeAll(partial.data(), partial.size()).ok());
+    a.close();
+    std::string payload;
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Truncated);
+}
+
+TEST(NetFrame, OversizedPrefixIsRejectedWithoutBuffering)
+{
+    auto [a, b] = makePair();
+    std::string huge = prefix(kMaxFrameBytes + 1);
+    EXPECT_TRUE(a.writeAll(huge.data(), huge.size()).ok());
+    std::string payload;
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Oversized);
+    EXPECT_EQ(payload, "");
+}
+
+TEST(NetFrame, MaximumSizedPrefixIsNotOversized)
+{
+    // A frame of exactly kMaxFrameBytes is legal; send the prefix and
+    // a tiny slice then close — the reader must report Truncated (it
+    // accepted the size), not Oversized.
+    auto [a, b] = makePair();
+    std::string head = prefix(kMaxFrameBytes) + "x";
+    EXPECT_TRUE(a.writeAll(head.data(), head.size()).ok());
+    a.close();
+    std::string payload;
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Truncated);
+}
+
+TEST(NetFrame, QuietPeerIsIdleNotTruncated)
+{
+    auto [a, b] = makePair();
+    b.setReadTimeout(50);
+    std::string payload;
+    // No bytes at all: the stream is still frame-aligned.
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Idle);
+    // The connection still works after an idle wakeup.
+    EXPECT_EQ(writeFrame(a, "late"), FrameStatus::Ok);
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "late");
+}
+
+TEST(NetFrame, StalledMidFrameIsTruncated)
+{
+    auto [a, b] = makePair();
+    b.setReadTimeout(50);
+    std::string head = prefix(100) + "partial";
+    EXPECT_TRUE(a.writeAll(head.data(), head.size()).ok());
+    std::string payload;
+    EXPECT_EQ(readFrame(b, payload), FrameStatus::Truncated);
+}
+
+TEST(NetFrame, WriteToClosedPeerIsError)
+{
+    auto [a, b] = makePair();
+    b.close();
+    // The first write may land in the socket buffer; keep writing
+    // until the error surfaces (EPIPE must not raise SIGPIPE).
+    std::string big(1 << 16, 'x');
+    FrameStatus status = FrameStatus::Ok;
+    for (int i = 0; i < 64 && status == FrameStatus::Ok; ++i)
+        status = writeFrame(a, big);
+    EXPECT_EQ(status, FrameStatus::Error);
+}

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Protocol-robustness tests for the TCP front end
+ * (service/server.hh): a real Server on an ephemeral loopback port,
+ * attacked with truncated frames, oversized prefixes, malformed JSON
+ * and mid-response disconnects.  The invariant under test is always
+ * the same — a misbehaving client costs its own connection, never the
+ * daemon.
+ */
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.hh"
+#include "net/socket.hh"
+#include "service/json_value.hh"
+#include "service/server.hh"
+
+using namespace jcache;
+using service::JsonValue;
+using service::Server;
+using service::ServerConfig;
+
+namespace
+{
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        ServerConfig config;
+        config.port = 0;  // ephemeral
+        config.connectionTimeoutMillis = 2000;
+        config.service.executorThreads = 1;
+        server_ = std::make_unique<Server>(config);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+        serve_thread_ = std::thread([this] { server_->serve(); });
+    }
+
+    void TearDown() override
+    {
+        server_->requestStop();
+        if (serve_thread_.joinable())
+            serve_thread_.join();
+    }
+
+    net::Socket connect()
+    {
+        std::string error;
+        net::Socket socket = net::Socket::connectTo(
+            "127.0.0.1", server_->port(), &error);
+        EXPECT_TRUE(socket.valid()) << error;
+        socket.setTimeout(5000);
+        return socket;
+    }
+
+    /** One full request/response exchange on a fresh connection. */
+    JsonValue exchange(const std::string& request)
+    {
+        net::Socket socket = connect();
+        EXPECT_EQ(net::writeFrame(socket, request),
+                  net::FrameStatus::Ok);
+        std::string response;
+        EXPECT_EQ(net::readFrame(socket, response),
+                  net::FrameStatus::Ok);
+        std::string error;
+        JsonValue v = JsonValue::parse(response, &error);
+        EXPECT_EQ(error, "") << response;
+        return v;
+    }
+
+    /** The daemon must still answer after whatever just happened. */
+    void expectStillServing()
+    {
+        JsonValue v = exchange("{\"type\": \"ping\"}");
+        EXPECT_TRUE(v.getBool("ok", false));
+    }
+
+    std::unique_ptr<Server> server_;
+    std::thread serve_thread_;
+};
+
+std::string
+framePrefix(std::uint32_t len)
+{
+    std::string bytes(4, '\0');
+    for (unsigned i = 0; i < 4; ++i)
+        bytes[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    return bytes;
+}
+
+} // namespace
+
+TEST_F(ServerTest, AnswersPingAndRun)
+{
+    JsonValue ping = exchange("{\"type\": \"ping\"}");
+    EXPECT_TRUE(ping.getBool("ok", false));
+    EXPECT_EQ(ping.getString("type"), "ping");
+
+    JsonValue run = exchange(
+        "{\"type\": \"run\", \"workload\": \"ccom\","
+        " \"config\": {\"size_bytes\": 4096}}");
+    ASSERT_TRUE(run.getBool("ok", false)) << run.getString("error");
+    EXPECT_GT(run.get("payload").get("result").getNumber(
+                  "instructions", 0),
+              0.0);
+}
+
+TEST_F(ServerTest, ServesRequestsSequentiallyOnOneConnection)
+{
+    net::Socket socket = connect();
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(net::writeFrame(socket, "{\"type\": \"ping\"}"),
+                  net::FrameStatus::Ok);
+        std::string response;
+        ASSERT_EQ(net::readFrame(socket, response),
+                  net::FrameStatus::Ok);
+    }
+}
+
+TEST_F(ServerTest, TruncatedFrameClosesOnlyThatConnection)
+{
+    {
+        net::Socket socket = connect();
+        // Promise 100 bytes, deliver 7, then half-close.
+        std::string partial = framePrefix(100) + "partial";
+        ASSERT_TRUE(
+            socket.writeAll(partial.data(), partial.size()).ok());
+        socket.shutdownWrite();
+
+        // Best-effort error frame before the server closes.
+        std::string response;
+        if (net::readFrame(socket, response) == net::FrameStatus::Ok) {
+            JsonValue v = JsonValue::parse(response);
+            EXPECT_FALSE(v.getBool("ok", true));
+            EXPECT_EQ(v.getString("code"), "frame_truncated");
+        }
+    }
+    expectStillServing();
+}
+
+TEST_F(ServerTest, TruncatedPrefixClosesOnlyThatConnection)
+{
+    {
+        net::Socket socket = connect();
+        std::string two_bytes = framePrefix(100).substr(0, 2);
+        ASSERT_TRUE(
+            socket.writeAll(two_bytes.data(), two_bytes.size()).ok());
+        socket.shutdownWrite();
+        std::string response;
+        net::readFrame(socket, response);  // drain best-effort reply
+    }
+    expectStillServing();
+}
+
+TEST_F(ServerTest, OversizedPrefixIsRejected)
+{
+    {
+        net::Socket socket = connect();
+        std::string huge = framePrefix(net::kMaxFrameBytes + 1);
+        ASSERT_TRUE(socket.writeAll(huge.data(), huge.size()).ok());
+
+        std::string response;
+        ASSERT_EQ(net::readFrame(socket, response),
+                  net::FrameStatus::Ok);
+        JsonValue v = JsonValue::parse(response);
+        EXPECT_FALSE(v.getBool("ok", true));
+        EXPECT_EQ(v.getString("code"), "frame_oversized");
+    }
+    expectStillServing();
+}
+
+TEST_F(ServerTest, MalformedJsonGetsErrorResponseAndConnectionLives)
+{
+    net::Socket socket = connect();
+    ASSERT_EQ(net::writeFrame(socket, "this is not json"),
+              net::FrameStatus::Ok);
+    std::string response;
+    ASSERT_EQ(net::readFrame(socket, response), net::FrameStatus::Ok);
+    JsonValue v = JsonValue::parse(response);
+    EXPECT_FALSE(v.getBool("ok", true));
+    EXPECT_EQ(v.getString("code"), "parse_error");
+
+    // Bad JSON is a request-level error: the same connection still
+    // serves the next request.
+    ASSERT_EQ(net::writeFrame(socket, "{\"type\": \"ping\"}"),
+              net::FrameStatus::Ok);
+    ASSERT_EQ(net::readFrame(socket, response), net::FrameStatus::Ok);
+    EXPECT_TRUE(JsonValue::parse(response).getBool("ok", false));
+}
+
+TEST_F(ServerTest, DisconnectMidResponseLeavesDaemonServing)
+{
+    for (int i = 0; i < 3; ++i) {
+        net::Socket socket = connect();
+        // Queue a real simulation, then vanish without reading the
+        // response: the connection thread's write fails, nobody else
+        // notices.
+        ASSERT_EQ(net::writeFrame(
+                      socket,
+                      "{\"type\": \"run\", \"workload\": \"ccom\","
+                      " \"config\": {\"size_bytes\": 4096}}"),
+                  net::FrameStatus::Ok);
+        socket.close();
+    }
+    expectStillServing();
+}
+
+TEST_F(ServerTest, ProtocolErrorsShowInStats)
+{
+    {
+        net::Socket socket = connect();
+        std::string huge = framePrefix(net::kMaxFrameBytes + 1);
+        ASSERT_TRUE(socket.writeAll(huge.data(), huge.size()).ok());
+        std::string response;
+        net::readFrame(socket, response);
+    }
+    JsonValue stats = exchange("{\"type\": \"stats\"}");
+    ASSERT_TRUE(stats.getBool("ok", false));
+    EXPECT_GE(stats.get("payload").get("requests").getNumber(
+                  "protocol_errors", 0),
+              1.0);
+}
+
+TEST_F(ServerTest, InBandShutdownDrainsTheServer)
+{
+    JsonValue v = exchange("{\"type\": \"shutdown\"}");
+    EXPECT_TRUE(v.getBool("ok", false));
+    EXPECT_TRUE(v.getBool("draining", false));
+    // serve() must return on its own — no requestStop() from here.
+    serve_thread_.join();
+
+    std::string error;
+    net::Socket after = net::Socket::connectTo(
+        "127.0.0.1", server_->port(), &error);
+    EXPECT_FALSE(after.valid());
+}

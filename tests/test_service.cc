@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the transport-independent request router
+ * (service/service.hh): request validation, the run/sweep paths, the
+ * result cache's digest behavior, and the stats counters.
+ *
+ * Every test drives Service::handle() directly with request documents
+ * — no sockets — so failures localize to the routing layer.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/json_value.hh"
+#include "service/service.hh"
+#include "util/version.hh"
+
+using jcache::service::JsonValue;
+using jcache::service::Service;
+using jcache::service::ServiceConfig;
+
+namespace
+{
+
+/** Single-threaded executor keeps the unit tests deterministic. */
+ServiceConfig
+testConfig()
+{
+    ServiceConfig config;
+    config.executorThreads = 1;
+    return config;
+}
+
+JsonValue
+parseResponse(const std::string& text)
+{
+    std::string error;
+    JsonValue v = JsonValue::parse(text, &error);
+    EXPECT_EQ(error, "") << "unparseable response: " << text;
+    EXPECT_TRUE(v.isObject());
+    return v;
+}
+
+/** Expect an `ok: false` response carrying the given code. */
+void
+expectError(Service& service, const std::string& request,
+            const std::string& code)
+{
+    JsonValue v = parseResponse(service.handle(request));
+    EXPECT_FALSE(v.getBool("ok", true)) << "for request: " << request;
+    EXPECT_EQ(v.getString("code"), code)
+        << "for request: " << request << "\nerror: "
+        << v.getString("error");
+    EXPECT_NE(v.getString("error"), "");
+}
+
+std::string
+runRequest(const std::string& workload, unsigned size_kb,
+           bool flush = true)
+{
+    return "{\"type\": \"run\", \"workload\": \"" + workload +
+           "\", \"flush\": " + (flush ? "true" : "false") +
+           ", \"config\": {\"size_bytes\": " +
+           std::to_string(size_kb * 1024) + "}}";
+}
+
+} // namespace
+
+TEST(Service, RejectsMalformedRequests)
+{
+    Service service(testConfig());
+    expectError(service, "not json at all", "parse_error");
+    expectError(service, "{\"type\": \"run\",", "parse_error");
+    expectError(service, "[1, 2, 3]", "parse_error");
+    expectError(service, "{\"type\": \"nonsense\"}", "unknown_type");
+    expectError(service, "{}", "unknown_type");
+    expectError(service, "{\"type\": \"run\", \"protocol\": 999}",
+                "protocol_mismatch");
+}
+
+TEST(Service, RejectsBadRunRequests)
+{
+    Service service(testConfig());
+    // Missing and unknown workloads fail before anything queues.
+    expectError(service, "{\"type\": \"run\"}", "bad_request");
+    expectError(service,
+                "{\"type\": \"run\", \"workload\": \"nonesuch\"}",
+                "bad_request");
+    // A config that fails CacheConfig::validate().
+    expectError(service,
+                "{\"type\": \"run\", \"workload\": \"ccom\","
+                " \"config\": {\"size_bytes\": 3000}}",
+                "bad_request");
+}
+
+TEST(Service, RejectsBadSweepRequests)
+{
+    Service service(testConfig());
+    expectError(service,
+                "{\"type\": \"sweep\", \"workload\": \"ccom\"}",
+                "bad_request");
+    expectError(service,
+                "{\"type\": \"sweep\", \"workload\": \"ccom\","
+                " \"axis\": \"voltage\"}",
+                "bad_request");
+}
+
+TEST(Service, AnswersPing)
+{
+    Service service(testConfig());
+    JsonValue v =
+        parseResponse(service.handle("{\"type\": \"ping\"}"));
+    EXPECT_TRUE(v.getBool("ok", false));
+    EXPECT_EQ(v.getString("type"), "ping");
+    EXPECT_EQ(v.getString("version"), jcache::kVersion);
+    EXPECT_DOUBLE_EQ(v.getNumber("protocol", 0),
+                     jcache::kProtocolVersion);
+    EXPECT_FALSE(service.shutdownRequested());
+}
+
+TEST(Service, ShutdownSetsTheDrainFlag)
+{
+    Service service(testConfig());
+    JsonValue v =
+        parseResponse(service.handle("{\"type\": \"shutdown\"}"));
+    EXPECT_TRUE(v.getBool("ok", false));
+    EXPECT_TRUE(v.getBool("draining", false));
+    EXPECT_TRUE(service.shutdownRequested());
+}
+
+TEST(Service, RunComputesOnceThenServesFromCache)
+{
+    Service service(testConfig());
+    JsonValue first =
+        parseResponse(service.handle(runRequest("ccom", 4)));
+    ASSERT_TRUE(first.getBool("ok", false))
+        << first.getString("error");
+    EXPECT_EQ(first.getString("type"), "run");
+    EXPECT_FALSE(first.getBool("cached", true));
+    EXPECT_EQ(first.getString("digest").size(), 16u);
+
+    const JsonValue& payload = first.get("payload");
+    EXPECT_EQ(payload.getString("workload"), "ccom");
+    EXPECT_TRUE(payload.getBool("flushed", false));
+    const JsonValue& result = payload.get("result");
+    EXPECT_GT(result.getNumber("instructions", 0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        result.get("config").getNumber("size_bytes", 0), 4096.0);
+
+    // The identical request must come back as a cache hit with the
+    // same digest and byte-identical payload.
+    std::string repeat_text = service.handle(runRequest("ccom", 4));
+    JsonValue repeat = parseResponse(repeat_text);
+    EXPECT_TRUE(repeat.getBool("cached", false));
+    EXPECT_EQ(repeat.getString("digest"), first.getString("digest"));
+    const JsonValue& first_cache =
+        first.get("payload").get("result").get("cache");
+    const JsonValue& repeat_cache =
+        repeat.get("payload").get("result").get("cache");
+    double first_hits = first_cache.getNumber("write_hits", -1);
+    EXPECT_GE(first_hits, 0.0);
+    EXPECT_DOUBLE_EQ(repeat_cache.getNumber("write_hits", -2),
+                     first_hits);
+}
+
+TEST(Service, DigestSeparatesGeometryAndFlush)
+{
+    Service service(testConfig());
+    JsonValue small =
+        parseResponse(service.handle(runRequest("ccom", 4)));
+    JsonValue large =
+        parseResponse(service.handle(runRequest("ccom", 8)));
+    JsonValue no_flush =
+        parseResponse(service.handle(runRequest("ccom", 4, false)));
+    ASSERT_TRUE(small.getBool("ok", false));
+    ASSERT_TRUE(large.getBool("ok", false));
+    ASSERT_TRUE(no_flush.getBool("ok", false));
+    EXPECT_NE(small.getString("digest"), large.getString("digest"));
+    EXPECT_NE(small.getString("digest"),
+              no_flush.getString("digest"));
+    EXPECT_FALSE(large.getBool("cached", true));
+    EXPECT_FALSE(no_flush.getBool("cached", true));
+}
+
+TEST(Service, SweepReturnsAxisOrderedResults)
+{
+    Service service(testConfig());
+    JsonValue v = parseResponse(service.handle(
+        "{\"type\": \"sweep\", \"workload\": \"ccom\","
+        " \"axis\": \"assoc\"}"));
+    ASSERT_TRUE(v.getBool("ok", false)) << v.getString("error");
+    const JsonValue& payload = v.get("payload");
+    EXPECT_EQ(payload.getString("axis"), "assoc");
+    ASSERT_EQ(payload.get("labels").items().size(),
+              payload.get("results").items().size());
+    // Points come back in axis order: associativity 1, 2, 4, 8.
+    ASSERT_GE(payload.get("results").items().size(), 2u);
+    EXPECT_DOUBLE_EQ(payload.get("results")
+                         .items()[0]
+                         .get("result")
+                         .get("config")
+                         .getNumber("assoc", 0),
+                     1.0);
+    EXPECT_DOUBLE_EQ(payload.get("results")
+                         .items()[1]
+                         .get("result")
+                         .get("config")
+                         .getNumber("assoc", 0),
+                     2.0);
+
+    // The metric is not part of the digest: the repeat is a hit even
+    // though a client would render a different metric from it.
+    JsonValue repeat = parseResponse(service.handle(
+        "{\"type\": \"sweep\", \"workload\": \"ccom\","
+        " \"axis\": \"assoc\"}"));
+    EXPECT_TRUE(repeat.getBool("cached", false));
+    EXPECT_EQ(repeat.getString("digest"), v.getString("digest"));
+}
+
+TEST(Service, StatsCountRequestsCacheAndJobs)
+{
+    Service service(testConfig());
+    service.handle(runRequest("ccom", 4));
+    service.handle(runRequest("ccom", 4));  // cache hit
+    service.handle("{\"type\": \"ping\"}");
+    service.handle("{\"type\": \"nonsense\"}");
+    service.noteProtocolError();
+
+    JsonValue v =
+        parseResponse(service.handle("{\"type\": \"stats\"}"));
+    ASSERT_TRUE(v.getBool("ok", false));
+    const JsonValue& payload = v.get("payload");
+
+    const JsonValue& requests = payload.get("requests");
+    EXPECT_DOUBLE_EQ(requests.getNumber("total", 0), 5.0);
+    EXPECT_DOUBLE_EQ(requests.getNumber("run", 0), 2.0);
+    EXPECT_DOUBLE_EQ(requests.getNumber("ping", 0), 1.0);
+    EXPECT_DOUBLE_EQ(requests.getNumber("errors", 0), 1.0);
+    EXPECT_DOUBLE_EQ(requests.getNumber("protocol_errors", 0), 1.0);
+
+    const JsonValue& cache = payload.get("result_cache");
+    EXPECT_DOUBLE_EQ(cache.getNumber("hits", 0), 1.0);
+    EXPECT_DOUBLE_EQ(cache.getNumber("misses", 0), 1.0);
+    EXPECT_DOUBLE_EQ(cache.getNumber("hit_rate", 0), 0.5);
+
+    const JsonValue& jobs = payload.get("jobs");
+    EXPECT_DOUBLE_EQ(jobs.getNumber("executed", 0), 1.0);
+    EXPECT_GT(jobs.get("wall_seconds").getNumber("max", 0), 0.0);
+    EXPECT_GT(payload.getNumber("uptime_seconds", 0), 0.0);
+
+    const JsonValue& queue = payload.get("queue");
+    EXPECT_DOUBLE_EQ(queue.getNumber("depth", -1), 0.0);
+    EXPECT_DOUBLE_EQ(queue.getNumber("capacity", 0), 64.0);
+}
+
+TEST(Service, ZeroCacheCapacityAlwaysRecomputes)
+{
+    ServiceConfig config = testConfig();
+    config.cacheCapacity = 0;
+    Service service(config);
+    JsonValue first =
+        parseResponse(service.handle(runRequest("ccom", 4)));
+    JsonValue second =
+        parseResponse(service.handle(runRequest("ccom", 4)));
+    ASSERT_TRUE(first.getBool("ok", false));
+    ASSERT_TRUE(second.getBool("ok", false));
+    EXPECT_FALSE(second.getBool("cached", true));
+    // Same deterministic replay either way.
+    EXPECT_EQ(first.getString("digest"), second.getString("digest"));
+}

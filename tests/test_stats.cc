@@ -1,7 +1,7 @@
 /**
  * @file
  * Unit tests for the stats module: counters/ratios, running
- * statistics, histograms, text tables and CSV output.
+ * statistics, histograms, text tables, CSV and JSON output.
  */
 
 #include <cmath>
@@ -12,6 +12,7 @@
 #include "stats/counter.hh"
 #include "stats/csv.hh"
 #include "stats/distribution.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 #include "util/logging.hh"
 
@@ -196,6 +197,81 @@ TEST(CsvWriter, WritesRows)
     csv.writeRow({"x", "y"});
     csv.writeRow("bench", {1.5, 2.0});
     EXPECT_EQ(oss.str(), "x,y\nbench,1.5,2\n");
+}
+
+TEST(JsonWriter, QuoteEscapesNamedControls)
+{
+    EXPECT_EQ(JsonWriter::quote("plain"), "\"plain\"");
+    EXPECT_EQ(JsonWriter::quote("say \"hi\""), "\"say \\\"hi\\\"\"");
+    EXPECT_EQ(JsonWriter::quote("back\\slash"), "\"back\\\\slash\"");
+    EXPECT_EQ(JsonWriter::quote("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(JsonWriter::quote("a\rb"), "\"a\\rb\"");
+    EXPECT_EQ(JsonWriter::quote("a\tb"), "\"a\\tb\"");
+    EXPECT_EQ(JsonWriter::quote("a\bb"), "\"a\\bb\"");
+    EXPECT_EQ(JsonWriter::quote("a\fb"), "\"a\\fb\"");
+}
+
+TEST(JsonWriter, QuoteEscapesEveryC0Control)
+{
+    // RFC 8259: every code point below U+0020 must be escaped; a name
+    // like a workload string can carry any byte and still has to
+    // produce a parseable document.
+    for (int c = 0x00; c < 0x20; ++c) {
+        std::string raw(1, static_cast<char>(c));
+        std::string quoted = JsonWriter::quote(raw);
+        EXPECT_EQ(quoted.find(static_cast<char>(c)),
+                  std::string::npos)
+            << "control 0x" << std::hex << c << " leaked through";
+        EXPECT_EQ(quoted.front(), '"');
+        EXPECT_EQ(quoted.back(), '"');
+        EXPECT_GE(quoted.size(), 4u);  // at least "\x"
+    }
+    // Spot-check the \uXXXX form for a control with no short name.
+    EXPECT_EQ(JsonWriter::quote(std::string(1, '\x01')), "\"\\u0001\"");
+    EXPECT_EQ(JsonWriter::quote(std::string(1, '\x1f')), "\"\\u001f\"");
+    EXPECT_EQ(JsonWriter::quote(std::string(1, '\0')), "\"\\u0000\"");
+}
+
+TEST(JsonWriter, QuotePassesThroughNonControlBytes)
+{
+    // Printable ASCII and high (UTF-8) bytes are emitted verbatim.
+    EXPECT_EQ(JsonWriter::quote("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+    EXPECT_EQ(JsonWriter::quote(" ~"), "\" ~\"");
+}
+
+TEST(JsonWriter, WritesNestedDocument)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss);
+    json.beginObject();
+    json.field("tool", "jcached");
+    json.field("count", 3.0);
+    json.field("flag", false);
+    json.beginArray("labels");
+    json.element("1KB");
+    json.element(2.0);
+    json.endArray();
+    json.rawField("payload", "{\"inner\": true}");
+    json.endObject();
+
+    std::string text = oss.str();
+    EXPECT_NE(text.find("\"tool\": \"jcached\""), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"count\": 3"), std::string::npos);
+    EXPECT_NE(text.find("\"flag\": false"), std::string::npos);
+    EXPECT_NE(text.find("\"1KB\""), std::string::npos);
+    EXPECT_NE(text.find("\"inner\": true"), std::string::npos);
+}
+
+TEST(JsonWriter, NumberRoundTrips)
+{
+    EXPECT_EQ(JsonWriter::number(0.0), "0");
+    EXPECT_EQ(JsonWriter::number(42.0), "42");
+    // Exact integers stay exact up to 2^53 — the wire format relies
+    // on this to ship raw counters through doubles.
+    EXPECT_EQ(JsonWriter::number(9007199254740992.0),
+              "9007199254740992");
+    EXPECT_EQ(std::stod(JsonWriter::number(0.1)), 0.1);
 }
 
 } // namespace

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * jcache-client: submit requests to a running jcached.
+ *
+ * Usage:
+ *   jcache-client [--host H] [--port N] [--timeout MS] [--verbose]
+ *                 [--version] <command> [args]
+ *
+ * Commands:
+ *   run <workload> [--size KB] [--line B] [--assoc N] [--hit wt|wb]
+ *       [--miss fow|wv|wa|wi] [--replacement lru|fifo|random]
+ *       [--no-flush]
+ *   sweep <workload> --axis size|line|assoc [--metric miss|traffic|dirty]
+ *       [--hit wt|wb] [--miss fow|wv|wa|wi]
+ *   stats | ping | shutdown
+ *
+ * `run` and `sweep` print byte-identical tables to jcache-sim and
+ * jcache-sweep: the daemon returns raw counts and the client formats
+ * them through the same shared renderer the offline tools use.
+ * --verbose reports the result digest and cache status on stderr.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+#include "net/socket.hh"
+#include "service/json_value.hh"
+#include "service/render.hh"
+#include "stats/json.hh"
+#include "util/logging.hh"
+#include "util/version.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: jcache-client [--host H] [--port N] [--timeout MS]\n"
+        "  [--verbose] [--version] <command> [args]\n"
+        "commands:\n"
+        "  run <workload> [--size KB] [--line B] [--assoc N]\n"
+        "      [--hit wt|wb] [--miss fow|wv|wa|wi]\n"
+        "      [--replacement lru|fifo|random] [--no-flush]\n"
+        "  sweep <workload> --axis size|line|assoc\n"
+        "      [--metric miss|traffic|dirty] [--hit wt|wb]\n"
+        "      [--miss fow|wv|wa|wi]\n"
+        "  stats\n"
+        "  ping\n"
+        "  shutdown\n";
+    return 2;
+}
+
+/** One request/response exchange; exits the process on failure. */
+std::string
+exchange(const std::string& host, std::uint16_t port,
+         unsigned timeout_millis, const std::string& request)
+{
+    std::string error;
+    net::Socket socket = net::Socket::connectTo(host, port, &error);
+    fatalIf(!socket.valid(), error);
+    socket.setTimeout(timeout_millis);
+
+    fatalIf(net::writeFrame(socket, request) != net::FrameStatus::Ok,
+            "failed to send request");
+    std::string response;
+    net::FrameStatus status = net::readFrame(socket, response);
+    fatalIf(status != net::FrameStatus::Ok,
+            "failed to read response (" + net::name(status) + ")");
+    return response;
+}
+
+/** Parse a response and fail the process on `ok: false`. */
+service::JsonValue
+parseResponse(const std::string& response)
+{
+    std::string parse_error;
+    service::JsonValue value =
+        service::JsonValue::parse(response, &parse_error);
+    fatalIf(!parse_error.empty(),
+            "malformed response: " + parse_error);
+    fatalIf(!value.isObject(), "malformed response: not an object");
+    if (!value.getBool("ok", false)) {
+        fatal("daemon error [" + value.getString("code", "unknown") +
+              "]: " + value.getString("error", "unspecified"));
+    }
+    return value;
+}
+
+struct RunFlags
+{
+    core::CacheConfig config;
+    bool flush = true;
+};
+
+/** Shared --size/--line/--assoc/--hit/--miss/... flag parsing. */
+bool
+parseConfigFlag(const std::string& flag, const std::string& value,
+                core::CacheConfig& config)
+{
+    if (flag == "--size") {
+        config.sizeBytes =
+            std::strtoull(value.c_str(), nullptr, 10) * 1024;
+    } else if (flag == "--line") {
+        config.lineBytes = static_cast<unsigned>(
+            std::strtoul(value.c_str(), nullptr, 10));
+    } else if (flag == "--assoc") {
+        config.assoc = static_cast<unsigned>(
+            std::strtoul(value.c_str(), nullptr, 10));
+    } else if (flag == "--hit") {
+        auto policy = core::parseHitPolicy(value);
+        fatalIf(!policy, "unknown hit policy: " + value +
+                             " (use wt|wb)");
+        config.hitPolicy = *policy;
+    } else if (flag == "--miss") {
+        auto policy = core::parseMissPolicy(value);
+        fatalIf(!policy, "unknown miss policy: " + value +
+                             " (use fow|wv|wa|wi)");
+        config.missPolicy = *policy;
+    } else if (flag == "--replacement") {
+        auto policy = core::parseReplacementPolicy(value);
+        fatalIf(!policy, "unknown replacement policy: " + value +
+                             " (use lru|fifo|random)");
+        config.replacement = *policy;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::string
+runRequest(const std::string& workload, const RunFlags& flags)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("type", "run");
+    json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("workload", workload);
+    json.field("flush", flags.flush);
+    service::writeCacheConfig(json, "config", flags.config);
+    json.endObject();
+    return oss.str();
+}
+
+std::string
+sweepRequest(const std::string& workload, const std::string& axis,
+             const core::CacheConfig& base)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("type", "sweep");
+    json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("workload", workload);
+    json.field("axis", axis);
+    service::writeCacheConfig(json, "config", base);
+    json.endObject();
+    return oss.str();
+}
+
+std::string
+bareRequest(const std::string& type)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("type", type);
+    json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.endObject();
+    return oss.str();
+}
+
+void
+reportCacheStatus(const service::JsonValue& response, bool verbose)
+{
+    if (!verbose)
+        return;
+    std::cerr << "digest " << response.getString("digest")
+              << (response.getBool("cached", false)
+                      ? " (result-cache hit)"
+                      : " (computed)")
+              << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 7421;
+    unsigned timeout_millis = 300000;
+    bool verbose = false;
+
+    int i = 1;
+    for (; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--version") {
+            std::cout << versionLine("jcache-client") << "\n";
+            return 0;
+        }
+        if (flag == "--verbose") {
+            verbose = true;
+            continue;
+        }
+        if (flag == "--host" && i + 1 < argc) {
+            host = argv[++i];
+            continue;
+        }
+        if (flag == "--port" && i + 1 < argc) {
+            port = static_cast<std::uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+            continue;
+        }
+        if (flag == "--timeout" && i + 1 < argc) {
+            timeout_millis = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            continue;
+        }
+        break;
+    }
+    if (i >= argc)
+        return usage();
+    std::string command = argv[i++];
+
+    try {
+        if (command == "run") {
+            if (i >= argc)
+                return usage();
+            std::string workload = argv[i++];
+            RunFlags flags;
+            flags.config.hitPolicy = core::WriteHitPolicy::WriteBack;
+            for (; i < argc; ++i) {
+                std::string flag = argv[i];
+                if (flag == "--no-flush") {
+                    flags.flush = false;
+                    continue;
+                }
+                if (i + 1 >= argc)
+                    return usage();
+                if (!parseConfigFlag(flag, argv[++i], flags.config))
+                    return usage();
+            }
+            flags.config.validate();
+
+            std::string response_text =
+                exchange(host, port, timeout_millis,
+                         runRequest(workload, flags));
+            service::JsonValue response =
+                parseResponse(response_text);
+            reportCacheStatus(response, verbose);
+
+            const service::JsonValue& payload =
+                response.get("payload");
+            sim::RunResult result =
+                service::parseRunResult(payload.get("result"));
+            service::renderRunTable(
+                std::cout, result, payload.getString("workload"),
+                payload.getBool("flushed", true));
+            return 0;
+        }
+
+        if (command == "sweep") {
+            if (i >= argc)
+                return usage();
+            std::string workload = argv[i++];
+            std::string axis;
+            std::string metric = "miss";
+            core::CacheConfig base;
+            base.hitPolicy = core::WriteHitPolicy::WriteBack;
+            for (; i < argc; ++i) {
+                std::string flag = argv[i];
+                if (i + 1 >= argc)
+                    return usage();
+                std::string value = argv[++i];
+                if (flag == "--axis") {
+                    axis = value;
+                } else if (flag == "--metric") {
+                    metric = value;
+                } else if (!parseConfigFlag(flag, value, base)) {
+                    return usage();
+                }
+            }
+            if (axis.empty() || !service::isSweepMetric(metric))
+                return usage();
+
+            std::string response_text =
+                exchange(host, port, timeout_millis,
+                         sweepRequest(workload, axis, base));
+            service::JsonValue response =
+                parseResponse(response_text);
+            reportCacheStatus(response, verbose);
+
+            const service::JsonValue& payload =
+                response.get("payload");
+            std::vector<std::string> labels;
+            for (const service::JsonValue& label :
+                 payload.get("labels").items())
+                labels.push_back(label.string());
+            std::vector<sim::RunResult> results;
+            for (const service::JsonValue& item :
+                 payload.get("results").items())
+                results.push_back(
+                    service::parseRunResult(item.get("result")));
+            fatalIf(labels.size() != results.size(),
+                    "malformed sweep payload");
+            service::renderSweepTable(
+                std::cout, payload.getString("axis", axis), metric,
+                payload.getString("workload", workload), base, labels,
+                results);
+            return 0;
+        }
+
+        if (command == "stats" || command == "ping" ||
+            command == "shutdown") {
+            std::string response_text = exchange(
+                host, port, timeout_millis, bareRequest(command));
+            parseResponse(response_text);
+            std::cout << response_text;
+            if (response_text.empty() ||
+                response_text.back() != '\n')
+                std::cout << "\n";
+            return 0;
+        }
+
+        return usage();
+    } catch (const FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -8,7 +8,7 @@
  *       [--size KB] [--line B] [--assoc N]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
  *       [--replacement lru|fifo|random] [--no-flush]
- *       [--jobs N] [--progress]
+ *       [--jobs N] [--progress] [--version]
  *
  * Defaults: 8KB, 16B lines, direct-mapped, write-back,
  * fetch-on-write — the paper's base configuration.
@@ -16,7 +16,9 @@
  * The replay runs through the parallel executor (a one-job grid);
  * --progress adds the run's observability summary — wall time,
  * replayed M ins/s — on stderr, and --jobs sets the executor width
- * for scripts that pass uniform flags to every jcache tool.
+ * for scripts that pass uniform flags to every jcache tool.  The
+ * statistics block prints through the same renderer jcache-client
+ * uses, so an offline run and a service run are byte-identical.
  */
 
 #include <cstdlib>
@@ -24,12 +26,12 @@
 #include <iostream>
 #include <string>
 
+#include "service/render.hh"
 #include "sim/parallel.hh"
 #include "sim/run.hh"
-#include "stats/counter.hh"
-#include "stats/table.hh"
 #include "trace/file_io.hh"
 #include "util/logging.hh"
+#include "util/version.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -44,45 +46,8 @@ usage()
         "usage: jcache-sim <trace.jct | workload-name>\n"
         "  [--size KB] [--line B] [--assoc N] [--hit wt|wb]\n"
         "  [--miss fow|wv|wa|wi] [--replacement lru|fifo|random]\n"
-        "  [--no-flush] [--jobs N] [--progress]\n";
+        "  [--no-flush] [--jobs N] [--progress] [--version]\n";
     return 2;
-}
-
-core::WriteHitPolicy
-parseHit(const std::string& v)
-{
-    if (v == "wt")
-        return core::WriteHitPolicy::WriteThrough;
-    if (v == "wb")
-        return core::WriteHitPolicy::WriteBack;
-    fatal("unknown hit policy: " + v + " (use wt|wb)");
-}
-
-core::WriteMissPolicy
-parseMiss(const std::string& v)
-{
-    if (v == "fow")
-        return core::WriteMissPolicy::FetchOnWrite;
-    if (v == "wv")
-        return core::WriteMissPolicy::WriteValidate;
-    if (v == "wa")
-        return core::WriteMissPolicy::WriteAround;
-    if (v == "wi")
-        return core::WriteMissPolicy::WriteInvalidate;
-    fatal("unknown miss policy: " + v + " (use fow|wv|wa|wi)");
-}
-
-core::ReplacementPolicy
-parseReplacement(const std::string& v)
-{
-    if (v == "lru")
-        return core::ReplacementPolicy::Lru;
-    if (v == "fifo")
-        return core::ReplacementPolicy::Fifo;
-    if (v == "random")
-        return core::ReplacementPolicy::Random;
-    fatal("unknown replacement policy: " + v +
-          " (use lru|fifo|random)");
 }
 
 } // namespace
@@ -90,6 +55,10 @@ parseReplacement(const std::string& v)
 int
 main(int argc, char** argv)
 {
+    if (argc >= 2 && std::string(argv[1]) == "--version") {
+        std::cout << versionLine("jcache-sim") << "\n";
+        return 0;
+    }
     if (argc < 2)
         return usage();
 
@@ -123,11 +92,21 @@ main(int argc, char** argv)
                 config.assoc = static_cast<unsigned>(
                     std::strtoul(value.c_str(), nullptr, 10));
             } else if (flag == "--hit") {
-                config.hitPolicy = parseHit(value);
+                auto policy = core::parseHitPolicy(value);
+                fatalIf(!policy, "unknown hit policy: " + value +
+                                     " (use wt|wb)");
+                config.hitPolicy = *policy;
             } else if (flag == "--miss") {
-                config.missPolicy = parseMiss(value);
+                auto policy = core::parseMissPolicy(value);
+                fatalIf(!policy, "unknown miss policy: " + value +
+                                     " (use fow|wv|wa|wi)");
+                config.missPolicy = *policy;
             } else if (flag == "--replacement") {
-                config.replacement = parseReplacement(value);
+                auto policy = core::parseReplacementPolicy(value);
+                fatalIf(!policy,
+                        "unknown replacement policy: " + value +
+                            " (use lru|fifo|random)");
+                config.replacement = *policy;
             } else if (flag == "--jobs") {
                 jobs = static_cast<unsigned>(
                     std::strtoul(value.c_str(), nullptr, 10));
@@ -146,47 +125,8 @@ main(int argc, char** argv)
         sim::ParallelExecutor executor(jobs);
         sim::SweepOutcome outcome =
             executor.run({{&trace, config, flush}});
-        const sim::RunResult& r = outcome.results.front();
-        const core::CacheStats& s = r.cache;
-
-        stats::TextTable table(config.describe() + " on '" +
-                               trace.name() + "'");
-        table.setHeader({"metric", "value"});
-        auto row = [&](const std::string& k, Count v) {
-            table.addRow({k, std::to_string(v)});
-        };
-        row("instructions", r.instructions);
-        row("reads", s.reads);
-        row("writes", s.writes);
-        row("read hits", s.readHits);
-        row("read misses", s.readMisses);
-        row("write hits", s.writeHits);
-        row("write misses", s.writeMisses);
-        row("counted misses (fetches)", s.countedMisses());
-        table.addRow({"miss ratio",
-                      stats::formatFixed(
-                          100.0 * stats::ratio(s.countedMisses(),
-                                               s.accesses()), 3) +
-                          "%"});
-        row("writes to dirty lines", s.writesToDirtyLines);
-        row("victims", s.victims);
-        row("dirty victims", s.dirtyVictims);
-        table.addSeparator();
-        row("fetch transactions", r.fetchTraffic.transactions);
-        row("fetch bytes", r.fetchTraffic.bytes);
-        row("write-through transactions",
-            r.writeThroughTraffic.transactions);
-        row("write-back transactions",
-            r.writeBackTraffic.transactions);
-        row("write-back bytes", r.writeBackTraffic.bytes);
-        if (flush) {
-            row("flush transactions", r.flushTraffic.transactions);
-            row("flush bytes", r.flushTraffic.bytes);
-        }
-        table.addRow({"txns per instruction",
-                      stats::formatFixed(
-                          r.transactionsPerInstruction(), 4)});
-        table.print(std::cout);
+        service::renderRunTable(std::cout, outcome.results.front(),
+                                trace.name(), flush);
         if (progress)
             std::cerr << outcome.report.summary() << "\n";
         return 0;

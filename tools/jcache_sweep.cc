@@ -8,7 +8,7 @@
  *   jcache-sweep <trace.jct | workload> --axis size|line|assoc
  *       [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
- *       [--jobs N] [--progress] [--json <report.json>]
+ *       [--jobs N] [--progress] [--json <report.json>] [--version]
  *
  * Metrics:
  *   miss    — counted-miss ratio (%)
@@ -17,7 +17,9 @@
  *
  * The sweep points run on the parallel executor (--jobs N threads;
  * default: all hardware threads).  Results are ordered by sweep point,
- * never by completion, so the table is identical at any job count.
+ * never by completion, so the table is identical at any job count —
+ * and the axis expansion and table rendering are shared with
+ * jcache-client, so a service-served sweep is byte-identical too.
  * --progress reports per-point completion and a run summary on
  * stderr; --json exports the SweepReport (per-job wall time,
  * throughput, utilization) for observability tooling.
@@ -29,12 +31,13 @@
 #include <iostream>
 #include <string>
 
+#include "service/render.hh"
 #include "sim/parallel.hh"
 #include "sim/run.hh"
-#include "stats/counter.hh"
-#include "stats/table.hh"
+#include "sim/sweeps.hh"
 #include "trace/file_io.hh"
 #include "util/logging.hh"
+#include "util/version.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -50,7 +53,8 @@ usage()
         "size|line|assoc\n"
         "  [--metric miss|traffic|dirty] [--hit wt|wb] "
         "[--miss fow|wv|wa|wi]\n"
-        "  [--jobs N] [--progress] [--json <report.json>]\n";
+        "  [--jobs N] [--progress] [--json <report.json>] "
+        "[--version]\n";
     return 2;
 }
 
@@ -59,6 +63,10 @@ usage()
 int
 main(int argc, char** argv)
 {
+    if (argc >= 2 && std::string(argv[1]) == "--version") {
+        std::cout << versionLine("jcache-sweep") << "\n";
+        return 0;
+    }
     if (argc < 2)
         return usage();
 
@@ -90,32 +98,21 @@ main(int argc, char** argv)
             } else if (flag == "--json") {
                 json_path = value;
             } else if (flag == "--hit") {
-                base.hitPolicy = value == "wb"
-                    ? core::WriteHitPolicy::WriteBack
-                    : core::WriteHitPolicy::WriteThrough;
-            } else if (flag == "--miss") {
-                if (value == "fow") {
-                    base.missPolicy =
-                        core::WriteMissPolicy::FetchOnWrite;
-                } else if (value == "wv") {
-                    base.missPolicy =
-                        core::WriteMissPolicy::WriteValidate;
-                } else if (value == "wa") {
-                    base.missPolicy =
-                        core::WriteMissPolicy::WriteAround;
-                } else if (value == "wi") {
-                    base.missPolicy =
-                        core::WriteMissPolicy::WriteInvalidate;
-                } else {
+                auto policy = core::parseHitPolicy(value);
+                if (!policy)
                     return usage();
-                }
+                base.hitPolicy = *policy;
+            } else if (flag == "--miss") {
+                auto policy = core::parseMissPolicy(value);
+                if (!policy)
+                    return usage();
+                base.missPolicy = *policy;
             } else {
                 return usage();
             }
         }
 
-        if (metric != "miss" && metric != "traffic" &&
-            metric != "dirty")
+        if (!service::isSweepMetric(metric))
             return usage();
 
         std::string source = argv[1];
@@ -124,47 +121,12 @@ main(int argc, char** argv)
             : workloads::generateTrace(
                   *workloads::makeWorkload(source));
 
-        // Build the sweep points.
-        std::vector<core::CacheConfig> points;
-        std::vector<std::string> labels;
-        if (axis == "size") {
-            for (Count kb = 1; kb <= 128; kb *= 2) {
-                core::CacheConfig c = base;
-                c.sizeBytes = kb * 1024;
-                points.push_back(c);
-                labels.push_back(stats::formatSize(c.sizeBytes));
-            }
-        } else if (axis == "line") {
-            for (unsigned line : {4u, 8u, 16u, 32u, 64u}) {
-                core::CacheConfig c = base;
-                c.lineBytes = line;
-                points.push_back(c);
-                labels.push_back(std::to_string(line) + "B");
-            }
-        } else if (axis == "assoc") {
-            for (unsigned ways : {1u, 2u, 4u, 8u}) {
-                core::CacheConfig c = base;
-                c.assoc = ways;
-                points.push_back(c);
-                labels.push_back(std::to_string(ways) + "-way");
-            }
-        } else {
-            return usage();
-        }
-
-        stats::TextTable table("sweep of " + axis + " on '" +
-                               trace.name() + "' (" +
-                               core::name(base.hitPolicy) + "+" +
-                               core::name(base.missPolicy) + ")");
-        std::vector<std::string> header{"metric: " + metric};
-        for (const std::string& l : labels)
-            header.push_back(l);
-        table.setHeader(header);
+        sim::AxisPoints points = sim::buildAxisPoints(axis, base);
 
         // Fan the points out over the executor; results come back in
         // point order regardless of completion order.
         std::vector<sim::SweepJob> grid;
-        for (const core::CacheConfig& config : points)
+        for (const core::CacheConfig& config : points.configs)
             grid.push_back({&trace, config, false});
 
         sim::ProgressFn on_progress;
@@ -179,21 +141,9 @@ main(int argc, char** argv)
         sim::ParallelExecutor executor(jobs, on_progress);
         sim::SweepOutcome outcome = executor.run(grid);
 
-        std::vector<double> values;
-        for (const sim::RunResult& r : outcome.results) {
-            if (metric == "miss") {
-                values.push_back(100.0 *
-                                 stats::ratio(r.cache.countedMisses(),
-                                              r.cache.accesses()));
-            } else if (metric == "traffic") {
-                values.push_back(r.transactionsPerInstruction());
-            } else {
-                values.push_back(r.percentWritesToDirtyLines());
-            }
-        }
-        table.addRow(metric, values,
-                     metric == "traffic" ? 4 : 2);
-        table.print(std::cout);
+        service::renderSweepTable(std::cout, axis, metric,
+                                  trace.name(), base, points.labels,
+                                  outcome.results);
 
         if (progress)
             std::cerr << outcome.report.summary() << "\n";

@@ -5,7 +5,13 @@
  * Usage:
  *   jcache-trace generate <workload> <out.jct> [--scale N] [--seed S]
  *   jcache-trace info <trace.jct>
+ *   jcache-trace summary <trace.jct>
  *   jcache-trace head <trace.jct> [count]
+ *   jcache-trace --version
+ *
+ * `info` reads only the file header (format, version, record count,
+ * workload name) — constant time however large the trace; `summary`
+ * loads the records and prints the full reference-mix statistics.
  *
  * Workloads: ccom grr yacc met linpack liver
  *            gemm-streaming gemm-blocked
@@ -13,6 +19,7 @@
  */
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -20,6 +27,7 @@
 #include "trace/file_io.hh"
 #include "trace/summary.hh"
 #include "util/logging.hh"
+#include "util/version.hh"
 #include "workloads/callburst.hh"
 #include "workloads/gemm.hh"
 #include "workloads/workload.hh"
@@ -62,7 +70,9 @@ usage()
         "  jcache-trace generate <workload> <out.jct> "
         "[--scale N] [--seed S] [--compress]\n"
         "  jcache-trace info <trace.jct>\n"
-        "  jcache-trace head <trace.jct> [count]\n";
+        "  jcache-trace summary <trace.jct>\n"
+        "  jcache-trace head <trace.jct> [count]\n"
+        "  jcache-trace --version\n";
     return 2;
 }
 
@@ -100,6 +110,26 @@ cmdGenerate(int argc, char** argv)
 
 int
 cmdInfo(int argc, char** argv)
+{
+    if (argc < 3)
+        return usage();
+    // Header only: no record loading, no replay, constant time.
+    trace::TraceFileInfo info = trace::loadTraceInfo(argv[2]);
+
+    stats::TextTable table("trace file: " + std::string(argv[2]));
+    table.setHeader({"field", "value"});
+    table.addRow({"workload", info.name});
+    table.addRow({"format", info.format});
+    table.addRow({"version", std::to_string(info.version)});
+    table.addRow({"records", std::to_string(info.records)});
+    table.addRow({"file bytes",
+                  std::to_string(std::filesystem::file_size(argv[2]))});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdSummary(int argc, char** argv)
 {
     if (argc < 3)
         return usage();
@@ -150,11 +180,17 @@ main(int argc, char** argv)
     if (argc < 2)
         return usage();
     std::string command = argv[1];
+    if (command == "--version") {
+        std::cout << jcache::versionLine("jcache-trace") << "\n";
+        return 0;
+    }
     try {
         if (command == "generate")
             return cmdGenerate(argc, argv);
         if (command == "info")
             return cmdInfo(argc, argv);
+        if (command == "summary")
+            return cmdSummary(argc, argv);
         if (command == "head")
             return cmdHead(argc, argv);
     } catch (const jcache::FatalError& e) {

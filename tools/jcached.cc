@@ -1,0 +1,125 @@
+/**
+ * @file
+ * jcached: the cache-simulation daemon.
+ *
+ * Usage:
+ *   jcached [--port N] [--port-file PATH] [--jobs N]
+ *           [--queue N] [--cache N] [--timeout MS] [--version]
+ *
+ * Binds 127.0.0.1:<port> (0 = ephemeral; the chosen port is printed
+ * and optionally written to --port-file for scripts), bootstraps the
+ * six benchmark traces once, then serves framed JSON requests until
+ * SIGINT/SIGTERM or an in-band shutdown request, draining in-flight
+ * connections on the way out.  Protocol: docs/SERVICE.md.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "service/server.hh"
+#include "sim/sweeps.hh"
+#include "util/logging.hh"
+#include "util/version.hh"
+
+namespace
+{
+
+using namespace jcache;
+
+service::Server* g_server = nullptr;
+
+void
+onSignal(int)
+{
+    // requestStop() only stores to an atomic: async-signal-safe.
+    if (g_server)
+        g_server->requestStop();
+}
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: jcached [--port N] [--port-file PATH] [--jobs N]\n"
+        "  [--queue N] [--cache N] [--timeout MS] [--version]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    service::ServerConfig config;
+    std::string port_file;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--version") {
+            std::cout << versionLine("jcached") << "\n";
+            return 0;
+        }
+        if (i + 1 >= argc)
+            return usage();
+        std::string value = argv[++i];
+        if (flag == "--port") {
+            config.port = static_cast<std::uint16_t>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flag == "--port-file") {
+            port_file = value;
+        } else if (flag == "--jobs") {
+            config.service.executorThreads = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flag == "--queue") {
+            config.service.queueCapacity =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (flag == "--cache") {
+            config.service.cacheCapacity =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (flag == "--timeout") {
+            config.connectionTimeoutMillis = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else {
+            return usage();
+        }
+    }
+
+    try {
+        // Generate the shared traces before accepting connections so
+        // the first request pays replay cost only.
+        std::cerr << versionLine("jcached")
+                  << ": bootstrapping trace registry...\n";
+        sim::TraceSet::standard();
+
+        service::Server server(config);
+        std::string error;
+        if (!server.start(&error)) {
+            std::cerr << "error: " << error << "\n";
+            return 1;
+        }
+
+        g_server = &server;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        if (!port_file.empty()) {
+            std::ofstream ofs(port_file);
+            fatalIf(!ofs, "cannot write port file: " + port_file);
+            ofs << server.port() << "\n";
+        }
+        std::cout << "listening on 127.0.0.1:" << server.port()
+                  << std::endl;
+
+        server.serve();
+        std::cerr << "jcached: drained, exiting\n";
+        g_server = nullptr;
+        return 0;
+    } catch (const FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
