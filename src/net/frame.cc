@@ -5,6 +5,8 @@
 
 #include "net/frame.hh"
 
+#include "util/fault.hh"
+
 #include <array>
 
 namespace jcache::net
@@ -47,8 +49,11 @@ readFrame(Socket& socket, std::string& payload)
                         static_cast<std::uint32_t>(prefix[1]) << 8 |
                         static_cast<std::uint32_t>(prefix[2]) << 16 |
                         static_cast<std::uint32_t>(prefix[3]) << 24;
-    if (len > kMaxFrameBytes)
+    if (len > kMaxFrameBytes ||
+        JCACHE_FAULT("frame.read.oversize"))
         return FrameStatus::Oversized;
+    if (JCACHE_FAULT("frame.read.truncate"))
+        return FrameStatus::Truncated;
 
     payload.resize(len);
     if (len == 0)
@@ -74,6 +79,14 @@ writeFrame(Socket& socket, const std::string& payload)
     };
     if (!socket.writeAll(prefix.data(), prefix.size()).ok())
         return FrameStatus::Error;
+    if (!payload.empty() &&
+        JCACHE_FAULT("frame.write.truncate")) {
+        // Send a real torn frame: the prefix promised the full
+        // payload, only half arrives.  The peer must report
+        // Truncated, never parse a partial document.
+        socket.writeAll(payload.data(), payload.size() / 2);
+        return FrameStatus::Error;
+    }
     if (!payload.empty() &&
         !socket.writeAll(payload.data(), payload.size()).ok())
         return FrameStatus::Error;

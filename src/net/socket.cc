@@ -5,6 +5,8 @@
 
 #include "net/socket.hh"
 
+#include "util/fault.hh"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -62,6 +64,12 @@ Socket
 Socket::connectTo(const std::string& host, std::uint16_t port,
                   std::string* error)
 {
+    if (JCACHE_FAULT("socket.connect")) {
+        if (error)
+            *error = "injected fault: socket.connect";
+        return {};
+    }
+
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
         if (error)
@@ -120,9 +128,25 @@ IoResult
 Socket::readAll(void* buf, std::size_t len)
 {
     IoResult result;
+    if (JCACHE_FAULT("socket.read")) {
+        result.status = IoStatus::Error;  // simulated ECONNRESET
+        return result;
+    }
+    if (JCACHE_FAULT("socket.read.timeout")) {
+        result.status = IoStatus::Timeout;
+        return result;
+    }
+    // A short read consumes real bytes then fails, leaving the stream
+    // torn mid-message — the failure mode framing must detect.
+    std::size_t want = len;
+    bool torn = false;
+    if (len > 1 && JCACHE_FAULT("socket.read.short")) {
+        want = len / 2;
+        torn = true;
+    }
     char* p = static_cast<char*>(buf);
-    while (result.bytes < len) {
-        ssize_t n = ::recv(fd_, p + result.bytes, len - result.bytes,
+    while (result.bytes < want) {
+        ssize_t n = ::recv(fd_, p + result.bytes, want - result.bytes,
                            0);
         if (n > 0) {
             result.bytes += static_cast<std::size_t>(n);
@@ -140,6 +164,8 @@ Socket::readAll(void* buf, std::size_t len)
                 : IoStatus::Error;
         return result;
     }
+    if (torn)
+        result.status = IoStatus::Error;
     return result;
 }
 
@@ -147,12 +173,22 @@ IoResult
 Socket::writeAll(const void* buf, std::size_t len)
 {
     IoResult result;
+    if (JCACHE_FAULT("socket.write")) {
+        result.status = IoStatus::Error;  // simulated EPIPE
+        return result;
+    }
+    std::size_t want = len;
+    bool torn = false;
+    if (len > 1 && JCACHE_FAULT("socket.write.short")) {
+        want = len / 2;
+        torn = true;
+    }
     const char* p = static_cast<const char*>(buf);
-    while (result.bytes < len) {
+    while (result.bytes < want) {
         // MSG_NOSIGNAL: a peer that disconnected mid-response must
         // surface as an error on this connection, not kill the daemon
         // with SIGPIPE.
-        ssize_t n = ::send(fd_, p + result.bytes, len - result.bytes,
+        ssize_t n = ::send(fd_, p + result.bytes, want - result.bytes,
                            MSG_NOSIGNAL);
         if (n > 0) {
             result.bytes += static_cast<std::size_t>(n);
@@ -166,6 +202,8 @@ Socket::writeAll(const void* buf, std::size_t len)
                 : IoStatus::Error;
         return result;
     }
+    if (torn)
+        result.status = IoStatus::Error;
     return result;
 }
 
@@ -263,6 +301,12 @@ Listener::accept(const std::atomic<bool>* stop, unsigned poll_millis)
             if (errno == EINTR || errno == ECONNABORTED)
                 continue;
             return {};
+        }
+        if (JCACHE_FAULT("socket.accept")) {
+            // Drop the connection on the floor: the peer sees an
+            // immediate close, as if the daemon died mid-accept.
+            ::close(client);
+            continue;
         }
         int one = 1;
         ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,

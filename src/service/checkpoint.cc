@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Implementation of crash-safe sweep checkpoints.
+ */
+
+#include "service/checkpoint.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "service/json_value.hh"
+#include "service/render.hh"
+#include "stats/json.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace jcache::service
+{
+
+namespace
+{
+
+constexpr const char* kFormat = "jcache-sweep-checkpoint";
+constexpr double kVersion = 1.0;
+
+} // namespace
+
+bool
+SweepCheckpoint::sameSweep(const SweepCheckpoint& other) const
+{
+    return trace == other.trace && axis == other.axis &&
+           configKey == other.configKey && cells == other.cells;
+}
+
+std::vector<std::size_t>
+SweepCheckpoint::missingIndices() const
+{
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < cells; ++i) {
+        if (completed.find(i) == completed.end())
+            missing.push_back(i);
+    }
+    return missing;
+}
+
+void
+SweepCheckpoint::record(std::size_t index,
+                        const sim::RunResult& result)
+{
+    fatalIf(index >= cells,
+            "checkpoint cell index " + std::to_string(index) +
+                " out of range (grid has " + std::to_string(cells) +
+                " cells)");
+    completed[index] = result;
+}
+
+void
+SweepCheckpoint::save(const std::string& path) const
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("format", std::string(kFormat));
+    json.field("version", kVersion);
+    json.field("trace", trace);
+    json.field("axis", axis);
+    json.field("config_key", configKey);
+    json.field("cells", static_cast<double>(cells));
+    json.beginArray("completed");
+    for (const auto& [index, result] : completed) {
+        json.beginObject();
+        json.field("index", static_cast<double>(index));
+        writeRunResult(json, "result", result);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    // Write-then-rename keeps the visible file complete at all
+    // times: a crash here costs at most the cells finished since the
+    // previous save, never the checkpoint itself.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream ofs(tmp, std::ios::trunc);
+        fatalIf(!ofs, "cannot open checkpoint file " + tmp);
+        ofs << oss.str();
+        ofs.flush();
+        fatalIf(!ofs, "failed to write checkpoint file " + tmp);
+    }
+    fatalIf(std::rename(tmp.c_str(), path.c_str()) != 0,
+            "failed to rename " + tmp + " to " + path);
+
+    if (JCACHE_FAULT("sweep.crash")) {
+        // The deterministic mid-sweep death for recovery tests: the
+        // process vanishes without stack unwinding, exactly like a
+        // kill -9 or power loss, right after a consistent save.
+        std::raise(SIGKILL);
+    }
+}
+
+SweepCheckpoint
+SweepCheckpoint::load(const std::string& path)
+{
+    std::ifstream ifs(path);
+    fatalIf(!ifs, "cannot open checkpoint file " + path);
+    std::ostringstream buffer;
+    buffer << ifs.rdbuf();
+
+    std::string error;
+    JsonValue doc = JsonValue::parse(buffer.str(), &error);
+    fatalIf(!error.empty(),
+            "malformed checkpoint " + path + ": " + error);
+    fatalIf(!doc.isObject() || doc.getString("format") != kFormat,
+            path + " is not a sweep checkpoint");
+    fatalIf(doc.getNumber("version", 0.0) != kVersion,
+            "unsupported checkpoint version in " + path);
+
+    SweepCheckpoint checkpoint;
+    checkpoint.trace = doc.getString("trace");
+    checkpoint.axis = doc.getString("axis");
+    checkpoint.configKey = doc.getString("config_key");
+    double cells = doc.getNumber("cells", -1.0);
+    fatalIf(cells < 0.0 || cells != static_cast<double>(
+                                        static_cast<std::size_t>(cells)),
+            "malformed checkpoint " + path + ": bad cell count");
+    checkpoint.cells = static_cast<std::size_t>(cells);
+
+    const JsonValue& completed = doc.get("completed");
+    fatalIf(!completed.isArray(),
+            "malformed checkpoint " + path + ": no completed array");
+    for (const JsonValue& item : completed.items()) {
+        double index = item.getNumber("index", -1.0);
+        fatalIf(index < 0.0 ||
+                    index >= static_cast<double>(checkpoint.cells),
+                "malformed checkpoint " + path + ": bad cell index");
+        checkpoint.completed[static_cast<std::size_t>(index)] =
+            parseRunResult(item.get("result"));
+    }
+    return checkpoint;
+}
+
+} // namespace jcache::service

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Crash-safe sweep checkpoints.
+ *
+ * A long sweep should survive the process dying: jcache-sweep
+ * periodically writes the set of completed grid cells to a checkpoint
+ * file, and --resume replays only the missing cells.  Two properties
+ * make the resumed output byte-identical to an uninterrupted run:
+ *
+ *  - results are serialized through the same render layer the
+ *    service wire uses, so counts round-trip exactly (integers well
+ *    below 2^53);
+ *  - a checkpoint names the sweep it belongs to (trace, axis,
+ *    canonical config key, cell count), and resuming against a
+ *    different sweep is refused instead of silently mixing results.
+ *
+ * Saves are atomic: the document is written to `<path>.tmp` and
+ * renamed over `path`, so a crash mid-save leaves the previous
+ * checkpoint intact — the file on disk is always a complete,
+ * parseable document.
+ */
+
+#ifndef JCACHE_SERVICE_CHECKPOINT_HH
+#define JCACHE_SERVICE_CHECKPOINT_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/run.hh"
+
+namespace jcache::service
+{
+
+/** Identity and completed cells of one (possibly partial) sweep. */
+struct SweepCheckpoint
+{
+    /** Name of the trace the sweep replays. */
+    std::string trace;
+
+    /** Swept axis ("size", "line", "assoc"). */
+    std::string axis;
+
+    /** canonicalConfigKey() of the base configuration. */
+    std::string configKey;
+
+    /** Total grid cells in the sweep. */
+    std::size_t cells = 0;
+
+    /** Finished cells, keyed by grid index. */
+    std::map<std::size_t, sim::RunResult> completed;
+
+    /**
+     * True when `other` describes the same sweep: same trace, axis,
+     * config key and cell count.  Completed cells don't participate.
+     */
+    bool sameSweep(const SweepCheckpoint& other) const;
+
+    /** Grid indices not yet completed, in ascending order. */
+    std::vector<std::size_t> missingIndices() const;
+
+    /** Record one finished cell.  Throws FatalError on a bad index. */
+    void record(std::size_t index, const sim::RunResult& result);
+
+    /**
+     * Atomically persist to `path` (write `<path>.tmp`, rename).
+     * Throws FatalError when the file cannot be written.  Fault site
+     * `sweep.crash` SIGKILLs the process right after the rename —
+     * the deterministic "died mid-sweep" used by the recovery tests.
+     */
+    void save(const std::string& path) const;
+
+    /**
+     * Parse a checkpoint written by save().  Throws FatalError when
+     * the file is missing, unparseable, or not a checkpoint.
+     */
+    static SweepCheckpoint load(const std::string& path);
+};
+
+} // namespace jcache::service
+
+#endif // JCACHE_SERVICE_CHECKPOINT_HH

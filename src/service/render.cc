@@ -5,6 +5,8 @@
 
 #include "service/render.hh"
 
+#include <sstream>
+
 #include "stats/counter.hh"
 #include "stats/table.hh"
 #include "util/logging.hh"
@@ -103,6 +105,18 @@ renderSweepTable(std::ostream& os, const std::string& axis,
         values.push_back(sweepMetricValue(metric, r));
     table.addRow(metric, values, metric == "traffic" ? 4 : 2);
     table.print(os);
+}
+
+std::string
+canonicalConfigKey(const core::CacheConfig& config)
+{
+    std::ostringstream oss;
+    oss << config.sizeBytes << '|' << config.lineBytes << '|'
+        << config.assoc << '|' << core::shortCode(config.hitPolicy)
+        << '|' << core::shortCode(config.missPolicy) << '|'
+        << core::shortCode(config.replacement) << '|'
+        << config.validGranularity;
+    return oss.str();
 }
 
 void

@@ -66,6 +66,14 @@ double sweepMetricValue(const std::string& metric,
 /** True if `metric` is one of the three sweep metrics. */
 bool isSweepMetric(const std::string& metric);
 
+/**
+ * Canonical text of a configuration for digesting and checkpoint
+ * compatibility checks: every field that changes replay results, in
+ * fixed order.  Two configs produce equal keys iff a replay through
+ * them is bit-for-bit identical.
+ */
+std::string canonicalConfigKey(const core::CacheConfig& config);
+
 /** Serialize a cache configuration as a JSON object field. */
 void writeCacheConfig(stats::JsonWriter& json, const std::string& key,
                       const core::CacheConfig& config);

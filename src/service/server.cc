@@ -5,6 +5,7 @@
 
 #include "service/server.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "net/frame.hh"
@@ -121,10 +122,30 @@ Server::handleConnection(net::Socket socket, std::uint64_t id)
     socket.setWriteTimeout(config_.connectionTimeoutMillis);
     unsigned idle_millis = 0;
 
+    // Stopping must not drop a request the peer already sent: once
+    // stop_ is observed, frames already buffered on this connection
+    // are still read and answered, and the connection closes on the
+    // first idle read or when the drain grace expires — whichever
+    // comes first.  The grace bounds how long a peer that keeps
+    // streaming can hold shutdown hostage.
+    constexpr unsigned kDrainGraceMillis = 1000;
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point drain_deadline{};
+
     std::string payload;
-    while (!stop_.load()) {
+    for (;;) {
+        if (stop_.load()) {
+            if (drain_deadline == Clock::time_point{})
+                drain_deadline =
+                    Clock::now() +
+                    std::chrono::milliseconds(kDrainGraceMillis);
+            else if (Clock::now() >= drain_deadline)
+                break;
+        }
         net::FrameStatus status = net::readFrame(socket, payload);
         if (status == net::FrameStatus::Idle) {
+            if (stop_.load())
+                break;
             idle_millis += kSliceMillis;
             if (idle_millis >= config_.connectionTimeoutMillis)
                 break;
@@ -147,10 +168,8 @@ Server::handleConnection(net::Socket socket, std::uint64_t id)
             // Peer vanished mid-response; nothing else to do for it.
             break;
         }
-        if (service_.shutdownRequested()) {
+        if (service_.shutdownRequested())
             requestStop();
-            break;
-        }
     }
     socket.close();
     std::lock_guard<std::mutex> lock(threads_mutex_);

@@ -11,6 +11,7 @@
 #include "service/json_value.hh"
 #include "service/render.hh"
 #include "stats/json.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
 
@@ -25,25 +26,10 @@ using Clock = std::chrono::steady_clock;
 /** Cap on retained per-job wall-time samples (newest kept). */
 constexpr std::size_t kMaxWallSamples = 4096;
 
-/**
- * Canonical text of a configuration for digesting: every field that
- * changes replay results, in fixed order.
- */
-std::string
-canonicalConfigKey(const core::CacheConfig& config)
-{
-    std::ostringstream oss;
-    oss << config.sizeBytes << '|' << config.lineBytes << '|'
-        << config.assoc << '|' << core::shortCode(config.hitPolicy)
-        << '|' << core::shortCode(config.missPolicy) << '|'
-        << core::shortCode(config.replacement) << '|'
-        << config.validGranularity;
-    return oss.str();
-}
-
 /** An `ok: false` response with a machine-readable code. */
 std::string
-errorResponse(const std::string& code, const std::string& message)
+errorResponse(const std::string& code, const std::string& message,
+              const std::string& request_id = "")
 {
     std::ostringstream oss;
     stats::JsonWriter json(oss);
@@ -51,6 +37,27 @@ errorResponse(const std::string& code, const std::string& message)
     json.field("ok", false);
     json.field("code", code);
     json.field("error", message);
+    if (!request_id.empty())
+        json.field("request_id", request_id);
+    json.endObject();
+    return oss.str();
+}
+
+/** The `busy` shed response, with its client back-off hint. */
+std::string
+busyResponse(unsigned retry_after_millis,
+             const std::string& request_id)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("ok", false);
+    json.field("code", "busy");
+    json.field("error", "job queue is full; retry later");
+    json.field("retry_after_ms",
+               static_cast<double>(retry_after_millis));
+    if (!request_id.empty())
+        json.field("request_id", request_id);
     json.endObject();
     return oss.str();
 }
@@ -58,7 +65,8 @@ errorResponse(const std::string& code, const std::string& message)
 /** An `ok: true` envelope around a serialized result payload. */
 std::string
 okResponse(const std::string& type, const std::string& digest,
-           bool cached, const std::string& payload)
+           bool cached, const std::string& payload,
+           const std::string& request_id = "")
 {
     std::ostringstream oss;
     stats::JsonWriter json(oss);
@@ -67,6 +75,8 @@ okResponse(const std::string& type, const std::string& digest,
     json.field("type", type);
     json.field("digest", digest);
     json.field("cached", cached);
+    if (!request_id.empty())
+        json.field("request_id", request_id);
     json.rawField("payload", payload);
     json.endObject();
     return oss.str();
@@ -126,6 +136,12 @@ Service::schedulerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
+        if (JCACHE_FAULT("service.delay")) {
+            // Chaos/regression hook: make this job observably slow so
+            // shutdown-drain races have a window to land in.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(300));
+        }
         Clock::time_point start = Clock::now();
         try {
             job.outcome->payload = job.work();
@@ -175,7 +191,8 @@ Service::submitAndWait(std::function<std::string()> work,
 
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
-        if (queue_.size() >= config_.queueCapacity) {
+        if (queue_.size() >= config_.queueCapacity ||
+            JCACHE_FAULT("service.admit")) {
             std::lock_guard<std::mutex> stats_lock(stats_mutex_);
             ++rejectedBusy_;
             return false;
@@ -228,6 +245,8 @@ Service::handle(const std::string& request_json)
                                 : parse_error);
     }
 
+    std::string request_id = request.getString("request_id");
+
     double protocol = request.getNumber(
         "protocol", static_cast<double>(kProtocolVersion));
     if (protocol != static_cast<double>(kProtocolVersion)) {
@@ -236,7 +255,8 @@ Service::handle(const std::string& request_json)
         return errorResponse(
             "protocol_mismatch",
             "daemon speaks protocol " +
-                std::to_string(kProtocolVersion));
+                std::to_string(kProtocolVersion),
+            request_id);
     }
 
     std::string type = request.getString("type");
@@ -250,35 +270,62 @@ Service::handle(const std::string& request_json)
         }
 
         if (type == "run")
-            return handleRun(request);
+            return handleRun(request, request_id);
         if (type == "sweep")
-            return handleSweep(request);
+            return handleSweep(request, request_id);
         if (type == "stats")
-            return handleStats();
+            return handleStats(request_id);
+        if (type == "health")
+            return handleHealth(request_id);
         if (type == "ping")
-            return handlePing();
+            return handlePing(request_id);
         if (type == "shutdown")
-            return handleShutdown();
+            return handleShutdown(request_id);
 
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++errors_;
         return errorResponse(
             "unknown_type",
             "unknown request type: '" + type +
-                "' (use run|sweep|stats|ping|shutdown)");
+                "' (use run|sweep|stats|health|ping|shutdown)",
+            request_id);
     } catch (const FatalError& e) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++errors_;
-        return errorResponse("bad_request", e.what());
+        return errorResponse("bad_request", e.what(), request_id);
     } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++errors_;
-        return errorResponse("internal_error", e.what());
+        return errorResponse("internal_error", e.what(), request_id);
     }
 }
 
+namespace
+{
+
+/**
+ * Collapse a report's per-cell failures into one error message; the
+ * caller throws it so the submitter sees a `bad_request`, never a
+ * payload silently built from partial results.
+ */
 std::string
-Service::handleRun(const JsonValue& request)
+describeFailures(const sim::SweepReport& report)
+{
+    std::ostringstream oss;
+    oss << report.failures.size() << " of " << report.jobs()
+        << " grid cells failed:";
+    for (const sim::JobFailure& f : report.failures)
+        oss << " [" << f.index << "] " << f.message << ';';
+    std::string text = oss.str();
+    text.pop_back();
+    return text;
+}
+
+} // namespace
+
+std::string
+Service::handleRun(const JsonValue& request,
+                   const std::string& request_id)
 {
     std::string workload = request.getString("workload");
     fatalIf(workload.empty(), "run request needs a 'workload'");
@@ -295,7 +342,7 @@ Service::handleRun(const JsonValue& request)
                                    canonicalConfigKey(config) + "|" +
                                    (flush ? "f1" : "f0"));
     if (auto hit = cache_.lookup(digest))
-        return okResponse("run", digest, true, *hit);
+        return okResponse("run", digest, true, *hit, request_id);
 
     JobOutcome outcome;
     bool admitted = submitAndWait(
@@ -307,6 +354,8 @@ Service::handleRun(const JsonValue& request)
                 std::chrono::duration<double>(Clock::now() - start)
                     .count(),
                 grid.report);
+            fatalIf(!grid.report.allSucceeded(),
+                    describeFailures(grid.report));
 
             std::ostringstream oss;
             stats::JsonWriter json(oss);
@@ -318,19 +367,20 @@ Service::handleRun(const JsonValue& request)
             return oss.str();
         },
         outcome);
-    if (!admitted) {
-        return errorResponse("busy",
-                             "job queue is full; retry later");
-    }
+    if (!admitted)
+        return busyResponse(retryAfterMillis(), request_id);
     if (!outcome.error.empty())
-        return errorResponse("bad_request", outcome.error);
+        return errorResponse("bad_request", outcome.error,
+                             request_id);
 
     cache_.insert(digest, outcome.payload);
-    return okResponse("run", digest, false, outcome.payload);
+    return okResponse("run", digest, false, outcome.payload,
+                      request_id);
 }
 
 std::string
-Service::handleSweep(const JsonValue& request)
+Service::handleSweep(const JsonValue& request,
+                     const std::string& request_id)
 {
     std::string workload = request.getString("workload");
     fatalIf(workload.empty(), "sweep request needs a 'workload'");
@@ -349,7 +399,7 @@ Service::handleSweep(const JsonValue& request)
     std::string digest = digestKey("sweep|" + workload + "|" + axis +
                                    "|" + canonicalConfigKey(base));
     if (auto hit = cache_.lookup(digest))
-        return okResponse("sweep", digest, true, *hit);
+        return okResponse("sweep", digest, true, *hit, request_id);
 
     JobOutcome outcome;
     bool admitted = submitAndWait(
@@ -365,6 +415,8 @@ Service::handleSweep(const JsonValue& request)
                 std::chrono::duration<double>(Clock::now() - start)
                     .count(),
                 swept.report);
+            fatalIf(!swept.report.allSucceeded(),
+                    describeFailures(swept.report));
 
             std::ostringstream oss;
             stats::JsonWriter json(oss);
@@ -386,19 +438,19 @@ Service::handleSweep(const JsonValue& request)
             return oss.str();
         },
         outcome);
-    if (!admitted) {
-        return errorResponse("busy",
-                             "job queue is full; retry later");
-    }
+    if (!admitted)
+        return busyResponse(retryAfterMillis(), request_id);
     if (!outcome.error.empty())
-        return errorResponse("bad_request", outcome.error);
+        return errorResponse("bad_request", outcome.error,
+                             request_id);
 
     cache_.insert(digest, outcome.payload);
-    return okResponse("sweep", digest, false, outcome.payload);
+    return okResponse("sweep", digest, false, outcome.payload,
+                      request_id);
 }
 
 std::string
-Service::handlePing()
+Service::handlePing(const std::string& request_id)
 {
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -411,12 +463,14 @@ Service::handlePing()
     json.field("type", "ping");
     json.field("version", std::string(kVersion));
     json.field("protocol", static_cast<double>(kProtocolVersion));
+    if (!request_id.empty())
+        json.field("request_id", request_id);
     json.endObject();
     return oss.str();
 }
 
 std::string
-Service::handleShutdown()
+Service::handleShutdown(const std::string& request_id)
 {
     shutdown_.store(true);
     std::ostringstream oss;
@@ -425,8 +479,80 @@ Service::handleShutdown()
     json.field("ok", true);
     json.field("type", "shutdown");
     json.field("draining", true);
+    if (!request_id.empty())
+        json.field("request_id", request_id);
     json.endObject();
     return oss.str();
+}
+
+unsigned
+Service::retryAfterMillis() const
+{
+    std::size_t depth = queueDepth();
+    double p50_seconds;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        p50_seconds = percentile(jobWallSamples_, 50.0);
+    }
+    // With no completed jobs yet there is no wall-time signal; a
+    // fixed middle-of-the-clamp guess beats advertising the minimum.
+    double hint_millis = p50_seconds > 0.0
+        ? static_cast<double>(depth == 0 ? 1 : depth) * p50_seconds *
+              1000.0
+        : 200.0;
+    if (hint_millis < 50.0)
+        hint_millis = 50.0;
+    if (hint_millis > 5000.0)
+        hint_millis = 5000.0;
+    return static_cast<unsigned>(hint_millis);
+}
+
+std::string
+Service::healthPayload() const
+{
+    ResultCacheStats cache_stats = cache_.stats();
+    std::size_t depth = queueDepth();
+    bool accepting = !shutdown_.load();
+
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    double uptime =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("accepting", accepting);
+    json.field("uptime_seconds", uptime);
+    json.beginObject("queue");
+    json.field("depth", static_cast<double>(depth));
+    json.field("capacity",
+               static_cast<double>(config_.queueCapacity));
+    json.field("shed", static_cast<double>(rejectedBusy_));
+    json.endObject();
+    json.beginObject("result_cache");
+    json.field("entries", static_cast<double>(cache_stats.entries));
+    json.field("hits", static_cast<double>(cache_stats.hits));
+    json.field("misses", static_cast<double>(cache_stats.misses));
+    json.field("evictions",
+               static_cast<double>(cache_stats.evictions));
+    json.endObject();
+    json.field("jobs_executed",
+               static_cast<double>(jobsExecuted_));
+    json.field("protocol_errors",
+               static_cast<double>(protocolErrors_));
+    json.endObject();
+    return oss.str();
+}
+
+std::string
+Service::handleHealth(const std::string& request_id)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++healthRequests_;
+    }
+    return okResponse("health", "", false, healthPayload(),
+                      request_id);
 }
 
 std::string
@@ -450,6 +576,7 @@ Service::statsPayload() const
     json.field("run", static_cast<double>(runRequests_));
     json.field("sweep", static_cast<double>(sweepRequests_));
     json.field("stats", static_cast<double>(statsRequests_));
+    json.field("health", static_cast<double>(healthRequests_));
     json.field("ping", static_cast<double>(pingRequests_));
     json.field("errors", static_cast<double>(errors_));
     json.field("protocol_errors",
@@ -499,13 +626,14 @@ Service::statsPayload() const
 }
 
 std::string
-Service::handleStats()
+Service::handleStats(const std::string& request_id)
 {
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++statsRequests_;
     }
-    return okResponse("stats", "", false, statsPayload());
+    return okResponse("stats", "", false, statsPayload(),
+                      request_id);
 }
 
 } // namespace jcache::service

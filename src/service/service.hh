@@ -17,8 +17,12 @@
  *    grid deterministic and parallel.
  *
  * Request/response schema is documented in docs/SERVICE.md; every
- * response is a JSON object with an "ok" field, and errors carry a
- * machine-readable "code".
+ * response is a JSON object with an "ok" field, errors carry a
+ * machine-readable "code", and a request's "request_id" (if any) is
+ * echoed back so retrying clients can correlate responses.  Overload
+ * is load-shed, never queued without bound: a `busy` error carries a
+ * `retry_after_ms` hint, and the `health` request reports queue
+ * depth, shed count and cache stats for monitoring.
  */
 
 #ifndef JCACHE_SERVICE_SERVICE_HH
@@ -117,23 +121,34 @@ class Service
         bool* done = nullptr;
     };
 
-    std::string handleRun(const JsonValue& request);
-    std::string handleSweep(const JsonValue& request);
-    std::string handleStats();
-    std::string handlePing();
-    std::string handleShutdown();
+    std::string handleRun(const JsonValue& request,
+                          const std::string& request_id);
+    std::string handleSweep(const JsonValue& request,
+                            const std::string& request_id);
+    std::string handleStats(const std::string& request_id);
+    std::string handleHealth(const std::string& request_id);
+    std::string handlePing(const std::string& request_id);
+    std::string handleShutdown(const std::string& request_id);
 
     /**
      * Push `work` through the bounded queue and wait for completion.
-     * Returns false (and sets `error`) when the queue is full.
+     * Returns false when the job was shed (queue full or injected
+     * overload).
      */
     bool submitAndWait(std::function<std::string()> work,
                        JobOutcome& outcome);
+
+    /**
+     * Back-off hint for a shed job, in milliseconds: queue depth
+     * times the median job wall time, clamped to [50, 5000].
+     */
+    unsigned retryAfterMillis() const;
 
     void schedulerLoop();
     void recordJobTiming(double job_seconds,
                          const sim::SweepReport& report);
     std::string statsPayload() const;
+    std::string healthPayload() const;
 
     ServiceConfig config_;
     const sim::TraceSet& traces_;
@@ -153,6 +168,7 @@ class Service
     std::uint64_t runRequests_ = 0;
     std::uint64_t sweepRequests_ = 0;
     std::uint64_t statsRequests_ = 0;
+    std::uint64_t healthRequests_ = 0;
     std::uint64_t pingRequests_ = 0;
     std::uint64_t errors_ = 0;
     std::uint64_t protocolErrors_ = 0;

@@ -5,6 +5,7 @@
 
 #include "sim/parallel.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -120,6 +121,14 @@ SweepReport::writeJson(std::ostream& os) const
     json.field("instructions",
                static_cast<double>(totalInstructions()));
     json.field("m_ins_per_sec", megaInstructionsPerSecond());
+    json.beginArray("failures");
+    for (const JobFailure& f : failures) {
+        json.beginObject();
+        json.field("job", static_cast<double>(f.index));
+        json.field("error", f.message);
+        json.endObject();
+    }
+    json.endArray();
     json.beginArray("job_timings");
     for (const JobTiming& t : timings) {
         json.beginObject();
@@ -142,6 +151,8 @@ SweepReport::summary() const
         << stats::formatFixed(megaInstructionsPerSecond(), 1)
         << " M ins/s, " << stats::formatFixed(utilization() * 100.0, 0)
         << "% utilization)";
+    if (!failures.empty())
+        oss << ", " << failures.size() << " FAILED";
     return oss.str();
 }
 
@@ -170,6 +181,7 @@ ParallelExecutor::runTasks(
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
     std::mutex progress_mutex;
+    std::mutex failures_mutex;
 
     auto worker = [&]() {
         for (;;) {
@@ -177,7 +189,18 @@ ParallelExecutor::runTasks(
             if (i >= count)
                 return;
             Clock::time_point job_start = Clock::now();
-            Count instructions = task(i);
+            Count instructions = 0;
+            // A throwing task must cost only its own cell; an escaped
+            // exception on a pool thread would terminate the process.
+            try {
+                instructions = task(i);
+            } catch (const std::exception& e) {
+                std::lock_guard<std::mutex> lock(failures_mutex);
+                report.failures.push_back({i, e.what()});
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(failures_mutex);
+                report.failures.push_back({i, "unknown error"});
+            }
             report.timings[i].wallSeconds = secondsSince(job_start);
             report.timings[i].instructions = instructions;
             std::size_t completed = done.fetch_add(1) + 1;
@@ -199,6 +222,11 @@ ParallelExecutor::runTasks(
             t.join();
     }
     report.wallSeconds = secondsSince(grid_start);
+    // Completion order is scheduling-dependent; reporting is not.
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const JobFailure& a, const JobFailure& b) {
+                  return a.index < b.index;
+              });
     return report;
 }
 

@@ -53,6 +53,13 @@ struct JobTiming
     Count instructions = 0;
 };
 
+/** One failed grid cell: its index and the exception text. */
+struct JobFailure
+{
+    std::size_t index = 0;
+    std::string message;
+};
+
 /**
  * Observability record of one sweep: per-job timings plus grid-level
  * throughput and utilization.
@@ -68,7 +75,17 @@ struct SweepReport
     /** Per-job timings, ordered by grid index. */
     std::vector<JobTiming> timings;
 
+    /**
+     * Cells whose task threw, ordered by grid index.  A failure is
+     * confined to its cell: the remaining cells still run, and the
+     * caller decides whether partial results are usable.
+     */
+    std::vector<JobFailure> failures;
+
     std::size_t jobs() const { return timings.size(); }
+
+    /** True when every cell completed without throwing. */
+    bool allSucceeded() const { return failures.empty(); }
 
     /** Sum of per-job wall times (total busy time across workers). */
     double busySeconds() const;
@@ -148,7 +165,9 @@ class ParallelExecutor
      * pool.  The task returns the number of instructions it replayed
      * (0 if not applicable) for the report's throughput accounting.
      * Tasks must write their outputs to per-index slots; the executor
-     * guarantees each index runs exactly once.
+     * guarantees each index runs exactly once.  A task that throws
+     * fails only its own cell — the exception text is recorded in the
+     * report's failures and every other cell still runs.
      */
     SweepReport
     runTasks(std::size_t count,

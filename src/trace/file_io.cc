@@ -5,6 +5,7 @@
 
 #include "trace/file_io.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include <ostream>
 
 #include "util/bitops.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace jcache::trace
@@ -22,6 +24,25 @@ namespace
 
 constexpr std::array<char, 4> kMagic = {'J', 'C', 'T', 'R'};
 constexpr std::array<char, 4> kMagicCompressed = {'J', 'C', 'T', 'Z'};
+
+/** Bytes of one raw-format record: addr + instrDelta + size + type. */
+constexpr std::uint64_t kRawRecordBytes = 8 + 4 + 1 + 1;
+
+/** Minimum bytes of one compressed record: meta + two 1-byte varints. */
+constexpr std::uint64_t kMinCompressedRecordBytes = 3;
+
+[[noreturn]] void
+corrupt(const std::string& message)
+{
+    throw CorruptTraceError("corrupt trace file: " + message);
+}
+
+void
+corruptIf(bool condition, const std::string& message)
+{
+    if (condition)
+        corrupt(message);
+}
 
 template <typename T>
 void
@@ -41,7 +62,7 @@ getLe(std::istream& is)
     for (unsigned i = 0; i < sizeof(T); ++i) {
         int byte = is.get();
         if (byte == std::char_traits<char>::eof())
-            fatal("trace file truncated");
+            corrupt("truncated");
         value |= static_cast<T>(static_cast<std::uint8_t>(byte))
                  << (8 * i);
     }
@@ -67,12 +88,12 @@ getVarint(std::istream& is)
     while (true) {
         int byte = is.get();
         if (byte == std::char_traits<char>::eof())
-            fatal("trace file truncated in varint");
+            corrupt("truncated in varint");
         value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
         if ((byte & 0x80) == 0)
             break;
         shift += 7;
-        fatalIf(shift >= 64, "varint too long");
+        corruptIf(shift >= 64, "varint too long");
     }
     return value;
 }
@@ -122,7 +143,8 @@ void
 saveTrace(const Trace& trace, const std::string& path)
 {
     std::ofstream ofs(path, std::ios::binary);
-    fatalIf(!ofs, "cannot open trace file for writing: " + path);
+    fatalIf(!ofs || JCACHE_FAULT("trace.write"),
+            "cannot open trace file for writing: " + path);
     writeTrace(trace, ofs);
     ofs.flush();
     fatalIf(!ofs, "error writing trace file: " + path);
@@ -149,7 +171,8 @@ void
 saveTraceCompressed(const Trace& trace, const std::string& path)
 {
     std::ofstream ofs(path, std::ios::binary);
-    fatalIf(!ofs, "cannot open trace file for writing: " + path);
+    fatalIf(!ofs || JCACHE_FAULT("trace.write"),
+            "cannot open trace file for writing: " + path);
     writeTraceCompressed(trace, ofs);
     ofs.flush();
     fatalIf(!ofs, "error writing trace file: " + path);
@@ -162,24 +185,48 @@ namespace
 TraceFileInfo
 readHeader(std::istream& is)
 {
+    corruptIf(JCACHE_FAULT("trace.read.header"),
+              "injected fault: torn header");
+
     std::array<char, 4> magic = {};
     is.read(magic.data(), magic.size());
-    fatalIf(!is || (magic != kMagic && magic != kMagicCompressed),
-            "not a jcache trace file");
+    corruptIf(!is || (magic != kMagic && magic != kMagicCompressed),
+              "not a jcache trace file");
 
     TraceFileInfo info;
     info.format = magic == kMagicCompressed ? "compressed" : "raw";
     info.version = getLe<std::uint32_t>(is);
-    fatalIf(info.version != kTraceFormatVersion,
-            "unsupported trace file version " +
-                std::to_string(info.version));
+    corruptIf(info.version != kTraceFormatVersion,
+              "unsupported trace file version " +
+                  std::to_string(info.version));
 
     info.records = getLe<std::uint64_t>(is);
     auto name_len = getLe<std::uint32_t>(is);
+    corruptIf(name_len > kMaxTraceNameBytes,
+              "unreasonable name length " + std::to_string(name_len));
     info.name.assign(name_len, '\0');
     is.read(info.name.data(), name_len);
-    fatalIf(!is, "trace file truncated in name");
+    corruptIf(!is, "truncated in name");
     return info;
+}
+
+/**
+ * Bytes left in the stream after the header, or -1 when the stream is
+ * not seekable.  Lets the reader reject a header whose record count
+ * the stream cannot possibly hold before allocating anything.
+ */
+std::int64_t
+remainingBytes(std::istream& is)
+{
+    std::istream::pos_type here = is.tellg();
+    if (here == std::istream::pos_type(-1))
+        return -1;
+    is.seekg(0, std::ios::end);
+    std::istream::pos_type end = is.tellg();
+    is.seekg(here);
+    if (end == std::istream::pos_type(-1) || end < here)
+        return -1;
+    return static_cast<std::int64_t>(end - here);
 }
 
 } // namespace
@@ -205,10 +252,39 @@ readTrace(std::istream& is)
     bool compressed = info.format == "compressed";
     std::uint64_t count = info.records;
 
+    // Sanity-check the claimed record count against what the stream
+    // actually holds: a corrupt or hostile header must fail here, not
+    // as a giant allocation or a short read mistaken for success.
+    std::int64_t remaining = remainingBytes(is);
+    if (remaining >= 0) {
+        auto avail = static_cast<std::uint64_t>(remaining);
+        if (compressed) {
+            corruptIf(count > avail / kMinCompressedRecordBytes,
+                      "header claims " + std::to_string(count) +
+                          " records but only " + std::to_string(avail) +
+                          " bytes follow");
+        } else {
+            corruptIf(count > avail / kRawRecordBytes,
+                      "header claims " + std::to_string(count) +
+                          " records but only " + std::to_string(avail) +
+                          " bytes follow");
+            corruptIf(count * kRawRecordBytes != avail,
+                      std::to_string(avail - count * kRawRecordBytes) +
+                          " trailing bytes after the last record");
+        }
+    }
+
     Trace trace(info.name);
-    trace.reserve(count);
+    // With an unseekable stream the count is unverified; cap the
+    // upfront reservation and let append() grow past it if the data
+    // really is there.
+    constexpr std::uint64_t kMaxBlindReserve = 1u << 20;
+    trace.reserve(remaining >= 0 ? count
+                                 : std::min(count, kMaxBlindReserve));
     Addr prev_addr = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
+        corruptIf(JCACHE_FAULT("trace.read.record"),
+                  "injected fault: short record " + std::to_string(i));
         TraceRecord r;
         if (compressed) {
             auto meta = getLe<std::uint8_t>(is);
@@ -219,8 +295,8 @@ readTrace(std::istream& is)
                 static_cast<std::int64_t>(prev_addr) +
                 unzigzag(getVarint(is)));
             auto delta = getVarint(is);
-            fatalIf(delta > 0xffffffffull,
-                    "instruction delta out of range");
+            corruptIf(delta > 0xffffffffull,
+                      "instruction delta out of range");
             r.instrDelta = static_cast<std::uint32_t>(delta);
             prev_addr = r.addr;
         } else {

@@ -25,12 +25,31 @@
 #include <string>
 
 #include "trace/trace.hh"
+#include "util/logging.hh"
 
 namespace jcache::trace
 {
 
 /** Current trace file format version. */
 inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** Upper bound on the workload name stored in a trace header. */
+inline constexpr std::uint32_t kMaxTraceNameBytes = 4096;
+
+/**
+ * Thrown by the trace readers for any input that is not a well-formed
+ * trace: bad magic, impossible counts, torn headers, short records.
+ * A subtype of FatalError so existing catch sites keep working, but
+ * distinguishable where the caller wants to treat corrupt data
+ * differently from, say, a missing file.
+ */
+class CorruptTraceError : public FatalError
+{
+  public:
+    explicit CorruptTraceError(const std::string& what)
+        : FatalError(what)
+    {}
+};
 
 /**
  * The header of a trace file, readable without loading the records —
@@ -54,8 +73,8 @@ struct TraceFileInfo
 
 /**
  * Read only the header from a stream positioned at the start of a
- * trace file.  Throws FatalError on bad magic, unsupported version or
- * a truncated header.
+ * trace file.  Throws CorruptTraceError on bad magic, unsupported
+ * version, an oversized name or a truncated header.
  */
 TraceFileInfo readTraceInfo(std::istream& is);
 
@@ -75,8 +94,10 @@ void writeTraceCompressed(const Trace& trace, std::ostream& os);
 void saveTraceCompressed(const Trace& trace, const std::string& path);
 
 /**
- * Deserialize a trace from a stream.  Throws FatalError on corrupt or
- * mismatched input.
+ * Deserialize a trace from a stream.  Throws CorruptTraceError on
+ * corrupt or mismatched input — including a record count the stream
+ * cannot possibly hold, so a forged header can never trigger a
+ * multi-gigabyte allocation or a silent partial read.
  */
 Trace readTrace(std::istream& is);
 

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Implementation of the fault-injection registry.
+ */
+
+#include "util/fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace jcache::fault
+{
+
+namespace
+{
+
+/** How an armed site decides to fire. */
+enum class Trigger : std::uint8_t
+{
+    Off,          //!< explicitly disarmed
+    Always,       //!< every call
+    Probability,  //!< each call independently, from the site's stream
+    Nth,          //!< exactly the n-th call, once
+    EveryNth,     //!< every n-th call
+};
+
+struct Site
+{
+    Trigger trigger = Trigger::Off;
+    double probability = 0.0;
+    std::uint64_t n = 0;
+    std::uint64_t rng = 0;  //!< splitmix64 state, per site
+    std::uint64_t calls = 0;
+    std::uint64_t injected = 0;
+    std::string spec;  //!< trigger text, echoed in summary()
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Site> sites;
+    std::uint64_t seed = 42;
+};
+
+Registry&
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** FNV-1a, to give each site its own deterministic stream. */
+std::uint64_t
+hashSite(const std::string& site)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : site) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Uniform double in [0, 1) from the site's stream. */
+double
+nextUniform(Site& site)
+{
+    return static_cast<double>(splitmix64(site.rng) >> 11) *
+           (1.0 / 9007199254740992.0);
+}
+
+Site
+parseTrigger(const std::string& site, const std::string& text,
+             std::uint64_t seed)
+{
+    Site parsed;
+    parsed.rng = seed ^ hashSite(site);
+    parsed.spec = text;
+    fatalIf(text.empty(),
+            "fault spec: empty trigger for site '" + site + "'");
+
+    if (text == "always") {
+        parsed.trigger = Trigger::Always;
+        return parsed;
+    }
+    if (text == "off") {
+        parsed.trigger = Trigger::Off;
+        return parsed;
+    }
+
+    auto parseCount = [&](const std::string& digits) {
+        char* end = nullptr;
+        std::uint64_t value = std::strtoull(digits.c_str(), &end, 10);
+        fatalIf(digits.empty() || *end != '\0' || value == 0,
+                "fault spec: bad count '" + text + "' for site '" +
+                    site + "'");
+        return value;
+    };
+
+    if (text.size() > 5 && text.compare(0, 5, "every") == 0) {
+        parsed.trigger = Trigger::EveryNth;
+        parsed.n = parseCount(text.substr(5));
+        return parsed;
+    }
+    if (text[0] == 'n') {
+        parsed.trigger = Trigger::Nth;
+        parsed.n = parseCount(text.substr(1));
+        return parsed;
+    }
+    if (text[0] == 'p') {
+        char* end = nullptr;
+        double p = std::strtod(text.c_str() + 1, &end);
+        fatalIf(end == text.c_str() + 1 || *end != '\0' || p < 0.0 ||
+                    p > 1.0,
+                "fault spec: bad probability '" + text +
+                    "' for site '" + site + "'");
+        parsed.trigger = Trigger::Probability;
+        parsed.probability = p;
+        return parsed;
+    }
+    fatal("fault spec: unknown trigger '" + text + "' for site '" +
+          site + "' (use pX|nK|everyK|always|off)");
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<bool> armed{false};
+
+bool
+enabledSlow()
+{
+    const char* spec = std::getenv("JCACHE_FAULTS");
+    if (!spec || !*spec)
+        return true;
+    std::uint64_t seed = 42;
+    if (const char* s = std::getenv("JCACHE_FAULT_SEED"))
+        seed = std::strtoull(s, nullptr, 10);
+    configure(spec, seed);
+    return true;
+}
+
+bool
+shouldInject(const char* site_name)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site_name);
+    if (it == r.sites.end()) {
+        // Track unarmed sites too, so tests can assert a site was
+        // reached without arming it.
+        Site& site = r.sites[site_name];
+        site.rng = r.seed ^ hashSite(site_name);
+        ++site.calls;
+        return false;
+    }
+    Site& site = it->second;
+    ++site.calls;
+    bool fire = false;
+    switch (site.trigger) {
+      case Trigger::Off:
+        break;
+      case Trigger::Always:
+        fire = true;
+        break;
+      case Trigger::Probability:
+        fire = nextUniform(site) < site.probability;
+        break;
+      case Trigger::Nth:
+        fire = site.calls == site.n;
+        break;
+      case Trigger::EveryNth:
+        fire = site.calls % site.n == 0;
+        break;
+    }
+    if (fire)
+        ++site.injected;
+    return fire;
+}
+
+} // namespace detail
+
+void
+configure(const std::string& spec, std::uint64_t seed)
+{
+    std::map<std::string, Site> sites;
+    std::string entry;
+    // Entries separated by ';' or ',' — both read naturally in an
+    // environment variable.
+    std::string normalized = spec;
+    std::replace(normalized.begin(), normalized.end(), ',', ';');
+    std::istringstream entries(normalized);
+    while (std::getline(entries, entry, ';')) {
+        // Trim surrounding whitespace.
+        auto begin = entry.find_first_not_of(" \t");
+        auto end = entry.find_last_not_of(" \t");
+        if (begin == std::string::npos)
+            continue;
+        entry = entry.substr(begin, end - begin + 1);
+        auto eq = entry.find('=');
+        fatalIf(eq == std::string::npos || eq == 0,
+                "fault spec: expected site=trigger, got '" + entry +
+                    "'");
+        std::string site = entry.substr(0, eq);
+        std::string trigger = entry.substr(eq + 1);
+        sites[site] = parseTrigger(site, trigger, seed);
+    }
+
+    bool any_armed = false;
+    for (const auto& [site, parsed] : sites)
+        any_armed = any_armed || parsed.trigger != Trigger::Off;
+
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.sites = std::move(sites);
+    r.seed = seed;
+    detail::armed.store(any_armed, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.sites.clear();
+    r.seed = 42;
+    detail::armed.store(false, std::memory_order_relaxed);
+}
+
+SiteStats
+stats(const std::string& site)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    SiteStats out;
+    out.site = site;
+    auto it = r.sites.find(site);
+    if (it != r.sites.end()) {
+        out.calls = it->second.calls;
+        out.injected = it->second.injected;
+    }
+    return out;
+}
+
+std::vector<SiteStats>
+allStats()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<SiteStats> out;
+    out.reserve(r.sites.size());
+    for (const auto& [name, site] : r.sites)
+        out.push_back({name, site.calls, site.injected});
+    return out;
+}
+
+std::string
+summary()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::ostringstream oss;
+    for (const auto& [name, site] : r.sites) {
+        if (site.spec.empty() && site.injected == 0)
+            continue;
+        oss << name << ": " << site.injected << "/" << site.calls;
+        if (!site.spec.empty())
+            oss << " (" << site.spec << ")";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace jcache::fault

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * Robustness code is only as good as the failures it has seen, so the
+ * transport, trace and service layers carry named injection points —
+ * "sites" — at their failure seams.  A site does nothing until the
+ * process (or a test) arms it with a trigger:
+ *
+ *   JCACHE_FAULTS="socket.read=p0.1;trace.read.header=n3" ./jcached
+ *
+ * Triggers:
+ *   pX       fire with probability X in [0, 1] per call
+ *   nK       fire on exactly the K-th call (1-based), once
+ *   everyK   fire on every K-th call
+ *   always   fire on every call
+ *   off      never fire (explicitly disarm a site)
+ *
+ * Firing is deterministic: each site draws from its own splitmix64
+ * stream seeded by JCACHE_FAULT_SEED (default 42) mixed with the site
+ * name, so a given spec + seed produces the same fault sequence per
+ * site on every run — chaos tests are reproducible, and a failure
+ * found in CI replays locally.
+ *
+ * Sites are zero-cost when injection is disabled: the JCACHE_FAULT
+ * macro short-circuits on one relaxed atomic load before any site
+ * lookup happens, so production binaries pay a single predictable
+ * branch per site.  The catalog of sites lives in
+ * docs/RESILIENCE.md.
+ */
+
+#ifndef JCACHE_UTIL_FAULT_HH
+#define JCACHE_UTIL_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jcache::fault
+{
+
+/** Per-site counters, readable by tests and the summary. */
+struct SiteStats
+{
+    std::string site;
+
+    /** Times the site was evaluated. */
+    std::uint64_t calls = 0;
+
+    /** Times the site fired. */
+    std::uint64_t injected = 0;
+};
+
+namespace detail
+{
+/** True once any site is armed.  Read through enabled() only. */
+extern std::atomic<bool> armed;
+
+/** Slow path of enabled(): one-time JCACHE_FAULTS env parse. */
+bool enabledSlow();
+
+/** Slow path of JCACHE_FAULT: count the call, decide firing. */
+bool shouldInject(const char* site);
+} // namespace detail
+
+/**
+ * True when any fault site is armed.  The first call (per process)
+ * parses JCACHE_FAULTS / JCACHE_FAULT_SEED from the environment; after
+ * that it is one relaxed atomic load.
+ */
+inline bool
+enabled()
+{
+    static const bool env_checked = detail::enabledSlow();
+    (void)env_checked;
+    return detail::armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Arm sites from a spec string ("site=trigger" pairs separated by ';'
+ * or ','), replacing any previous configuration.  An empty spec
+ * disarms everything.  Throws FatalError on a malformed spec — a typo
+ * in a chaos run must fail loudly, not silently test nothing.
+ */
+void configure(const std::string& spec, std::uint64_t seed = 42);
+
+/** Disarm every site and clear all counters. */
+void reset();
+
+/**
+ * Evaluate one site: count the call and report whether it fires.
+ * Unarmed sites never fire.  Prefer the JCACHE_FAULT macro, which
+ * skips the registry entirely while injection is disabled.
+ */
+inline bool
+shouldInject(const char* site)
+{
+    return enabled() && detail::shouldInject(site);
+}
+
+/** Counters of one site (zeros if the site was never evaluated). */
+SiteStats stats(const std::string& site);
+
+/** Counters of every site evaluated or armed so far, sorted by name. */
+std::vector<SiteStats> allStats();
+
+/** One "site fired/calls trigger" line per armed site, for logs. */
+std::string summary();
+
+} // namespace jcache::fault
+
+/**
+ * Evaluate a fault site.  Expands to a single predictable branch when
+ * injection is disabled; defining JCACHE_NO_FAULTS compiles sites out
+ * entirely.
+ */
+#ifdef JCACHE_NO_FAULTS
+#define JCACHE_FAULT(site) (false)
+#else
+#define JCACHE_FAULT(site)                                            \
+    (::jcache::fault::enabled() &&                                    \
+     ::jcache::fault::detail::shouldInject(site))
+#endif
+
+#endif // JCACHE_UTIL_FAULT_HH

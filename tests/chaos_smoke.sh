@@ -1,0 +1,111 @@
+#!/bin/sh
+# Chaos test of the jcached service stack under injected faults.
+#
+# Phase 1 captures fault-free reference output.  Phase 2 restarts the
+# daemon with socket and frame faults firing at >= 10% probability on
+# its transport (short reads, injected resets, torn response frames,
+# dropped accepts) and asserts the end-to-end resilience properties:
+#
+#   1. `jcache-client --retry run`   completes, byte-identical to the
+#      fault-free run
+#   2. `jcache-client --retry sweep` completes, byte-identical to the
+#      fault-free sweep (repeated; retried requests re-hit the
+#      daemon's result cache rather than recomputing)
+#   3. the daemon keeps serving throughout: health still answers and
+#      reports it is accepting
+#
+# The fault seed is pinned so every CI run replays the same fault
+# sequence.
+#
+# Usage: chaos_smoke.sh <jcached> <jcache-client> <workdir>
+set -eu
+
+JCACHED=$1
+CLIENT=$2
+WORKDIR=$3
+
+mkdir -p "$WORKDIR"
+PORT_FILE="$WORKDIR/jcached.port"
+DAEMON_LOG="$WORKDIR/jcached.log"
+DAEMON_PID=""
+
+fail() {
+    echo "chaos_smoke: FAIL: $1" >&2
+    [ -s "$DAEMON_LOG" ] && sed 's/^/  jcached: /' "$DAEMON_LOG" >&2
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    exit 1
+}
+
+start_daemon() {
+    rm -f "$PORT_FILE"
+    "$JCACHED" --port 0 --port-file "$PORT_FILE" \
+        > "$DAEMON_LOG" 2>&1 &
+    DAEMON_PID=$!
+    tries=0
+    while [ ! -s "$PORT_FILE" ]; do
+        tries=$((tries + 1))
+        [ "$tries" -gt 100 ] && fail "daemon never wrote its port"
+        kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited early"
+        sleep 0.1
+    done
+    PORT=$(cat "$PORT_FILE")
+}
+
+stop_daemon() {
+    "$CLIENT" --port "$PORT" --retry shutdown > /dev/null \
+        || fail "shutdown"
+    tries=0
+    while kill -0 "$DAEMON_PID" 2>/dev/null; do
+        tries=$((tries + 1))
+        [ "$tries" -gt 100 ] && fail "daemon did not exit"
+        sleep 0.1
+    done
+    wait "$DAEMON_PID" 2>/dev/null || true
+    DAEMON_PID=""
+}
+
+# Phase 1: fault-free reference output.
+start_daemon
+echo "chaos_smoke: reference daemon pid $DAEMON_PID port $PORT"
+"$CLIENT" --port "$PORT" run ccom --size 16 \
+    > "$WORKDIR/run_reference.txt" || fail "reference run"
+"$CLIENT" --port "$PORT" sweep yacc --axis assoc \
+    > "$WORKDIR/sweep_reference.txt" || fail "reference sweep"
+stop_daemon
+
+# Phase 2: the same requests against a daemon whose transport layer
+# is injecting faults at >= 10% per site.
+JCACHE_FAULT_SEED=7 \
+JCACHE_FAULTS="socket.read=p0.1;socket.write=p0.1;socket.read.short=p0.1;frame.write.truncate=p0.1;socket.accept=p0.1" \
+    start_daemon
+echo "chaos_smoke: chaos daemon pid $DAEMON_PID port $PORT"
+
+"$CLIENT" --port "$PORT" --retry --backoff 20 --verbose \
+    run ccom --size 16 > "$WORKDIR/run_chaos.txt" \
+    2> "$WORKDIR/run_chaos.err" || fail "run under faults"
+cmp "$WORKDIR/run_chaos.txt" "$WORKDIR/run_reference.txt" \
+    || fail "run output differs under faults"
+echo "chaos_smoke: run byte-identical under faults"
+
+# Five sweeps: later ones exercise retries on the cache-hit path.
+n=1
+while [ "$n" -le 5 ]; do
+    "$CLIENT" --port "$PORT" --retry --backoff 20 \
+        sweep yacc --axis assoc > "$WORKDIR/sweep_chaos.txt" \
+        2>> "$WORKDIR/sweep_chaos.err" \
+        || fail "sweep $n under faults"
+    cmp "$WORKDIR/sweep_chaos.txt" "$WORKDIR/sweep_reference.txt" \
+        || fail "sweep $n output differs under faults"
+    n=$((n + 1))
+done
+echo "chaos_smoke: 5 sweeps byte-identical under faults"
+
+# The daemon must still be alive and accepting.
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died under faults"
+"$CLIENT" --port "$PORT" --retry --backoff 20 health \
+    > "$WORKDIR/health.json" || fail "health under faults"
+grep -q '"accepting": true' "$WORKDIR/health.json" \
+    || fail "daemon stopped accepting under faults"
+
+stop_daemon
+echo "chaos_smoke: PASS"

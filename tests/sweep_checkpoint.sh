@@ -1,0 +1,61 @@
+#!/bin/sh
+# Crash-recovery test for jcache-sweep checkpoints.
+#
+# The acceptance property: a sweep that is SIGKILLed mid-run and then
+# resumed from its checkpoint produces output byte-identical to an
+# uninterrupted sweep.  The kill is deterministic — the sweep.crash
+# fault site SIGKILLs the process right after the nth checkpoint
+# save — so the test never races the scheduler.
+#
+# Usage: sweep_checkpoint.sh <jcache-sweep> <workdir>
+set -eu
+
+SWEEP=$1
+WORKDIR=$2
+
+mkdir -p "$WORKDIR"
+CKPT="$WORKDIR/sweep.ckpt"
+REFERENCE="$WORKDIR/reference.txt"
+RESUMED="$WORKDIR/resumed.txt"
+rm -f "$CKPT" "$CKPT.tmp" "$REFERENCE" "$RESUMED"
+
+fail() {
+    echo "sweep_checkpoint: FAIL: $1" >&2
+    exit 1
+}
+
+# 1. Uninterrupted reference run (no checkpointing involved).
+"$SWEEP" ccom --axis size > "$REFERENCE" ||
+    fail "reference sweep failed"
+
+# 2. Checkpointed run that the fault harness SIGKILLs after the 3rd
+#    checkpoint save.  Single-threaded so exactly 3 cells are done.
+status=0
+JCACHE_FAULTS="sweep.crash=n3" \
+    "$SWEEP" ccom --axis size --checkpoint "$CKPT" --jobs 1 \
+    > /dev/null 2>&1 || status=$?
+[ "$status" -eq 137 ] ||
+    fail "expected SIGKILL (exit 137), got exit $status"
+[ -s "$CKPT" ] || fail "no checkpoint file survived the crash"
+[ ! -e "$CKPT.tmp" ] || fail "stale checkpoint temp file left behind"
+
+# 3. Resume must only replay the missing cells...
+"$SWEEP" ccom --axis size --checkpoint "$CKPT" --resume --progress \
+    > "$RESUMED" 2> "$WORKDIR/resume.log" ||
+    fail "resumed sweep failed"
+grep -q "resuming: 3/" "$WORKDIR/resume.log" ||
+    fail "resume did not pick up the 3 checkpointed cells"
+
+# 4. ...and reproduce the uninterrupted output exactly.
+cmp -s "$REFERENCE" "$RESUMED" ||
+    fail "resumed sweep output differs from uninterrupted run"
+
+# 5. A checkpoint from a different sweep is refused, not mixed in.
+if "$SWEEP" ccom --axis assoc --checkpoint "$CKPT" --resume \
+    > /dev/null 2> "$WORKDIR/mismatch.log"; then
+    fail "resume accepted a checkpoint from a different sweep"
+fi
+grep -q "different sweep" "$WORKDIR/mismatch.log" ||
+    fail "mismatch error does not explain the refusal"
+
+echo "sweep_checkpoint: PASS"

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for crash-safe sweep checkpoints (service/checkpoint.hh):
+ * exact round-trips through save/load, sweep-identity checks that
+ * refuse foreign checkpoints, resume bookkeeping, and the injected
+ * sweep.crash fault dying by SIGKILL right after a consistent save.
+ */
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/checkpoint.hh"
+#include "service/render.hh"
+#include "stats/json.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+using namespace jcache;
+using service::SweepCheckpoint;
+
+namespace
+{
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("jcache_ckpt_test_" +
+                  std::to_string(::getpid()) + ".json"))
+                    .string();
+        std::remove(path_.c_str());
+        std::remove((path_ + ".tmp").c_str());
+    }
+
+    void TearDown() override
+    {
+        fault::reset();
+        std::remove(path_.c_str());
+        std::remove((path_ + ".tmp").c_str());
+    }
+
+    std::string path_;
+};
+
+/** A synthetic result with distinctive values in every section. */
+sim::RunResult
+sampleResult(unsigned salt)
+{
+    sim::RunResult result;
+    result.config.sizeBytes = 1024u << (salt % 4);
+    result.config.lineBytes = 16;
+    result.config.assoc = 1 + salt % 8;
+    result.instructions = 1000003ull * (salt + 1);
+    result.cache.reads = 500 + salt;
+    result.cache.writes = 200 + salt;
+    result.cache.readMisses = 42 + salt;
+    result.cache.writesToDirtyLines = 17 * (salt + 1);
+    result.cache.dirtyVictimDirtyBytes = 12345 + salt;
+    result.fetchTraffic.transactions = 99 + salt;
+    result.fetchTraffic.bytes = 99 * 16 + salt;
+    result.writeBackTraffic.transactions = 7 + salt;
+    result.flushTraffic.bytes = 3 * 16;
+    return result;
+}
+
+/** Canonical text of one result, for exact comparisons. */
+std::string
+resultText(const sim::RunResult& result)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    service::writeRunResult(json, "result", result);
+    json.endObject();
+    return oss.str();
+}
+
+} // namespace
+
+TEST_F(CheckpointTest, RoundTripsExactly)
+{
+    SweepCheckpoint checkpoint;
+    checkpoint.trace = "ccom";
+    checkpoint.axis = "size";
+    checkpoint.configKey = "4096|16|1|wb|fow|lru|4";
+    checkpoint.cells = 5;
+    checkpoint.record(0, sampleResult(0));
+    checkpoint.record(3, sampleResult(3));
+    checkpoint.save(path_);
+
+    SweepCheckpoint loaded = SweepCheckpoint::load(path_);
+    EXPECT_EQ(loaded.trace, "ccom");
+    EXPECT_EQ(loaded.axis, "size");
+    EXPECT_EQ(loaded.configKey, checkpoint.configKey);
+    EXPECT_EQ(loaded.cells, 5u);
+    ASSERT_EQ(loaded.completed.size(), 2u);
+    EXPECT_EQ(resultText(loaded.completed.at(0)),
+              resultText(sampleResult(0)));
+    EXPECT_EQ(resultText(loaded.completed.at(3)),
+              resultText(sampleResult(3)));
+    EXPECT_TRUE(loaded.sameSweep(checkpoint));
+}
+
+TEST_F(CheckpointTest, MissingIndicesTracksCompletion)
+{
+    SweepCheckpoint checkpoint;
+    checkpoint.cells = 4;
+    EXPECT_EQ(checkpoint.missingIndices(),
+              (std::vector<std::size_t>{0, 1, 2, 3}));
+    checkpoint.record(2, sampleResult(2));
+    checkpoint.record(0, sampleResult(0));
+    EXPECT_EQ(checkpoint.missingIndices(),
+              (std::vector<std::size_t>{1, 3}));
+    EXPECT_THROW(checkpoint.record(4, sampleResult(4)), FatalError);
+}
+
+TEST_F(CheckpointTest, RefusesForeignSweeps)
+{
+    SweepCheckpoint a;
+    a.trace = "ccom";
+    a.axis = "size";
+    a.configKey = "k";
+    a.cells = 5;
+
+    SweepCheckpoint b = a;
+    EXPECT_TRUE(a.sameSweep(b));
+    b.trace = "linpack";
+    EXPECT_FALSE(a.sameSweep(b));
+    b = a;
+    b.axis = "assoc";
+    EXPECT_FALSE(a.sameSweep(b));
+    b = a;
+    b.configKey = "other";
+    EXPECT_FALSE(a.sameSweep(b));
+    b = a;
+    b.cells = 6;
+    EXPECT_FALSE(a.sameSweep(b));
+}
+
+TEST_F(CheckpointTest, SaveIsAtomicAndRepeatable)
+{
+    SweepCheckpoint checkpoint;
+    checkpoint.trace = "ccom";
+    checkpoint.cells = 3;
+    checkpoint.record(0, sampleResult(0));
+    checkpoint.save(path_);
+    checkpoint.record(1, sampleResult(1));
+    checkpoint.save(path_);
+
+    // The rename leaves no temp file behind, and the newest save
+    // wins.
+    EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+    SweepCheckpoint loaded = SweepCheckpoint::load(path_);
+    EXPECT_EQ(loaded.completed.size(), 2u);
+}
+
+TEST_F(CheckpointTest, LoadRejectsGarbage)
+{
+    EXPECT_THROW(SweepCheckpoint::load(path_), FatalError);
+
+    std::ofstream(path_) << "not json at all";
+    EXPECT_THROW(SweepCheckpoint::load(path_), FatalError);
+
+    std::ofstream(path_, std::ios::trunc)
+        << "{\"format\": \"something-else\", \"version\": 1}";
+    EXPECT_THROW(SweepCheckpoint::load(path_), FatalError);
+
+    std::ofstream(path_, std::ios::trunc)
+        << "{\"format\": \"jcache-sweep-checkpoint\","
+           " \"version\": 99, \"cells\": 1, \"completed\": []}";
+    EXPECT_THROW(SweepCheckpoint::load(path_), FatalError);
+
+    std::ofstream(path_, std::ios::trunc)
+        << "{\"format\": \"jcache-sweep-checkpoint\","
+           " \"version\": 1, \"cells\": 2,"
+           " \"completed\": [{\"index\": 7}]}";
+    EXPECT_THROW(SweepCheckpoint::load(path_), FatalError);
+}
+
+TEST_F(CheckpointTest, InjectedCrashDiesAfterConsistentSave)
+{
+    SweepCheckpoint checkpoint;
+    checkpoint.trace = "ccom";
+    checkpoint.cells = 2;
+    checkpoint.record(0, sampleResult(0));
+
+    fault::configure("sweep.crash=always");
+    EXPECT_EXIT(checkpoint.save(path_),
+                ::testing::KilledBySignal(SIGKILL), "");
+    fault::reset();
+
+    // The death-test child crashed *after* the rename: the surviving
+    // file is a complete checkpoint holding the recorded cell.
+    SweepCheckpoint loaded = SweepCheckpoint::load(path_);
+    EXPECT_EQ(loaded.completed.size(), 1u);
+    EXPECT_EQ(loaded.cells, 2u);
+}

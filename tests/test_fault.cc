@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the fault-injection registry (util/fault.hh):
+ * trigger grammar, per-site determinism under a fixed seed, counters,
+ * and the disabled fast path.
+ */
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+using namespace jcache;
+
+namespace
+{
+
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::reset(); }
+};
+
+} // namespace
+
+TEST_F(FaultTest, DisabledByDefault)
+{
+    fault::reset();
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(JCACHE_FAULT("nothing.armed"));
+}
+
+TEST_F(FaultTest, AlwaysFiresEveryCall)
+{
+    fault::configure("x.always=always");
+    EXPECT_TRUE(fault::enabled());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(JCACHE_FAULT("x.always"));
+    fault::SiteStats s = fault::stats("x.always");
+    EXPECT_EQ(s.calls, 5u);
+    EXPECT_EQ(s.injected, 5u);
+}
+
+TEST_F(FaultTest, NthFiresExactlyOnce)
+{
+    fault::configure("x.nth=n3");
+    int fired_at = -1;
+    for (int i = 1; i <= 10; ++i) {
+        if (JCACHE_FAULT("x.nth")) {
+            EXPECT_EQ(fired_at, -1) << "fired twice";
+            fired_at = i;
+        }
+    }
+    EXPECT_EQ(fired_at, 3);
+    EXPECT_EQ(fault::stats("x.nth").injected, 1u);
+}
+
+TEST_F(FaultTest, EveryNthFiresPeriodically)
+{
+    fault::configure("x.every=every4");
+    int fired = 0;
+    for (int i = 1; i <= 12; ++i) {
+        bool fire = JCACHE_FAULT("x.every");
+        EXPECT_EQ(fire, i % 4 == 0) << "call " << i;
+        fired += fire ? 1 : 0;
+    }
+    EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicPerSeed)
+{
+    auto sequence = [](std::uint64_t seed) {
+        fault::configure("x.p=p0.3", seed);
+        std::string bits;
+        for (int i = 0; i < 64; ++i)
+            bits += JCACHE_FAULT("x.p") ? '1' : '0';
+        return bits;
+    };
+    std::string a = sequence(7);
+    std::string b = sequence(7);
+    std::string c = sequence(8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);  // different seed, different stream
+    // A p=0.3 site over 64 calls fires a plausible number of times.
+    auto ones = std::count(a.begin(), a.end(), '1');
+    EXPECT_GT(ones, 5);
+    EXPECT_LT(ones, 40);
+}
+
+TEST_F(FaultTest, SitesHaveIndependentStreams)
+{
+    fault::configure("a=p0.5;b=p0.5", 42);
+    std::string a_bits, b_bits;
+    for (int i = 0; i < 64; ++i) {
+        a_bits += JCACHE_FAULT("a") ? '1' : '0';
+        b_bits += JCACHE_FAULT("b") ? '1' : '0';
+    }
+    EXPECT_NE(a_bits, b_bits);
+}
+
+TEST_F(FaultTest, OffSiteNeverFiresButCounts)
+{
+    fault::configure("x.off=off;x.on=always");
+    EXPECT_FALSE(JCACHE_FAULT("x.off"));
+    EXPECT_EQ(fault::stats("x.off").calls, 1u);
+    EXPECT_EQ(fault::stats("x.off").injected, 0u);
+}
+
+TEST_F(FaultTest, UnarmedSiteCountsCalls)
+{
+    fault::configure("other=always");
+    EXPECT_FALSE(JCACHE_FAULT("x.unarmed"));
+    EXPECT_EQ(fault::stats("x.unarmed").calls, 1u);
+}
+
+TEST_F(FaultTest, CommaAndSemicolonSeparatorsBothParse)
+{
+    fault::configure(" a=always , b=n2 ; c=p0.0 ");
+    EXPECT_TRUE(JCACHE_FAULT("a"));
+    EXPECT_FALSE(JCACHE_FAULT("b"));
+    EXPECT_TRUE(JCACHE_FAULT("b"));
+    EXPECT_FALSE(JCACHE_FAULT("c"));
+}
+
+TEST_F(FaultTest, MalformedSpecsThrow)
+{
+    EXPECT_THROW(fault::configure("noequals"), FatalError);
+    EXPECT_THROW(fault::configure("=always"), FatalError);
+    EXPECT_THROW(fault::configure("x="), FatalError);
+    EXPECT_THROW(fault::configure("x=p1.5"), FatalError);
+    EXPECT_THROW(fault::configure("x=p-0.1"), FatalError);
+    EXPECT_THROW(fault::configure("x=n0"), FatalError);
+    EXPECT_THROW(fault::configure("x=nzz"), FatalError);
+    EXPECT_THROW(fault::configure("x=every0"), FatalError);
+    EXPECT_THROW(fault::configure("x=bogus"), FatalError);
+}
+
+TEST_F(FaultTest, ReconfigureReplacesAndResetDisarms)
+{
+    fault::configure("a=always");
+    EXPECT_TRUE(JCACHE_FAULT("a"));
+    fault::configure("b=always");
+    EXPECT_FALSE(JCACHE_FAULT("a"));  // a no longer armed
+    EXPECT_TRUE(JCACHE_FAULT("b"));
+    fault::reset();
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_EQ(fault::stats("b").calls, 0u);
+}
+
+TEST_F(FaultTest, SummaryNamesArmedSites)
+{
+    fault::configure("x.sum=n2");
+    JCACHE_FAULT("x.sum");
+    JCACHE_FAULT("x.sum");
+    std::string text = fault::summary();
+    EXPECT_NE(text.find("x.sum: 1/2 (n2)"), std::string::npos) << text;
+}
+
+TEST_F(FaultTest, AllStatsListsEverySiteSeen)
+{
+    fault::configure("armed=always");
+    JCACHE_FAULT("armed");
+    JCACHE_FAULT("unarmed.site");
+    auto all = fault::allStats();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].site, "armed");
+    EXPECT_EQ(all[1].site, "unarmed.site");
+}

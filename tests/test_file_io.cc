@@ -5,11 +5,13 @@
  */
 
 #include <cstdio>
+#include <random>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "trace/file_io.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace jcache::trace
@@ -214,6 +216,158 @@ TEST(TraceFileIo, InfoRejectsBadMagicAndMissingFile)
     EXPECT_THROW(readTraceInfo(bogus), FatalError);
     EXPECT_THROW(loadTraceInfo("/nonexistent/path/trace.bin"),
                  FatalError);
+}
+
+namespace
+{
+
+/** Serialized sample trace in either format. */
+std::string
+traceBytes(bool compressed)
+{
+    Trace t = sampleTrace();
+    std::stringstream buffer;
+    if (compressed)
+        writeTraceCompressed(t, buffer);
+    else
+        writeTrace(t, buffer);
+    return buffer.str();
+}
+
+/** Overwrite a little-endian field inside serialized trace bytes. */
+void
+pokeLe(std::string& bytes, std::size_t offset, std::uint64_t value,
+       unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        bytes[offset + i] =
+            static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+} // namespace
+
+TEST(TraceFileIo, CorruptInputThrowsTypedError)
+{
+    std::stringstream bogus("XXXX definitely not a trace");
+    EXPECT_THROW(readTrace(bogus), CorruptTraceError);
+    std::string bytes = traceBytes(false);
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 1));
+    EXPECT_THROW(readTrace(truncated), CorruptTraceError);
+}
+
+TEST(TraceFileIo, RejectsImpossibleRecordCount)
+{
+    for (bool compressed : {false, true}) {
+        std::string bytes = traceBytes(compressed);
+        // Record count field: magic(4) + version(4).
+        pokeLe(bytes, 8, 1ull << 60, 8);
+        std::stringstream forged(bytes);
+        EXPECT_THROW(readTrace(forged), CorruptTraceError);
+    }
+}
+
+TEST(TraceFileIo, RejectsRecordCountBeyondStream)
+{
+    // Claim one extra record: a silent partial read must not be
+    // treated as success.
+    std::string bytes = traceBytes(false);
+    pokeLe(bytes, 8, sampleTrace().size() + 1, 8);
+    std::stringstream forged(bytes);
+    EXPECT_THROW(readTrace(forged), CorruptTraceError);
+}
+
+TEST(TraceFileIo, RejectsTrailingGarbageAfterRawRecords)
+{
+    std::string bytes = traceBytes(false) + "garbage";
+    std::stringstream padded(bytes);
+    EXPECT_THROW(readTrace(padded), CorruptTraceError);
+}
+
+TEST(TraceFileIo, RejectsOversizedNameLength)
+{
+    std::string bytes = traceBytes(false);
+    // Name length field: magic(4) + version(4) + records(8).
+    pokeLe(bytes, 16, kMaxTraceNameBytes + 1, 4);
+    std::stringstream forged(bytes);
+    EXPECT_THROW(readTraceInfo(forged), CorruptTraceError);
+}
+
+TEST(TraceFileIo, HeaderMutationFuzzNeverCrashes)
+{
+    // Flip every header byte through a handful of adversarial values.
+    // Any outcome is acceptable except an unhandled crash or a
+    // non-FatalError exception (e.g. bad_alloc from a forged count).
+    for (bool compressed : {false, true}) {
+        const std::string pristine = traceBytes(compressed);
+        const std::size_t header_bytes = 4 + 4 + 8 + 4 + 6;  // "sample"
+        for (std::size_t pos = 0; pos < header_bytes; ++pos) {
+            for (unsigned char value : {0x00, 0x01, 0x7f, 0xff}) {
+                std::string mutated = pristine;
+                mutated[pos] = static_cast<char>(value);
+                std::stringstream is(mutated);
+                try {
+                    readTrace(is);
+                } catch (const FatalError&) {
+                    // rejected: fine
+                }
+            }
+        }
+    }
+}
+
+TEST(TraceFileIo, TruncationFuzzAlwaysThrows)
+{
+    // Every proper prefix of a valid file must be rejected, never
+    // parsed as a shorter-but-valid trace.
+    for (bool compressed : {false, true}) {
+        const std::string pristine = traceBytes(compressed);
+        for (std::size_t len = 0; len < pristine.size(); ++len) {
+            std::stringstream is(pristine.substr(0, len));
+            EXPECT_THROW(readTrace(is), FatalError)
+                << (compressed ? "compressed" : "raw")
+                << " prefix of " << len << " bytes parsed";
+        }
+    }
+}
+
+TEST(TraceFileIo, RecordMutationFuzzNeverCrashes)
+{
+    // Seeded byte-level mutations over the whole file, both formats.
+    std::mt19937 rng(20260805);
+    for (bool compressed : {false, true}) {
+        const std::string pristine = traceBytes(compressed);
+        for (int round = 0; round < 200; ++round) {
+            std::string mutated = pristine;
+            int flips = 1 + static_cast<int>(rng() % 4);
+            for (int f = 0; f < flips; ++f)
+                mutated[rng() % mutated.size()] =
+                    static_cast<char>(rng() & 0xff);
+            std::stringstream is(mutated);
+            try {
+                readTrace(is);
+            } catch (const FatalError&) {
+                // rejected: fine
+            }
+        }
+    }
+}
+
+TEST(TraceFileIo, InjectedHeaderFaultSurfacesAsCorruptTrace)
+{
+    fault::configure("trace.read.header=always");
+    std::stringstream buffer(traceBytes(false));
+    EXPECT_THROW(readTrace(buffer), CorruptTraceError);
+    fault::reset();
+    std::stringstream retry(traceBytes(false));
+    EXPECT_EQ(readTrace(retry), sampleTrace());
+}
+
+TEST(TraceFileIo, InjectedRecordFaultFailsMidRead)
+{
+    fault::configure("trace.read.record=n2");
+    std::stringstream buffer(traceBytes(false));
+    EXPECT_THROW(readTrace(buffer), CorruptTraceError);
+    fault::reset();
 }
 
 } // namespace

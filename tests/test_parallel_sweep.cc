@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "sim/parallel.hh"
@@ -193,6 +194,50 @@ TEST(ParallelExecutor, ReportAccountsInstructionsAndUtilization)
     EXPECT_GE(report.utilization(), 0.0);
     EXPECT_LE(report.utilization(), 1.0);
     EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(ParallelExecutor, ThrowingTaskFailsOnlyItsCell)
+{
+    // An exception escaping a pool thread would terminate the whole
+    // process; the executor must confine it to the throwing cell.
+    std::vector<std::atomic<int>> visits(8);
+    SweepReport report =
+        ParallelExecutor(4).runTasks(8, [&](std::size_t i) {
+            visits[i].fetch_add(1);
+            if (i == 2)
+                throw std::runtime_error("boom at 2");
+            if (i == 5)
+                throw 42;  // non-std::exception path
+            return Count{100};
+        });
+
+    // Every cell ran despite the two failures.
+    for (const auto& v : visits)
+        EXPECT_EQ(v.load(), 1);
+
+    EXPECT_FALSE(report.allSucceeded());
+    ASSERT_EQ(report.failures.size(), 2u);
+    EXPECT_EQ(report.failures[0].index, 2u);
+    EXPECT_EQ(report.failures[0].message, "boom at 2");
+    EXPECT_EQ(report.failures[1].index, 5u);
+    EXPECT_EQ(report.failures[1].message, "unknown error");
+
+    // Failed cells contribute no instructions; healthy cells do.
+    EXPECT_EQ(report.totalInstructions(), 600u);
+    EXPECT_NE(report.summary().find("2 FAILED"), std::string::npos);
+
+    std::ostringstream oss;
+    report.writeJson(oss);
+    EXPECT_NE(oss.str().find("\"failures\""), std::string::npos);
+    EXPECT_NE(oss.str().find("boom at 2"), std::string::npos);
+}
+
+TEST(ParallelExecutor, AllSucceededOnCleanGrid)
+{
+    SweepReport report = ParallelExecutor(2).runTasks(
+        4, [](std::size_t) { return Count{1}; });
+    EXPECT_TRUE(report.allSucceeded());
+    EXPECT_EQ(report.summary().find("FAILED"), std::string::npos);
 }
 
 TEST(ParallelExecutor, ProgressCallbackSeesEveryCompletion)

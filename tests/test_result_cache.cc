@@ -4,6 +4,7 @@
  * (service/result_cache.hh).
  */
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -88,6 +89,56 @@ TEST(ResultCache, ZeroCapacityDisablesCaching)
 TEST(ResultCache, HitRateBeforeAnyLookupIsZero)
 {
     EXPECT_DOUBLE_EQ(ResultCacheStats{}.hitRate(), 0.0);
+}
+
+TEST(ResultCache, EvictionUnderConcurrentLookupsStaysCoherent)
+{
+    // A capacity-2 cache with writers churning unique keys forces an
+    // eviction on nearly every insert; readers hammering a hot key
+    // must only ever observe its exact value or a clean miss — never
+    // a torn entry or a crash.
+    ResultCache cache(2);
+    const std::string hot_key = "hot";
+    const std::string hot_value = "payload-of-the-hot-key";
+    std::atomic<bool> stop{false};
+    std::atomic<int> hot_hits{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                if (auto hit = cache.lookup(hot_key)) {
+                    EXPECT_EQ(*hit, hot_value);
+                    hot_hits.fetch_add(1);
+                } else {
+                    cache.insert(hot_key, hot_value);
+                }
+            }
+        });
+    }
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 2; ++w) {
+        writers.emplace_back([&cache, w] {
+            for (int i = 0; i < 2000; ++i) {
+                std::string key = "churn-" + std::to_string(w) +
+                                  "-" + std::to_string(i);
+                cache.insert(key, "value-" + key);
+                if (auto hit = cache.lookup(key))
+                    EXPECT_EQ(*hit, "value-" + key);
+            }
+        });
+    }
+    for (std::thread& t : writers)
+        t.join();
+    stop.store(true);
+    for (std::thread& t : readers)
+        t.join();
+
+    ResultCacheStats s = cache.stats();
+    EXPECT_LE(s.entries, 2u);
+    EXPECT_GE(s.evictions, 3998u);  // 4000 churn inserts, capacity 2
+    EXPECT_GT(hot_hits.load() + 1, 0);
 }
 
 TEST(ResultCache, ConcurrentLookupsAndInsertsStayConsistent)

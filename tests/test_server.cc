@@ -8,6 +8,7 @@
  * daemon.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "net/socket.hh"
 #include "service/json_value.hh"
 #include "service/server.hh"
+#include "util/fault.hh"
 
 using namespace jcache;
 using service::JsonValue;
@@ -225,6 +227,42 @@ TEST_F(ServerTest, ProtocolErrorsShowInStats)
     EXPECT_GE(stats.get("payload").get("requests").getNumber(
                   "protocol_errors", 0),
               1.0);
+}
+
+TEST_F(ServerTest, StopMidJobStillFlushesBufferedRequests)
+{
+    // Two frames go out back-to-back; stop is requested while the
+    // first (a deliberately slowed simulation) is still in flight.
+    // Both responses must still arrive: the in-flight run's response
+    // flushes, and the already-buffered ping is served during the
+    // drain grace instead of being dropped on the floor.
+    fault::configure("service.delay=always");
+    net::Socket socket = connect();
+    ASSERT_EQ(net::writeFrame(
+                  socket,
+                  "{\"type\": \"run\", \"workload\": \"ccom\","
+                  " \"config\": {\"size_bytes\": 4096}}"),
+              net::FrameStatus::Ok);
+    ASSERT_EQ(net::writeFrame(socket, "{\"type\": \"ping\"}"),
+              net::FrameStatus::Ok);
+    // Give the connection thread time to pick up the run and park in
+    // the delayed job, then stop the server mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server_->requestStop();
+
+    std::string response;
+    ASSERT_EQ(net::readFrame(socket, response), net::FrameStatus::Ok);
+    JsonValue run = JsonValue::parse(response);
+    EXPECT_TRUE(run.getBool("ok", false)) << run.getString("error");
+    EXPECT_EQ(run.getString("type"), "run");
+
+    ASSERT_EQ(net::readFrame(socket, response), net::FrameStatus::Ok);
+    JsonValue ping = JsonValue::parse(response);
+    EXPECT_TRUE(ping.getBool("ok", false));
+    EXPECT_EQ(ping.getString("type"), "ping");
+    fault::reset();
+
+    serve_thread_.join();
 }
 
 TEST_F(ServerTest, InBandShutdownDrainsTheServer)

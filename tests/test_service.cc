@@ -14,6 +14,7 @@
 
 #include "service/json_value.hh"
 #include "service/service.hh"
+#include "util/fault.hh"
 #include "util/version.hh"
 
 using jcache::service::JsonValue;
@@ -252,6 +253,103 @@ TEST(Service, StatsCountRequestsCacheAndJobs)
     const JsonValue& queue = payload.get("queue");
     EXPECT_DOUBLE_EQ(queue.getNumber("depth", -1), 0.0);
     EXPECT_DOUBLE_EQ(queue.getNumber("capacity", 0), 64.0);
+}
+
+TEST(Service, HealthReportsQueueAndCache)
+{
+    Service service(testConfig());
+    service.handle(runRequest("ccom", 4));
+    JsonValue v = parseResponse(service.handle(
+        "{\"type\": \"health\", \"request_id\": \"hc-1\"}"));
+    ASSERT_TRUE(v.getBool("ok", false)) << v.getString("error");
+    EXPECT_EQ(v.getString("type"), "health");
+    EXPECT_EQ(v.getString("request_id"), "hc-1");
+
+    const JsonValue& payload = v.get("payload");
+    EXPECT_TRUE(payload.getBool("accepting", false));
+    EXPECT_GT(payload.getNumber("uptime_seconds", 0), 0.0);
+    EXPECT_DOUBLE_EQ(payload.getNumber("jobs_executed", 0), 1.0);
+
+    const JsonValue& queue = payload.get("queue");
+    EXPECT_DOUBLE_EQ(queue.getNumber("depth", -1), 0.0);
+    EXPECT_DOUBLE_EQ(queue.getNumber("capacity", 0), 64.0);
+    EXPECT_DOUBLE_EQ(queue.getNumber("shed", -1), 0.0);
+
+    const JsonValue& cache = payload.get("result_cache");
+    EXPECT_DOUBLE_EQ(cache.getNumber("misses", -1), 1.0);
+
+    // After shutdown the daemon reports it is no longer accepting.
+    service.handle("{\"type\": \"shutdown\"}");
+    JsonValue drained = parseResponse(
+        service.handle("{\"type\": \"health\"}"));
+    EXPECT_FALSE(drained.get("payload").getBool("accepting", true));
+
+    JsonValue stats = parseResponse(
+        service.handle("{\"type\": \"stats\"}"));
+    EXPECT_DOUBLE_EQ(
+        stats.get("payload").get("requests").getNumber("health", 0),
+        2.0);
+}
+
+TEST(Service, EchoesRequestIdOnEveryPath)
+{
+    Service service(testConfig());
+
+    // Success path: run with an id.
+    JsonValue ok = parseResponse(service.handle(
+        "{\"type\": \"run\", \"workload\": \"ccom\","
+        " \"request_id\": \"req-42\"}"));
+    ASSERT_TRUE(ok.getBool("ok", false)) << ok.getString("error");
+    EXPECT_EQ(ok.getString("request_id"), "req-42");
+
+    // Cache-hit path keeps echoing the *current* request's id.
+    JsonValue hit = parseResponse(service.handle(
+        "{\"type\": \"run\", \"workload\": \"ccom\","
+        " \"request_id\": \"req-43\"}"));
+    EXPECT_TRUE(hit.getBool("cached", false));
+    EXPECT_EQ(hit.getString("request_id"), "req-43");
+
+    // Error path.
+    JsonValue bad = parseResponse(service.handle(
+        "{\"type\": \"run\", \"workload\": \"nonesuch\","
+        " \"request_id\": \"req-44\"}"));
+    EXPECT_FALSE(bad.getBool("ok", true));
+    EXPECT_EQ(bad.getString("request_id"), "req-44");
+
+    // Ping and a request without an id (no field emitted).
+    JsonValue ping = parseResponse(service.handle(
+        "{\"type\": \"ping\", \"request_id\": \"req-45\"}"));
+    EXPECT_EQ(ping.getString("request_id"), "req-45");
+    JsonValue anon =
+        parseResponse(service.handle("{\"type\": \"ping\"}"));
+    EXPECT_EQ(anon.getString("request_id"), "");
+}
+
+TEST(Service, InjectedAdmissionFaultShedsWithRetryAfter)
+{
+    jcache::fault::configure("service.admit=always");
+    Service service(testConfig());
+    JsonValue v = parseResponse(service.handle(
+        "{\"type\": \"run\", \"workload\": \"ccom\","
+        " \"request_id\": \"shed-1\"}"));
+    jcache::fault::reset();
+
+    EXPECT_FALSE(v.getBool("ok", true));
+    EXPECT_EQ(v.getString("code"), "busy");
+    EXPECT_EQ(v.getString("request_id"), "shed-1");
+    double hint = v.getNumber("retry_after_ms", -1.0);
+    EXPECT_GE(hint, 50.0);
+    EXPECT_LE(hint, 5000.0);
+
+    // The shed shows up in health, and the service still works once
+    // the fault is cleared.
+    JsonValue health = parseResponse(
+        service.handle("{\"type\": \"health\"}"));
+    EXPECT_DOUBLE_EQ(
+        health.get("payload").get("queue").getNumber("shed", 0), 1.0);
+    JsonValue ok =
+        parseResponse(service.handle(runRequest("ccom", 4)));
+    EXPECT_TRUE(ok.getBool("ok", false)) << ok.getString("error");
 }
 
 TEST(Service, ZeroCacheCapacityAlwaysRecomputes)

@@ -4,7 +4,8 @@
  *
  * Usage:
  *   jcache-client [--host H] [--port N] [--timeout MS] [--verbose]
- *                 [--version] <command> [args]
+ *                 [--retry [N]] [--backoff MS] [--version]
+ *                 <command> [args]
  *
  * Commands:
  *   run <workload> [--size KB] [--line B] [--assoc N] [--hit wt|wb]
@@ -12,18 +13,31 @@
  *       [--no-flush]
  *   sweep <workload> --axis size|line|assoc [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
- *   stats | ping | shutdown
+ *   stats | health | ping | shutdown
  *
  * `run` and `sweep` print byte-identical tables to jcache-sim and
  * jcache-sweep: the daemon returns raw counts and the client formats
  * them through the same shared renderer the offline tools use.
  * --verbose reports the result digest and cache status on stderr.
+ *
+ * --retry turns transport failures and `busy` sheds into bounded
+ * retries with exponential backoff and jitter (base --backoff ms,
+ * doubling, capped at 5 s), reconnecting on every attempt and
+ * honoring the daemon's `retry_after_ms` hint.  Retrying is safe:
+ * requests are pure queries, the daemon's result cache is keyed by
+ * request content, and every attempt reuses one request id so
+ * responses correlate across retries.
  */
 
+#include <cctype>
+#include <chrono>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/frame.hh"
@@ -44,7 +58,8 @@ usage()
 {
     std::cerr <<
         "usage: jcache-client [--host H] [--port N] [--timeout MS]\n"
-        "  [--verbose] [--version] <command> [args]\n"
+        "  [--verbose] [--retry [N]] [--backoff MS] [--version]\n"
+        "  <command> [args]\n"
         "commands:\n"
         "  run <workload> [--size KB] [--line B] [--assoc N]\n"
         "      [--hit wt|wb] [--miss fow|wv|wa|wi]\n"
@@ -53,28 +68,134 @@ usage()
         "      [--metric miss|traffic|dirty] [--hit wt|wb]\n"
         "      [--miss fow|wv|wa|wi]\n"
         "  stats\n"
+        "  health\n"
         "  ping\n"
         "  shutdown\n";
     return 2;
 }
 
-/** One request/response exchange; exits the process on failure. */
-std::string
-exchange(const std::string& host, std::uint16_t port,
-         unsigned timeout_millis, const std::string& request)
+/** Connection endpoint plus the retry policy applied to it. */
+struct Transport
 {
-    std::string error;
-    net::Socket socket = net::Socket::connectTo(host, port, &error);
-    fatalIf(!socket.valid(), error);
-    socket.setTimeout(timeout_millis);
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 7421;
+    unsigned timeoutMillis = 300000;
 
-    fatalIf(net::writeFrame(socket, request) != net::FrameStatus::Ok,
-            "failed to send request");
-    std::string response;
+    /** Total attempts; 1 means no retrying. */
+    unsigned attempts = 1;
+
+    /** Backoff base; doubles per attempt, capped at kBackoffCap. */
+    unsigned backoffMillis = 100;
+
+    bool verbose = false;
+};
+
+constexpr unsigned kBackoffCapMillis = 5000;
+constexpr unsigned kDefaultRetryAttempts = 8;
+
+/**
+ * Daemon errors where a retry cannot change the outcome: the request
+ * itself is at fault (or the daemon is), not the moment it arrived.
+ */
+bool
+isNonRetryableCode(const std::string& code)
+{
+    return code == "parse_error" || code == "bad_request" ||
+           code == "unknown_type" || code == "protocol_mismatch" ||
+           code == "internal_error";
+}
+
+/**
+ * One attempt on a fresh connection.  Returns false with `error`
+ * filled on a transport failure; a daemon-level error still returns
+ * true with the response document.
+ */
+bool
+tryExchange(const Transport& t, const std::string& request,
+            std::string& response, std::string& error)
+{
+    net::Socket socket =
+        net::Socket::connectTo(t.host, t.port, &error);
+    if (!socket.valid())
+        return false;
+    socket.setTimeout(t.timeoutMillis);
+
+    if (net::writeFrame(socket, request) != net::FrameStatus::Ok) {
+        error = "failed to send request";
+        return false;
+    }
     net::FrameStatus status = net::readFrame(socket, response);
-    fatalIf(status != net::FrameStatus::Ok,
-            "failed to read response (" + net::name(status) + ")");
-    return response;
+    if (status != net::FrameStatus::Ok) {
+        error = "failed to read response (" + net::name(status) + ")";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Request/response exchange under the transport's retry policy;
+ * exits the process once the policy is exhausted.  Reconnects per
+ * attempt: a failed read leaves a stream that is no longer
+ * frame-aligned.
+ */
+std::string
+exchange(const Transport& t, const std::string& request)
+{
+    unsigned attempts = t.attempts == 0 ? 1 : t.attempts;
+    std::mt19937_64 jitter_rng(std::random_device{}());
+    std::string last_error;
+
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        std::string response;
+        double server_hint_millis = 0.0;
+        if (tryExchange(t, request, response, last_error)) {
+            std::string parse_error;
+            service::JsonValue value = service::JsonValue::parse(
+                response, &parse_error);
+            if (!parse_error.empty() || !value.isObject() ||
+                value.getBool("ok", false))
+                return response;
+            std::string code = value.getString("code", "unknown");
+            if (isNonRetryableCode(code))
+                return response;
+            // Retryable daemon error: `busy` (with its back-off
+            // hint) or an unanticipated code worth one more try.
+            last_error = "daemon error [" + code + "]: " +
+                         value.getString("error", "unspecified");
+            server_hint_millis =
+                value.getNumber("retry_after_ms", 0.0);
+        }
+        if (attempt == attempts)
+            break;
+
+        // Exponential backoff with jitter in [0.5, 1.5) of the
+        // nominal delay; the server's hint sets the floor so a
+        // herd of shed clients spreads out instead of re-colliding.
+        double nominal = static_cast<double>(t.backoffMillis);
+        for (unsigned a = 1; a < attempt; ++a) {
+            nominal *= 2.0;
+            if (nominal >= kBackoffCapMillis)
+                break;
+        }
+        if (nominal > kBackoffCapMillis)
+            nominal = kBackoffCapMillis;
+        if (server_hint_millis > nominal)
+            nominal = server_hint_millis;
+        double fraction =
+            std::uniform_real_distribution<double>(0.5, 1.5)(
+                jitter_rng);
+        auto sleep_millis =
+            static_cast<unsigned>(nominal * fraction);
+        if (t.verbose) {
+            std::cerr << "attempt " << attempt << "/" << attempts
+                      << " failed (" << last_error << "); retrying in "
+                      << sleep_millis << " ms\n";
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(sleep_millis));
+    }
+    fatal(last_error + " (after " + std::to_string(attempts) +
+          (attempts == 1 ? " attempt)" : " attempts)"));
 }
 
 /** Parse a response and fail the process on `ok: false`. */
@@ -135,14 +256,31 @@ parseConfigFlag(const std::string& flag, const std::string& value,
     return true;
 }
 
+/**
+ * Random 16-hex id minted once per logical request and reused across
+ * retries, so daemon-side logs and responses correlate attempts.
+ */
 std::string
-runRequest(const std::string& workload, const RunFlags& flags)
+makeRequestId()
+{
+    std::random_device rd;
+    std::uint64_t bits = (static_cast<std::uint64_t>(rd()) << 32) ^
+                         rd();
+    std::ostringstream oss;
+    oss << std::hex << std::setw(16) << std::setfill('0') << bits;
+    return oss.str();
+}
+
+std::string
+runRequest(const std::string& workload, const RunFlags& flags,
+           const std::string& request_id)
 {
     std::ostringstream oss;
     stats::JsonWriter json(oss);
     json.beginObject();
     json.field("type", "run");
     json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("request_id", request_id);
     json.field("workload", workload);
     json.field("flush", flags.flush);
     service::writeCacheConfig(json, "config", flags.config);
@@ -152,13 +290,15 @@ runRequest(const std::string& workload, const RunFlags& flags)
 
 std::string
 sweepRequest(const std::string& workload, const std::string& axis,
-             const core::CacheConfig& base)
+             const core::CacheConfig& base,
+             const std::string& request_id)
 {
     std::ostringstream oss;
     stats::JsonWriter json(oss);
     json.beginObject();
     json.field("type", "sweep");
     json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("request_id", request_id);
     json.field("workload", workload);
     json.field("axis", axis);
     service::writeCacheConfig(json, "config", base);
@@ -195,10 +335,7 @@ reportCacheStatus(const service::JsonValue& response, bool verbose)
 int
 main(int argc, char** argv)
 {
-    std::string host = "127.0.0.1";
-    std::uint16_t port = 7421;
-    unsigned timeout_millis = 300000;
-    bool verbose = false;
+    Transport transport;
 
     int i = 1;
     for (; i < argc; ++i) {
@@ -208,20 +345,41 @@ main(int argc, char** argv)
             return 0;
         }
         if (flag == "--verbose") {
-            verbose = true;
+            transport.verbose = true;
+            continue;
+        }
+        if (flag == "--retry") {
+            // The attempt count is optional: bare --retry uses the
+            // default, a following number overrides it.
+            transport.attempts = kDefaultRetryAttempts;
+            if (i + 1 < argc &&
+                std::isdigit(
+                    static_cast<unsigned char>(argv[i + 1][0]))) {
+                transport.attempts = static_cast<unsigned>(
+                    std::strtoul(argv[++i], nullptr, 10));
+                if (transport.attempts == 0)
+                    transport.attempts = 1;
+            }
+            continue;
+        }
+        if (flag == "--backoff" && i + 1 < argc) {
+            transport.backoffMillis = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (transport.backoffMillis == 0)
+                transport.backoffMillis = 1;
             continue;
         }
         if (flag == "--host" && i + 1 < argc) {
-            host = argv[++i];
+            transport.host = argv[++i];
             continue;
         }
         if (flag == "--port" && i + 1 < argc) {
-            port = static_cast<std::uint16_t>(
+            transport.port = static_cast<std::uint16_t>(
                 std::strtoul(argv[++i], nullptr, 10));
             continue;
         }
         if (flag == "--timeout" && i + 1 < argc) {
-            timeout_millis = static_cast<unsigned>(
+            transport.timeoutMillis = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
             continue;
         }
@@ -251,12 +409,12 @@ main(int argc, char** argv)
             }
             flags.config.validate();
 
-            std::string response_text =
-                exchange(host, port, timeout_millis,
-                         runRequest(workload, flags));
+            std::string response_text = exchange(
+                transport,
+                runRequest(workload, flags, makeRequestId()));
             service::JsonValue response =
                 parseResponse(response_text);
-            reportCacheStatus(response, verbose);
+            reportCacheStatus(response, transport.verbose);
 
             const service::JsonValue& payload =
                 response.get("payload");
@@ -292,12 +450,12 @@ main(int argc, char** argv)
             if (axis.empty() || !service::isSweepMetric(metric))
                 return usage();
 
-            std::string response_text =
-                exchange(host, port, timeout_millis,
-                         sweepRequest(workload, axis, base));
+            std::string response_text = exchange(
+                transport,
+                sweepRequest(workload, axis, base, makeRequestId()));
             service::JsonValue response =
                 parseResponse(response_text);
-            reportCacheStatus(response, verbose);
+            reportCacheStatus(response, transport.verbose);
 
             const service::JsonValue& payload =
                 response.get("payload");
@@ -319,10 +477,10 @@ main(int argc, char** argv)
             return 0;
         }
 
-        if (command == "stats" || command == "ping" ||
-            command == "shutdown") {
-            std::string response_text = exchange(
-                host, port, timeout_millis, bareRequest(command));
+        if (command == "stats" || command == "health" ||
+            command == "ping" || command == "shutdown") {
+            std::string response_text =
+                exchange(transport, bareRequest(command));
             parseResponse(response_text);
             std::cout << response_text;
             if (response_text.empty() ||

@@ -8,7 +8,9 @@
  *   jcache-sweep <trace.jct | workload> --axis size|line|assoc
  *       [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
- *       [--jobs N] [--progress] [--json <report.json>] [--version]
+ *       [--jobs N] [--progress] [--json <report.json>]
+ *       [--checkpoint <file> [--checkpoint-every N] [--resume]]
+ *       [--version]
  *
  * Metrics:
  *   miss    — counted-miss ratio (%)
@@ -23,14 +25,23 @@
  * --progress reports per-point completion and a run summary on
  * stderr; --json exports the SweepReport (per-job wall time,
  * throughput, utilization) for observability tooling.
+ *
+ * --checkpoint makes the sweep crash-safe: every N completed points
+ * (default 1) the finished cells are atomically persisted, and
+ * --resume replays only the cells the checkpoint is missing.  A
+ * resumed sweep prints a table byte-identical to an uninterrupted
+ * one; resuming against a checkpoint from a different sweep (other
+ * trace, axis or base config) is refused.
  */
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 
+#include "service/checkpoint.hh"
 #include "service/render.hh"
 #include "sim/parallel.hh"
 #include "sim/run.hh"
@@ -53,9 +64,20 @@ usage()
         "size|line|assoc\n"
         "  [--metric miss|traffic|dirty] [--hit wt|wb] "
         "[--miss fow|wv|wa|wi]\n"
-        "  [--jobs N] [--progress] [--json <report.json>] "
+        "  [--jobs N] [--progress] [--json <report.json>]\n"
+        "  [--checkpoint <file> [--checkpoint-every N] [--resume]] "
         "[--version]\n";
     return 2;
+}
+
+/** Print per-cell failures; returns true when any cell failed. */
+bool
+reportFailures(const sim::SweepReport& report)
+{
+    for (const sim::JobFailure& f : report.failures)
+        std::cerr << "error: sweep point " << f.index
+                  << " failed: " << f.message << "\n";
+    return !report.allSucceeded();
 }
 
 } // namespace
@@ -73,6 +95,9 @@ main(int argc, char** argv)
     std::string axis = "size";
     std::string metric = "miss";
     std::string json_path;
+    std::string checkpoint_path;
+    unsigned checkpoint_every = 1;
+    bool resume = false;
     unsigned jobs = 0;
     bool progress = false;
     core::CacheConfig base;
@@ -83,6 +108,10 @@ main(int argc, char** argv)
             std::string flag = argv[i];
             if (flag == "--progress") {
                 progress = true;
+                continue;
+            }
+            if (flag == "--resume") {
+                resume = true;
                 continue;
             }
             if (i + 1 >= argc)
@@ -97,6 +126,13 @@ main(int argc, char** argv)
                     std::strtoul(value.c_str(), nullptr, 10));
             } else if (flag == "--json") {
                 json_path = value;
+            } else if (flag == "--checkpoint") {
+                checkpoint_path = value;
+            } else if (flag == "--checkpoint-every") {
+                checkpoint_every = static_cast<unsigned>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+                if (checkpoint_every == 0)
+                    checkpoint_every = 1;
             } else if (flag == "--hit") {
                 auto policy = core::parseHitPolicy(value);
                 if (!policy)
@@ -114,6 +150,10 @@ main(int argc, char** argv)
 
         if (!service::isSweepMetric(metric))
             return usage();
+        if (resume && checkpoint_path.empty()) {
+            std::cerr << "error: --resume requires --checkpoint\n";
+            return usage();
+        }
 
         std::string source = argv[1];
         trace::Trace trace = std::filesystem::exists(source)
@@ -139,8 +179,67 @@ main(int argc, char** argv)
             };
         }
         sim::ParallelExecutor executor(jobs, on_progress);
-        sim::SweepOutcome outcome = executor.run(grid);
+        sim::SweepOutcome outcome;
 
+        if (checkpoint_path.empty()) {
+            outcome = executor.run(grid);
+        } else {
+            // Crash-safe path: replay only the cells the checkpoint
+            // is missing and persist every `checkpoint_every`
+            // completions, plus once at the end so a finished sweep
+            // leaves a complete checkpoint behind.
+            service::SweepCheckpoint plan;
+            plan.trace = trace.name();
+            plan.axis = axis;
+            plan.configKey = service::canonicalConfigKey(base);
+            plan.cells = grid.size();
+
+            service::SweepCheckpoint checkpoint = plan;
+            if (resume &&
+                std::filesystem::exists(checkpoint_path)) {
+                checkpoint =
+                    service::SweepCheckpoint::load(checkpoint_path);
+                fatalIf(!checkpoint.sameSweep(plan),
+                        "checkpoint " + checkpoint_path +
+                            " belongs to a different sweep");
+                if (progress) {
+                    std::cerr << "resuming: "
+                              << checkpoint.completed.size() << "/"
+                              << checkpoint.cells
+                              << " points already done\n";
+                }
+            }
+
+            std::vector<std::size_t> todo =
+                checkpoint.missingIndices();
+            outcome.results.resize(grid.size());
+            for (const auto& [index, result] : checkpoint.completed)
+                outcome.results[index] = result;
+
+            std::mutex checkpoint_mutex;
+            std::size_t since_save = 0;
+            outcome.report = executor.runTasks(
+                todo.size(), [&](std::size_t k) {
+                    std::size_t index = todo[k];
+                    const sim::SweepJob& job = grid[index];
+                    outcome.results[index] = sim::runTrace(
+                        *job.trace, job.config, job.flushAtEnd);
+                    std::lock_guard<std::mutex> lock(
+                        checkpoint_mutex);
+                    checkpoint.record(index,
+                                      outcome.results[index]);
+                    if (++since_save >= checkpoint_every) {
+                        checkpoint.save(checkpoint_path);
+                        since_save = 0;
+                    }
+                    return outcome.results[index].instructions;
+                });
+            if (outcome.report.allSucceeded())
+                checkpoint.save(checkpoint_path);
+        }
+
+        if (reportFailures(outcome.report))
+            return 1;
         service::renderSweepTable(std::cout, axis, metric,
                                   trace.name(), base, points.labels,
                                   outcome.results);
