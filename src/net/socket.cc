@@ -170,6 +170,33 @@ Socket::readAll(void* buf, std::size_t len)
 }
 
 IoResult
+Socket::readSome(void* buf, std::size_t len)
+{
+    IoResult result;
+    if (JCACHE_FAULT("socket.read")) {
+        result.status = IoStatus::Error;  // simulated ECONNRESET
+        return result;
+    }
+    for (;;) {
+        ssize_t n = ::recv(fd_, buf, len, 0);
+        if (n > 0) {
+            result.bytes = static_cast<std::size_t>(n);
+            return result;
+        }
+        if (n == 0) {
+            result.status = IoStatus::Closed;
+            return result;
+        }
+        if (errno == EINTR)
+            continue;
+        result.status = (errno == EAGAIN || errno == EWOULDBLOCK)
+            ? IoStatus::Timeout
+            : IoStatus::Error;
+        return result;
+    }
+}
+
+IoResult
 Socket::writeAll(const void* buf, std::size_t len)
 {
     IoResult result;

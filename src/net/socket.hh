@@ -90,6 +90,14 @@ class Socket
     /** Read exactly `len` bytes unless EOF/timeout/error intervenes. */
     IoResult readAll(void* buf, std::size_t len);
 
+    /**
+     * Read whatever is available, up to `len` bytes — for protocols
+     * without a length prefix (the telemetry layer's HTTP endpoint
+     * reads until a blank line).  Ok with bytes > 0 on data; Closed
+     * on EOF before any byte.
+     */
+    IoResult readSome(void* buf, std::size_t len);
+
     /** Write exactly `len` bytes unless timeout/error intervenes. */
     IoResult writeAll(const void* buf, std::size_t len);
 

@@ -9,6 +9,7 @@
 
 #include "stats/counter.hh"
 #include "stats/table.hh"
+#include "telemetry/trace_writer.hh"
 #include "util/logging.hh"
 
 namespace jcache::service
@@ -199,6 +200,7 @@ void
 writeRunResult(stats::JsonWriter& json, const std::string& key,
                const sim::RunResult& result)
 {
+    telemetry::Span span("render.run_result", "service");
     const core::CacheStats& s = result.cache;
     json.beginObject(key);
     writeCacheConfig(json, "config", result.config);

@@ -7,8 +7,33 @@
 
 #include <cstdio>
 
+#include "telemetry/metrics.hh"
+
 namespace jcache::service
 {
+
+namespace
+{
+
+/** Armed-only mirror of a lookup outcome into the metrics registry. */
+void
+countLookup(bool hit)
+{
+    if (!telemetry::armed())
+        return;
+    auto& reg = telemetry::Registry::instance();
+    static telemetry::Counter& hits =
+        reg.counter("jcache_result_cache_lookups_total",
+                    "Result-cache lookups, by outcome",
+                    {{"outcome", "hit"}});
+    static telemetry::Counter& misses =
+        reg.counter("jcache_result_cache_lookups_total",
+                    "Result-cache lookups, by outcome",
+                    {{"outcome", "miss"}});
+    (hit ? hits : misses).inc();
+}
+
+} // namespace
 
 std::string
 digestKey(const std::string& canonical_key)
@@ -32,9 +57,11 @@ ResultCache::lookup(const std::string& digest)
     auto it = map_.find(digest);
     if (it == map_.end()) {
         ++misses_;
+        countLookup(false);
         return std::nullopt;
     }
     ++hits_;
+    countLookup(true);
     order_.splice(order_.begin(), order_, it->second);
     return it->second->payload;
 }
@@ -55,6 +82,13 @@ ResultCache::insert(const std::string& digest, std::string payload)
         map_.erase(order_.back().digest);
         order_.pop_back();
         ++evictions_;
+        if (telemetry::armed()) {
+            static telemetry::Counter& evictions =
+                telemetry::Registry::instance().counter(
+                    "jcache_result_cache_evictions_total",
+                    "Result-cache entries evicted by LRU pressure");
+            evictions.inc();
+        }
     }
     order_.push_front({digest, std::move(payload)});
     map_[digest] = order_.begin();

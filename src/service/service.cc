@@ -11,6 +11,8 @@
 #include "service/json_value.hh"
 #include "service/render.hh"
 #include "stats/json.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace_writer.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
@@ -23,8 +25,19 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
-/** Cap on retained per-job wall-time samples (newest kept). */
-constexpr std::size_t kMaxWallSamples = 4096;
+/** Bump the armed-only per-type request counter. */
+void
+countRequest(const std::string& type)
+{
+    if (!telemetry::armed())
+        return;
+    telemetry::Registry::instance()
+        .counter("jcache_requests_total",
+                 "Requests handled, by request type",
+                 {{"type", type}})
+        .inc();
+}
+
 
 /** An `ok: false` response with a machine-readable code. */
 std::string
@@ -82,18 +95,6 @@ okResponse(const std::string& type, const std::string& digest,
     return oss.str();
 }
 
-/** Percentile of a sample set (nearest-rank); 0 when empty. */
-double
-percentile(std::vector<double> samples, double p)
-{
-    if (samples.empty())
-        return 0.0;
-    std::sort(samples.begin(), samples.end());
-    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
-    auto idx = static_cast<std::size_t>(rank);
-    return samples[idx];
-}
-
 } // namespace
 
 Service::Service(const ServiceConfig& config)
@@ -136,6 +137,14 @@ Service::schedulerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
+        // The queue wait starts on the submitter's thread and ends
+        // here; submitted is sampled only while a capture is active,
+        // and a capture begun mid-wait leaves it zero — skip those.
+        if (telemetry::tracing() &&
+            job.submitted.time_since_epoch().count() != 0) {
+            telemetry::recordSpan("job.queue_wait", "service",
+                                  job.submitted, Clock::now());
+        }
         if (JCACHE_FAULT("service.delay")) {
             // Chaos/regression hook: make this job observably slow so
             // shutdown-drain races have a window to land in.
@@ -143,26 +152,33 @@ Service::schedulerLoop()
                 std::chrono::milliseconds(300));
         }
         Clock::time_point start = Clock::now();
-        try {
-            job.outcome->payload = job.work();
-        } catch (const FatalError& e) {
-            job.outcome->error = e.what();
-        } catch (const std::exception& e) {
-            job.outcome->error = std::string("internal error: ") +
-                                 e.what();
+        {
+            telemetry::Span run_span("job.run", "service");
+            try {
+                job.outcome->payload = job.work();
+            } catch (const FatalError& e) {
+                job.outcome->error = e.what();
+            } catch (const std::exception& e) {
+                job.outcome->error =
+                    std::string("internal error: ") + e.what();
+            }
         }
         // Account the job before signaling the submitter: a stats
         // request issued right after a run must already see it.
         double seconds =
             std::chrono::duration<double>(Clock::now() - start)
                 .count();
+        jobWall_.observe(seconds);
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++jobsExecuted_;
-            if (jobWallSamples_.size() >= kMaxWallSamples) {
-                jobWallSamples_.erase(jobWallSamples_.begin());
-            }
-            jobWallSamples_.push_back(seconds);
+        }
+        if (telemetry::armed()) {
+            static telemetry::Counter& jobs =
+                telemetry::Registry::instance().counter(
+                    "jcache_jobs_executed_total",
+                    "Simulation jobs drained from the queue");
+            jobs.inc();
         }
         {
             std::lock_guard<std::mutex> lock(*job.done_mutex);
@@ -193,6 +209,14 @@ Service::submitAndWait(std::function<std::string()> work,
         std::lock_guard<std::mutex> lock(queue_mutex_);
         if (queue_.size() >= config_.queueCapacity ||
             JCACHE_FAULT("service.admit")) {
+            if (telemetry::armed()) {
+                static telemetry::Counter& shed =
+                    telemetry::Registry::instance().counter(
+                        "jcache_jobs_shed_total",
+                        "Jobs rejected busy (queue full or injected "
+                        "overload)");
+                shed.inc();
+            }
             std::lock_guard<std::mutex> stats_lock(stats_mutex_);
             ++rejectedBusy_;
             return false;
@@ -203,6 +227,8 @@ Service::submitAndWait(std::function<std::string()> work,
         job.done_mutex = &done_mutex;
         job.done_cv = &done_cv;
         job.done = &done;
+        if (telemetry::tracing())
+            job.submitted = Clock::now();
         queue_.push_back(std::move(job));
     }
     queue_cv_.notify_one();
@@ -217,6 +243,25 @@ Service::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     return queue_.size();
+}
+
+ServiceSnapshot
+Service::snapshot() const
+{
+    ServiceSnapshot snap;
+    snap.cache = cache_.stats();
+    snap.queueDepth = queueDepth();
+    snap.queueCapacity = config_.queueCapacity;
+    snap.jobWallP50Seconds = jobWall_.percentile(50.0);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snap.requests = requests_;
+    snap.errors = errors_;
+    snap.protocolErrors = protocolErrors_;
+    snap.rejectedBusy = rejectedBusy_;
+    snap.jobsExecuted = jobsExecuted_;
+    snap.uptimeSeconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    return snap;
 }
 
 void
@@ -260,6 +305,12 @@ Service::handle(const std::string& request_json)
     }
 
     std::string type = request.getString("type");
+    // Label values come from a fixed vocabulary: an unrecognized type
+    // counts as "unknown" so untrusted input cannot mint label sets.
+    bool known = type == "run" || type == "sweep" || type == "stats" ||
+                 type == "health" || type == "ping" ||
+                 type == "shutdown";
+    countRequest(known ? type : "unknown");
     try {
         if (type == "run") {
             std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -341,8 +392,13 @@ Service::handleRun(const JsonValue& request,
     std::string digest = digestKey("run|" + workload + "|" +
                                    canonicalConfigKey(config) + "|" +
                                    (flush ? "f1" : "f0"));
-    if (auto hit = cache_.lookup(digest))
-        return okResponse("run", digest, true, *hit, request_id);
+    {
+        telemetry::Span lookup_span("cache.lookup", "service");
+        auto hit = cache_.lookup(digest);
+        lookup_span.arg("hit", hit ? "true" : "false");
+        if (hit)
+            return okResponse("run", digest, true, *hit, request_id);
+    }
 
     JobOutcome outcome;
     bool admitted = submitAndWait(
@@ -398,8 +454,14 @@ Service::handleSweep(const JsonValue& request,
     // every metric is derivable from the cached raw counts.
     std::string digest = digestKey("sweep|" + workload + "|" + axis +
                                    "|" + canonicalConfigKey(base));
-    if (auto hit = cache_.lookup(digest))
-        return okResponse("sweep", digest, true, *hit, request_id);
+    {
+        telemetry::Span lookup_span("cache.lookup", "service");
+        auto hit = cache_.lookup(digest);
+        lookup_span.arg("hit", hit ? "true" : "false");
+        if (hit)
+            return okResponse("sweep", digest, true, *hit,
+                              request_id);
+    }
 
     JobOutcome outcome;
     bool admitted = submitAndWait(
@@ -489,11 +551,7 @@ unsigned
 Service::retryAfterMillis() const
 {
     std::size_t depth = queueDepth();
-    double p50_seconds;
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        p50_seconds = percentile(jobWallSamples_, 50.0);
-    }
+    double p50_seconds = jobWall_.percentile(50.0);
     // With no completed jobs yet there is no wall-time signal; a
     // fixed middle-of-the-clamp guess beats advertising the minimum.
     double hint_millis = p50_seconds > 0.0
@@ -611,14 +669,10 @@ Service::statsPayload() const
                    ? std::min(1.0, jobBusySeconds_ / capacity_seconds)
                    : 0.0);
     json.beginObject("wall_seconds");
-    json.field("p50", percentile(jobWallSamples_, 50.0));
-    json.field("p90", percentile(jobWallSamples_, 90.0));
-    json.field("p99", percentile(jobWallSamples_, 99.0));
-    json.field("max",
-               jobWallSamples_.empty()
-                   ? 0.0
-                   : *std::max_element(jobWallSamples_.begin(),
-                                       jobWallSamples_.end()));
+    json.field("p50", jobWall_.percentile(50.0));
+    json.field("p90", jobWall_.percentile(90.0));
+    json.field("p99", jobWall_.percentile(99.0));
+    json.field("max", jobWall_.max());
     json.endObject();
     json.endObject();
     json.endObject();

@@ -42,11 +42,34 @@
 #include "service/result_cache.hh"
 #include "sim/parallel.hh"
 #include "sim/sweeps.hh"
+#include "telemetry/metrics.hh"
 
 namespace jcache::service
 {
 
 class JsonValue;
+
+/**
+ * Point-in-time view of one Service's gauges, for the telemetry
+ * exporter's scrape-time refresh (jcached samples these into registry
+ * gauges) and for anything else that wants the numbers without
+ * parsing a stats response.
+ */
+struct ServiceSnapshot
+{
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t protocolErrors = 0;
+    std::uint64_t rejectedBusy = 0;
+    std::uint64_t jobsExecuted = 0;
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+    ResultCacheStats cache;
+    double uptimeSeconds = 0.0;
+
+    /** Median job wall time, from the job wall-time histogram. */
+    double jobWallP50Seconds = 0.0;
+};
 
 /** Tunables of one Service instance. */
 struct ServiceConfig
@@ -104,6 +127,9 @@ class Service
     /** Number of jobs waiting in the queue right now. */
     std::size_t queueDepth() const;
 
+    /** Sample the service's observable state (see ServiceSnapshot). */
+    ServiceSnapshot snapshot() const;
+
   private:
     struct JobOutcome
     {
@@ -119,6 +145,12 @@ class Service
         std::mutex* done_mutex = nullptr;
         std::condition_variable* done_cv = nullptr;
         bool* done = nullptr;
+
+        /**
+         * When the submitter enqueued the job; sampled only while a
+         * trace capture is active, for the queue-wait span.
+         */
+        std::chrono::steady_clock::time_point submitted{};
     };
 
     std::string handleRun(const JsonValue& request,
@@ -176,7 +208,15 @@ class Service
     std::uint64_t jobsExecuted_ = 0;
     double jobBusySeconds_ = 0.0;
     double jobGridSeconds_ = 0.0;
-    std::vector<double> jobWallSamples_;
+
+    /**
+     * Job wall times in a fixed-bucket histogram: O(buckets) memory
+     * no matter how long the daemon runs, and percentile reads do not
+     * hold stats_mutex_ (the histogram is internally thread-safe).
+     * Owned directly — retry_after_ms depends on its p50 whether or
+     * not a telemetry exporter is attached.
+     */
+    telemetry::Histogram jobWall_;
     std::chrono::steady_clock::time_point start_;
 };
 

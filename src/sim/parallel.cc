@@ -16,6 +16,8 @@
 #include "stats/csv.hh"
 #include "stats/json.hh"
 #include "stats/table.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace_writer.hh"
 
 namespace jcache::sim
 {
@@ -177,6 +179,10 @@ ParallelExecutor::runTasks(
         workers = count == 0 ? 1 : static_cast<unsigned>(count);
     report.threads = workers;
 
+    telemetry::Span grid_span("sweep.grid", "sim");
+    grid_span.arg("jobs", std::to_string(count));
+    grid_span.arg("threads", std::to_string(workers));
+
     Clock::time_point grid_start = Clock::now();
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
@@ -188,21 +194,42 @@ ParallelExecutor::runTasks(
             std::size_t i = cursor.fetch_add(1);
             if (i >= count)
                 return;
+            telemetry::Span cell_span("sweep.cell", "sim");
+            cell_span.arg("index", std::to_string(i));
             Clock::time_point job_start = Clock::now();
             Count instructions = 0;
+            bool failed = false;
             // A throwing task must cost only its own cell; an escaped
             // exception on a pool thread would terminate the process.
             try {
                 instructions = task(i);
             } catch (const std::exception& e) {
+                failed = true;
                 std::lock_guard<std::mutex> lock(failures_mutex);
                 report.failures.push_back({i, e.what()});
             } catch (...) {
+                failed = true;
                 std::lock_guard<std::mutex> lock(failures_mutex);
                 report.failures.push_back({i, "unknown error"});
             }
             report.timings[i].wallSeconds = secondsSince(job_start);
             report.timings[i].instructions = instructions;
+            if (telemetry::armed()) {
+                auto& reg = telemetry::Registry::instance();
+                static telemetry::Counter& cells = reg.counter(
+                    "jcache_sweep_cells_total",
+                    "Sweep grid cells executed");
+                static telemetry::Counter& cell_failures = reg.counter(
+                    "jcache_sweep_cell_failures_total",
+                    "Sweep grid cells whose task threw");
+                static telemetry::Histogram& cell_seconds =
+                    reg.histogram("jcache_sweep_cell_seconds",
+                                  "Wall time of one sweep grid cell");
+                cells.inc();
+                if (failed)
+                    cell_failures.inc();
+                cell_seconds.observe(report.timings[i].wallSeconds);
+            }
             std::size_t completed = done.fetch_add(1) + 1;
             if (progress_) {
                 std::lock_guard<std::mutex> lock(progress_mutex);

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "stats/table.hh"
+#include "telemetry/trace_writer.hh"
 #include "util/logging.hh"
 
 namespace jcache::sim
@@ -47,8 +48,11 @@ legalPolicyPairs()
 
 TraceSet::TraceSet(const workloads::WorkloadConfig& config)
 {
-    for (const auto& workload : workloads::makeAllWorkloads(config))
+    for (const auto& workload : workloads::makeAllWorkloads(config)) {
+        telemetry::Span span("trace.generate", "sim");
         traces_.push_back(workloads::generateTrace(*workload));
+        span.arg("workload", traces_.back().name());
+    }
 }
 
 const trace::Trace&

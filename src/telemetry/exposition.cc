@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Implementation of exposition rendering and parsing.
+ */
+
+#include "telemetry/exposition.hh"
+
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace jcache::telemetry
+{
+
+namespace
+{
+
+/** Escape a HELP text: backslash and newline. */
+std::string
+escapeHelp(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Escape a label value: backslash, quote and newline. */
+std::string
+escapeLabelValue(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** `{k="v",...}` or empty when there are no labels. */
+std::string
+labelBlock(const Labels& labels,
+           const std::string& extra_key = "",
+           const std::string& extra_value = "")
+{
+    if (labels.empty() && extra_key.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += k + "=\"" + escapeLabelValue(v) + "\"";
+    }
+    if (!extra_key.empty()) {
+        if (!first)
+            out += ',';
+        out += extra_key + "=\"" + escapeLabelValue(extra_value) +
+               "\"";
+    }
+    out += '}';
+    return out;
+}
+
+std::string
+formatNumber(double value)
+{
+    if (value == std::numeric_limits<double>::infinity())
+        return "+Inf";
+    if (value == -std::numeric_limits<double>::infinity())
+        return "-Inf";
+    return stats::JsonWriter::number(value);
+}
+
+const char*
+typeName(InstrumentKind kind)
+{
+    switch (kind) {
+      case InstrumentKind::Counter:
+        return "counter";
+      case InstrumentKind::Gauge:
+        return "gauge";
+      case InstrumentKind::Histogram:
+        return "histogram";
+    }
+    return "untyped";
+}
+
+bool
+nameHead(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           c == '_' || c == ':';
+}
+
+bool
+nameTail(char c)
+{
+    return nameHead(c) || (c >= '0' && c <= '9');
+}
+
+/** Scan a metric name at `pos`; empty result means no name there. */
+std::string
+scanName(const std::string& line, std::size_t& pos)
+{
+    std::size_t start = pos;
+    if (pos >= line.size() || !nameHead(line[pos]))
+        return "";
+    while (pos < line.size() && nameTail(line[pos]))
+        ++pos;
+    return line.substr(start, pos - start);
+}
+
+bool
+parseValue(const std::string& text, double& value)
+{
+    if (text == "+Inf" || text == "Inf") {
+        value = std::numeric_limits<double>::infinity();
+        return true;
+    }
+    if (text == "-Inf") {
+        value = -std::numeric_limits<double>::infinity();
+        return true;
+    }
+    if (text == "NaN") {
+        value = std::numeric_limits<double>::quiet_NaN();
+        return true;
+    }
+    const char* begin = text.c_str();
+    char* end = nullptr;
+    value = std::strtod(begin, &end);
+    return end != begin && *end == '\0';
+}
+
+/** Unescape a quoted label value body. */
+std::string
+unescapeLabelValue(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            char next = s[++i];
+            if (next == 'n')
+                out += '\n';
+            else
+                out += next;
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+/** Parse `{k="v",...}` starting at `pos` (which points at '{'). */
+bool
+parseLabels(const std::string& line, std::size_t& pos,
+            Labels& labels)
+{
+    ++pos; // consume '{'
+    while (pos < line.size() && line[pos] != '}') {
+        std::string key = scanName(line, pos);
+        if (key.empty() || pos >= line.size() || line[pos] != '=')
+            return false;
+        ++pos;
+        if (pos >= line.size() || line[pos] != '"')
+            return false;
+        ++pos;
+        std::string raw;
+        while (pos < line.size() && line[pos] != '"') {
+            if (line[pos] == '\\' && pos + 1 < line.size()) {
+                raw += line[pos];
+                ++pos;
+            }
+            raw += line[pos];
+            ++pos;
+        }
+        if (pos >= line.size())
+            return false;
+        ++pos; // closing quote
+        labels.emplace_back(key, unescapeLabelValue(raw));
+        if (pos < line.size() && line[pos] == ',')
+            ++pos;
+    }
+    if (pos >= line.size())
+        return false;
+    ++pos; // '}'
+    return true;
+}
+
+} // namespace
+
+void
+render(std::ostream& os, const std::vector<FamilySnapshot>& families)
+{
+    for (const FamilySnapshot& family : families) {
+        os << "# HELP " << family.name << ' '
+           << escapeHelp(family.help) << '\n';
+        os << "# TYPE " << family.name << ' '
+           << typeName(family.kind) << '\n';
+        for (const SampleSnapshot& sample : family.samples) {
+            os << family.name << labelBlock(sample.labels) << ' '
+               << formatNumber(sample.value) << '\n';
+        }
+        for (const HistogramSnapshot& histogram :
+             family.histograms) {
+            std::uint64_t cumulative = 0;
+            for (const auto& [bound, count] : histogram.cumulative) {
+                cumulative = count;
+                os << family.name << "_bucket"
+                   << labelBlock(histogram.labels, "le",
+                                 formatNumber(bound))
+                   << ' ' << cumulative << '\n';
+            }
+            os << family.name << "_bucket"
+               << labelBlock(histogram.labels, "le", "+Inf") << ' '
+               << histogram.count << '\n';
+            os << family.name << "_sum"
+               << labelBlock(histogram.labels) << ' '
+               << formatNumber(histogram.sum) << '\n';
+            os << family.name << "_count"
+               << labelBlock(histogram.labels) << ' '
+               << histogram.count << '\n';
+        }
+    }
+}
+
+std::string
+renderRegistry()
+{
+    std::ostringstream oss;
+    render(oss, Registry::instance().snapshot());
+    return oss.str();
+}
+
+bool
+parse(const std::string& text, std::vector<ParsedFamily>& families,
+      std::string* error)
+{
+    families.clear();
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t line_number = 0;
+
+    auto fail = [&](const std::string& what) {
+        if (error) {
+            *error = "line " + std::to_string(line_number) + ": " +
+                     what;
+        }
+        return false;
+    };
+
+    while (std::getline(lines, line)) {
+        ++line_number;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+
+        if (line.rfind("# HELP ", 0) == 0 ||
+            line.rfind("# TYPE ", 0) == 0) {
+            bool is_help = line[2] == 'H';
+            std::size_t pos = 7;
+            std::string name = scanName(line, pos);
+            if (name.empty())
+                return fail("missing metric name in header");
+            if (pos < line.size() && line[pos] == ' ')
+                ++pos;
+            std::string rest = line.substr(pos);
+            if (families.empty() || families.back().name != name) {
+                ParsedFamily family;
+                family.name = name;
+                families.push_back(std::move(family));
+            }
+            if (is_help)
+                families.back().help = rest;
+            else
+                families.back().type = rest;
+            continue;
+        }
+        if (line[0] == '#')
+            return fail("comment is neither # HELP nor # TYPE");
+
+        std::size_t pos = 0;
+        ParsedSample sample;
+        sample.name = scanName(line, pos);
+        if (sample.name.empty())
+            return fail("sample does not start with a metric name");
+        if (pos < line.size() && line[pos] == '{') {
+            if (!parseLabels(line, pos, sample.labels))
+                return fail("malformed label block");
+        }
+        if (pos >= line.size() || line[pos] != ' ')
+            return fail("expected ' ' before the sample value");
+        ++pos;
+        std::string value_text = line.substr(pos);
+        // An optional timestamp (an integer) may follow the value.
+        std::size_t space = value_text.find(' ');
+        if (space != std::string::npos)
+            value_text = value_text.substr(0, space);
+        if (!parseValue(value_text, sample.value))
+            return fail("malformed sample value '" + value_text +
+                        "'");
+
+        // A histogram's _bucket/_sum/_count samples belong to the
+        // family whose name prefixes theirs.
+        if (families.empty() ||
+            sample.name.rfind(families.back().name, 0) != 0) {
+            ParsedFamily family;
+            family.name = sample.name;
+            families.push_back(std::move(family));
+        }
+        families.back().samples.push_back(std::move(sample));
+    }
+    return true;
+}
+
+} // namespace jcache::telemetry

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Prometheus text exposition: rendering and parsing.
+ *
+ * The wire format (text exposition format 0.0.4) is three line
+ * shapes per metric family:
+ *
+ *     # HELP <name> <help text>
+ *     # TYPE <name> counter|gauge|histogram
+ *     <name>{<label>="<value>",...} <number>
+ *
+ * Histogram families expand into `<name>_bucket{le="..."}` cumulative
+ * bucket lines (ending at `le="+Inf"`), plus `<name>_sum` and
+ * `<name>_count`.  render() emits the format; parse() reads it back
+ * into structured samples — the client's `metrics` subcommand
+ * pretty-prints through it, and the grammar test round-trips it.
+ */
+
+#ifndef JCACHE_TELEMETRY_EXPOSITION_HH
+#define JCACHE_TELEMETRY_EXPOSITION_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace jcache::telemetry
+{
+
+/** Render family snapshots in Prometheus text exposition format. */
+void render(std::ostream& os,
+            const std::vector<FamilySnapshot>& families);
+
+/** Render the process-wide registry (convenience wrapper). */
+std::string renderRegistry();
+
+/** One parsed sample line (`name{labels} value`). */
+struct ParsedSample
+{
+    /** Full sample name, including any _bucket/_sum/_count suffix. */
+    std::string name;
+
+    Labels labels;
+    double value = 0.0;
+};
+
+/** One parsed metric family: HELP/TYPE header plus its samples. */
+struct ParsedFamily
+{
+    std::string name;
+    std::string help;
+    std::string type;
+    std::vector<ParsedSample> samples;
+};
+
+/**
+ * Parse exposition text into families.  Returns false (and sets
+ * `error` to "line N: what") on the first line that matches none of
+ * the three shapes; samples appearing before any header are grouped
+ * under a family with an empty type.
+ */
+bool parse(const std::string& text,
+           std::vector<ParsedFamily>& families, std::string* error);
+
+} // namespace jcache::telemetry
+
+#endif // JCACHE_TELEMETRY_EXPOSITION_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Implementation of the HTTP exposition endpoint and GET client.
+ */
+
+#include "telemetry/http_exporter.hh"
+
+#include <sstream>
+
+#include "telemetry/exposition.hh"
+
+namespace jcache::telemetry
+{
+
+namespace
+{
+
+/** Cap on an incoming request head; a scraper sends far less. */
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+/** Read until the blank line ending an HTTP request head. */
+bool
+readRequestHead(net::Socket& socket, std::string& head)
+{
+    char buf[1024];
+    while (head.size() < kMaxRequestBytes) {
+        if (head.find("\r\n\r\n") != std::string::npos ||
+            head.find("\n\n") != std::string::npos)
+            return true;
+        net::IoResult r = socket.readSome(buf, sizeof(buf));
+        if (!r.ok())
+            return false;
+        head.append(buf, r.bytes);
+    }
+    return false;
+}
+
+/** The request-line path, or empty on a malformed request. */
+std::string
+requestPath(const std::string& head)
+{
+    std::size_t line_end = head.find('\n');
+    std::string line = head.substr(
+        0, line_end == std::string::npos ? head.size() : line_end);
+    std::istringstream parts(line);
+    std::string method, path;
+    parts >> method >> path;
+    if (method != "GET")
+        return "";
+    return path;
+}
+
+std::string
+httpResponse(unsigned status, const std::string& reason,
+             const std::string& content_type,
+             const std::string& body)
+{
+    std::ostringstream oss;
+    oss << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+        << "Content-Type: " << content_type << "\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << body;
+    return oss.str();
+}
+
+} // namespace
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop();
+}
+
+bool
+MetricsHttpServer::start(std::uint16_t port,
+                         std::function<void()> refresh,
+                         std::string* error)
+{
+    listener_ = net::Listener::listenOn(port, error);
+    if (!listener_.valid())
+        return false;
+    refresh_ = std::move(refresh);
+    stop_.store(false);
+    thread_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void
+MetricsHttpServer::stop()
+{
+    stop_.store(true);
+    if (thread_.joinable())
+        thread_.join();
+    listener_.close();
+}
+
+void
+MetricsHttpServer::loop()
+{
+    while (!stop_.load()) {
+        net::Socket client = listener_.accept(&stop_);
+        if (!client.valid())
+            continue;
+        // A stalled scraper must not wedge the endpoint.
+        client.setTimeout(5000);
+
+        std::string head;
+        if (!readRequestHead(client, head))
+            continue;
+        std::string path = requestPath(head);
+
+        std::string response;
+        if (path == "/metrics" || path == "/") {
+            if (refresh_)
+                refresh_();
+            response = httpResponse(
+                200, "OK", "text/plain; version=0.0.4",
+                renderRegistry());
+        } else {
+            response = httpResponse(404, "Not Found", "text/plain",
+                                    "not found: try /metrics\n");
+        }
+        client.writeAll(response.data(), response.size());
+        client.close();
+    }
+}
+
+bool
+httpGet(const std::string& host, std::uint16_t port,
+        const std::string& path, unsigned& status, std::string& body,
+        std::string* error)
+{
+    net::Socket socket = net::Socket::connectTo(host, port, error);
+    if (!socket.valid())
+        return false;
+    socket.setTimeout(10000);
+
+    std::string request = "GET " + path + " HTTP/1.0\r\n"
+                          "Host: " + host + "\r\n"
+                          "Connection: close\r\n\r\n";
+    if (!socket.writeAll(request.data(), request.size()).ok()) {
+        if (error)
+            *error = "failed to send request";
+        return false;
+    }
+
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        net::IoResult r = socket.readSome(buf, sizeof(buf));
+        if (r.status == net::IoStatus::Closed)
+            break;
+        if (!r.ok()) {
+            if (error)
+                *error = "failed to read response";
+            return false;
+        }
+        response.append(buf, r.bytes);
+    }
+
+    std::size_t line_end = response.find("\r\n");
+    if (line_end == std::string::npos ||
+        response.compare(0, 5, "HTTP/") != 0) {
+        if (error)
+            *error = "malformed HTTP response";
+        return false;
+    }
+    std::istringstream status_line(response.substr(0, line_end));
+    std::string version;
+    status_line >> version >> status;
+    if (status == 0) {
+        if (error)
+            *error = "malformed HTTP status line";
+        return false;
+    }
+
+    std::size_t head_end = response.find("\r\n\r\n");
+    body = head_end == std::string::npos
+        ? std::string()
+        : response.substr(head_end + 4);
+    return true;
+}
+
+} // namespace jcache::telemetry

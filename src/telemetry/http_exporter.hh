@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Prometheus exposition over HTTP, on the existing net::Socket layer.
+ *
+ * MetricsHttpServer is the smallest HTTP responder that a Prometheus
+ * scraper (or `curl`, or `jcache-client metrics`) is happy with: it
+ * binds a loopback port, answers `GET /metrics` with the registry
+ * rendered in text exposition format, and closes the connection
+ * (HTTP/1.0, no keep-alive).  Anything but `/metrics` (or `/`) is a
+ * 404.  jcached enables it with `--metrics-port`.
+ *
+ * A `refresh` callback runs before each render so point-in-time
+ * gauges (queue depth, cache entries, uptime) can be sampled at
+ * scrape time instead of being pushed continuously.
+ *
+ * httpGet() is the matching single-shot client, shared by
+ * `jcache-client metrics` and the tests.
+ */
+
+#ifndef JCACHE_TELEMETRY_HTTP_EXPORTER_HH
+#define JCACHE_TELEMETRY_HTTP_EXPORTER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/socket.hh"
+
+namespace jcache::telemetry
+{
+
+/**
+ * Loopback HTTP/1.0 endpoint serving the metrics registry.
+ *
+ * start() binds and spawns the accept thread; stop() (or the
+ * destructor) drains it.  Scrapes are served one at a time — a
+ * scrape is a registry snapshot plus a small write, microseconds of
+ * work.
+ */
+class MetricsHttpServer
+{
+  public:
+    MetricsHttpServer() = default;
+
+    /** Stops the accept thread. */
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer&) = delete;
+    MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+    /**
+     * Bind 127.0.0.1:`port` (0 = ephemeral) and start serving.
+     * `refresh` (may be null) runs before each render.  Returns
+     * false (and sets `error` when non-null) if the port is
+     * unavailable.
+     */
+    bool start(std::uint16_t port, std::function<void()> refresh,
+               std::string* error = nullptr);
+
+    /** The bound port; meaningful after start(). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /** True between a successful start() and stop(). */
+    bool running() const { return thread_.joinable(); }
+
+    /** Stop accepting and join the accept thread. */
+    void stop();
+
+  private:
+    void loop();
+
+    net::Listener listener_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::function<void()> refresh_;
+};
+
+/**
+ * One-shot `GET path` against host:port.  Returns false (and sets
+ * `error` when non-null) on a transport failure; an HTTP error
+ * status still returns true with `status` and `body` filled.
+ */
+bool httpGet(const std::string& host, std::uint16_t port,
+             const std::string& path, unsigned& status,
+             std::string& body, std::string* error = nullptr);
+
+} // namespace jcache::telemetry
+
+#endif // JCACHE_TELEMETRY_HTTP_EXPORTER_HH

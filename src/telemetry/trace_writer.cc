@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Implementation of the span tracer.
+ */
+
+#include "telemetry/trace_writer.hh"
+
+#include <fstream>
+
+#include "stats/json.hh"
+
+namespace jcache::telemetry
+{
+
+namespace detail
+{
+
+std::atomic<bool> tracing{false};
+
+} // namespace detail
+
+SpanTracer&
+SpanTracer::instance()
+{
+    // Intentionally leaked: spans may close during static
+    // destruction of other objects.
+    static SpanTracer* tracer = new SpanTracer();
+    return *tracer;
+}
+
+void
+SpanTracer::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    epoch_ = std::chrono::steady_clock::now();
+    detail::tracing.store(true, std::memory_order_relaxed);
+}
+
+void
+SpanTracer::stop()
+{
+    detail::tracing.store(false, std::memory_order_relaxed);
+}
+
+void
+SpanTracer::record(TraceEvent event)
+{
+    if (!tracing())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+std::size_t
+SpanTracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+SpanTracer::writeJson(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A bare JSON array of complete events is the most portable of
+    // the trace-event container formats: Perfetto and
+    // chrome://tracing both accept it as-is.  Each event gets its own
+    // writer: JsonWriter serializes one document, and each event is
+    // one complete object.
+    os << "[";
+    bool first = true;
+    for (const TraceEvent& event : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+        stats::JsonWriter json(os);
+        json.beginObject();
+        json.field("name", event.name);
+        json.field("cat", event.category);
+        json.field("ph", "X");
+        json.field("ts", event.startMicros);
+        json.field("dur", event.durationMicros);
+        json.field("pid", 1.0);
+        json.field("tid", static_cast<double>(event.tid));
+        if (!event.args.empty()) {
+            json.beginObject("args");
+            for (const auto& [key, value] : event.args)
+                json.field(key, value);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    os << "]\n";
+}
+
+bool
+SpanTracer::save(const std::string& path, std::string* error) const
+{
+    std::ofstream ofs(path);
+    if (!ofs) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    writeJson(ofs);
+    if (!ofs) {
+        if (error)
+            *error = "write failed: " + path;
+        return false;
+    }
+    return true;
+}
+
+std::uint32_t
+SpanTracer::threadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    auto end = std::chrono::steady_clock::now();
+    SpanTracer& tracer = SpanTracer::instance();
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.startMicros = tracer.micros(start_);
+    event.durationMicros =
+        std::chrono::duration<double, std::micro>(end - start_)
+            .count();
+    event.tid = SpanTracer::threadId();
+    event.args = std::move(args_);
+    tracer.record(std::move(event));
+}
+
+void
+recordSpan(const char* name, const char* category,
+           std::chrono::steady_clock::time_point start,
+           std::chrono::steady_clock::time_point end,
+           std::vector<std::pair<std::string, std::string>> args)
+{
+    if (!tracing())
+        return;
+    SpanTracer& tracer = SpanTracer::instance();
+    TraceEvent event;
+    event.name = name;
+    event.category = category;
+    event.startMicros = tracer.micros(start);
+    event.durationMicros =
+        std::chrono::duration<double, std::micro>(end - start)
+            .count();
+    event.tid = SpanTracer::threadId();
+    event.args = std::move(args);
+    tracer.record(std::move(event));
+}
+
+} // namespace jcache::telemetry

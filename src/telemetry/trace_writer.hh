@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Span tracing in Chrome trace-event format.
+ *
+ * A Span marks one timed region — a workload generation, one sweep
+ * cell, a service job's queue wait — and the SpanTracer collects
+ * completed spans into the Chrome trace-event JSON array that
+ * chrome://tracing and Perfetto load directly (`jcache-sweep
+ * --trace-out out.json`, then open ui.perfetto.dev).
+ *
+ * Tracing is off by default and the Span constructor guards on one
+ * relaxed atomic load (the JCACHE_FAULT pattern), so instrumented
+ * code paths pay a single predictable branch per span when no trace
+ * is being captured: BM_GridSweepParallel throughput is unchanged
+ * with telemetry compiled in.
+ *
+ * Every emitted event is a *complete* event (`"ph": "X"`) carrying
+ * microsecond start and duration relative to the capture's start,
+ * a process id of 1 and a small dense thread id, so the schema is
+ * trivially valid for any trace viewer.
+ */
+
+#ifndef JCACHE_TELEMETRY_TRACE_WRITER_HH
+#define JCACHE_TELEMETRY_TRACE_WRITER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jcache::telemetry
+{
+
+namespace detail
+{
+/** True while a capture is active.  Read through tracing() only. */
+extern std::atomic<bool> tracing;
+} // namespace detail
+
+/** True while the process-wide tracer is capturing spans. */
+inline bool
+tracing()
+{
+    return detail::tracing.load(std::memory_order_relaxed);
+}
+
+/** One completed span, ready for serialization. */
+struct TraceEvent
+{
+    /** Event name (shown on the slice). */
+    std::string name;
+
+    /** Category, for viewer filtering. */
+    std::string category;
+
+    /** Start, microseconds from the capture's start. */
+    double startMicros = 0.0;
+
+    /** Duration in microseconds. */
+    double durationMicros = 0.0;
+
+    /** Dense per-thread id (first traced thread is 0). */
+    std::uint32_t tid = 0;
+
+    /** Optional string arguments, rendered under "args". */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Process-wide collector of completed spans.
+ *
+ * start() begins a capture (clearing previous events); stop() ends
+ * it; writeJson()/save() serialize the capture as a JSON array of
+ * complete events.  record() is thread-safe behind a mutex — spans
+ * close at millisecond cadence (sweep cells, service jobs), so the
+ * lock is never hot.
+ */
+class SpanTracer
+{
+  public:
+    /** The process-wide tracer. */
+    static SpanTracer& instance();
+
+    SpanTracer() = default;
+    SpanTracer(const SpanTracer&) = delete;
+    SpanTracer& operator=(const SpanTracer&) = delete;
+
+    /** Begin a capture: clear events, reset the clock, enable. */
+    void start();
+
+    /** End the capture; events remain until the next start(). */
+    void stop();
+
+    /** Append one completed event (no-op when not capturing). */
+    void record(TraceEvent event);
+
+    /** Convert an absolute time to capture-relative microseconds. */
+    double
+    micros(std::chrono::steady_clock::time_point t) const
+    {
+        return std::chrono::duration<double, std::micro>(t - epoch_)
+            .count();
+    }
+
+    /** Number of events captured so far. */
+    std::size_t eventCount() const;
+
+    /** Serialize the capture as a JSON array of complete events. */
+    void writeJson(std::ostream& os) const;
+
+    /**
+     * Write the capture to `path`.  Returns false (and sets `error`
+     * when non-null) if the file cannot be written.
+     */
+    bool save(const std::string& path,
+              std::string* error = nullptr) const;
+
+    /** Dense id of the calling thread, assigned at first use. */
+    static std::uint32_t threadId();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::chrono::steady_clock::time_point epoch_{};
+};
+
+/**
+ * RAII timed region.  Construction samples the clock only while a
+ * capture is active (one relaxed load otherwise); destruction records
+ * the completed event.
+ */
+class Span
+{
+  public:
+    /**
+     * Open a span.  `name` and `category` must be literals or
+     * otherwise outlive the span.
+     */
+    Span(const char* name, const char* category)
+        : active_(tracing()), name_(name), category_(category)
+    {
+        if (active_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /** Attach a string argument (dropped when not capturing). */
+    void
+    arg(const char* key, const std::string& value)
+    {
+        if (active_)
+            args_.emplace_back(key, value);
+    }
+
+  private:
+    bool active_;
+    const char* name_;
+    const char* category_;
+    std::chrono::steady_clock::time_point start_{};
+    std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/**
+ * Record a span from explicit endpoints — for regions whose start
+ * and end live on different threads (a job's queue wait is opened by
+ * the submitter and closed by the scheduler).  No-op when not
+ * capturing.
+ */
+void recordSpan(const char* name, const char* category,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                std::vector<std::pair<std::string, std::string>>
+                    args = {});
+
+} // namespace jcache::telemetry
+
+#endif // JCACHE_TELEMETRY_TRACE_WRITER_HH

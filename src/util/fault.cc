@@ -11,6 +11,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace jcache::fault
@@ -38,6 +39,15 @@ struct Site
     std::uint64_t calls = 0;
     std::uint64_t injected = 0;
     std::string spec;  //!< trigger text, echoed in summary()
+
+    /**
+     * Telemetry mirrors of calls/injected, resolved lazily the first
+     * time the site is evaluated with telemetry armed.  Registry
+     * instruments are process-lived, so the cached pointers stay
+     * valid across configure()/reset().
+     */
+    telemetry::Counter* callsCounter = nullptr;
+    telemetry::Counter* firedCounter = nullptr;
 };
 
 struct Registry
@@ -137,6 +147,33 @@ parseTrigger(const std::string& site, const std::string& text,
           site + "' (use pX|nK|everyK|always|off)");
 }
 
+/**
+ * Mirror one guard evaluation into the metrics registry (armed-only,
+ * so a disarmed process pays one relaxed load here).  Runs under the
+ * fault registry mutex; the telemetry registry mutex nests inside it,
+ * never the reverse.
+ */
+void
+mirrorToTelemetry(Site& site, const char* site_name, bool fired)
+{
+    if (!telemetry::armed())
+        return;
+    if (!site.callsCounter) {
+        auto& reg = telemetry::Registry::instance();
+        site.callsCounter =
+            &reg.counter("jcache_fault_calls_total",
+                         "Fault-site guard evaluations, by site",
+                         {{"site", site_name}});
+        site.firedCounter =
+            &reg.counter("jcache_fault_fired_total",
+                         "Fault injections fired, by site",
+                         {{"site", site_name}});
+    }
+    site.callsCounter->inc();
+    if (fired)
+        site.firedCounter->inc();
+}
+
 } // namespace
 
 namespace detail
@@ -169,6 +206,7 @@ shouldInject(const char* site_name)
         Site& site = r.sites[site_name];
         site.rng = r.seed ^ hashSite(site_name);
         ++site.calls;
+        mirrorToTelemetry(site, site_name, false);
         return false;
     }
     Site& site = it->second;
@@ -192,6 +230,7 @@ shouldInject(const char* site_name)
     }
     if (fire)
         ++site.injected;
+    mirrorToTelemetry(site, site_name, fire);
     return fire;
 }
 

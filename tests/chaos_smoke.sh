@@ -13,6 +13,8 @@
 #      daemon's result cache rather than recomputing)
 #   3. the daemon keeps serving throughout: health still answers and
 #      reports it is accepting
+#   4. telemetry observed the chaos: the scraped
+#      jcache_fault_fired_total counters are nonzero
 #
 # The fault seed is pinned so every CI run replays the same fault
 # sequence.
@@ -26,6 +28,7 @@ WORKDIR=$3
 
 mkdir -p "$WORKDIR"
 PORT_FILE="$WORKDIR/jcached.port"
+METRICS_PORT_FILE="$WORKDIR/jcached.metrics-port"
 DAEMON_LOG="$WORKDIR/jcached.log"
 DAEMON_PID=""
 
@@ -37,18 +40,20 @@ fail() {
 }
 
 start_daemon() {
-    rm -f "$PORT_FILE"
+    rm -f "$PORT_FILE" "$METRICS_PORT_FILE"
     "$JCACHED" --port 0 --port-file "$PORT_FILE" \
+        --metrics-port 0 --metrics-port-file "$METRICS_PORT_FILE" \
         > "$DAEMON_LOG" 2>&1 &
     DAEMON_PID=$!
     tries=0
-    while [ ! -s "$PORT_FILE" ]; do
+    while [ ! -s "$PORT_FILE" ] || [ ! -s "$METRICS_PORT_FILE" ]; do
         tries=$((tries + 1))
-        [ "$tries" -gt 100 ] && fail "daemon never wrote its port"
+        [ "$tries" -gt 100 ] && fail "daemon never wrote its ports"
         kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited early"
         sleep 0.1
     done
     PORT=$(cat "$PORT_FILE")
+    MPORT=$(cat "$METRICS_PORT_FILE")
 }
 
 stop_daemon() {
@@ -106,6 +111,27 @@ kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died under faults"
     > "$WORKDIR/health.json" || fail "health under faults"
 grep -q '"accepting": true' "$WORKDIR/health.json" \
     || fail "daemon stopped accepting under faults"
+
+# Telemetry saw the chaos: the fault-site counters are live on the
+# metrics endpoint and fired at least once.  The scrape itself rides
+# the fault-injected socket layer, so retry it a few times.
+tries=0
+while :; do
+    if "$CLIENT" metrics --metrics-port "$MPORT" \
+        > "$WORKDIR/metrics.txt" 2>/dev/null; then
+        break
+    fi
+    tries=$((tries + 1))
+    [ "$tries" -gt 20 ] && fail "metrics scrape kept failing"
+    sleep 0.1
+done
+FIRED=$(awk '/^jcache_fault_fired_total / { in_fam = 1; next }
+             /^[a-zA-Z_]/ { in_fam = 0 }
+             in_fam { s += $NF }
+             END { printf "%.0f", s }' "$WORKDIR/metrics.txt")
+[ -n "$FIRED" ] && [ "$FIRED" -gt 0 ] \
+    || fail "jcache_fault_fired_total is zero under chaos"
+echo "chaos_smoke: telemetry counted $FIRED fired faults"
 
 stop_daemon
 echo "chaos_smoke: PASS"

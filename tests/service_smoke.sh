@@ -8,7 +8,9 @@
 #   2. `jcache-client sweep` output is byte-identical to jcache-sweep
 #   3. a repeated run is reported as a result-cache hit
 #   4. stats reflect the cache hit
-#   5. an in-band shutdown drains the daemon
+#   5. `jcache-client metrics` scrapes --metrics-port, and the
+#      request counter increases monotonically between scrapes
+#   6. an in-band shutdown drains the daemon
 #
 # Usage: service_smoke.sh <jcached> <jcache-client> <jcache-sim> \
 #            <jcache-sweep> <workdir>
@@ -22,8 +24,9 @@ WORKDIR=$5
 
 mkdir -p "$WORKDIR"
 PORT_FILE="$WORKDIR/jcached.port"
+METRICS_PORT_FILE="$WORKDIR/jcached.metrics-port"
 DAEMON_LOG="$WORKDIR/jcached.log"
-rm -f "$PORT_FILE"
+rm -f "$PORT_FILE" "$METRICS_PORT_FILE"
 
 fail() {
     echo "service_smoke: FAIL: $1" >&2
@@ -32,12 +35,14 @@ fail() {
     exit 1
 }
 
-"$JCACHED" --port 0 --port-file "$PORT_FILE" > "$DAEMON_LOG" 2>&1 &
+"$JCACHED" --port 0 --port-file "$PORT_FILE" \
+    --metrics-port 0 --metrics-port-file "$METRICS_PORT_FILE" \
+    > "$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!
 
-# Wait for the daemon to publish its ephemeral port.
+# Wait for the daemon to publish its ephemeral ports.
 tries=0
-while [ ! -s "$PORT_FILE" ]; do
+while [ ! -s "$PORT_FILE" ] || [ ! -s "$METRICS_PORT_FILE" ]; do
     tries=$((tries + 1))
     [ "$tries" -gt 100 ] && fail "daemon never wrote its port file"
     kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited early"
@@ -81,7 +86,34 @@ echo "service_smoke: repeated run served from result cache"
 grep -q '"hits": 1' "$WORKDIR/stats.json" \
     || fail "stats do not show the result-cache hit"
 
-# 5. Graceful in-band shutdown.
+# 5. Scrape the Prometheus endpoint through the client, twice: the
+#    request counter must be present and increase monotonically with
+#    the ping sandwiched between the scrapes.
+MPORT=$(cat "$METRICS_PORT_FILE")
+# Sum the family's samples: the pretty-printer shows a `name (type)`
+# header line, then indented `{labels} = value` lines.
+requests_total() {
+    awk '/^jcache_requests_total / { in_fam = 1; next }
+         /^[a-zA-Z_]/ { in_fam = 0 }
+         in_fam { s += $NF }
+         END { printf "%.0f", s }' "$1"
+}
+"$CLIENT" metrics --metrics-port "$MPORT" > "$WORKDIR/metrics1.txt" \
+    || fail "metrics scrape"
+R1=$(requests_total "$WORKDIR/metrics1.txt")
+[ -n "$R1" ] && [ "$R1" -gt 0 ] \
+    || fail "scrape shows no jcache_requests_total samples"
+"$CLIENT" --port "$PORT" ping > /dev/null || fail "ping between scrapes"
+"$CLIENT" metrics --metrics-port "$MPORT" > "$WORKDIR/metrics2.txt" \
+    || fail "second metrics scrape"
+R2=$(requests_total "$WORKDIR/metrics2.txt")
+[ "$R2" -gt "$R1" ] \
+    || fail "jcache_requests_total did not increase ($R1 -> $R2)"
+"$CLIENT" metrics --metrics-port "$MPORT" --json \
+    | grep -q '"families"' || fail "metrics --json"
+echo "service_smoke: request counter monotonic across scrapes ($R1 -> $R2)"
+
+# 6. Graceful in-band shutdown.
 "$CLIENT" --port "$PORT" shutdown > /dev/null || fail "shutdown"
 tries=0
 while kill -0 "$DAEMON_PID" 2>/dev/null; do

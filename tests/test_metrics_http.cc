@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Integration tests for the metrics HTTP endpoint
+ * (telemetry/http_exporter.hh): a MetricsHttpServer on an ephemeral
+ * loopback port scraped with httpGet(), the same pair jcached and
+ * `jcache-client metrics` use in production.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/exposition.hh"
+#include "telemetry/http_exporter.hh"
+#include "telemetry/metrics.hh"
+
+using namespace jcache;
+
+namespace
+{
+
+/** Scrape helper: GET `path` off the server, assert transport-ok. */
+void
+scrape(const telemetry::MetricsHttpServer& server,
+       const std::string& path, unsigned& status, std::string& body)
+{
+    std::string error;
+    ASSERT_TRUE(telemetry::httpGet("127.0.0.1", server.port(), path,
+                                   status, body, &error))
+        << error;
+}
+
+/** Find a family by name in parsed exposition; null when absent. */
+const telemetry::ParsedFamily*
+findFamily(const std::vector<telemetry::ParsedFamily>& families,
+           const std::string& name)
+{
+    for (const telemetry::ParsedFamily& f : families)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(MetricsHttp, ServesTheRegistryOnMetrics)
+{
+    telemetry::Registry::instance()
+        .counter("test_http_scrapes_total", "Scrapes served")
+        .inc(5);
+
+    telemetry::MetricsHttpServer server;
+    std::string error;
+    ASSERT_TRUE(server.start(0, nullptr, &error)) << error;
+    ASSERT_NE(server.port(), 0);
+    EXPECT_TRUE(server.running());
+
+    unsigned status = 0;
+    std::string body;
+    scrape(server, "/metrics", status, body);
+    EXPECT_EQ(status, 200u);
+
+    std::vector<telemetry::ParsedFamily> families;
+    ASSERT_TRUE(telemetry::parse(body, families, &error)) << error;
+    const telemetry::ParsedFamily* family =
+        findFamily(families, "test_http_scrapes_total");
+    ASSERT_NE(family, nullptr);
+    EXPECT_EQ(family->type, "counter");
+    ASSERT_EQ(family->samples.size(), 1u);
+    EXPECT_GE(family->samples[0].value, 5.0);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(MetricsHttp, CounterIncreasesAcrossScrapes)
+{
+    telemetry::Counter& c = telemetry::Registry::instance().counter(
+        "test_http_monotonic_total", "Monotonic across scrapes");
+
+    telemetry::MetricsHttpServer server;
+    ASSERT_TRUE(server.start(0, nullptr));
+
+    auto sample = [&server]() -> double {
+        unsigned status = 0;
+        std::string body, error;
+        EXPECT_TRUE(telemetry::httpGet("127.0.0.1", server.port(),
+                                       "/metrics", status, body,
+                                       &error))
+            << error;
+        EXPECT_EQ(status, 200u);
+        std::vector<telemetry::ParsedFamily> families;
+        EXPECT_TRUE(telemetry::parse(body, families, &error))
+            << error;
+        const telemetry::ParsedFamily* family =
+            findFamily(families, "test_http_monotonic_total");
+        if (!family || family->samples.empty())
+            return -1.0;
+        return family->samples[0].value;
+    };
+
+    double first = sample();
+    c.inc(3);
+    double second = sample();
+    EXPECT_EQ(second, first + 3.0);
+}
+
+TEST(MetricsHttp, RefreshRunsBeforeEachRender)
+{
+    int refreshes = 0;
+    telemetry::MetricsHttpServer server;
+    ASSERT_TRUE(server.start(0, [&refreshes] {
+        telemetry::Registry::instance()
+            .gauge("test_http_refresh_gauge", "Scrape-time sample")
+            .set(static_cast<double>(++refreshes));
+    }));
+
+    unsigned status = 0;
+    std::string body;
+    scrape(server, "/metrics", status, body);
+    scrape(server, "/metrics", status, body);
+    EXPECT_EQ(refreshes, 2);
+    EXPECT_NE(body.find("test_http_refresh_gauge 2"),
+              std::string::npos);
+}
+
+TEST(MetricsHttp, UnknownPathIs404)
+{
+    telemetry::MetricsHttpServer server;
+    ASSERT_TRUE(server.start(0, nullptr));
+
+    unsigned status = 0;
+    std::string body;
+    scrape(server, "/nope", status, body);
+    EXPECT_EQ(status, 404u);
+
+    // The root path aliases /metrics for browser convenience.
+    scrape(server, "/", status, body);
+    EXPECT_EQ(status, 200u);
+}
+
+TEST(MetricsHttp, StopIsIdempotentAndRestartable)
+{
+    telemetry::MetricsHttpServer server;
+    ASSERT_TRUE(server.start(0, nullptr));
+    std::uint16_t port = server.port();
+    ASSERT_NE(port, 0);
+    server.stop();
+    server.stop();
+    EXPECT_FALSE(server.running());
+
+    // The port is released: a fresh server can bind it again.
+    telemetry::MetricsHttpServer next;
+    std::string error;
+    ASSERT_TRUE(next.start(port, nullptr, &error)) << error;
+    unsigned status = 0;
+    std::string body;
+    scrape(next, "/metrics", status, body);
+    EXPECT_EQ(status, 200u);
+}

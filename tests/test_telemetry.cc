@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem: instruments and their
+ * concurrency guarantees (telemetry/metrics.hh), histogram bucket
+ * and percentile edge cases, Prometheus exposition grammar and
+ * round-trip (telemetry/exposition.hh), and the span tracer's Chrome
+ * trace-event output (telemetry/trace_writer.hh).
+ *
+ * The registry and tracer are process-wide singletons, so every test
+ * uses metric names unique to itself; nothing here depends on test
+ * execution order.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/json_value.hh"
+#include "telemetry/exposition.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace_writer.hh"
+#include "util/logging.hh"
+
+using namespace jcache;
+
+// ---------------------------------------------------------------------
+// Counter
+
+TEST(Counter, StartsAtZeroAndCounts)
+{
+    telemetry::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact)
+{
+    // Sharding trades read ordering for contention-free writes; the
+    // total must still be exact once writers join.
+    telemetry::Counter c;
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 100000;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&c] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                c.inc();
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+
+TEST(Gauge, SetAndAdd)
+{
+    telemetry::Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(2.5);
+    EXPECT_EQ(g.value(), 2.5);
+    g.add(-1.0);
+    EXPECT_EQ(g.value(), 1.5);
+}
+
+TEST(Gauge, ConcurrentAddsAreExact)
+{
+    telemetry::Gauge g;
+    constexpr unsigned kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&g] {
+            for (int i = 0; i < kPerThread; ++i)
+                g.add(1.0);
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+    // Each add is a CAS loop over a small-integer double: exact.
+    EXPECT_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------
+// Histogram edge cases
+
+TEST(Histogram, EmptyReportsZeroes)
+{
+    telemetry::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryPercentile)
+{
+    // The estimate interpolates inside a bucket but clamps to the
+    // observed [min, max]; with one sample that makes it exact.
+    telemetry::Histogram h;
+    h.observe(0.42);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.42);
+    EXPECT_DOUBLE_EQ(h.min(), 0.42);
+    EXPECT_DOUBLE_EQ(h.max(), 0.42);
+    for (double p : {0.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 0.42) << "p=" << p;
+}
+
+TEST(Histogram, OverflowBucketIsBoundedByObservedMax)
+{
+    telemetry::HistogramOptions options;
+    options.maxBound = 10.0;
+    telemetry::Histogram h(options);
+    h.observe(5000.0);
+    EXPECT_EQ(h.bucketCount(h.bounds().size()), 1u);
+    EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+    // Without the clamp the overflow bucket would estimate +Inf.
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 5000.0);
+}
+
+TEST(Histogram, NegativeObservationsClampToFirstBucket)
+{
+    telemetry::Histogram h;
+    h.observe(-3.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), -3.0);
+}
+
+TEST(Histogram, PercentilesAreMonotonicAndBounded)
+{
+    telemetry::Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.observe(i * 0.001);  // 1ms .. 1s
+    EXPECT_EQ(h.count(), 1000u);
+    double p50 = h.percentile(50.0);
+    double p90 = h.percentile(90.0);
+    double p99 = h.percentile(99.0);
+    EXPECT_LE(h.min(), p50);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, h.max());
+    // Log-spaced buckets give coarse estimates; just pin the decade.
+    EXPECT_NEAR(p50, 0.5, 0.3);
+    EXPECT_NEAR(p99, 0.99, 0.5);
+}
+
+TEST(Histogram, ConcurrentObservationsKeepExactCountAndSum)
+{
+    telemetry::Histogram h;
+    constexpr unsigned kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.observe(0.5);
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(h.sum(), kThreads * kPerThread * 0.5);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 0.5);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+TEST(Registry, SameNameAndLabelsReturnsSameInstrument)
+{
+    auto& reg = telemetry::Registry::instance();
+    telemetry::Counter& a =
+        reg.counter("test_registry_identity_total", "help");
+    telemetry::Counter& b =
+        reg.counter("test_registry_identity_total", "help");
+    EXPECT_EQ(&a, &b);
+    telemetry::Counter& labeled = reg.counter(
+        "test_registry_identity_total", "help", {{"k", "v"}});
+    EXPECT_NE(&a, &labeled);
+}
+
+TEST(Registry, KindConflictIsFatal)
+{
+    auto& reg = telemetry::Registry::instance();
+    reg.counter("test_registry_conflict_total", "help");
+    EXPECT_THROW(reg.gauge("test_registry_conflict_total", "help"),
+                 FatalError);
+}
+
+TEST(Registry, InvalidMetricNameIsFatal)
+{
+    auto& reg = telemetry::Registry::instance();
+    EXPECT_THROW(reg.counter("0bad", "help"), FatalError);
+    EXPECT_THROW(reg.counter("has space", "help"), FatalError);
+    EXPECT_THROW(reg.counter("", "help"), FatalError);
+}
+
+TEST(Registry, ConcurrentFindOrCreateAndIncrementIsExact)
+{
+    // The TSan CI job runs this binary: concurrent registration of
+    // the same family plus lock-free increments must be clean and
+    // lose nothing.
+    auto& reg = telemetry::Registry::instance();
+    constexpr unsigned kThreads = 8;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&reg, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                reg.counter("test_registry_stress_total", "help")
+                    .inc();
+                reg.counter("test_registry_stress_total", "help",
+                            {{"shard", t % 2 ? "odd" : "even"}})
+                    .inc();
+                reg.histogram("test_registry_stress_seconds", "help")
+                    .observe(0.001 * i);
+                reg.gauge("test_registry_stress_depth", "help")
+                    .set(static_cast<double>(i));
+            }
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+    EXPECT_EQ(
+        reg.counter("test_registry_stress_total", "help").value(),
+        static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(reg.histogram("test_registry_stress_seconds", "help")
+                  .count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, ArmedIsToggleable)
+{
+    bool before = telemetry::armed();
+    telemetry::setArmed(true);
+    EXPECT_TRUE(telemetry::armed());
+    telemetry::setArmed(false);
+    EXPECT_FALSE(telemetry::armed());
+    telemetry::setArmed(before);
+}
+
+// ---------------------------------------------------------------------
+// Exposition: grammar and round-trip
+
+namespace
+{
+
+/**
+ * Register a family of each kind and render the registry.  The
+ * registry is a process singleton and the increments below accumulate,
+ * so this runs once; every test shares the same rendered text.
+ */
+const std::string&
+sampleExposition()
+{
+    static const std::string text = [] {
+        auto& reg = telemetry::Registry::instance();
+        reg.counter("test_expo_requests_total", "Requests, by type",
+                    {{"type", "run"}})
+            .inc(3);
+        reg.counter("test_expo_requests_total", "Requests, by type",
+                    {{"type", "sweep"}})
+            .inc();
+        reg.gauge("test_expo_depth", "Queue depth right now")
+            .set(2.0);
+        telemetry::Histogram& h = reg.histogram(
+            "test_expo_wall_seconds", "Job wall time");
+        h.observe(0.001);
+        h.observe(0.25);
+        h.observe(4000.0);  // overflow bucket
+        return telemetry::renderRegistry();
+    }();
+    return text;
+}
+
+} // namespace
+
+TEST(Exposition, EveryLineMatchesTheGrammar)
+{
+    const std::string& text = sampleExposition();
+    ASSERT_FALSE(text.empty());
+
+    // The three legal line shapes of text exposition format 0.0.4.
+    std::regex help_re(R"(# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*)");
+    std::regex type_re(
+        R"(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram))");
+    std::regex sample_re(
+        R"([a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+]?([0-9][0-9.eE+-]*|Inf|NaN))");
+
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t checked = 0;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty()) << "blank line in exposition";
+        bool ok = std::regex_match(line, help_re) ||
+                  std::regex_match(line, type_re) ||
+                  std::regex_match(line, sample_re);
+        EXPECT_TRUE(ok) << "line fails grammar: " << line;
+        ++checked;
+    }
+    EXPECT_GE(checked, 10u);
+}
+
+TEST(Exposition, HistogramExpandsToCumulativeBucketsSumCount)
+{
+    const std::string& text = sampleExposition();
+    EXPECT_NE(text.find("# TYPE test_expo_wall_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("test_expo_wall_seconds_bucket{le=\"+Inf\"} 3"),
+        std::string::npos);
+    EXPECT_NE(text.find("test_expo_wall_seconds_count 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_expo_wall_seconds_sum"),
+              std::string::npos);
+}
+
+TEST(Exposition, RenderedTextParsesBack)
+{
+    const std::string& text = sampleExposition();
+    std::vector<telemetry::ParsedFamily> families;
+    std::string error;
+    ASSERT_TRUE(telemetry::parse(text, families, &error)) << error;
+
+    const telemetry::ParsedFamily* requests = nullptr;
+    const telemetry::ParsedFamily* wall = nullptr;
+    for (const telemetry::ParsedFamily& f : families) {
+        if (f.name == "test_expo_requests_total")
+            requests = &f;
+        if (f.name == "test_expo_wall_seconds")
+            wall = &f;
+    }
+    ASSERT_NE(requests, nullptr);
+    EXPECT_EQ(requests->type, "counter");
+    EXPECT_EQ(requests->help, "Requests, by type");
+    ASSERT_EQ(requests->samples.size(), 2u);
+    double total = 0.0;
+    for (const telemetry::ParsedSample& s : requests->samples) {
+        ASSERT_EQ(s.labels.size(), 1u);
+        EXPECT_EQ(s.labels[0].first, "type");
+        total += s.value;
+    }
+    EXPECT_DOUBLE_EQ(total, 4.0);
+
+    ASSERT_NE(wall, nullptr);
+    EXPECT_EQ(wall->type, "histogram");
+    bool found_inf = false;
+    for (const telemetry::ParsedSample& s : wall->samples) {
+        if (s.name == "test_expo_wall_seconds_count") {
+            EXPECT_DOUBLE_EQ(s.value, 3.0);
+        }
+        for (const auto& [key, value] : s.labels) {
+            if (key == "le" && value == "+Inf") {
+                found_inf = true;
+                EXPECT_DOUBLE_EQ(s.value, 3.0);
+            }
+        }
+    }
+    EXPECT_TRUE(found_inf);
+}
+
+TEST(Exposition, MalformedLineIsRejectedWithItsNumber)
+{
+    std::vector<telemetry::ParsedFamily> families;
+    std::string error;
+    EXPECT_FALSE(telemetry::parse("# TYPE ok counter\n%%%\n",
+                                  families, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
+// Span tracer
+
+TEST(Tracer, DisabledCapturesNothing)
+{
+    telemetry::SpanTracer& tracer = telemetry::SpanTracer::instance();
+    tracer.stop();
+    std::size_t before = tracer.eventCount();
+    {
+        telemetry::Span span("not.captured", "test");
+        span.arg("k", "v");
+    }
+    telemetry::recordSpan("not.captured.either", "test",
+                          std::chrono::steady_clock::now(),
+                          std::chrono::steady_clock::now());
+    EXPECT_FALSE(telemetry::tracing());
+    EXPECT_EQ(tracer.eventCount(), before);
+}
+
+TEST(Tracer, CapturesCompleteEventsAsValidJson)
+{
+    telemetry::SpanTracer& tracer = telemetry::SpanTracer::instance();
+    tracer.start();
+    EXPECT_TRUE(telemetry::tracing());
+    {
+        telemetry::Span span("unit.work", "test");
+        span.arg("cell", "7");
+    }
+    {
+        telemetry::Span span("unit.other", "test");
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    telemetry::recordSpan("unit.cross_thread", "test", t0,
+                          t0 + std::chrono::microseconds(250));
+    tracer.stop();
+    EXPECT_FALSE(telemetry::tracing());
+    ASSERT_EQ(tracer.eventCount(), 3u);
+
+    std::ostringstream oss;
+    tracer.writeJson(oss);
+
+    // The output must be a JSON array of complete ("ph": "X") events
+    // — the schema chrome://tracing and Perfetto load directly.
+    std::string parse_error;
+    service::JsonValue doc =
+        service::JsonValue::parse(oss.str(), &parse_error);
+    ASSERT_TRUE(parse_error.empty()) << parse_error;
+    ASSERT_TRUE(doc.isArray());
+    ASSERT_EQ(doc.items().size(), 3u);
+    bool saw_args = false;
+    for (const service::JsonValue& event : doc.items()) {
+        ASSERT_TRUE(event.isObject());
+        EXPECT_EQ(event.getString("ph"), "X");
+        EXPECT_FALSE(event.getString("name").empty());
+        EXPECT_EQ(event.getString("cat"), "test");
+        EXPECT_GE(event.getNumber("ts", -1.0), 0.0);
+        EXPECT_GE(event.getNumber("dur", -1.0), 0.0);
+        EXPECT_EQ(event.getNumber("pid", 0.0), 1.0);
+        if (event.getString("name") == "unit.work") {
+            saw_args = true;
+            EXPECT_EQ(event.get("args").getString("cell"), "7");
+        }
+    }
+    EXPECT_TRUE(saw_args);
+}
+
+TEST(Tracer, StartClearsThePreviousCapture)
+{
+    telemetry::SpanTracer& tracer = telemetry::SpanTracer::instance();
+    tracer.start();
+    { telemetry::Span span("first.capture", "test"); }
+    tracer.stop();
+    EXPECT_GE(tracer.eventCount(), 1u);
+    tracer.start();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    tracer.stop();
+}
+
+TEST(Tracer, SaveWritesTheFile)
+{
+    telemetry::SpanTracer& tracer = telemetry::SpanTracer::instance();
+    tracer.start();
+    { telemetry::Span span("saved.span", "test"); }
+    tracer.stop();
+
+    std::string path = ::testing::TempDir() + "trace_out_test.json";
+    std::string error;
+    ASSERT_TRUE(tracer.save(path, &error)) << error;
+    std::ifstream ifs(path);
+    std::string content((std::istreambuf_iterator<char>(ifs)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("\"saved.span\""), std::string::npos);
+    EXPECT_NE(content.find("\"ph\": \"X\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Tracer, ConcurrentSpansAllLand)
+{
+    telemetry::SpanTracer& tracer = telemetry::SpanTracer::instance();
+    tracer.start();
+    constexpr unsigned kThreads = 4;
+    constexpr int kPerThread = 250;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([] {
+            for (int i = 0; i < kPerThread; ++i)
+                telemetry::Span span("stress.span", "test");
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+    tracer.stop();
+    EXPECT_EQ(tracer.eventCount(),
+              static_cast<std::size_t>(kThreads) * kPerThread);
+}

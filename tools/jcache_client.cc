@@ -14,6 +14,12 @@
  *   sweep <workload> --axis size|line|assoc [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
  *   stats | health | ping | shutdown
+ *   metrics [--metrics-port N] [--json]
+ *
+ * `metrics` scrapes the daemon's Prometheus exposition endpoint
+ * (jcached --metrics-port) over plain HTTP — no framing, no daemon
+ * protocol — and pretty-prints the families, or re-emits them as one
+ * JSON document with --json for scripts.
  *
  * `run` and `sweep` print byte-identical tables to jcache-sim and
  * jcache-sweep: the daemon returns raw counts and the client formats
@@ -45,6 +51,8 @@
 #include "service/json_value.hh"
 #include "service/render.hh"
 #include "stats/json.hh"
+#include "telemetry/exposition.hh"
+#include "telemetry/http_exporter.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
 
@@ -70,8 +78,76 @@ usage()
         "  stats\n"
         "  health\n"
         "  ping\n"
-        "  shutdown\n";
+        "  shutdown\n"
+        "  metrics [--metrics-port N] [--json]\n";
     return 2;
+}
+
+/** Default exposition port, one above the daemon's request port. */
+constexpr std::uint16_t kDefaultMetricsPort = 7422;
+
+/** `key="value",...` for human-readable sample lines. */
+std::string
+labelText(const telemetry::Labels& labels)
+{
+    if (labels.empty())
+        return "";
+    std::string text = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0)
+            text += ",";
+        text += labels[i].first + "=\"" + labels[i].second + "\"";
+    }
+    return text + "}";
+}
+
+/** Pretty-print parsed families, one indented sample per line. */
+void
+printMetrics(const std::vector<telemetry::ParsedFamily>& families)
+{
+    for (const telemetry::ParsedFamily& fam : families) {
+        std::cout << fam.name << " (" << fam.type << ")";
+        if (!fam.help.empty())
+            std::cout << ": " << fam.help;
+        std::cout << "\n";
+        for (const telemetry::ParsedSample& s : fam.samples) {
+            std::cout << "  ";
+            if (s.name != fam.name)
+                std::cout << s.name;
+            std::cout << labelText(s.labels) << " = " << s.value
+                      << "\n";
+        }
+    }
+}
+
+/** Re-emit parsed families as one JSON document for scripts. */
+void
+printMetricsJson(const std::vector<telemetry::ParsedFamily>& families)
+{
+    stats::JsonWriter json(std::cout);
+    json.beginObject();
+    json.beginArray("families");
+    for (const telemetry::ParsedFamily& fam : families) {
+        json.beginObject();
+        json.field("name", fam.name);
+        json.field("type", fam.type);
+        json.field("help", fam.help);
+        json.beginArray("samples");
+        for (const telemetry::ParsedSample& s : fam.samples) {
+            json.beginObject();
+            json.field("name", s.name);
+            json.beginObject("labels");
+            for (const auto& [key, value] : s.labels)
+                json.field(key, value);
+            json.endObject();
+            json.field("value", s.value);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
 }
 
 /** Connection endpoint plus the retry policy applied to it. */
@@ -139,7 +215,7 @@ tryExchange(const Transport& t, const std::string& request,
  * frame-aligned.
  */
 std::string
-exchange(const Transport& t, const std::string& request)
+exchangeWithRetry(const Transport& t, const std::string& request)
 {
     unsigned attempts = t.attempts == 0 ? 1 : t.attempts;
     std::mt19937_64 jitter_rng(std::random_device{}());
@@ -409,7 +485,7 @@ main(int argc, char** argv)
             }
             flags.config.validate();
 
-            std::string response_text = exchange(
+            std::string response_text = exchangeWithRetry(
                 transport,
                 runRequest(workload, flags, makeRequestId()));
             service::JsonValue response =
@@ -450,7 +526,7 @@ main(int argc, char** argv)
             if (axis.empty() || !service::isSweepMetric(metric))
                 return usage();
 
-            std::string response_text = exchange(
+            std::string response_text = exchangeWithRetry(
                 transport,
                 sweepRequest(workload, axis, base, makeRequestId()));
             service::JsonValue response =
@@ -477,10 +553,45 @@ main(int argc, char** argv)
             return 0;
         }
 
+        if (command == "metrics") {
+            std::uint16_t metrics_port = kDefaultMetricsPort;
+            bool as_json = false;
+            for (; i < argc; ++i) {
+                std::string flag = argv[i];
+                if (flag == "--json") {
+                    as_json = true;
+                    continue;
+                }
+                if (flag == "--metrics-port" && i + 1 < argc) {
+                    metrics_port = static_cast<std::uint16_t>(
+                        std::strtoul(argv[++i], nullptr, 10));
+                    continue;
+                }
+                return usage();
+            }
+
+            unsigned status = 0;
+            std::string body, error;
+            fatalIf(!telemetry::httpGet(transport.host, metrics_port,
+                                        "/metrics", status, body,
+                                        &error),
+                    error);
+            fatalIf(status != 200, "metrics endpoint returned HTTP " +
+                                       std::to_string(status));
+            std::vector<telemetry::ParsedFamily> families;
+            fatalIf(!telemetry::parse(body, families, &error),
+                    "malformed exposition: " + error);
+            if (as_json)
+                printMetricsJson(families);
+            else
+                printMetrics(families);
+            return 0;
+        }
+
         if (command == "stats" || command == "health" ||
             command == "ping" || command == "shutdown") {
             std::string response_text =
-                exchange(transport, bareRequest(command));
+                exchangeWithRetry(transport, bareRequest(command));
             parseResponse(response_text);
             std::cout << response_text;
             if (response_text.empty() ||

@@ -9,6 +9,7 @@
  *       [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
  *       [--jobs N] [--progress] [--json <report.json>]
+ *       [--trace-out <events.json>]
  *       [--checkpoint <file> [--checkpoint-every N] [--resume]]
  *       [--version]
  *
@@ -25,6 +26,10 @@
  * --progress reports per-point completion and a run summary on
  * stderr; --json exports the SweepReport (per-job wall time,
  * throughput, utilization) for observability tooling.
+ *
+ * --trace-out captures spans (trace generation, the sweep grid, every
+ * grid cell, rendering) and writes them as Chrome trace-event JSON,
+ * loadable in chrome://tracing or ui.perfetto.dev.
  *
  * --checkpoint makes the sweep crash-safe: every N completed points
  * (default 1) the finished cells are atomically persisted, and
@@ -44,6 +49,7 @@
 #include "service/checkpoint.hh"
 #include "service/render.hh"
 #include "sim/parallel.hh"
+#include "telemetry/trace_writer.hh"
 #include "sim/run.hh"
 #include "sim/sweeps.hh"
 #include "trace/file_io.hh"
@@ -65,6 +71,7 @@ usage()
         "  [--metric miss|traffic|dirty] [--hit wt|wb] "
         "[--miss fow|wv|wa|wi]\n"
         "  [--jobs N] [--progress] [--json <report.json>]\n"
+        "  [--trace-out <events.json>]\n"
         "  [--checkpoint <file> [--checkpoint-every N] [--resume]] "
         "[--version]\n";
     return 2;
@@ -95,6 +102,7 @@ main(int argc, char** argv)
     std::string axis = "size";
     std::string metric = "miss";
     std::string json_path;
+    std::string trace_out;
     std::string checkpoint_path;
     unsigned checkpoint_every = 1;
     bool resume = false;
@@ -126,6 +134,8 @@ main(int argc, char** argv)
                     std::strtoul(value.c_str(), nullptr, 10));
             } else if (flag == "--json") {
                 json_path = value;
+            } else if (flag == "--trace-out") {
+                trace_out = value;
             } else if (flag == "--checkpoint") {
                 checkpoint_path = value;
             } else if (flag == "--checkpoint-every") {
@@ -155,11 +165,18 @@ main(int argc, char** argv)
             return usage();
         }
 
+        if (!trace_out.empty())
+            telemetry::SpanTracer::instance().start();
+
         std::string source = argv[1];
-        trace::Trace trace = std::filesystem::exists(source)
-            ? trace::loadTrace(source)
-            : workloads::generateTrace(
-                  *workloads::makeWorkload(source));
+        trace::Trace trace = [&] {
+            telemetry::Span span("trace.generate", "sim");
+            span.arg("source", source);
+            return std::filesystem::exists(source)
+                ? trace::loadTrace(source)
+                : workloads::generateTrace(
+                      *workloads::makeWorkload(source));
+        }();
 
         sim::AxisPoints points = sim::buildAxisPoints(axis, base);
 
@@ -240,9 +257,14 @@ main(int argc, char** argv)
 
         if (reportFailures(outcome.report))
             return 1;
-        service::renderSweepTable(std::cout, axis, metric,
-                                  trace.name(), base, points.labels,
-                                  outcome.results);
+        {
+            telemetry::Span render_span("render.sweep_table",
+                                        "service");
+            service::renderSweepTable(std::cout, axis, metric,
+                                      trace.name(), base,
+                                      points.labels,
+                                      outcome.results);
+        }
 
         if (progress)
             std::cerr << outcome.report.summary() << "\n";
@@ -250,6 +272,15 @@ main(int argc, char** argv)
             std::ofstream ofs(json_path);
             fatalIf(!ofs, "cannot open " + json_path);
             outcome.report.writeJson(ofs);
+        }
+        if (!trace_out.empty()) {
+            telemetry::SpanTracer& tracer =
+                telemetry::SpanTracer::instance();
+            tracer.stop();
+            std::string error;
+            fatalIf(!tracer.save(trace_out, &error), error);
+            std::cerr << "wrote " << tracer.eventCount()
+                      << " trace events to " << trace_out << "\n";
         }
         return 0;
     } catch (const FatalError& e) {

@@ -4,13 +4,20 @@
  *
  * Usage:
  *   jcached [--port N] [--port-file PATH] [--jobs N]
- *           [--queue N] [--cache N] [--timeout MS] [--version]
+ *           [--queue N] [--cache N] [--timeout MS]
+ *           [--metrics-port N] [--metrics-port-file PATH]
+ *           [--trace-out PATH] [--version]
  *
  * Binds 127.0.0.1:<port> (0 = ephemeral; the chosen port is printed
  * and optionally written to --port-file for scripts), bootstraps the
  * six benchmark traces once, then serves framed JSON requests until
  * SIGINT/SIGTERM or an in-band shutdown request, draining in-flight
  * connections on the way out.  Protocol: docs/SERVICE.md.
+ *
+ * --metrics-port arms telemetry and serves Prometheus text exposition
+ * on a second loopback port (GET /metrics); --trace-out captures
+ * spans for the daemon's lifetime and writes Chrome trace-event JSON
+ * at exit.  Both are documented in docs/OBSERVABILITY.md.
  */
 
 #include <atomic>
@@ -22,6 +29,9 @@
 
 #include "service/server.hh"
 #include "sim/sweeps.hh"
+#include "telemetry/http_exporter.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace_writer.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
 
@@ -45,8 +55,36 @@ usage()
 {
     std::cerr <<
         "usage: jcached [--port N] [--port-file PATH] [--jobs N]\n"
-        "  [--queue N] [--cache N] [--timeout MS] [--version]\n";
+        "  [--queue N] [--cache N] [--timeout MS]\n"
+        "  [--metrics-port N] [--metrics-port-file PATH]\n"
+        "  [--trace-out PATH] [--version]\n";
     return 2;
+}
+
+/**
+ * Scrape-time refresh: sample the service's point-in-time state into
+ * registry gauges so every scrape reports current depth/entries
+ * rather than the state at some earlier push.
+ */
+void
+refreshServiceGauges(service::Service& svc)
+{
+    auto& reg = telemetry::Registry::instance();
+    service::ServiceSnapshot snap = svc.snapshot();
+    reg.gauge("jcache_queue_depth", "Jobs waiting in the queue")
+        .set(static_cast<double>(snap.queueDepth));
+    reg.gauge("jcache_queue_capacity",
+              "Admission limit of the job queue")
+        .set(static_cast<double>(snap.queueCapacity));
+    reg.gauge("jcache_result_cache_entries",
+              "Entries resident in the result cache")
+        .set(static_cast<double>(snap.cache.entries));
+    reg.gauge("jcache_uptime_seconds",
+              "Seconds since the service started")
+        .set(snap.uptimeSeconds);
+    reg.gauge("jcache_job_wall_seconds_p50",
+              "Median job wall time, from the job histogram")
+        .set(snap.jobWallP50Seconds);
 }
 
 } // namespace
@@ -56,6 +94,10 @@ main(int argc, char** argv)
 {
     service::ServerConfig config;
     std::string port_file;
+    bool metrics = false;
+    std::uint16_t metrics_port = 0;
+    std::string metrics_port_file;
+    std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -83,12 +125,25 @@ main(int argc, char** argv)
         } else if (flag == "--timeout") {
             config.connectionTimeoutMillis = static_cast<unsigned>(
                 std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flag == "--metrics-port") {
+            metrics = true;
+            metrics_port = static_cast<std::uint16_t>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flag == "--metrics-port-file") {
+            metrics_port_file = value;
+        } else if (flag == "--trace-out") {
+            trace_out = value;
         } else {
             return usage();
         }
     }
 
     try {
+        if (metrics)
+            telemetry::setArmed(true);
+        if (!trace_out.empty())
+            telemetry::SpanTracer::instance().start();
+
         // Generate the shared traces before accepting connections so
         // the first request pays replay cost only.
         std::cerr << versionLine("jcached")
@@ -100,6 +155,26 @@ main(int argc, char** argv)
         if (!server.start(&error)) {
             std::cerr << "error: " << error << "\n";
             return 1;
+        }
+
+        telemetry::MetricsHttpServer metrics_server;
+        if (metrics) {
+            service::Service& svc = server.service();
+            if (!metrics_server.start(
+                    metrics_port,
+                    [&svc] { refreshServiceGauges(svc); }, &error)) {
+                std::cerr << "error: " << error << "\n";
+                return 1;
+            }
+            if (!metrics_port_file.empty()) {
+                std::ofstream ofs(metrics_port_file);
+                fatalIf(!ofs, "cannot write metrics port file: " +
+                                  metrics_port_file);
+                ofs << metrics_server.port() << "\n";
+            }
+            std::cout << "metrics on http://127.0.0.1:"
+                      << metrics_server.port() << "/metrics"
+                      << std::endl;
         }
 
         g_server = &server;
@@ -117,6 +192,19 @@ main(int argc, char** argv)
         server.serve();
         std::cerr << "jcached: drained, exiting\n";
         g_server = nullptr;
+
+        metrics_server.stop();
+        if (!trace_out.empty()) {
+            telemetry::SpanTracer& tracer =
+                telemetry::SpanTracer::instance();
+            tracer.stop();
+            if (!tracer.save(trace_out, &error)) {
+                std::cerr << "error: " << error << "\n";
+                return 1;
+            }
+            std::cerr << "jcached: wrote " << tracer.eventCount()
+                      << " trace events to " << trace_out << "\n";
+        }
         return 0;
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";
