@@ -15,6 +15,7 @@
 #include "core/data_cache.hh"
 #include "mem/main_memory.hh"
 #include "mem/traffic_meter.hh"
+#include "sim/engine.hh"
 #include "sim/parallel.hh"
 #include "sim/run.hh"
 #include "sim/sweeps.hh"
@@ -182,6 +183,79 @@ BM_GridSweepParallel(benchmark::State& state)
         static_cast<double>(grid.size());
 }
 
+/**
+ * Acceptance benchmark for the one-pass engine: the union Figure
+ * 13-16 grid (all four write-miss policies over the cache-size axis
+ * at 16B lines and the line-size axis at 8KB) on one trace, single
+ * worker, one-pass vs per-cell.  The "speedup_vs_percell" counter is
+ * the headline number: the one-pass engine decodes the trace once per
+ * chunk of lanes instead of once per cell, and must come out >= 2x.
+ */
+void
+BM_OnePassSweep(benchmark::State& state)
+{
+    const trace::Trace& trace = sim::TraceSet::standard().get("grr");
+    const std::vector<core::WriteMissPolicy> policies = {
+        core::WriteMissPolicy::FetchOnWrite,
+        core::WriteMissPolicy::WriteValidate,
+        core::WriteMissPolicy::WriteAround,
+        core::WriteMissPolicy::WriteInvalidate,
+    };
+    auto cell = [](Count size, unsigned line,
+                   core::WriteMissPolicy miss) {
+        core::CacheConfig c;
+        c.sizeBytes = size;
+        c.lineBytes = line;
+        c.hitPolicy = core::WriteHitPolicy::WriteThrough;
+        c.missPolicy = miss;
+        return c;
+    };
+    std::vector<sim::Request> requests;
+    for (Count size : sim::standardCacheSizes())
+        for (core::WriteMissPolicy miss : policies)
+            requests.push_back({&trace, cell(size, 16, miss), false});
+    for (unsigned line : sim::standardLineSizes())
+        for (core::WriteMissPolicy miss : policies)
+            requests.push_back(
+                {&trace, cell(8 * 1024, line, miss), false});
+
+    sim::BatchOptions jobs1;
+    jobs1.jobs = 1;
+
+    // Per-cell reference at the same worker count, measured once.
+    static double percell_seconds = [&] {
+        sim::BatchOptions options = jobs1;
+        options.engine = sim::Engine::PerCell;
+        auto start = std::chrono::steady_clock::now();
+        sim::BatchOutcome outcome = sim::runBatch(requests, options);
+        benchmark::DoNotOptimize(outcome.results.data());
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }();
+
+    sim::BatchOptions options = jobs1;
+    options.engine = sim::Engine::OnePass;
+    Count total = 0;
+    double wall = 0.0;
+    for (auto _ : state) {
+        auto start = std::chrono::steady_clock::now();
+        sim::BatchOutcome outcome = sim::runBatch(requests, options);
+        wall += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+        total += outcome.report.totalInstructions();
+        benchmark::DoNotOptimize(outcome.results.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+    state.counters["speedup_vs_percell"] =
+        wall > 0.0 ? percell_seconds *
+                         static_cast<double>(state.iterations()) / wall
+                   : 0.0;
+    state.counters["grid_cells"] =
+        static_cast<double>(requests.size());
+}
+
 BENCHMARK(BM_WriteBackFetchOnWrite);
 BENCHMARK(BM_WriteThroughWriteValidate);
 BENCHMARK(BM_WriteThroughWriteAround);
@@ -194,6 +268,7 @@ BENCHMARK(BM_GridSweepParallel)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnePassSweep)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -101,7 +101,9 @@ Service::Service(const ServiceConfig& config)
     : config_(config),
       traces_(config.traces ? *config.traces
                             : sim::TraceSet::standard()),
-      executor_(config.executorThreads),
+      executorThreads_(config.executorThreads == 0
+                           ? sim::defaultJobs()
+                           : config.executorThreads),
       cache_(config.cacheCapacity),
       start_(Clock::now())
 {
@@ -304,6 +306,37 @@ Service::handle(const std::string& request_json)
             request_id);
     }
 
+    // The API version rides inside the protocol: absent means a
+    // client predating the handshake (accepted), a matching major
+    // means additive-compatible, any other major is refused with a
+    // typed error rather than a downstream parse failure.
+    if (request.has("api_version")) {
+        const JsonValue& api = request.get("api_version");
+        unsigned major = 0;
+        bool parsed = false;
+        if (api.isString() && !api.string().empty()) {
+            const std::string& text = api.string();
+            std::size_t k = 0;
+            while (k < text.size() && text[k] >= '0' &&
+                   text[k] <= '9') {
+                major = major * 10 + (text[k] - '0');
+                ++k;
+            }
+            parsed = k > 0 && (k == text.size() || text[k] == '.');
+        }
+        if (!parsed || major != kApiVersionMajor) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++errors_;
+            return errorResponse(
+                "unsupported_version",
+                "daemon speaks api version " +
+                    std::string(kApiVersion) +
+                    "; compatible requests declare major " +
+                    std::to_string(kApiVersionMajor),
+                request_id);
+        }
+    }
+
     std::string type = request.getString("type");
     // Label values come from a fixed vocabulary: an unrecognized type
     // counts as "unknown" so untrusted input cannot mint label sets.
@@ -403,22 +436,24 @@ Service::handleRun(const JsonValue& request,
     JobOutcome outcome;
     bool admitted = submitAndWait(
         [this, &trace, config, flush, workload] {
+            sim::BatchOptions options;
+            options.engine = config_.engine;
+            options.jobs = executorThreads_;
             Clock::time_point start = Clock::now();
-            sim::SweepOutcome grid =
-                executor_.run({{&trace, config, flush}});
+            sim::BatchOutcome batch =
+                sim::runBatch({{&trace, config, flush}}, options);
             recordJobTiming(
                 std::chrono::duration<double>(Clock::now() - start)
                     .count(),
-                grid.report);
-            fatalIf(!grid.report.allSucceeded(),
-                    describeFailures(grid.report));
+                batch.report);
+            fatalIf(!batch.ok(), describeFailures(batch.report));
 
             std::ostringstream oss;
             stats::JsonWriter json(oss);
             json.beginObject();
             json.field("workload", workload);
             json.field("flushed", flush);
-            writeRunResult(json, "result", grid.results.front());
+            writeRunResult(json, "result", batch.results.front());
             json.endObject();
             return oss.str();
         },
@@ -466,19 +501,22 @@ Service::handleSweep(const JsonValue& request,
     JobOutcome outcome;
     bool admitted = submitAndWait(
         [this, &trace, &points, axis, workload] {
-            std::vector<sim::SweepJob> grid;
-            grid.reserve(points.configs.size());
+            std::vector<sim::Request> requests;
+            requests.reserve(points.configs.size());
             for (const core::CacheConfig& c : points.configs)
-                grid.push_back({&trace, c, false});
+                requests.push_back({&trace, c, false});
 
+            sim::BatchOptions options;
+            options.engine = config_.engine;
+            options.jobs = executorThreads_;
             Clock::time_point start = Clock::now();
-            sim::SweepOutcome swept = executor_.run(grid);
+            sim::BatchOutcome swept =
+                sim::runBatch(requests, options);
             recordJobTiming(
                 std::chrono::duration<double>(Clock::now() - start)
                     .count(),
                 swept.report);
-            fatalIf(!swept.report.allSucceeded(),
-                    describeFailures(swept.report));
+            fatalIf(!swept.ok(), describeFailures(swept.report));
 
             std::ostringstream oss;
             stats::JsonWriter json(oss);
@@ -525,6 +563,7 @@ Service::handlePing(const std::string& request_id)
     json.field("type", "ping");
     json.field("version", std::string(kVersion));
     json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("api_version", std::string(kApiVersion));
     if (!request_id.empty())
         json.field("request_id", request_id);
     json.endObject();
@@ -628,6 +667,7 @@ Service::statsPayload() const
     json.beginObject();
     json.field("version", std::string(kVersion));
     json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("api_version", std::string(kApiVersion));
     json.field("uptime_seconds", uptime);
     json.beginObject("requests");
     json.field("total", static_cast<double>(requests_));
@@ -659,11 +699,12 @@ Service::statsPayload() const
     json.beginObject("jobs");
     json.field("executed", static_cast<double>(jobsExecuted_));
     json.field("executor_threads",
-               static_cast<double>(executor_.threads()));
+               static_cast<double>(executorThreads_));
+    json.field("engine", sim::name(config_.engine));
     json.field("busy_seconds", jobBusySeconds_);
     json.field("grid_seconds", jobGridSeconds_);
     double capacity_seconds =
-        jobGridSeconds_ * executor_.threads();
+        jobGridSeconds_ * executorThreads_;
     json.field("utilization",
                capacity_seconds > 0.0
                    ? std::min(1.0, jobBusySeconds_ / capacity_seconds)

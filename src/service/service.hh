@@ -10,11 +10,12 @@
  *    request ever pays trace generation;
  *  - an LRU ResultCache keyed by a digest of (workload, geometry,
  *    policy), so a repeated point is served without replay;
- *  - a bounded job queue drained by one scheduler thread that fans
- *    each simulation out through the existing sim::ParallelExecutor —
- *    the queue bounds backlog (overload answers `busy` immediately
- *    instead of accumulating latency), while the executor keeps every
- *    grid deterministic and parallel.
+ *  - a bounded job queue drained by one scheduler thread that hands
+ *    each simulation to the unified engine API (sim::runBatch) — the
+ *    queue bounds backlog (overload answers `busy` immediately
+ *    instead of accumulating latency), while the engine keeps every
+ *    grid deterministic and parallel (one-pass by default; jcached
+ *    --engine percell selects the reference path).
  *
  * Request/response schema is documented in docs/SERVICE.md; every
  * response is a JSON object with an "ok" field, errors carry a
@@ -40,7 +41,7 @@
 #include <vector>
 
 #include "service/result_cache.hh"
-#include "sim/parallel.hh"
+#include "sim/engine.hh"
 #include "sim/sweeps.hh"
 #include "telemetry/metrics.hh"
 
@@ -76,6 +77,9 @@ struct ServiceConfig
 {
     /** Executor width per job; 0 selects sim::defaultJobs(). */
     unsigned executorThreads = 0;
+
+    /** Replay engine simulation jobs run on (jcached --engine). */
+    sim::Engine engine = sim::kDefaultEngine;
 
     /** Jobs admitted but not yet started; beyond this, `busy`. */
     std::size_t queueCapacity = 64;
@@ -184,7 +188,9 @@ class Service
 
     ServiceConfig config_;
     const sim::TraceSet& traces_;
-    sim::ParallelExecutor executor_;
+
+    /** Resolved worker width reported by stats (0 never escapes). */
+    unsigned executorThreads_;
     ResultCache cache_;
 
     std::atomic<bool> shutdown_{false};

@@ -10,6 +10,7 @@
 #include "core/store_pipeline.hh"
 #include "core/write_buffer.hh"
 #include "core/write_cache.hh"
+#include "sim/engine.hh"
 #include "sim/parallel.hh"
 #include "stats/counter.hh"
 #include "stats/table.hh"
@@ -77,6 +78,51 @@ sweep(const std::string& title, const std::string& x_axis,
     return figure;
 }
 
+/**
+ * Per-benchmark sweep whose metric is a pure function of one
+ * RunResult.  The whole (trace x x) grid goes through the unified
+ * engine as a single batch, so under the default one-pass engine
+ * every trace is decoded once for the entire figure.
+ */
+template <typename X>
+FigureData
+resultSweep(const std::string& title, const std::string& x_axis,
+            const std::vector<X>& xs,
+            const std::function<std::string(X)>& x_label,
+            const TraceSet& traces,
+            const std::function<CacheConfig(X)>& config_for,
+            const std::function<double(const RunResult&)>& metric,
+            bool flush_at_end = false)
+{
+    FigureData figure;
+    figure.title = title;
+    figure.xAxis = x_axis;
+    for (X x : xs)
+        figure.xLabels.push_back(x_label(x));
+
+    std::vector<Request> requests;
+    for (const trace::Trace& t : traces.traces()) {
+        for (X x : xs)
+            requests.push_back({&t, config_for(x), flush_at_end});
+    }
+    BatchOutcome outcome = runBatch(requests);
+    if (!outcome.ok())
+        fatal("figure sweep failed: " +
+              outcome.report.failures.front().message);
+
+    std::size_t nx = xs.size();
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        Series series;
+        series.label = traces.traces()[ti].name();
+        for (std::size_t xi = 0; xi < nx; ++xi)
+            series.values.push_back(
+                metric(outcome.results[ti * nx + xi]));
+        figure.series.push_back(std::move(series));
+    }
+    appendAverage(figure);
+    return figure;
+}
+
 std::function<std::string(Count)>
 sizeLabel()
 {
@@ -94,6 +140,28 @@ lineLabel()
 constexpr Count kBaseCacheSize = 8 * 1024;
 constexpr unsigned kBaseLineSize = 16;
 
+/** Direct-mapped write-back fetch-on-write cache of `size` bytes. */
+std::function<CacheConfig(Count)>
+wbBySize()
+{
+    return [](Count size) {
+        return makeConfig(size, kBaseLineSize,
+                          WriteHitPolicy::WriteBack,
+                          WriteMissPolicy::FetchOnWrite);
+    };
+}
+
+/** Direct-mapped 8KB write-back cache with `line`-byte lines. */
+std::function<CacheConfig(unsigned)>
+wbByLine()
+{
+    return [](unsigned line) {
+        return makeConfig(kBaseCacheSize, line,
+                          WriteHitPolicy::WriteBack,
+                          WriteMissPolicy::FetchOnWrite);
+    };
+}
+
 /** The three no-fetch write-miss policies, in paper order. */
 const std::vector<WriteMissPolicy> kNoFetchPolicies = {
     WriteMissPolicy::WriteValidate,
@@ -102,29 +170,16 @@ const std::vector<WriteMissPolicy> kNoFetchPolicies = {
 };
 
 /**
- * Counted misses of a policy for a trace and geometry (write-through
- * caches throughout, so all four policies are legal and content
- * comparisons are policy-only).
- */
-Count
-countedMisses(const trace::Trace& t, Count size, unsigned line,
-              WriteMissPolicy miss)
-{
-    RunResult r = runTrace(
-        t, makeConfig(size, line, WriteHitPolicy::WriteThrough, miss),
-        /*flush_at_end=*/false);
-    return r.cache.countedMisses();
-}
-
-/**
  * Shared implementation of Figures 13-16.  For each no-fetch policy,
  * the reduction in counted misses relative to fetch-on-write is
  * normalized by the fetch-on-write write-miss count (write_basis =
  * true; Figures 13/15) or total-miss count (Figures 14/16).
  *
- * One parallel grid replays all four policies per (trace, x) point —
- * the fetch-on-write baseline runs once and is shared by the three
- * reduction figures, where the serial version re-ran it per policy.
+ * One batch replays all four policies per (trace, x) point through
+ * the unified engine — the fetch-on-write baseline runs once and is
+ * shared by the three reduction figures by construction (the one-pass
+ * engine dedupes it into a single lane per trace pass), where the
+ * serial version re-ran it per policy.
  */
 template <typename X>
 std::vector<FigureData>
@@ -142,13 +197,17 @@ missReductionSweep(const std::string& figure_name,
         WriteMissPolicy::FetchOnWrite};
     policies.insert(policies.end(), kNoFetchPolicies.begin(),
                     kNoFetchPolicies.end());
-    std::vector<CacheConfig> configs;
-    for (X x : xs) {
-        for (WriteMissPolicy p : policies)
-            configs.push_back(config_for(x, p));
+    std::vector<Request> requests;
+    for (const trace::Trace& t : traces.traces()) {
+        for (X x : xs) {
+            for (WriteMissPolicy p : policies)
+                requests.push_back({&t, config_for(x, p), false});
+        }
     }
-    SweepOutcome outcome =
-        ParallelExecutor().run(buildGrid(traces, configs, false));
+    BatchOutcome outcome = runBatch(requests);
+    if (!outcome.ok())
+        fatal("miss-reduction sweep failed: " +
+              outcome.report.failures.front().message);
 
     std::size_t np = policies.size();
     std::size_t nx = xs.size();
@@ -224,16 +283,11 @@ appendAverage(FigureData& figure)
 FigureData
 figure1WritesToDirtyVsLineSize(const TraceSet& traces)
 {
-    return sweep<unsigned>(
+    return resultSweep<unsigned>(
         "Figure 1: writes to already-dirty lines, 8KB write-back "
         "caches",
         "line size", standardLineSizes(), lineLabel(), traces,
-        [](const trace::Trace& t, unsigned line) {
-            RunResult r = runTrace(
-                t, makeConfig(kBaseCacheSize, line,
-                              WriteHitPolicy::WriteBack,
-                              WriteMissPolicy::FetchOnWrite),
-                false);
+        wbByLine(), [](const RunResult& r) {
             return r.percentWritesToDirtyLines();
         });
 }
@@ -241,15 +295,10 @@ figure1WritesToDirtyVsLineSize(const TraceSet& traces)
 FigureData
 figure2WritesToDirtyVsCacheSize(const TraceSet& traces)
 {
-    return sweep<Count>(
+    return resultSweep<Count>(
         "Figure 2: writes to already-dirty lines, 16B lines",
         "cache size", standardCacheSizes(), sizeLabel(), traces,
-        [](const trace::Trace& t, Count size) {
-            RunResult r = runTrace(
-                t, makeConfig(size, kBaseLineSize,
-                              WriteHitPolicy::WriteBack,
-                              WriteMissPolicy::FetchOnWrite),
-                false);
+        wbBySize(), [](const RunResult& r) {
             return r.percentWritesToDirtyLines();
         });
 }
@@ -369,10 +418,11 @@ writeCacheRemovalPct(const trace::Trace& t, unsigned entries)
 double
 writeBackRemovalPct(const trace::Trace& t, Count size)
 {
-    RunResult r = runTrace(
-        t, makeConfig(size, kBaseLineSize, WriteHitPolicy::WriteBack,
-                      WriteMissPolicy::FetchOnWrite),
-        false);
+    RunResult r = runOne(
+        {&t,
+         makeConfig(size, kBaseLineSize, WriteHitPolicy::WriteBack,
+                    WriteMissPolicy::FetchOnWrite),
+         false});
     return r.percentWritesToDirtyLines();
 }
 
@@ -449,16 +499,11 @@ figure9WriteCacheVsWbSize(const TraceSet& traces)
 FigureData
 figure10WriteMissShareVsCacheSize(const TraceSet& traces)
 {
-    return sweep<Count>(
+    return resultSweep<Count>(
         "Figure 10: write misses as a percent of all misses, 16B "
         "lines",
         "cache size", standardCacheSizes(), sizeLabel(), traces,
-        [](const trace::Trace& t, Count size) {
-            RunResult r = runTrace(
-                t, makeConfig(size, kBaseLineSize,
-                              WriteHitPolicy::WriteBack,
-                              WriteMissPolicy::FetchOnWrite),
-                false);
+        wbBySize(), [](const RunResult& r) {
             return r.percentWriteMissesOfAllMisses();
         });
 }
@@ -466,16 +511,11 @@ figure10WriteMissShareVsCacheSize(const TraceSet& traces)
 FigureData
 figure11WriteMissShareVsLineSize(const TraceSet& traces)
 {
-    return sweep<unsigned>(
+    return resultSweep<unsigned>(
         "Figure 11: write misses as a percent of all misses, 8KB "
         "caches",
         "line size", standardLineSizes(), lineLabel(), traces,
-        [](const trace::Trace& t, unsigned line) {
-            RunResult r = runTrace(
-                t, makeConfig(kBaseCacheSize, line,
-                              WriteHitPolicy::WriteBack,
-                              WriteMissPolicy::FetchOnWrite),
-                false);
+        wbByLine(), [](const RunResult& r) {
             return r.percentWriteMissesOfAllMisses();
         });
 }
@@ -537,16 +577,42 @@ verifyFigure17PartialOrder(const TraceSet& traces, Count cache_size,
                            unsigned line_bytes,
                            std::vector<std::string>* violations)
 {
-    bool ok = true;
+    // All four policies per trace in one batch: write-through caches
+    // throughout, so every policy is legal and comparisons are
+    // policy-only.  Under the one-pass engine each trace is decoded
+    // once for its four lanes.
+    const std::vector<WriteMissPolicy> policies = {
+        WriteMissPolicy::FetchOnWrite,
+        WriteMissPolicy::WriteValidate,
+        WriteMissPolicy::WriteAround,
+        WriteMissPolicy::WriteInvalidate,
+    };
+    std::vector<Request> requests;
     for (const trace::Trace& t : traces.traces()) {
-        Count fow = countedMisses(t, cache_size, line_bytes,
-                                  WriteMissPolicy::FetchOnWrite);
-        Count wv = countedMisses(t, cache_size, line_bytes,
-                                 WriteMissPolicy::WriteValidate);
-        Count wa = countedMisses(t, cache_size, line_bytes,
-                                 WriteMissPolicy::WriteAround);
-        Count wi = countedMisses(t, cache_size, line_bytes,
-                                 WriteMissPolicy::WriteInvalidate);
+        for (WriteMissPolicy miss : policies) {
+            requests.push_back(
+                {&t,
+                 makeConfig(cache_size, line_bytes,
+                            WriteHitPolicy::WriteThrough, miss),
+                 false});
+        }
+    }
+    BatchOutcome outcome = runBatch(requests);
+    if (!outcome.ok())
+        fatal("figure 17 sweep failed: " +
+              outcome.report.failures.front().message);
+    auto misses = [&](std::size_t ti, std::size_t pi) {
+        return outcome.results[ti * policies.size() + pi]
+            .cache.countedMisses();
+    };
+
+    bool ok = true;
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        const trace::Trace& t = traces.traces()[ti];
+        Count fow = misses(ti, 0);
+        Count wv = misses(ti, 1);
+        Count wa = misses(ti, 2);
+        Count wi = misses(ti, 3);
         auto check = [&](bool cond, const std::string& what) {
             if (cond)
                 return;
@@ -584,14 +650,22 @@ trafficComponents(const std::string& title, const std::string& x_axis,
     for (X x : xs)
         figure.xLabels.push_back(x_label(x));
 
-    // Grid: trace-major, then x, then hit policy (WT, WB).
-    std::vector<CacheConfig> configs;
-    for (X x : xs) {
-        configs.push_back(config_for(x, WriteHitPolicy::WriteThrough));
-        configs.push_back(config_for(x, WriteHitPolicy::WriteBack));
+    // Batch: trace-major, then x, then hit policy (WT, WB).
+    std::vector<Request> requests;
+    for (const trace::Trace& t : traces.traces()) {
+        for (X x : xs) {
+            requests.push_back(
+                {&t, config_for(x, WriteHitPolicy::WriteThrough),
+                 false});
+            requests.push_back(
+                {&t, config_for(x, WriteHitPolicy::WriteBack),
+                 false});
+        }
     }
-    SweepOutcome outcome =
-        ParallelExecutor().run(buildGrid(traces, configs, false));
+    BatchOutcome outcome = runBatch(requests);
+    if (!outcome.ok())
+        fatal("traffic sweep failed: " +
+              outcome.report.failures.front().message);
 
     std::size_t nx = xs.size();
     Series wt{"write-through", {}};
@@ -633,49 +707,9 @@ victimSweep(const std::string& title, const std::string& x_axis,
             const std::function<CacheConfig(X)>& config_for,
             const std::function<double(const RunResult&)>& metric)
 {
-    FigureData figure;
-    figure.title = title;
-    figure.xAxis = x_axis;
-    for (X x : xs)
-        figure.xLabels.push_back(x_label(x));
-
-    std::vector<CacheConfig> configs;
-    for (X x : xs)
-        configs.push_back(config_for(x));
-    SweepOutcome outcome = ParallelExecutor().run(
-        buildGrid(traces, configs, /*flush_at_end=*/true));
-
-    std::size_t nx = xs.size();
-    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
-        Series series;
-        series.label = traces.traces()[ti].name();
-        for (std::size_t xi = 0; xi < nx; ++xi)
-            series.values.push_back(
-                metric(outcome.results[ti * nx + xi]));
-        figure.series.push_back(std::move(series));
-    }
-    appendAverage(figure);
-    return figure;
-}
-
-std::function<CacheConfig(Count)>
-wbBySize()
-{
-    return [](Count size) {
-        return makeConfig(size, kBaseLineSize,
-                          WriteHitPolicy::WriteBack,
-                          WriteMissPolicy::FetchOnWrite);
-    };
-}
-
-std::function<CacheConfig(unsigned)>
-wbByLine()
-{
-    return [](unsigned line) {
-        return makeConfig(kBaseCacheSize, line,
-                          WriteHitPolicy::WriteBack,
-                          WriteMissPolicy::FetchOnWrite);
-    };
+    return resultSweep<X>(title, x_axis, xs, x_label, traces,
+                          config_for, metric,
+                          /*flush_at_end=*/true);
 }
 
 } // namespace

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Implementation of the one-pass multi-configuration engine.
+ *
+ * The fast-lane replay mirrors DataCache::readPiece / writePiece /
+ * evict / flush counter for counter; any change to those must be
+ * reflected here (the differential test will catch a divergence).
+ */
+
+#include "sim/multiconfig.hh"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/data_cache.hh"
+#include "core/geometry.hh"
+#include "mem/traffic_meter.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace_writer.hh"
+#include "util/bitops.hh"
+
+namespace jcache::sim
+{
+
+namespace
+{
+
+using core::WriteMissPolicy;
+
+/** Sentinel "no line here" tag; also doubles as the invalid state. */
+constexpr Addr kNoTag = ~Addr{0};
+
+/** Accumulated back-side traffic of one class, lane-local. */
+struct Traffic
+{
+    Count txns = 0;
+    Count bytes = 0;
+
+    mem::TrafficClass toClass() const
+    {
+        mem::TrafficClass c;
+        c.transactions = txns;
+        c.bytes = bytes;
+        return c;
+    }
+};
+
+/** One line-aligned piece of a decoded trace record. */
+struct Piece
+{
+    Addr la;             //!< line address (addr >> lineShift)
+    ByteMask mask;       //!< byte mask within the line
+    std::uint32_t size;  //!< piece size in bytes
+    std::uint32_t read;  //!< 1 = read, 0 = write
+};
+
+/**
+ * Decode a block of records into line-aligned pieces for one line
+ * size.  Shared by every fast lane with that line size.
+ */
+void
+decodeBlock(const trace::TraceRecord* recs, std::size_t n,
+            unsigned lineBytes, unsigned lineShift,
+            std::vector<Piece>& out)
+{
+    out.clear();
+    const Addr lm = lineBytes - 1;
+    for (std::size_t k = 0; k < n; ++k) {
+        const trace::TraceRecord& r = recs[k];
+        Addr addr = r.addr;
+        unsigned size = r.size;
+        const std::uint32_t is_read =
+            r.type == trace::RefType::Read ? 1 : 0;
+        while (true) {
+            unsigned off = static_cast<unsigned>(addr & lm);
+            unsigned room = lineBytes - off;
+            unsigned piece = size < room ? size : room;
+            out.push_back(Piece{addr >> lineShift,
+                                byteMaskFor(off, piece), piece,
+                                is_read});
+            size -= piece;
+            if (size == 0)
+                break;
+            addr += piece;
+        }
+    }
+}
+
+/**
+ * Specialized lane: direct-mapped, byte-granularity valid bits.
+ *
+ * Structure-of-arrays line state with a sentinel tag, policy choices
+ * lifted to template parameters, counters accumulated in locals and
+ * flushed to members once per block.
+ */
+class FastLane
+{
+  public:
+    explicit FastLane(const core::CacheConfig& c) : config_(c)
+    {
+        core::CacheGeometry g(c);
+        tags_.assign(g.numLines(), kNoTag);
+        valid_.assign(g.numLines(), 0);
+        dirty_.assign(g.numLines(), 0);
+        lineShift_ = 0;
+        while ((1u << lineShift_) < c.lineBytes)
+            ++lineShift_;
+        indexMask_ = g.numSets() - 1;
+        fullMask_ = maskBits(c.lineBytes);
+    }
+
+    unsigned lineBytes() const { return config_.lineBytes; }
+    unsigned lineShift() const { return lineShift_; }
+
+    /** Replay one decoded block through this lane. */
+    void replay(const Piece* pieces, std::size_t n)
+    {
+        const bool wb =
+            config_.hitPolicy == core::WriteHitPolicy::WriteBack;
+        switch (config_.missPolicy) {
+          case WriteMissPolicy::FetchOnWrite:
+            wb ? replay<true, WriteMissPolicy::FetchOnWrite>(pieces, n)
+               : replay<false, WriteMissPolicy::FetchOnWrite>(pieces, n);
+            break;
+          case WriteMissPolicy::WriteValidate:
+            wb ? replay<true, WriteMissPolicy::WriteValidate>(pieces, n)
+               : replay<false, WriteMissPolicy::WriteValidate>(pieces,
+                                                               n);
+            break;
+          case WriteMissPolicy::WriteAround:
+            wb ? replay<true, WriteMissPolicy::WriteAround>(pieces, n)
+               : replay<false, WriteMissPolicy::WriteAround>(pieces, n);
+            break;
+          case WriteMissPolicy::WriteInvalidate:
+            wb ? replay<true, WriteMissPolicy::WriteInvalidate>(pieces,
+                                                                n)
+               : replay<false, WriteMissPolicy::WriteInvalidate>(pieces,
+                                                                 n);
+            break;
+        }
+    }
+
+    /**
+     * Drain dirty lines, mirroring DataCache::flush(): every valid
+     * line counts as flushed; dirty ones write their dirty bytes as
+     * flush traffic and become clean but stay valid.
+     */
+    void flush()
+    {
+        const bool wb =
+            config_.hitPolicy == core::WriteHitPolicy::WriteBack;
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] == kNoTag)
+                continue;
+            ++stats_.flushedValidLines;
+            if (wb && dirty_[i] != 0) {
+                ++stats_.flushedDirtyLines;
+                unsigned dirty_bytes = popcount(dirty_[i]);
+                stats_.flushedDirtyBytes += dirty_bytes;
+                ++flush_.txns;
+                flush_.bytes += dirty_bytes;
+                dirty_[i] = 0;
+            }
+        }
+    }
+
+    RunResult result(Count instructions) const
+    {
+        RunResult r;
+        r.config = config_;
+        r.cache = stats_;
+        r.fetchTraffic = fetch_.toClass();
+        r.writeThroughTraffic = wt_.toClass();
+        r.writeBackTraffic = wb_.toClass();
+        r.flushTraffic = flush_.toClass();
+        r.instructions = instructions;
+        return r;
+    }
+
+  private:
+    template <bool WB, WriteMissPolicy MP>
+    void replay(const Piece* P, std::size_t n)
+    {
+        Addr* const T = tags_.data();
+        ByteMask* const V = valid_.data();
+        ByteMask* const D = dirty_.data();
+        const std::uint64_t im = indexMask_;
+        const ByteMask full = fullMask_;
+        const unsigned line_bytes = config_.lineBytes;
+
+        Count reads = 0, read_hits = 0, read_misses = 0, partial = 0;
+        Count writes = 0, write_hits = 0, write_misses = 0;
+        Count fetched = 0, wm_fetch = 0, wt_count = 0, inval = 0;
+        Count victims = 0, dirty_victims = 0, dv_bytes = 0;
+        Count dirty_writes = 0;
+        Count fetch_tx = 0, fetch_bytes = 0, wt_tx = 0, wt_bytes = 0;
+        Count wb_tx = 0, wb_bytes = 0;
+
+        auto evictLine = [&](std::uint64_t idx) {
+            if (T[idx] == kNoTag)
+                return;
+            ++victims;
+            if (WB && D[idx] != 0) {
+                ++dirty_victims;
+                unsigned db = popcount(D[idx]);
+                dv_bytes += db;
+                ++wb_tx;
+                wb_bytes += db;
+                D[idx] = 0;
+            }
+            T[idx] = kNoTag;
+            V[idx] = 0;
+        };
+
+        for (std::size_t k = 0; k < n; ++k) {
+            const Addr la = P[k].la;
+            const ByteMask mask = P[k].mask;
+            const std::uint64_t idx = la & im;
+            if (P[k].read) {
+                ++reads;
+                if (T[idx] == la && (V[idx] & mask) == mask) [[likely]] {
+                    ++read_hits;
+                } else if (T[idx] == la) {
+                    // Tag hit on invalid bytes: fetch fills the line.
+                    ++read_misses;
+                    ++partial;
+                    ++fetched;
+                    ++fetch_tx;
+                    fetch_bytes += line_bytes;
+                    V[idx] = full;
+                } else {
+                    ++read_misses;
+                    evictLine(idx);
+                    ++fetched;
+                    ++fetch_tx;
+                    fetch_bytes += line_bytes;
+                    T[idx] = la;
+                    V[idx] = full;
+                    if (WB)
+                        D[idx] = 0;
+                }
+            } else {
+                ++writes;
+                if (T[idx] == la) [[likely]] {
+                    ++write_hits;
+                    if (WB) {
+                        if (D[idx] != 0)
+                            ++dirty_writes;
+                        D[idx] |= mask;
+                        V[idx] |= mask;
+                    } else {
+                        V[idx] |= mask;
+                        ++wt_count;
+                        ++wt_tx;
+                        wt_bytes += P[k].size;
+                    }
+                } else {
+                    ++write_misses;
+                    if (MP == WriteMissPolicy::FetchOnWrite) {
+                        evictLine(idx);
+                        ++fetched;
+                        ++wm_fetch;
+                        ++fetch_tx;
+                        fetch_bytes += line_bytes;
+                        T[idx] = la;
+                        V[idx] = full;
+                        if (WB) {
+                            D[idx] = mask;
+                        } else {
+                            ++wt_count;
+                            ++wt_tx;
+                            wt_bytes += P[k].size;
+                        }
+                    } else if (MP == WriteMissPolicy::WriteValidate) {
+                        evictLine(idx);
+                        T[idx] = la;
+                        V[idx] = mask;
+                        if (WB) {
+                            D[idx] = mask;
+                        } else {
+                            ++wt_count;
+                            ++wt_tx;
+                            wt_bytes += P[k].size;
+                        }
+                    } else if (MP == WriteMissPolicy::WriteAround) {
+                        ++wt_count;
+                        ++wt_tx;
+                        wt_bytes += P[k].size;
+                    } else {  // WriteInvalidate (direct-mapped)
+                        ++wt_count;
+                        ++wt_tx;
+                        wt_bytes += P[k].size;
+                        if (T[idx] != kNoTag) {
+                            T[idx] = kNoTag;
+                            V[idx] = 0;
+                            if (WB)
+                                D[idx] = 0;
+                            ++inval;
+                        }
+                    }
+                }
+            }
+        }
+
+        stats_.reads += reads;
+        stats_.readHits += read_hits;
+        stats_.readMisses += read_misses;
+        stats_.partialValidReadMisses += partial;
+        stats_.writes += writes;
+        stats_.writeHits += write_hits;
+        stats_.writeMisses += write_misses;
+        stats_.linesFetched += fetched;
+        stats_.writeMissFetches += wm_fetch;
+        stats_.writeThroughs += wt_count;
+        stats_.invalidations += inval;
+        stats_.victims += victims;
+        stats_.dirtyVictims += dirty_victims;
+        stats_.dirtyVictimDirtyBytes += dv_bytes;
+        stats_.writesToDirtyLines += dirty_writes;
+        fetch_.txns += fetch_tx;
+        fetch_.bytes += fetch_bytes;
+        wt_.txns += wt_tx;
+        wt_.bytes += wt_bytes;
+        wb_.txns += wb_tx;
+        wb_.bytes += wb_bytes;
+    }
+
+    core::CacheConfig config_;
+    std::vector<Addr> tags_;
+    std::vector<ByteMask> valid_;
+    std::vector<ByteMask> dirty_;
+    unsigned lineShift_;
+    std::uint64_t indexMask_;
+    ByteMask fullMask_;
+    core::CacheStats stats_;
+    Traffic fetch_, wt_, wb_, flush_;
+};
+
+/**
+ * Fallback lane: the reference DataCache behind a terminal traffic
+ * meter.  Handles assoc > 1 and coarse valid-bit granularities.
+ */
+class GenericLane
+{
+  public:
+    explicit GenericLane(const core::CacheConfig& c)
+        : meter_(nullptr), cache_(c, meter_)
+    {
+    }
+
+    void replay(const trace::TraceRecord* recs, std::size_t n)
+    {
+        for (std::size_t k = 0; k < n; ++k)
+            cache_.access(recs[k]);
+    }
+
+    void flush() { cache_.flush(); }
+
+    RunResult result(Count instructions) const
+    {
+        RunResult r;
+        r.config = cache_.config();
+        r.cache = cache_.stats();
+        r.fetchTraffic = meter_.fetches();
+        r.writeThroughTraffic = meter_.writeThroughs();
+        r.writeBackTraffic = meter_.writeBacks();
+        r.flushTraffic = meter_.flushBacks();
+        r.instructions = instructions;
+        return r;
+    }
+
+  private:
+    mem::TrafficMeter meter_;
+    core::DataCache cache_;
+};
+
+} // namespace
+
+bool
+fastLaneEligible(const core::CacheConfig& config)
+{
+    return config.assoc == 1 && config.validGranularity == 1;
+}
+
+std::vector<RunResult>
+runTracePass(const trace::Trace& trace,
+             const std::vector<LaneSpec>& lanes,
+             std::size_t blockRecords)
+{
+    telemetry::Span span("sweep.trace_pass", "sim");
+    span.arg("trace", trace.name());
+    span.arg("lanes", std::to_string(lanes.size()));
+
+    struct Slot
+    {
+        std::unique_ptr<FastLane> fast;
+        std::unique_ptr<GenericLane> generic;
+        bool flushAtEnd = false;
+    };
+    std::vector<Slot> slots(lanes.size());
+
+    // Fast lanes sharing a line size share one decode of each block.
+    std::map<unsigned, std::vector<FastLane*>> groups;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        lanes[i].config.validate();
+        slots[i].flushAtEnd = lanes[i].flushAtEnd;
+        if (fastLaneEligible(lanes[i].config)) {
+            slots[i].fast =
+                std::make_unique<FastLane>(lanes[i].config);
+            groups[lanes[i].config.lineBytes].push_back(
+                slots[i].fast.get());
+        } else {
+            slots[i].generic =
+                std::make_unique<GenericLane>(lanes[i].config);
+        }
+    }
+
+    Count instructions = 0;
+    std::vector<Piece> pieces;
+    pieces.reserve(blockRecords == 0 ? 2 : blockRecords * 2);
+    for (trace::TraceBlock block : trace::BlockRange(trace,
+                                                     blockRecords)) {
+        for (std::size_t k = 0; k < block.count; ++k)
+            instructions += block.records[k].instrDelta;
+        for (auto& [line_bytes, members] : groups) {
+            decodeBlock(block.records, block.count, line_bytes,
+                        members.front()->lineShift(), pieces);
+            for (FastLane* lane : members)
+                lane->replay(pieces.data(), pieces.size());
+        }
+        for (Slot& slot : slots)
+            if (slot.generic)
+                slot.generic->replay(block.records, block.count);
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(lanes.size());
+    for (Slot& slot : slots) {
+        if (slot.fast) {
+            if (slot.flushAtEnd)
+                slot.fast->flush();
+            results.push_back(slot.fast->result(instructions));
+        } else {
+            if (slot.flushAtEnd)
+                slot.generic->flush();
+            results.push_back(slot.generic->result(instructions));
+        }
+    }
+
+    if (telemetry::armed()) {
+        auto& reg = telemetry::Registry::instance();
+        static telemetry::Counter& records = reg.counter(
+            "jcache_engine_records_total",
+            "Trace records decoded by the one-pass engine");
+        records.inc(trace.size());
+    }
+    return results;
+}
+
+} // namespace jcache::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One-pass multi-configuration trace replay.
+ *
+ * runTrace() decodes the trace once per cache configuration; a sweep
+ * over a 32-cell grid therefore decodes the same records 32 times
+ * and streams a fresh cache image through memory for every cell.
+ * runTracePass() inverts the loop: it walks the trace in blocks
+ * (trace/blocks.hh) and feeds each block to every configuration
+ * before moving on, so the record stream is read once and all lane
+ * state stays hot.
+ *
+ * Two lane kinds share that outer loop:
+ *
+ *  - **Fast lanes** — direct-mapped, byte-granularity configurations
+ *    (every grid the paper's Figures 13-16 sweep).  State is kept as
+ *    structure-of-arrays (tags / valid masks / dirty masks), a
+ *    sentinel tag makes the hit test a single compare, and the write
+ *    policies are template parameters so policy dispatch happens once
+ *    per block instead of once per access.  Lanes with the same line
+ *    size additionally share one decode of each block into
+ *    line-aligned pieces.
+ *  - **Generic lanes** — anything else (assoc > 1, or a valid-bit
+ *    granularity above one byte) falls back to the reference
+ *    DataCache fed record by record, so runTracePass() accepts every
+ *    configuration runTrace() does.
+ *
+ * Both kinds reproduce DataCache's counter and traffic accounting
+ * exactly; tests/test_engine_differential.cc holds the engine to
+ * byte-identical RunResults against runTrace().
+ */
+
+#ifndef JCACHE_SIM_MULTICONFIG_HH
+#define JCACHE_SIM_MULTICONFIG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hh"
+#include "sim/run.hh"
+#include "trace/blocks.hh"
+#include "trace/trace.hh"
+
+namespace jcache::sim
+{
+
+/** One lane of a one-pass replay: a configuration plus its flush. */
+struct LaneSpec
+{
+    core::CacheConfig config;
+
+    /** Drain dirty lines at end of trace (flush-stop statistics). */
+    bool flushAtEnd = false;
+};
+
+/**
+ * Can this configuration use the specialized fast lane?
+ *
+ * True for direct-mapped caches with byte-granularity valid bits —
+ * the combination every figure in the paper sweeps.  Other
+ * configurations still run, via the generic DataCache lane.
+ */
+bool fastLaneEligible(const core::CacheConfig& config);
+
+/**
+ * Replay `trace` once through every lane.
+ *
+ * @param trace         the reference stream.
+ * @param lanes         configurations to simulate; each is validated.
+ * @param blockRecords  records per block of the outer walk; the
+ *                      default is tuned, see trace::kDefaultBlockRecords.
+ * @return one RunResult per lane, in `lanes` order, byte-identical to
+ *         runTrace(trace, lanes[i].config, lanes[i].flushAtEnd).
+ *
+ * Emits a `sweep.trace_pass` span and advances the
+ * `jcache_engine_records_total` counter when telemetry is armed.
+ */
+std::vector<RunResult>
+runTracePass(const trace::Trace& trace,
+             const std::vector<LaneSpec>& lanes,
+             std::size_t blockRecords = trace::kDefaultBlockRecords);
+
+} // namespace jcache::sim
+
+#endif // JCACHE_SIM_MULTICONFIG_HH

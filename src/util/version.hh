@@ -26,6 +26,19 @@ inline constexpr const char* kVersion = "0.2.0";
  */
 inline constexpr unsigned kProtocolVersion = 1;
 
+/**
+ * Version of the request/response API carried *inside* the protocol,
+ * as "major.minor".  Clients send it in every request; the daemon
+ * accepts any request whose major component matches its own (minor
+ * revisions are additive) and answers other majors with a typed
+ * `unsupported_version` error.  A request without the field is
+ * accepted, for clients predating the handshake.
+ */
+inline constexpr const char* kApiVersion = "1.0";
+
+/** The major component of kApiVersion, for the compatibility check. */
+inline constexpr unsigned kApiVersionMajor = 1;
+
 /** The "--version" line of one tool, e.g. "jcache-sim (jcache 0.2.0)". */
 inline std::string
 versionLine(const std::string& tool)

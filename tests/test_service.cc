@@ -80,6 +80,39 @@ TEST(Service, RejectsMalformedRequests)
                 "protocol_mismatch");
 }
 
+TEST(Service, ApiVersionHandshake)
+{
+    Service service(testConfig());
+    // The current version and any same-major minor are accepted; so
+    // is a request without the field (pre-handshake client).
+    for (const char* accepted :
+         {"\"1.0\"", "\"1\"", "\"1.7\"", "\"1.2.3\""}) {
+        JsonValue v = parseResponse(service.handle(
+            std::string("{\"type\": \"ping\", \"api_version\": ") +
+            accepted + "}"));
+        EXPECT_TRUE(v.getBool("ok", false)) << accepted;
+    }
+    JsonValue bare =
+        parseResponse(service.handle("{\"type\": \"ping\"}"));
+    EXPECT_TRUE(bare.getBool("ok", false));
+    EXPECT_EQ(bare.getString("api_version"), jcache::kApiVersion);
+
+    // A different major, a malformed string, or a non-string all draw
+    // the typed error.
+    expectError(service,
+                "{\"type\": \"ping\", \"api_version\": \"2.0\"}",
+                "unsupported_version");
+    expectError(service,
+                "{\"type\": \"ping\", \"api_version\": \"0.9\"}",
+                "unsupported_version");
+    expectError(service,
+                "{\"type\": \"ping\", \"api_version\": \"beta\"}",
+                "unsupported_version");
+    expectError(service,
+                "{\"type\": \"ping\", \"api_version\": 1}",
+                "unsupported_version");
+}
+
 TEST(Service, RejectsBadRunRequests)
 {
     Service service(testConfig());

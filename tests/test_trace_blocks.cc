@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the zero-copy trace block iterator: coverage, offsets and
+ * the edge cases (empty trace, partial final block, zero block size)
+ * the one-pass engine's correctness rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/blocks.hh"
+
+namespace jcache::trace
+{
+namespace
+{
+
+Trace
+traceOf(std::size_t records)
+{
+    Trace t("blocks");
+    for (std::size_t i = 0; i < records; ++i)
+        t.append({Addr{0x100} + 4 * i, 1, 4, RefType::Read});
+    return t;
+}
+
+TEST(BlockRange, EmptyTraceHasNoBlocks)
+{
+    Trace t = traceOf(0);
+    BlockRange range(t, 4);
+    EXPECT_EQ(range.blockCount(), 0u);
+    EXPECT_TRUE(range.begin() == range.end());
+}
+
+TEST(BlockRange, ExactMultipleSplitsEvenly)
+{
+    Trace t = traceOf(8);
+    BlockRange range(t, 4);
+    EXPECT_EQ(range.blockCount(), 2u);
+    std::size_t seen = 0;
+    for (TraceBlock block : range) {
+        EXPECT_EQ(block.count, 4u);
+        EXPECT_EQ(block.offset, seen);
+        EXPECT_EQ(block.records, t.records().data() + block.offset);
+        seen += block.count;
+    }
+    EXPECT_EQ(seen, t.size());
+}
+
+TEST(BlockRange, PartialFinalBlockHoldsRemainder)
+{
+    Trace t = traceOf(10);
+    BlockRange range(t, 4);
+    EXPECT_EQ(range.blockCount(), 3u);
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> offsets;
+    for (TraceBlock block : range) {
+        counts.push_back(block.count);
+        offsets.push_back(block.offset);
+    }
+    EXPECT_EQ(counts, (std::vector<std::size_t>{4, 4, 2}));
+    EXPECT_EQ(offsets, (std::vector<std::size_t>{0, 4, 8}));
+}
+
+TEST(BlockRange, BlockLargerThanTraceYieldsOneBlock)
+{
+    Trace t = traceOf(3);
+    BlockRange range(t, 100);
+    EXPECT_EQ(range.blockCount(), 1u);
+    auto it = range.begin();
+    EXPECT_EQ((*it).count, 3u);
+    EXPECT_EQ((*it).offset, 0u);
+    ++it;
+    EXPECT_TRUE(it == range.end());
+}
+
+TEST(BlockRange, ZeroBlockSizeClampsToOne)
+{
+    Trace t = traceOf(3);
+    BlockRange range(t, 0);
+    EXPECT_EQ(range.blockCount(), 3u);
+    std::size_t blocks = 0;
+    std::size_t records = 0;
+    for (TraceBlock block : range) {
+        ++blocks;
+        records += block.count;
+        EXPECT_EQ(block.count, 1u);
+    }
+    EXPECT_EQ(blocks, 3u);
+    EXPECT_EQ(records, 3u);
+}
+
+TEST(BlockRange, BlocksCoverEveryRecordInOrder)
+{
+    Trace t = traceOf(2048 + 7);  // one default block plus a tail
+    BlockRange range(t);
+    EXPECT_EQ(range.blockCount(), 2u);
+    std::size_t next = 0;
+    for (TraceBlock block : range) {
+        for (std::size_t i = 0; i < block.count; ++i) {
+            EXPECT_EQ(block.records[i].addr,
+                      t.records()[next].addr);
+            ++next;
+        }
+    }
+    EXPECT_EQ(next, t.size());
+}
+
+} // namespace
+} // namespace jcache::trace

@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "cli_common.hh"
 #include "net/frame.hh"
 #include "net/socket.hh"
 #include "service/json_value.hh"
@@ -79,7 +80,7 @@ usage()
         "  health\n"
         "  ping\n"
         "  shutdown\n"
-        "  metrics [--metrics-port N] [--json]\n";
+        "  metrics [--metrics-port N] [--json [path]]\n";
     return 2;
 }
 
@@ -122,9 +123,10 @@ printMetrics(const std::vector<telemetry::ParsedFamily>& families)
 
 /** Re-emit parsed families as one JSON document for scripts. */
 void
-printMetricsJson(const std::vector<telemetry::ParsedFamily>& families)
+printMetricsJson(const std::vector<telemetry::ParsedFamily>& families,
+                 std::ostream& os)
 {
-    stats::JsonWriter json(std::cout);
+    stats::JsonWriter json(os);
     json.beginObject();
     json.beginArray("families");
     for (const telemetry::ParsedFamily& fam : families) {
@@ -178,7 +180,7 @@ isNonRetryableCode(const std::string& code)
 {
     return code == "parse_error" || code == "bad_request" ||
            code == "unknown_type" || code == "protocol_mismatch" ||
-           code == "internal_error";
+           code == "unsupported_version" || code == "internal_error";
 }
 
 /**
@@ -356,6 +358,7 @@ runRequest(const std::string& workload, const RunFlags& flags,
     json.beginObject();
     json.field("type", "run");
     json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("api_version", std::string(kApiVersion));
     json.field("request_id", request_id);
     json.field("workload", workload);
     json.field("flush", flags.flush);
@@ -374,6 +377,7 @@ sweepRequest(const std::string& workload, const std::string& axis,
     json.beginObject();
     json.field("type", "sweep");
     json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("api_version", std::string(kApiVersion));
     json.field("request_id", request_id);
     json.field("workload", workload);
     json.field("axis", axis);
@@ -390,6 +394,7 @@ bareRequest(const std::string& type)
     json.beginObject();
     json.field("type", type);
     json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("api_version", std::string(kApiVersion));
     json.endObject();
     return oss.str();
 }
@@ -555,13 +560,12 @@ main(int argc, char** argv)
 
         if (command == "metrics") {
             std::uint16_t metrics_port = kDefaultMetricsPort;
-            bool as_json = false;
+            tools::CommonFlags common;
             for (; i < argc; ++i) {
-                std::string flag = argv[i];
-                if (flag == "--json") {
-                    as_json = true;
+                if (tools::parseCommonFlag(argc, argv, i,
+                                           tools::kFlagJson, common))
                     continue;
-                }
+                std::string flag = argv[i];
                 if (flag == "--metrics-port" && i + 1 < argc) {
                     metrics_port = static_cast<std::uint16_t>(
                         std::strtoul(argv[++i], nullptr, 10));
@@ -581,10 +585,13 @@ main(int argc, char** argv)
             std::vector<telemetry::ParsedFamily> families;
             fatalIf(!telemetry::parse(body, families, &error),
                     "malformed exposition: " + error);
-            if (as_json)
-                printMetricsJson(families);
-            else
+            if (common.json) {
+                tools::writeJsonSink(common, [&](std::ostream& os) {
+                    printMetricsJson(families, os);
+                });
+            } else {
                 printMetrics(families);
+            }
             return 0;
         }
 

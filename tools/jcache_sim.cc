@@ -8,17 +8,20 @@
  *       [--size KB] [--line B] [--assoc N]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
  *       [--replacement lru|fifo|random] [--no-flush]
- *       [--jobs N] [--progress] [--version]
+ *       [--jobs N] [--progress] [--json [path]]
+ *       [--engine percell|onepass] [--version]
  *
  * Defaults: 8KB, 16B lines, direct-mapped, write-back,
  * fetch-on-write — the paper's base configuration.
  *
- * The replay runs through the parallel executor (a one-job grid);
- * --progress adds the run's observability summary — wall time,
- * replayed M ins/s — on stderr, and --jobs sets the executor width
- * for scripts that pass uniform flags to every jcache tool.  The
- * statistics block prints through the same renderer jcache-client
- * uses, so an offline run and a service run are byte-identical.
+ * The replay goes through the unified engine API (sim::runBatch, a
+ * one-request batch); --engine selects the replay strategy, which
+ * never changes the printed numbers.  --progress adds the run's
+ * observability summary — wall time, replayed M ins/s — on stderr,
+ * --json exports the run report, and --jobs sets the worker width,
+ * all spelled identically across every jcache tool.  The statistics
+ * block prints through the same renderer jcache-client uses, so an
+ * offline run and a service run are byte-identical.
  */
 
 #include <cstdlib>
@@ -26,9 +29,9 @@
 #include <iostream>
 #include <string>
 
+#include "cli_common.hh"
 #include "service/render.hh"
-#include "sim/parallel.hh"
-#include "sim/run.hh"
+#include "sim/engine.hh"
 #include "trace/file_io.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
@@ -39,6 +42,10 @@ namespace
 
 using namespace jcache;
 
+constexpr unsigned kCommonFlags = tools::kFlagJobs |
+                                  tools::kFlagProgress |
+                                  tools::kFlagJson | tools::kFlagEngine;
+
 int
 usage()
 {
@@ -46,7 +53,8 @@ usage()
         "usage: jcache-sim <trace.jct | workload-name>\n"
         "  [--size KB] [--line B] [--assoc N] [--hit wt|wb]\n"
         "  [--miss fow|wv|wa|wi] [--replacement lru|fifo|random]\n"
-        "  [--no-flush] [--jobs N] [--progress] [--version]\n";
+        "  [--no-flush] " << tools::commonUsage(kCommonFlags) <<
+        " [--version]\n";
     return 2;
 }
 
@@ -65,18 +73,16 @@ main(int argc, char** argv)
     core::CacheConfig config;
     config.hitPolicy = core::WriteHitPolicy::WriteBack;
     bool flush = true;
-    bool progress = false;
-    unsigned jobs = 0;
+    tools::CommonFlags common;
 
     try {
         for (int i = 2; i < argc; ++i) {
+            if (tools::parseCommonFlag(argc, argv, i, kCommonFlags,
+                                       common))
+                continue;
             std::string flag = argv[i];
             if (flag == "--no-flush") {
                 flush = false;
-                continue;
-            }
-            if (flag == "--progress") {
-                progress = true;
                 continue;
             }
             if (i + 1 >= argc)
@@ -107,9 +113,6 @@ main(int argc, char** argv)
                         "unknown replacement policy: " + value +
                             " (use lru|fifo|random)");
                 config.replacement = *policy;
-            } else if (flag == "--jobs") {
-                jobs = static_cast<unsigned>(
-                    std::strtoul(value.c_str(), nullptr, 10));
             } else {
                 return usage();
             }
@@ -122,13 +125,22 @@ main(int argc, char** argv)
             : workloads::generateTrace(
                   *workloads::makeWorkload(source));
 
-        sim::ParallelExecutor executor(jobs);
-        sim::SweepOutcome outcome =
-            executor.run({{&trace, config, flush}});
+        sim::BatchOptions options;
+        options.engine = common.engine;
+        options.jobs = common.jobs;
+        sim::BatchOutcome outcome =
+            sim::runBatch({{&trace, config, flush}}, options);
+        for (const sim::JobFailure& f : outcome.report.failures)
+            std::cerr << "error: " << f.message << "\n";
+        if (!outcome.ok())
+            return 1;
         service::renderRunTable(std::cout, outcome.results.front(),
                                 trace.name(), flush);
-        if (progress)
+        if (common.progress)
             std::cerr << outcome.report.summary() << "\n";
+        tools::writeJsonSink(common, [&](std::ostream& os) {
+            outcome.report.writeJson(os);
+        });
         return 0;
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";

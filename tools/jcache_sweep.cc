@@ -8,7 +8,8 @@
  *   jcache-sweep <trace.jct | workload> --axis size|line|assoc
  *       [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
- *       [--jobs N] [--progress] [--json <report.json>]
+ *       [--jobs N] [--progress] [--json [path]]
+ *       [--engine percell|onepass]
  *       [--trace-out <events.json>]
  *       [--checkpoint <file> [--checkpoint-every N] [--resume]]
  *       [--version]
@@ -18,18 +19,21 @@
  *   traffic — back-side transactions per instruction
  *   dirty   — percent of writes to already-dirty lines
  *
- * The sweep points run on the parallel executor (--jobs N threads;
- * default: all hardware threads).  Results are ordered by sweep point,
- * never by completion, so the table is identical at any job count —
- * and the axis expansion and table rendering are shared with
- * jcache-client, so a service-served sweep is byte-identical too.
- * --progress reports per-point completion and a run summary on
- * stderr; --json exports the SweepReport (per-job wall time,
- * throughput, utilization) for observability tooling.
+ * The sweep runs through the unified engine API (sim::runBatch).
+ * Under the default one-pass engine the whole axis shares a single
+ * decode of the trace; --engine percell restores the classic
+ * one-replay-per-point path.  Either way results are ordered by
+ * sweep point, never by completion, so the table is identical at any
+ * job count and for both engines — and the axis expansion and table
+ * rendering are shared with jcache-client, so a service-served sweep
+ * is byte-identical too.  --progress reports per-point completion
+ * and a run summary on stderr; --json exports the SweepReport
+ * (per-job wall time, throughput, utilization) for observability
+ * tooling.
  *
  * --trace-out captures spans (trace generation, the sweep grid, every
- * grid cell, rendering) and writes them as Chrome trace-event JSON,
- * loadable in chrome://tracing or ui.perfetto.dev.
+ * grid cell or trace pass, rendering) and writes them as Chrome
+ * trace-event JSON, loadable in chrome://tracing or ui.perfetto.dev.
  *
  * --checkpoint makes the sweep crash-safe: every N completed points
  * (default 1) the finished cells are atomically persisted, and
@@ -41,17 +45,16 @@
 
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
 
+#include "cli_common.hh"
 #include "service/checkpoint.hh"
 #include "service/render.hh"
-#include "sim/parallel.hh"
-#include "telemetry/trace_writer.hh"
-#include "sim/run.hh"
+#include "sim/engine.hh"
 #include "sim/sweeps.hh"
+#include "telemetry/trace_writer.hh"
 #include "trace/file_io.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
@@ -62,6 +65,10 @@ namespace
 
 using namespace jcache;
 
+constexpr unsigned kCommonFlags = tools::kFlagJobs |
+                                  tools::kFlagProgress |
+                                  tools::kFlagJson | tools::kFlagEngine;
+
 int
 usage()
 {
@@ -70,7 +77,7 @@ usage()
         "size|line|assoc\n"
         "  [--metric miss|traffic|dirty] [--hit wt|wb] "
         "[--miss fow|wv|wa|wi]\n"
-        "  [--jobs N] [--progress] [--json <report.json>]\n"
+        "  " << tools::commonUsage(kCommonFlags) << "\n"
         "  [--trace-out <events.json>]\n"
         "  [--checkpoint <file> [--checkpoint-every N] [--resume]] "
         "[--version]\n";
@@ -101,23 +108,20 @@ main(int argc, char** argv)
 
     std::string axis = "size";
     std::string metric = "miss";
-    std::string json_path;
     std::string trace_out;
     std::string checkpoint_path;
     unsigned checkpoint_every = 1;
     bool resume = false;
-    unsigned jobs = 0;
-    bool progress = false;
+    tools::CommonFlags common;
     core::CacheConfig base;
     base.hitPolicy = core::WriteHitPolicy::WriteBack;
 
     try {
         for (int i = 2; i < argc; ++i) {
-            std::string flag = argv[i];
-            if (flag == "--progress") {
-                progress = true;
+            if (tools::parseCommonFlag(argc, argv, i, kCommonFlags,
+                                       common))
                 continue;
-            }
+            std::string flag = argv[i];
             if (flag == "--resume") {
                 resume = true;
                 continue;
@@ -129,11 +133,6 @@ main(int argc, char** argv)
                 axis = value;
             } else if (flag == "--metric") {
                 metric = value;
-            } else if (flag == "--jobs") {
-                jobs = static_cast<unsigned>(
-                    std::strtoul(value.c_str(), nullptr, 10));
-            } else if (flag == "--json") {
-                json_path = value;
             } else if (flag == "--trace-out") {
                 trace_out = value;
             } else if (flag == "--checkpoint") {
@@ -180,14 +179,14 @@ main(int argc, char** argv)
 
         sim::AxisPoints points = sim::buildAxisPoints(axis, base);
 
-        // Fan the points out over the executor; results come back in
-        // point order regardless of completion order.
-        std::vector<sim::SweepJob> grid;
+        // One request per sweep point; results come back in point
+        // order regardless of completion order or engine.
+        std::vector<sim::Request> requests;
         for (const core::CacheConfig& config : points.configs)
-            grid.push_back({&trace, config, false});
+            requests.push_back({&trace, config, false});
 
         sim::ProgressFn on_progress;
-        if (progress) {
+        if (common.progress) {
             on_progress = [](std::size_t done, std::size_t total) {
                 std::cerr << "\r[" << done << "/" << total
                           << "] points replayed" << std::flush;
@@ -195,11 +194,14 @@ main(int argc, char** argv)
                     std::cerr << "\n";
             };
         }
-        sim::ParallelExecutor executor(jobs, on_progress);
-        sim::SweepOutcome outcome;
+        sim::BatchOutcome outcome;
 
         if (checkpoint_path.empty()) {
-            outcome = executor.run(grid);
+            sim::BatchOptions options;
+            options.engine = common.engine;
+            options.jobs = common.jobs;
+            options.progress = on_progress;
+            outcome = sim::runBatch(requests, options);
         } else {
             // Crash-safe path: replay only the cells the checkpoint
             // is missing and persist every `checkpoint_every`
@@ -209,7 +211,7 @@ main(int argc, char** argv)
             plan.trace = trace.name();
             plan.axis = axis;
             plan.configKey = service::canonicalConfigKey(base);
-            plan.cells = grid.size();
+            plan.cells = requests.size();
 
             service::SweepCheckpoint checkpoint = plan;
             if (resume &&
@@ -219,7 +221,7 @@ main(int argc, char** argv)
                 fatalIf(!checkpoint.sameSweep(plan),
                         "checkpoint " + checkpoint_path +
                             " belongs to a different sweep");
-                if (progress) {
+                if (common.progress) {
                     std::cerr << "resuming: "
                               << checkpoint.completed.size() << "/"
                               << checkpoint.cells
@@ -229,18 +231,18 @@ main(int argc, char** argv)
 
             std::vector<std::size_t> todo =
                 checkpoint.missingIndices();
-            outcome.results.resize(grid.size());
+            outcome.results.resize(requests.size());
             for (const auto& [index, result] : checkpoint.completed)
                 outcome.results[index] = result;
 
             std::mutex checkpoint_mutex;
             std::size_t since_save = 0;
+            sim::ParallelExecutor executor(common.jobs, on_progress);
             outcome.report = executor.runTasks(
                 todo.size(), [&](std::size_t k) {
                     std::size_t index = todo[k];
-                    const sim::SweepJob& job = grid[index];
-                    outcome.results[index] = sim::runTrace(
-                        *job.trace, job.config, job.flushAtEnd);
+                    outcome.results[index] =
+                        sim::runOne(requests[index], common.engine);
                     std::lock_guard<std::mutex> lock(
                         checkpoint_mutex);
                     checkpoint.record(index,
@@ -266,13 +268,11 @@ main(int argc, char** argv)
                                       outcome.results);
         }
 
-        if (progress)
+        if (common.progress)
             std::cerr << outcome.report.summary() << "\n";
-        if (!json_path.empty()) {
-            std::ofstream ofs(json_path);
-            fatalIf(!ofs, "cannot open " + json_path);
-            outcome.report.writeJson(ofs);
-        }
+        tools::writeJsonSink(common, [&](std::ostream& os) {
+            outcome.report.writeJson(os);
+        });
         if (!trace_out.empty()) {
             telemetry::SpanTracer& tracer =
                 telemetry::SpanTracer::instance();

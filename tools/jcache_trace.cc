@@ -4,10 +4,14 @@
  *
  * Usage:
  *   jcache-trace generate <workload> <out.jct> [--scale N] [--seed S]
- *   jcache-trace info <trace.jct>
- *   jcache-trace summary <trace.jct>
+ *   jcache-trace info <trace.jct> [--json [path]]
+ *   jcache-trace summary <trace.jct> [--json [path]]
  *   jcache-trace head <trace.jct> [count]
  *   jcache-trace --version
+ *
+ * --json re-emits the info/summary fields as one JSON document (to
+ * stdout, or to a path), spelled exactly as in every other jcache
+ * tool.
  *
  * `info` reads only the file header (format, version, record count,
  * workload name) — constant time however large the trace; `summary`
@@ -23,6 +27,8 @@
 #include <iostream>
 #include <string>
 
+#include "cli_common.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 #include "trace/file_io.hh"
 #include "trace/summary.hh"
@@ -69,8 +75,8 @@ usage()
         "usage:\n"
         "  jcache-trace generate <workload> <out.jct> "
         "[--scale N] [--seed S] [--compress]\n"
-        "  jcache-trace info <trace.jct>\n"
-        "  jcache-trace summary <trace.jct>\n"
+        "  jcache-trace info <trace.jct> [--json [path]]\n"
+        "  jcache-trace summary <trace.jct> [--json [path]]\n"
         "  jcache-trace head <trace.jct> [count]\n"
         "  jcache-trace --version\n";
     return 2;
@@ -113,8 +119,30 @@ cmdInfo(int argc, char** argv)
 {
     if (argc < 3)
         return usage();
+    tools::CommonFlags common;
+    for (int i = 3; i < argc; ++i)
+        if (!tools::parseCommonFlag(argc, argv, i, tools::kFlagJson,
+                                    common))
+            return usage();
     // Header only: no record loading, no replay, constant time.
     trace::TraceFileInfo info = trace::loadTraceInfo(argv[2]);
+    std::uintmax_t file_bytes = std::filesystem::file_size(argv[2]);
+
+    if (common.json) {
+        tools::writeJsonSink(common, [&](std::ostream& os) {
+            stats::JsonWriter json(os);
+            json.beginObject();
+            json.field("file", std::string(argv[2]));
+            json.field("workload", info.name);
+            json.field("format", info.format);
+            json.field("version", static_cast<double>(info.version));
+            json.field("records", static_cast<double>(info.records));
+            json.field("file_bytes",
+                       static_cast<double>(file_bytes));
+            json.endObject();
+        });
+        return 0;
+    }
 
     stats::TextTable table("trace file: " + std::string(argv[2]));
     table.setHeader({"field", "value"});
@@ -122,8 +150,7 @@ cmdInfo(int argc, char** argv)
     table.addRow({"format", info.format});
     table.addRow({"version", std::to_string(info.version)});
     table.addRow({"records", std::to_string(info.records)});
-    table.addRow({"file bytes",
-                  std::to_string(std::filesystem::file_size(argv[2]))});
+    table.addRow({"file bytes", std::to_string(file_bytes)});
     table.print(std::cout);
     return 0;
 }
@@ -133,8 +160,35 @@ cmdSummary(int argc, char** argv)
 {
     if (argc < 3)
         return usage();
+    tools::CommonFlags common;
+    for (int i = 3; i < argc; ++i)
+        if (!tools::parseCommonFlag(argc, argv, i, tools::kFlagJson,
+                                    common))
+            return usage();
     trace::Trace trace = trace::loadTrace(argv[2]);
     trace::TraceSummary s = trace::summarize(trace);
+
+    if (common.json) {
+        tools::writeJsonSink(common, [&](std::ostream& os) {
+            stats::JsonWriter json(os);
+            json.beginObject();
+            json.field("trace", trace.name());
+            json.field("records", static_cast<double>(trace.size()));
+            json.field("instructions",
+                       static_cast<double>(s.instructions));
+            json.field("reads", static_cast<double>(s.reads));
+            json.field("writes", static_cast<double>(s.writes));
+            json.field("read_bytes",
+                       static_cast<double>(s.readBytes));
+            json.field("write_bytes",
+                       static_cast<double>(s.writeBytes));
+            json.field("loads_per_store", s.loadStoreRatio());
+            json.field("refs_per_instruction",
+                       s.refsPerInstruction());
+            json.endObject();
+        });
+        return 0;
+    }
 
     stats::TextTable table("trace: " + trace.name());
     table.setHeader({"metric", "value"});

@@ -4,6 +4,7 @@
  *
  * Usage:
  *   jcached [--port N] [--port-file PATH] [--jobs N]
+ *           [--engine percell|onepass]
  *           [--queue N] [--cache N] [--timeout MS]
  *           [--metrics-port N] [--metrics-port-file PATH]
  *           [--trace-out PATH] [--version]
@@ -27,6 +28,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli_common.hh"
 #include "service/server.hh"
 #include "sim/sweeps.hh"
 #include "telemetry/http_exporter.hh"
@@ -55,6 +57,7 @@ usage()
 {
     std::cerr <<
         "usage: jcached [--port N] [--port-file PATH] [--jobs N]\n"
+        "  [--engine percell|onepass]\n"
         "  [--queue N] [--cache N] [--timeout MS]\n"
         "  [--metrics-port N] [--metrics-port-file PATH]\n"
         "  [--trace-out PATH] [--version]\n";
@@ -99,11 +102,22 @@ main(int argc, char** argv)
     std::string metrics_port_file;
     std::string trace_out;
 
+    tools::CommonFlags common;
+    constexpr unsigned kCommonFlags =
+        tools::kFlagJobs | tools::kFlagEngine;
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
         if (flag == "--version") {
             std::cout << versionLine("jcached") << "\n";
             return 0;
+        }
+        try {
+            if (tools::parseCommonFlag(argc, argv, i, kCommonFlags,
+                                       common))
+                continue;
+        } catch (const FatalError& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return usage();
         }
         if (i + 1 >= argc)
             return usage();
@@ -113,9 +127,6 @@ main(int argc, char** argv)
                 std::strtoul(value.c_str(), nullptr, 10));
         } else if (flag == "--port-file") {
             port_file = value;
-        } else if (flag == "--jobs") {
-            config.service.executorThreads = static_cast<unsigned>(
-                std::strtoul(value.c_str(), nullptr, 10));
         } else if (flag == "--queue") {
             config.service.queueCapacity =
                 std::strtoull(value.c_str(), nullptr, 10);
@@ -137,6 +148,8 @@ main(int argc, char** argv)
             return usage();
         }
     }
+    config.service.executorThreads = common.jobs;
+    config.service.engine = common.engine;
 
     try {
         if (metrics)
