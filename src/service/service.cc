@@ -11,6 +11,7 @@
 #include "service/json_value.hh"
 #include "service/render.hh"
 #include "stats/json.hh"
+#include "trace/import.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace_writer.hh"
 #include "util/fault.hh"
@@ -100,7 +101,7 @@ okResponse(const std::string& type, const std::string& digest,
 Service::Service(const ServiceConfig& config)
     : config_(config),
       traces_(config.traces ? *config.traces
-                            : sim::TraceSet::standard()),
+                            : sim::TraceSet::extended()),
       executorThreads_(config.executorThreads == 0
                            ? sim::defaultJobs()
                            : config.executorThreads),
@@ -340,7 +341,8 @@ Service::handle(const std::string& request_json)
     std::string type = request.getString("type");
     // Label values come from a fixed vocabulary: an unrecognized type
     // counts as "unknown" so untrusted input cannot mint label sets.
-    bool known = type == "run" || type == "sweep" || type == "stats" ||
+    bool known = type == "run" || type == "sweep" ||
+                 type == "upload" || type == "stats" ||
                  type == "health" || type == "ping" ||
                  type == "shutdown";
     countRequest(known ? type : "unknown");
@@ -351,12 +353,17 @@ Service::handle(const std::string& request_json)
         } else if (type == "sweep") {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++sweepRequests_;
+        } else if (type == "upload") {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++uploadRequests_;
         }
 
         if (type == "run")
             return handleRun(request, request_id);
         if (type == "sweep")
             return handleSweep(request, request_id);
+        if (type == "upload")
+            return handleUpload(request, request_id);
         if (type == "stats")
             return handleStats(request_id);
         if (type == "health")
@@ -371,7 +378,7 @@ Service::handle(const std::string& request_json)
         return errorResponse(
             "unknown_type",
             "unknown request type: '" + type +
-                "' (use run|sweep|stats|health|ping|shutdown)",
+                "' (use run|sweep|upload|stats|health|ping|shutdown)",
             request_id);
     } catch (const FatalError& e) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -549,6 +556,131 @@ Service::handleSweep(const JsonValue& request,
                       request_id);
 }
 
+namespace
+{
+
+/** Armed-only counters for the uploaded-trace import site. */
+void
+countImport(bool accepted, std::size_t bytes, std::size_t records)
+{
+    if (!telemetry::armed())
+        return;
+    telemetry::Registry& reg = telemetry::Registry::instance();
+    reg.counter("jcache_trace_import_total",
+                "Uploaded-trace import attempts, by outcome",
+                {{"outcome", accepted ? "accepted" : "rejected"}})
+        .inc();
+    if (!accepted)
+        return;
+    reg.counter("jcache_trace_import_bytes_total",
+                "Encoded bytes of accepted trace uploads")
+        .inc(bytes);
+    reg.counter("jcache_trace_import_records_total",
+                "Records decoded from accepted trace uploads")
+        .inc(records);
+}
+
+} // namespace
+
+std::string
+Service::handleUpload(const JsonValue& request,
+                      const std::string& request_id)
+{
+    std::string body = request.getString("trace");
+    fatalIf(body.empty(), "upload request needs a 'trace' body");
+    std::string encoding = request.getString("encoding");
+    fatalIf(!encoding.empty() && encoding != "text",
+            "unsupported upload encoding '" + encoding +
+                "' (this daemon accepts: text)");
+    std::string name = request.getString("name");
+    if (name.empty())
+        name = "uploaded";
+    fatalIf(name.size() > trace::kMaxTraceNameBytes,
+            "upload 'name' is unreasonably long");
+    core::CacheConfig config =
+        parseCacheConfig(request.get("config"));
+    config.validate();
+    bool flush = request.getBool("flush", true);
+
+    // The cap guards the parse, not just the replay: an oversized
+    // body is refused before any decoding work.
+    if (body.size() > config_.uploadCapBytes) {
+        countImport(false, body.size(), 0);
+        return errorResponse(
+            "trace_too_large",
+            "uploaded trace is " + std::to_string(body.size()) +
+                " bytes; this daemon accepts at most " +
+                std::to_string(config_.uploadCapBytes),
+            request_id);
+    }
+
+    // Content-addressed caching: re-uploading the same bytes under
+    // the same config is a cache hit, so the digest hashes the body,
+    // not the client-chosen name.
+    std::string digest = digestKey(
+        "upload|" + digestKey(body) + "|" + name + "|" +
+        canonicalConfigKey(config) + "|" + (flush ? "f1" : "f0"));
+    {
+        telemetry::Span lookup_span("cache.lookup", "service");
+        auto hit = cache_.lookup(digest);
+        lookup_span.arg("hit", hit ? "true" : "false");
+        if (hit)
+            return okResponse("upload", digest, true, *hit,
+                              request_id);
+    }
+
+    trace::Trace trace;
+    try {
+        telemetry::Span import_span("trace.import", "service");
+        std::istringstream iss(body);
+        trace = trace::importTraceText(iss, name, "<upload>");
+        import_span.arg("records", std::to_string(trace.size()));
+    } catch (const trace::CorruptTraceError& e) {
+        countImport(false, body.size(), 0);
+        return errorResponse("bad_trace", e.what(), request_id);
+    }
+    countImport(true, body.size(), trace.size());
+
+    // The submitter blocks in submitAndWait until the scheduler has
+    // finished the job, so the lambda may use the local trace.
+    JobOutcome outcome;
+    bool admitted = submitAndWait(
+        [this, &trace, config, flush, name] {
+            sim::BatchOptions options;
+            options.engine = config_.engine;
+            options.jobs = executorThreads_;
+            Clock::time_point start = Clock::now();
+            sim::BatchOutcome batch =
+                sim::runBatch({{&trace, config, flush}}, options);
+            recordJobTiming(
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count(),
+                batch.report);
+            fatalIf(!batch.ok(), describeFailures(batch.report));
+
+            std::ostringstream oss;
+            stats::JsonWriter json(oss);
+            json.beginObject();
+            json.field("workload", name);
+            json.field("flushed", flush);
+            json.field("records",
+                       static_cast<double>(trace.size()));
+            writeRunResult(json, "result", batch.results.front());
+            json.endObject();
+            return oss.str();
+        },
+        outcome);
+    if (!admitted)
+        return busyResponse(retryAfterMillis(), request_id);
+    if (!outcome.error.empty())
+        return errorResponse("bad_request", outcome.error,
+                             request_id);
+
+    cache_.insert(digest, outcome.payload);
+    return okResponse("upload", digest, false, outcome.payload,
+                      request_id);
+}
+
 std::string
 Service::handlePing(const std::string& request_id)
 {
@@ -673,6 +805,7 @@ Service::statsPayload() const
     json.field("total", static_cast<double>(requests_));
     json.field("run", static_cast<double>(runRequests_));
     json.field("sweep", static_cast<double>(sweepRequests_));
+    json.field("upload", static_cast<double>(uploadRequests_));
     json.field("stats", static_cast<double>(statsRequests_));
     json.field("health", static_cast<double>(healthRequests_));
     json.field("ping", static_cast<double>(pingRequests_));

@@ -88,9 +88,17 @@ struct ServiceConfig
     std::size_t cacheCapacity = 256;
 
     /**
+     * Largest accepted uploaded-trace body, in bytes of the encoded
+     * text; larger uploads are refused with `trace_too_large` before
+     * any parsing.  Also bounds the memory an upload can pin while
+     * queued.
+     */
+    std::size_t uploadCapBytes = 4u << 20;
+
+    /**
      * Trace registry override for tests; null uses
-     * sim::TraceSet::standard() (the six paper benchmarks).  Not
-     * owned; must outlive the Service.
+     * sim::TraceSet::extended() (the six paper benchmarks plus the
+     * production workloads).  Not owned; must outlive the Service.
      */
     const sim::TraceSet* traces = nullptr;
 };
@@ -161,6 +169,8 @@ class Service
                           const std::string& request_id);
     std::string handleSweep(const JsonValue& request,
                             const std::string& request_id);
+    std::string handleUpload(const JsonValue& request,
+                             const std::string& request_id);
     std::string handleStats(const std::string& request_id);
     std::string handleHealth(const std::string& request_id);
     std::string handlePing(const std::string& request_id);
@@ -205,6 +215,7 @@ class Service
     std::uint64_t requests_ = 0;
     std::uint64_t runRequests_ = 0;
     std::uint64_t sweepRequests_ = 0;
+    std::uint64_t uploadRequests_ = 0;
     std::uint64_t statsRequests_ = 0;
     std::uint64_t healthRequests_ = 0;
     std::uint64_t pingRequests_ = 0;

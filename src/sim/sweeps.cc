@@ -47,9 +47,15 @@ legalPolicyPairs()
 }
 
 TraceSet::TraceSet(const workloads::WorkloadConfig& config)
+    : TraceSet(config, workloads::benchmarkNames())
+{}
+
+TraceSet::TraceSet(const workloads::WorkloadConfig& config,
+                   const std::vector<std::string>& names)
 {
-    for (const auto& workload : workloads::makeAllWorkloads(config)) {
+    for (const std::string& name : names) {
         telemetry::Span span("trace.generate", "sim");
+        auto workload = workloads::makeWorkload(name, config);
         traces_.push_back(workloads::generateTrace(*workload));
         span.arg("workload", traces_.back().name());
     }
@@ -71,6 +77,9 @@ namespace
 std::once_flag standard_once;
 const TraceSet* standard_instance = nullptr;
 
+std::once_flag extended_once;
+const TraceSet* extended_instance = nullptr;
+
 } // namespace
 
 const TraceSet&
@@ -82,6 +91,17 @@ TraceSet::standard()
     std::call_once(standard_once,
                    [] { standard_instance = new TraceSet(); });
     return *standard_instance;
+}
+
+const TraceSet&
+TraceSet::extended()
+{
+    // Leaked for the same reason as standard().
+    std::call_once(extended_once, [] {
+        extended_instance =
+            new TraceSet({}, workloads::allWorkloadNames());
+    });
+    return *extended_instance;
 }
 
 AxisPoints

@@ -39,12 +39,18 @@ std::vector<std::pair<core::WriteHitPolicy, core::WriteMissPolicy>>
 legalPolicyPairs();
 
 /**
- * The six benchmark traces, generated once.
+ * A set of workload traces, generated once.  The default construction
+ * covers the six Table 1 benchmarks; a name list selects any
+ * registered workloads.
  */
 class TraceSet
 {
   public:
     explicit TraceSet(const workloads::WorkloadConfig& config = {});
+
+    /** Generate exactly the named workloads, in the given order. */
+    TraceSet(const workloads::WorkloadConfig& config,
+             const std::vector<std::string>& names);
 
     const std::vector<trace::Trace>& traces() const { return traces_; }
 
@@ -58,8 +64,18 @@ class TraceSet
      * this so the traces are generated exactly once per binary.
      * Thread-safe: construction happens under a std::once_flag, so
      * concurrent first calls from executor workers are well-defined.
+     * Holds exactly the six Table 1 benchmarks, so every figure and
+     * table reproduces the paper unchanged.
      */
     static const TraceSet& standard();
+
+    /**
+     * Process-wide shared instance of all nine registered workloads:
+     * the six benchmarks followed by the production generators
+     * (kvstore, bfs, marksweep).  The service pregenerates this set
+     * so uploaded-trace and built-in requests see the same catalog.
+     */
+    static const TraceSet& extended();
 
   private:
     std::vector<trace::Trace> traces_;

@@ -242,7 +242,12 @@ loadTraceInfo(const std::string& path)
 {
     std::ifstream ifs(path, std::ios::binary);
     fatalIf(!ifs, "cannot open trace file for reading: " + path);
-    return readTraceInfo(ifs);
+    try {
+        return readTraceInfo(ifs);
+    } catch (const CorruptTraceError& e) {
+        throw CorruptTraceError(std::string(e.what()) +
+                                " [file: " + path + "]");
+    }
 }
 
 Trace
@@ -316,7 +321,16 @@ loadTrace(const std::string& path)
 {
     std::ifstream ifs(path, std::ios::binary);
     fatalIf(!ifs, "cannot open trace file for reading: " + path);
-    return readTrace(ifs);
+    try {
+        return readTrace(ifs);
+    } catch (const CorruptTraceError& e) {
+        // The stream-level reader reports record indices and offsets;
+        // only here is the file path known, so attach it on the way
+        // out — a corrupt trace in a sweep over dozens of files must
+        // name which one.
+        throw CorruptTraceError(std::string(e.what()) +
+                                " [file: " + path + "]");
+    }
 }
 
 } // namespace jcache::trace

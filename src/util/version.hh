@@ -34,7 +34,7 @@ inline constexpr unsigned kProtocolVersion = 1;
  * `unsupported_version` error.  A request without the field is
  * accepted, for clients predating the handshake.
  */
-inline constexpr const char* kApiVersion = "1.0";
+inline constexpr const char* kApiVersion = "1.1";
 
 /** The major component of kApiVersion, for the compatibility check. */
 inline constexpr unsigned kApiVersionMajor = 1;

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the BFS workload.
+ *
+ * Traced structures:
+ *  - offsets:  CSR row starts (sequential reads per vertex)
+ *  - edges:    CSR edge targets (streaming reads within a vertex,
+ *              random across vertices)
+ *  - dist:     per-vertex distance (random reads/writes, swept
+ *              sequentially between sources)
+ *  - queue:    BFS frontier (sequential writes at the tail, reads at
+ *              the head)
+ */
+
+#include "workloads/bfs.hh"
+
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using I32 = TracedArray<std::int32_t>;
+
+} // namespace
+
+void
+BfsWorkload::run(trace::TraceRecorder& rec) const
+{
+    unsigned n = nodes_;
+    std::size_t m = static_cast<std::size_t>(n) * degree_;
+
+    TracedMemory mem(rec);
+    I32 offsets(mem, n + 1);
+    I32 edges(mem, m);
+    I32 dist(mem, n);
+    I32 queue(mem, n);
+
+    std::mt19937_64 rng(config_.seed);
+
+    // Build the CSR graph: uniform degree, uniform-random targets.
+    for (unsigned v = 0; v <= n; ++v) {
+        offsets.set(v, static_cast<std::int32_t>(
+                           static_cast<std::size_t>(v) * degree_));
+        rec.tick(2);
+    }
+    for (std::size_t e = 0; e < m; ++e) {
+        edges.set(e, static_cast<std::int32_t>(rng() % n));
+        rec.tick(2);
+    }
+
+    unsigned sources = sources_ * config_.scale;
+    for (unsigned s = 0; s < sources; ++s) {
+        // Sequential reset sweep between traversals.
+        for (unsigned v = 0; v < n; ++v) {
+            dist.set(v, -1);
+            rec.tick(1);
+        }
+
+        auto src = static_cast<unsigned>(rng() % n);
+        dist.set(src, 0);
+        queue.set(0, static_cast<std::int32_t>(src));
+        rec.tick(4);
+
+        unsigned head = 0, tail = 1;
+        while (head < tail) {
+            auto u = static_cast<unsigned>(queue.get(head++));
+            std::int32_t du = dist.get(u);
+            auto lo = static_cast<std::size_t>(offsets.get(u));
+            auto hi = static_cast<std::size_t>(offsets.get(u + 1));
+            rec.tick(5); // loop control, bounds
+            for (std::size_t e = lo; e < hi; ++e) {
+                auto v = static_cast<unsigned>(edges.get(e));
+                rec.tick(1);
+                if (dist.get(v) < 0) {
+                    dist.set(v, du + 1);
+                    queue.set(tail++,
+                              static_cast<std::int32_t>(v));
+                    rec.tick(2);
+                }
+                rec.tick(1);
+            }
+        }
+    }
+}
+
+} // namespace jcache::workloads

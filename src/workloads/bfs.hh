@@ -1,0 +1,60 @@
+/**
+ * @file
+ * bfs: pointer-chasing graph traversal (production workload).
+ *
+ * Breadth-first search over a uniform-random adjacency list in CSR
+ * form.  Edge targets are uniformly random, so every frontier
+ * expansion is a burst of dependent, cache-hostile reads (the
+ * pointer-chasing pattern of graph analytics), while the distance
+ * array and the frontier queue take scattered single-word writes —
+ * writes with almost no spatial locality, the opposite of the
+ * Table 1 numeric loops.  Between sources the distance array is reset
+ * by a sequential write sweep, giving the trace alternating bursty
+ * and streaming write phases.
+ */
+
+#ifndef JCACHE_WORKLOADS_BFS_HH
+#define JCACHE_WORKLOADS_BFS_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * BFS over a random adjacency list in CSR form.
+ */
+class BfsWorkload : public Workload
+{
+  public:
+    /**
+     * @param config  standard knobs; scale multiplies the number of
+     *                BFS source vertices traversed.
+     * @param nodes   vertex count.
+     * @param degree  out-degree of every vertex.
+     * @param sources base number of BFS roots per run.
+     */
+    explicit BfsWorkload(const WorkloadConfig& config = {},
+                         unsigned nodes = 16384, unsigned degree = 8,
+                         unsigned sources = 2)
+        : Workload(config), nodes_(nodes), degree_(degree),
+          sources_(sources)
+    {}
+
+    std::string name() const override { return "bfs"; }
+    std::string description() const override
+    {
+        return "graph analytics (pointer-chasing BFS)";
+    }
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    unsigned nodes_;
+    unsigned degree_;
+    unsigned sources_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_BFS_HH

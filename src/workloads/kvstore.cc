@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Implementation of the key-value store workload.
+ *
+ * Traced structures:
+ *  - keys:    open-addressed key table (probed reads, rare writes)
+ *  - values:  value slots parallel to keys (hot read/write)
+ *  - log:     circular append-only write log (sequential writes)
+ */
+
+#include "workloads/kvstore.hh"
+
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using U64 = TracedArray<std::uint64_t>;
+
+/** Words in the circular write log (256KB). */
+constexpr std::size_t kLogWords = 1u << 15;
+
+/** splitmix64: spreads dense key ranks across the table uniformly. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+KvStoreWorkload::run(trace::TraceRecorder& rec) const
+{
+    TracedMemory mem(rec);
+    U64 keys(mem, slots_);
+    U64 values(mem, slots_);
+    U64 log(mem, kLogWords);
+
+    std::mt19937_64 rng(config_.seed);
+    std::uint64_t mask = slots_ - 1;
+    unsigned live = slots_ / 2;
+    std::uint64_t log_head = 0;
+
+    // Linear probe to the slot holding `key`, or the first empty one.
+    auto probe = [&](std::uint64_t key) {
+        std::uint64_t slot = mix(key) & mask;
+        while (true) {
+            std::uint64_t cur = keys.get(slot);
+            rec.tick(3); // hash/compare/branch
+            if (cur == 0 || cur == key)
+                return slot;
+            slot = (slot + 1) & mask;
+        }
+    };
+
+    auto put = [&](std::uint64_t rank) {
+        std::uint64_t key = mix(rank + 1) | 1; // never the empty mark
+        std::uint64_t slot = probe(key);
+        keys.set(slot, key);
+        values.set(slot, rank ^ log_head);
+        log.set(log_head & (kLogWords - 1), key);
+        ++log_head;
+        rec.tick(5); // value pack, log-head update
+    };
+
+    auto get = [&](std::uint64_t rank) {
+        std::uint64_t key = mix(rank + 1) | 1;
+        std::uint64_t slot = probe(key);
+        values.get(slot);
+        rec.tick(2);
+    };
+
+    // Populate half the table so every GET hits a resident key.
+    for (unsigned rank = 0; rank < live; ++rank)
+        put(rank);
+
+    // Cubed-uniform popularity: ~10% of operations land on the
+    // hottest 0.1% of ranks — the memcached-style hot set.
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    auto pickRank = [&] {
+        double u = uni(rng);
+        auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(live) * u * u * u);
+        return rank >= live ? live - 1 : rank;
+    };
+
+    unsigned ops = ops_ * config_.scale;
+    for (unsigned op = 0; op < ops; ++op) {
+        std::uint64_t rank = pickRank();
+        rec.tick(4); // request decode, dispatch
+        if (rng() % 1000 < putPermille_)
+            put(rank);
+        else
+            get(rank);
+    }
+}
+
+} // namespace jcache::workloads

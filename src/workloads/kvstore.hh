@@ -1,0 +1,63 @@
+/**
+ * @file
+ * kvstore: hot-key-skewed key-value store (production workload).
+ *
+ * The first of three generators with write behavior the 1993 Table 1
+ * suite never exercises.  An open-addressed hash table serves a
+ * GET/PUT mix whose key popularity is heavily skewed — a small hot set
+ * absorbs most operations, as in memcached/Redis production traffic —
+ * while every PUT also appends to a circular write log.  The result is
+ * a stream with two very different write populations: clustered
+ * updates to a few hot lines (where write-back shines) and a steady
+ * sequential log (where write-allocate pollutes and write-around
+ * wins), which is exactly the tension modern KV stores create for
+ * write-policy choices.
+ */
+
+#ifndef JCACHE_WORKLOADS_KVSTORE_HH
+#define JCACHE_WORKLOADS_KVSTORE_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * Skewed-popularity key-value store over an open-addressed table.
+ */
+class KvStoreWorkload : public Workload
+{
+  public:
+    /**
+     * @param config      standard knobs; scale multiplies the number
+     *                    of operations served.
+     * @param slots       hash-table capacity (power of two); half are
+     *                    populated, so probes stay short.
+     * @param ops         base number of GET/PUT operations per run.
+     * @param putPermille PUT share of the mix, in thousandths.
+     */
+    explicit KvStoreWorkload(const WorkloadConfig& config = {},
+                             unsigned slots = 1u << 16,
+                             unsigned ops = 150000,
+                             unsigned putPermille = 350)
+        : Workload(config), slots_(slots), ops_(ops),
+          putPermille_(putPermille)
+    {}
+
+    std::string name() const override { return "kvstore"; }
+    std::string description() const override
+    {
+        return "key-value store (hot-key skewed GET/PUT)";
+    }
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    unsigned slots_;
+    unsigned ops_;
+    unsigned putPermille_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_KVSTORE_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Implementation of the mark-sweep allocator workload.
+ *
+ * Traced structures:
+ *  - heap:   cell storage, 4 words per object
+ *            [child0, child1, mark, payload]; the free list is
+ *            threaded through word 0 of dead cells
+ *  - roots:  root table the mutator hangs trees from
+ *  - stack:  explicit mark stack for the collector
+ *
+ * Object references are stored as cell index + 1 so 0 means null.
+ */
+
+#include "workloads/marksweep.hh"
+
+#include <random>
+
+#include "workloads/traced_memory.hh"
+
+namespace jcache::workloads
+{
+
+namespace
+{
+
+using U64 = TracedArray<std::uint64_t>;
+
+constexpr unsigned kRoots = 64;
+constexpr unsigned kWalkDepth = 8;
+
+} // namespace
+
+void
+MarkSweepWorkload::run(trace::TraceRecorder& rec) const
+{
+    TracedMemory mem(rec);
+    U64 heap(mem, static_cast<std::size_t>(cells_) * 4);
+    U64 roots(mem, kRoots);
+    U64 stack(mem, cells_);
+
+    std::mt19937_64 rng(config_.seed);
+    std::uint64_t free_head = 0; // cell index + 1, 0 = exhausted
+
+    auto word = [](std::uint64_t cell, unsigned w) {
+        return static_cast<std::size_t>(cell) * 4 + w;
+    };
+
+    // Build the initial free list: the first sequential write burst.
+    for (unsigned c = 0; c < cells_; ++c) {
+        heap.set(word(c, 0), free_head);
+        free_head = c + 1;
+        rec.tick(2);
+    }
+    for (unsigned r = 0; r < kRoots; ++r) {
+        roots.set(r, 0);
+        rec.tick(1);
+    }
+
+    // Mark from the roots (pointer chasing, mark-at-push so every
+    // cell enters the stack at most once), then sweep the whole heap
+    // sequentially, rebuilding the free list — the write storm.
+    auto collect = [&] {
+        std::uint64_t sp = 0;
+        auto push = [&](std::uint64_t ref) {
+            if (ref == 0)
+                return;
+            std::uint64_t c = ref - 1;
+            if (heap.get(word(c, 2)) == 0) {
+                heap.set(word(c, 2), 1);
+                stack.set(sp++, ref);
+            }
+            rec.tick(3);
+        };
+        for (unsigned r = 0; r < kRoots; ++r) {
+            push(roots.get(r));
+            rec.tick(1);
+        }
+        while (sp > 0) {
+            std::uint64_t c = stack.get(--sp) - 1;
+            rec.tick(2);
+            push(heap.get(word(c, 0)));
+            push(heap.get(word(c, 1)));
+        }
+        free_head = 0;
+        for (unsigned c = 0; c < cells_; ++c) {
+            if (heap.get(word(c, 2)) != 0) {
+                heap.set(word(c, 2), 0);
+            } else {
+                heap.set(word(c, 0), free_head);
+                free_head = c + 1;
+            }
+            rec.tick(2);
+        }
+    };
+
+    auto alloc = [&]() -> std::uint64_t {
+        if (free_head == 0) {
+            collect();
+            // Collections must make progress: shed roots until the
+            // sweep frees something (clearing them all frees the
+            // whole heap, so this terminates).
+            for (unsigned shed = kRoots / 2;
+                 free_head == 0; shed = kRoots) {
+                for (unsigned r = 0; r < shed; ++r) {
+                    roots.set(r, 0);
+                    rec.tick(1);
+                }
+                collect();
+            }
+        }
+        std::uint64_t ref = free_head;
+        std::uint64_t c = ref - 1;
+        free_head = heap.get(word(c, 0));
+        heap.set(word(c, 0), 0);
+        heap.set(word(c, 1), 0);
+        heap.set(word(c, 3), rng());
+        rec.tick(4);
+        return ref;
+    };
+
+    unsigned ops = ops_ * config_.scale;
+    for (unsigned op = 0; op < ops; ++op) {
+        auto r = static_cast<unsigned>(rng() % kRoots);
+        std::uint64_t action = rng() % 100;
+        std::uint64_t root = roots.get(r);
+        rec.tick(4);
+        if (root == 0 || action < 25) {
+            // Plant a fresh tree; the old one becomes garbage.
+            roots.set(r, alloc());
+            rec.tick(1);
+            continue;
+        }
+        // Random walk: mutate payloads, sometimes grow a leaf.
+        std::uint64_t cur = root;
+        for (unsigned step = 0; step < kWalkDepth; ++step) {
+            std::uint64_t c = cur - 1;
+            if (rng() % 4 == 0) {
+                heap.set(word(c, 3), op);
+                rec.tick(1);
+            }
+            auto w = static_cast<unsigned>(rng() % 2);
+            std::uint64_t child = heap.get(word(c, w));
+            rec.tick(3);
+            if (child == 0) {
+                if (rng() % 2 == 0) {
+                    heap.set(word(c, w), alloc());
+                    rec.tick(1);
+                }
+                break;
+            }
+            cur = child;
+        }
+    }
+}
+
+} // namespace jcache::workloads

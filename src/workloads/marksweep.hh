@@ -1,0 +1,58 @@
+/**
+ * @file
+ * marksweep: bursty mark-sweep allocator stress (production workload).
+ *
+ * A mutator allocates fixed-size objects into a cell heap, links them
+ * into small trees hanging off a root table, and mutates payloads
+ * along random walks.  When the free list runs dry, a mark-sweep
+ * collection runs: marking is a pointer-chasing read phase with
+ * scattered mark-word writes, and sweeping is a sequential pass over
+ * the entire heap that rewrites every dead cell's free-list link — a
+ * massive streaming write burst.  The trace therefore alternates
+ * between scattered small writes (mutator) and dense sequential write
+ * storms (sweep), the allocator behavior that write-validate and
+ * write-around were invented for and that no Table 1 program shows.
+ */
+
+#ifndef JCACHE_WORKLOADS_MARKSWEEP_HH
+#define JCACHE_WORKLOADS_MARKSWEEP_HH
+
+#include "workloads/workload.hh"
+
+namespace jcache::workloads
+{
+
+/**
+ * Mark-sweep collected cell heap under a mutating workload.
+ */
+class MarkSweepWorkload : public Workload
+{
+  public:
+    /**
+     * @param config standard knobs; scale multiplies the number of
+     *               mutator operations.
+     * @param cells  heap capacity in objects (32B each).
+     * @param ops    base number of mutator operations per run.
+     */
+    explicit MarkSweepWorkload(const WorkloadConfig& config = {},
+                               unsigned cells = 16384,
+                               unsigned ops = 60000)
+        : Workload(config), cells_(cells), ops_(ops)
+    {}
+
+    std::string name() const override { return "marksweep"; }
+    std::string description() const override
+    {
+        return "allocator stress (bursty mark-sweep heap)";
+    }
+
+    void run(trace::TraceRecorder& recorder) const override;
+
+  private:
+    unsigned cells_;
+    unsigned ops_;
+};
+
+} // namespace jcache::workloads
+
+#endif // JCACHE_WORKLOADS_MARKSWEEP_HH

@@ -7,10 +7,13 @@
 
 #include "trace/recorder.hh"
 #include "util/logging.hh"
+#include "workloads/bfs.hh"
 #include "workloads/ccom.hh"
 #include "workloads/grr.hh"
+#include "workloads/kvstore.hh"
 #include "workloads/linpack.hh"
 #include "workloads/liver.hh"
+#include "workloads/marksweep.hh"
 #include "workloads/met.hh"
 #include "workloads/yacc.hh"
 
@@ -34,6 +37,27 @@ benchmarkNames()
     return names;
 }
 
+const std::vector<std::string>&
+productionNames()
+{
+    static const std::vector<std::string> names = {
+        "kvstore", "bfs", "marksweep",
+    };
+    return names;
+}
+
+const std::vector<std::string>&
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> all = benchmarkNames();
+        const std::vector<std::string>& extra = productionNames();
+        all.insert(all.end(), extra.begin(), extra.end());
+        return all;
+    }();
+    return names;
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string& name, const WorkloadConfig& config)
 {
@@ -49,6 +73,12 @@ makeWorkload(const std::string& name, const WorkloadConfig& config)
         return std::make_unique<LinpackWorkload>(config);
     if (name == "liver")
         return std::make_unique<LiverWorkload>(config);
+    if (name == "kvstore")
+        return std::make_unique<KvStoreWorkload>(config);
+    if (name == "bfs")
+        return std::make_unique<BfsWorkload>(config);
+    if (name == "marksweep")
+        return std::make_unique<MarkSweepWorkload>(config);
     fatal("unknown workload: " + name);
 }
 

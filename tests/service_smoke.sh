@@ -6,6 +6,8 @@
 #
 #   1. `jcache-client run`   output is byte-identical to jcache-sim
 #   2. `jcache-client sweep` output is byte-identical to jcache-sweep
+#   2b. an uploaded interchange trace renders byte-identically to
+#       jcache-sim replaying the same file offline
 #   3. a repeated run is reported as a result-cache hit
 #   4. stats reflect the cache hit
 #   5. `jcache-client metrics` scrapes --metrics-port, and the
@@ -69,6 +71,26 @@ echo "service_smoke: run output byte-identical"
 cmp "$WORKDIR/sweep_client.txt" "$WORKDIR/sweep_offline.txt" \
     || fail "sweep output differs from jcache-sweep"
 echo "service_smoke: sweep output byte-identical"
+
+# 2b. Upload an external text-interchange trace: the daemon's reply
+#     must render byte-identically to jcache-sim on the same file.
+UPLOAD_TRACE="$WORKDIR/uploaded_mix.txt"
+{
+    echo "# hand-written interchange trace"
+    i=0
+    while [ "$i" -lt 64 ]; do
+        printf 'r 0x%x 4\n' $((65536 + i * 4))
+        printf 'w 0x%x 8 3\n' $((131072 + i * 8))
+        i=$((i + 1))
+    done
+} > "$UPLOAD_TRACE"
+"$SIM" "$UPLOAD_TRACE" --size 16 > "$WORKDIR/upload_offline.txt" \
+    || fail "offline sim on interchange trace"
+"$CLIENT" --port "$PORT" upload "$UPLOAD_TRACE" --size 16 \
+    > "$WORKDIR/upload_client.txt" || fail "client upload"
+cmp "$WORKDIR/upload_client.txt" "$WORKDIR/upload_offline.txt" \
+    || fail "upload output differs from jcache-sim"
+echo "service_smoke: upload output byte-identical"
 
 # 3. The repeated run must be served from the result cache (--verbose
 #    reports the digest and hit/computed on stderr) and stay identical.

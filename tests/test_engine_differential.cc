@@ -17,6 +17,7 @@
 #include "sim/engine.hh"
 #include "sim/multiconfig.hh"
 #include "sim/sweeps.hh"
+#include "trace/import.hh"
 #include "workloads/workload.hh"
 
 namespace jcache::sim
@@ -222,6 +223,36 @@ TEST(EngineDifferential, EmptyTraceIsIdentical)
     expectIdentical(percell, onepass);
     EXPECT_EQ(onepass.instructions, 0u);
     EXPECT_EQ(onepass.cache.accesses(), 0u);
+}
+
+TEST(EngineDifferential, ImportedTracesAreByteIdentical)
+{
+    // A trace round-tripped through either interchange encoding of
+    // docs/TRACE_FORMAT.md replays to the same counters as the
+    // original, on both engines, down to the wire JSON.
+    const trace::Trace& original = traces().front();
+    std::stringstream text, binary;
+    trace::exportTraceText(original, text);
+    trace::exportTraceBinary(original, binary);
+    trace::Trace from_text =
+        trace::importTraceText(text, original.name());
+    trace::Trace from_binary =
+        trace::importTraceBinary(binary, original.name());
+    ASSERT_EQ(from_text, original);
+    ASSERT_EQ(from_binary, original);
+
+    CacheConfig base = config(8 * 1024, 16, WriteHitPolicy::WriteBack,
+                              WriteMissPolicy::FetchOnWrite);
+    RunResult reference =
+        runOne({&original, base, true}, Engine::PerCell);
+    for (const trace::Trace* t : {&from_text, &from_binary}) {
+        Request request{t, base, true};
+        RunResult percell = runOne(request, Engine::PerCell);
+        RunResult onepass = runOne(request, Engine::OnePass);
+        expectIdentical(percell, onepass);
+        expectIdentical(percell, reference);
+        EXPECT_EQ(resultJson(onepass), resultJson(reference));
+    }
 }
 
 TEST(EngineDifferential, RunOneMatchesBatch)

@@ -5,6 +5,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <random>
 #include <sstream>
 
@@ -350,6 +351,43 @@ TEST(TraceFileIo, RecordMutationFuzzNeverCrashes)
             }
         }
     }
+}
+
+TEST(TraceFileIo, CorruptFileErrorsNameThePath)
+{
+    // Only the file loaders know the path, so only they can append
+    // it; the message must end with the " [file: <path>]" suffix for
+    // every corruption class.
+    std::string path = ::testing::TempDir() + "/jcache_named.jct";
+    auto expectPathSuffix = [&](const std::string& bytes) {
+        {
+            std::ofstream ofs(path, std::ios::binary);
+            ofs.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+        const std::string suffix = " [file: " + path + "]";
+        try {
+            loadTrace(path);
+            ADD_FAILURE() << "loadTrace accepted corrupt bytes";
+        } catch (const CorruptTraceError& e) {
+            EXPECT_NE(std::string(e.what()).find(suffix),
+                      std::string::npos)
+                << e.what();
+        }
+        try {
+            loadTraceInfo(path);
+            // Truncated records are fine for the header path.
+        } catch (const CorruptTraceError& e) {
+            EXPECT_NE(std::string(e.what()).find(suffix),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expectPathSuffix("XXXX definitely not a trace");
+    std::string truncated = traceBytes(false);
+    truncated.resize(truncated.size() - 5);
+    expectPathSuffix(truncated);
+    std::remove(path.c_str());
 }
 
 TEST(TraceFileIo, InjectedHeaderFaultSurfacesAsCorruptTrace)

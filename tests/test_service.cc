@@ -385,6 +385,138 @@ TEST(Service, InjectedAdmissionFaultShedsWithRetryAfter)
     EXPECT_TRUE(ok.getBool("ok", false)) << ok.getString("error");
 }
 
+namespace
+{
+
+/** A tiny but valid text-interchange body (JSON-escaped newlines). */
+const char* kMiniTrace =
+    "r 0x10000 4\\nw 0x10008 8 3\\nr 0x10010 4\\n";
+
+std::string
+uploadRequest(const std::string& body, const std::string& extra = "")
+{
+    return "{\"type\": \"upload\", \"name\": \"mini\", "
+           "\"trace\": \"" + body + "\"" + extra +
+           ", \"config\": {\"size_bytes\": 4096}}";
+}
+
+} // namespace
+
+TEST(Service, UploadRunsAnExternalTrace)
+{
+    Service service(testConfig());
+    JsonValue first =
+        parseResponse(service.handle(uploadRequest(kMiniTrace)));
+    ASSERT_TRUE(first.getBool("ok", false))
+        << first.getString("error");
+    EXPECT_EQ(first.getString("type"), "upload");
+    EXPECT_FALSE(first.getBool("cached", true));
+
+    const JsonValue& payload = first.get("payload");
+    EXPECT_EQ(payload.getString("workload"), "mini");
+    EXPECT_DOUBLE_EQ(payload.getNumber("records", 0), 3.0);
+    const JsonValue& result = payload.get("result");
+    EXPECT_GT(result.getNumber("instructions", 0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        result.get("config").getNumber("size_bytes", 0), 4096.0);
+
+    // Re-uploading the identical bytes is a cache hit with the same
+    // digest: the digest is content-addressed.
+    JsonValue repeat =
+        parseResponse(service.handle(uploadRequest(kMiniTrace)));
+    EXPECT_TRUE(repeat.getBool("cached", false));
+    EXPECT_EQ(repeat.getString("digest"), first.getString("digest"));
+
+    // The same bytes under another name title the result differently,
+    // so they must not share a cache entry.
+    JsonValue renamed = parseResponse(service.handle(
+        "{\"type\": \"upload\", \"name\": \"other\", \"trace\": \"" +
+        std::string(kMiniTrace) +
+        "\", \"config\": {\"size_bytes\": 4096}}"));
+    ASSERT_TRUE(renamed.getBool("ok", false));
+    EXPECT_NE(renamed.getString("digest"), first.getString("digest"));
+
+    // An explicit text encoding is accepted; it is the only one.
+    JsonValue text_ok = parseResponse(service.handle(
+        uploadRequest(kMiniTrace, ", \"encoding\": \"text\"")));
+    EXPECT_TRUE(text_ok.getBool("ok", false));
+}
+
+TEST(Service, UploadRejectsBadBodies)
+{
+    Service service(testConfig());
+    // No body, an unsupported encoding, and a body that fails to
+    // parse (with the offending line in the error message).
+    expectError(service, "{\"type\": \"upload\"}", "bad_request");
+    expectError(service,
+                uploadRequest(kMiniTrace,
+                              ", \"encoding\": \"binary\""),
+                "bad_request");
+    JsonValue bad = parseResponse(service.handle(
+        uploadRequest("r 0x10 4\\nnot a record\\n")));
+    EXPECT_FALSE(bad.getBool("ok", true));
+    EXPECT_EQ(bad.getString("code"), "bad_trace");
+    EXPECT_NE(bad.getString("error").find("line 2"),
+              std::string::npos)
+        << bad.getString("error");
+
+    // A config that fails validation is still a bad_request.
+    expectError(service,
+                "{\"type\": \"upload\", \"trace\": \"r 0x10 4\\n\","
+                " \"config\": {\"size_bytes\": 3000}}",
+                "bad_request");
+}
+
+TEST(Service, UploadEnforcesTheSizeCap)
+{
+    ServiceConfig config = testConfig();
+    config.uploadCapBytes = 16;
+    Service service(config);
+    JsonValue v =
+        parseResponse(service.handle(uploadRequest(kMiniTrace)));
+    EXPECT_FALSE(v.getBool("ok", true));
+    EXPECT_EQ(v.getString("code"), "trace_too_large");
+    EXPECT_NE(v.getString("error").find("at most 16"),
+              std::string::npos)
+        << v.getString("error");
+
+    // A body under the cap still works.
+    JsonValue ok = parseResponse(
+        service.handle(uploadRequest("r 0x10 4\\n")));
+    EXPECT_TRUE(ok.getBool("ok", false)) << ok.getString("error");
+}
+
+TEST(Service, UploadInjectedImportFaultIsBadTrace)
+{
+    Service service(testConfig());
+    jcache::fault::configure("trace.import=always");
+    JsonValue v =
+        parseResponse(service.handle(uploadRequest(kMiniTrace)));
+    jcache::fault::reset();
+    EXPECT_FALSE(v.getBool("ok", true));
+    EXPECT_EQ(v.getString("code"), "bad_trace");
+    EXPECT_NE(v.getString("error").find("injected fault"),
+              std::string::npos);
+
+    // Cleared fault: the same request now succeeds.
+    JsonValue ok =
+        parseResponse(service.handle(uploadRequest(kMiniTrace)));
+    EXPECT_TRUE(ok.getBool("ok", false)) << ok.getString("error");
+}
+
+TEST(Service, StatsCountUploads)
+{
+    Service service(testConfig());
+    service.handle(uploadRequest(kMiniTrace));
+    service.handle(uploadRequest(kMiniTrace));  // cache hit
+    JsonValue v =
+        parseResponse(service.handle("{\"type\": \"stats\"}"));
+    ASSERT_TRUE(v.getBool("ok", false));
+    const JsonValue& requests = v.get("payload").get("requests");
+    EXPECT_DOUBLE_EQ(requests.getNumber("upload", 0), 2.0);
+    EXPECT_DOUBLE_EQ(requests.getNumber("total", 0), 3.0);
+}
+
 TEST(Service, ZeroCacheCapacityAlwaysRecomputes)
 {
     ServiceConfig config = testConfig();

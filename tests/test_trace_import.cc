@@ -1,0 +1,586 @@
+/**
+ * @file
+ * Tests for the trace interchange boundary (trace/import.hh): exact
+ * round trips through both documented encodings, typed rejection of
+ * malformed input with line/byte positions, encoding sniffing, and
+ * the staleness check that keeps docs/TRACE_FORMAT.md's worked
+ * examples in lockstep with the implementation.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "trace/import.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace jcache::trace
+{
+namespace
+{
+
+/** Every size class, negative deltas, a 64-bit address, big deltas. */
+Trace
+sampleTrace()
+{
+    Trace t("sample");
+    t.append({0x10000, 1, 4, RefType::Read});
+    t.append({0x10008, 3, 8, RefType::Write});
+    t.append({0xffffffffdeadbee0ull, 70000, 4, RefType::Read});
+    t.append({0x10010, 1, 2, RefType::Write});
+    t.append({0x10012, 2, 1, RefType::Read});
+    return t;
+}
+
+std::string
+textBytes(const Trace& t)
+{
+    std::ostringstream os;
+    exportTraceText(t, os);
+    return os.str();
+}
+
+std::string
+binaryBytes(const Trace& t)
+{
+    std::ostringstream os;
+    exportTraceBinary(t, os);
+    return os.str();
+}
+
+/** Overwrite a little-endian field inside serialized bytes. */
+void
+pokeLe(std::string& bytes, std::size_t offset, std::uint64_t value,
+       unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        bytes[offset + i] =
+            static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+/** Expect a TraceParseError pinned to the given position. */
+template <typename Fn>
+TraceParseError
+expectParseError(Fn&& fn, std::uint64_t position, bool byte_offset)
+{
+    try {
+        fn();
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.position(), position) << e.what();
+        EXPECT_EQ(e.isByteOffset(), byte_offset) << e.what();
+        return e;
+    }
+    ADD_FAILURE() << "expected TraceParseError";
+    return TraceParseError("", 0, false, "");
+}
+
+TEST(TraceImportText, RoundTripsExactly)
+{
+    Trace original = sampleTrace();
+    std::istringstream is(textBytes(original));
+    Trace loaded = importTraceText(is, "sample");
+    EXPECT_EQ(loaded, original);
+}
+
+TEST(TraceImportText, ExportIsCanonical)
+{
+    // import -> export reproduces the exported bytes exactly: the
+    // exporter is a pure function of the record stream.
+    std::string first = textBytes(sampleTrace());
+    std::istringstream is(first);
+    EXPECT_EQ(textBytes(importTraceText(is, "x")), first);
+}
+
+TEST(TraceImportText, AcceptsForeignSpelling)
+{
+    // Comments, blank lines, CRLF, upper-case opcodes, bare hex,
+    // tabs, and the 3-field shorthand (instr-delta defaults to 1).
+    std::istringstream is(
+        "# produced by some other tool\n"
+        "\n"
+        "R 0x10000 4\r\n"
+        "w 10008\t8  3\n"
+        "  r 0X10010 2 5   # trailing comment\n");
+    Trace t = importTraceText(is, "foreign");
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0], (TraceRecord{0x10000, 1, 4, RefType::Read}));
+    EXPECT_EQ(t[1], (TraceRecord{0x10008, 3, 8, RefType::Write}));
+    EXPECT_EQ(t[2], (TraceRecord{0x10010, 5, 2, RefType::Read}));
+}
+
+TEST(TraceImportText, EmptyInputsYieldEmptyTraces)
+{
+    for (const char* body : {"", "# only a comment\n", "\n\n"}) {
+        std::istringstream is(body);
+        Trace t = importTraceText(is, "empty");
+        EXPECT_TRUE(t.empty()) << '"' << body << '"';
+        EXPECT_EQ(t.name(), "empty");
+    }
+    // And an exported empty trace (banner only) round-trips.
+    std::istringstream is(textBytes(Trace("empty")));
+    EXPECT_TRUE(importTraceText(is, "empty").empty());
+}
+
+TEST(TraceImportText, RejectsMalformedLinesWithLineNumbers)
+{
+    auto importAt = [](const std::string& body) {
+        return [body] {
+            std::istringstream is(body);
+            importTraceText(is, "bad");
+        };
+    };
+    // Bad opcode on line 2 (line 1 is a comment).
+    TraceParseError e = expectParseError(
+        importAt("# ok\nx 0x10 4\n"), 2, false);
+    EXPECT_NE(std::string(e.what()).find("bad opcode 'x'"),
+              std::string::npos);
+    EXPECT_EQ(e.source(), "<text>");
+
+    // Bad address (non-hex, and wider than 16 digits).
+    expectParseError(importAt("r zz 4\n"), 1, false);
+    expectParseError(importAt("r 0x10000000000000000 4\n"), 1, false);
+    // Bad size (not a power of two <= 8, or non-numeric).
+    expectParseError(importAt("r 0x10 3\n"), 1, false);
+    expectParseError(importAt("r 0x10 16\n"), 1, false);
+    expectParseError(importAt("r 0x10 4q\n"), 1, false);
+    // Bad instruction delta (> 2^32-1, or non-numeric).
+    expectParseError(importAt("r 0x10 4 4294967296\n"), 1, false);
+    expectParseError(importAt("r 0x10 4 -1\n"), 1, false);
+    // Wrong field counts.
+    expectParseError(importAt("r 0x10\n"), 1, false);
+    expectParseError(importAt("r 0x10 4 1 extra\n"), 1, false);
+}
+
+TEST(TraceImportText, RejectsOverlongLinesAndBinaryBytes)
+{
+    std::string overlong(kMaxTextLineBytes + 40, 'r');
+    TraceParseError e = expectParseError(
+        [&] {
+            std::istringstream is("r 0x10 4\n" + overlong + "\n");
+            importTraceText(is, "bad");
+        },
+        2, false);
+    EXPECT_NE(std::string(e.what()).find("exceeds"),
+              std::string::npos);
+
+    // A NUL byte is the signature of binary data in the text path.
+    std::string nul_body("r 0x10 4\nr \0x 4\n", 16);
+    expectParseError(
+        [&] {
+            std::istringstream is(nul_body);
+            importTraceText(is, "bad");
+        },
+        2, false);
+}
+
+TEST(TraceImportText, ErrorMessageSpellsSourceAndLine)
+{
+    std::istringstream is("bogus\n");
+    try {
+        importTraceText(is, "bad", "upload.txt");
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(std::string(e.what()).find("upload.txt: line 1: "),
+                  0u)
+            << e.what();
+        EXPECT_EQ(e.source(), "upload.txt");
+    }
+}
+
+TEST(TraceImportBinary, RoundTripsExactly)
+{
+    Trace original = sampleTrace();
+    std::istringstream is(binaryBytes(original));
+    Trace loaded = importTraceBinary(is, "sample");
+    EXPECT_EQ(loaded, original);
+}
+
+TEST(TraceImportBinary, EmptyTraceRoundTrips)
+{
+    std::istringstream is(binaryBytes(Trace("empty")));
+    Trace t = importTraceBinary(is, "empty");
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.name(), "empty");
+}
+
+TEST(TraceImportBinary, CompactOnLocalTraces)
+{
+    // The point of the delta encoding: a sequential pattern costs a
+    // few bytes per record, far below the 17-byte native raw record.
+    Trace t("sequential");
+    for (Addr a = 0x10000; a < 0x10000 + 32 * 1024; a += 8)
+        t.append({a, 2, 8, RefType::Read});
+    EXPECT_LT(binaryBytes(t).size(), t.size() * 4 + 64);
+}
+
+TEST(TraceImportBinary, RejectsTamperedHeaders)
+{
+    std::string pristine = binaryBytes(sampleTrace());
+
+    std::string bad_magic = pristine;
+    bad_magic[0] = 'X';
+    expectParseError(
+        [&] {
+            std::istringstream is(bad_magic);
+            importTraceBinary(is, "x");
+        },
+        0, true);
+
+    std::string bad_version = pristine;
+    bad_version[4] = 99;
+    TraceParseError e = expectParseError(
+        [&] {
+            std::istringstream is(bad_version);
+            importTraceBinary(is, "x");
+        },
+        4, true);
+    EXPECT_NE(std::string(e.what()).find("version"),
+              std::string::npos);
+
+    std::string bad_flags = pristine;
+    bad_flags[6] = 1;
+    expectParseError(
+        [&] {
+            std::istringstream is(bad_flags);
+            importTraceBinary(is, "x");
+        },
+        6, true);
+
+    // A forged record count cannot cause a giant allocation or a
+    // silent partial read: the claim is checked against the bytes
+    // that actually follow.  Count field: magic(4)+ver(2)+flags(2).
+    std::string forged = pristine;
+    pokeLe(forged, 8, 1ull << 60, 8);
+    e = expectParseError(
+        [&] {
+            std::istringstream is(forged);
+            importTraceBinary(is, "x");
+        },
+        16, true);
+    EXPECT_NE(std::string(e.what()).find("header claims"),
+              std::string::npos);
+}
+
+TEST(TraceImportBinary, RejectsCorruptRecords)
+{
+    std::string pristine = binaryBytes(sampleTrace());
+
+    // Reserved meta bits (first record's meta byte is at offset 16).
+    std::string bad_meta = pristine;
+    bad_meta[16] = static_cast<char>(bad_meta[16] | 0x40);
+    TraceParseError e = expectParseError(
+        [&] {
+            std::istringstream is(bad_meta);
+            importTraceBinary(is, "x");
+        },
+        16, true);
+    EXPECT_NE(std::string(e.what()).find("reserved meta bits"),
+              std::string::npos);
+
+    // Trailing bytes after the advertised records.
+    std::istringstream padded(pristine + "x");
+    EXPECT_THROW(importTraceBinary(padded, "x"), TraceParseError);
+
+    // An unterminated varint (ten continuation bytes) cannot loop.
+    std::string header = pristine.substr(0, 16);
+    pokeLe(header, 8, 1, 8);
+    std::string runaway = header;
+    runaway += '\x04';  // meta: read, 4 bytes
+    runaway += std::string(10, '\x80');
+    std::istringstream is(runaway);
+    EXPECT_THROW(importTraceBinary(is, "x"), TraceParseError);
+
+    // An instruction delta above 2^32-1 is rejected, not truncated.
+    std::string oversized = header;
+    oversized += '\x04';
+    oversized += '\x00';  // addr delta 0
+    oversized += "\x80\x80\x80\x80\x10";  // varint 2^32
+    std::istringstream is2(oversized);
+    e = expectParseError(
+        [&] { importTraceBinary(is2, "x"); }, 17, true);
+    EXPECT_NE(std::string(e.what()).find("out of range"),
+              std::string::npos);
+}
+
+TEST(TraceImportBinary, TruncationFuzzAlwaysThrows)
+{
+    const std::string pristine = binaryBytes(sampleTrace());
+    for (std::size_t len = 0; len < pristine.size(); ++len) {
+        std::istringstream is(pristine.substr(0, len));
+        EXPECT_THROW(importTraceBinary(is, "x"), TraceParseError)
+            << "prefix of " << len << " bytes parsed";
+    }
+}
+
+TEST(TraceImportSniff, DispatchesAllFourEncodings)
+{
+    Trace original = sampleTrace();
+
+    // Native raw and compressed: the embedded name wins.
+    for (bool compressed : {false, true}) {
+        std::stringstream native;
+        if (compressed)
+            writeTraceCompressed(original, native);
+        else
+            writeTrace(original, native);
+        Trace t = importTrace(native, "ignored");
+        EXPECT_EQ(t, original);
+        EXPECT_EQ(t.name(), "sample");
+    }
+
+    // Interchange binary and text: the caller's name is used.
+    std::istringstream jctx(binaryBytes(original));
+    Trace b = importTrace(jctx, "mine");
+    EXPECT_EQ(b.name(), "mine");
+    EXPECT_TRUE(std::equal(b.begin(), b.end(), original.begin()));
+
+    std::istringstream text(textBytes(original));
+    Trace x = importTrace(text, "mine");
+    EXPECT_EQ(x.name(), "mine");
+    EXPECT_TRUE(std::equal(x.begin(), x.end(), original.begin()));
+}
+
+TEST(TraceImportSniff, ShortStreamsFallThroughToText)
+{
+    // Fewer than four bytes cannot be any binary encoding; they are
+    // text (here: blank, so an empty trace).
+    std::istringstream tiny("\n");
+    EXPECT_TRUE(importTrace(tiny, "t").empty());
+}
+
+TEST(TraceImportFiles, LoadAnyTraceHandlesEveryEncoding)
+{
+    Trace original = sampleTrace();
+    std::string dir = ::testing::TempDir();
+
+    std::string native = dir + "/any_native.jct";
+    saveTrace(original, native);
+    EXPECT_EQ(loadAnyTrace(native), original);  // embedded name
+
+    std::string text = dir + "/any_text.txt";
+    saveTraceText(original, text);
+    Trace t = loadAnyTrace(text);
+    EXPECT_EQ(t.name(), "any_text");  // stem names the import
+    EXPECT_TRUE(std::equal(t.begin(), t.end(), original.begin()));
+
+    std::string binary = dir + "/any_binary.jctx";
+    saveTraceBinary(original, binary);
+    Trace b = loadAnyTrace(binary);
+    EXPECT_EQ(b.name(), "any_binary");
+    EXPECT_TRUE(std::equal(b.begin(), b.end(), original.begin()));
+
+    // loadTraceText / loadTraceBinary agree with loadAnyTrace.
+    EXPECT_EQ(loadTraceText(text), t);
+    EXPECT_EQ(loadTraceBinary(binary), b);
+
+    for (const std::string& path : {native, text, binary})
+        std::remove(path.c_str());
+}
+
+TEST(TraceImportFiles, CorruptFileErrorsNameThePath)
+{
+    std::string path = ::testing::TempDir() + "/any_corrupt.jct";
+    {
+        // Native magic with a chopped-off header: the stream-level
+        // reader's error must come back wearing the file path.
+        std::ofstream ofs(path, std::ios::binary);
+        ofs << "JCTR\x01";
+    }
+    try {
+        loadAnyTrace(path);
+        FAIL() << "expected CorruptTraceError";
+    } catch (const TraceParseError&) {
+        FAIL() << "native corruption must not be a parse error";
+    } catch (const CorruptTraceError& e) {
+        EXPECT_NE(
+            std::string(e.what()).find(" [file: " + path + "]"),
+            std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+
+    EXPECT_THROW(loadAnyTrace("/nonexistent/trace.txt"), FatalError);
+}
+
+TEST(TraceImportFiles, ParseErrorsNameTheFileAndLine)
+{
+    std::string path = ::testing::TempDir() + "/any_badline.txt";
+    {
+        std::ofstream ofs(path);
+        ofs << "r 0x10 4\nnot a record\n";
+    }
+    try {
+        loadAnyTrace(path);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.source(), path);
+        EXPECT_EQ(e.position(), 2u);
+        EXPECT_FALSE(e.isByteOffset());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceImportFiles, DefaultTraceNameIsTheStem)
+{
+    EXPECT_EQ(defaultTraceName("/a/b/foo.txt"), "foo");
+    EXPECT_EQ(defaultTraceName("bar.trace.jctx"), "bar.trace");
+    EXPECT_EQ(defaultTraceName(""), "trace");
+}
+
+TEST(TraceImportFault, InjectedImportFaultSurfacesTyped)
+{
+    fault::configure("trace.import=always");
+    std::istringstream text("r 0x10 4\n");
+    EXPECT_THROW(importTraceText(text, "x"), TraceParseError);
+    std::istringstream binary(binaryBytes(sampleTrace()));
+    EXPECT_THROW(importTraceBinary(binary, "x"), TraceParseError);
+    fault::reset();
+
+    std::istringstream retry(binaryBytes(sampleTrace()));
+    EXPECT_EQ(importTraceBinary(retry, "sample"), sampleTrace());
+}
+
+class WorkloadRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadRoundTrip, BothEncodingsReproduceTheRecordStream)
+{
+    workloads::WorkloadConfig config;
+    config.scale = 1;
+    Trace original = workloads::generateTrace(
+        *workloads::makeWorkload(GetParam(), config));
+
+    std::istringstream text(textBytes(original));
+    EXPECT_EQ(importTraceText(text, original.name()), original);
+
+    std::istringstream binary(binaryBytes(original));
+    EXPECT_EQ(importTraceBinary(binary, original.name()), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadRoundTrip,
+    ::testing::ValuesIn(workloads::allWorkloadNames()),
+    [](const auto& info) { return info.param; });
+
+TEST(TraceImportSim, RoundTrippedTraceSimulatesIdentically)
+{
+    // The round-trip invariant, end to end: counters from a
+    // re-imported trace match the original bit for bit.
+    Trace original = workloads::generateTrace(
+        *workloads::makeWorkload("met"));
+    std::istringstream text(textBytes(original));
+    Trace imported = importTraceText(text, original.name());
+
+    core::CacheConfig config;
+    config.hitPolicy = core::WriteHitPolicy::WriteBack;
+    sim::RunResult a =
+        sim::runOne({&original, config, true}, sim::Engine::OnePass);
+    sim::RunResult b =
+        sim::runOne({&imported, config, true}, sim::Engine::OnePass);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cache.readHits, b.cache.readHits);
+    EXPECT_EQ(a.cache.writeMisses, b.cache.writeMisses);
+    EXPECT_EQ(a.writeBackTraffic.bytes, b.writeBackTraffic.bytes);
+    EXPECT_EQ(a.flushTraffic.transactions,
+              b.flushTraffic.transactions);
+}
+
+#ifdef JCACHE_DOCS_DIR
+
+/** The fenced code block following an HTML marker comment. */
+std::string
+fencedBlockAfter(const std::string& text, const std::string& marker)
+{
+    std::size_t at = text.find(marker);
+    EXPECT_NE(at, std::string::npos) << "missing marker " << marker;
+    if (at == std::string::npos)
+        return "";
+    std::size_t open = text.find("```", at);
+    EXPECT_NE(open, std::string::npos);
+    open = text.find('\n', open) + 1;
+    std::size_t close = text.find("```", open);
+    EXPECT_NE(close, std::string::npos);
+    return text.substr(open, close - open);
+}
+
+std::string
+readDoc()
+{
+    std::string path =
+        std::string(JCACHE_DOCS_DIR) + "/TRACE_FORMAT.md";
+    std::ifstream ifs(path);
+    EXPECT_TRUE(ifs) << "cannot open " << path;
+    std::ostringstream os;
+    os << ifs.rdbuf();
+    return os.str();
+}
+
+/** Hex pairs (whitespace-separated lines) to raw bytes. */
+std::string
+hexToBytes(const std::string& hex)
+{
+    std::string out;
+    unsigned value = 0;
+    int digits = 0;
+    for (char c : hex) {
+        int nibble = -1;
+        if (c >= '0' && c <= '9')
+            nibble = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nibble = c - 'a' + 10;
+        else
+            EXPECT_TRUE(c == ' ' || c == '\n') << "bad hex: " << c;
+        if (nibble < 0)
+            continue;
+        value = value * 16 + static_cast<unsigned>(nibble);
+        if (++digits == 2) {
+            out.push_back(static_cast<char>(value));
+            value = 0;
+            digits = 0;
+        }
+    }
+    EXPECT_EQ(digits, 0) << "odd number of hex digits";
+    return out;
+}
+
+TEST(TraceFormatDoc, WorkedExamplesMatchTheImplementation)
+{
+    // docs/TRACE_FORMAT.md carries one example trace in both
+    // encodings.  Both blocks must parse, must describe the same
+    // records, and must be byte-for-byte what the exporters emit —
+    // so any change to either encoding forces a doc update.
+    std::string doc = readDoc();
+
+    std::string text_block =
+        fencedBlockAfter(doc, "<!-- example:text -->");
+    ASSERT_FALSE(text_block.empty());
+    std::istringstream text_is(text_block);
+    Trace from_text = importTraceText(text_is, "example");
+    ASSERT_GT(from_text.size(), 0u);
+    EXPECT_EQ(textBytes(from_text), text_block)
+        << "text example is not the canonical export";
+
+    std::string hex_block =
+        fencedBlockAfter(doc, "<!-- example:binary-hex -->");
+    ASSERT_FALSE(hex_block.empty());
+    std::string bytes = hexToBytes(hex_block);
+    std::istringstream bin_is(bytes);
+    Trace from_binary = importTraceBinary(bin_is, "example");
+    EXPECT_EQ(from_binary, from_text)
+        << "the two example blocks describe different traces";
+    EXPECT_EQ(binaryBytes(from_text), bytes)
+        << "binary example is not what exportTraceBinary emits";
+}
+
+#endif // JCACHE_DOCS_DIR
+
+} // namespace
+} // namespace jcache::trace

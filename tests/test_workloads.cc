@@ -5,8 +5,11 @@
  * characteristics the paper's analysis leans on.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
+#include "sim/sweeps.hh"
 #include "trace/summary.hh"
 #include "util/logging.hh"
 #include "workloads/workload.hh"
@@ -106,6 +109,84 @@ TEST_P(WorkloadTraces, AccessesAreWordOrDoubleword)
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadTraces,
                          ::testing::ValuesIn(benchmarkNames()),
                          [](const auto& info) { return info.param; });
+
+TEST(WorkloadRegistry, ProductionNamesExtendTheSuite)
+{
+    // The production-style generators live beside, not inside, the
+    // Table 1 suite: the six-benchmark contracts stay untouched and
+    // the full registry is their concatenation.
+    const auto& production = productionNames();
+    ASSERT_EQ(production.size(), 3u);
+    EXPECT_EQ(production[0], "kvstore");
+    EXPECT_EQ(production[1], "bfs");
+    EXPECT_EQ(production[2], "marksweep");
+
+    const auto& all = allWorkloadNames();
+    ASSERT_EQ(all.size(), 9u);
+    EXPECT_TRUE(std::equal(benchmarkNames().begin(),
+                           benchmarkNames().end(), all.begin()));
+    EXPECT_TRUE(std::equal(production.begin(), production.end(),
+                           all.begin() + 6));
+
+    for (const std::string& name : production) {
+        auto w = makeWorkload(name);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->name(), name);
+        EXPECT_FALSE(w->description().empty());
+    }
+    // makeAllWorkloads still builds exactly the paper's six.
+    EXPECT_EQ(makeAllWorkloads().size(), 6u);
+}
+
+class ProductionTraces : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProductionTraces, DeterministicForFixedSeed)
+{
+    WorkloadConfig config;
+    config.seed = 7;
+    trace::Trace a = generateTrace(*makeWorkload(GetParam(), config));
+    trace::Trace b = generateTrace(*makeWorkload(GetParam(), config));
+    EXPECT_EQ(a, b);
+
+    WorkloadConfig other = config;
+    other.seed = 8;
+    EXPECT_NE(a, generateTrace(*makeWorkload(GetParam(), other)));
+}
+
+TEST_P(ProductionTraces, WellFormedAndSubstantial)
+{
+    trace::Trace t = generateTrace(*makeWorkload(GetParam()));
+    EXPECT_NO_THROW(trace::validate(t));
+    EXPECT_EQ(t.name(), GetParam());
+    for (const trace::TraceRecord& r : t) {
+        ASSERT_TRUE(r.size == 4 || r.size == 8);
+        ASSERT_EQ(r.addr % r.size, 0u) << "unaligned access";
+    }
+    trace::TraceSummary s = summarize(t);
+    EXPECT_GT(s.references(), 100'000u);
+    EXPECT_GT(s.writes, 5'000u);
+    EXPECT_GE(s.instructions, s.references());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProduction, ProductionTraces,
+                         ::testing::ValuesIn(productionNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadRegistry, ExtendedTraceSetServesAllNine)
+{
+    const sim::TraceSet& extended = sim::TraceSet::extended();
+    ASSERT_EQ(extended.size(), 9u);
+    const auto& all = allWorkloadNames();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(extended.traces()[i].name(), all[i]) << i;
+    EXPECT_EQ(extended.get("kvstore").name(), "kvstore");
+    EXPECT_FALSE(extended.get("bfs").empty());
+    EXPECT_THROW(extended.get("nonesuch"), FatalError);
+    // The singleton never moves.
+    EXPECT_EQ(&sim::TraceSet::extended(), &extended);
+}
 
 TEST(WorkloadScale, ScaleGrowsWorkNotFootprint)
 {

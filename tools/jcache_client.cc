@@ -13,6 +13,7 @@
  *       [--no-flush]
  *   sweep <workload> --axis size|line|assoc [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
+ *   upload <trace-file> [--name NAME] [run flags]
  *   stats | health | ping | shutdown
  *   metrics [--metrics-port N] [--json]
  *
@@ -25,6 +26,12 @@
  * jcache-sweep: the daemon returns raw counts and the client formats
  * them through the same shared renderer the offline tools use.
  * --verbose reports the result digest and cache status on stderr.
+ *
+ * `upload` sends a local trace file (any encoding of
+ * docs/TRACE_FORMAT.md or the native formats; re-encoded as
+ * interchange text on the wire) for the daemon to simulate, and
+ * renders the result exactly like `run` — so uploading a file and
+ * running `jcache-sim` on it print byte-identical tables.
  *
  * --retry turns transport failures and `busy` sheds into bounded
  * retries with exponential backoff and jitter (base --backoff ms,
@@ -54,6 +61,7 @@
 #include "stats/json.hh"
 #include "telemetry/exposition.hh"
 #include "telemetry/http_exporter.hh"
+#include "trace/import.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
 
@@ -76,6 +84,7 @@ usage()
         "  sweep <workload> --axis size|line|assoc\n"
         "      [--metric miss|traffic|dirty] [--hit wt|wb]\n"
         "      [--miss fow|wv|wa|wi]\n"
+        "  upload <trace-file> [--name NAME] [run flags]\n"
         "  stats\n"
         "  health\n"
         "  ping\n"
@@ -180,7 +189,8 @@ isNonRetryableCode(const std::string& code)
 {
     return code == "parse_error" || code == "bad_request" ||
            code == "unknown_type" || code == "protocol_mismatch" ||
-           code == "unsupported_version" || code == "internal_error";
+           code == "unsupported_version" || code == "internal_error" ||
+           code == "trace_too_large" || code == "bad_trace";
 }
 
 /**
@@ -387,6 +397,26 @@ sweepRequest(const std::string& workload, const std::string& axis,
 }
 
 std::string
+uploadRequest(const std::string& name, const std::string& body,
+              const RunFlags& flags, const std::string& request_id)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("type", "upload");
+    json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("api_version", std::string(kApiVersion));
+    json.field("request_id", request_id);
+    json.field("name", name);
+    json.field("encoding", "text");
+    json.field("trace", body);
+    json.field("flush", flags.flush);
+    service::writeCacheConfig(json, "config", flags.config);
+    json.endObject();
+    return oss.str();
+}
+
+std::string
 bareRequest(const std::string& type)
 {
     std::ostringstream oss;
@@ -555,6 +585,66 @@ main(int argc, char** argv)
                 std::cout, payload.getString("axis", axis), metric,
                 payload.getString("workload", workload), base, labels,
                 results);
+            return 0;
+        }
+
+        if (command == "upload") {
+            if (i >= argc)
+                return usage();
+            std::string path = argv[i++];
+            std::string name;
+            RunFlags flags;
+            flags.config.hitPolicy = core::WriteHitPolicy::WriteBack;
+            for (; i < argc; ++i) {
+                std::string flag = argv[i];
+                if (flag == "--no-flush") {
+                    flags.flush = false;
+                    continue;
+                }
+                if (i + 1 >= argc)
+                    return usage();
+                std::string value = argv[++i];
+                if (flag == "--name") {
+                    name = value;
+                    continue;
+                }
+                if (!parseConfigFlag(flag, value, flags.config))
+                    return usage();
+            }
+            flags.config.validate();
+
+            // Load locally (any supported encoding) and re-encode as
+            // interchange text for the wire; the daemon re-imports,
+            // so a malformed file fails here, not server-side.  The
+            // default name is whatever loading named the trace (the
+            // embedded name for native files, the stem otherwise),
+            // matching what jcache-sim would print for this file.
+            trace::Trace trace = trace::loadAnyTrace(path);
+            if (name.empty())
+                name = trace.name();
+            std::ostringstream body;
+            trace::exportTraceText(trace, body);
+            if (transport.verbose) {
+                std::cerr << "uploading " << trace.size()
+                          << " records (" << body.str().size()
+                          << " encoded bytes) as '" << name << "'\n";
+            }
+
+            std::string response_text = exchangeWithRetry(
+                transport,
+                uploadRequest(name, body.str(), flags,
+                              makeRequestId()));
+            service::JsonValue response =
+                parseResponse(response_text);
+            reportCacheStatus(response, transport.verbose);
+
+            const service::JsonValue& payload =
+                response.get("payload");
+            sim::RunResult result =
+                service::parseRunResult(payload.get("result"));
+            service::renderRunTable(
+                std::cout, result, payload.getString("workload"),
+                payload.getBool("flushed", true));
             return 0;
         }
 

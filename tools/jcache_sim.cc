@@ -32,7 +32,7 @@
 #include "cli_common.hh"
 #include "service/render.hh"
 #include "sim/engine.hh"
-#include "trace/file_io.hh"
+#include "trace/import.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
 #include "workloads/workload.hh"
@@ -121,7 +121,7 @@ main(int argc, char** argv)
 
         std::string source = argv[1];
         trace::Trace trace = std::filesystem::exists(source)
-            ? trace::loadTrace(source)
+            ? trace::loadAnyTrace(source)
             : workloads::generateTrace(
                   *workloads::makeWorkload(source));
 

@@ -55,7 +55,7 @@
 #include "sim/engine.hh"
 #include "sim/sweeps.hh"
 #include "telemetry/trace_writer.hh"
-#include "trace/file_io.hh"
+#include "trace/import.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
 #include "workloads/workload.hh"
@@ -172,7 +172,7 @@ main(int argc, char** argv)
             telemetry::Span span("trace.generate", "sim");
             span.arg("source", source);
             return std::filesystem::exists(source)
-                ? trace::loadTrace(source)
+                ? trace::loadAnyTrace(source)
                 : workloads::generateTrace(
                       *workloads::makeWorkload(source));
         }();

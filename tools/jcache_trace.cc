@@ -4,9 +4,12 @@
  *
  * Usage:
  *   jcache-trace generate <workload> <out.jct> [--scale N] [--seed S]
+ *   jcache-trace export <trace | workload> <out>
+ *       [--format text|binary] [--scale N] [--seed S]
+ *   jcache-trace import <in> <out.jct> [--name NAME] [--compress]
  *   jcache-trace info <trace.jct> [--json [path]]
- *   jcache-trace summary <trace.jct> [--json [path]]
- *   jcache-trace head <trace.jct> [count]
+ *   jcache-trace summary <trace> [--json [path]]
+ *   jcache-trace head <trace> [count]
  *   jcache-trace --version
  *
  * --json re-emits the info/summary fields as one JSON document (to
@@ -17,7 +20,15 @@
  * workload name) — constant time however large the trace; `summary`
  * loads the records and prints the full reference-mix statistics.
  *
+ * `export` writes a trace (an existing file of any encoding, or a
+ * workload generated on the fly) in one of the interchange encodings
+ * of docs/TRACE_FORMAT.md; `import` converts any supported encoding
+ * into a native trace file.  export -> import round-trips exactly:
+ * the re-imported record stream is identical, so simulations over it
+ * are byte-identical.  summary/head accept any encoding.
+ *
  * Workloads: ccom grr yacc met linpack liver
+ *            kvstore bfs marksweep
  *            gemm-streaming gemm-blocked
  *            callburst-global callburst-percall callburst-windows
  */
@@ -31,6 +42,7 @@
 #include "stats/json.hh"
 #include "stats/table.hh"
 #include "trace/file_io.hh"
+#include "trace/import.hh"
 #include "trace/summary.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
@@ -75,9 +87,13 @@ usage()
         "usage:\n"
         "  jcache-trace generate <workload> <out.jct> "
         "[--scale N] [--seed S] [--compress]\n"
+        "  jcache-trace export <trace | workload> <out> "
+        "[--format text|binary] [--scale N] [--seed S]\n"
+        "  jcache-trace import <in> <out.jct> "
+        "[--name NAME] [--compress]\n"
         "  jcache-trace info <trace.jct> [--json [path]]\n"
-        "  jcache-trace summary <trace.jct> [--json [path]]\n"
-        "  jcache-trace head <trace.jct> [count]\n"
+        "  jcache-trace summary <trace> [--json [path]]\n"
+        "  jcache-trace head <trace> [count]\n"
         "  jcache-trace --version\n";
     return 2;
 }
@@ -110,6 +126,79 @@ cmdGenerate(int argc, char** argv)
         trace::saveTrace(trace, argv[3]);
     std::cout << "wrote " << trace.size() << " records ("
               << workload->description() << ") to " << argv[3]
+              << (compress ? " [compressed]" : "") << "\n";
+    return 0;
+}
+
+/** A trace file of any encoding, or a workload generated on demand. */
+trace::Trace
+resolveTrace(const std::string& source,
+             const workloads::WorkloadConfig& config)
+{
+    if (std::filesystem::exists(source))
+        return trace::loadAnyTrace(source);
+    return workloads::generateTrace(*makeAnyWorkload(source, config));
+}
+
+int
+cmdExport(int argc, char** argv)
+{
+    if (argc < 4)
+        return usage();
+    workloads::WorkloadConfig config;
+    std::string format = "text";
+    for (int i = 4; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--format" && i + 1 < argc) {
+            format = argv[++i];
+        } else if (flag == "--scale" && i + 1 < argc) {
+            config.scale = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (flag == "--seed" && i + 1 < argc) {
+            config.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
+    if (format != "text" && format != "binary")
+        return usage();
+    trace::Trace trace = resolveTrace(argv[2], config);
+    if (format == "text")
+        trace::saveTraceText(trace, argv[3]);
+    else
+        trace::saveTraceBinary(trace, argv[3]);
+    std::cout << "exported " << trace.size() << " records ("
+              << trace.name() << ") to " << argv[3] << " ["
+              << format << "]\n";
+    return 0;
+}
+
+int
+cmdImport(int argc, char** argv)
+{
+    if (argc < 4)
+        return usage();
+    std::string name;
+    bool compress = false;
+    for (int i = 4; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--compress") {
+            compress = true;
+        } else if (flag == "--name" && i + 1 < argc) {
+            name = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    trace::Trace trace = trace::loadAnyTrace(argv[2]);
+    if (!name.empty())
+        trace.setName(name);
+    if (compress)
+        trace::saveTraceCompressed(trace, argv[3]);
+    else
+        trace::saveTrace(trace, argv[3]);
+    std::cout << "imported " << trace.size() << " records ("
+              << trace.name() << ") to " << argv[3]
               << (compress ? " [compressed]" : "") << "\n";
     return 0;
 }
@@ -165,7 +254,7 @@ cmdSummary(int argc, char** argv)
         if (!tools::parseCommonFlag(argc, argv, i, tools::kFlagJson,
                                     common))
             return usage();
-    trace::Trace trace = trace::loadTrace(argv[2]);
+    trace::Trace trace = trace::loadAnyTrace(argv[2]);
     trace::TraceSummary s = trace::summarize(trace);
 
     if (common.json) {
@@ -214,7 +303,7 @@ cmdHead(int argc, char** argv)
     std::size_t count = argc > 3
         ? std::strtoull(argv[3], nullptr, 10)
         : 20;
-    trace::Trace trace = trace::loadTrace(argv[2]);
+    trace::Trace trace = trace::loadAnyTrace(argv[2]);
     count = std::min(count, trace.size());
     for (std::size_t i = 0; i < count; ++i) {
         const trace::TraceRecord& r = trace[i];
@@ -241,6 +330,10 @@ main(int argc, char** argv)
     try {
         if (command == "generate")
             return cmdGenerate(argc, argv);
+        if (command == "export")
+            return cmdExport(argc, argv);
+        if (command == "import")
+            return cmdImport(argc, argv);
         if (command == "info")
             return cmdInfo(argc, argv);
         if (command == "summary")

@@ -161,7 +161,7 @@ main(int argc, char** argv)
         // the first request pays replay cost only.
         std::cerr << versionLine("jcached")
                   << ": bootstrapping trace registry...\n";
-        sim::TraceSet::standard();
+        sim::TraceSet::extended();
 
         service::Server server(config);
         std::string error;
