@@ -6,7 +6,6 @@
 #include "service/checkpoint.hh"
 
 #include <csignal>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -14,6 +13,7 @@
 #include "service/render.hh"
 #include "stats/json.hh"
 #include "util/fault.hh"
+#include "util/fs.hh"
 #include "util/logging.hh"
 
 namespace jcache::service
@@ -78,19 +78,10 @@ SweepCheckpoint::save(const std::string& path) const
     json.endArray();
     json.endObject();
 
-    // Write-then-rename keeps the visible file complete at all
-    // times: a crash here costs at most the cells finished since the
-    // previous save, never the checkpoint itself.
-    std::string tmp = path + ".tmp";
-    {
-        std::ofstream ofs(tmp, std::ios::trunc);
-        fatalIf(!ofs, "cannot open checkpoint file " + tmp);
-        ofs << oss.str();
-        ofs.flush();
-        fatalIf(!ofs, "failed to write checkpoint file " + tmp);
-    }
-    fatalIf(std::rename(tmp.c_str(), path.c_str()) != 0,
-            "failed to rename " + tmp + " to " + path);
+    // Write-then-rename (util/fs.hh) keeps the visible file complete
+    // at all times: a crash here costs at most the cells finished
+    // since the previous save, never the checkpoint itself.
+    util::atomicWriteFile(path, oss.str());
 
     if (JCACHE_FAULT("sweep.crash")) {
         // The deterministic mid-sweep death for recovery tests: the

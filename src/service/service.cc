@@ -11,9 +11,12 @@
 #include "service/json_value.hh"
 #include "service/render.hh"
 #include "stats/json.hh"
+#include "store/key.hh"
 #include "trace/import.hh"
+#include "trace/trace.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace_writer.hh"
+#include "util/digest.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
@@ -108,6 +111,14 @@ Service::Service(const ServiceConfig& config)
       cache_(config.cacheCapacity),
       start_(Clock::now())
 {
+    if (!config_.storeDir.empty()) {
+        store::StoreConfig store_config;
+        store_config.dir = config_.storeDir;
+        store_config.capBytes = config_.storeCapBytes;
+        store_ = std::make_unique<store::ResultStore>(store_config);
+    }
+    for (const trace::Trace& t : traces_.traces())
+        identities_[t.name()] = trace::traceIdentity(t);
     scheduler_ = std::thread([this] { schedulerLoop(); });
 }
 
@@ -241,6 +252,46 @@ Service::submitAndWait(std::function<std::string()> work,
     return true;
 }
 
+const std::string&
+Service::identityOf(const std::string& workload) const
+{
+    auto it = identities_.find(workload);
+    fatalIf(it == identities_.end(),
+            "no trace identity for workload '" + workload + "'");
+    return it->second;
+}
+
+std::optional<std::string>
+Service::cacheLookup(const std::string& digest)
+{
+    telemetry::Span lookup_span("cache.lookup", "service");
+    auto hit = cache_.lookup(digest);
+    if (hit) {
+        lookup_span.arg("hit", "memory");
+        return hit;
+    }
+    if (store_) {
+        auto disk = store_->get(digest);
+        if (disk) {
+            // Promote: the next lookup of this key is a memory hit.
+            cache_.insert(digest, *disk);
+            lookup_span.arg("hit", "disk");
+            return disk;
+        }
+    }
+    lookup_span.arg("hit", "false");
+    return std::nullopt;
+}
+
+void
+Service::cacheInsert(const std::string& digest,
+                     const std::string& payload)
+{
+    cache_.insert(digest, payload);
+    if (store_)
+        store_->put(digest, payload);
+}
+
 std::size_t
 Service::queueDepth() const
 {
@@ -253,6 +304,10 @@ Service::snapshot() const
 {
     ServiceSnapshot snap;
     snap.cache = cache_.stats();
+    if (store_) {
+        snap.storeEnabled = true;
+        snap.store = store_->stats();
+    }
     snap.queueDepth = queueDepth();
     snap.queueCapacity = config_.queueCapacity;
     snap.jobWallP50Seconds = jobWall_.percentile(50.0);
@@ -429,16 +484,12 @@ Service::handleRun(const JsonValue& request,
     // into an immediate error rather than a queued failure.
     const trace::Trace& trace = traces_.get(workload);
 
-    std::string digest = digestKey("run|" + workload + "|" +
-                                   canonicalConfigKey(config) + "|" +
-                                   (flush ? "f1" : "f0"));
-    {
-        telemetry::Span lookup_span("cache.lookup", "service");
-        auto hit = cache_.lookup(digest);
-        lookup_span.arg("hit", hit ? "true" : "false");
-        if (hit)
-            return okResponse("run", digest, true, *hit, request_id);
-    }
+    store::KeyContext ctx;
+    ctx.engine = config_.engine;
+    std::string digest = store::cellKey(
+        ctx, identityOf(workload), canonicalConfigKey(config), flush);
+    if (auto hit = cacheLookup(digest))
+        return okResponse("run", digest, true, *hit, request_id);
 
     JobOutcome outcome;
     bool admitted = submitAndWait(
@@ -471,7 +522,7 @@ Service::handleRun(const JsonValue& request,
         return errorResponse("bad_request", outcome.error,
                              request_id);
 
-    cache_.insert(digest, outcome.payload);
+    cacheInsert(digest, outcome.payload);
     return okResponse("run", digest, false, outcome.payload,
                       request_id);
 }
@@ -494,16 +545,12 @@ Service::handleSweep(const JsonValue& request,
 
     // The digest covers the axis and base config, not the metric:
     // every metric is derivable from the cached raw counts.
-    std::string digest = digestKey("sweep|" + workload + "|" + axis +
-                                   "|" + canonicalConfigKey(base));
-    {
-        telemetry::Span lookup_span("cache.lookup", "service");
-        auto hit = cache_.lookup(digest);
-        lookup_span.arg("hit", hit ? "true" : "false");
-        if (hit)
-            return okResponse("sweep", digest, true, *hit,
-                              request_id);
-    }
+    store::KeyContext ctx;
+    ctx.engine = config_.engine;
+    std::string digest = store::sweepKey(
+        ctx, identityOf(workload), axis, canonicalConfigKey(base));
+    if (auto hit = cacheLookup(digest))
+        return okResponse("sweep", digest, true, *hit, request_id);
 
     JobOutcome outcome;
     bool admitted = submitAndWait(
@@ -551,7 +598,7 @@ Service::handleSweep(const JsonValue& request,
         return errorResponse("bad_request", outcome.error,
                              request_id);
 
-    cache_.insert(digest, outcome.payload);
+    cacheInsert(digest, outcome.payload);
     return okResponse("sweep", digest, false, outcome.payload,
                       request_id);
 }
@@ -615,19 +662,16 @@ Service::handleUpload(const JsonValue& request,
     }
 
     // Content-addressed caching: re-uploading the same bytes under
-    // the same config is a cache hit, so the digest hashes the body,
-    // not the client-chosen name.
-    std::string digest = digestKey(
-        "upload|" + digestKey(body) + "|" + name + "|" +
-        canonicalConfigKey(config) + "|" + (flush ? "f1" : "f0"));
-    {
-        telemetry::Span lookup_span("cache.lookup", "service");
-        auto hit = cache_.lookup(digest);
-        lookup_span.arg("hit", hit ? "true" : "false");
-        if (hit)
-            return okResponse("upload", digest, true, *hit,
-                              request_id);
-    }
+    // the same config is a cache hit, so the key hashes the body,
+    // not the client-chosen name (which only rides along because it
+    // appears in the rendered payload).
+    store::KeyContext ctx;
+    ctx.engine = config_.engine;
+    std::string digest =
+        store::uploadKey(ctx, util::fnv1aHex(body), name,
+                         canonicalConfigKey(config), flush);
+    if (auto hit = cacheLookup(digest))
+        return okResponse("upload", digest, true, *hit, request_id);
 
     trace::Trace trace;
     try {
@@ -676,7 +720,7 @@ Service::handleUpload(const JsonValue& request,
         return errorResponse("bad_request", outcome.error,
                              request_id);
 
-    cache_.insert(digest, outcome.payload);
+    cacheInsert(digest, outcome.payload);
     return okResponse("upload", digest, false, outcome.payload,
                       request_id);
 }
@@ -821,6 +865,31 @@ Service::statsPayload() const
     json.field("evictions",
                static_cast<double>(cache_stats.evictions));
     json.field("hit_rate", cache_stats.hitRate());
+    json.endObject();
+    json.beginObject("store");
+    json.field("enabled", store_ != nullptr);
+    if (store_) {
+        store::StoreStats store_stats = store_->stats();
+        json.field("dir", config_.storeDir);
+        json.field("entries",
+                   static_cast<double>(store_stats.entries));
+        json.field("occupancy_bytes",
+                   static_cast<double>(store_stats.occupancyBytes));
+        json.field("cap_bytes",
+                   static_cast<double>(store_stats.capBytes));
+        json.field("hits", static_cast<double>(store_stats.hits));
+        json.field("misses",
+                   static_cast<double>(store_stats.misses));
+        json.field("hit_rate", store_stats.hitRate());
+        json.field("evictions",
+                   static_cast<double>(store_stats.evictions));
+        json.field("put_bytes",
+                   static_cast<double>(store_stats.putBytes));
+        json.field("torn_blobs",
+                   static_cast<double>(store_stats.tornBlobs));
+        json.field("torn_index",
+                   static_cast<double>(store_stats.tornIndex));
+    }
     json.endObject();
     json.beginObject("queue");
     json.field("depth", static_cast<double>(depth));

@@ -8,8 +8,12 @@
  *
  *  - a TraceSet registry bootstrapped once at construction, so no
  *    request ever pays trace generation;
- *  - an LRU ResultCache keyed by a digest of (workload, geometry,
- *    policy), so a repeated point is served without replay;
+ *  - an LRU ResultCache keyed by the canonical result key
+ *    (store/key.hh: trace identity, config, engine kind and version,
+ *    API minor), so a repeated point is served without replay — and,
+ *    when ServiceConfig::storeDir is set, a persistent ResultStore
+ *    underneath it, so results survive restarts and are shared with
+ *    `jcache-sweep --incremental`;
  *  - a bounded job queue drained by one scheduler thread that hands
  *    each simulation to the unified engine API (sim::runBatch) — the
  *    queue bounds backlog (overload answers `busy` immediately
@@ -35,7 +39,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +50,7 @@
 #include "service/result_cache.hh"
 #include "sim/engine.hh"
 #include "sim/sweeps.hh"
+#include "store/store.hh"
 #include "telemetry/metrics.hh"
 
 namespace jcache::service
@@ -66,6 +74,13 @@ struct ServiceSnapshot
     std::size_t queueDepth = 0;
     std::size_t queueCapacity = 0;
     ResultCacheStats cache;
+
+    /** True when a persistent store backs the memory cache. */
+    bool storeEnabled = false;
+
+    /** Persistent-store counters; zeroed when storeEnabled is false. */
+    store::StoreStats store;
+
     double uptimeSeconds = 0.0;
 
     /** Median job wall time, from the job wall-time histogram. */
@@ -86,6 +101,16 @@ struct ServiceConfig
 
     /** Result-cache entries; 0 disables result caching. */
     std::size_t cacheCapacity = 256;
+
+    /**
+     * Directory of the persistent result store (jcached --store-dir).
+     * Empty disables the disk tier: the memory cache then dies with
+     * the process, exactly the pre-store behavior.
+     */
+    std::string storeDir;
+
+    /** Byte cap of the persistent store (0 = unbounded). */
+    std::uint64_t storeCapBytes = 256ull << 20;
 
     /**
      * Largest accepted uploaded-trace body, in bytes of the encoded
@@ -190,6 +215,20 @@ class Service
      */
     unsigned retryAfterMillis() const;
 
+    /**
+     * Two-tier result lookup: memory first, then the persistent
+     * store (when configured), promoting a disk hit into the memory
+     * cache so the next lookup is free.
+     */
+    std::optional<std::string> cacheLookup(const std::string& digest);
+
+    /** Insert into the memory cache and (when open) the store. */
+    void cacheInsert(const std::string& digest,
+                     const std::string& payload);
+
+    /** Identity (trace/trace.hh) of a registered workload's trace. */
+    const std::string& identityOf(const std::string& workload) const;
+
     void schedulerLoop();
     void recordJobTiming(double job_seconds,
                          const sim::SweepReport& report);
@@ -202,6 +241,16 @@ class Service
     /** Resolved worker width reported by stats (0 never escapes). */
     unsigned executorThreads_;
     ResultCache cache_;
+
+    /** Disk tier under the memory cache; null when storeDir empty. */
+    std::unique_ptr<store::ResultStore> store_;
+
+    /**
+     * Workload name -> trace identity, computed once at construction
+     * (the registry's traces are immutable), so request handling
+     * never re-hashes a trace body.
+     */
+    std::map<std::string, std::string> identities_;
 
     std::atomic<bool> shutdown_{false};
     std::atomic<bool> stopping_{false};

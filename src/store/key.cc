@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of canonical result-key derivation.
+ */
+
+#include "store/key.hh"
+
+#include "util/digest.hh"
+
+namespace jcache::store
+{
+
+namespace
+{
+
+/** The `<engine>|ev<N>|api<major>.<minor>` context prefix. */
+std::string
+contextText(const KeyContext& ctx)
+{
+    return sim::name(ctx.engine) + "|ev" +
+           std::to_string(ctx.engineVersion) + "|api" +
+           std::to_string(kApiVersionMajor) + "." +
+           std::to_string(ctx.apiMinor);
+}
+
+} // namespace
+
+std::string
+cellKeyText(const KeyContext& ctx, const std::string& trace_identity,
+            const std::string& config_key, bool flush)
+{
+    return "cell|" + contextText(ctx) + "|" + trace_identity + "|" +
+           config_key + (flush ? "|f1" : "|f0");
+}
+
+std::string
+cellKey(const KeyContext& ctx, const std::string& trace_identity,
+        const std::string& config_key, bool flush)
+{
+    return util::fnv1aHex(
+        cellKeyText(ctx, trace_identity, config_key, flush));
+}
+
+std::string
+sweepKey(const KeyContext& ctx, const std::string& trace_identity,
+         const std::string& axis, const std::string& config_key)
+{
+    return util::fnv1aHex("sweep|" + contextText(ctx) + "|" +
+                          trace_identity + "|" + axis + "|" +
+                          config_key);
+}
+
+std::string
+uploadKey(const KeyContext& ctx, const std::string& body_digest,
+          const std::string& name, const std::string& config_key,
+          bool flush)
+{
+    return util::fnv1aHex("upload|" + contextText(ctx) + "|" +
+                          body_digest + "|" + name + "|" +
+                          config_key + (flush ? "|f1" : "|f0"));
+}
+
+} // namespace jcache::store

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Implementation of the persistent result store.
+ */
+
+#include "store/store.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace_writer.hh"
+#include "util/digest.hh"
+#include "util/fault.hh"
+#include "util/fs.hh"
+
+namespace jcache::store
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Blob framing: magic | u32 version | u64 payload bytes | digest. */
+constexpr char kBlobMagic[4] = {'J', 'C', 'R', 'O'};
+constexpr std::uint32_t kBlobVersion = 1;
+constexpr std::size_t kDigestChars = 16;
+constexpr std::size_t kBlobHeaderBytes =
+    sizeof(kBlobMagic) + sizeof(std::uint32_t) +
+    sizeof(std::uint64_t) + kDigestChars;
+
+constexpr const char* kIndexFormat = "jcache-store-index";
+constexpr unsigned kIndexVersion = 1;
+
+/**
+ * Weighted-eviction tuning: each access (capped) is worth this many
+ * recency ticks, so a repeatedly hit entry outranks up to
+ * kAccessBoost * kAccessCap more recent one-shot writes.
+ */
+constexpr std::uint64_t kAccessBoost = 8;
+constexpr std::uint64_t kAccessCap = 16;
+
+template <typename T>
+void
+appendLe(std::string& out, T value)
+{
+    auto bits = static_cast<std::uint64_t>(value);
+    for (unsigned i = 0; i < sizeof(T); ++i)
+        out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+template <typename T>
+T
+readLe(const std::string& in, std::size_t offset)
+{
+    T value = 0;
+    for (unsigned i = 0; i < sizeof(T); ++i) {
+        value |= static_cast<T>(
+                     static_cast<std::uint8_t>(in[offset + i]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+/** Frame a payload as one blob document. */
+std::string
+encodeBlob(const std::string& payload)
+{
+    std::string blob;
+    blob.reserve(kBlobHeaderBytes + payload.size());
+    blob.append(kBlobMagic, sizeof(kBlobMagic));
+    appendLe<std::uint32_t>(blob, kBlobVersion);
+    appendLe<std::uint64_t>(blob, payload.size());
+    blob += util::fnv1aHex(payload);
+    blob += payload;
+    return blob;
+}
+
+/**
+ * Validate framing shared by the cheap open-time check and the full
+ * lookup-time check: magic, version, and the claimed payload size
+ * against the actual byte count.
+ */
+void
+checkHeader(const std::string& head, std::uint64_t actual_bytes,
+            const std::string& path)
+{
+    if (head.size() < kBlobHeaderBytes ||
+        head.compare(0, sizeof(kBlobMagic), kBlobMagic,
+                     sizeof(kBlobMagic)) != 0)
+        throw CorruptStoreError("not a store blob: " + path);
+    auto version =
+        readLe<std::uint32_t>(head, sizeof(kBlobMagic));
+    if (version != kBlobVersion)
+        throw CorruptStoreError(
+            "unsupported blob version " + std::to_string(version) +
+            ": " + path);
+    auto claimed = readLe<std::uint64_t>(
+        head, sizeof(kBlobMagic) + sizeof(std::uint32_t));
+    if (claimed != actual_bytes)
+        throw CorruptStoreError(
+            "torn blob (header claims " + std::to_string(claimed) +
+            " payload bytes, " + std::to_string(actual_bytes) +
+            " present): " + path);
+}
+
+/**
+ * Decode one blob document, verifying the payload digest.  Throws
+ * CorruptStoreError for any tear or mismatch.
+ */
+std::string
+decodeBlob(const std::string& blob, const std::string& path)
+{
+    if (blob.size() < kBlobHeaderBytes)
+        throw CorruptStoreError("torn blob (short header): " + path);
+    checkHeader(blob, blob.size() - kBlobHeaderBytes, path);
+    std::string stored_digest = blob.substr(
+        sizeof(kBlobMagic) + sizeof(std::uint32_t) +
+            sizeof(std::uint64_t),
+        kDigestChars);
+    std::string payload = blob.substr(kBlobHeaderBytes);
+    if (util::fnv1aHex(payload) != stored_digest)
+        throw CorruptStoreError(
+            "torn blob (payload digest mismatch): " + path);
+    return payload;
+}
+
+/** Armed-only mirror of a lookup outcome into the registry. */
+void
+countLookup(bool hit)
+{
+    if (!telemetry::armed())
+        return;
+    auto& reg = telemetry::Registry::instance();
+    static telemetry::Counter& hits =
+        reg.counter("jcache_store_hits_total",
+                    "Persistent result-store lookups that hit");
+    static telemetry::Counter& misses =
+        reg.counter("jcache_store_misses_total",
+                    "Persistent result-store lookups that missed");
+    (hit ? hits : misses).inc();
+}
+
+void
+countEviction()
+{
+    if (!telemetry::armed())
+        return;
+    static telemetry::Counter& evictions =
+        telemetry::Registry::instance().counter(
+            "jcache_store_evictions_total",
+            "Result-store blobs evicted by byte-cap pressure");
+    evictions.inc();
+}
+
+void
+countPutBytes(std::uint64_t bytes)
+{
+    if (!telemetry::armed())
+        return;
+    static telemetry::Counter& put_bytes =
+        telemetry::Registry::instance().counter(
+            "jcache_store_bytes_total",
+            "Blob bytes written to the persistent result store");
+    put_bytes.inc(bytes);
+}
+
+} // namespace
+
+ResultStore::ResultStore(const StoreConfig& config) : config_(config)
+{
+    if (config_.indexEvery == 0)
+        config_.indexEvery = 1;
+    util::ensureDirectory(config_.dir);
+    util::ensureDirectory(
+        (fs::path(config_.dir) / "objects").string());
+    openScan();
+    loadIndex();
+}
+
+ResultStore::~ResultStore()
+{
+    try {
+        std::lock_guard<std::mutex> lock(mutex_);
+        persistIndex();
+    } catch (...) {
+        // The index is an accelerator; a failed persist at shutdown
+        // only costs the next open a scan.
+    }
+}
+
+std::string
+ResultStore::blobPath(const std::string& digest) const
+{
+    return (fs::path(config_.dir) / "objects" / (digest + ".jcr"))
+        .string();
+}
+
+std::string
+ResultStore::indexPath() const
+{
+    return (fs::path(config_.dir) / "index.jci").string();
+}
+
+void
+ResultStore::openScan()
+{
+    // Scan order must be deterministic (ticks seed the LRU rank), so
+    // collect first, then sort by (mtime, digest).
+    std::vector<std::tuple<fs::file_time_type, std::string,
+                           std::uint64_t>>
+        found;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(fs::path(config_.dir) / "objects")) {
+        const fs::path& path = entry.path();
+        if (path.extension() == ".tmp") {
+            // A put died before its rename; the tmp file was never
+            // part of the store.
+            std::error_code ec;
+            fs::remove(path, ec);
+            continue;
+        }
+        if (path.extension() != ".jcr" || !entry.is_regular_file())
+            continue;
+        std::uint64_t size = entry.file_size();
+        try {
+            std::ifstream ifs(path, std::ios::binary);
+            if (!ifs)
+                throw CorruptStoreError("unreadable blob: " +
+                                        path.string());
+            std::string head(kBlobHeaderBytes, '\0');
+            ifs.read(head.data(),
+                     static_cast<std::streamsize>(head.size()));
+            if (static_cast<std::size_t>(ifs.gcount()) !=
+                kBlobHeaderBytes)
+                throw CorruptStoreError("torn blob (short header): " +
+                                        path.string());
+            checkHeader(head, size - kBlobHeaderBytes,
+                        path.string());
+        } catch (const CorruptStoreError&) {
+            ++tornBlobs_;
+            std::error_code ec;
+            fs::remove(path, ec);
+            continue;
+        }
+        found.emplace_back(entry.last_write_time(),
+                           path.stem().string(), size);
+    }
+    std::sort(found.begin(), found.end());
+    for (const auto& [mtime, digest, size] : found) {
+        (void)mtime;
+        Entry entry;
+        entry.bytes = size;
+        entry.lastUse = ++tick_;
+        occupancy_ += size;
+        entries_.emplace(digest, entry);
+    }
+}
+
+void
+ResultStore::loadIndex()
+{
+    std::optional<std::string> text;
+    try {
+        text = util::readFileIfExists(indexPath());
+    } catch (const util::FsError&) {
+        ++tornIndex_;
+        return;
+    }
+    if (!text)
+        return;
+    try {
+        std::istringstream iss(*text);
+        std::string format;
+        unsigned version = 0;
+        if (!(iss >> format >> version) || format != kIndexFormat ||
+            version != kIndexVersion)
+            throw CorruptStoreError("not a store index");
+        std::size_t lines = 0;
+        std::map<std::string, std::uint64_t> accesses;
+        for (;;) {
+            std::string token;
+            if (!(iss >> token))
+                throw CorruptStoreError("truncated index");
+            if (token == "end")
+                break;
+            std::uint64_t bytes = 0, count = 0, last_use = 0;
+            if (!(iss >> bytes >> count >> last_use))
+                throw CorruptStoreError("torn index entry");
+            accesses[token] = count;
+            ++lines;
+        }
+        std::size_t claimed = 0;
+        if (!(iss >> claimed) || claimed != lines)
+            throw CorruptStoreError("index entry count mismatch");
+        // Only access counts carry over: recency was already seeded
+        // from mtimes, and bytes from the scan — the files are the
+        // truth, the index only remembers popularity.
+        for (auto& [digest, entry] : entries_) {
+            auto it = accesses.find(digest);
+            if (it != accesses.end())
+                entry.accesses = it->second;
+        }
+    } catch (const CorruptStoreError&) {
+        ++tornIndex_;
+    }
+}
+
+void
+ResultStore::persistIndex()
+{
+    std::ostringstream oss;
+    oss << kIndexFormat << ' ' << kIndexVersion << '\n';
+    for (const auto& [digest, entry] : entries_) {
+        oss << digest << ' ' << entry.bytes << ' ' << entry.accesses
+            << ' ' << entry.lastUse << '\n';
+    }
+    oss << "end " << entries_.size() << '\n';
+    try {
+        util::atomicWriteFile(indexPath(), oss.str(),
+                              "store.index.torn");
+    } catch (const util::FsError&) {
+        // Best effort: the next open rebuilds by scanning.
+    }
+}
+
+std::uint64_t
+ResultStore::rank(const Entry& entry) const
+{
+    if (config_.eviction == EvictionPolicy::Lru)
+        return entry.lastUse;
+    return entry.lastUse +
+           kAccessBoost * std::min(entry.accesses, kAccessCap);
+}
+
+void
+ResultStore::evictToFit()
+{
+    if (config_.capBytes == 0)
+        return;
+    while (occupancy_ > config_.capBytes && !entries_.empty()) {
+        auto victim = entries_.begin();
+        std::uint64_t victim_rank = rank(victim->second);
+        for (auto it = std::next(entries_.begin());
+             it != entries_.end(); ++it) {
+            std::uint64_t r = rank(it->second);
+            if (r < victim_rank) {
+                victim = it;
+                victim_rank = r;
+            }
+        }
+        std::error_code ec;
+        fs::remove(blobPath(victim->first), ec);
+        occupancy_ -= victim->second.bytes;
+        entries_.erase(victim);
+        ++evictions_;
+        countEviction();
+    }
+}
+
+std::optional<std::string>
+ResultStore::get(const std::string& digest)
+{
+    telemetry::Span span("store.lookup", "store");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(digest);
+    if (it == entries_.end()) {
+        ++misses_;
+        countLookup(false);
+        span.arg("hit", "false");
+        return std::nullopt;
+    }
+    try {
+        std::optional<std::string> blob =
+            util::readFileIfExists(blobPath(digest));
+        if (!blob)
+            throw CorruptStoreError("blob vanished: " + digest);
+        std::string payload = decodeBlob(*blob, blobPath(digest));
+        it->second.accesses += 1;
+        it->second.lastUse = ++tick_;
+        ++hits_;
+        countLookup(true);
+        span.arg("hit", "true");
+        return payload;
+    } catch (const FatalError&) {
+        // Torn or vanished underneath us: drop the entry and miss.
+        // CorruptStoreError and FsError both land here.
+        ++tornBlobs_;
+        std::error_code ec;
+        fs::remove(blobPath(digest), ec);
+        occupancy_ -= it->second.bytes;
+        entries_.erase(it);
+        ++misses_;
+        countLookup(false);
+        span.arg("hit", "torn");
+        return std::nullopt;
+    }
+}
+
+void
+ResultStore::put(const std::string& digest,
+                 const std::string& payload)
+{
+    telemetry::Span span("store.put", "store");
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string blob = encodeBlob(payload);
+    if (config_.capBytes != 0 && blob.size() > config_.capBytes) {
+        // Larger than the whole store: not cacheable at this cap.
+        return;
+    }
+    std::string path = blobPath(digest);
+    if (JCACHE_FAULT("store.put.crash")) {
+        // The deterministic mid-put death for recovery tests: leave
+        // a half-written temporary behind and vanish without stack
+        // unwinding, exactly like a kill -9 between the write and
+        // the rename.  The next open sweeps the temporary; every
+        // previously renamed blob is untouched.
+        std::ofstream ofs(path + ".tmp",
+                          std::ios::binary | std::ios::trunc);
+        ofs.write(blob.data(),
+                  static_cast<std::streamsize>(blob.size() / 2));
+        ofs.flush();
+        std::raise(SIGKILL);
+    }
+    util::atomicWriteFile(path, blob, "store.blob.torn");
+    putBytes_ += blob.size();
+    countPutBytes(blob.size());
+
+    Entry& entry = entries_[digest];
+    occupancy_ = occupancy_ - entry.bytes + blob.size();
+    entry.bytes = blob.size();
+    entry.accesses += 1;
+    entry.lastUse = ++tick_;
+    evictToFit();
+
+    if (++putsSinceIndex_ >= config_.indexEvery) {
+        persistIndex();
+        putsSinceIndex_ = 0;
+    }
+}
+
+bool
+ResultStore::contains(const std::string& digest) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(digest) != entries_.end();
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StoreStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.putBytes = putBytes_;
+    s.tornBlobs = tornBlobs_;
+    s.tornIndex = tornIndex_;
+    s.entries = entries_.size();
+    s.occupancyBytes = occupancy_;
+    s.capBytes = config_.capBytes;
+    return s;
+}
+
+} // namespace jcache::store

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The persistent, content-addressed result store.
+ *
+ * The in-memory ResultCache dies with the daemon; this store is the
+ * disk tier underneath it, shared across restarts and across every
+ * tool that derives the same result keys (store/key.hh).  It is,
+ * quite literally, a cache of simulation results — so its design
+ * borrows the paper's write-policy framing:
+ *
+ *  - **Writes are write-back and batched.**  A put() writes one blob
+ *    atomically (util/fs.hh: tmp + fsync + rename), but the index is
+ *    a pure accelerator persisted only every few puts and at close —
+ *    losing it costs a directory scan on the next open, never a
+ *    result.
+ *  - **Eviction is size-capped with a pluggable rank.**  The default
+ *    ranks by recency alone (LRU, seeded from file mtimes at open);
+ *    EvictionPolicy::Weighted adds an AWRP-style frequency boost so
+ *    a hot entry outlives a recently written cold one.
+ *  - **Torn writes are expected, typed and tolerated.**  Every blob
+ *    carries a header with its payload size and content digest; a
+ *    torn blob or index (injectable via the `store.blob.torn` /
+ *    `store.index.torn` fault sites) raises CorruptStoreError
+ *    internally, is counted, dropped and deleted — the store always
+ *    opens.
+ *
+ * On-disk layout (docs/STORAGE.md):
+ *
+ *     <dir>/objects/<digest>.jcr   one blob per result key
+ *     <dir>/index.jci              accelerator: access counts
+ *
+ * Thread-safe: one mutex serializes get/put/eviction, so concurrent
+ * connection handlers and sweep workers may share an instance.
+ */
+
+#ifndef JCACHE_STORE_STORE_HH
+#define JCACHE_STORE_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace jcache::store
+{
+
+/**
+ * Thrown (and caught internally) for any on-disk entry that is not a
+ * well-formed store artifact: bad magic, version or size, a payload
+ * whose digest does not match its header, a truncated index.  A
+ * subtype of FatalError; it never escapes the public store API —
+ * corrupt entries surface as misses plus a `torn` counter, because a
+ * cache must degrade, not fail.
+ */
+class CorruptStoreError : public FatalError
+{
+  public:
+    explicit CorruptStoreError(const std::string& what)
+        : FatalError(what)
+    {}
+};
+
+/** How the store ranks eviction victims when over its byte cap. */
+enum class EvictionPolicy : std::uint8_t
+{
+    /** Least recently used, seeded from blob mtimes at open. */
+    Lru,
+
+    /**
+     * AWRP-style weighted rank: recency plus a capped frequency
+     * boost, so repeatedly hit entries outrank one-shot writes.
+     */
+    Weighted,
+};
+
+/** Tunables of one ResultStore. */
+struct StoreConfig
+{
+    /** Root directory; created (with parents) on open. */
+    std::string dir;
+
+    /**
+     * Byte cap over all resident blobs; exceeding it evicts by
+     * `eviction` until back under.  0 means unbounded.
+     */
+    std::uint64_t capBytes = 256ull << 20;
+
+    EvictionPolicy eviction = EvictionPolicy::Lru;
+
+    /** Puts between index persists; the close always persists. */
+    unsigned indexEvery = 16;
+};
+
+/** Point-in-time counters and occupancy of one store. */
+struct StoreStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    /** Total blob bytes written by put() since open. */
+    std::uint64_t putBytes = 0;
+
+    /** Torn/corrupt blobs dropped (at open or on lookup). */
+    std::uint64_t tornBlobs = 0;
+
+    /** Torn/corrupt index files discarded at open. */
+    std::uint64_t tornIndex = 0;
+
+    /** Blobs currently resident. */
+    std::size_t entries = 0;
+
+    /** Bytes currently resident. */
+    std::uint64_t occupancyBytes = 0;
+
+    /** Configured cap (0 = unbounded). */
+    std::uint64_t capBytes = 0;
+
+    /** hits / (hits + misses); 0 before any lookup. */
+    double hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/**
+ * A content-addressed map from result digest to payload bytes,
+ * persistent under StoreConfig::dir.
+ */
+class ResultStore
+{
+  public:
+    /**
+     * Open (or create) the store: make the directories, sweep stale
+     * `*.tmp` files, scan `objects/` rebuilding the in-memory index
+     * (torn blobs are dropped and counted), then overlay access
+     * counts from the index file if it parses.  Throws FsError when
+     * the directory cannot be created at all.
+     */
+    explicit ResultStore(const StoreConfig& config);
+
+    /** Persists the index, best effort. */
+    ~ResultStore();
+
+    ResultStore(const ResultStore&) = delete;
+    ResultStore& operator=(const ResultStore&) = delete;
+
+    /**
+     * Fetch a payload by digest, refreshing its recency.  A resident
+     * blob that fails validation (torn write that survived a crash)
+     * is dropped, deleted and reported as a miss.
+     */
+    std::optional<std::string> get(const std::string& digest);
+
+    /**
+     * Store a payload under its digest: write the blob atomically,
+     * account it, and evict by policy while over the byte cap.  A
+     * payload larger than the whole cap is not stored.  Re-putting
+     * an existing digest refreshes it.
+     *
+     * Fault sites: `store.put.crash` SIGKILLs mid-put (after the
+     * temporary file, before the rename) — the crash-recovery
+     * deterministic death; `store.blob.torn` makes the visible blob
+     * a torn prefix (see util/fs.hh).
+     */
+    void put(const std::string& digest, const std::string& payload);
+
+    /** True when `digest` is resident; does not touch recency. */
+    bool contains(const std::string& digest) const;
+
+    /** Counters and occupancy snapshot under the store mutex. */
+    StoreStats stats() const;
+
+    /** The configuration the store was opened with. */
+    const StoreConfig& config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t bytes = 0;
+        std::uint64_t accesses = 0;
+
+        /** Logical recency tick; larger = more recent. */
+        std::uint64_t lastUse = 0;
+    };
+
+    std::string blobPath(const std::string& digest) const;
+    std::string indexPath() const;
+
+    /** Scan objects/, validate headers, seed recency from mtime. */
+    void openScan();
+
+    /** Overlay access counts from index.jci; torn index tolerated. */
+    void loadIndex();
+
+    /** Atomically persist the index (site `store.index.torn`). */
+    void persistIndex();
+
+    /** Evict lowest-ranked entries until occupancy fits the cap. */
+    void evictToFit();
+
+    /** Eviction rank of one entry; the minimum is the victim. */
+    std::uint64_t rank(const Entry& entry) const;
+
+    StoreConfig config_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    std::uint64_t occupancy_ = 0;
+    std::uint64_t tick_ = 0;
+    unsigned putsSinceIndex_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t putBytes_ = 0;
+    std::uint64_t tornBlobs_ = 0;
+    std::uint64_t tornIndex_ = 0;
+};
+
+} // namespace jcache::store
+
+#endif // JCACHE_STORE_STORE_HH

@@ -11,9 +11,11 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "util/bitops.hh"
 #include "util/fault.hh"
+#include "util/fs.hh"
 #include "util/logging.hh"
 
 namespace jcache::trace
@@ -142,12 +144,13 @@ writeTrace(const Trace& trace, std::ostream& os)
 void
 saveTrace(const Trace& trace, const std::string& path)
 {
-    std::ofstream ofs(path, std::ios::binary);
-    fatalIf(!ofs || JCACHE_FAULT("trace.write"),
+    fatalIf(JCACHE_FAULT("trace.write"),
             "cannot open trace file for writing: " + path);
-    writeTrace(trace, ofs);
-    ofs.flush();
-    fatalIf(!ofs, "error writing trace file: " + path);
+    // Render in memory, then write-then-rename (util/fs.hh): a crash
+    // or full disk never leaves a torn trace under the final name.
+    std::ostringstream oss;
+    writeTrace(trace, oss);
+    util::atomicWriteFile(path, oss.str());
 }
 
 void
@@ -170,12 +173,11 @@ writeTraceCompressed(const Trace& trace, std::ostream& os)
 void
 saveTraceCompressed(const Trace& trace, const std::string& path)
 {
-    std::ofstream ofs(path, std::ios::binary);
-    fatalIf(!ofs || JCACHE_FAULT("trace.write"),
+    fatalIf(JCACHE_FAULT("trace.write"),
             "cannot open trace file for writing: " + path);
-    writeTraceCompressed(trace, ofs);
-    ofs.flush();
-    fatalIf(!ofs, "error writing trace file: " + path);
+    std::ostringstream oss;
+    writeTraceCompressed(trace, oss);
+    util::atomicWriteFile(path, oss.str());
 }
 
 namespace

@@ -8,10 +8,32 @@
 #include <string>
 
 #include "util/bitops.hh"
+#include "util/digest.hh"
 #include "util/logging.hh"
 
 namespace jcache::trace
 {
+
+std::string
+contentDigest(const Trace& trace)
+{
+    std::uint64_t state = util::kFnvOffset;
+    for (const TraceRecord& r : trace) {
+        state = util::fnv1aValue(state, r.addr);
+        state = util::fnv1aValue(state, r.instrDelta);
+        state = util::fnv1aValue(state, r.size);
+        state = util::fnv1aValue(
+            state, static_cast<std::uint8_t>(r.type));
+    }
+    return util::hexDigest(state);
+}
+
+std::string
+traceIdentity(const Trace& trace)
+{
+    return trace.name() + "#" + contentDigest(trace) + "#" +
+           std::to_string(trace.size());
+}
 
 bool
 isValid(const TraceRecord& record)

@@ -56,6 +56,25 @@ class Trace
     std::vector<TraceRecord> records_;
 };
 
+/**
+ * FNV-1a 64 content digest of a trace's records, as fixed-width hex.
+ * Hashes every field of every record in a fixed byte order (not the
+ * in-memory layout), so the digest is stable across platforms and
+ * struct padding.  Two traces share a digest iff a replay through
+ * them is identical; the name does not participate.
+ */
+std::string contentDigest(const Trace& trace);
+
+/**
+ * The identity string a trace contributes to result keys:
+ * `<name>#<contentDigest>#<record count>`.  Equal identities mean
+ * equal replay inputs, so cached results keyed by this string can be
+ * shared between the service, the offline tools and the persistent
+ * result store — and can never be served for a different trace that
+ * merely reuses a workload name.
+ */
+std::string traceIdentity(const Trace& trace);
+
 /** True if the record is well-formed (power-of-two size 1..8). */
 bool isValid(const TraceRecord& record);
 

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Stable content digests shared by every layer that names data by
+ * value.
+ *
+ * The result cache, the persistent result store and the trace
+ * identity all key entries by a 64-bit FNV-1a digest rendered as
+ * fixed-width hex.  The function lives here — below the service and
+ * store layers — so the digest of a given byte sequence is one
+ * definition, stable across runs, platforms and refactors (digests
+ * appear in responses, logs and on-disk file names).
+ */
+
+#ifndef JCACHE_UTIL_DIGEST_HH
+#define JCACHE_UTIL_DIGEST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace jcache::util
+{
+
+/** FNV-1a 64-bit offset basis. */
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/** FNV-1a 64-bit prime. */
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Fold one byte into a running FNV-1a state. */
+inline std::uint64_t
+fnv1aByte(std::uint64_t state, std::uint8_t byte)
+{
+    state ^= byte;
+    state *= kFnvPrime;
+    return state;
+}
+
+/** Fold an integer into the state, least-significant byte first. */
+template <typename T>
+inline std::uint64_t
+fnv1aValue(std::uint64_t state, T value)
+{
+    auto bits = static_cast<std::uint64_t>(value);
+    for (unsigned i = 0; i < sizeof(T); ++i)
+        state = fnv1aByte(state,
+                          static_cast<std::uint8_t>(bits >> (8 * i)));
+    return state;
+}
+
+/** FNV-1a 64 of a byte string, from the standard offset basis. */
+inline std::uint64_t
+fnv1a(const std::string& bytes, std::uint64_t state = kFnvOffset)
+{
+    for (unsigned char ch : bytes)
+        state = fnv1aByte(state, ch);
+    return state;
+}
+
+/** A 64-bit digest as fixed-width (16 char) lowercase hex. */
+inline std::string
+hexDigest(std::uint64_t digest)
+{
+    static const char* const kHex = "0123456789abcdef";
+    std::string text(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        text[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+        digest >>= 4;
+    }
+    return text;
+}
+
+/** FNV-1a 64 of a byte string, as fixed-width hex. */
+inline std::string
+fnv1aHex(const std::string& bytes)
+{
+    return hexDigest(fnv1a(bytes));
+}
+
+} // namespace jcache::util
+
+#endif // JCACHE_UTIL_DIGEST_HH

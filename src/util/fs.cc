@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Implementation of the crash-safe filesystem primitives.
+ */
+
+#include "util/fs.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/fault.hh"
+
+namespace jcache::util
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string& what, const std::string& path)
+{
+    throw FsError(what + ": " + path + " (" +
+                  std::strerror(errno) + ")");
+}
+
+/** Open + write + fsync + close one file; throws FsError. */
+void
+writeAndSync(const std::string& path, const char* data,
+             std::size_t size)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd < 0)
+        fail("cannot open for writing", path);
+    std::size_t written = 0;
+    while (written < size) {
+        ssize_t n = ::write(fd, data + written, size - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int saved = errno;
+            ::close(fd);
+            errno = saved;
+            fail("write failed", path);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        fail("fsync failed", path);
+    }
+    if (::close(fd) != 0)
+        fail("close failed", path);
+}
+
+/** fsync the directory containing `path`, best effort. */
+void
+syncParentDir(const std::string& path)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        parent = ".";
+    int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return; // not fatal: the rename itself already happened
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string& path, const std::string& data,
+                const char* torn_site)
+{
+    std::size_t bytes = data.size();
+    if (torn_site != nullptr && JCACHE_FAULT(torn_site)) {
+        // Deterministic torn write: half the document becomes
+        // visible under the final name, as if the medium lost the
+        // tail after an acknowledged flush.  Readers must treat the
+        // result as corrupt, never as a short-but-valid document.
+        bytes /= 2;
+    }
+    std::string tmp = path + ".tmp";
+    writeAndSync(tmp, data.data(), bytes);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int saved = errno;
+        std::remove(tmp.c_str());
+        errno = saved;
+        fail("rename failed", tmp + " -> " + path);
+    }
+    syncParentDir(path);
+}
+
+std::optional<std::string>
+readFileIfExists(const std::string& path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << ifs.rdbuf();
+    if (ifs.bad())
+        throw FsError("read failed: " + path);
+    return buffer.str();
+}
+
+void
+ensureDirectory(const std::string& dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        throw FsError("cannot create directory: " + dir + " (" +
+                      ec.message() + ")");
+    }
+    if (!std::filesystem::is_directory(dir))
+        throw FsError("not a directory: " + dir);
+}
+
+} // namespace jcache::util

@@ -39,6 +39,19 @@ inline constexpr const char* kApiVersion = "1.1";
 /** The major component of kApiVersion, for the compatibility check. */
 inline constexpr unsigned kApiVersionMajor = 1;
 
+/** The minor component of kApiVersion, digested into result keys. */
+inline constexpr unsigned kApiVersionMinor = 1;
+
+/**
+ * Version of the simulation engine's *observable semantics*.  Bumped
+ * whenever any change could alter the counters a replay produces
+ * (new policy behavior, a bug fix in a cache model, a change to the
+ * trace generators).  Cached and persisted results are keyed by this
+ * number, so a bump invalidates every stale entry instead of serving
+ * results computed by older replay semantics.
+ */
+inline constexpr unsigned kEngineVersion = 1;
+
 /** The "--version" line of one tool, e.g. "jcache-sim (jcache 0.2.0)". */
 inline std::string
 versionLine(const std::string& tool)

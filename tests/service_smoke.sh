@@ -9,9 +9,10 @@
 #   2b. an uploaded interchange trace renders byte-identically to
 #       jcache-sim replaying the same file offline
 #   3. a repeated run is reported as a result-cache hit
-#   4. stats reflect the cache hit
+#   4. stats reflect the cache hit and the persistent store
 #   5. `jcache-client metrics` scrapes --metrics-port, and the
-#      request counter increases monotonically between scrapes
+#      request counter increases monotonically between scrapes;
+#      the scrape carries the store gauges and counters
 #   6. an in-band shutdown drains the daemon
 #
 # Usage: service_smoke.sh <jcached> <jcache-client> <jcache-sim> \
@@ -29,6 +30,9 @@ PORT_FILE="$WORKDIR/jcached.port"
 METRICS_PORT_FILE="$WORKDIR/jcached.metrics-port"
 DAEMON_LOG="$WORKDIR/jcached.log"
 rm -f "$PORT_FILE" "$METRICS_PORT_FILE"
+# A fresh store each run: the counter assertions below rely on this
+# daemon actually writing (not just re-reading) store blobs.
+rm -rf "$WORKDIR/store"
 
 fail() {
     echo "service_smoke: FAIL: $1" >&2
@@ -39,6 +43,7 @@ fail() {
 
 "$JCACHED" --port 0 --port-file "$PORT_FILE" \
     --metrics-port 0 --metrics-port-file "$METRICS_PORT_FILE" \
+    --store-dir "$WORKDIR/store" \
     > "$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!
 
@@ -103,10 +108,18 @@ cmp "$WORKDIR/run_repeat.txt" "$WORKDIR/run_offline.txt" \
     || fail "cached run output differs"
 echo "service_smoke: repeated run served from result cache"
 
-# 4. The stats response accounts for that hit.
+# 4. The stats response accounts for that hit, and for the persistent
+#    store the daemon was started over.
 "$CLIENT" --port "$PORT" stats > "$WORKDIR/stats.json" || fail "stats"
 grep -q '"hits": 1' "$WORKDIR/stats.json" \
     || fail "stats do not show the result-cache hit"
+grep -q '"store"' "$WORKDIR/stats.json" \
+    || fail "stats carry no store block"
+grep -q '"enabled": true' "$WORKDIR/stats.json" \
+    || fail "stats do not report the store as enabled"
+[ -d "$WORKDIR/store/objects" ] \
+    || fail "store directory was not created"
+echo "service_smoke: stats report the persistent store"
 
 # 5. Scrape the Prometheus endpoint through the client, twice: the
 #    request counter must be present and increase monotonically with
@@ -134,6 +147,20 @@ R2=$(requests_total "$WORKDIR/metrics2.txt")
 "$CLIENT" metrics --metrics-port "$MPORT" --json \
     | grep -q '"families"' || fail "metrics --json"
 echo "service_smoke: request counter monotonic across scrapes ($R1 -> $R2)"
+
+# The scrape must carry the store gauges (refreshed at scrape time)
+# and the store counters the run/sweep/upload traffic produced.
+grep -q 'jcache_store_occupancy_bytes' "$WORKDIR/metrics2.txt" \
+    || fail "scrape lacks jcache_store_occupancy_bytes"
+grep -q 'jcache_store_entries' "$WORKDIR/metrics2.txt" \
+    || fail "scrape lacks jcache_store_entries"
+grep -q 'jcache_store_hit_ratio' "$WORKDIR/metrics2.txt" \
+    || fail "scrape lacks jcache_store_hit_ratio"
+grep -q 'jcache_store_misses_total' "$WORKDIR/metrics2.txt" \
+    || fail "scrape lacks jcache_store_misses_total"
+grep -q 'jcache_store_bytes_total' "$WORKDIR/metrics2.txt" \
+    || fail "scrape lacks jcache_store_bytes_total"
+echo "service_smoke: store gauges and counters exposed"
 
 # 6. Graceful in-band shutdown.
 "$CLIENT" --port "$PORT" shutdown > /dev/null || fail "shutdown"

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the crash-safe filesystem primitives (util/fs.hh): atomic
+ * write-then-rename visibility, temp-file hygiene, the injected torn
+ * write, optional reads and directory creation.
+ */
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.hh"
+#include "util/fs.hh"
+
+using namespace jcache;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class FsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("jcache_fs_test_" + std::to_string(::getpid())))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        fault::reset();
+        fs::remove_all(dir_);
+    }
+
+    std::string path(const std::string& name) const
+    {
+        return (fs::path(dir_) / name).string();
+    }
+
+    std::string dir_;
+};
+
+} // namespace
+
+TEST_F(FsTest, AtomicWriteRoundTripsAndLeavesNoTemp)
+{
+    std::string target = path("doc.txt");
+    util::atomicWriteFile(target, "hello\nworld\n");
+    auto read = util::readFileIfExists(target);
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ(*read, "hello\nworld\n");
+    EXPECT_FALSE(fs::exists(target + ".tmp"));
+
+    // Overwrite: the newest document wins, still atomically.
+    util::atomicWriteFile(target, "v2");
+    EXPECT_EQ(util::readFileIfExists(target).value(), "v2");
+    EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST_F(FsTest, AtomicWriteHandlesEmptyAndBinaryPayloads)
+{
+    std::string binary("\x00\x01\xff\x7f", 4);
+    util::atomicWriteFile(path("bin"), binary);
+    EXPECT_EQ(util::readFileIfExists(path("bin")).value(), binary);
+
+    util::atomicWriteFile(path("empty"), "");
+    auto read = util::readFileIfExists(path("empty"));
+    ASSERT_TRUE(read.has_value());
+    EXPECT_TRUE(read->empty());
+}
+
+TEST_F(FsTest, ReadFileIfExistsReportsAbsence)
+{
+    EXPECT_FALSE(util::readFileIfExists(path("never-written"))
+                     .has_value());
+}
+
+TEST_F(FsTest, InjectedTornWriteTruncatesVisibleFile)
+{
+    std::string target = path("torn.txt");
+    fault::configure("test.fs.torn=always");
+    util::atomicWriteFile(target, "0123456789", "test.fs.torn");
+    fault::reset();
+
+    // The tear fires under the final name — half the document is
+    // visible, so readers must validate, never trust length.
+    auto read = util::readFileIfExists(target);
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ(*read, "01234");
+    EXPECT_FALSE(fs::exists(target + ".tmp"));
+
+    // An unarmed site writes the full document.
+    util::atomicWriteFile(target, "0123456789", "test.fs.torn");
+    EXPECT_EQ(util::readFileIfExists(target).value(), "0123456789");
+}
+
+TEST_F(FsTest, WriteIntoMissingDirectoryThrowsTypedError)
+{
+    std::string target = path("no/such/dir/file");
+    EXPECT_THROW(util::atomicWriteFile(target, "x"), util::FsError);
+    // The failure is pre-rename: nothing appears under the name.
+    EXPECT_FALSE(fs::exists(target));
+}
+
+TEST_F(FsTest, EnsureDirectoryCreatesParentsAndRejectsFiles)
+{
+    std::string nested = path("a/b/c");
+    util::ensureDirectory(nested);
+    EXPECT_TRUE(fs::is_directory(nested));
+    // Idempotent on an existing directory.
+    util::ensureDirectory(nested);
+
+    std::string file = path("plain-file");
+    std::ofstream(file) << "x";
+    EXPECT_THROW(util::ensureDirectory(file), util::FsError);
+}

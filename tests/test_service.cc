@@ -8,6 +8,9 @@
  * — no sockets — so failures localize to the routing layer.
  */
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -515,6 +518,53 @@ TEST(Service, StatsCountUploads)
     const JsonValue& requests = v.get("payload").get("requests");
     EXPECT_DOUBLE_EQ(requests.getNumber("upload", 0), 2.0);
     EXPECT_DOUBLE_EQ(requests.getNumber("total", 0), 3.0);
+}
+
+TEST(Service, StoreServesResultsAcrossInstances)
+{
+    namespace fs = std::filesystem;
+    std::string dir =
+        (fs::temp_directory_path() /
+         ("jcache_service_store_" + std::to_string(::getpid())))
+            .string();
+    fs::remove_all(dir);
+    ServiceConfig config = testConfig();
+    config.storeDir = dir;
+
+    std::string fresh_text;
+    {
+        Service service(config);
+        fresh_text = service.handle(runRequest("ccom", 4));
+        JsonValue fresh = parseResponse(fresh_text);
+        ASSERT_TRUE(fresh.getBool("ok", false))
+            << fresh.getString("error");
+        EXPECT_FALSE(fresh.getBool("cached", true));
+    }
+
+    // A new Service over the same directory starts with an empty
+    // memory cache; the run must be served from disk, reported as
+    // cached, and its envelope must match the fresh one byte for
+    // byte once the cached flag is normalized.
+    Service reopened(config);
+    std::string cached_text = reopened.handle(runRequest("ccom", 4));
+    JsonValue cached = parseResponse(cached_text);
+    ASSERT_TRUE(cached.getBool("ok", false))
+        << cached.getString("error");
+    EXPECT_TRUE(cached.getBool("cached", false));
+    std::size_t flag = cached_text.find("\"cached\": true");
+    ASSERT_NE(flag, std::string::npos);
+    cached_text.replace(flag, 14, "\"cached\": false");
+    EXPECT_EQ(cached_text, fresh_text);
+
+    // The stats document accounts for the disk hit.
+    JsonValue stats =
+        parseResponse(reopened.handle("{\"type\": \"stats\"}"));
+    ASSERT_TRUE(stats.getBool("ok", false));
+    const JsonValue& store = stats.get("payload").get("store");
+    EXPECT_TRUE(store.getBool("enabled", false));
+    EXPECT_GE(store.getNumber("hits", 0), 1.0);
+    EXPECT_GE(store.getNumber("entries", 0), 1.0);
+    fs::remove_all(dir);
 }
 
 TEST(Service, ZeroCacheCapacityAlwaysRecomputes)

@@ -12,6 +12,7 @@
  *       [--engine percell|onepass]
  *       [--trace-out <events.json>]
  *       [--checkpoint <file> [--checkpoint-every N] [--resume]]
+ *       [--store-dir <dir> [--store-cap-bytes N] [--incremental]]
  *       [--version]
  *
  * Metrics:
@@ -41,21 +42,39 @@
  * resumed sweep prints a table byte-identical to an uninterrupted
  * one; resuming against a checkpoint from a different sweep (other
  * trace, axis or base config) is refused.
+ *
+ * --store-dir publishes every computed cell into the persistent
+ * result store (docs/STORAGE.md), keyed exactly like the daemon's
+ * cells; --incremental additionally reads the store first and
+ * simulates only the missing cells, reporting `store: reused R
+ * cells, simulated S cells` on stderr.  A sweep over a fully
+ * populated store simulates nothing and prints a table
+ * byte-identical to a cold one.  The store and checkpoint paths are
+ * mutually exclusive — a checkpoint belongs to one sweep, the store
+ * is shared by all of them.
  */
 
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "cli_common.hh"
 #include "service/checkpoint.hh"
+#include "service/json_value.hh"
 #include "service/render.hh"
 #include "sim/engine.hh"
 #include "sim/sweeps.hh"
+#include "stats/json.hh"
+#include "store/key.hh"
+#include "store/store.hh"
 #include "telemetry/trace_writer.hh"
 #include "trace/import.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
 #include "workloads/workload.hh"
@@ -79,9 +98,42 @@ usage()
         "[--miss fow|wv|wa|wi]\n"
         "  " << tools::commonUsage(kCommonFlags) << "\n"
         "  [--trace-out <events.json>]\n"
-        "  [--checkpoint <file> [--checkpoint-every N] [--resume]] "
-        "[--version]\n";
+        "  [--checkpoint <file> [--checkpoint-every N] [--resume]]\n"
+        "  [--store-dir <dir> [--store-cap-bytes N] "
+        "[--incremental]] [--version]\n";
     return 2;
+}
+
+/** The store blob of one sweep cell: `{"result": {...}}`. */
+std::string
+cellPayload(const sim::RunResult& result)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    service::writeRunResult(json, "result", result);
+    json.endObject();
+    return oss.str();
+}
+
+/**
+ * Decode a stored cell blob back into a RunResult; nullopt when the
+ * payload does not parse (the cell is then simulated afresh — a
+ * stale or foreign blob can cost work, never correctness).
+ */
+std::optional<sim::RunResult>
+parseCellPayload(const std::string& payload)
+{
+    std::string error;
+    service::JsonValue doc =
+        service::JsonValue::parse(payload, &error);
+    if (!error.empty() || !doc.isObject() || !doc.has("result"))
+        return std::nullopt;
+    try {
+        return service::parseRunResult(doc.get("result"));
+    } catch (const FatalError&) {
+        return std::nullopt;
+    }
 }
 
 /** Print per-cell failures; returns true when any cell failed. */
@@ -112,6 +164,9 @@ main(int argc, char** argv)
     std::string checkpoint_path;
     unsigned checkpoint_every = 1;
     bool resume = false;
+    std::string store_dir;
+    std::uint64_t store_cap_bytes = 256ull << 20;
+    bool incremental = false;
     tools::CommonFlags common;
     core::CacheConfig base;
     base.hitPolicy = core::WriteHitPolicy::WriteBack;
@@ -124,6 +179,10 @@ main(int argc, char** argv)
             std::string flag = argv[i];
             if (flag == "--resume") {
                 resume = true;
+                continue;
+            }
+            if (flag == "--incremental") {
+                incremental = true;
                 continue;
             }
             if (i + 1 >= argc)
@@ -142,6 +201,11 @@ main(int argc, char** argv)
                     std::strtoul(value.c_str(), nullptr, 10));
                 if (checkpoint_every == 0)
                     checkpoint_every = 1;
+            } else if (flag == "--store-dir") {
+                store_dir = value;
+            } else if (flag == "--store-cap-bytes") {
+                store_cap_bytes =
+                    std::strtoull(value.c_str(), nullptr, 10);
             } else if (flag == "--hit") {
                 auto policy = core::parseHitPolicy(value);
                 if (!policy)
@@ -161,6 +225,16 @@ main(int argc, char** argv)
             return usage();
         if (resume && checkpoint_path.empty()) {
             std::cerr << "error: --resume requires --checkpoint\n";
+            return usage();
+        }
+        if (incremental && store_dir.empty()) {
+            std::cerr << "error: --incremental requires "
+                         "--store-dir\n";
+            return usage();
+        }
+        if (!store_dir.empty() && !checkpoint_path.empty()) {
+            std::cerr << "error: --store-dir and --checkpoint are "
+                         "mutually exclusive\n";
             return usage();
         }
 
@@ -196,7 +270,73 @@ main(int argc, char** argv)
         }
         sim::BatchOutcome outcome;
 
-        if (checkpoint_path.empty()) {
+        if (!store_dir.empty()) {
+            // Store-backed path: derive every cell's canonical key,
+            // reuse what the store already holds (--incremental),
+            // simulate the remainder in one batch (the one-pass
+            // engine still shares a single decode across it), then
+            // publish the fresh cells.
+            store::StoreConfig store_config;
+            store_config.dir = store_dir;
+            store_config.capBytes = store_cap_bytes;
+            store::ResultStore result_store(store_config);
+
+            store::KeyContext ctx;
+            ctx.engine = common.engine;
+            std::string identity = trace::traceIdentity(trace);
+            std::vector<std::string> keys;
+            keys.reserve(points.configs.size());
+            for (const core::CacheConfig& config : points.configs)
+                keys.push_back(store::cellKey(
+                    ctx, identity,
+                    service::canonicalConfigKey(config), false));
+
+            outcome.results.resize(requests.size());
+            std::vector<std::size_t> todo;
+            std::size_t reused = 0;
+            for (std::size_t i = 0; i < requests.size(); ++i) {
+                if (incremental) {
+                    if (auto hit = result_store.get(keys[i])) {
+                        if (auto cached = parseCellPayload(*hit)) {
+                            outcome.results[i] = *cached;
+                            ++reused;
+                            continue;
+                        }
+                    }
+                }
+                todo.push_back(i);
+            }
+
+            if (!todo.empty()) {
+                std::vector<sim::Request> subset;
+                subset.reserve(todo.size());
+                for (std::size_t index : todo)
+                    subset.push_back(requests[index]);
+                sim::BatchOptions options;
+                options.engine = common.engine;
+                options.jobs = common.jobs;
+                options.progress = on_progress;
+                sim::BatchOutcome fresh =
+                    sim::runBatch(subset, options);
+                for (std::size_t k = 0; k < todo.size(); ++k)
+                    outcome.results[todo[k]] =
+                        fresh.results[k];
+                // Failure indices refer to the subset; report them
+                // in sweep-point coordinates.
+                for (sim::JobFailure& f : fresh.report.failures)
+                    f.index = todo[f.index];
+                outcome.report = std::move(fresh.report);
+                if (outcome.report.allSucceeded()) {
+                    for (std::size_t index : todo)
+                        result_store.put(
+                            keys[index],
+                            cellPayload(outcome.results[index]));
+                }
+            }
+            std::cerr << "store: reused " << reused
+                      << " cells, simulated " << todo.size()
+                      << " cells\n";
+        } else if (checkpoint_path.empty()) {
             sim::BatchOptions options;
             options.engine = common.engine;
             options.jobs = common.jobs;

@@ -6,6 +6,7 @@
  *   jcached [--port N] [--port-file PATH] [--jobs N]
  *           [--engine percell|onepass]
  *           [--queue N] [--cache N] [--timeout MS]
+ *           [--store-dir PATH] [--store-cap-bytes N]
  *           [--metrics-port N] [--metrics-port-file PATH]
  *           [--trace-out PATH] [--version]
  *
@@ -14,6 +15,11 @@
  * six benchmark traces once, then serves framed JSON requests until
  * SIGINT/SIGTERM or an in-band shutdown request, draining in-flight
  * connections on the way out.  Protocol: docs/SERVICE.md.
+ *
+ * --store-dir opens the persistent result store under the in-memory
+ * result cache (docs/STORAGE.md): results survive restarts and are
+ * shared with `jcache-sweep --incremental` runs over the same
+ * directory.  --store-cap-bytes bounds it (default 256 MiB).
  *
  * --metrics-port arms telemetry and serves Prometheus text exposition
  * on a second loopback port (GET /metrics); --trace-out captures
@@ -59,6 +65,7 @@ usage()
         "usage: jcached [--port N] [--port-file PATH] [--jobs N]\n"
         "  [--engine percell|onepass]\n"
         "  [--queue N] [--cache N] [--timeout MS]\n"
+        "  [--store-dir PATH] [--store-cap-bytes N]\n"
         "  [--metrics-port N] [--metrics-port-file PATH]\n"
         "  [--trace-out PATH] [--version]\n";
     return 2;
@@ -88,6 +95,17 @@ refreshServiceGauges(service::Service& svc)
     reg.gauge("jcache_job_wall_seconds_p50",
               "Median job wall time, from the job histogram")
         .set(snap.jobWallP50Seconds);
+    if (snap.storeEnabled) {
+        reg.gauge("jcache_store_occupancy_bytes",
+                  "Bytes resident in the persistent result store")
+            .set(static_cast<double>(snap.store.occupancyBytes));
+        reg.gauge("jcache_store_entries",
+                  "Blobs resident in the persistent result store")
+            .set(static_cast<double>(snap.store.entries));
+        reg.gauge("jcache_store_hit_ratio",
+                  "Persistent-store hits over lookups since open")
+            .set(snap.store.hitRate());
+    }
 }
 
 } // namespace
@@ -136,6 +154,11 @@ main(int argc, char** argv)
         } else if (flag == "--timeout") {
             config.connectionTimeoutMillis = static_cast<unsigned>(
                 std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flag == "--store-dir") {
+            config.service.storeDir = value;
+        } else if (flag == "--store-cap-bytes") {
+            config.service.storeCapBytes =
+                std::strtoull(value.c_str(), nullptr, 10);
         } else if (flag == "--metrics-port") {
             metrics = true;
             metrics_port = static_cast<std::uint16_t>(
