@@ -6,6 +6,7 @@
 #include "service/service.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "service/json_value.hh"
@@ -70,13 +71,77 @@ busyResponse(unsigned retry_after_millis,
     json.beginObject();
     json.field("ok", false);
     json.field("code", "busy");
-    json.field("error", "job queue is full; retry later");
+    json.field("error", "job queue is overloaded; retry later");
     json.field("retry_after_ms",
                static_cast<double>(retry_after_millis));
     if (!request_id.empty())
         json.field("request_id", request_id);
     json.endObject();
     return oss.str();
+}
+
+/**
+ * The `deadline_exceeded` shed response: the client's budget lapsed
+ * before the job could run, so the answer would arrive too late to
+ * matter.  Distinct from `busy` — retrying with the same budget is
+ * pointless unless the queue has drained, and a client tracking a
+ * total deadline should usually give up instead.
+ */
+std::string
+deadlineResponse(double waited_millis, const std::string& request_id)
+{
+    std::ostringstream oss;
+    stats::JsonWriter json(oss);
+    json.beginObject();
+    json.field("ok", false);
+    json.field("code", "deadline_exceeded");
+    json.field("error",
+               "deadline expired before the job could run");
+    json.field("waited_ms", waited_millis);
+    if (!request_id.empty())
+        json.field("request_id", request_id);
+    json.endObject();
+    return oss.str();
+}
+
+/** Bump the armed-only shed counter, labeled by reason. */
+void
+countShed(const char* reason)
+{
+    if (!telemetry::armed())
+        return;
+    telemetry::Registry::instance()
+        .counter("jcache_jobs_shed_total",
+                 "Jobs shed instead of run, by reason",
+                 {{"reason", reason}})
+        .inc();
+}
+
+/** splitmix64: the jitter stream behind retry_after_ms. */
+std::uint64_t
+mixJitter(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * A request's deadline, resolved against its arrival instant.
+ * `at` stays zero when the request carries no deadline_ms.
+ */
+struct RequestDeadline
+{
+    Clock::time_point at{};
+    bool expired = false;
+};
+
+std::chrono::steady_clock::duration
+millisDuration(double millis)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(millis));
 }
 
 /** An `ok: true` envelope around a serialized result payload. */
@@ -99,6 +164,26 @@ okResponse(const std::string& type, const std::string& digest,
     return oss.str();
 }
 
+/**
+ * Resolve a request's optional deadline_ms budget against its
+ * arrival instant.  A missing field means no deadline; a present but
+ * non-positive (or non-numeric) budget is already expired.
+ */
+RequestDeadline
+parseDeadline(const JsonValue& request, Clock::time_point received)
+{
+    RequestDeadline deadline;
+    if (!request.has("deadline_ms"))
+        return deadline;
+    double millis = request.getNumber("deadline_ms", 0.0);
+    if (millis <= 0.0) {
+        deadline.expired = true;
+        return deadline;
+    }
+    deadline.at = received + millisDuration(millis);
+    return deadline;
+}
+
 } // namespace
 
 Service::Service(const ServiceConfig& config)
@@ -109,6 +194,7 @@ Service::Service(const ServiceConfig& config)
                            ? sim::defaultJobs()
                            : config.executorThreads),
       cache_(config.cacheCapacity),
+      admission_(config.admission),
       start_(Clock::now())
 {
     if (!config_.storeDir.empty()) {
@@ -138,6 +224,7 @@ Service::schedulerLoop()
 {
     for (;;) {
         Job job;
+        std::size_t queued_behind = 0;
         {
             std::unique_lock<std::mutex> lock(queue_mutex_);
             queue_cv_.wait(lock, [this] {
@@ -150,14 +237,51 @@ Service::schedulerLoop()
             }
             job = std::move(queue_.front());
             queue_.pop_front();
+            queued_behind = queue_.size();
         }
-        // The queue wait starts on the submitter's thread and ends
-        // here; submitted is sampled only while a capture is active,
-        // and a capture begun mid-wait leaves it zero — skip those.
-        if (telemetry::tracing() &&
-            job.submitted.time_since_epoch().count() != 0) {
+        // The queue wait (sojourn) starts on the submitter's thread
+        // and ends here: it feeds the wait histogram, the queue-wait
+        // span, the CoDel controller, and the deadline check.
+        Clock::time_point now = Clock::now();
+        double sojourn_seconds =
+            std::chrono::duration<double>(now - job.submitted)
+                .count();
+        if (sojourn_seconds < 0.0)
+            sojourn_seconds = 0.0;
+        queueWait_.observe(sojourn_seconds);
+        if (telemetry::armed()) {
+            static telemetry::Histogram& wait =
+                telemetry::Registry::instance().histogram(
+                    "jcache_job_queue_wait_seconds",
+                    "Queue sojourn of one job, admission to dequeue");
+            wait.observe(sojourn_seconds);
+        }
+        if (telemetry::tracing())
             telemetry::recordSpan("job.queue_wait", "service",
-                                  job.submitted, Clock::now());
+                                  job.submitted, now);
+
+        // The controller samples every dequeue (both modes); the
+        // deadline verdict overrides its shed because a lapsed job
+        // is dead work no matter how the queue is doing.
+        bool codel_shed = admission_.shouldShed(
+            sojourn_seconds, queued_behind, now);
+        if (job.deadline.time_since_epoch().count() != 0 &&
+            now >= job.deadline) {
+            shedAtDequeue(job, "deadline_exceeded", 0,
+                          sojourn_seconds * 1000.0);
+            continue;
+        }
+        if (codel_shed) {
+            // The CoDel control law: consecutive sheds invite retries
+            // back progressively sooner instead of piling everyone
+            // onto the full nominal back-off.
+            double scale =
+                1.0 /
+                std::sqrt(static_cast<double>(
+                    std::max<std::uint64_t>(1, admission_.dropCount())));
+            shedAtDequeue(job, "busy", retryAfterMillis(scale),
+                          sojourn_seconds * 1000.0);
+            continue;
         }
         if (JCACHE_FAULT("service.delay")) {
             // Chaos/regression hook: make this job observably slow so
@@ -203,6 +327,30 @@ Service::schedulerLoop()
 }
 
 void
+Service::shedAtDequeue(Job& job, const std::string& code,
+                       unsigned retry_after_millis,
+                       double waited_millis)
+{
+    job.outcome->shedCode = code;
+    job.outcome->retryAfterMillis = retry_after_millis;
+    job.outcome->waitedMillis = waited_millis;
+    bool deadline = code == "deadline_exceeded";
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        if (deadline)
+            ++shedDeadline_;
+        else
+            ++shedCodel_;
+    }
+    countShed(deadline ? "deadline" : "codel");
+    {
+        std::lock_guard<std::mutex> lock(*job.done_mutex);
+        *job.done = true;
+    }
+    job.done_cv->notify_one();
+}
+
+void
 Service::recordJobTiming(double job_seconds,
                          const sim::SweepReport& report)
 {
@@ -213,7 +361,8 @@ Service::recordJobTiming(double job_seconds,
 
 bool
 Service::submitAndWait(std::function<std::string()> work,
-                       JobOutcome& outcome)
+                       JobOutcome& outcome,
+                       std::chrono::steady_clock::time_point deadline)
 {
     std::mutex done_mutex;
     std::condition_variable done_cv;
@@ -223,14 +372,7 @@ Service::submitAndWait(std::function<std::string()> work,
         std::lock_guard<std::mutex> lock(queue_mutex_);
         if (queue_.size() >= config_.queueCapacity ||
             JCACHE_FAULT("service.admit")) {
-            if (telemetry::armed()) {
-                static telemetry::Counter& shed =
-                    telemetry::Registry::instance().counter(
-                        "jcache_jobs_shed_total",
-                        "Jobs rejected busy (queue full or injected "
-                        "overload)");
-                shed.inc();
-            }
+            countShed("queue_cap");
             std::lock_guard<std::mutex> stats_lock(stats_mutex_);
             ++rejectedBusy_;
             return false;
@@ -241,8 +383,8 @@ Service::submitAndWait(std::function<std::string()> work,
         job.done_mutex = &done_mutex;
         job.done_cv = &done_cv;
         job.done = &done;
-        if (telemetry::tracing())
-            job.submitted = Clock::now();
+        job.submitted = Clock::now();
+        job.deadline = deadline;
         queue_.push_back(std::move(job));
     }
     queue_cv_.notify_one();
@@ -302,6 +444,12 @@ Service::queueDepth() const
 ServiceSnapshot
 Service::snapshot() const
 {
+    // One consistent view for stats, health and the metrics scrape:
+    // each subsystem is sampled through its own lock (ResultCache,
+    // ResultStore and the histograms are internally synchronized),
+    // and every stats_mutex_-guarded counter is read under a single
+    // acquisition, so a scrape never mixes counters from before and
+    // after a concurrent job's accounting.
     ServiceSnapshot snap;
     snap.cache = cache_.stats();
     if (store_) {
@@ -311,12 +459,32 @@ Service::snapshot() const
     snap.queueDepth = queueDepth();
     snap.queueCapacity = config_.queueCapacity;
     snap.jobWallP50Seconds = jobWall_.percentile(50.0);
+    snap.jobWallP90Seconds = jobWall_.percentile(90.0);
+    snap.jobWallP99Seconds = jobWall_.percentile(99.0);
+    snap.jobWallMaxSeconds = jobWall_.max();
+    snap.queueWaitP50Seconds = queueWait_.percentile(50.0);
+    snap.queueWaitP99Seconds = queueWait_.percentile(99.0);
+    snap.queueWaitMaxSeconds = queueWait_.max();
+    snap.admissionMode = admission_.config().mode;
+    snap.admissionTargetMillis = admission_.config().targetMillis;
+    snap.admissionIntervalMillis = admission_.config().intervalMillis;
+    snap.admission = admission_.state();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     snap.requests = requests_;
+    snap.runRequests = runRequests_;
+    snap.sweepRequests = sweepRequests_;
+    snap.uploadRequests = uploadRequests_;
+    snap.statsRequests = statsRequests_;
+    snap.healthRequests = healthRequests_;
+    snap.pingRequests = pingRequests_;
     snap.errors = errors_;
     snap.protocolErrors = protocolErrors_;
     snap.rejectedBusy = rejectedBusy_;
+    snap.shedCodel = shedCodel_;
+    snap.shedDeadline = shedDeadline_;
     snap.jobsExecuted = jobsExecuted_;
+    snap.jobBusySeconds = jobBusySeconds_;
+    snap.jobGridSeconds = jobGridSeconds_;
     snap.uptimeSeconds =
         std::chrono::duration<double>(Clock::now() - start_).count();
     return snap;
@@ -473,6 +641,7 @@ std::string
 Service::handleRun(const JsonValue& request,
                    const std::string& request_id)
 {
+    Clock::time_point received = Clock::now();
     std::string workload = request.getString("workload");
     fatalIf(workload.empty(), "run request needs a 'workload'");
     core::CacheConfig config =
@@ -490,6 +659,10 @@ Service::handleRun(const JsonValue& request,
         ctx, identityOf(workload), canonicalConfigKey(config), flush);
     if (auto hit = cacheLookup(digest))
         return okResponse("run", digest, true, *hit, request_id);
+
+    RequestDeadline deadline = parseDeadline(request, received);
+    if (deadline.expired)
+        return shedExpiredAtAdmission(request_id);
 
     JobOutcome outcome;
     bool admitted = submitAndWait(
@@ -515,22 +688,15 @@ Service::handleRun(const JsonValue& request,
             json.endObject();
             return oss.str();
         },
-        outcome);
-    if (!admitted)
-        return busyResponse(retryAfterMillis(), request_id);
-    if (!outcome.error.empty())
-        return errorResponse("bad_request", outcome.error,
-                             request_id);
-
-    cacheInsert(digest, outcome.payload);
-    return okResponse("run", digest, false, outcome.payload,
-                      request_id);
+        outcome, deadline.at);
+    return jobResponse(admitted, outcome, "run", digest, request_id);
 }
 
 std::string
 Service::handleSweep(const JsonValue& request,
                      const std::string& request_id)
 {
+    Clock::time_point received = Clock::now();
     std::string workload = request.getString("workload");
     fatalIf(workload.empty(), "sweep request needs a 'workload'");
     std::string axis = request.getString("axis");
@@ -551,6 +717,10 @@ Service::handleSweep(const JsonValue& request,
         ctx, identityOf(workload), axis, canonicalConfigKey(base));
     if (auto hit = cacheLookup(digest))
         return okResponse("sweep", digest, true, *hit, request_id);
+
+    RequestDeadline deadline = parseDeadline(request, received);
+    if (deadline.expired)
+        return shedExpiredAtAdmission(request_id);
 
     JobOutcome outcome;
     bool admitted = submitAndWait(
@@ -591,16 +761,9 @@ Service::handleSweep(const JsonValue& request,
             json.endObject();
             return oss.str();
         },
-        outcome);
-    if (!admitted)
-        return busyResponse(retryAfterMillis(), request_id);
-    if (!outcome.error.empty())
-        return errorResponse("bad_request", outcome.error,
-                             request_id);
-
-    cacheInsert(digest, outcome.payload);
-    return okResponse("sweep", digest, false, outcome.payload,
-                      request_id);
+        outcome, deadline.at);
+    return jobResponse(admitted, outcome, "sweep", digest,
+                       request_id);
 }
 
 namespace
@@ -633,6 +796,7 @@ std::string
 Service::handleUpload(const JsonValue& request,
                       const std::string& request_id)
 {
+    Clock::time_point received = Clock::now();
     std::string body = request.getString("trace");
     fatalIf(body.empty(), "upload request needs a 'trace' body");
     std::string encoding = request.getString("encoding");
@@ -672,6 +836,10 @@ Service::handleUpload(const JsonValue& request,
                          canonicalConfigKey(config), flush);
     if (auto hit = cacheLookup(digest))
         return okResponse("upload", digest, true, *hit, request_id);
+
+    RequestDeadline deadline = parseDeadline(request, received);
+    if (deadline.expired)
+        return shedExpiredAtAdmission(request_id);
 
     trace::Trace trace;
     try {
@@ -713,16 +881,9 @@ Service::handleUpload(const JsonValue& request,
             json.endObject();
             return oss.str();
         },
-        outcome);
-    if (!admitted)
-        return busyResponse(retryAfterMillis(), request_id);
-    if (!outcome.error.empty())
-        return errorResponse("bad_request", outcome.error,
-                             request_id);
-
-    cacheInsert(digest, outcome.payload);
-    return okResponse("upload", digest, false, outcome.payload,
-                      request_id);
+        outcome, deadline.at);
+    return jobResponse(admitted, outcome, "upload", digest,
+                       request_id);
 }
 
 std::string
@@ -763,7 +924,7 @@ Service::handleShutdown(const std::string& request_id)
 }
 
 unsigned
-Service::retryAfterMillis() const
+Service::retryAfterMillis(double scale) const
 {
     std::size_t depth = queueDepth();
     double p50_seconds = jobWall_.percentile(50.0);
@@ -773,6 +934,18 @@ Service::retryAfterMillis() const
         ? static_cast<double>(depth == 0 ? 1 : depth) * p50_seconds *
               1000.0
         : 200.0;
+    if (scale > 0.0)
+        hint_millis *= scale;
+    // Deterministic ±25% jitter, one draw per shed: identical hints
+    // would march every shed client back in lockstep, re-colliding
+    // at exactly the moment the queue was full last time.
+    std::uint64_t draw = mixJitter(
+        config_.retryJitterSeed +
+        jitterSeq_.fetch_add(1, std::memory_order_relaxed));
+    double fraction =
+        0.75 + 0.5 * (static_cast<double>(draw >> 11) /
+                      static_cast<double>(1ull << 53));
+    hint_millis *= fraction;
     if (hint_millis < 50.0)
         hint_millis = 50.0;
     if (hint_millis > 5000.0)
@@ -781,38 +954,72 @@ Service::retryAfterMillis() const
 }
 
 std::string
-Service::healthPayload() const
+Service::shedExpiredAtAdmission(const std::string& request_id)
 {
-    ResultCacheStats cache_stats = cache_.stats();
-    std::size_t depth = queueDepth();
-    bool accepting = !shutdown_.load();
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++shedDeadline_;
+    }
+    countShed("deadline");
+    return deadlineResponse(0.0, request_id);
+}
 
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    double uptime =
-        std::chrono::duration<double>(Clock::now() - start_).count();
+std::string
+Service::jobResponse(bool admitted, const JobOutcome& outcome,
+                     const std::string& type,
+                     const std::string& digest,
+                     const std::string& request_id)
+{
+    if (!admitted)
+        return busyResponse(retryAfterMillis(), request_id);
+    if (outcome.shedCode == "deadline_exceeded")
+        return deadlineResponse(outcome.waitedMillis, request_id);
+    if (!outcome.shedCode.empty())
+        return busyResponse(outcome.retryAfterMillis, request_id);
+    if (!outcome.error.empty())
+        return errorResponse("bad_request", outcome.error,
+                             request_id);
+    cacheInsert(digest, outcome.payload);
+    return okResponse(type, digest, false, outcome.payload,
+                      request_id);
+}
+
+std::string
+Service::healthPayload(const ServiceSnapshot& snap) const
+{
+    bool accepting = !shutdown_.load();
 
     std::ostringstream oss;
     stats::JsonWriter json(oss);
     json.beginObject();
     json.field("accepting", accepting);
-    json.field("uptime_seconds", uptime);
+    json.field("uptime_seconds", snap.uptimeSeconds);
     json.beginObject("queue");
-    json.field("depth", static_cast<double>(depth));
+    json.field("depth", static_cast<double>(snap.queueDepth));
     json.field("capacity",
-               static_cast<double>(config_.queueCapacity));
-    json.field("shed", static_cast<double>(rejectedBusy_));
+               static_cast<double>(snap.queueCapacity));
+    json.field("shed", static_cast<double>(snap.shedTotal()));
+    json.field("shed_busy",
+               static_cast<double>(snap.rejectedBusy));
+    json.field("shed_codel", static_cast<double>(snap.shedCodel));
+    json.field("shed_deadline",
+               static_cast<double>(snap.shedDeadline));
+    json.endObject();
+    json.beginObject("admission");
+    json.field("mode", name(snap.admissionMode));
+    json.field("dropping", snap.admission.dropping);
     json.endObject();
     json.beginObject("result_cache");
-    json.field("entries", static_cast<double>(cache_stats.entries));
-    json.field("hits", static_cast<double>(cache_stats.hits));
-    json.field("misses", static_cast<double>(cache_stats.misses));
+    json.field("entries", static_cast<double>(snap.cache.entries));
+    json.field("hits", static_cast<double>(snap.cache.hits));
+    json.field("misses", static_cast<double>(snap.cache.misses));
     json.field("evictions",
-               static_cast<double>(cache_stats.evictions));
+               static_cast<double>(snap.cache.evictions));
     json.endObject();
     json.field("jobs_executed",
-               static_cast<double>(jobsExecuted_));
+               static_cast<double>(snap.jobsExecuted));
     json.field("protocol_errors",
-               static_cast<double>(protocolErrors_));
+               static_cast<double>(snap.protocolErrors));
     json.endObject();
     return oss.str();
 }
@@ -824,98 +1031,114 @@ Service::handleHealth(const std::string& request_id)
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++healthRequests_;
     }
-    return okResponse("health", "", false, healthPayload(),
+    return okResponse("health", "", false, healthPayload(snapshot()),
                       request_id);
 }
 
 std::string
-Service::statsPayload() const
+Service::statsPayload(const ServiceSnapshot& snap) const
 {
-    ResultCacheStats cache_stats = cache_.stats();
-    std::size_t depth = queueDepth();
-
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    double uptime =
-        std::chrono::duration<double>(Clock::now() - start_).count();
-
     std::ostringstream oss;
     stats::JsonWriter json(oss);
     json.beginObject();
     json.field("version", std::string(kVersion));
     json.field("protocol", static_cast<double>(kProtocolVersion));
     json.field("api_version", std::string(kApiVersion));
-    json.field("uptime_seconds", uptime);
+    json.field("uptime_seconds", snap.uptimeSeconds);
     json.beginObject("requests");
-    json.field("total", static_cast<double>(requests_));
-    json.field("run", static_cast<double>(runRequests_));
-    json.field("sweep", static_cast<double>(sweepRequests_));
-    json.field("upload", static_cast<double>(uploadRequests_));
-    json.field("stats", static_cast<double>(statsRequests_));
-    json.field("health", static_cast<double>(healthRequests_));
-    json.field("ping", static_cast<double>(pingRequests_));
-    json.field("errors", static_cast<double>(errors_));
+    json.field("total", static_cast<double>(snap.requests));
+    json.field("run", static_cast<double>(snap.runRequests));
+    json.field("sweep", static_cast<double>(snap.sweepRequests));
+    json.field("upload", static_cast<double>(snap.uploadRequests));
+    json.field("stats", static_cast<double>(snap.statsRequests));
+    json.field("health", static_cast<double>(snap.healthRequests));
+    json.field("ping", static_cast<double>(snap.pingRequests));
+    json.field("errors", static_cast<double>(snap.errors));
     json.field("protocol_errors",
-               static_cast<double>(protocolErrors_));
+               static_cast<double>(snap.protocolErrors));
     json.endObject();
     json.beginObject("result_cache");
-    json.field("entries", static_cast<double>(cache_stats.entries));
-    json.field("capacity", static_cast<double>(cache_stats.capacity));
-    json.field("hits", static_cast<double>(cache_stats.hits));
-    json.field("misses", static_cast<double>(cache_stats.misses));
+    json.field("entries", static_cast<double>(snap.cache.entries));
+    json.field("capacity",
+               static_cast<double>(snap.cache.capacity));
+    json.field("hits", static_cast<double>(snap.cache.hits));
+    json.field("misses", static_cast<double>(snap.cache.misses));
     json.field("evictions",
-               static_cast<double>(cache_stats.evictions));
-    json.field("hit_rate", cache_stats.hitRate());
+               static_cast<double>(snap.cache.evictions));
+    json.field("hit_rate", snap.cache.hitRate());
     json.endObject();
     json.beginObject("store");
-    json.field("enabled", store_ != nullptr);
-    if (store_) {
-        store::StoreStats store_stats = store_->stats();
+    json.field("enabled", snap.storeEnabled);
+    if (snap.storeEnabled) {
         json.field("dir", config_.storeDir);
         json.field("entries",
-                   static_cast<double>(store_stats.entries));
+                   static_cast<double>(snap.store.entries));
         json.field("occupancy_bytes",
-                   static_cast<double>(store_stats.occupancyBytes));
+                   static_cast<double>(snap.store.occupancyBytes));
         json.field("cap_bytes",
-                   static_cast<double>(store_stats.capBytes));
-        json.field("hits", static_cast<double>(store_stats.hits));
+                   static_cast<double>(snap.store.capBytes));
+        json.field("hits", static_cast<double>(snap.store.hits));
         json.field("misses",
-                   static_cast<double>(store_stats.misses));
-        json.field("hit_rate", store_stats.hitRate());
+                   static_cast<double>(snap.store.misses));
+        json.field("hit_rate", snap.store.hitRate());
         json.field("evictions",
-                   static_cast<double>(store_stats.evictions));
+                   static_cast<double>(snap.store.evictions));
         json.field("put_bytes",
-                   static_cast<double>(store_stats.putBytes));
+                   static_cast<double>(snap.store.putBytes));
         json.field("torn_blobs",
-                   static_cast<double>(store_stats.tornBlobs));
+                   static_cast<double>(snap.store.tornBlobs));
         json.field("torn_index",
-                   static_cast<double>(store_stats.tornIndex));
+                   static_cast<double>(snap.store.tornIndex));
     }
     json.endObject();
     json.beginObject("queue");
-    json.field("depth", static_cast<double>(depth));
+    json.field("depth", static_cast<double>(snap.queueDepth));
     json.field("capacity",
-               static_cast<double>(config_.queueCapacity));
+               static_cast<double>(snap.queueCapacity));
     json.field("rejected_busy",
-               static_cast<double>(rejectedBusy_));
+               static_cast<double>(snap.rejectedBusy));
+    json.field("shed_codel", static_cast<double>(snap.shedCodel));
+    json.field("shed_deadline",
+               static_cast<double>(snap.shedDeadline));
+    json.field("shed_total", static_cast<double>(snap.shedTotal()));
+    json.beginObject("wait_seconds");
+    json.field("p50", snap.queueWaitP50Seconds);
+    json.field("p99", snap.queueWaitP99Seconds);
+    json.field("max", snap.queueWaitMaxSeconds);
+    json.endObject();
+    json.endObject();
+    json.beginObject("admission");
+    json.field("mode", name(snap.admissionMode));
+    json.field("target_ms", snap.admissionTargetMillis);
+    json.field("interval_ms", snap.admissionIntervalMillis);
+    json.field("dropping", snap.admission.dropping);
+    json.field("drop_count",
+               static_cast<double>(snap.admission.dropCount));
+    json.field("dropped_total",
+               static_cast<double>(snap.admission.totalDropped));
+    json.field("window_p50_ms", snap.admission.windowP50Millis);
+    json.field("window_samples",
+               static_cast<double>(snap.admission.windowSamples));
     json.endObject();
     json.beginObject("jobs");
-    json.field("executed", static_cast<double>(jobsExecuted_));
+    json.field("executed", static_cast<double>(snap.jobsExecuted));
     json.field("executor_threads",
                static_cast<double>(executorThreads_));
     json.field("engine", sim::name(config_.engine));
-    json.field("busy_seconds", jobBusySeconds_);
-    json.field("grid_seconds", jobGridSeconds_);
+    json.field("busy_seconds", snap.jobBusySeconds);
+    json.field("grid_seconds", snap.jobGridSeconds);
     double capacity_seconds =
-        jobGridSeconds_ * executorThreads_;
+        snap.jobGridSeconds * executorThreads_;
     json.field("utilization",
                capacity_seconds > 0.0
-                   ? std::min(1.0, jobBusySeconds_ / capacity_seconds)
+                   ? std::min(1.0,
+                              snap.jobBusySeconds / capacity_seconds)
                    : 0.0);
     json.beginObject("wall_seconds");
-    json.field("p50", jobWall_.percentile(50.0));
-    json.field("p90", jobWall_.percentile(90.0));
-    json.field("p99", jobWall_.percentile(99.0));
-    json.field("max", jobWall_.max());
+    json.field("p50", snap.jobWallP50Seconds);
+    json.field("p90", snap.jobWallP90Seconds);
+    json.field("p99", snap.jobWallP99Seconds);
+    json.field("max", snap.jobWallMaxSeconds);
     json.endObject();
     json.endObject();
     json.endObject();
@@ -929,7 +1152,7 @@ Service::handleStats(const std::string& request_id)
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++statsRequests_;
     }
-    return okResponse("stats", "", false, statsPayload(),
+    return okResponse("stats", "", false, statsPayload(snapshot()),
                       request_id);
 }
 

@@ -25,9 +25,16 @@
  * response is a JSON object with an "ok" field, errors carry a
  * machine-readable "code", and a request's "request_id" (if any) is
  * echoed back so retrying clients can correlate responses.  Overload
- * is load-shed, never queued without bound: a `busy` error carries a
- * `retry_after_ms` hint, and the `health` request reports queue
- * depth, shed count and cache stats for monitoring.
+ * is load-shed, never queued without bound: a full queue answers
+ * `busy` with a jittered `retry_after_ms` hint, the CoDel-style
+ * admission controller (service/admission.hh) sheds at dequeue when
+ * median sojourn stays above target, a request's `deadline_ms`
+ * budget that lapses in the queue answers `deadline_exceeded`
+ * instead of stale work, and the `health` request reports queue
+ * depth, shed counts and cache stats for monitoring.  Cache and
+ * store hits are served even while the queue is shedding: lookup
+ * happens before admission, so degradation under overload is
+ * graceful for repeated work.
  */
 
 #ifndef JCACHE_SERVICE_SERVICE_HH
@@ -47,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/admission.hh"
 #include "service/result_cache.hh"
 #include "sim/engine.hh"
 #include "sim/sweeps.hh"
@@ -67,10 +75,33 @@ class JsonValue;
 struct ServiceSnapshot
 {
     std::uint64_t requests = 0;
+    std::uint64_t runRequests = 0;
+    std::uint64_t sweepRequests = 0;
+    std::uint64_t uploadRequests = 0;
+    std::uint64_t statsRequests = 0;
+    std::uint64_t healthRequests = 0;
+    std::uint64_t pingRequests = 0;
     std::uint64_t errors = 0;
     std::uint64_t protocolErrors = 0;
+
+    /** Sheds at admission: queue at capacity (or injected). */
     std::uint64_t rejectedBusy = 0;
+
+    /** Sheds at dequeue by the CoDel controller. */
+    std::uint64_t shedCodel = 0;
+
+    /** Sheds at dequeue because the client deadline had passed. */
+    std::uint64_t shedDeadline = 0;
+
+    /** Every shed, regardless of reason. */
+    std::uint64_t shedTotal() const
+    {
+        return rejectedBusy + shedCodel + shedDeadline;
+    }
+
     std::uint64_t jobsExecuted = 0;
+    double jobBusySeconds = 0.0;
+    double jobGridSeconds = 0.0;
     std::size_t queueDepth = 0;
     std::size_t queueCapacity = 0;
     ResultCacheStats cache;
@@ -83,8 +114,22 @@ struct ServiceSnapshot
 
     double uptimeSeconds = 0.0;
 
-    /** Median job wall time, from the job wall-time histogram. */
+    /** Job wall-time percentiles, from the job histogram. */
     double jobWallP50Seconds = 0.0;
+    double jobWallP90Seconds = 0.0;
+    double jobWallP99Seconds = 0.0;
+    double jobWallMaxSeconds = 0.0;
+
+    /** Queue-sojourn percentiles (admission -> dequeue). */
+    double queueWaitP50Seconds = 0.0;
+    double queueWaitP99Seconds = 0.0;
+    double queueWaitMaxSeconds = 0.0;
+
+    /** Admission-controller view (mode + live state). */
+    AdmissionMode admissionMode = AdmissionMode::Codel;
+    double admissionTargetMillis = 0.0;
+    double admissionIntervalMillis = 0.0;
+    AdmissionState admission;
 };
 
 /** Tunables of one Service instance. */
@@ -126,6 +171,21 @@ struct ServiceConfig
      * production workloads).  Not owned; must outlive the Service.
      */
     const sim::TraceSet* traces = nullptr;
+
+    /**
+     * Admission policy (jcached --admission and friends): the fixed
+     * queue cap always applies; in Codel mode (the default) the
+     * sojourn-time controller additionally sheds at dequeue.  See
+     * service/admission.hh.
+     */
+    AdmissionConfig admission;
+
+    /**
+     * Seed of the deterministic retry_after_ms jitter.  Two sheds
+     * draw distinct hints from one seeded sequence, so a herd of
+     * shed clients spreads out instead of returning in lockstep.
+     */
+    std::uint64_t retryJitterSeed = 42;
 };
 
 /**
@@ -172,6 +232,19 @@ class Service
     {
         std::string payload;
         std::string error;
+
+        /**
+         * Shed reason decided at dequeue: empty when the job ran,
+         * "busy" for a CoDel shed, "deadline_exceeded" when the
+         * client's budget lapsed in the queue.
+         */
+        std::string shedCode;
+
+        /** Back-off hint accompanying a "busy" shedCode. */
+        unsigned retryAfterMillis = 0;
+
+        /** Time the job spent queued before being shed. */
+        double waitedMillis = 0.0;
     };
 
     /** One queued simulation: fills `outcome`, then signals `done`. */
@@ -184,10 +257,17 @@ class Service
         bool* done = nullptr;
 
         /**
-         * When the submitter enqueued the job; sampled only while a
-         * trace capture is active, for the queue-wait span.
+         * When the submitter enqueued the job; always sampled — the
+         * scheduler derives the sojourn (and the CoDel decision)
+         * from it, not just the queue-wait span.
          */
         std::chrono::steady_clock::time_point submitted{};
+
+        /**
+         * Absolute instant the client's deadline_ms budget expires;
+         * zero when the request carried no deadline.
+         */
+        std::chrono::steady_clock::time_point deadline{};
     };
 
     std::string handleRun(const JsonValue& request,
@@ -203,17 +283,32 @@ class Service
 
     /**
      * Push `work` through the bounded queue and wait for completion.
-     * Returns false when the job was shed (queue full or injected
-     * overload).
+     * Returns false when the job was shed at admission (queue full
+     * or injected overload); a dequeue-time shed still returns true
+     * with outcome.shedCode set.  `deadline` (zero = none) rides to
+     * the scheduler for the expiry check.
      */
     bool submitAndWait(std::function<std::string()> work,
-                       JobOutcome& outcome);
+                       JobOutcome& outcome,
+                       std::chrono::steady_clock::time_point deadline =
+                           {});
 
     /**
      * Back-off hint for a shed job, in milliseconds: queue depth
-     * times the median job wall time, clamped to [50, 5000].
+     * times the median job wall time, scaled by `scale` (the CoDel
+     * control law passes 1/sqrt(dropCount)), jittered ±25% from a
+     * seeded deterministic sequence, clamped to [50, 5000].
      */
-    unsigned retryAfterMillis() const;
+    unsigned retryAfterMillis(double scale = 1.0) const;
+
+    /** Answer a request whose deadline lapsed before queueing. */
+    std::string shedExpiredAtAdmission(const std::string& request_id);
+
+    /** Resolve outcome/busy/shed into the response for a handler. */
+    std::string jobResponse(bool admitted, const JobOutcome& outcome,
+                            const std::string& type,
+                            const std::string& digest,
+                            const std::string& request_id);
 
     /**
      * Two-tier result lookup: memory first, then the persistent
@@ -230,10 +325,18 @@ class Service
     const std::string& identityOf(const std::string& workload) const;
 
     void schedulerLoop();
+
+    /** Answer a dequeued job with a shed instead of running it. */
+    void shedAtDequeue(Job& job, const std::string& code,
+                       unsigned retry_after_millis,
+                       double waited_millis);
+
     void recordJobTiming(double job_seconds,
                          const sim::SweepReport& report);
-    std::string statsPayload() const;
-    std::string healthPayload() const;
+
+    /** Stats/health payloads, both built from one snapshot(). */
+    std::string statsPayload(const ServiceSnapshot& snap) const;
+    std::string healthPayload(const ServiceSnapshot& snap) const;
 
     ServiceConfig config_;
     const sim::TraceSet& traces_;
@@ -271,9 +374,20 @@ class Service
     std::uint64_t errors_ = 0;
     std::uint64_t protocolErrors_ = 0;
     std::uint64_t rejectedBusy_ = 0;
+    std::uint64_t shedCodel_ = 0;
+    std::uint64_t shedDeadline_ = 0;
     std::uint64_t jobsExecuted_ = 0;
     double jobBusySeconds_ = 0.0;
     double jobGridSeconds_ = 0.0;
+
+    /** The sojourn-time decision box (see admission.hh). */
+    AdmissionController admission_;
+
+    /**
+     * Deterministic jitter sequence for retry_after_ms: each shed
+     * consumes one draw, so concurrent sheds get distinct hints.
+     */
+    mutable std::atomic<std::uint64_t> jitterSeq_{0};
 
     /**
      * Job wall times in a fixed-bucket histogram: O(buckets) memory
@@ -283,6 +397,13 @@ class Service
      * not a telemetry exporter is attached.
      */
     telemetry::Histogram jobWall_;
+
+    /**
+     * Queue-sojourn times (admission -> dequeue), same fixed-bucket
+     * discipline as jobWall_; feeds stats.queue.wait_seconds and the
+     * scrape-time sojourn gauges.
+     */
+    telemetry::Histogram queueWait_;
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -10,8 +10,13 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -565,6 +570,246 @@ TEST(Service, StoreServesResultsAcrossInstances)
     EXPECT_GE(store.getNumber("hits", 0), 1.0);
     EXPECT_GE(store.getNumber("entries", 0), 1.0);
     fs::remove_all(dir);
+}
+
+TEST(Service, ShedRetryHintsAreJittered)
+{
+    jcache::fault::configure("service.admit=always");
+    Service service(testConfig());
+    std::vector<double> hints;
+    for (int i = 0; i < 5; ++i) {
+        JsonValue v = parseResponse(service.handle(
+            "{\"type\": \"run\", \"workload\": \"ccom\"}"));
+        EXPECT_EQ(v.getString("code"), "busy");
+        double hint = v.getNumber("retry_after_ms", -1.0);
+        EXPECT_GE(hint, 50.0);
+        EXPECT_LE(hint, 5000.0);
+        hints.push_back(hint);
+    }
+    // Identical hints synchronize every backed-off client into a
+    // retry stampede; the jitter must spread them out.
+    std::set<double> distinct(hints.begin(), hints.end());
+    EXPECT_GT(distinct.size(), 1u);
+
+    // The jitter is seeded, not random: a service configured the
+    // same way deals the identical hint sequence again.
+    Service replay(testConfig());
+    for (double expected : hints) {
+        JsonValue v = parseResponse(replay.handle(
+            "{\"type\": \"run\", \"workload\": \"ccom\"}"));
+        EXPECT_DOUBLE_EQ(v.getNumber("retry_after_ms", -1.0),
+                         expected);
+    }
+    jcache::fault::reset();
+}
+
+TEST(Service, ExpiredDeadlineIsShedBeforeTheQueue)
+{
+    Service service(testConfig());
+    JsonValue v = parseResponse(service.handle(
+        "{\"type\": \"run\", \"workload\": \"ccom\","
+        " \"deadline_ms\": 0, \"request_id\": \"dl-1\"}"));
+    EXPECT_FALSE(v.getBool("ok", true));
+    EXPECT_EQ(v.getString("code"), "deadline_exceeded");
+    EXPECT_EQ(v.getString("request_id"), "dl-1");
+    EXPECT_NE(v.getString("error"), "");
+    EXPECT_DOUBLE_EQ(v.getNumber("waited_ms", -1.0), 0.0);
+
+    // The taxonomy separates deadline sheds from busy sheds, in both
+    // health and stats.
+    JsonValue health =
+        parseResponse(service.handle("{\"type\": \"health\"}"));
+    const JsonValue& hq = health.get("payload").get("queue");
+    EXPECT_DOUBLE_EQ(hq.getNumber("shed_deadline", 0), 1.0);
+    EXPECT_DOUBLE_EQ(hq.getNumber("shed_busy", -1), 0.0);
+    EXPECT_DOUBLE_EQ(hq.getNumber("shed", 0), 1.0);
+    JsonValue stats =
+        parseResponse(service.handle("{\"type\": \"stats\"}"));
+    const JsonValue& sq = stats.get("payload").get("queue");
+    EXPECT_DOUBLE_EQ(sq.getNumber("shed_deadline", 0), 1.0);
+    EXPECT_DOUBLE_EQ(sq.getNumber("rejected_busy", -1), 0.0);
+}
+
+TEST(Service, CachedResultsServeUnderAnExpiredDeadline)
+{
+    Service service(testConfig());
+    JsonValue first =
+        parseResponse(service.handle(runRequest("ccom", 4)));
+    ASSERT_TRUE(first.getBool("ok", false));
+
+    // Graceful degradation: the cache lookup runs before the
+    // deadline check, so a result that needs no work is returned
+    // even when the budget is already gone.
+    JsonValue hit = parseResponse(service.handle(
+        "{\"type\": \"run\", \"workload\": \"ccom\", \"flush\": true,"
+        " \"deadline_ms\": 0,"
+        " \"config\": {\"size_bytes\": 4096}}"));
+    EXPECT_TRUE(hit.getBool("ok", false)) << hit.getString("error");
+    EXPECT_TRUE(hit.getBool("cached", false));
+}
+
+TEST(Service, QueuedDeadlineExpiryIsShedAtDequeue)
+{
+    // One slow job (service.delay sleeps 300ms) holds the single
+    // executor; a second request with a 50ms budget must be shed at
+    // dequeue with the time it spent waiting.
+    jcache::fault::configure("service.delay=always");
+    Service service(testConfig());
+    std::thread slow([&] {
+        JsonValue v =
+            parseResponse(service.handle(runRequest("ccom", 4)));
+        EXPECT_TRUE(v.getBool("ok", false)) << v.getString("error");
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    JsonValue v = parseResponse(service.handle(
+        "{\"type\": \"run\", \"workload\": \"ccom\","
+        " \"deadline_ms\": 50, \"request_id\": \"dl-2\","
+        " \"config\": {\"size_bytes\": 8192}}"));
+    slow.join();
+    jcache::fault::reset();
+
+    EXPECT_FALSE(v.getBool("ok", true));
+    EXPECT_EQ(v.getString("code"), "deadline_exceeded");
+    EXPECT_EQ(v.getString("request_id"), "dl-2");
+    EXPECT_GT(v.getNumber("waited_ms", 0.0), 50.0);
+
+    JsonValue health =
+        parseResponse(service.handle("{\"type\": \"health\"}"));
+    EXPECT_DOUBLE_EQ(health.get("payload").get("queue").getNumber(
+                         "shed_deadline", 0),
+                     1.0);
+}
+
+TEST(Service, CodelShedsTheMiddleOfASustainedBacklog)
+{
+    // Every job sleeps 300ms (service.delay), the sojourn target is
+    // 1ms and the interval 25ms: with four jobs behind one executor
+    // the controller arms on the second dequeue and is dropping by
+    // the third.  The last job never sheds (nothing behind it), so
+    // exactly one of the three waiters bounces.
+    ServiceConfig config = testConfig();
+    config.admission.targetMillis = 1.0;
+    config.admission.intervalMillis = 25.0;
+    jcache::fault::configure("service.delay=always");
+    Service service(config);
+
+    std::thread head([&] { service.handle(runRequest("ccom", 4)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    std::vector<std::string> responses(3);
+    std::vector<std::thread> waiters;
+    for (int i = 0; i < 3; ++i) {
+        waiters.emplace_back([&, i] {
+            responses[i] =
+                service.handle(runRequest("ccom", 8u << i));
+        });
+    }
+    for (std::thread& t : waiters)
+        t.join();
+    head.join();
+    jcache::fault::reset();
+
+    int busy = 0, ok = 0;
+    for (const std::string& text : responses) {
+        JsonValue v = parseResponse(text);
+        if (v.getBool("ok", false)) {
+            ++ok;
+            continue;
+        }
+        EXPECT_EQ(v.getString("code"), "busy");
+        double hint = v.getNumber("retry_after_ms", -1.0);
+        EXPECT_GE(hint, 50.0);
+        EXPECT_LE(hint, 5000.0);
+        ++busy;
+    }
+    EXPECT_EQ(busy, 1);
+    EXPECT_EQ(ok, 2);
+
+    JsonValue stats =
+        parseResponse(service.handle("{\"type\": \"stats\"}"));
+    const JsonValue& payload = stats.get("payload");
+    EXPECT_DOUBLE_EQ(
+        payload.get("queue").getNumber("shed_codel", 0), 1.0);
+    const JsonValue& admission = payload.get("admission");
+    EXPECT_EQ(admission.getString("mode"), "codel");
+    EXPECT_DOUBLE_EQ(admission.getNumber("dropped_total", 0), 1.0);
+    EXPECT_GT(payload.get("queue")
+                  .get("wait_seconds")
+                  .getNumber("max", 0),
+              0.0);
+}
+
+TEST(Service, HealthAnswersWhileTheQueueIsSaturated)
+{
+    // Health and stats never touch the job queue: they must answer
+    // promptly while slow jobs (300ms each) saturate the executor.
+    jcache::fault::configure("service.delay=always");
+    Service service(testConfig());
+    std::vector<std::thread> stuck;
+    for (int i = 0; i < 3; ++i) {
+        stuck.emplace_back([&, i] {
+            service.handle(runRequest("ccom", 4u << i));
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    using StatClock = std::chrono::steady_clock;
+    for (int i = 0; i < 5; ++i) {
+        StatClock::time_point begin = StatClock::now();
+        JsonValue health =
+            parseResponse(service.handle("{\"type\": \"health\"}"));
+        double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                StatClock::now() - begin)
+                .count();
+        EXPECT_TRUE(health.getBool("ok", false));
+        EXPECT_TRUE(
+            health.get("payload").getBool("accepting", false));
+        EXPECT_LT(elapsed_ms, 250.0);
+    }
+    JsonValue stats =
+        parseResponse(service.handle("{\"type\": \"stats\"}"));
+    EXPECT_TRUE(stats.getBool("ok", false));
+
+    for (std::thread& t : stuck)
+        t.join();
+    jcache::fault::reset();
+}
+
+TEST(Service, SnapshotStaysConsistentUnderConcurrentScrapes)
+{
+    // Regression for the scrape-path counter races: stats, health
+    // and snapshot() readers run against live mutators.  The assert
+    // payload is thin — the real check is a clean TSan report.
+    Service service(testConfig());
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&, r] {
+            while (!stop.load()) {
+                if (r == 0) {
+                    JsonValue v = parseResponse(
+                        service.handle("{\"type\": \"stats\"}"));
+                    EXPECT_TRUE(v.getBool("ok", false));
+                } else if (r == 1) {
+                    JsonValue v = parseResponse(
+                        service.handle("{\"type\": \"health\"}"));
+                    EXPECT_TRUE(v.getBool("ok", false));
+                } else {
+                    jcache::service::ServiceSnapshot snap =
+                        service.snapshot();
+                    EXPECT_GE(snap.shedTotal(), snap.shedCodel);
+                }
+            }
+        });
+    }
+    for (int i = 0; i < 6; ++i) {
+        JsonValue v = parseResponse(
+            service.handle(runRequest("ccom", i % 2 ? 4 : 8)));
+        EXPECT_TRUE(v.getBool("ok", false)) << v.getString("error");
+    }
+    stop.store(true);
+    for (std::thread& t : readers)
+        t.join();
 }
 
 TEST(Service, ZeroCacheCapacityAlwaysRecomputes)

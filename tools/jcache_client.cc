@@ -4,8 +4,8 @@
  *
  * Usage:
  *   jcache-client [--host H] [--port N] [--timeout MS] [--verbose]
- *                 [--retry [N]] [--backoff MS] [--version]
- *                 <command> [args]
+ *                 [--retry [N]] [--backoff MS] [--deadline MS]
+ *                 [--version] <command> [args]
  *
  * Commands:
  *   run <workload> [--size KB] [--line B] [--assoc N] [--hit wt|wb]
@@ -40,6 +40,15 @@
  * requests are pure queries, the daemon's result cache is keyed by
  * request content, and every attempt reuses one request id so
  * responses correlate across retries.
+ *
+ * --deadline MS is a *total* wall-clock budget for the logical
+ * request: every attempt sends the remaining budget as the request's
+ * `deadline_ms` (so the daemon sheds work it could not answer in
+ * time), per-attempt socket timeouts shrink to fit, and the retry
+ * loop stops when the budget is spent — retries never exceed it.
+ * Retrying without --deadline is still wall-clock-bounded by a
+ * 60 s default, so a dead daemon fails fast instead of burning
+ * attempts × timeout.
  */
 
 #include <cctype>
@@ -75,8 +84,8 @@ usage()
 {
     std::cerr <<
         "usage: jcache-client [--host H] [--port N] [--timeout MS]\n"
-        "  [--verbose] [--retry [N]] [--backoff MS] [--version]\n"
-        "  <command> [args]\n"
+        "  [--verbose] [--retry [N]] [--backoff MS] [--deadline MS]\n"
+        "  [--version] <command> [args]\n"
         "commands:\n"
         "  run <workload> [--size KB] [--line B] [--assoc N]\n"
         "      [--hit wt|wb] [--miss fow|wv|wa|wi]\n"
@@ -174,11 +183,20 @@ struct Transport
     /** Backoff base; doubles per attempt, capped at kBackoffCap. */
     unsigned backoffMillis = 100;
 
+    /**
+     * Total wall-clock budget of the logical request, in ms; 0 means
+     * none (retrying still falls back to kDefaultRetryWallMillis).
+     */
+    unsigned deadlineMillis = 0;
+
     bool verbose = false;
 };
 
 constexpr unsigned kBackoffCapMillis = 5000;
 constexpr unsigned kDefaultRetryAttempts = 8;
+
+/** Wall-clock cap on retrying when no --deadline was given. */
+constexpr double kDefaultRetryWallMillis = 60000.0;
 
 /**
  * Daemon errors where a retry cannot change the outcome: the request
@@ -225,18 +243,61 @@ tryExchange(const Transport& t, const std::string& request,
  * exits the process once the policy is exhausted.  Reconnects per
  * attempt: a failed read leaves a stream that is no longer
  * frame-aligned.
+ *
+ * `build` produces the request for one attempt from the remaining
+ * deadline budget in ms (0 = no deadline), so every retry tells the
+ * daemon how much time is actually left rather than repeating the
+ * original budget.  The loop is bounded by wall clock as well as by
+ * attempt count: --deadline (or the 60 s retry default) caps total
+ * time including backoff sleeps and connect timeouts.
  */
 std::string
-exchangeWithRetry(const Transport& t, const std::string& request)
+exchangeWithRetry(const Transport& t,
+                  const std::function<std::string(double)>& build)
 {
+    using Clock = std::chrono::steady_clock;
     unsigned attempts = t.attempts == 0 ? 1 : t.attempts;
+    double budget_millis = t.deadlineMillis > 0
+        ? static_cast<double>(t.deadlineMillis)
+        : (attempts > 1 ? kDefaultRetryWallMillis : 0.0);
+    Clock::time_point started = Clock::now();
     std::mt19937_64 jitter_rng(std::random_device{}());
     std::string last_error;
+    unsigned tried = 0;
 
     for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        double remaining_millis = 0.0;
+        if (budget_millis > 0.0) {
+            double elapsed =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - started)
+                    .count();
+            remaining_millis = budget_millis - elapsed;
+            if (remaining_millis <= 0.0) {
+                if (last_error.empty())
+                    last_error = "no attempt fit in the budget";
+                fatal("deadline budget of " +
+                      std::to_string(
+                          static_cast<unsigned>(budget_millis)) +
+                      " ms exhausted after " + std::to_string(tried) +
+                      (tried == 1 ? " attempt: " : " attempts: ") +
+                      last_error);
+            }
+        }
+        Transport attempt_t = t;
+        if (remaining_millis > 0.0 &&
+            remaining_millis <
+                static_cast<double>(attempt_t.timeoutMillis)) {
+            attempt_t.timeoutMillis = static_cast<unsigned>(
+                remaining_millis < 1.0 ? 1.0 : remaining_millis);
+        }
+        std::string request =
+            build(t.deadlineMillis > 0 ? remaining_millis : 0.0);
+        ++tried;
+
         std::string response;
         double server_hint_millis = 0.0;
-        if (tryExchange(t, request, response, last_error)) {
+        if (tryExchange(attempt_t, request, response, last_error)) {
             std::string parse_error;
             service::JsonValue value = service::JsonValue::parse(
                 response, &parse_error);
@@ -247,7 +308,9 @@ exchangeWithRetry(const Transport& t, const std::string& request)
             if (isNonRetryableCode(code))
                 return response;
             // Retryable daemon error: `busy` (with its back-off
-            // hint) or an unanticipated code worth one more try.
+            // hint), `deadline_exceeded` (the remaining budget may
+            // still fit a drained queue) or an unanticipated code
+            // worth one more try.
             last_error = "daemon error [" + code + "]: " +
                          value.getString("error", "unspecified");
             server_hint_millis =
@@ -272,8 +335,21 @@ exchangeWithRetry(const Transport& t, const std::string& request)
         double fraction =
             std::uniform_real_distribution<double>(0.5, 1.5)(
                 jitter_rng);
-        auto sleep_millis =
-            static_cast<unsigned>(nominal * fraction);
+        double sleep_for = nominal * fraction;
+        if (budget_millis > 0.0) {
+            // Never sleep past the budget: the next iteration's
+            // check should fire on time, not late.
+            double elapsed =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - started)
+                    .count();
+            double left = budget_millis - elapsed;
+            if (left <= 0.0)
+                sleep_for = 0.0;
+            else if (sleep_for > left)
+                sleep_for = left;
+        }
+        auto sleep_millis = static_cast<unsigned>(sleep_for);
         if (t.verbose) {
             std::cerr << "attempt " << attempt << "/" << attempts
                       << " failed (" << last_error << "); retrying in "
@@ -282,8 +358,8 @@ exchangeWithRetry(const Transport& t, const std::string& request)
         std::this_thread::sleep_for(
             std::chrono::milliseconds(sleep_millis));
     }
-    fatal(last_error + " (after " + std::to_string(attempts) +
-          (attempts == 1 ? " attempt)" : " attempts)"));
+    fatal(last_error + " (after " + std::to_string(tried) +
+          (tried == 1 ? " attempt)" : " attempts)"));
 }
 
 /** Parse a response and fail the process on `ok: false`. */
@@ -359,16 +435,26 @@ makeRequestId()
     return oss.str();
 }
 
+/** The request preamble every builder starts with. */
+void
+writePreamble(stats::JsonWriter& json, const std::string& type,
+              double deadline_millis)
+{
+    json.field("type", type);
+    json.field("protocol", static_cast<double>(kProtocolVersion));
+    json.field("api_version", std::string(kApiVersion));
+    if (deadline_millis > 0.0)
+        json.field("deadline_ms", deadline_millis);
+}
+
 std::string
 runRequest(const std::string& workload, const RunFlags& flags,
-           const std::string& request_id)
+           const std::string& request_id, double deadline_millis)
 {
     std::ostringstream oss;
     stats::JsonWriter json(oss);
     json.beginObject();
-    json.field("type", "run");
-    json.field("protocol", static_cast<double>(kProtocolVersion));
-    json.field("api_version", std::string(kApiVersion));
+    writePreamble(json, "run", deadline_millis);
     json.field("request_id", request_id);
     json.field("workload", workload);
     json.field("flush", flags.flush);
@@ -380,14 +466,12 @@ runRequest(const std::string& workload, const RunFlags& flags,
 std::string
 sweepRequest(const std::string& workload, const std::string& axis,
              const core::CacheConfig& base,
-             const std::string& request_id)
+             const std::string& request_id, double deadline_millis)
 {
     std::ostringstream oss;
     stats::JsonWriter json(oss);
     json.beginObject();
-    json.field("type", "sweep");
-    json.field("protocol", static_cast<double>(kProtocolVersion));
-    json.field("api_version", std::string(kApiVersion));
+    writePreamble(json, "sweep", deadline_millis);
     json.field("request_id", request_id);
     json.field("workload", workload);
     json.field("axis", axis);
@@ -398,14 +482,13 @@ sweepRequest(const std::string& workload, const std::string& axis,
 
 std::string
 uploadRequest(const std::string& name, const std::string& body,
-              const RunFlags& flags, const std::string& request_id)
+              const RunFlags& flags, const std::string& request_id,
+              double deadline_millis)
 {
     std::ostringstream oss;
     stats::JsonWriter json(oss);
     json.beginObject();
-    json.field("type", "upload");
-    json.field("protocol", static_cast<double>(kProtocolVersion));
-    json.field("api_version", std::string(kApiVersion));
+    writePreamble(json, "upload", deadline_millis);
     json.field("request_id", request_id);
     json.field("name", name);
     json.field("encoding", "text");
@@ -417,14 +500,12 @@ uploadRequest(const std::string& name, const std::string& body,
 }
 
 std::string
-bareRequest(const std::string& type)
+bareRequest(const std::string& type, double deadline_millis = 0.0)
 {
     std::ostringstream oss;
     stats::JsonWriter json(oss);
     json.beginObject();
-    json.field("type", type);
-    json.field("protocol", static_cast<double>(kProtocolVersion));
-    json.field("api_version", std::string(kApiVersion));
+    writePreamble(json, type, deadline_millis);
     json.endObject();
     return oss.str();
 }
@@ -494,6 +575,11 @@ main(int argc, char** argv)
                 std::strtoul(argv[++i], nullptr, 10));
             continue;
         }
+        if (flag == "--deadline" && i + 1 < argc) {
+            transport.deadlineMillis = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            continue;
+        }
         break;
     }
     if (i >= argc)
@@ -520,9 +606,12 @@ main(int argc, char** argv)
             }
             flags.config.validate();
 
+            std::string request_id = makeRequestId();
             std::string response_text = exchangeWithRetry(
-                transport,
-                runRequest(workload, flags, makeRequestId()));
+                transport, [&](double deadline_millis) {
+                    return runRequest(workload, flags, request_id,
+                                      deadline_millis);
+                });
             service::JsonValue response =
                 parseResponse(response_text);
             reportCacheStatus(response, transport.verbose);
@@ -561,9 +650,12 @@ main(int argc, char** argv)
             if (axis.empty() || !service::isSweepMetric(metric))
                 return usage();
 
+            std::string request_id = makeRequestId();
             std::string response_text = exchangeWithRetry(
-                transport,
-                sweepRequest(workload, axis, base, makeRequestId()));
+                transport, [&](double deadline_millis) {
+                    return sweepRequest(workload, axis, base,
+                                        request_id, deadline_millis);
+                });
             service::JsonValue response =
                 parseResponse(response_text);
             reportCacheStatus(response, transport.verbose);
@@ -630,10 +722,14 @@ main(int argc, char** argv)
                           << " encoded bytes) as '" << name << "'\n";
             }
 
+            std::string request_id = makeRequestId();
+            std::string encoded = body.str();
             std::string response_text = exchangeWithRetry(
-                transport,
-                uploadRequest(name, body.str(), flags,
-                              makeRequestId()));
+                transport, [&](double deadline_millis) {
+                    return uploadRequest(name, encoded, flags,
+                                         request_id,
+                                         deadline_millis);
+                });
             service::JsonValue response =
                 parseResponse(response_text);
             reportCacheStatus(response, transport.verbose);
@@ -687,8 +783,10 @@ main(int argc, char** argv)
 
         if (command == "stats" || command == "health" ||
             command == "ping" || command == "shutdown") {
-            std::string response_text =
-                exchangeWithRetry(transport, bareRequest(command));
+            std::string response_text = exchangeWithRetry(
+                transport, [&](double deadline_millis) {
+                    return bareRequest(command, deadline_millis);
+                });
             parseResponse(response_text);
             std::cout << response_text;
             if (response_text.empty() ||

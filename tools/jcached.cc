@@ -6,6 +6,8 @@
  *   jcached [--port N] [--port-file PATH] [--jobs N]
  *           [--engine percell|onepass]
  *           [--queue N] [--cache N] [--timeout MS]
+ *           [--admission codel|queue-cap]
+ *           [--admission-target-ms MS] [--admission-interval-ms MS]
  *           [--store-dir PATH] [--store-cap-bytes N]
  *           [--metrics-port N] [--metrics-port-file PATH]
  *           [--trace-out PATH] [--version]
@@ -20,6 +22,12 @@
  * result cache (docs/STORAGE.md): results survive restarts and are
  * shared with `jcache-sweep --incremental` runs over the same
  * directory.  --store-cap-bytes bounds it (default 256 MiB).
+ *
+ * --admission selects the overload policy (docs/RESILIENCE.md):
+ * `codel` (default) sheds from the queue front when median sojourn
+ * stays above --admission-target-ms for one --admission-interval-ms,
+ * on top of the fixed --queue capacity; `queue-cap` restores the
+ * capacity-only behavior.
  *
  * --metrics-port arms telemetry and serves Prometheus text exposition
  * on a second loopback port (GET /metrics); --trace-out captures
@@ -65,6 +73,8 @@ usage()
         "usage: jcached [--port N] [--port-file PATH] [--jobs N]\n"
         "  [--engine percell|onepass]\n"
         "  [--queue N] [--cache N] [--timeout MS]\n"
+        "  [--admission codel|queue-cap]\n"
+        "  [--admission-target-ms MS] [--admission-interval-ms MS]\n"
         "  [--store-dir PATH] [--store-cap-bytes N]\n"
         "  [--metrics-port N] [--metrics-port-file PATH]\n"
         "  [--trace-out PATH] [--version]\n";
@@ -95,6 +105,18 @@ refreshServiceGauges(service::Service& svc)
     reg.gauge("jcache_job_wall_seconds_p50",
               "Median job wall time, from the job histogram")
         .set(snap.jobWallP50Seconds);
+    reg.gauge("jcache_job_queue_wait_seconds_p50",
+              "Median queue sojourn, admission to dequeue")
+        .set(snap.queueWaitP50Seconds);
+    reg.gauge("jcache_job_queue_wait_seconds_p99",
+              "p99 queue sojourn, admission to dequeue")
+        .set(snap.queueWaitP99Seconds);
+    reg.gauge("jcache_admission_dropping",
+              "1 while the CoDel admission controller is shedding")
+        .set(snap.admission.dropping ? 1.0 : 0.0);
+    reg.gauge("jcache_admission_window_p50_ms",
+              "Median sojourn of the admission controller's window")
+        .set(snap.admission.windowP50Millis);
     if (snap.storeEnabled) {
         reg.gauge("jcache_store_occupancy_bytes",
                   "Bytes resident in the persistent result store")
@@ -154,6 +176,20 @@ main(int argc, char** argv)
         } else if (flag == "--timeout") {
             config.connectionTimeoutMillis = static_cast<unsigned>(
                 std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flag == "--admission") {
+            auto mode = service::parseAdmissionMode(value);
+            if (!mode) {
+                std::cerr << "error: --admission must be codel or "
+                             "queue-cap\n";
+                return usage();
+            }
+            config.service.admission.mode = *mode;
+        } else if (flag == "--admission-target-ms") {
+            config.service.admission.targetMillis =
+                std::strtod(value.c_str(), nullptr);
+        } else if (flag == "--admission-interval-ms") {
+            config.service.admission.intervalMillis =
+                std::strtod(value.c_str(), nullptr);
         } else if (flag == "--store-dir") {
             config.service.storeDir = value;
         } else if (flag == "--store-cap-bytes") {
