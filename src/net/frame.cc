@@ -93,4 +93,71 @@ writeFrame(Socket& socket, const std::string& payload)
     return FrameStatus::Ok;
 }
 
+bool
+encodeFrame(const std::string& payload, std::string& out)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const char prefix[4] = {
+        static_cast<char>(len & 0xff),
+        static_cast<char>((len >> 8) & 0xff),
+        static_cast<char>((len >> 16) & 0xff),
+        static_cast<char>((len >> 24) & 0xff),
+    };
+    out.append(prefix, sizeof(prefix));
+    out.append(payload);
+    return true;
+}
+
+void
+FrameDecoder::append(const void* data, std::size_t len)
+{
+    if (len == 0)
+        return;
+    // Compact lazily: only when the consumed prefix dominates the
+    // buffer, so steady-state appends are O(bytes appended).
+    if (offset_ > 0 && offset_ >= buffer_.size() / 2) {
+        buffer_.erase(0, offset_);
+        offset_ = 0;
+    }
+    buffer_.append(static_cast<const char*>(data), len);
+}
+
+DecodeStatus
+FrameDecoder::next(std::string& payload)
+{
+    if (oversized_)
+        return DecodeStatus::Oversized;
+    if (buffered() < 4)
+        return DecodeStatus::NeedMore;
+    const unsigned char* p = reinterpret_cast<const unsigned char*>(
+        buffer_.data() + offset_);
+    std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                        static_cast<std::uint32_t>(p[1]) << 8 |
+                        static_cast<std::uint32_t>(p[2]) << 16 |
+                        static_cast<std::uint32_t>(p[3]) << 24;
+    if (len > kMaxFrameBytes || JCACHE_FAULT("frame.read.oversize")) {
+        oversized_ = true;
+        return DecodeStatus::Oversized;
+    }
+    if (buffered() < 4 + static_cast<std::size_t>(len))
+        return DecodeStatus::NeedMore;
+    payload.assign(buffer_, offset_ + 4, len);
+    offset_ += 4 + static_cast<std::size_t>(len);
+    if (offset_ == buffer_.size()) {
+        buffer_.clear();
+        offset_ = 0;
+    }
+    return DecodeStatus::Frame;
+}
+
+void
+FrameDecoder::reset()
+{
+    buffer_.clear();
+    offset_ = 0;
+    oversized_ = false;
+}
+
 } // namespace jcache::net

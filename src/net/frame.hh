@@ -58,6 +58,60 @@ FrameStatus readFrame(Socket& socket, std::string& payload);
  */
 FrameStatus writeFrame(Socket& socket, const std::string& payload);
 
+/**
+ * Encode one frame (4-byte little-endian length prefix + payload)
+ * into `out`, appending.  The nonblocking write path batches several
+ * encoded responses into one connection output buffer.  Returns false
+ * (and appends nothing) when the payload exceeds kMaxFrameBytes.
+ */
+bool encodeFrame(const std::string& payload, std::string& out);
+
+/** Outcome of asking the decoder for the next buffered frame. */
+enum class DecodeStatus : std::uint8_t
+{
+    Frame,      //!< a complete frame was extracted into the payload
+    NeedMore,   //!< no complete frame buffered yet; feed more bytes
+    Oversized,  //!< a length prefix exceeded kMaxFrameBytes
+};
+
+/**
+ * Incremental frame reassembly for nonblocking reads.
+ *
+ * The reactor hands the decoder whatever each recv() returned —
+ * possibly a single byte, possibly several frames plus a torn prefix
+ * — via append(), then drains complete frames with next().  The
+ * decoder never sees the socket: EOF-mid-frame ("truncated" in the
+ * blocking API) is the caller's judgement, made by checking
+ * buffered() > 0 when the peer closes.
+ *
+ * Oversized is sticky: a prefix above kMaxFrameBytes is a protocol
+ * violation, and the stream past it cannot be re-aligned, so every
+ * subsequent next() repeats Oversized until reset().
+ */
+class FrameDecoder
+{
+  public:
+    /** Buffer `len` more bytes from the wire. */
+    void append(const void* data, std::size_t len);
+
+    /**
+     * Extract the next complete frame into `payload`.  Call in a loop
+     * after append(): one read can complete several pipelined frames.
+     */
+    DecodeStatus next(std::string& payload);
+
+    /** Bytes buffered but not yet returned as frames. */
+    std::size_t buffered() const { return buffer_.size() - offset_; }
+
+    /** Forget buffered bytes and clear a sticky Oversized. */
+    void reset();
+
+  private:
+    std::string buffer_;
+    std::size_t offset_ = 0;  //!< consumed prefix of buffer_
+    bool oversized_ = false;
+};
+
 } // namespace jcache::net
 
 #endif // JCACHE_NET_FRAME_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Readiness-driven event loop (epoll with a poll fallback).
+ *
+ * The reactor multiplexes every jcached connection onto one thread:
+ * file descriptors register a callback and a read/write interest set,
+ * runOnce() waits for readiness and dispatches, and post() hands a
+ * closure from any thread to the loop thread (a self-pipe wakes the
+ * wait, so cross-thread completions land within the same iteration
+ * rather than after the next timeout).
+ *
+ * Two backends implement the wait.  Linux gets epoll — O(ready)
+ * dispatch, interest changes are kernel-side — and everything else
+ * (or `JCACHE_NET_POLL=1`, which CI uses to exercise the fallback)
+ * gets poll(2) over a rebuilt pollfd vector.  Both present the same
+ * Poller interface, chosen once at construction.
+ */
+
+#ifndef JCACHE_NET_REACTOR_HH
+#define JCACHE_NET_REACTOR_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace jcache::net
+{
+
+/** Readiness interest / event bits (combinable). */
+enum : unsigned
+{
+    kReadable = 1u,  //!< fd has bytes to read (or a pending accept)
+    kWritable = 2u,  //!< fd's send buffer has room
+    kHangup = 4u,    //!< error or peer hangup (always monitored)
+};
+
+/**
+ * Backend-neutral readiness poller.  One ready fd per Event; wait()
+ * fills `out` with at most its capacity and returns the count.
+ */
+class Poller
+{
+  public:
+    /** One readiness report from wait(). */
+    struct Event
+    {
+        int fd = -1;        //!< the ready descriptor
+        unsigned events = 0;  //!< kReadable/kWritable/kHangup bits
+    };
+
+    virtual ~Poller() = default;
+
+    /** Start monitoring `fd` with the given interest bits. */
+    virtual bool add(int fd, unsigned interest) = 0;
+
+    /** Replace the interest bits for a monitored fd. */
+    virtual bool modify(int fd, unsigned interest) = 0;
+
+    /** Stop monitoring `fd`. */
+    virtual void remove(int fd) = 0;
+
+    /**
+     * Block up to `timeout_millis` (-1 = indefinitely) for readiness;
+     * returns the number of events written to `out`.
+     */
+    virtual std::size_t wait(std::vector<Event>& out,
+                             int timeout_millis) = 0;
+
+    /** Backend name for logs and tests ("epoll" or "poll"). */
+    virtual const char* backend() const = 0;
+
+    /**
+     * Build the best available backend: epoll on Linux unless
+     * creation fails or JCACHE_NET_POLL=1 forces the fallback.
+     */
+    static std::unique_ptr<Poller> create();
+};
+
+/**
+ * The event loop: fd callbacks plus a cross-thread task queue.
+ *
+ * Not thread-safe except where noted — add/setInterest/remove and
+ * runOnce() belong to the loop thread; post() and wake() may be
+ * called from anywhere.
+ */
+class Reactor
+{
+  public:
+    /** Invoked with the ready event bits for the registered fd. */
+    using Callback = std::function<void(unsigned events)>;
+
+    Reactor();
+    ~Reactor();
+
+    Reactor(const Reactor&) = delete;
+    Reactor& operator=(const Reactor&) = delete;
+
+    /** False when neither backend nor the wakeup pipe could be set up. */
+    bool valid() const;
+
+    /** Register `fd` with interest bits and a dispatch callback. */
+    bool add(int fd, unsigned interest, Callback callback);
+
+    /** Change the interest bits for a registered fd. */
+    bool setInterest(int fd, unsigned interest);
+
+    /** Unregister `fd` (safe to call from inside its own callback). */
+    void remove(int fd);
+
+    /**
+     * Queue `task` for execution on the loop thread and wake the
+     * current wait.  Thread-safe; the delivery path for completion
+     * callbacks from the scheduler thread.
+     */
+    void post(std::function<void()> task);
+
+    /**
+     * One iteration: drain posted tasks, wait up to `timeout_millis`
+     * for readiness, dispatch callbacks.  Returns the number of fd
+     * events dispatched.
+     */
+    std::size_t runOnce(int timeout_millis);
+
+    /** Backend name, surfaced in logs and the stats payload. */
+    const char* backend() const;
+
+  private:
+    void drainPosted();
+
+    std::unique_ptr<Poller> poller_;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::unordered_map<int, Callback> callbacks_;
+    std::vector<Poller::Event> ready_;
+    std::mutex postedMutex_;
+    std::vector<std::function<void()>> posted_;
+};
+
+} // namespace jcache::net
+
+#endif // JCACHE_NET_REACTOR_HH

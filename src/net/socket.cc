@@ -10,6 +10,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -36,6 +37,18 @@ std::string
 errnoString()
 {
     return std::strerror(errno);
+}
+
+bool
+setFdNonBlocking(int fd, bool enable)
+{
+    if (fd < 0)
+        return false;
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    int wanted = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, wanted) == 0;
 }
 
 } // namespace
@@ -122,6 +135,12 @@ Socket::setWriteTimeout(unsigned millis)
 {
     if (fd_ >= 0)
         setSockTimeout(fd_, SO_SNDTIMEO, millis);
+}
+
+bool
+Socket::setNonBlocking(bool enable)
+{
+    return setFdNonBlocking(fd_, enable);
 }
 
 IoResult
@@ -234,6 +253,29 @@ Socket::writeAll(const void* buf, std::size_t len)
     return result;
 }
 
+IoResult
+Socket::writeSome(const void* buf, std::size_t len)
+{
+    IoResult result;
+    if (JCACHE_FAULT("socket.write")) {
+        result.status = IoStatus::Error;  // simulated EPIPE
+        return result;
+    }
+    for (;;) {
+        ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+        if (n > 0) {
+            result.bytes = static_cast<std::size_t>(n);
+            return result;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        result.status = (errno == EAGAIN || errno == EWOULDBLOCK)
+            ? IoStatus::Timeout
+            : IoStatus::Error;
+        return result;
+    }
+}
+
 void
 Socket::shutdownWrite()
 {
@@ -323,6 +365,36 @@ Listener::accept(const std::atomic<bool>* stop, unsigned poll_millis)
             return {};
         if (ready <= 0)
             continue;
+        int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return {};
+        }
+        if (JCACHE_FAULT("socket.accept")) {
+            // Drop the connection on the floor: the peer sees an
+            // immediate close, as if the daemon died mid-accept.
+            ::close(client);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        return Socket(client);
+    }
+    return {};
+}
+
+bool
+Listener::setNonBlocking(bool enable)
+{
+    return setFdNonBlocking(fd_, enable);
+}
+
+Socket
+Listener::acceptNonBlocking()
+{
+    while (fd_ >= 0) {
         int client = ::accept(fd_, nullptr, nullptr);
         if (client < 0) {
             if (errno == EINTR || errno == ECONNABORTED)

@@ -87,6 +87,14 @@ class Socket
     /** Write-side timeout only. */
     void setWriteTimeout(unsigned millis);
 
+    /**
+     * Switch the descriptor between blocking and nonblocking mode.
+     * In nonblocking mode readSome/writeSome report Timeout when the
+     * kernel buffer is empty/full (EAGAIN) — the reactor treats that
+     * as "would block, wait for readiness".
+     */
+    bool setNonBlocking(bool enable = true);
+
     /** Read exactly `len` bytes unless EOF/timeout/error intervenes. */
     IoResult readAll(void* buf, std::size_t len);
 
@@ -100,6 +108,13 @@ class Socket
 
     /** Write exactly `len` bytes unless timeout/error intervenes. */
     IoResult writeAll(const void* buf, std::size_t len);
+
+    /**
+     * One send attempt: write whatever the kernel buffer accepts, up
+     * to `len` bytes.  Ok with bytes > 0 on progress; Timeout when a
+     * nonblocking socket would block (nothing sent).
+     */
+    IoResult writeSome(const void* buf, std::size_t len);
 
     /** Half-close the write side (peer sees EOF after buffered data). */
     void shutdownWrite();
@@ -140,8 +155,14 @@ class Listener
 
     bool valid() const { return fd_ >= 0; }
 
+    /** The listening descriptor, for registration with a poller. */
+    int fd() const { return fd_; }
+
     /** The bound port (the chosen one, if constructed with port 0). */
     std::uint16_t port() const { return port_; }
+
+    /** Make accept nonblocking for use under a readiness poller. */
+    bool setNonBlocking(bool enable = true);
 
     /**
      * Accept one connection.  Polls in `poll_millis` slices and
@@ -150,6 +171,13 @@ class Listener
      */
     Socket accept(const std::atomic<bool>* stop = nullptr,
                   unsigned poll_millis = 100);
+
+    /**
+     * Accept one already-pending connection without waiting.  Returns
+     * an invalid Socket when none is queued (EAGAIN) or on error —
+     * the reactor's accept callback loops until this reports empty.
+     */
+    Socket acceptNonBlocking();
 
     void close();
 

@@ -184,6 +184,24 @@ parseDeadline(const JsonValue& request, Clock::time_point received)
     return deadline;
 }
 
+/**
+ * Collapse a report's per-cell failures into one error message; the
+ * caller throws it so the submitter sees a `bad_request`, never a
+ * payload silently built from partial results.
+ */
+std::string
+describeFailures(const sim::SweepReport& report)
+{
+    std::ostringstream oss;
+    oss << report.failures.size() << " of " << report.jobs()
+        << " grid cells failed:";
+    for (const sim::JobFailure& f : report.failures)
+        oss << " [" << f.index << "] " << f.message << ';';
+    std::string text = oss.str();
+    text.pop_back();
+    return text;
+}
+
 } // namespace
 
 Service::Service(const ServiceConfig& config)
@@ -203,6 +221,8 @@ Service::Service(const ServiceConfig& config)
         store_config.capBytes = config_.storeCapBytes;
         store_ = std::make_unique<store::ResultStore>(store_config);
     }
+    if (!config_.shard.workers.empty())
+        shard_ = std::make_unique<ShardPool>(config_.shard);
     for (const trace::Trace& t : traces_.traces())
         identities_[t.name()] = trace::traceIdentity(t);
     scheduler_ = std::thread([this] { schedulerLoop(); });
@@ -293,16 +313,19 @@ Service::schedulerLoop()
         {
             telemetry::Span run_span("job.run", "service");
             try {
-                job.outcome->payload = job.work();
+                job.outcome.payload = job.work();
+            } catch (const ShardError& e) {
+                job.outcome.error = e.what();
+                job.outcome.errorCode = e.code();
             } catch (const FatalError& e) {
-                job.outcome->error = e.what();
+                job.outcome.error = e.what();
             } catch (const std::exception& e) {
-                job.outcome->error =
+                job.outcome.error =
                     std::string("internal error: ") + e.what();
             }
         }
-        // Account the job before signaling the submitter: a stats
-        // request issued right after a run must already see it.
+        // Account the job before completing it: a stats request
+        // issued right after a run must already see it.
         double seconds =
             std::chrono::duration<double>(Clock::now() - start)
                 .count();
@@ -318,11 +341,7 @@ Service::schedulerLoop()
                     "Simulation jobs drained from the queue");
             jobs.inc();
         }
-        {
-            std::lock_guard<std::mutex> lock(*job.done_mutex);
-            *job.done = true;
-        }
-        job.done_cv->notify_one();
+        job.complete(std::move(job.outcome));
     }
 }
 
@@ -331,9 +350,9 @@ Service::shedAtDequeue(Job& job, const std::string& code,
                        unsigned retry_after_millis,
                        double waited_millis)
 {
-    job.outcome->shedCode = code;
-    job.outcome->retryAfterMillis = retry_after_millis;
-    job.outcome->waitedMillis = waited_millis;
+    job.outcome.shedCode = code;
+    job.outcome.retryAfterMillis = retry_after_millis;
+    job.outcome.waitedMillis = waited_millis;
     bool deadline = code == "deadline_exceeded";
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -343,11 +362,7 @@ Service::shedAtDequeue(Job& job, const std::string& code,
             ++shedCodel_;
     }
     countShed(deadline ? "deadline" : "codel");
-    {
-        std::lock_guard<std::mutex> lock(*job.done_mutex);
-        *job.done = true;
-    }
-    job.done_cv->notify_one();
+    job.complete(std::move(job.outcome));
 }
 
 void
@@ -360,17 +375,14 @@ Service::recordJobTiming(double job_seconds,
 }
 
 bool
-Service::submitAndWait(std::function<std::string()> work,
-                       JobOutcome& outcome,
-                       std::chrono::steady_clock::time_point deadline)
+Service::submitAsync(std::function<std::string()> work,
+                     std::function<void(JobOutcome&&)> complete,
+                     std::chrono::steady_clock::time_point deadline)
 {
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    bool done = false;
-
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
-        if (queue_.size() >= config_.queueCapacity ||
+        if (stopping_.load() ||
+            queue_.size() >= config_.queueCapacity ||
             JCACHE_FAULT("service.admit")) {
             countShed("queue_cap");
             std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -379,19 +391,49 @@ Service::submitAndWait(std::function<std::string()> work,
         }
         Job job;
         job.work = std::move(work);
-        job.outcome = &outcome;
-        job.done_mutex = &done_mutex;
-        job.done_cv = &done_cv;
-        job.done = &done;
+        job.complete = std::move(complete);
         job.submitted = Clock::now();
         job.deadline = deadline;
         queue_.push_back(std::move(job));
     }
     queue_cv_.notify_one();
-
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done; });
     return true;
+}
+
+std::vector<sim::RunResult>
+Service::executeCells(const trace::Trace* trace,
+                      const std::string& workload,
+                      const std::vector<core::CacheConfig>& configs,
+                      bool flush,
+                      std::chrono::steady_clock::time_point deadline)
+{
+    Clock::time_point start = Clock::now();
+    if (shard_) {
+        // Coordinator: the grid runs on the workers.  Timing still
+        // lands in the job histogram (scatter wall time is the
+        // coordinator's job wall time); busySeconds stays zero since
+        // no local executor ran.
+        std::vector<sim::RunResult> results =
+            shard_->execute(workload, flush, configs, deadline);
+        recordJobTiming(
+            std::chrono::duration<double>(Clock::now() - start)
+                .count(),
+            sim::SweepReport{});
+        return results;
+    }
+    std::vector<sim::Request> requests;
+    requests.reserve(configs.size());
+    for (const core::CacheConfig& c : configs)
+        requests.push_back({trace, c, flush});
+    sim::BatchOptions options;
+    options.engine = config_.engine;
+    options.jobs = executorThreads_;
+    sim::BatchOutcome batch = sim::runBatch(requests, options);
+    recordJobTiming(
+        std::chrono::duration<double>(Clock::now() - start).count(),
+        batch.report);
+    fatalIf(!batch.ok(), describeFailures(batch.report));
+    return std::move(batch.results);
 }
 
 const std::string&
@@ -469,10 +511,18 @@ Service::snapshot() const
     snap.admissionTargetMillis = admission_.config().targetMillis;
     snap.admissionIntervalMillis = admission_.config().intervalMillis;
     snap.admission = admission_.state();
+    snap.role = shard_ ? "coordinator" : "single";
+    if (shard_)
+        snap.workers = shard_->health();
+    snap.connectionsOpen =
+        connectionsOpen_.load(std::memory_order_relaxed);
+    snap.connectionsAccepted =
+        connectionsAccepted_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     snap.requests = requests_;
     snap.runRequests = runRequests_;
     snap.sweepRequests = sweepRequests_;
+    snap.batchRequests = batchRequests_;
     snap.uploadRequests = uploadRequests_;
     snap.statsRequests = statsRequests_;
     snap.healthRequests = healthRequests_;
@@ -497,23 +547,79 @@ Service::noteProtocolError()
     ++protocolErrors_;
 }
 
+void
+Service::noteConnectionAccepted()
+{
+    connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
+    connectionsOpen_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::armed()) {
+        static telemetry::Counter& accepted =
+            telemetry::Registry::instance().counter(
+                "jcache_connections_accepted_total",
+                "Transport connections accepted since start");
+        accepted.inc();
+    }
+}
+
+void
+Service::noteConnectionClosed()
+{
+    connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 std::string
 Service::handle(const std::string& request_json)
+{
+    // The blocking shape, rebuilt over the async one: park this
+    // thread until the completion fires.  Thread-per-connection
+    // transports and tests keep their call-and-wait contract; only
+    // the reactor uses handleAsync directly.
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    bool finished = false;
+    std::string response;
+    handleAsync(request_json, [&](std::string text) {
+        {
+            std::lock_guard<std::mutex> lock(done_mutex);
+            response = std::move(text);
+            finished = true;
+        }
+        done_cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return finished; });
+    return response;
+}
+
+void
+Service::handleAsync(const std::string& request_json,
+                     ResponseCallback done)
 {
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++requests_;
     }
 
+    // The handlers take the callback by value; sharing it keeps the
+    // catch blocks below able to answer a request whose handler threw
+    // during parsing, after the callback was already moved onward.
+    auto done_ptr = std::make_shared<ResponseCallback>(std::move(done));
+    ResponseCallback reply = [done_ptr](std::string response) {
+        (*done_ptr)(std::move(response));
+    };
+
     std::string parse_error;
     JsonValue request = JsonValue::parse(request_json, &parse_error);
     if (!parse_error.empty() || !request.isObject()) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++errors_;
-        return errorResponse(
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++errors_;
+        }
+        reply(errorResponse(
             "parse_error",
             parse_error.empty() ? "request must be a JSON object"
-                                : parse_error);
+                                : parse_error));
+        return;
     }
 
     std::string request_id = request.getString("request_id");
@@ -521,13 +627,16 @@ Service::handle(const std::string& request_json)
     double protocol = request.getNumber(
         "protocol", static_cast<double>(kProtocolVersion));
     if (protocol != static_cast<double>(kProtocolVersion)) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++errors_;
-        return errorResponse(
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++errors_;
+        }
+        reply(errorResponse(
             "protocol_mismatch",
             "daemon speaks protocol " +
                 std::to_string(kProtocolVersion),
-            request_id);
+            request_id));
+        return;
     }
 
     // The API version rides inside the protocol: absent means a
@@ -549,15 +658,18 @@ Service::handle(const std::string& request_json)
             parsed = k > 0 && (k == text.size() || text[k] == '.');
         }
         if (!parsed || major != kApiVersionMajor) {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++errors_;
-            return errorResponse(
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++errors_;
+            }
+            reply(errorResponse(
                 "unsupported_version",
                 "daemon speaks api version " +
                     std::string(kApiVersion) +
                     "; compatible requests declare major " +
                     std::to_string(kApiVersionMajor),
-                request_id);
+                request_id));
+            return;
         }
     }
 
@@ -565,9 +677,9 @@ Service::handle(const std::string& request_json)
     // Label values come from a fixed vocabulary: an unrecognized type
     // counts as "unknown" so untrusted input cannot mint label sets.
     bool known = type == "run" || type == "sweep" ||
-                 type == "upload" || type == "stats" ||
-                 type == "health" || type == "ping" ||
-                 type == "shutdown";
+                 type == "batch" || type == "upload" ||
+                 type == "stats" || type == "health" ||
+                 type == "ping" || type == "shutdown";
     countRequest(known ? type : "unknown");
     try {
         if (type == "run") {
@@ -576,70 +688,63 @@ Service::handle(const std::string& request_json)
         } else if (type == "sweep") {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++sweepRequests_;
+        } else if (type == "batch") {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++batchRequests_;
         } else if (type == "upload") {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++uploadRequests_;
         }
 
         if (type == "run")
-            return handleRun(request, request_id);
+            return handleRun(request, request_id, reply);
         if (type == "sweep")
-            return handleSweep(request, request_id);
+            return handleSweep(request, request_id,
+                               reply);
+        if (type == "batch")
+            return handleBatch(request, request_id,
+                               reply);
         if (type == "upload")
-            return handleUpload(request, request_id);
+            return handleUpload(request, request_id,
+                                reply);
         if (type == "stats")
-            return handleStats(request_id);
+            return reply(handleStats(request_id));
         if (type == "health")
-            return handleHealth(request_id);
+            return reply(handleHealth(request_id));
         if (type == "ping")
-            return handlePing(request_id);
+            return reply(handlePing(request_id));
         if (type == "shutdown")
-            return handleShutdown(request_id);
+            return reply(handleShutdown(request_id));
 
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++errors_;
-        return errorResponse(
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++errors_;
+        }
+        reply(errorResponse(
             "unknown_type",
             "unknown request type: '" + type +
-                "' (use run|sweep|upload|stats|health|ping|shutdown)",
-            request_id);
+                "' (use "
+                "run|sweep|batch|upload|stats|health|ping|shutdown)",
+            request_id));
     } catch (const FatalError& e) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++errors_;
-        return errorResponse("bad_request", e.what(), request_id);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++errors_;
+        }
+        reply(errorResponse("bad_request", e.what(), request_id));
     } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++errors_;
-        return errorResponse("internal_error", e.what(), request_id);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++errors_;
+        }
+        reply(errorResponse("internal_error", e.what(), request_id));
     }
 }
 
-namespace
-{
-
-/**
- * Collapse a report's per-cell failures into one error message; the
- * caller throws it so the submitter sees a `bad_request`, never a
- * payload silently built from partial results.
- */
-std::string
-describeFailures(const sim::SweepReport& report)
-{
-    std::ostringstream oss;
-    oss << report.failures.size() << " of " << report.jobs()
-        << " grid cells failed:";
-    for (const sim::JobFailure& f : report.failures)
-        oss << " [" << f.index << "] " << f.message << ';';
-    std::string text = oss.str();
-    text.pop_back();
-    return text;
-}
-
-} // namespace
-
-std::string
+void
 Service::handleRun(const JsonValue& request,
-                   const std::string& request_id)
+                   const std::string& request_id,
+                   ResponseCallback done)
 {
     Clock::time_point received = Clock::now();
     std::string workload = request.getString("workload");
@@ -657,44 +762,50 @@ Service::handleRun(const JsonValue& request,
     ctx.engine = config_.engine;
     std::string digest = store::cellKey(
         ctx, identityOf(workload), canonicalConfigKey(config), flush);
-    if (auto hit = cacheLookup(digest))
-        return okResponse("run", digest, true, *hit, request_id);
+    if (auto hit = cacheLookup(digest)) {
+        done(okResponse("run", digest, true, *hit, request_id));
+        return;
+    }
 
     RequestDeadline deadline = parseDeadline(request, received);
-    if (deadline.expired)
-        return shedExpiredAtAdmission(request_id);
+    if (deadline.expired) {
+        done(shedExpiredAtAdmission(request_id));
+        return;
+    }
 
-    JobOutcome outcome;
-    bool admitted = submitAndWait(
-        [this, &trace, config, flush, workload] {
-            sim::BatchOptions options;
-            options.engine = config_.engine;
-            options.jobs = executorThreads_;
-            Clock::time_point start = Clock::now();
-            sim::BatchOutcome batch =
-                sim::runBatch({{&trace, config, flush}}, options);
-            recordJobTiming(
-                std::chrono::duration<double>(Clock::now() - start)
-                    .count(),
-                batch.report);
-            fatalIf(!batch.ok(), describeFailures(batch.report));
+    // The work lambda outlives this call (the submitter no longer
+    // blocks), so every capture is owning except the trace, whose
+    // registry is immutable for the service's lifetime.
+    auto done_ptr =
+        std::make_shared<ResponseCallback>(std::move(done));
+    bool admitted = submitAsync(
+        [this, &trace, config, flush, workload,
+         at = deadline.at]() -> std::string {
+            std::vector<sim::RunResult> results = executeCells(
+                &trace, workload, {config}, flush, at);
 
             std::ostringstream oss;
             stats::JsonWriter json(oss);
             json.beginObject();
             json.field("workload", workload);
             json.field("flushed", flush);
-            writeRunResult(json, "result", batch.results.front());
+            writeRunResult(json, "result", results.front());
             json.endObject();
             return oss.str();
         },
-        outcome, deadline.at);
-    return jobResponse(admitted, outcome, "run", digest, request_id);
+        [this, digest, request_id, done_ptr](JobOutcome&& outcome) {
+            (*done_ptr)(jobResponse(true, outcome, "run", digest,
+                                    request_id));
+        },
+        deadline.at);
+    if (!admitted)
+        (*done_ptr)(busyResponse(retryAfterMillis(), request_id));
 }
 
-std::string
+void
 Service::handleSweep(const JsonValue& request,
-                     const std::string& request_id)
+                     const std::string& request_id,
+                     ResponseCallback done)
 {
     Clock::time_point received = Clock::now();
     std::string workload = request.getString("workload");
@@ -715,32 +826,26 @@ Service::handleSweep(const JsonValue& request,
     ctx.engine = config_.engine;
     std::string digest = store::sweepKey(
         ctx, identityOf(workload), axis, canonicalConfigKey(base));
-    if (auto hit = cacheLookup(digest))
-        return okResponse("sweep", digest, true, *hit, request_id);
+    if (auto hit = cacheLookup(digest)) {
+        done(okResponse("sweep", digest, true, *hit, request_id));
+        return;
+    }
 
     RequestDeadline deadline = parseDeadline(request, received);
-    if (deadline.expired)
-        return shedExpiredAtAdmission(request_id);
+    if (deadline.expired) {
+        done(shedExpiredAtAdmission(request_id));
+        return;
+    }
 
-    JobOutcome outcome;
-    bool admitted = submitAndWait(
-        [this, &trace, &points, axis, workload] {
-            std::vector<sim::Request> requests;
-            requests.reserve(points.configs.size());
-            for (const core::CacheConfig& c : points.configs)
-                requests.push_back({&trace, c, false});
-
-            sim::BatchOptions options;
-            options.engine = config_.engine;
-            options.jobs = executorThreads_;
-            Clock::time_point start = Clock::now();
-            sim::BatchOutcome swept =
-                sim::runBatch(requests, options);
-            recordJobTiming(
-                std::chrono::duration<double>(Clock::now() - start)
-                    .count(),
-                swept.report);
-            fatalIf(!swept.ok(), describeFailures(swept.report));
+    // `points` is captured by value: the async submitter's stack
+    // frame is gone before the scheduler runs the grid.
+    auto done_ptr =
+        std::make_shared<ResponseCallback>(std::move(done));
+    bool admitted = submitAsync(
+        [this, &trace, points, axis, workload,
+         at = deadline.at]() -> std::string {
+            std::vector<sim::RunResult> results = executeCells(
+                &trace, workload, points.configs, false, at);
 
             std::ostringstream oss;
             stats::JsonWriter json(oss);
@@ -752,18 +857,22 @@ Service::handleSweep(const JsonValue& request,
                 json.element(label);
             json.endArray();
             json.beginArray("results");
-            for (std::size_t i = 0; i < swept.results.size(); ++i) {
+            for (std::size_t i = 0; i < results.size(); ++i) {
                 json.beginObject();
-                writeRunResult(json, "result", swept.results[i]);
+                writeRunResult(json, "result", results[i]);
                 json.endObject();
             }
             json.endArray();
             json.endObject();
             return oss.str();
         },
-        outcome, deadline.at);
-    return jobResponse(admitted, outcome, "sweep", digest,
-                       request_id);
+        [this, digest, request_id, done_ptr](JobOutcome&& outcome) {
+            (*done_ptr)(jobResponse(true, outcome, "sweep", digest,
+                                    request_id));
+        },
+        deadline.at);
+    if (!admitted)
+        (*done_ptr)(busyResponse(retryAfterMillis(), request_id));
 }
 
 namespace
@@ -792,9 +901,10 @@ countImport(bool accepted, std::size_t bytes, std::size_t records)
 
 } // namespace
 
-std::string
+void
 Service::handleUpload(const JsonValue& request,
-                      const std::string& request_id)
+                      const std::string& request_id,
+                      ResponseCallback done)
 {
     Clock::time_point received = Clock::now();
     std::string body = request.getString("trace");
@@ -817,12 +927,13 @@ Service::handleUpload(const JsonValue& request,
     // body is refused before any decoding work.
     if (body.size() > config_.uploadCapBytes) {
         countImport(false, body.size(), 0);
-        return errorResponse(
+        done(errorResponse(
             "trace_too_large",
             "uploaded trace is " + std::to_string(body.size()) +
                 " bytes; this daemon accepts at most " +
                 std::to_string(config_.uploadCapBytes),
-            request_id);
+            request_id));
+        return;
     }
 
     // Content-addressed caching: re-uploading the same bytes under
@@ -834,36 +945,44 @@ Service::handleUpload(const JsonValue& request,
     std::string digest =
         store::uploadKey(ctx, util::fnv1aHex(body), name,
                          canonicalConfigKey(config), flush);
-    if (auto hit = cacheLookup(digest))
-        return okResponse("upload", digest, true, *hit, request_id);
+    if (auto hit = cacheLookup(digest)) {
+        done(okResponse("upload", digest, true, *hit, request_id));
+        return;
+    }
 
     RequestDeadline deadline = parseDeadline(request, received);
-    if (deadline.expired)
-        return shedExpiredAtAdmission(request_id);
+    if (deadline.expired) {
+        done(shedExpiredAtAdmission(request_id));
+        return;
+    }
 
-    trace::Trace trace;
+    // The parsed trace must outlive this call (the submitter no
+    // longer blocks until the job runs), so the work lambda owns it
+    // through a shared_ptr.  Uploads run locally even on a
+    // coordinator: the body exists only on this node.
+    auto trace = std::make_shared<trace::Trace>();
     try {
         telemetry::Span import_span("trace.import", "service");
         std::istringstream iss(body);
-        trace = trace::importTraceText(iss, name, "<upload>");
-        import_span.arg("records", std::to_string(trace.size()));
+        *trace = trace::importTraceText(iss, name, "<upload>");
+        import_span.arg("records", std::to_string(trace->size()));
     } catch (const trace::CorruptTraceError& e) {
         countImport(false, body.size(), 0);
-        return errorResponse("bad_trace", e.what(), request_id);
+        done(errorResponse("bad_trace", e.what(), request_id));
+        return;
     }
-    countImport(true, body.size(), trace.size());
+    countImport(true, body.size(), trace->size());
 
-    // The submitter blocks in submitAndWait until the scheduler has
-    // finished the job, so the lambda may use the local trace.
-    JobOutcome outcome;
-    bool admitted = submitAndWait(
-        [this, &trace, config, flush, name] {
+    auto done_ptr =
+        std::make_shared<ResponseCallback>(std::move(done));
+    bool admitted = submitAsync(
+        [this, trace, config, flush, name]() -> std::string {
             sim::BatchOptions options;
             options.engine = config_.engine;
             options.jobs = executorThreads_;
             Clock::time_point start = Clock::now();
-            sim::BatchOutcome batch =
-                sim::runBatch({{&trace, config, flush}}, options);
+            sim::BatchOutcome batch = sim::runBatch(
+                {{trace.get(), config, flush}}, options);
             recordJobTiming(
                 std::chrono::duration<double>(Clock::now() - start)
                     .count(),
@@ -876,14 +995,103 @@ Service::handleUpload(const JsonValue& request,
             json.field("workload", name);
             json.field("flushed", flush);
             json.field("records",
-                       static_cast<double>(trace.size()));
+                       static_cast<double>(trace->size()));
             writeRunResult(json, "result", batch.results.front());
             json.endObject();
             return oss.str();
         },
-        outcome, deadline.at);
-    return jobResponse(admitted, outcome, "upload", digest,
-                       request_id);
+        [this, digest, request_id, done_ptr](JobOutcome&& outcome) {
+            (*done_ptr)(jobResponse(true, outcome, "upload", digest,
+                                    request_id));
+        },
+        deadline.at);
+    if (!admitted)
+        (*done_ptr)(busyResponse(retryAfterMillis(), request_id));
+}
+
+void
+Service::handleBatch(const JsonValue& request,
+                     const std::string& request_id,
+                     ResponseCallback done)
+{
+    Clock::time_point received = Clock::now();
+    std::string workload = request.getString("workload");
+    fatalIf(workload.empty(), "batch request needs a 'workload'");
+    const JsonValue& cells = request.get("configs");
+    fatalIf(!cells.isArray() || cells.items().empty(),
+            "batch request needs a non-empty 'configs' array");
+    fatalIf(cells.items().size() > config_.batchCapCells,
+            "batch request has " +
+                std::to_string(cells.items().size()) +
+                " cells; this daemon accepts at most " +
+                std::to_string(config_.batchCapCells));
+    // Unlike run, a batch defaults flush off: its cells are sweep
+    // points, and sweeps replay without the end-of-run flush.
+    bool flush = request.getBool("flush", false);
+
+    std::vector<core::CacheConfig> configs;
+    std::vector<std::string> config_keys;
+    configs.reserve(cells.items().size());
+    config_keys.reserve(cells.items().size());
+    for (const JsonValue& cell : cells.items()) {
+        core::CacheConfig config =
+            parseCacheConfig(cell.get("config"));
+        config.validate();
+        config_keys.push_back(canonicalConfigKey(config));
+        configs.push_back(config);
+    }
+
+    const trace::Trace& trace = traces_.get(workload);
+
+    store::KeyContext ctx;
+    ctx.engine = config_.engine;
+    std::string digest = store::batchKey(ctx, identityOf(workload),
+                                         config_keys, flush);
+    if (auto hit = cacheLookup(digest)) {
+        done(okResponse("batch", digest, true, *hit, request_id));
+        return;
+    }
+
+    RequestDeadline deadline = parseDeadline(request, received);
+    if (deadline.expired) {
+        done(shedExpiredAtAdmission(request_id));
+        return;
+    }
+
+    auto done_ptr =
+        std::make_shared<ResponseCallback>(std::move(done));
+    bool admitted = submitAsync(
+        [this, &trace, workload, configs = std::move(configs),
+         flush, at = deadline.at]() -> std::string {
+            std::vector<sim::RunResult> results = executeCells(
+                &trace, workload, configs, flush, at);
+
+            // Result elements render exactly as a sweep's: the
+            // coordinator's merge reuses the same writeRunResult
+            // round-trip that keeps served sweeps byte-identical to
+            // the offline tools.
+            std::ostringstream oss;
+            stats::JsonWriter json(oss);
+            json.beginObject();
+            json.field("workload", workload);
+            json.field("flushed", flush);
+            json.beginArray("results");
+            for (const sim::RunResult& result : results) {
+                json.beginObject();
+                writeRunResult(json, "result", result);
+                json.endObject();
+            }
+            json.endArray();
+            json.endObject();
+            return oss.str();
+        },
+        [this, digest, request_id, done_ptr](JobOutcome&& outcome) {
+            (*done_ptr)(jobResponse(true, outcome, "batch", digest,
+                                    request_id));
+        },
+        deadline.at);
+    if (!admitted)
+        (*done_ptr)(busyResponse(retryAfterMillis(), request_id));
 }
 
 std::string
@@ -976,13 +1184,66 @@ Service::jobResponse(bool admitted, const JobOutcome& outcome,
         return deadlineResponse(outcome.waitedMillis, request_id);
     if (!outcome.shedCode.empty())
         return busyResponse(outcome.retryAfterMillis, request_id);
+    if (outcome.errorCode == "deadline_exceeded")
+        return deadlineResponse(outcome.waitedMillis, request_id);
     if (!outcome.error.empty())
-        return errorResponse("bad_request", outcome.error,
-                             request_id);
+        return errorResponse(outcome.errorCode.empty()
+                                 ? "bad_request"
+                                 : outcome.errorCode,
+                             outcome.error, request_id);
     cacheInsert(digest, outcome.payload);
     return okResponse(type, digest, false, outcome.payload,
                       request_id);
 }
+
+namespace
+{
+
+/**
+ * The `node` block shared by stats and health (API 1.3): role,
+ * transport connection gauges, and — on a coordinator — per-worker
+ * scatter health.  `degraded` is the typed signal monitoring keys
+ * on: true whenever any configured worker is marked unhealthy.
+ */
+void
+writeNodeBlock(stats::JsonWriter& json, const ServiceSnapshot& snap)
+{
+    bool degraded = false;
+    for (const WorkerHealth& w : snap.workers)
+        if (!w.healthy)
+            degraded = true;
+    json.beginObject("node");
+    json.field("role", snap.role);
+    json.field("worker_count",
+               static_cast<double>(snap.workers.size()));
+    json.field("degraded", degraded);
+    json.beginObject("connections");
+    json.field("open", static_cast<double>(snap.connectionsOpen));
+    json.field("accepted",
+               static_cast<double>(snap.connectionsAccepted));
+    json.endObject();
+    if (!snap.workers.empty()) {
+        json.beginArray("workers");
+        for (const WorkerHealth& w : snap.workers) {
+            json.beginObject();
+            json.field("address", w.address);
+            json.field("healthy", w.healthy);
+            json.field("consecutive_failures",
+                       static_cast<double>(w.consecutiveFailures));
+            json.field("chunks_completed",
+                       static_cast<double>(w.chunksCompleted));
+            json.field("chunks_failed",
+                       static_cast<double>(w.chunksFailed));
+            json.field("rescatters",
+                       static_cast<double>(w.rescatters));
+            json.endObject();
+        }
+        json.endArray();
+    }
+    json.endObject();
+}
+
+} // namespace
 
 std::string
 Service::healthPayload(const ServiceSnapshot& snap) const
@@ -1020,6 +1281,7 @@ Service::healthPayload(const ServiceSnapshot& snap) const
                static_cast<double>(snap.jobsExecuted));
     json.field("protocol_errors",
                static_cast<double>(snap.protocolErrors));
+    writeNodeBlock(json, snap);
     json.endObject();
     return oss.str();
 }
@@ -1045,10 +1307,12 @@ Service::statsPayload(const ServiceSnapshot& snap) const
     json.field("protocol", static_cast<double>(kProtocolVersion));
     json.field("api_version", std::string(kApiVersion));
     json.field("uptime_seconds", snap.uptimeSeconds);
+    writeNodeBlock(json, snap);
     json.beginObject("requests");
     json.field("total", static_cast<double>(snap.requests));
     json.field("run", static_cast<double>(snap.runRequests));
     json.field("sweep", static_cast<double>(snap.sweepRequests));
+    json.field("batch", static_cast<double>(snap.batchRequests));
     json.field("upload", static_cast<double>(snap.uploadRequests));
     json.field("stats", static_cast<double>(snap.statsRequests));
     json.field("health", static_cast<double>(snap.healthRequests));

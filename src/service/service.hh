@@ -56,6 +56,7 @@
 
 #include "service/admission.hh"
 #include "service/result_cache.hh"
+#include "service/shard.hh"
 #include "sim/engine.hh"
 #include "sim/sweeps.hh"
 #include "store/store.hh"
@@ -77,6 +78,7 @@ struct ServiceSnapshot
     std::uint64_t requests = 0;
     std::uint64_t runRequests = 0;
     std::uint64_t sweepRequests = 0;
+    std::uint64_t batchRequests = 0;
     std::uint64_t uploadRequests = 0;
     std::uint64_t statsRequests = 0;
     std::uint64_t healthRequests = 0;
@@ -130,6 +132,18 @@ struct ServiceSnapshot
     double admissionTargetMillis = 0.0;
     double admissionIntervalMillis = 0.0;
     AdmissionState admission;
+
+    /** Node role: "single" or "coordinator". */
+    std::string role = "single";
+
+    /** Per-worker scatter health; empty on a single node. */
+    std::vector<WorkerHealth> workers;
+
+    /** Transport connections open right now (both server kinds). */
+    std::uint64_t connectionsOpen = 0;
+
+    /** Transport connections accepted since start. */
+    std::uint64_t connectionsAccepted = 0;
 };
 
 /** Tunables of one Service instance. */
@@ -186,6 +200,22 @@ struct ServiceConfig
      * shed clients spreads out instead of returning in lockstep.
      */
     std::uint64_t retryJitterSeed = 42;
+
+    /**
+     * Largest accepted `batch` request, in grid cells.  The shard
+     * coordinator scatters 16-cell chunks; the cap only guards a
+     * hand-built request from queueing unbounded work.
+     */
+    std::size_t batchCapCells = 1024;
+
+    /**
+     * Shard topology (jcached --coordinator --workers ...).  A
+     * non-empty worker list makes this service a coordinator: run,
+     * sweep and batch grids scatter to the workers instead of the
+     * local engine.  Uploads always execute locally — the trace body
+     * exists only on this node.
+     */
+    ShardConfig shard;
 };
 
 /**
@@ -209,8 +239,24 @@ class Service
     /**
      * Process one request document and return the response document.
      * Never throws: malformed input produces an `ok: false` response.
+     * A blocking wrapper over handleAsync() for thread-per-connection
+     * transports and tests.
      */
     std::string handle(const std::string& request_json);
+
+    /** Receives the response document, exactly once per request. */
+    using ResponseCallback = std::function<void(std::string)>;
+
+    /**
+     * Process one request document without blocking the caller on
+     * simulation work.  Requests answered from the cache (or that
+     * fail validation) invoke `done` before returning; queued jobs
+     * invoke it later from the scheduler thread.  The reactor calls
+     * this so one event-loop thread can keep every connection moving
+     * while jobs drain through the bounded queue.
+     */
+    void handleAsync(const std::string& request_json,
+                     ResponseCallback done);
 
     /** True once a shutdown request has been accepted. */
     bool shutdownRequested() const { return shutdown_.load(); }
@@ -220,6 +266,10 @@ class Service
      * oversized frame); surfaces in the stats response.
      */
     void noteProtocolError();
+
+    /** Transport accounting: a connection was accepted / went away. */
+    void noteConnectionAccepted();
+    void noteConnectionClosed();
 
     /** Number of jobs waiting in the queue right now. */
     std::size_t queueDepth() const;
@@ -232,6 +282,14 @@ class Service
     {
         std::string payload;
         std::string error;
+
+        /**
+         * Machine-readable code accompanying `error`; empty maps to
+         * the generic "bad_request".  The shard layer sets typed
+         * codes ("shard_unavailable", "deadline_exceeded") so a
+         * coordinator outage is distinguishable from bad input.
+         */
+        std::string errorCode;
 
         /**
          * Shed reason decided at dequeue: empty when the job ran,
@@ -247,14 +305,18 @@ class Service
         double waitedMillis = 0.0;
     };
 
-    /** One queued simulation: fills `outcome`, then signals `done`. */
+    /**
+     * One queued simulation: the scheduler fills `outcome`, then
+     * invokes `complete` exactly once (run, shed or failed).  The
+     * completion owns everything the response needs, so the
+     * submitting thread is long gone by the time a reactor-submitted
+     * job finishes.
+     */
     struct Job
     {
         std::function<std::string()> work;
-        JobOutcome* outcome = nullptr;
-        std::mutex* done_mutex = nullptr;
-        std::condition_variable* done_cv = nullptr;
-        bool* done = nullptr;
+        std::function<void(JobOutcome&&)> complete;
+        JobOutcome outcome;
 
         /**
          * When the submitter enqueued the job; always sampled — the
@@ -270,28 +332,46 @@ class Service
         std::chrono::steady_clock::time_point deadline{};
     };
 
-    std::string handleRun(const JsonValue& request,
-                          const std::string& request_id);
-    std::string handleSweep(const JsonValue& request,
-                            const std::string& request_id);
-    std::string handleUpload(const JsonValue& request,
-                             const std::string& request_id);
+    void handleRun(const JsonValue& request,
+                   const std::string& request_id,
+                   ResponseCallback done);
+    void handleSweep(const JsonValue& request,
+                     const std::string& request_id,
+                     ResponseCallback done);
+    void handleUpload(const JsonValue& request,
+                      const std::string& request_id,
+                      ResponseCallback done);
+    void handleBatch(const JsonValue& request,
+                     const std::string& request_id,
+                     ResponseCallback done);
     std::string handleStats(const std::string& request_id);
     std::string handleHealth(const std::string& request_id);
     std::string handlePing(const std::string& request_id);
     std::string handleShutdown(const std::string& request_id);
 
     /**
-     * Push `work` through the bounded queue and wait for completion.
-     * Returns false when the job was shed at admission (queue full
-     * or injected overload); a dequeue-time shed still returns true
-     * with outcome.shedCode set.  `deadline` (zero = none) rides to
-     * the scheduler for the expiry check.
+     * Push `work` through the bounded queue.  Returns false when the
+     * job was shed at admission (queue full or injected overload) —
+     * `complete` is then never invoked and the caller answers busy.
+     * Otherwise `complete` fires exactly once from the scheduler
+     * thread (after the job ran, shed at dequeue, or failed).
+     * `deadline` (zero = none) rides along for the expiry check.
      */
-    bool submitAndWait(std::function<std::string()> work,
-                       JobOutcome& outcome,
-                       std::chrono::steady_clock::time_point deadline =
-                           {});
+    bool submitAsync(std::function<std::string()> work,
+                     std::function<void(JobOutcome&&)> complete,
+                     std::chrono::steady_clock::time_point deadline =
+                         {});
+
+    /**
+     * Run one grid of cells: locally through sim::runBatch, or — on
+     * a coordinator — scattered over the shard pool.  Called from
+     * the scheduler thread inside a job's work; throws FatalError
+     * (or ShardError) on failure.
+     */
+    std::vector<sim::RunResult> executeCells(
+        const trace::Trace* trace, const std::string& workload,
+        const std::vector<core::CacheConfig>& configs, bool flush,
+        std::chrono::steady_clock::time_point deadline);
 
     /**
      * Back-off hint for a shed job, in milliseconds: queue depth
@@ -348,6 +428,9 @@ class Service
     /** Disk tier under the memory cache; null when storeDir empty. */
     std::unique_ptr<store::ResultStore> store_;
 
+    /** Scatter pool; null unless configured as a coordinator. */
+    std::unique_ptr<ShardPool> shard_;
+
     /**
      * Workload name -> trace identity, computed once at construction
      * (the registry's traces are immutable), so request handling
@@ -358,6 +441,10 @@ class Service
     std::atomic<bool> shutdown_{false};
     std::atomic<bool> stopping_{false};
 
+    /** Transport connection gauges (fed by both server kinds). */
+    std::atomic<std::uint64_t> connectionsOpen_{0};
+    std::atomic<std::uint64_t> connectionsAccepted_{0};
+
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
     std::deque<Job> queue_;
@@ -367,6 +454,7 @@ class Service
     std::uint64_t requests_ = 0;
     std::uint64_t runRequests_ = 0;
     std::uint64_t sweepRequests_ = 0;
+    std::uint64_t batchRequests_ = 0;
     std::uint64_t uploadRequests_ = 0;
     std::uint64_t statsRequests_ = 0;
     std::uint64_t healthRequests_ = 0;

@@ -60,4 +60,16 @@ uploadKey(const KeyContext& ctx, const std::string& body_digest,
                           config_key + (flush ? "|f1" : "|f0"));
 }
 
+std::string
+batchKey(const KeyContext& ctx, const std::string& trace_identity,
+         const std::vector<std::string>& config_keys, bool flush)
+{
+    std::string text =
+        "batch|" + contextText(ctx) + "|" + trace_identity;
+    for (const std::string& key : config_keys)
+        text += "|" + key;
+    text += flush ? "|f1" : "|f0";
+    return util::fnv1aHex(text);
+}
+
 } // namespace jcache::store

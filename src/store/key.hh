@@ -29,6 +29,7 @@
 #define JCACHE_STORE_KEY_HH
 
 #include <string>
+#include <vector>
 
 #include "sim/engine.hh"
 #include "util/version.hh"
@@ -88,6 +89,17 @@ std::string uploadKey(const KeyContext& ctx,
                       const std::string& body_digest,
                       const std::string& name,
                       const std::string& config_key, bool flush);
+
+/**
+ * The 16-hex key of a `batch` response payload (an explicit list of
+ * cells over one trace, the scatter unit of the shard coordinator):
+ * digests every cell's canonical config key in order, so the same
+ * cells in a different order are a different batch.
+ */
+std::string batchKey(const KeyContext& ctx,
+                     const std::string& trace_identity,
+                     const std::vector<std::string>& config_keys,
+                     bool flush);
 
 } // namespace jcache::store
 

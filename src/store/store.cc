@@ -189,6 +189,7 @@ ResultStore::~ResultStore()
 {
     try {
         std::lock_guard<std::mutex> lock(mutex_);
+        util::FileLock file_lock(lockPath());
         persistIndex();
     } catch (...) {
         // The index is an accelerator; a failed persist at shutdown
@@ -207,6 +208,12 @@ std::string
 ResultStore::indexPath() const
 {
     return (fs::path(config_.dir) / "index.jci").string();
+}
+
+std::string
+ResultStore::lockPath() const
+{
+    return (fs::path(config_.dir) / "lock").string();
 }
 
 void
@@ -377,11 +384,24 @@ ResultStore::get(const std::string& digest)
         span.arg("hit", "false");
         return std::nullopt;
     }
+    std::optional<std::string> blob;
     try {
-        std::optional<std::string> blob =
-            util::readFileIfExists(blobPath(digest));
-        if (!blob)
-            throw CorruptStoreError("blob vanished: " + digest);
+        blob = util::readFileIfExists(blobPath(digest));
+    } catch (const util::FsError&) {
+        blob = std::nullopt;
+    }
+    if (!blob) {
+        // A worker sharing this store directory evicted the blob
+        // under its byte cap: an ordinary miss for this process, not
+        // corruption — the entry just moved out from under us.
+        occupancy_ -= it->second.bytes;
+        entries_.erase(it);
+        ++misses_;
+        countLookup(false);
+        span.arg("hit", "evicted");
+        return std::nullopt;
+    }
+    try {
         std::string payload = decodeBlob(*blob, blobPath(digest));
         it->second.accesses += 1;
         it->second.lastUse = ++tick_;
@@ -416,6 +436,10 @@ ResultStore::put(const std::string& digest,
         return;
     }
     std::string path = blobPath(digest);
+    // Workers sharing one store directory serialize their mutations
+    // (blob write, cap eviction, index persist) on the store's lock
+    // file, so two evictors never double-delete or double-count.
+    util::FileLock file_lock(lockPath());
     if (JCACHE_FAULT("store.put.crash")) {
         // The deterministic mid-put death for recovery tests: leave
         // a half-written temporary behind and vanish without stack

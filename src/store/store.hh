@@ -28,9 +28,14 @@
  *
  *     <dir>/objects/<digest>.jcr   one blob per result key
  *     <dir>/index.jci              accelerator: access counts
+ *     <dir>/lock                   cross-process mutation flock
  *
  * Thread-safe: one mutex serializes get/put/eviction, so concurrent
  * connection handlers and sweep workers may share an instance.
+ * Cross-process safe: shard workers pointed at one directory take an
+ * advisory flock on `<dir>/lock` around mutations (put + eviction +
+ * index persist), and a blob evicted by a peer surfaces as a plain
+ * miss on lookup, never as corruption.
  */
 
 #ifndef JCACHE_STORE_STORE_HH
@@ -192,6 +197,9 @@ class ResultStore
 
     std::string blobPath(const std::string& digest) const;
     std::string indexPath() const;
+
+    /** The `<dir>/lock` flock file guarding cross-process mutation. */
+    std::string lockPath() const;
 
     /** Scan objects/, validate headers, seed recency from mtime. */
     void openScan();

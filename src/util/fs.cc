@@ -6,6 +6,7 @@
 #include "util/fs.hh"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -126,6 +127,54 @@ ensureDirectory(const std::string& dir)
     }
     if (!std::filesystem::is_directory(dir))
         throw FsError("not a directory: " + dir);
+}
+
+FileLock::FileLock(const std::string& path)
+{
+    int fd =
+        ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return;
+    int rc;
+    do {
+        rc = ::flock(fd, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);
+        return;
+    }
+    fd_ = fd;
+}
+
+FileLock::~FileLock()
+{
+    release();
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+FileLock&
+FileLock::operator=(FileLock&& other) noexcept
+{
+    if (this != &other) {
+        release();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+FileLock::release()
+{
+    if (fd_ >= 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+        fd_ = -1;
+    }
 }
 
 } // namespace jcache::util

@@ -75,6 +75,45 @@ std::optional<std::string> readFileIfExists(const std::string& path);
  */
 void ensureDirectory(const std::string& dir);
 
+/**
+ * RAII advisory whole-file lock (flock), for serializing mutations of
+ * a directory shared between processes — several jcached workers
+ * pointed at one `--store-dir` take the store's lock file around
+ * eviction and index persists so concurrent evictors cannot both
+ * delete and double-count the same blob.
+ *
+ * Acquisition blocks until the peer releases.  Best effort by design:
+ * if the lock file cannot be opened or flocked (exotic filesystem,
+ * permissions), held() is false and the caller proceeds unlocked —
+ * exactly the pre-lock single-process behavior, never a wedge.
+ */
+class FileLock
+{
+  public:
+    /** An empty lock (held() == false). */
+    FileLock() = default;
+
+    /** Open (creating if needed) `path` and take an exclusive flock. */
+    explicit FileLock(const std::string& path);
+
+    /** Releases the lock and closes the file. */
+    ~FileLock();
+
+    FileLock(FileLock&& other) noexcept;
+    FileLock& operator=(FileLock&& other) noexcept;
+    FileLock(const FileLock&) = delete;
+    FileLock& operator=(const FileLock&) = delete;
+
+    /** True when the exclusive lock was actually acquired. */
+    bool held() const { return fd_ >= 0; }
+
+    /** Release early, before destruction. */
+    void release();
+
+  private:
+    int fd_ = -1;
+};
+
 } // namespace jcache::util
 
 #endif // JCACHE_UTIL_FS_HH

@@ -1,0 +1,163 @@
+#!/bin/sh
+# End-to-end smoke test of the sharded sweep coordinator.
+#
+# Starts two worker daemons and a coordinator scattering over them,
+# then checks the sharding acceptance properties from the outside:
+#
+#   1. `jcache-client sweep` through the coordinator is byte-identical
+#      to offline jcache-sweep — scatter/merge is invisible
+#   2. pipelined load (jcache-loadgen --pipeline) against the
+#      coordinator is served with zero transport errors
+#   3. SIGKILL of one worker mid-stream: the next sweep still
+#      completes byte-identically via re-scatter to the survivor,
+#      and the coordinator's stats report the node block degraded
+#      with the dead worker unhealthy
+#   4. the coordinator survives it all and shuts down cleanly
+#
+# Usage: shard_smoke.sh <jcached> <jcache-client> <jcache-sweep> \
+#            <jcache-loadgen> <workdir>
+set -eu
+
+JCACHED=$1
+CLIENT=$2
+SWEEP=$3
+LOADGEN=$4
+WORKDIR=$5
+
+mkdir -p "$WORKDIR"
+rm -f "$WORKDIR"/*.port
+COORD_PID=""
+W1_PID=""
+W2_PID=""
+
+fail() {
+    echo "shard_smoke: FAIL: $1" >&2
+    for log in coordinator worker1 worker2; do
+        [ -s "$WORKDIR/$log.log" ] &&
+            sed "s/^/  $log: /" "$WORKDIR/$log.log" >&2
+    done
+    for pid in $COORD_PID $W1_PID $W2_PID; do
+        kill "$pid" 2>/dev/null || true
+    done
+    exit 1
+}
+
+# Wait for a daemon to publish its ephemeral port.
+wait_port() {
+    # $1 = port file, $2 = pid, $3 = label
+    tries=0
+    while [ ! -s "$1" ]; do
+        tries=$((tries + 1))
+        [ "$tries" -gt 300 ] && fail "$3 never wrote its port"
+        kill -0 "$2" 2>/dev/null || fail "$3 exited early"
+        sleep 0.1
+    done
+    cat "$1"
+}
+
+# Two workers.  Caches stay on (workers answering repeats from cache
+# is fine — the bytes must match either way).
+"$JCACHED" --port 0 --port-file "$WORKDIR/worker1.port" \
+    > "$WORKDIR/worker1.log" 2>&1 &
+W1_PID=$!
+"$JCACHED" --port 0 --port-file "$WORKDIR/worker2.port" \
+    > "$WORKDIR/worker2.log" 2>&1 &
+W2_PID=$!
+W1_PORT=$(wait_port "$WORKDIR/worker1.port" "$W1_PID" worker1)
+W2_PORT=$(wait_port "$WORKDIR/worker2.port" "$W2_PID" worker2)
+
+# The coordinator.  Its own result cache is off so every sweep below
+# really scatters — a cached answer would not exercise the pool.
+"$JCACHED" --port 0 --port-file "$WORKDIR/coordinator.port" \
+    --cache 0 --coordinator \
+    --workers "127.0.0.1:$W1_PORT,127.0.0.1:$W2_PORT" \
+    > "$WORKDIR/coordinator.log" 2>&1 &
+COORD_PID=$!
+COORD_PORT=$(wait_port "$WORKDIR/coordinator.port" "$COORD_PID" \
+    coordinator)
+echo "shard_smoke: workers $W1_PORT/$W2_PORT," \
+    "coordinator $COORD_PORT"
+
+"$CLIENT" --port "$COORD_PORT" ping > /dev/null || fail "ping"
+grep -q "coordinating 2 worker" "$WORKDIR/coordinator.log" \
+    || fail "coordinator did not announce its workers"
+
+# 1. Sweeps through the coordinator vs. offline: byte-identical.
+for axis in size assoc; do
+    "$CLIENT" --port "$COORD_PORT" sweep yacc --axis "$axis" \
+        > "$WORKDIR/sweep_sharded_$axis.txt" \
+        || fail "sharded sweep ($axis)"
+    "$SWEEP" yacc --axis "$axis" \
+        > "$WORKDIR/sweep_offline_$axis.txt" \
+        || fail "offline sweep ($axis)"
+    cmp "$WORKDIR/sweep_sharded_$axis.txt" \
+        "$WORKDIR/sweep_offline_$axis.txt" \
+        || fail "sharded sweep ($axis) differs from jcache-sweep"
+done
+echo "shard_smoke: sharded sweeps byte-identical to offline"
+
+# Both workers must actually have taken chunks.
+"$CLIENT" --port "$COORD_PORT" stats > "$WORKDIR/stats_healthy.json" \
+    || fail "stats"
+grep -q '"role": "coordinator"' "$WORKDIR/stats_healthy.json" \
+    || fail "stats do not report the coordinator role"
+grep -q '"degraded": false' "$WORKDIR/stats_healthy.json" \
+    || fail "healthy pool reported degraded"
+
+# 2. Pipelined load through the coordinator: every request served.
+"$LOADGEN" --port "$COORD_PORT" --closed-loop --connections 2 \
+    --pipeline 4 --duration 2 --mix run=80,sweep=10,health=10 \
+    --json "$WORKDIR/loadgen_pipeline.json" \
+    > "$WORKDIR/pipeline.txt" || fail "pipelined loadgen errored"
+cat "$WORKDIR/pipeline.txt"
+grep -q '"pipeline": 4' "$WORKDIR/loadgen_pipeline.json" \
+    || fail "loadgen report does not record the pipeline depth"
+SERVED=$(awk '/^loadgen: served /{print $3}' "$WORKDIR/pipeline.txt")
+[ -n "$SERVED" ] && [ "$SERVED" -gt 0 ] \
+    || fail "pipelined load served nothing"
+grep -q '"transport_error": 0' "$WORKDIR/loadgen_pipeline.json" \
+    || fail "pipelined load saw transport errors"
+echo "shard_smoke: pipelined load served cleanly"
+
+# 3. Kill one worker with prejudice; the next sweep must complete by
+#    re-scattering its chunks to the survivor, byte-identically.
+kill -9 "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+"$CLIENT" --port "$COORD_PORT" sweep grr --axis size \
+    > "$WORKDIR/sweep_degraded.txt" \
+    || fail "sweep after worker kill"
+"$SWEEP" grr --axis size > "$WORKDIR/sweep_degraded_offline.txt" \
+    || fail "offline sweep (degraded)"
+cmp "$WORKDIR/sweep_degraded.txt" \
+    "$WORKDIR/sweep_degraded_offline.txt" \
+    || fail "degraded sweep differs from jcache-sweep"
+echo "shard_smoke: sweep completed despite a killed worker"
+
+# Which worker picks up a one-chunk sweep is a race; repeat until
+# the dead one has tried (and failed) often enough to be marked.
+tries=0
+while :; do
+    "$CLIENT" --port "$COORD_PORT" stats \
+        > "$WORKDIR/stats_degraded.json" \
+        || fail "stats after worker kill"
+    grep -q '"degraded": true' "$WORKDIR/stats_degraded.json" && break
+    tries=$((tries + 1))
+    [ "$tries" -gt 20 ] && fail "stats do not report the pool degraded"
+    "$CLIENT" --port "$COORD_PORT" sweep grr --axis size > /dev/null \
+        || fail "repeat sweep after worker kill"
+done
+grep -q '"healthy": false' "$WORKDIR/stats_degraded.json" \
+    || fail "stats do not report the dead worker unhealthy"
+grep -q '"rescatters"' "$WORKDIR/stats_degraded.json" \
+    || fail "stats carry no rescatter counters"
+echo "shard_smoke: degraded health reported"
+
+# 4. Clean shutdown of everything still alive.
+"$CLIENT" --port "$COORD_PORT" shutdown > /dev/null \
+    || fail "coordinator shutdown"
+wait "$COORD_PID" || fail "coordinator exited non-zero"
+"$CLIENT" --port "$W1_PORT" shutdown > /dev/null \
+    || fail "worker shutdown"
+wait "$W1_PID" || fail "worker exited non-zero"
+
+echo "shard_smoke: PASS"

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -158,4 +159,175 @@ TEST(NetFrame, WriteToClosedPeerIsError)
     for (int i = 0; i < 64 && status == FrameStatus::Ok; ++i)
         status = writeFrame(a, big);
     EXPECT_EQ(status, FrameStatus::Error);
+}
+
+// ---------------------------------------------------------------
+// FrameDecoder: incremental reassembly for the nonblocking reactor.
+// The decoder must produce identical frames however the bytes are
+// sliced — one byte at a time, torn prefixes, several frames in one
+// append — because recv() offers no alignment guarantees at all.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** One encoded frame (prefix + payload) as raw wire bytes. */
+std::string
+wireFrame(const std::string& payload)
+{
+    std::string out;
+    EXPECT_TRUE(encodeFrame(payload, out));
+    return out;
+}
+
+} // namespace
+
+TEST(FrameDecoder, EncodeFrameRoundTripsThroughDecoder)
+{
+    std::string wire = wireFrame("{\"type\": \"ping\"}");
+    FrameDecoder decoder;
+    decoder.append(wire.data(), wire.size());
+    std::string payload;
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::Frame);
+    EXPECT_EQ(payload, "{\"type\": \"ping\"}");
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::NeedMore);
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, EncodeFrameRefusesOversizedPayload)
+{
+    // encodeFrame must reject rather than emit a frame the peer will
+    // treat as a protocol violation.  Checked without allocating
+    // 16MB: a string of kMaxFrameBytes+1 is still cheap to build
+    // once.
+    std::string out = "sentinel";
+    std::string too_big(kMaxFrameBytes + 1, 'x');
+    EXPECT_FALSE(encodeFrame(too_big, out));
+    EXPECT_EQ(out, "sentinel");
+}
+
+TEST(FrameDecoder, ReassemblesAtEverySplitPoint)
+{
+    // Split one frame at every possible boundary, including inside
+    // the length prefix: the decoder must never care where the tear
+    // falls.
+    std::string wire = wireFrame("split-me-anywhere");
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+        FrameDecoder decoder;
+        std::string payload;
+        decoder.append(wire.data(), split);
+        DecodeStatus first = decoder.next(payload);
+        if (split < wire.size()) {
+            EXPECT_EQ(first, DecodeStatus::NeedMore)
+                << "split at " << split;
+        }
+        decoder.append(wire.data() + split, wire.size() - split);
+        if (first != DecodeStatus::Frame) {
+            EXPECT_EQ(decoder.next(payload), DecodeStatus::Frame)
+                << "split at " << split;
+        }
+        EXPECT_EQ(payload, "split-me-anywhere")
+            << "split at " << split;
+        EXPECT_EQ(decoder.buffered(), 0u);
+    }
+}
+
+TEST(FrameDecoder, OneByteDribble)
+{
+    // The pathological slow client: every recv() returns one byte.
+    std::string wire =
+        wireFrame("first") + wireFrame("") + wireFrame("third");
+    FrameDecoder decoder;
+    std::vector<std::string> frames;
+    std::string payload;
+    for (char byte : wire) {
+        decoder.append(&byte, 1);
+        while (decoder.next(payload) == DecodeStatus::Frame)
+            frames.push_back(payload);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0], "first");
+    EXPECT_EQ(frames[1], "");
+    EXPECT_EQ(frames[2], "third");
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, TwoFramesInOneAppend)
+{
+    // One recv() can complete several pipelined frames plus a torn
+    // tail; next() must drain them all, then report NeedMore with
+    // the tail still buffered.
+    std::string wire = wireFrame("alpha") + wireFrame("beta");
+    std::string torn = wireFrame("gamma").substr(0, 6);
+    std::string all = wire + torn;
+    FrameDecoder decoder;
+    decoder.append(all.data(), all.size());
+    std::string payload;
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::Frame);
+    EXPECT_EQ(payload, "alpha");
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::Frame);
+    EXPECT_EQ(payload, "beta");
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::NeedMore);
+    EXPECT_EQ(decoder.buffered(), torn.size());
+}
+
+TEST(FrameDecoder, TornLengthPrefixWaits)
+{
+    // Two bytes of a four-byte prefix: not yet a frame, not an
+    // error — EOF here is the caller's judgement via buffered().
+    std::string partial = prefix(100).substr(0, 2);
+    FrameDecoder decoder;
+    decoder.append(partial.data(), partial.size());
+    std::string payload;
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::NeedMore);
+    EXPECT_EQ(decoder.buffered(), 2u);
+}
+
+TEST(FrameDecoder, OversizedPrefixIsSticky)
+{
+    std::string huge = prefix(kMaxFrameBytes + 1) + "garbage";
+    FrameDecoder decoder;
+    decoder.append(huge.data(), huge.size());
+    std::string payload;
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::Oversized);
+    // The stream cannot be re-aligned: appending more (even a whole
+    // valid frame) keeps reporting Oversized until reset().
+    std::string wire = wireFrame("valid");
+    decoder.append(wire.data(), wire.size());
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::Oversized);
+    decoder.reset();
+    EXPECT_EQ(decoder.buffered(), 0u);
+    decoder.append(wire.data(), wire.size());
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::Frame);
+    EXPECT_EQ(payload, "valid");
+}
+
+TEST(FrameDecoder, ZeroLengthFrame)
+{
+    std::string wire = wireFrame("");
+    FrameDecoder decoder;
+    decoder.append(wire.data(), wire.size());
+    std::string payload = "stale";
+    EXPECT_EQ(decoder.next(payload), DecodeStatus::Frame);
+    EXPECT_EQ(payload, "");
+}
+
+TEST(FrameDecoder, MatchesBlockingReaderOnSameBytes)
+{
+    // Differential check against the blocking readFrame(): the same
+    // wire bytes must produce the same payload sequence.
+    auto [a, b] = makePair();
+    std::string wire = wireFrame("one") + wireFrame("two");
+    EXPECT_TRUE(a.writeAll(wire.data(), wire.size()).ok());
+    std::string blocking_one, blocking_two;
+    EXPECT_EQ(readFrame(b, blocking_one), FrameStatus::Ok);
+    EXPECT_EQ(readFrame(b, blocking_two), FrameStatus::Ok);
+
+    FrameDecoder decoder;
+    decoder.append(wire.data(), wire.size());
+    std::string nb_one, nb_two;
+    EXPECT_EQ(decoder.next(nb_one), DecodeStatus::Frame);
+    EXPECT_EQ(decoder.next(nb_two), DecodeStatus::Frame);
+    EXPECT_EQ(nb_one, blocking_one);
+    EXPECT_EQ(nb_two, blocking_two);
 }

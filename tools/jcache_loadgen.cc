@@ -6,6 +6,7 @@
  * Usage:
  *   jcache-loadgen [--host H] [--port N] [--connections N]
  *                  [--duration S] [--rate RPS | --closed-loop]
+ *                  [--pipeline N]
  *                  [--mix run=70,ping=10,health=10,stats=10]
  *                  [--workload NAME] [--deadline MS] [--timeout MS]
  *                  [--seed N] [--faults SPEC] [--fault-seed N]
@@ -31,6 +32,13 @@
  * (ping/health/stats) ride two dedicated control-plane sockets — so
  * "health stays fast under overload" is measured end to end, not
  * behind a client-side queue of stuck sims.
+ *
+ * --pipeline N exploits the reactor front end's per-connection
+ * pipelining: each worker writes up to N frames back to back — in
+ * open loop, the batch is the arrivals already *due* when the first
+ * fires, so the schedule is honored — then reads the N responses in
+ * order and classifies each.  N=1 (default) is the classic one
+ * in-flight request per connection.
  *
  * Every request classifies into ok / ok_cached / busy /
  * deadline_exceeded / daemon_error / transport_error; the JSON
@@ -76,7 +84,7 @@ usage()
     std::cerr <<
         "usage: jcache-loadgen [--host H] [--port N]\n"
         "  [--connections N] [--duration S]\n"
-        "  [--rate RPS | --closed-loop]\n"
+        "  [--rate RPS | --closed-loop] [--pipeline N]\n"
         "  [--mix run=70,ping=10,health=10,stats=10]\n"
         "  [--workload NAME] [--deadline MS] [--timeout MS]\n"
         "  [--seed N] [--faults SPEC] [--fault-seed N]\n"
@@ -158,6 +166,7 @@ struct Options
     double durationSeconds = 10.0;
     double rate = 50.0;
     bool closedLoop = false;
+    unsigned pipeline = 1;
     unsigned weights[kClassCount] = {70, 0, 0, 10, 10, 10};
     std::string workload = "ccom";
     unsigned deadlineMillis = 0;
@@ -371,7 +380,8 @@ buildArrivals(const Options& options, bool control, Plane& plane)
  * Worker body: pull the next arrival, wait for its scheduled
  * instant, exchange over a persistent (reconnecting) socket, and
  * tally.  In closed-loop mode there is no schedule — fire until the
- * duration elapses.
+ * duration elapses.  With --pipeline N, up to N frames go out back
+ * to back before the worker reads the N responses in order.
  */
 void
 runWorker(const Options& options, Plane& plane,
@@ -381,29 +391,52 @@ runWorker(const Options& options, Plane& plane,
     net::Socket socket;
     std::string error;
 
-    auto exchange = [&](const std::string& request,
-                        std::string& response) -> bool {
+    // Write every request, then read one response per request, in
+    // order — the server's pipelining contract.  Returns how many
+    // responses arrived; a short count means the stream tore and the
+    // socket was dropped (the next batch reconnects).
+    auto exchangeBatch =
+        [&](const std::vector<std::string>& requests,
+            std::vector<std::string>& responses) -> std::size_t {
+        responses.clear();
         if (!socket.valid()) {
             socket = net::Socket::connectTo(options.host,
                                             options.port, &error);
             if (!socket.valid())
-                return false;
+                return 0;
             socket.setTimeout(options.timeoutMillis);
         }
-        if (net::writeFrame(socket, request) !=
-                net::FrameStatus::Ok ||
-            net::readFrame(socket, response) !=
+        for (const std::string& request : requests) {
+            if (net::writeFrame(socket, request) !=
                 net::FrameStatus::Ok) {
-            // A torn stream is no longer frame-aligned: reconnect
-            // on the next exchange.
-            socket = net::Socket();
-            return false;
+                socket = net::Socket();
+                return 0;
+            }
         }
-        return true;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            std::string response;
+            if (net::readFrame(socket, response) !=
+                net::FrameStatus::Ok) {
+                socket = net::Socket();
+                return responses.size();
+            }
+            responses.push_back(std::move(response));
+        }
+        return responses.size();
+    };
+
+    auto tally = [&](unsigned cls, unsigned outcome,
+                     Clock::time_point since) {
+        stats[cls]->outcomes[outcome].fetch_add(1);
+        if (outcome == kOk || outcome == kOkCached) {
+            stats[cls]->latency.observe(
+                std::chrono::duration<double>(Clock::now() - since)
+                    .count());
+        }
     };
 
     if (options.closedLoop) {
-        // Capacity probe: data-plane classes only, back to back.
+        // Capacity probe: draw classes, fire back to back.
         std::mt19937_64 rng(options.seed ^
                             std::hash<std::thread::id>{}(
                                 std::this_thread::get_id()));
@@ -412,72 +445,108 @@ runWorker(const Options& options, Plane& plane,
                         std::chrono::duration<double>(
                             options.durationSeconds));
         std::uint64_t k = rng();
-        while (Clock::now() < deadline) {
-            unsigned total_weight = 0;
-            for (unsigned c = 0; c < kClassCount; ++c)
-                if (isControlClass(c) == control)
-                    total_weight += options.weights[c];
-            if (total_weight == 0)
-                return;
+        unsigned total_weight = 0;
+        for (unsigned c = 0; c < kClassCount; ++c)
+            if (isControlClass(c) == control)
+                total_weight += options.weights[c];
+        if (total_weight == 0)
+            return;
+        auto drawClass = [&]() -> unsigned {
             unsigned pick =
                 static_cast<unsigned>(rng() % total_weight);
-            unsigned cls = 0;
             for (unsigned c = 0; c < kClassCount; ++c) {
                 if (isControlClass(c) != control ||
                     options.weights[c] == 0)
                     continue;
-                if (pick < options.weights[c]) {
-                    cls = c;
-                    break;
-                }
+                if (pick < options.weights[c])
+                    return c;
                 pick -= options.weights[c];
             }
-            std::string request = buildRequest(options, cls, k++);
+            return 0;
+        };
+        std::vector<std::string> requests, responses;
+        std::vector<unsigned> classes;
+        while (Clock::now() < deadline) {
+            requests.clear();
+            classes.clear();
+            for (unsigned n = 0; n < options.pipeline; ++n) {
+                unsigned cls = drawClass();
+                classes.push_back(cls);
+                requests.push_back(buildRequest(options, cls, k++));
+            }
             Clock::time_point sent = Clock::now();
-            std::string response;
-            unsigned outcome = exchange(request, response)
-                ? classify(response)
-                : kTransportError;
-            stats[cls]->outcomes[outcome].fetch_add(1);
-            if (outcome == kOk || outcome == kOkCached) {
-                stats[cls]->latency.observe(
-                    std::chrono::duration<double>(Clock::now() -
-                                                  sent)
-                        .count());
+            std::size_t got = exchangeBatch(requests, responses);
+            for (std::size_t i = 0; i < requests.size(); ++i) {
+                unsigned outcome = i < got ? classify(responses[i])
+                                           : kTransportError;
+                tally(classes[i], outcome, sent);
             }
         }
         return;
     }
 
+    std::vector<std::size_t> batch;
+    std::vector<std::string> requests, responses;
     for (;;) {
         std::size_t index = plane.next.fetch_add(1);
         if (index >= plane.arrivals.size())
             return;
-        const Arrival& arrival = plane.arrivals[index];
+        const Arrival& first = plane.arrivals[index];
         Clock::time_point scheduled =
             start + std::chrono::duration_cast<Clock::duration>(
                         std::chrono::duration<double>(
-                            arrival.atSeconds));
+                            first.atSeconds));
         Clock::time_point now = Clock::now();
         if (now < scheduled)
             std::this_thread::sleep_until(scheduled);
         else if (now - scheduled > std::chrono::milliseconds(5))
             plane.lateDispatch.fetch_add(1);
 
-        std::string request =
-            buildRequest(options, arrival.cls, arrival.k);
-        std::string response;
-        unsigned outcome = exchange(request, response)
-            ? classify(response)
-            : kTransportError;
-        stats[arrival.cls]->outcomes[outcome].fetch_add(1);
-        if (outcome == kOk || outcome == kOkCached) {
+        batch.assign(1, index);
+        if (options.pipeline > 1) {
+            // Extend the batch with arrivals already due, claimed as
+            // one contiguous run so no arrival is fired early and
+            // none is skipped.
+            double elapsed = std::chrono::duration<double>(
+                                 Clock::now() - start)
+                                 .count();
+            std::size_t begin = plane.next.load();
+            for (;;) {
+                if (begin >= plane.arrivals.size())
+                    break;
+                std::size_t end = begin;
+                while (end < plane.arrivals.size() &&
+                       end - begin + 1 < options.pipeline &&
+                       plane.arrivals[end].atSeconds <= elapsed)
+                    ++end;
+                if (end == begin)
+                    break;
+                if (plane.next.compare_exchange_weak(begin, end)) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        batch.push_back(i);
+                    break;
+                }
+            }
+        }
+
+        requests.clear();
+        for (std::size_t i : batch) {
+            const Arrival& arrival = plane.arrivals[i];
+            requests.push_back(
+                buildRequest(options, arrival.cls, arrival.k));
+        }
+        std::size_t got = exchangeBatch(requests, responses);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Arrival& arrival = plane.arrivals[batch[i]];
             // Latency from the *scheduled* arrival: client-side
             // backlog counts, as it would for a real caller.
-            stats[arrival.cls]->latency.observe(
-                std::chrono::duration<double>(Clock::now() -
-                                              scheduled)
-                    .count());
+            Clock::time_point at =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                arrival.atSeconds));
+            unsigned outcome = i < got ? classify(responses[i])
+                                       : kTransportError;
+            tally(arrival.cls, outcome, at);
         }
     }
 }
@@ -532,6 +601,11 @@ main(int argc, char** argv)
         } else if (flag == "--rate") {
             options.rate = std::strtod(value.c_str(), nullptr);
             rate_given = true;
+        } else if (flag == "--pipeline") {
+            options.pipeline = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 10));
+            if (options.pipeline == 0)
+                options.pipeline = 1;
         } else if (flag == "--mix") {
             if (!parseMix(value, options.weights)) {
                 std::cerr << "error: bad --mix (classes: run, "
@@ -703,6 +777,8 @@ main(int argc, char** argv)
             json.field("wall_seconds", wall_seconds);
             json.field("rate_rps",
                        options.closedLoop ? 0.0 : options.rate);
+            json.field("pipeline",
+                       static_cast<double>(options.pipeline));
             json.field("deadline_ms",
                        static_cast<double>(options.deadlineMillis));
             json.field("seed",

@@ -5,7 +5,10 @@
  * Usage:
  *   jcached [--port N] [--port-file PATH] [--jobs N]
  *           [--engine percell|onepass]
+ *           [--server reactor|threaded]
+ *           [--coordinator] [--workers HOST:PORT,...]
  *           [--queue N] [--cache N] [--timeout MS]
+ *           [--pipeline-cap N]
  *           [--admission codel|queue-cap]
  *           [--admission-target-ms MS] [--admission-interval-ms MS]
  *           [--store-dir PATH] [--store-cap-bytes N]
@@ -17,6 +20,18 @@
  * six benchmark traces once, then serves framed JSON requests until
  * SIGINT/SIGTERM or an in-band shutdown request, draining in-flight
  * connections on the way out.  Protocol: docs/SERVICE.md.
+ *
+ * --server selects the front end: `reactor` (default) multiplexes
+ * every connection onto one epoll/poll event loop and supports
+ * pipelined requests per connection; `threaded` restores the
+ * thread-per-connection loop.  Job execution is identical either way.
+ *
+ * --coordinator with --workers turns the daemon into a shard
+ * coordinator (docs/SHARDING.md): sweep and batch grids scatter over
+ * the listed worker daemons in chunks, merge byte-identically, and
+ * re-scatter around worker failures.  Workers are plain jcached
+ * instances; pointing several at one --store-dir is safe (the store
+ * serializes cross-process eviction on a lock file).
  *
  * --store-dir opens the persistent result store under the in-memory
  * result cache (docs/STORAGE.md): results survive restarts and are
@@ -35,6 +50,7 @@
  * at exit.  Both are documented in docs/OBSERVABILITY.md.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
@@ -43,7 +59,9 @@
 #include <string>
 
 #include "cli_common.hh"
+#include "service/async_server.hh"
 #include "service/server.hh"
+#include "service/shard.hh"
 #include "sim/sweeps.hh"
 #include "telemetry/http_exporter.hh"
 #include "telemetry/metrics.hh"
@@ -56,14 +74,17 @@ namespace
 
 using namespace jcache;
 
-service::Server* g_server = nullptr;
+std::atomic<service::Server*> g_threaded{nullptr};
+std::atomic<service::AsyncServer*> g_reactor{nullptr};
 
 void
 onSignal(int)
 {
     // requestStop() only stores to an atomic: async-signal-safe.
-    if (g_server)
-        g_server->requestStop();
+    if (service::Server* s = g_threaded.load())
+        s->requestStop();
+    if (service::AsyncServer* s = g_reactor.load())
+        s->requestStop();
 }
 
 int
@@ -72,7 +93,10 @@ usage()
     std::cerr <<
         "usage: jcached [--port N] [--port-file PATH] [--jobs N]\n"
         "  [--engine percell|onepass]\n"
+        "  [--server reactor|threaded]\n"
+        "  [--coordinator] [--workers HOST:PORT,...]\n"
         "  [--queue N] [--cache N] [--timeout MS]\n"
+        "  [--pipeline-cap N]\n"
         "  [--admission codel|queue-cap]\n"
         "  [--admission-target-ms MS] [--admission-interval-ms MS]\n"
         "  [--store-dir PATH] [--store-cap-bytes N]\n"
@@ -102,6 +126,9 @@ refreshServiceGauges(service::Service& svc)
     reg.gauge("jcache_uptime_seconds",
               "Seconds since the service started")
         .set(snap.uptimeSeconds);
+    reg.gauge("jcache_connections_open",
+              "Client connections currently open")
+        .set(static_cast<double>(snap.connectionsOpen));
     reg.gauge("jcache_job_wall_seconds_p50",
               "Median job wall time, from the job histogram")
         .set(snap.jobWallP50Seconds);
@@ -117,6 +144,20 @@ refreshServiceGauges(service::Service& svc)
     reg.gauge("jcache_admission_window_p50_ms",
               "Median sojourn of the admission controller's window")
         .set(snap.admission.windowP50Millis);
+    if (snap.role == "coordinator") {
+        auto healthy = static_cast<double>(std::count_if(
+            snap.workers.begin(), snap.workers.end(),
+            [](const service::WorkerHealth& w) { return w.healthy; }));
+        reg.gauge("jcache_shard_workers_healthy",
+                  "Shard workers currently considered healthy")
+            .set(healthy);
+        reg.gauge("jcache_shard_degraded",
+                  "1 while any shard worker is unhealthy")
+            .set(healthy <
+                         static_cast<double>(snap.workers.size())
+                     ? 1.0
+                     : 0.0);
+    }
     if (snap.storeEnabled) {
         reg.gauge("jcache_store_occupancy_bytes",
                   "Bytes resident in the persistent result store")
@@ -130,17 +171,94 @@ refreshServiceGauges(service::Service& svc)
     }
 }
 
+/** Everything serveDaemon needs besides the server itself. */
+struct DaemonOptions
+{
+    std::string portFile;
+    bool metrics = false;
+    std::uint16_t metricsPort = 0;
+    std::string metricsPortFile;
+    std::string traceOut;
+};
+
+/**
+ * The daemon lifecycle, shared by both front ends: start, expose
+ * metrics, install signal handlers, announce the port, serve, drain,
+ * flush the span trace.
+ */
+template <typename ServerT>
+int
+serveDaemon(ServerT& server, std::atomic<ServerT*>& signal_slot,
+            const DaemonOptions& opt)
+{
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+    }
+
+    telemetry::MetricsHttpServer metrics_server;
+    if (opt.metrics) {
+        service::Service& svc = server.service();
+        if (!metrics_server.start(
+                opt.metricsPort,
+                [&svc] { refreshServiceGauges(svc); }, &error)) {
+            std::cerr << "error: " << error << "\n";
+            return 1;
+        }
+        if (!opt.metricsPortFile.empty()) {
+            std::ofstream ofs(opt.metricsPortFile);
+            fatalIf(!ofs, "cannot write metrics port file: " +
+                              opt.metricsPortFile);
+            ofs << metrics_server.port() << "\n";
+        }
+        std::cout << "metrics on http://127.0.0.1:"
+                  << metrics_server.port() << "/metrics"
+                  << std::endl;
+    }
+
+    signal_slot.store(&server);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    if (!opt.portFile.empty()) {
+        std::ofstream ofs(opt.portFile);
+        fatalIf(!ofs, "cannot write port file: " + opt.portFile);
+        ofs << server.port() << "\n";
+    }
+    std::cout << "listening on 127.0.0.1:" << server.port()
+              << std::endl;
+
+    server.serve();
+    std::cerr << "jcached: drained, exiting\n";
+    signal_slot.store(nullptr);
+
+    metrics_server.stop();
+    if (!opt.traceOut.empty()) {
+        telemetry::SpanTracer& tracer =
+            telemetry::SpanTracer::instance();
+        tracer.stop();
+        if (!tracer.save(opt.traceOut, &error)) {
+            std::cerr << "error: " << error << "\n";
+            return 1;
+        }
+        std::cerr << "jcached: wrote " << tracer.eventCount()
+                  << " trace events to " << opt.traceOut << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     service::ServerConfig config;
-    std::string port_file;
-    bool metrics = false;
-    std::uint16_t metrics_port = 0;
-    std::string metrics_port_file;
-    std::string trace_out;
+    DaemonOptions opt;
+    bool use_reactor = true;
+    bool coordinator = false;
+    unsigned pipeline_cap = 128;
+    std::string workers;
 
     tools::CommonFlags common;
     constexpr unsigned kCommonFlags =
@@ -150,6 +268,10 @@ main(int argc, char** argv)
         if (flag == "--version") {
             std::cout << versionLine("jcached") << "\n";
             return 0;
+        }
+        if (flag == "--coordinator") {
+            coordinator = true;
+            continue;
         }
         try {
             if (tools::parseCommonFlag(argc, argv, i, kCommonFlags,
@@ -166,7 +288,19 @@ main(int argc, char** argv)
             config.port = static_cast<std::uint16_t>(
                 std::strtoul(value.c_str(), nullptr, 10));
         } else if (flag == "--port-file") {
-            port_file = value;
+            opt.portFile = value;
+        } else if (flag == "--server") {
+            if (value == "reactor") {
+                use_reactor = true;
+            } else if (value == "threaded") {
+                use_reactor = false;
+            } else {
+                std::cerr << "error: --server must be reactor or "
+                             "threaded\n";
+                return usage();
+            }
+        } else if (flag == "--workers" || flag == "--worker") {
+            workers = value;
         } else if (flag == "--queue") {
             config.service.queueCapacity =
                 std::strtoull(value.c_str(), nullptr, 10);
@@ -176,6 +310,11 @@ main(int argc, char** argv)
         } else if (flag == "--timeout") {
             config.connectionTimeoutMillis = static_cast<unsigned>(
                 std::strtoul(value.c_str(), nullptr, 10));
+        } else if (flag == "--pipeline-cap") {
+            pipeline_cap = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 10));
+            if (pipeline_cap == 0)
+                pipeline_cap = 1;
         } else if (flag == "--admission") {
             auto mode = service::parseAdmissionMode(value);
             if (!mode) {
@@ -196,13 +335,13 @@ main(int argc, char** argv)
             config.service.storeCapBytes =
                 std::strtoull(value.c_str(), nullptr, 10);
         } else if (flag == "--metrics-port") {
-            metrics = true;
-            metrics_port = static_cast<std::uint16_t>(
+            opt.metrics = true;
+            opt.metricsPort = static_cast<std::uint16_t>(
                 std::strtoul(value.c_str(), nullptr, 10));
         } else if (flag == "--metrics-port-file") {
-            metrics_port_file = value;
+            opt.metricsPortFile = value;
         } else if (flag == "--trace-out") {
-            trace_out = value;
+            opt.traceOut = value;
         } else {
             return usage();
         }
@@ -210,10 +349,23 @@ main(int argc, char** argv)
     config.service.executorThreads = common.jobs;
     config.service.engine = common.engine;
 
+    if (coordinator && workers.empty()) {
+        std::cerr << "error: --coordinator requires --workers\n";
+        return usage();
+    }
+    if (!workers.empty() && !coordinator) {
+        std::cerr << "error: --workers requires --coordinator\n";
+        return usage();
+    }
+
     try {
-        if (metrics)
+        if (coordinator)
+            config.service.shard.workers =
+                service::parseWorkerList(workers);
+
+        if (opt.metrics)
             telemetry::setArmed(true);
-        if (!trace_out.empty())
+        if (!opt.traceOut.empty())
             telemetry::SpanTracer::instance().start();
 
         // Generate the shared traces before accepting connections so
@@ -221,63 +373,26 @@ main(int argc, char** argv)
         std::cerr << versionLine("jcached")
                   << ": bootstrapping trace registry...\n";
         sim::TraceSet::extended();
+        if (coordinator)
+            std::cerr << "jcached: coordinating "
+                      << config.service.shard.workers.size()
+                      << " worker(s)\n";
 
+        if (use_reactor) {
+            service::AsyncServerConfig aconfig;
+            aconfig.port = config.port;
+            aconfig.connectionTimeoutMillis =
+                config.connectionTimeoutMillis;
+            aconfig.maxPipelinedRequests = pipeline_cap;
+            aconfig.service = config.service;
+            service::AsyncServer server(aconfig);
+            std::cerr << "jcached: reactor front end ("
+                      << server.backend() << ")\n";
+            return serveDaemon(server, g_reactor, opt);
+        }
         service::Server server(config);
-        std::string error;
-        if (!server.start(&error)) {
-            std::cerr << "error: " << error << "\n";
-            return 1;
-        }
-
-        telemetry::MetricsHttpServer metrics_server;
-        if (metrics) {
-            service::Service& svc = server.service();
-            if (!metrics_server.start(
-                    metrics_port,
-                    [&svc] { refreshServiceGauges(svc); }, &error)) {
-                std::cerr << "error: " << error << "\n";
-                return 1;
-            }
-            if (!metrics_port_file.empty()) {
-                std::ofstream ofs(metrics_port_file);
-                fatalIf(!ofs, "cannot write metrics port file: " +
-                                  metrics_port_file);
-                ofs << metrics_server.port() << "\n";
-            }
-            std::cout << "metrics on http://127.0.0.1:"
-                      << metrics_server.port() << "/metrics"
-                      << std::endl;
-        }
-
-        g_server = &server;
-        std::signal(SIGINT, onSignal);
-        std::signal(SIGTERM, onSignal);
-
-        if (!port_file.empty()) {
-            std::ofstream ofs(port_file);
-            fatalIf(!ofs, "cannot write port file: " + port_file);
-            ofs << server.port() << "\n";
-        }
-        std::cout << "listening on 127.0.0.1:" << server.port()
-                  << std::endl;
-
-        server.serve();
-        std::cerr << "jcached: drained, exiting\n";
-        g_server = nullptr;
-
-        metrics_server.stop();
-        if (!trace_out.empty()) {
-            telemetry::SpanTracer& tracer =
-                telemetry::SpanTracer::instance();
-            tracer.stop();
-            if (!tracer.save(trace_out, &error)) {
-                std::cerr << "error: " << error << "\n";
-                return 1;
-            }
-            std::cerr << "jcached: wrote " << tracer.eventCount()
-                      << " trace events to " << trace_out << "\n";
-        }
-        return 0;
+        std::cerr << "jcached: threaded front end\n";
+        return serveDaemon(server, g_threaded, opt);
     } catch (const FatalError& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
