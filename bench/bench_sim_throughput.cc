@@ -9,7 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "core/data_cache.hh"
@@ -19,6 +23,7 @@
 #include "sim/parallel.hh"
 #include "sim/run.hh"
 #include "sim/sweeps.hh"
+#include "trace/replay_cache.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -191,10 +196,10 @@ BM_GridSweepParallel(benchmark::State& state)
  * the headline number: the one-pass engine decodes the trace once per
  * chunk of lanes instead of once per cell, and must come out >= 2x.
  */
-void
-BM_OnePassSweep(benchmark::State& state)
+/** The union Figure 13-16 grid for one trace (52 cells). */
+std::vector<sim::Request>
+onePassGrid(const trace::Trace& trace)
 {
-    const trace::Trace& trace = sim::TraceSet::standard().get("grr");
     const std::vector<core::WriteMissPolicy> policies = {
         core::WriteMissPolicy::FetchOnWrite,
         core::WriteMissPolicy::WriteValidate,
@@ -218,11 +223,77 @@ BM_OnePassSweep(benchmark::State& state)
         for (core::WriteMissPolicy miss : policies)
             requests.push_back(
                 {&trace, cell(8 * 1024, line, miss), false});
+    return requests;
+}
+
+void
+BM_OnePassSweep(benchmark::State& state)
+{
+    const trace::Trace& trace = sim::TraceSet::standard().get("grr");
+    std::vector<sim::Request> requests = onePassGrid(trace);
 
     sim::BatchOptions jobs1;
     jobs1.jobs = 1;
 
     // Per-cell reference at the same worker count, measured once.
+    static double percell_seconds = [&] {
+        sim::BatchOptions options = jobs1;
+        options.engine = sim::Engine::PerCell;
+        auto start = std::chrono::steady_clock::now();
+        sim::BatchOutcome outcome = sim::runBatch(requests, options);
+        benchmark::DoNotOptimize(outcome.results.data());
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }();
+
+    sim::BatchOptions options = jobs1;
+    options.engine = sim::Engine::OnePass;
+    Count total = 0;
+    double wall = 0.0;
+    for (auto _ : state) {
+        auto start = std::chrono::steady_clock::now();
+        sim::BatchOutcome outcome = sim::runBatch(requests, options);
+        wall += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+        total += outcome.report.totalInstructions();
+        benchmark::DoNotOptimize(outcome.results.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+    state.counters["speedup_vs_percell"] =
+        wall > 0.0 ? percell_seconds *
+                         static_cast<double>(state.iterations()) / wall
+                   : 0.0;
+    state.counters["grid_cells"] =
+        static_cast<double>(requests.size());
+}
+
+/**
+ * The same grid replayed from the mmap'd JCRC cache (the
+ * --trace-cache-dir trajectory): the replay cache is written once per
+ * process, then every pass decodes blocks straight off the mapping
+ * instead of the in-memory record array.  speedup_vs_percell is
+ * comparable with BM_OnePassSweep's counter — the gap between the two
+ * is the cost (or win) of the mapped decode path.
+ */
+void
+BM_OnePassSweepMapped(benchmark::State& state)
+{
+    const trace::Trace& trace = sim::TraceSet::standard().get("grr");
+    static const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("jcache_bench_replay_" + std::to_string(::getpid())))
+            .string();
+    static const trace::MappedReplayCache mapped(
+        trace::ensureReplayCache(trace, dir));
+    std::vector<sim::Request> requests = onePassGrid(trace);
+    for (sim::Request& r : requests)
+        r.source = &mapped;
+
+    sim::BatchOptions jobs1;
+    jobs1.jobs = 1;
+
     static double percell_seconds = [&] {
         sim::BatchOptions options = jobs1;
         options.engine = sim::Engine::PerCell;
@@ -269,6 +340,7 @@ BENCHMARK(BM_GridSweepParallel)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OnePassSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnePassSweepMapped)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -189,6 +189,28 @@ parseDeadline(const JsonValue& request, Clock::time_point received)
  * caller throws it so the submitter sees a `bad_request`, never a
  * payload silently built from partial results.
  */
+/**
+ * The request's trace reference: the API 1.4 `trace_ref` spec when
+ * present, else the legacy `workload` name.  Path refs are refused —
+ * the wire must never name server-side files.
+ */
+sim::TraceRef
+parseTraceRef(const JsonValue& request, const char* type)
+{
+    std::string spec = request.getString("trace_ref");
+    if (spec.empty())
+        spec = request.getString("workload");
+    fatalIf(spec.empty(),
+            std::string(type) +
+                " request needs a 'trace_ref' (or a 'workload' name)");
+    std::optional<sim::TraceRef> ref = sim::TraceRef::parse(spec);
+    fatalIf(!ref, "malformed trace reference: '" + spec + "'");
+    fatalIf(ref->kind() == sim::TraceRef::Kind::Path,
+            "this daemon accepts name: and digest: trace references, "
+            "not paths");
+    return *ref;
+}
+
 std::string
 describeFailures(const sim::SweepReport& report)
 {
@@ -202,6 +224,20 @@ describeFailures(const sim::SweepReport& report)
     return text;
 }
 
+/** TraceRepository wiring of one daemon: registry + uploads +
+ * optional mapped tier; the wire never names server-side paths. */
+sim::TraceRepository::Config
+repoConfig(const ServiceConfig& config, const sim::TraceSet& traces)
+{
+    sim::TraceRepository::Config rc;
+    rc.registry = &traces;
+    rc.generateUnknownNames = false;
+    rc.allowPaths = false;
+    rc.cacheDir = config.traceCacheDir;
+    rc.uploadCapacity = config.uploadTraceCapacity;
+    return rc;
+}
+
 } // namespace
 
 Service::Service(const ServiceConfig& config)
@@ -212,6 +248,7 @@ Service::Service(const ServiceConfig& config)
                            ? sim::defaultJobs()
                            : config.executorThreads),
       cache_(config.cacheCapacity),
+      repo_(repoConfig(config, traces_)),
       admission_(config.admission),
       start_(Clock::now())
 {
@@ -223,8 +260,6 @@ Service::Service(const ServiceConfig& config)
     }
     if (!config_.shard.workers.empty())
         shard_ = std::make_unique<ShardPool>(config_.shard);
-    for (const trace::Trace& t : traces_.traces())
-        identities_[t.name()] = trace::traceIdentity(t);
     scheduler_ = std::thread([this] { schedulerLoop(); });
 }
 
@@ -401,20 +436,21 @@ Service::submitAsync(std::function<std::string()> work,
 }
 
 std::vector<sim::RunResult>
-Service::executeCells(const trace::Trace* trace,
-                      const std::string& workload,
+Service::executeCells(const sim::ResolvedTrace& resolved,
+                      const sim::TraceRef& ref,
                       const std::vector<core::CacheConfig>& configs,
                       bool flush,
                       std::chrono::steady_clock::time_point deadline)
 {
     Clock::time_point start = Clock::now();
     if (shard_) {
-        // Coordinator: the grid runs on the workers.  Timing still
-        // lands in the job histogram (scatter wall time is the
-        // coordinator's job wall time); busySeconds stays zero since
-        // no local executor ran.
+        // Coordinator: the grid runs on the workers, which resolve
+        // the forwarded ref themselves.  Timing still lands in the
+        // job histogram (scatter wall time is the coordinator's job
+        // wall time); busySeconds stays zero since no local executor
+        // ran.
         std::vector<sim::RunResult> results =
-            shard_->execute(workload, flush, configs, deadline);
+            shard_->execute(ref, flush, configs, deadline);
         recordJobTiming(
             std::chrono::duration<double>(Clock::now() - start)
                 .count(),
@@ -424,7 +460,8 @@ Service::executeCells(const trace::Trace* trace,
     std::vector<sim::Request> requests;
     requests.reserve(configs.size());
     for (const core::CacheConfig& c : configs)
-        requests.push_back({trace, c, flush});
+        requests.push_back({resolved.trace.get(), c, flush,
+                            resolved.source.get()});
     sim::BatchOptions options;
     options.engine = config_.engine;
     options.jobs = executorThreads_;
@@ -436,13 +473,14 @@ Service::executeCells(const trace::Trace* trace,
     return std::move(batch.results);
 }
 
-const std::string&
-Service::identityOf(const std::string& workload) const
+sim::ResolvedTrace
+Service::resolveRef(const sim::TraceRef& ref)
 {
-    auto it = identities_.find(workload);
-    fatalIf(it == identities_.end(),
-            "no trace identity for workload '" + workload + "'");
-    return it->second;
+    // The per-cell engine replays trace::Trace records directly, so
+    // a mapped-only resolution must be decoded up front.
+    if (config_.engine == sim::Engine::PerCell && !shard_)
+        return repo_.resolveMaterialized(ref);
+    return repo_.resolve(ref);
 }
 
 std::optional<std::string>
@@ -726,6 +764,12 @@ Service::handleAsync(const std::string& request_json,
                 "' (use "
                 "run|sweep|batch|upload|stats|health|ping|shutdown)",
             request_id));
+    } catch (const sim::UnknownTraceError& e) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++errors_;
+        }
+        reply(errorResponse("unknown_trace", e.what(), request_id));
     } catch (const FatalError& e) {
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -747,21 +791,20 @@ Service::handleRun(const JsonValue& request,
                    ResponseCallback done)
 {
     Clock::time_point received = Clock::now();
-    std::string workload = request.getString("workload");
-    fatalIf(workload.empty(), "run request needs a 'workload'");
+    sim::TraceRef ref = parseTraceRef(request, "run");
     core::CacheConfig config =
         parseCacheConfig(request.get("config"));
     config.validate();
     bool flush = request.getBool("flush", true);
 
-    // Resolving the trace before queueing turns an unknown workload
-    // into an immediate error rather than a queued failure.
-    const trace::Trace& trace = traces_.get(workload);
+    // Resolving the trace before queueing turns an unknown reference
+    // into an immediate typed error rather than a queued failure.
+    sim::ResolvedTrace resolved = resolveRef(ref);
 
     store::KeyContext ctx;
     ctx.engine = config_.engine;
     std::string digest = store::cellKey(
-        ctx, identityOf(workload), canonicalConfigKey(config), flush);
+        ctx, resolved, canonicalConfigKey(config), flush);
     if (auto hit = cacheLookup(digest)) {
         done(okResponse("run", digest, true, *hit, request_id));
         return;
@@ -774,20 +817,22 @@ Service::handleRun(const JsonValue& request,
     }
 
     // The work lambda outlives this call (the submitter no longer
-    // blocks), so every capture is owning except the trace, whose
-    // registry is immutable for the service's lifetime.
+    // blocks), so every capture is owning: `resolved` shares
+    // ownership of the records (or mapping) even if the repository
+    // evicts the upload that satisfied the ref meanwhile.
     auto done_ptr =
         std::make_shared<ResponseCallback>(std::move(done));
     bool admitted = submitAsync(
-        [this, &trace, config, flush, workload,
+        [this, resolved, ref, config, flush,
          at = deadline.at]() -> std::string {
             std::vector<sim::RunResult> results = executeCells(
-                &trace, workload, {config}, flush, at);
+                resolved, ref, {config}, flush, at);
 
             std::ostringstream oss;
             stats::JsonWriter json(oss);
             json.beginObject();
-            json.field("workload", workload);
+            json.field("workload", resolved.name);
+            json.field("trace_digest", resolved.digest);
             json.field("flushed", flush);
             writeRunResult(json, "result", results.front());
             json.endObject();
@@ -808,8 +853,7 @@ Service::handleSweep(const JsonValue& request,
                      ResponseCallback done)
 {
     Clock::time_point received = Clock::now();
-    std::string workload = request.getString("workload");
-    fatalIf(workload.empty(), "sweep request needs a 'workload'");
+    sim::TraceRef ref = parseTraceRef(request, "sweep");
     std::string axis = request.getString("axis");
     fatalIf(axis.empty(), "sweep request needs an 'axis'");
     core::CacheConfig base = parseCacheConfig(request.get("config"));
@@ -818,14 +862,14 @@ Service::handleSweep(const JsonValue& request,
     for (const core::CacheConfig& c : points.configs)
         c.validate();
 
-    const trace::Trace& trace = traces_.get(workload);
+    sim::ResolvedTrace resolved = resolveRef(ref);
 
     // The digest covers the axis and base config, not the metric:
     // every metric is derivable from the cached raw counts.
     store::KeyContext ctx;
     ctx.engine = config_.engine;
     std::string digest = store::sweepKey(
-        ctx, identityOf(workload), axis, canonicalConfigKey(base));
+        ctx, resolved, axis, canonicalConfigKey(base));
     if (auto hit = cacheLookup(digest)) {
         done(okResponse("sweep", digest, true, *hit, request_id));
         return;
@@ -842,15 +886,16 @@ Service::handleSweep(const JsonValue& request,
     auto done_ptr =
         std::make_shared<ResponseCallback>(std::move(done));
     bool admitted = submitAsync(
-        [this, &trace, points, axis, workload,
+        [this, resolved, ref, points, axis,
          at = deadline.at]() -> std::string {
             std::vector<sim::RunResult> results = executeCells(
-                &trace, workload, points.configs, false, at);
+                resolved, ref, points.configs, false, at);
 
             std::ostringstream oss;
             stats::JsonWriter json(oss);
             json.beginObject();
-            json.field("workload", workload);
+            json.field("workload", resolved.name);
+            json.field("trace_digest", resolved.digest);
             json.field("axis", axis);
             json.beginArray("labels");
             for (const std::string& label : points.labels)
@@ -936,6 +981,27 @@ Service::handleUpload(const JsonValue& request,
         return;
     }
 
+    // The parsed trace must outlive this call (the submitter no
+    // longer blocks until the job runs), so the work lambda owns it
+    // through a shared_ptr.  Uploads run locally even on a
+    // coordinator: the body exists only on this node.  Parsing and
+    // registration happen *before* the result-cache lookup so a
+    // repeated upload still (re-)registers the trace for later
+    // by-digest runs even when its own result is already cached.
+    auto trace = std::make_shared<trace::Trace>();
+    try {
+        telemetry::Span import_span("trace.import", "service");
+        std::istringstream iss(body);
+        *trace = trace::importTraceText(iss, name, "<upload>");
+        import_span.arg("records", std::to_string(trace->size()));
+    } catch (const trace::CorruptTraceError& e) {
+        countImport(false, body.size(), 0);
+        done(errorResponse("bad_trace", e.what(), request_id));
+        return;
+    }
+    countImport(true, body.size(), trace->size());
+    std::string trace_digest = repo_.addUpload(*trace);
+
     // Content-addressed caching: re-uploading the same bytes under
     // the same config is a cache hit, so the key hashes the body,
     // not the client-chosen name (which only rides along because it
@@ -956,27 +1022,11 @@ Service::handleUpload(const JsonValue& request,
         return;
     }
 
-    // The parsed trace must outlive this call (the submitter no
-    // longer blocks until the job runs), so the work lambda owns it
-    // through a shared_ptr.  Uploads run locally even on a
-    // coordinator: the body exists only on this node.
-    auto trace = std::make_shared<trace::Trace>();
-    try {
-        telemetry::Span import_span("trace.import", "service");
-        std::istringstream iss(body);
-        *trace = trace::importTraceText(iss, name, "<upload>");
-        import_span.arg("records", std::to_string(trace->size()));
-    } catch (const trace::CorruptTraceError& e) {
-        countImport(false, body.size(), 0);
-        done(errorResponse("bad_trace", e.what(), request_id));
-        return;
-    }
-    countImport(true, body.size(), trace->size());
-
     auto done_ptr =
         std::make_shared<ResponseCallback>(std::move(done));
     bool admitted = submitAsync(
-        [this, trace, config, flush, name]() -> std::string {
+        [this, trace, trace_digest, config, flush,
+         name]() -> std::string {
             sim::BatchOptions options;
             options.engine = config_.engine;
             options.jobs = executorThreads_;
@@ -993,6 +1043,7 @@ Service::handleUpload(const JsonValue& request,
             stats::JsonWriter json(oss);
             json.beginObject();
             json.field("workload", name);
+            json.field("trace_digest", trace_digest);
             json.field("flushed", flush);
             json.field("records",
                        static_cast<double>(trace->size()));
@@ -1015,8 +1066,7 @@ Service::handleBatch(const JsonValue& request,
                      ResponseCallback done)
 {
     Clock::time_point received = Clock::now();
-    std::string workload = request.getString("workload");
-    fatalIf(workload.empty(), "batch request needs a 'workload'");
+    sim::TraceRef ref = parseTraceRef(request, "batch");
     const JsonValue& cells = request.get("configs");
     fatalIf(!cells.isArray() || cells.items().empty(),
             "batch request needs a non-empty 'configs' array");
@@ -1041,11 +1091,11 @@ Service::handleBatch(const JsonValue& request,
         configs.push_back(config);
     }
 
-    const trace::Trace& trace = traces_.get(workload);
+    sim::ResolvedTrace resolved = resolveRef(ref);
 
     store::KeyContext ctx;
     ctx.engine = config_.engine;
-    std::string digest = store::batchKey(ctx, identityOf(workload),
+    std::string digest = store::batchKey(ctx, resolved.identity,
                                          config_keys, flush);
     if (auto hit = cacheLookup(digest)) {
         done(okResponse("batch", digest, true, *hit, request_id));
@@ -1061,10 +1111,10 @@ Service::handleBatch(const JsonValue& request,
     auto done_ptr =
         std::make_shared<ResponseCallback>(std::move(done));
     bool admitted = submitAsync(
-        [this, &trace, workload, configs = std::move(configs),
+        [this, resolved, ref, configs = std::move(configs),
          flush, at = deadline.at]() -> std::string {
             std::vector<sim::RunResult> results = executeCells(
-                &trace, workload, configs, flush, at);
+                resolved, ref, configs, flush, at);
 
             // Result elements render exactly as a sweep's: the
             // coordinator's merge reuses the same writeRunResult
@@ -1073,7 +1123,8 @@ Service::handleBatch(const JsonValue& request,
             std::ostringstream oss;
             stats::JsonWriter json(oss);
             json.beginObject();
-            json.field("workload", workload);
+            json.field("workload", resolved.name);
+            json.field("trace_digest", resolved.digest);
             json.field("flushed", flush);
             json.beginArray("results");
             for (const sim::RunResult& result : results) {

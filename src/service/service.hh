@@ -59,6 +59,7 @@
 #include "service/shard.hh"
 #include "sim/engine.hh"
 #include "sim/sweeps.hh"
+#include "sim/trace_ref.hh"
 #include "store/store.hh"
 #include "telemetry/metrics.hh"
 
@@ -216,6 +217,17 @@ struct ServiceConfig
      * exists only on this node.
      */
     ShardConfig shard;
+
+    /**
+     * Replay-cache directory of the daemon's TraceRepository
+     * (jcached --trace-cache-dir).  When set, digest refs also
+     * resolve against `<digest>.jcrc` files there and replay them
+     * mmap'd.  Empty disables the mapped tier.
+     */
+    std::string traceCacheDir;
+
+    /** Uploaded traces retained for by-digest runs (FIFO evicted). */
+    std::size_t uploadTraceCapacity = 64;
 };
 
 /**
@@ -364,14 +376,22 @@ class Service
 
     /**
      * Run one grid of cells: locally through sim::runBatch, or — on
-     * a coordinator — scattered over the shard pool.  Called from
-     * the scheduler thread inside a job's work; throws FatalError
-     * (or ShardError) on failure.
+     * a coordinator — scattered over the shard pool (which forwards
+     * `ref` on the wire).  Called from the scheduler thread inside a
+     * job's work; throws FatalError (or ShardError) on failure.
      */
     std::vector<sim::RunResult> executeCells(
-        const trace::Trace* trace, const std::string& workload,
+        const sim::ResolvedTrace& resolved, const sim::TraceRef& ref,
         const std::vector<core::CacheConfig>& configs, bool flush,
         std::chrono::steady_clock::time_point deadline);
+
+    /**
+     * Resolve a request's trace reference, materializing the records
+     * when the configured engine needs them in memory.  Throws
+     * sim::UnknownTraceError (answered as `unknown_trace`) when
+     * nothing satisfies the ref.
+     */
+    sim::ResolvedTrace resolveRef(const sim::TraceRef& ref);
 
     /**
      * Back-off hint for a shed job, in milliseconds: queue depth
@@ -401,9 +421,6 @@ class Service
     void cacheInsert(const std::string& digest,
                      const std::string& payload);
 
-    /** Identity (trace/trace.hh) of a registered workload's trace. */
-    const std::string& identityOf(const std::string& workload) const;
-
     void schedulerLoop();
 
     /** Answer a dequeued job with a shed instead of running it. */
@@ -432,11 +449,11 @@ class Service
     std::unique_ptr<ShardPool> shard_;
 
     /**
-     * Workload name -> trace identity, computed once at construction
-     * (the registry's traces are immutable), so request handling
-     * never re-hashes a trace body.
+     * Resolves every request's trace reference: the registry by
+     * name, uploads and `<digest>.jcrc` files by digest.  Path refs
+     * never resolve here — the wire must not name server-side files.
      */
-    std::map<std::string, std::string> identities_;
+    sim::TraceRepository repo_;
 
     std::atomic<bool> shutdown_{false};
     std::atomic<bool> stopping_{false};

@@ -141,14 +141,14 @@ ShardPool::health() const
 }
 
 std::vector<sim::RunResult>
-ShardPool::execute(const std::string& workload, bool flush,
+ShardPool::execute(const sim::TraceRef& ref, bool flush,
                    const std::vector<core::CacheConfig>& configs,
                    Clock::time_point deadline)
 {
     fatalIf(configs.empty(), "scatter needs at least one cell");
 
     Scatter scatter;
-    scatter.workload = workload;
+    scatter.ref = ref;
     scatter.flush = flush;
     scatter.deadline = deadline;
     scatter.results.resize(configs.size());
@@ -236,7 +236,7 @@ ShardPool::runChunk(Worker& worker, Scatter& s,
                     const Chunk& chunk, unsigned& retry_wait)
 {
     // Called from workerLoop with mutex_ released; the Scatter's
-    // workload/flush/deadline are immutable once published and
+    // ref/flush/deadline are immutable once published and
     // execute() cannot return while this chunk is outstanding.
     retry_wait = 0;
     if (!ensureConnected(worker))
@@ -259,7 +259,11 @@ ShardPool::runChunk(Worker& worker, Scatter& s,
     json.field("api_version", std::string(kApiVersion));
     json.field("request_id",
                "scatter-" + std::to_string(chunk.firstCell));
-    json.field("workload", s.workload);
+    json.field("trace_ref", s.ref.spec());
+    if (s.ref.kind() == sim::TraceRef::Kind::Name) {
+        // Legacy field: a pre-1.4 worker only understands names.
+        json.field("workload", s.ref.value());
+    }
     json.field("flush", s.flush);
     if (remaining_millis > 0.0)
         json.field("deadline_ms", remaining_millis);

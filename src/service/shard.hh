@@ -6,7 +6,7 @@
  * bounded queue: when a run/sweep job reaches the scheduler, the
  * ShardPool splits its grid cells along the engine's natural
  * chunk-into-lanes boundary (16 cells, one one-pass lane group) and
- * scatters the chunks as API 1.3 `batch` requests over persistent
+ * scatters the chunks as API 1.4 `batch` requests over persistent
  * connections to the configured workers.  Every worker computes raw
  * counts through the same sim::runBatch path as a local daemon, and
  * counts round-trip the wire exactly (service/render.hh), so the
@@ -39,6 +39,7 @@
 #include "core/config.hh"
 #include "net/socket.hh"
 #include "sim/engine.hh"
+#include "sim/trace_ref.hh"
 #include "util/logging.hh"
 
 namespace jcache::service
@@ -139,12 +140,14 @@ class ShardPool
 
     /**
      * Scatter one grid over the workers and merge the per-cell
-     * results back into request order.  `deadline` (zero = none) is
-     * forwarded to workers as their remaining deadline_ms budget.
+     * results back into request order.  `ref` is forwarded on the
+     * wire (`trace_ref`, plus the legacy `workload` field for name
+     * refs so pre-1.4 workers still serve them); `deadline` (zero =
+     * none) becomes each worker's remaining deadline_ms budget.
      * Throws ShardError when the grid cannot complete.
      */
     std::vector<sim::RunResult> execute(
-        const std::string& workload, bool flush,
+        const sim::TraceRef& ref, bool flush,
         const std::vector<core::CacheConfig>& configs,
         std::chrono::steady_clock::time_point deadline);
 
@@ -165,7 +168,7 @@ class ShardPool
     /** One scatter's shared state between execute() and the threads. */
     struct Scatter
     {
-        std::string workload;
+        sim::TraceRef ref;
         bool flush = false;
         std::chrono::steady_clock::time_point deadline{};
         std::deque<Chunk> pending;

@@ -24,17 +24,26 @@ namespace
 {
 
 /**
- * Lanes per one-pass chunk.  Enough that a pass amortizes the decode
- * across many cells, few enough that a chunk's SoA lane state stays
- * resident while a block streams through it — and that a typical
- * figure grid still splits into several chunks for the worker pool.
+ * Lanes per one-pass chunk when a worker pool runs chunks in
+ * parallel.  Enough that a pass amortizes the decode across many
+ * cells, few enough that a chunk's SoA lane state stays resident
+ * while a block streams through it — and that a typical figure grid
+ * still splits into several chunks for the pool.
  */
 constexpr std::size_t kLanesPerChunk = 16;
 
-/** All requests against one trace, deduplicated. */
+/**
+ * Lanes per chunk when a single worker runs the batch.  Splitting
+ * buys nothing serially and costs a fresh decode of every block per
+ * chunk, so chunks grow until lane state (not the decode) dominates.
+ */
+constexpr std::size_t kLanesPerChunkSerial = 32;
+
+/** All requests against one reference stream, deduplicated. */
 struct TraceGroup
 {
     const trace::Trace* trace = nullptr;
+    const trace::ReplaySource* source = nullptr;
 
     /** Distinct (config, flush) cells, in first-seen order. */
     std::vector<LaneSpec> lanes;
@@ -71,19 +80,23 @@ BatchOutcome
 runBatchOnePass(const std::vector<Request>& requests,
                 const BatchOptions& options)
 {
-    // Group requests by trace (first-seen order), deduplicating
-    // identical (config, flush) cells within each group.
+    // Group requests by reference stream (first-seen order),
+    // deduplicating identical (config, flush) cells within each
+    // group.  Both pointers participate in the key so a trace and a
+    // mapped source over the same records stay separate passes.
     std::vector<TraceGroup> groups;
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const Request& request = requests[i];
         TraceGroup* group = nullptr;
         for (TraceGroup& g : groups)
-            if (g.trace == request.trace) {
+            if (g.trace == request.trace &&
+                g.source == request.source) {
                 group = &g;
                 break;
             }
         if (!group) {
-            groups.push_back(TraceGroup{request.trace, {}, {}});
+            groups.push_back(
+                TraceGroup{request.trace, request.source, {}, {}});
             group = &groups.back();
         }
         std::size_t lane = group->lanes.size();
@@ -102,13 +115,17 @@ runBatchOnePass(const std::vector<Request>& requests,
     }
 
     // Chunk each group's lanes so the pool can overlap passes.
+    const unsigned jobs =
+        options.jobs == 0 ? defaultJobs() : options.jobs;
+    const std::size_t lanes_per_chunk =
+        jobs == 1 ? kLanesPerChunkSerial : kLanesPerChunk;
     std::vector<Chunk> chunks;
     for (const TraceGroup& group : groups)
         for (std::size_t first = 0; first < group.lanes.size();
-             first += kLanesPerChunk)
+             first += lanes_per_chunk)
             chunks.push_back(
                 Chunk{&group, first,
-                      std::min(kLanesPerChunk,
+                      std::min(lanes_per_chunk,
                                group.lanes.size() - first)});
 
     BatchOutcome outcome;
@@ -128,7 +145,8 @@ runBatchOnePass(const std::vector<Request>& requests,
                 group.lanes.begin() + chunk.first,
                 group.lanes.begin() + chunk.first + chunk.count);
             std::vector<Result> results =
-                runTracePass(*group.trace, lanes);
+                group.source ? runTracePass(*group.source, lanes)
+                             : runTracePass(*group.trace, lanes);
             Count replayed = 0;
             for (std::size_t k = 0; k < results.size(); ++k) {
                 replayed = results[k].instructions;
@@ -208,23 +226,33 @@ parseEngine(const std::string& code)
 Result
 runOne(const Request& request, Engine engine)
 {
-    fatalIf(request.trace == nullptr,
+    fatalIf(request.trace == nullptr && request.source == nullptr,
             "simulation request names no trace");
-    if (engine == Engine::PerCell)
+    if (engine == Engine::PerCell) {
+        fatalIf(request.trace == nullptr,
+                "the per-cell engine needs an in-memory trace; "
+                "resolveMaterialized() the reference first");
         return runTrace(*request.trace, request.config,
                         request.flushAtEnd);
-    return runTracePass(*request.trace,
-                        {LaneSpec{request.config, request.flushAtEnd}})
-        .front();
+    }
+    const LaneSpec lane{request.config, request.flushAtEnd};
+    if (request.source)
+        return runTracePass(*request.source, {lane}).front();
+    return runTracePass(*request.trace, {lane}).front();
 }
 
 BatchOutcome
 runBatch(const std::vector<Request>& requests,
          const BatchOptions& options)
 {
-    for (const Request& request : requests)
-        fatalIf(request.trace == nullptr,
+    for (const Request& request : requests) {
+        fatalIf(request.trace == nullptr && request.source == nullptr,
                 "simulation request names no trace");
+        fatalIf(options.engine == Engine::PerCell &&
+                    request.trace == nullptr,
+                "the per-cell engine needs an in-memory trace; "
+                "resolveMaterialized() the reference first");
+    }
     if (options.engine == Engine::PerCell)
         return runBatchPerCell(requests, options);
     return runBatchOnePass(requests, options);

@@ -29,6 +29,7 @@
 #include "core/config.hh"
 #include "sim/parallel.hh"
 #include "sim/run.hh"
+#include "trace/replay.hh"
 #include "trace/trace.hh"
 
 namespace jcache::sim
@@ -52,16 +53,27 @@ std::optional<Engine> parseEngine(const std::string& code);
 
 /**
  * One simulation request: what to replay, not how.
+ *
+ * The reference stream comes in one of two forms.  `trace` is the
+ * classic in-memory form and is what Engine::PerCell requires.
+ * `source` is any block-decodable stream — typically an mmap'd
+ * replay cache resolved through TraceRepository — which the one-pass
+ * engine replays without materializing the records.  At least one
+ * must be set; when both are, they must describe the same records
+ * (the one-pass engine prefers `source`).
  */
 struct Request
 {
-    /** The reference stream; must outlive the call.  Never null. */
+    /** In-memory records; must outlive the call when set. */
     const trace::Trace* trace = nullptr;
 
     core::CacheConfig config;
 
     /** Drain dirty lines at end of trace (flush-stop statistics). */
     bool flushAtEnd = false;
+
+    /** Block stream to replay; must outlive the call when set. */
+    const trace::ReplaySource* source = nullptr;
 };
 
 /**

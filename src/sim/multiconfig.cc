@@ -5,6 +5,22 @@
  * The fast-lane replay mirrors DataCache::readPiece / writePiece /
  * evict / flush counter for counter; any change to those must be
  * reflected here (the differential test will catch a divergence).
+ *
+ * Two replay paths implement those semantics:
+ *
+ *  - applyPiece() — the scalar reference kernel, one lane at a time.
+ *  - replayTileAvx2() — four lanes of one policy group at once: the
+ *    tag compare, valid-mask test and hot counter increments run as
+ *    256-bit vector operations (tags gathered from the four lanes'
+ *    SoA arrays with 64-bit gathers), and any lane that falls off the
+ *    all-hit fast path is handed to applyPiece() for that one access.
+ *
+ * Byte identity between the two is structural: the vector path only
+ * ever (a) performs the exact state updates the scalar kernel would
+ * and (b) accumulates the same counter increments in a different
+ * order, and counter accumulation is integer addition, which is
+ * associative and commutative.  tests/test_simd.cc and the engine
+ * differential suite verify the equivalence on adversarial traces.
  */
 
 #include "sim/multiconfig.hh"
@@ -20,6 +36,7 @@
 #include "telemetry/metrics.hh"
 #include "telemetry/trace_writer.hh"
 #include "util/bitops.hh"
+#include "util/simd.hh"
 
 namespace jcache::sim
 {
@@ -89,11 +106,213 @@ decodeBlock(const trace::TraceRecord* recs, std::size_t n,
 }
 
 /**
+ * Counters one lane accumulates over one block, flushed into the
+ * lane's persistent stats once per block.  Field names mirror the
+ * CacheStats / traffic fields they feed.
+ */
+struct BlockCounters
+{
+    Count reads = 0, readHits = 0, readMisses = 0, partial = 0;
+    Count writes = 0, writeHits = 0, writeMisses = 0;
+    Count fetched = 0, wmFetch = 0, wtCount = 0, inval = 0;
+    Count victims = 0, dirtyVictims = 0, dvBytes = 0;
+    Count dirtyWrites = 0;
+    Count fetchTx = 0, fetchBytes = 0, wtTx = 0, wtBytes = 0;
+    Count wbTx = 0, wbBytes = 0;
+};
+
+/** Raw SoA state of one fast lane, as the replay kernels see it. */
+struct LaneView
+{
+    Addr* T;                //!< tag per line (kNoTag = empty)
+    ByteMask* V;            //!< valid byte mask per line
+    ByteMask* D;            //!< dirty byte mask per line
+    std::uint64_t im;       //!< set index mask
+    ByteMask full;          //!< full-line byte mask
+    unsigned lineBytes;     //!< line size in bytes
+};
+
+/** Evict the line at `idx` (no-op when empty), as DataCache::evict. */
+template <bool WB>
+[[gnu::always_inline]] inline void
+evictLine(const LaneView& s, BlockCounters& c, std::uint64_t idx)
+{
+    if (s.T[idx] == kNoTag)
+        return;
+    ++c.victims;
+    if (WB && s.D[idx] != 0) {
+        ++c.dirtyVictims;
+        unsigned db = popcount(s.D[idx]);
+        c.dvBytes += db;
+        ++c.wbTx;
+        c.wbBytes += db;
+        s.D[idx] = 0;
+    }
+    s.T[idx] = kNoTag;
+    s.V[idx] = 0;
+}
+
+/**
+ * The scalar reference kernel, read half: apply one decoded read
+ * piece to one lane.  Reads never consult the write-miss policy, so
+ * the vector tiles' read fallback dispatches straight here with no
+ * policy switch.
+ */
+template <bool WB>
+[[gnu::always_inline]] inline void
+applyRead(const LaneView& s, BlockCounters& c, const Piece& p)
+{
+    const Addr la = p.la;
+    const ByteMask mask = p.mask;
+    const std::uint64_t idx = la & s.im;
+    Addr* const T = s.T;
+    ByteMask* const V = s.V;
+    ++c.reads;
+    if (T[idx] == la && (V[idx] & mask) == mask) [[likely]] {
+        ++c.readHits;
+    } else if (T[idx] == la) {
+        // Tag hit on invalid bytes: fetch fills the line.
+        ++c.readMisses;
+        ++c.partial;
+        ++c.fetched;
+        ++c.fetchTx;
+        c.fetchBytes += s.lineBytes;
+        V[idx] = s.full;
+    } else {
+        ++c.readMisses;
+        evictLine<WB>(s, c, idx);
+        ++c.fetched;
+        ++c.fetchTx;
+        c.fetchBytes += s.lineBytes;
+        T[idx] = la;
+        V[idx] = s.full;
+        if (WB)
+            s.D[idx] = 0;
+    }
+}
+
+/** The scalar reference kernel, write half. */
+template <bool WB, WriteMissPolicy MP>
+[[gnu::always_inline]] inline void
+applyWrite(const LaneView& s, BlockCounters& c, const Piece& p)
+{
+    const Addr la = p.la;
+    const ByteMask mask = p.mask;
+    const std::uint64_t idx = la & s.im;
+    Addr* const T = s.T;
+    ByteMask* const V = s.V;
+    ByteMask* const D = s.D;
+    ++c.writes;
+    if (T[idx] == la) [[likely]] {
+        ++c.writeHits;
+        if (WB) {
+            if (D[idx] != 0)
+                ++c.dirtyWrites;
+            D[idx] |= mask;
+            V[idx] |= mask;
+        } else {
+            V[idx] |= mask;
+            ++c.wtCount;
+            ++c.wtTx;
+            c.wtBytes += p.size;
+        }
+    } else {
+        ++c.writeMisses;
+        if (MP == WriteMissPolicy::FetchOnWrite) {
+            evictLine<WB>(s, c, idx);
+            ++c.fetched;
+            ++c.wmFetch;
+            ++c.fetchTx;
+            c.fetchBytes += s.lineBytes;
+            T[idx] = la;
+            V[idx] = s.full;
+            if (WB) {
+                D[idx] = mask;
+            } else {
+                ++c.wtCount;
+                ++c.wtTx;
+                c.wtBytes += p.size;
+            }
+        } else if (MP == WriteMissPolicy::WriteValidate) {
+            evictLine<WB>(s, c, idx);
+            T[idx] = la;
+            V[idx] = mask;
+            if (WB) {
+                D[idx] = mask;
+            } else {
+                ++c.wtCount;
+                ++c.wtTx;
+                c.wtBytes += p.size;
+            }
+        } else if (MP == WriteMissPolicy::WriteAround) {
+            ++c.wtCount;
+            ++c.wtTx;
+            c.wtBytes += p.size;
+        } else {  // WriteInvalidate (direct-mapped)
+            ++c.wtCount;
+            ++c.wtTx;
+            c.wtBytes += p.size;
+            if (T[idx] != kNoTag) {
+                T[idx] = kNoTag;
+                V[idx] = 0;
+                if (WB)
+                    D[idx] = 0;
+                ++c.inval;
+            }
+        }
+    }
+}
+
+/**
+ * The scalar reference kernel: apply one decoded piece to one lane.
+ * This is the single source of truth for fast-lane semantics; the
+ * vector path delegates every non-fast-path access here.
+ */
+template <bool WB, WriteMissPolicy MP>
+[[gnu::always_inline]] inline void
+applyPiece(const LaneView& s, BlockCounters& c, const Piece& p)
+{
+    if (p.read)
+        applyRead<WB>(s, c, p);
+    else
+        applyWrite<WB, MP>(s, c, p);
+}
+
+/**
+ * applyWrite with the miss policy chosen at run time.  The vector
+ * tiles group lanes by (line size, hit policy) only — the fast paths
+ * they retire never consult the miss policy — so when a lane falls
+ * off the fast path on a write its miss policy is dispatched here,
+ * per access.  Write misses are the minority on every workload, so
+ * the switch stays off the hot path.
+ */
+template <bool WB>
+[[gnu::always_inline]] inline void
+applyWriteDyn(WriteMissPolicy mp, const LaneView& s, BlockCounters& c,
+              const Piece& p)
+{
+    switch (mp) {
+      case WriteMissPolicy::FetchOnWrite:
+        applyWrite<WB, WriteMissPolicy::FetchOnWrite>(s, c, p);
+        break;
+      case WriteMissPolicy::WriteValidate:
+        applyWrite<WB, WriteMissPolicy::WriteValidate>(s, c, p);
+        break;
+      case WriteMissPolicy::WriteAround:
+        applyWrite<WB, WriteMissPolicy::WriteAround>(s, c, p);
+        break;
+      case WriteMissPolicy::WriteInvalidate:
+        applyWrite<WB, WriteMissPolicy::WriteInvalidate>(s, c, p);
+        break;
+    }
+}
+
+/**
  * Specialized lane: direct-mapped, byte-granularity valid bits.
  *
  * Structure-of-arrays line state with a sentinel tag, policy choices
- * lifted to template parameters, counters accumulated in locals and
- * flushed to members once per block.
+ * lifted to template parameters, counters accumulated in
+ * BlockCounters and flushed to members once per block.
  */
 class FastLane
 {
@@ -114,32 +333,55 @@ class FastLane
     unsigned lineBytes() const { return config_.lineBytes; }
     unsigned lineShift() const { return lineShift_; }
 
-    /** Replay one decoded block through this lane. */
-    void replay(const Piece* pieces, std::size_t n)
+    bool writeBack() const
     {
-        const bool wb =
-            config_.hitPolicy == core::WriteHitPolicy::WriteBack;
-        switch (config_.missPolicy) {
-          case WriteMissPolicy::FetchOnWrite:
-            wb ? replay<true, WriteMissPolicy::FetchOnWrite>(pieces, n)
-               : replay<false, WriteMissPolicy::FetchOnWrite>(pieces, n);
-            break;
-          case WriteMissPolicy::WriteValidate:
-            wb ? replay<true, WriteMissPolicy::WriteValidate>(pieces, n)
-               : replay<false, WriteMissPolicy::WriteValidate>(pieces,
-                                                               n);
-            break;
-          case WriteMissPolicy::WriteAround:
-            wb ? replay<true, WriteMissPolicy::WriteAround>(pieces, n)
-               : replay<false, WriteMissPolicy::WriteAround>(pieces, n);
-            break;
-          case WriteMissPolicy::WriteInvalidate:
-            wb ? replay<true, WriteMissPolicy::WriteInvalidate>(pieces,
-                                                                n)
-               : replay<false, WriteMissPolicy::WriteInvalidate>(pieces,
-                                                                 n);
-            break;
-        }
+        return config_.hitPolicy == core::WriteHitPolicy::WriteBack;
+    }
+
+    WriteMissPolicy missPolicy() const { return config_.missPolicy; }
+
+    /** This lane's state as the kernels address it. */
+    LaneView view()
+    {
+        return LaneView{tags_.data(), valid_.data(), dirty_.data(),
+                        indexMask_, fullMask_, config_.lineBytes};
+    }
+
+    /** Fold one block's counters into the persistent stats. */
+    void absorb(const BlockCounters& c)
+    {
+        stats_.reads += c.reads;
+        stats_.readHits += c.readHits;
+        stats_.readMisses += c.readMisses;
+        stats_.partialValidReadMisses += c.partial;
+        stats_.writes += c.writes;
+        stats_.writeHits += c.writeHits;
+        stats_.writeMisses += c.writeMisses;
+        stats_.linesFetched += c.fetched;
+        stats_.writeMissFetches += c.wmFetch;
+        stats_.writeThroughs += c.wtCount;
+        stats_.invalidations += c.inval;
+        stats_.victims += c.victims;
+        stats_.dirtyVictims += c.dirtyVictims;
+        stats_.dirtyVictimDirtyBytes += c.dvBytes;
+        stats_.writesToDirtyLines += c.dirtyWrites;
+        fetch_.txns += c.fetchTx;
+        fetch_.bytes += c.fetchBytes;
+        wt_.txns += c.wtTx;
+        wt_.bytes += c.wtBytes;
+        wb_.txns += c.wbTx;
+        wb_.bytes += c.wbBytes;
+    }
+
+    /** Replay one decoded block through this lane, scalar. */
+    template <bool WB, WriteMissPolicy MP>
+    void replayScalar(const Piece* P, std::size_t n)
+    {
+        const LaneView s = view();
+        BlockCounters c;
+        for (std::size_t k = 0; k < n; ++k)
+            applyPiece<WB, MP>(s, c, P[k]);
+        absorb(c);
     }
 
     /**
@@ -149,8 +391,7 @@ class FastLane
      */
     void flush()
     {
-        const bool wb =
-            config_.hitPolicy == core::WriteHitPolicy::WriteBack;
+        const bool wb = writeBack();
         for (std::size_t i = 0; i < tags_.size(); ++i) {
             if (tags_[i] == kNoTag)
                 continue;
@@ -180,153 +421,6 @@ class FastLane
     }
 
   private:
-    template <bool WB, WriteMissPolicy MP>
-    void replay(const Piece* P, std::size_t n)
-    {
-        Addr* const T = tags_.data();
-        ByteMask* const V = valid_.data();
-        ByteMask* const D = dirty_.data();
-        const std::uint64_t im = indexMask_;
-        const ByteMask full = fullMask_;
-        const unsigned line_bytes = config_.lineBytes;
-
-        Count reads = 0, read_hits = 0, read_misses = 0, partial = 0;
-        Count writes = 0, write_hits = 0, write_misses = 0;
-        Count fetched = 0, wm_fetch = 0, wt_count = 0, inval = 0;
-        Count victims = 0, dirty_victims = 0, dv_bytes = 0;
-        Count dirty_writes = 0;
-        Count fetch_tx = 0, fetch_bytes = 0, wt_tx = 0, wt_bytes = 0;
-        Count wb_tx = 0, wb_bytes = 0;
-
-        auto evictLine = [&](std::uint64_t idx) {
-            if (T[idx] == kNoTag)
-                return;
-            ++victims;
-            if (WB && D[idx] != 0) {
-                ++dirty_victims;
-                unsigned db = popcount(D[idx]);
-                dv_bytes += db;
-                ++wb_tx;
-                wb_bytes += db;
-                D[idx] = 0;
-            }
-            T[idx] = kNoTag;
-            V[idx] = 0;
-        };
-
-        for (std::size_t k = 0; k < n; ++k) {
-            const Addr la = P[k].la;
-            const ByteMask mask = P[k].mask;
-            const std::uint64_t idx = la & im;
-            if (P[k].read) {
-                ++reads;
-                if (T[idx] == la && (V[idx] & mask) == mask) [[likely]] {
-                    ++read_hits;
-                } else if (T[idx] == la) {
-                    // Tag hit on invalid bytes: fetch fills the line.
-                    ++read_misses;
-                    ++partial;
-                    ++fetched;
-                    ++fetch_tx;
-                    fetch_bytes += line_bytes;
-                    V[idx] = full;
-                } else {
-                    ++read_misses;
-                    evictLine(idx);
-                    ++fetched;
-                    ++fetch_tx;
-                    fetch_bytes += line_bytes;
-                    T[idx] = la;
-                    V[idx] = full;
-                    if (WB)
-                        D[idx] = 0;
-                }
-            } else {
-                ++writes;
-                if (T[idx] == la) [[likely]] {
-                    ++write_hits;
-                    if (WB) {
-                        if (D[idx] != 0)
-                            ++dirty_writes;
-                        D[idx] |= mask;
-                        V[idx] |= mask;
-                    } else {
-                        V[idx] |= mask;
-                        ++wt_count;
-                        ++wt_tx;
-                        wt_bytes += P[k].size;
-                    }
-                } else {
-                    ++write_misses;
-                    if (MP == WriteMissPolicy::FetchOnWrite) {
-                        evictLine(idx);
-                        ++fetched;
-                        ++wm_fetch;
-                        ++fetch_tx;
-                        fetch_bytes += line_bytes;
-                        T[idx] = la;
-                        V[idx] = full;
-                        if (WB) {
-                            D[idx] = mask;
-                        } else {
-                            ++wt_count;
-                            ++wt_tx;
-                            wt_bytes += P[k].size;
-                        }
-                    } else if (MP == WriteMissPolicy::WriteValidate) {
-                        evictLine(idx);
-                        T[idx] = la;
-                        V[idx] = mask;
-                        if (WB) {
-                            D[idx] = mask;
-                        } else {
-                            ++wt_count;
-                            ++wt_tx;
-                            wt_bytes += P[k].size;
-                        }
-                    } else if (MP == WriteMissPolicy::WriteAround) {
-                        ++wt_count;
-                        ++wt_tx;
-                        wt_bytes += P[k].size;
-                    } else {  // WriteInvalidate (direct-mapped)
-                        ++wt_count;
-                        ++wt_tx;
-                        wt_bytes += P[k].size;
-                        if (T[idx] != kNoTag) {
-                            T[idx] = kNoTag;
-                            V[idx] = 0;
-                            if (WB)
-                                D[idx] = 0;
-                            ++inval;
-                        }
-                    }
-                }
-            }
-        }
-
-        stats_.reads += reads;
-        stats_.readHits += read_hits;
-        stats_.readMisses += read_misses;
-        stats_.partialValidReadMisses += partial;
-        stats_.writes += writes;
-        stats_.writeHits += write_hits;
-        stats_.writeMisses += write_misses;
-        stats_.linesFetched += fetched;
-        stats_.writeMissFetches += wm_fetch;
-        stats_.writeThroughs += wt_count;
-        stats_.invalidations += inval;
-        stats_.victims += victims;
-        stats_.dirtyVictims += dirty_victims;
-        stats_.dirtyVictimDirtyBytes += dv_bytes;
-        stats_.writesToDirtyLines += dirty_writes;
-        fetch_.txns += fetch_tx;
-        fetch_.bytes += fetch_bytes;
-        wt_.txns += wt_tx;
-        wt_.bytes += wt_bytes;
-        wb_.txns += wb_tx;
-        wb_.bytes += wb_bytes;
-    }
-
     core::CacheConfig config_;
     std::vector<Addr> tags_;
     std::vector<ByteMask> valid_;
@@ -337,6 +431,311 @@ class FastLane
     core::CacheStats stats_;
     Traffic fetch_, wt_, wb_, flush_;
 };
+
+#if JCACHE_SIMD_AVX2
+
+/** Store a 64-bit-per-lane vector into a 32-byte-aligned array. */
+JCACHE_TARGET_AVX2 inline void
+storeLanes(std::uint64_t out[4], __m256i v)
+{
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out), v);
+}
+
+/** A pointer as a 64-bit gather "index" (absolute address, scale 1). */
+inline long long
+gatherAddr(const void* p)
+{
+    return static_cast<long long>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+/**
+ * Replay one decoded block through NV×4 lanes of one hit-policy
+ * group at once (NV = 1 or 2 vectors of four lanes; the wider tile
+ * shares each piece's load, read/write branch and broadcasts across
+ * eight lanes).
+ *
+ * Per piece, each vector's four tags (and, when needed, valid and
+ * dirty masks) are fetched with one 64-bit gather, using absolute
+ * addresses as gather indices so the lanes may have different array
+ * bases and different index masks (different cache sizes).  Lanes on
+ * the common fast paths — a full read hit, or a write tag hit — are
+ * retired entirely with vector compare/accumulate (plus a scalar
+ * mask store for write hits); each remaining lane falls back to the
+ * scalar reference kernel for that one access, with its own miss
+ * policy dispatched at run time (the fast paths never consult it).
+ * Counters meet in BlockCounters either way, so regrouping cannot
+ * change results.
+ *
+ * The fast paths increment several counters by the same amount — a
+ * full read hit bumps reads and readHits together; a write-through
+ * tag hit bumps writes, writeHits, writeThroughs and write-through
+ * transactions together — so each path keeps one accumulator vector
+ * and fans it out into BlockCounters once per block.
+ */
+template <bool WB, unsigned NV>
+JCACHE_TARGET_AVX2 void
+replayTileAvx2(FastLane* const* lanes, const Piece* P, std::size_t n)
+{
+    constexpr unsigned NL = NV * 4;
+    LaneView s[NL];
+    BlockCounters c[NL];
+    WriteMissPolicy mp[NL];
+    for (unsigned i = 0; i < NL; ++i) {
+        s[i] = lanes[i]->view();
+        mp[i] = lanes[i]->missPolicy();
+    }
+
+    const auto* base0 = static_cast<const long long*>(nullptr);
+    __m256i tbase[NV], vbase[NV], dbase[NV], im_v[NV];
+    for (unsigned v = 0; v < NV; ++v) {
+        const LaneView* q = s + 4 * v;
+        tbase[v] = _mm256_set_epi64x(
+            gatherAddr(q[3].T), gatherAddr(q[2].T),
+            gatherAddr(q[1].T), gatherAddr(q[0].T));
+        vbase[v] = _mm256_set_epi64x(
+            gatherAddr(q[3].V), gatherAddr(q[2].V),
+            gatherAddr(q[1].V), gatherAddr(q[0].V));
+        dbase[v] = _mm256_set_epi64x(
+            gatherAddr(q[3].D), gatherAddr(q[2].D),
+            gatherAddr(q[1].D), gatherAddr(q[0].D));
+        im_v[v] = _mm256_set_epi64x(
+            static_cast<long long>(q[3].im),
+            static_cast<long long>(q[2].im),
+            static_cast<long long>(q[1].im),
+            static_cast<long long>(q[0].im));
+    }
+    const __m256i ones = _mm256_set1_epi64x(1);
+    const __m256i zero = _mm256_setzero_si256();
+
+    // One accumulator per fast path (see the function comment), plus
+    // the path-specific extra: dirty-write hits (WB) or the summed
+    // write-through bytes (WT).
+    __m256i read_full_v[NV], write_hit_v[NV], extra_v[NV];
+    for (unsigned v = 0; v < NV; ++v)
+        read_full_v[v] = write_hit_v[v] = extra_v[v] = zero;
+
+    // Single-entry line cache over the gathered state.  A read that
+    // fully hits every lane changes no state, so while consecutive
+    // reads stay on one line address the gathered tag/valid vectors
+    // are still exact and the gathers (and index math) can be
+    // skipped — the common case for stride-1 walks, where every line
+    // is read piece by piece.  Any write or any scalar fallback may
+    // mutate lane state, so either invalidates the entry.
+    Addr cached_la = 0;
+    bool cache_ok = false;
+    __m256i cached_hit[NV], cached_valid[NV];
+    for (unsigned v = 0; v < NV; ++v)
+        cached_hit[v] = cached_valid[v] = zero;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const Piece p = P[k];
+
+        if (p.read && cache_ok && p.la == cached_la) {
+            const __m256i m_v =
+                _mm256_set1_epi64x(static_cast<long long>(p.mask));
+            for (unsigned v = 0; v < NV; ++v) {
+                const __m256i vok = _mm256_cmpeq_epi64(
+                    _mm256_and_si256(cached_valid[v], m_v), m_v);
+                const __m256i full_hit =
+                    _mm256_and_si256(cached_hit[v], vok);
+                const int fm = _mm256_movemask_pd(
+                    _mm256_castsi256_pd(full_hit));
+                read_full_v[v] = _mm256_add_epi64(
+                    read_full_v[v], _mm256_and_si256(full_hit, ones));
+                if (fm != 0xf) {
+                    cache_ok = false;
+                    for (unsigned i = 0; i < 4; ++i)
+                        if (!(fm & (1u << i)))
+                            applyRead<WB>(s[4 * v + i], c[4 * v + i],
+                                          p);
+                }
+            }
+            continue;
+        }
+
+        const __m256i la_v =
+            _mm256_set1_epi64x(static_cast<long long>(p.la));
+        __m256i idx[NV], bofs[NV], tag_hit[NV];
+        int hm[NV];
+        for (unsigned v = 0; v < NV; ++v) {
+            idx[v] = _mm256_and_si256(la_v, im_v[v]);
+            bofs[v] = _mm256_slli_epi64(idx[v], 3);
+            const __m256i tags = _mm256_i64gather_epi64(
+                base0, _mm256_add_epi64(tbase[v], bofs[v]), 1);
+            tag_hit[v] = _mm256_cmpeq_epi64(tags, la_v);
+            hm[v] =
+                _mm256_movemask_pd(_mm256_castsi256_pd(tag_hit[v]));
+        }
+
+        if (p.read) {
+            const __m256i m_v =
+                _mm256_set1_epi64x(static_cast<long long>(p.mask));
+            bool all_full = true;
+            for (unsigned v = 0; v < NV; ++v) {
+                int fm = 0;
+                if (hm[v] != 0) {
+                    const __m256i valid = _mm256_i64gather_epi64(
+                        base0, _mm256_add_epi64(vbase[v], bofs[v]),
+                        1);
+                    cached_hit[v] = tag_hit[v];
+                    cached_valid[v] = valid;
+                    const __m256i vok = _mm256_cmpeq_epi64(
+                        _mm256_and_si256(valid, m_v), m_v);
+                    const __m256i full_hit =
+                        _mm256_and_si256(tag_hit[v], vok);
+                    fm = _mm256_movemask_pd(
+                        _mm256_castsi256_pd(full_hit));
+                    read_full_v[v] = _mm256_add_epi64(
+                        read_full_v[v],
+                        _mm256_and_si256(full_hit, ones));
+                }
+                if (fm != 0xf) {
+                    all_full = false;
+                    for (unsigned i = 0; i < 4; ++i)
+                        if (!(fm & (1u << i)))
+                            applyRead<WB>(s[4 * v + i], c[4 * v + i],
+                                          p);
+                }
+            }
+            cached_la = p.la;
+            cache_ok = all_full;
+        } else {
+            cache_ok = false;
+            for (unsigned v = 0; v < NV; ++v) {
+                if (hm[v] != 0) {
+                    write_hit_v[v] = _mm256_add_epi64(
+                        write_hit_v[v],
+                        _mm256_and_si256(tag_hit[v], ones));
+                    alignas(32) std::uint64_t idxs[4];
+                    storeLanes(idxs, idx[v]);
+                    // Branchless mask update: per lane, OR in the
+                    // piece mask gated by that lane's hit mask
+                    // (all-ones or zero) — OR-ing zero into the
+                    // line a missing lane indexes is a no-op.
+                    alignas(32) std::uint64_t gate[4];
+                    storeLanes(gate, tag_hit[v]);
+                    if (WB) {
+                        const __m256i dirty = _mm256_i64gather_epi64(
+                            base0,
+                            _mm256_add_epi64(dbase[v], bofs[v]), 1);
+                        const __m256i dz =
+                            _mm256_cmpeq_epi64(dirty, zero);
+                        const __m256i dirty_hit =
+                            _mm256_andnot_si256(dz, tag_hit[v]);
+                        extra_v[v] = _mm256_add_epi64(
+                            extra_v[v],
+                            _mm256_and_si256(dirty_hit, ones));
+                        for (unsigned i = 0; i < 4; ++i) {
+                            const ByteMask gm = p.mask & gate[i];
+                            s[4 * v + i].D[idxs[i]] |= gm;
+                            s[4 * v + i].V[idxs[i]] |= gm;
+                        }
+                    } else {
+                        extra_v[v] = _mm256_add_epi64(
+                            extra_v[v],
+                            _mm256_and_si256(
+                                tag_hit[v],
+                                _mm256_set1_epi64x(
+                                    static_cast<long long>(p.size))));
+                        for (unsigned i = 0; i < 4; ++i)
+                            s[4 * v + i].V[idxs[i]] |=
+                                p.mask & gate[i];
+                    }
+                }
+                if (hm[v] != 0xf) {
+                    for (unsigned i = 0; i < 4; ++i)
+                        if (!(hm[v] & (1u << i)))
+                            applyWriteDyn<WB>(mp[4 * v + i],
+                                              s[4 * v + i],
+                                              c[4 * v + i], p);
+                }
+            }
+        }
+    }
+
+    alignas(32) std::uint64_t t[4];
+    for (unsigned v = 0; v < NV; ++v) {
+        BlockCounters* cv = c + 4 * v;
+        storeLanes(t, read_full_v[v]);
+        for (unsigned i = 0; i < 4; ++i) {
+            cv[i].reads += t[i];
+            cv[i].readHits += t[i];
+        }
+        storeLanes(t, write_hit_v[v]);
+        for (unsigned i = 0; i < 4; ++i) {
+            cv[i].writes += t[i];
+            cv[i].writeHits += t[i];
+            if (!WB) {
+                cv[i].wtCount += t[i];
+                cv[i].wtTx += t[i];
+            }
+        }
+        storeLanes(t, extra_v[v]);
+        for (unsigned i = 0; i < 4; ++i) {
+            if (WB)
+                cv[i].dirtyWrites += t[i];
+            else
+                cv[i].wtBytes += t[i];
+        }
+    }
+    for (unsigned i = 0; i < NL; ++i)
+        lanes[i]->absorb(c[i]);
+}
+
+#endif // JCACHE_SIMD_AVX2
+
+/** One lane's scalar block replay, miss policy chosen once here. */
+template <bool WB>
+void
+replayScalarLane(FastLane* lane, const Piece* P, std::size_t n)
+{
+    switch (lane->missPolicy()) {
+      case WriteMissPolicy::FetchOnWrite:
+        lane->replayScalar<WB, WriteMissPolicy::FetchOnWrite>(P, n);
+        break;
+      case WriteMissPolicy::WriteValidate:
+        lane->replayScalar<WB, WriteMissPolicy::WriteValidate>(P, n);
+        break;
+      case WriteMissPolicy::WriteAround:
+        lane->replayScalar<WB, WriteMissPolicy::WriteAround>(P, n);
+        break;
+      case WriteMissPolicy::WriteInvalidate:
+        lane->replayScalar<WB, WriteMissPolicy::WriteInvalidate>(P, n);
+        break;
+    }
+}
+
+/**
+ * Replay one decoded block through every lane of one hit-policy
+ * group: vector tiles of four lanes when AVX2 is available, the
+ * scalar kernel for the remainder (and for everything when it is
+ * not).
+ */
+template <bool WB>
+void
+replayGroupT(const std::vector<FastLane*>& lanes, const Piece* P,
+             std::size_t n)
+{
+    std::size_t i = 0;
+#if JCACHE_SIMD_AVX2
+    if (simd::avx2Enabled()) {
+        for (; i + simd::kLanesPerVector <= lanes.size();
+             i += simd::kLanesPerVector)
+            replayTileAvx2<WB, 1>(&lanes[i], P, n);
+    }
+#endif
+    for (; i < lanes.size(); ++i)
+        replayScalarLane<WB>(lanes[i], P, n);
+}
+
+/** Dispatch one hit-policy group's block replay to its template. */
+void
+replayGroup(bool wb, const std::vector<FastLane*>& lanes,
+            const Piece* P, std::size_t n)
+{
+    wb ? replayGroupT<true>(lanes, P, n)
+       : replayGroupT<false>(lanes, P, n);
+}
 
 /**
  * Fallback lane: the reference DataCache behind a terminal traffic
@@ -376,6 +775,22 @@ class GenericLane
     core::DataCache cache_;
 };
 
+/** Fast lanes sharing one line size, split by hit policy. */
+struct DecodeGroup
+{
+    unsigned lineShift = 0;
+    std::vector<Piece> pieces;
+
+    /** Write-back lanes and write-through lanes, tiled separately. */
+    std::vector<FastLane*> wbLanes;
+    std::vector<FastLane*> wtLanes;
+
+    void add(FastLane* lane)
+    {
+        (lane->writeBack() ? wbLanes : wtLanes).push_back(lane);
+    }
+};
+
 } // namespace
 
 bool
@@ -385,12 +800,12 @@ fastLaneEligible(const core::CacheConfig& config)
 }
 
 std::vector<RunResult>
-runTracePass(const trace::Trace& trace,
+runTracePass(const trace::ReplaySource& source,
              const std::vector<LaneSpec>& lanes,
              std::size_t blockRecords)
 {
     telemetry::Span span("sweep.trace_pass", "sim");
-    span.arg("trace", trace.name());
+    span.arg("trace", source.name());
     span.arg("lanes", std::to_string(lanes.size()));
 
     struct Slot
@@ -401,16 +816,22 @@ runTracePass(const trace::Trace& trace,
     };
     std::vector<Slot> slots(lanes.size());
 
-    // Fast lanes sharing a line size share one decode of each block.
-    std::map<unsigned, std::vector<FastLane*>> groups;
+    // Fast lanes sharing a line size share one decode of each block;
+    // within a line size, lanes of one hit policy replay together so
+    // the vector tiles agree on what a write hit does (the miss
+    // policy is per-lane, consulted only off the fast path).
+    std::map<unsigned, DecodeGroup> groups;
     for (std::size_t i = 0; i < lanes.size(); ++i) {
         lanes[i].config.validate();
         slots[i].flushAtEnd = lanes[i].flushAtEnd;
         if (fastLaneEligible(lanes[i].config)) {
             slots[i].fast =
                 std::make_unique<FastLane>(lanes[i].config);
-            groups[lanes[i].config.lineBytes].push_back(
-                slots[i].fast.get());
+            DecodeGroup& group = groups[lanes[i].config.lineBytes];
+            group.lineShift = slots[i].fast->lineShift();
+            group.pieces.reserve(blockRecords == 0 ? 2
+                                                   : blockRecords * 2);
+            group.add(slots[i].fast.get());
         } else {
             slots[i].generic =
                 std::make_unique<GenericLane>(lanes[i].config);
@@ -418,17 +839,34 @@ runTracePass(const trace::Trace& trace,
     }
 
     Count instructions = 0;
-    std::vector<Piece> pieces;
-    pieces.reserve(blockRecords == 0 ? 2 : blockRecords * 2);
-    for (trace::TraceBlock block : trace::BlockRange(trace,
-                                                     blockRecords)) {
+    Count block_count = 0;
+    std::unique_ptr<trace::BlockCursor> cursor =
+        source.blocks(blockRecords);
+    trace::TraceBlock block;
+    while (cursor->next(block)) {
+        ++block_count;
         for (std::size_t k = 0; k < block.count; ++k)
             instructions += block.records[k].instrDelta;
-        for (auto& [line_bytes, members] : groups) {
-            decodeBlock(block.records, block.count, line_bytes,
-                        members.front()->lineShift(), pieces);
-            for (FastLane* lane : members)
-                lane->replay(pieces.data(), pieces.size());
+        auto decodeAll = [&] {
+            for (auto& [line_bytes, group] : groups)
+                decodeBlock(block.records, block.count, line_bytes,
+                            group.lineShift, group.pieces);
+        };
+        if (telemetry::tracing()) {
+            telemetry::Span decode("sweep.block_decode", "sim");
+            decode.arg("records", std::to_string(block.count));
+            decode.arg("line_sizes", std::to_string(groups.size()));
+            decodeAll();
+        } else {
+            decodeAll();
+        }
+        for (auto& [line_bytes, group] : groups) {
+            if (!group.wbLanes.empty())
+                replayGroup(true, group.wbLanes, group.pieces.data(),
+                            group.pieces.size());
+            if (!group.wtLanes.empty())
+                replayGroup(false, group.wtLanes, group.pieces.data(),
+                            group.pieces.size());
         }
         for (Slot& slot : slots)
             if (slot.generic)
@@ -454,9 +892,23 @@ runTracePass(const trace::Trace& trace,
         static telemetry::Counter& records = reg.counter(
             "jcache_engine_records_total",
             "Trace records decoded by the one-pass engine");
-        records.inc(trace.size());
+        static telemetry::Counter& blocks = reg.counter(
+            "jcache_engine_blocks_total",
+            "Trace blocks walked by the one-pass engine");
+        records.inc(source.records());
+        blocks.inc(block_count);
     }
     return results;
+}
+
+std::vector<RunResult>
+runTracePass(const trace::Trace& trace,
+             const std::vector<LaneSpec>& lanes,
+             std::size_t blockRecords)
+{
+    trace::TraceReplaySource source(trace);
+    return runTracePass(static_cast<const trace::ReplaySource&>(source),
+                        lanes, blockRecords);
 }
 
 } // namespace jcache::sim

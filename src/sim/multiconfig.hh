@@ -19,15 +19,25 @@
  *    policies are template parameters so policy dispatch happens once
  *    per block instead of once per access.  Lanes with the same line
  *    size additionally share one decode of each block into
- *    line-aligned pieces.
+ *    line-aligned pieces, and lanes that also share a write policy
+ *    replay in vector batches: four lanes at a time, with the tag
+ *    compare / valid test / hot counters as AVX2 vector operations
+ *    (util/simd.hh; a byte-identical scalar path serves non-AVX2
+ *    hardware, JCACHE_NO_AVX2, and the remainder lanes).
  *  - **Generic lanes** — anything else (assoc > 1, or a valid-bit
  *    granularity above one byte) falls back to the reference
  *    DataCache fed record by record, so runTracePass() accepts every
  *    configuration runTrace() does.
  *
- * Both kinds reproduce DataCache's counter and traffic accounting
+ * The record stream itself comes from a trace::ReplaySource: either
+ * zero-copy views into an in-memory Trace, or blocks decoded lazily
+ * from an mmap'd replay cache file (trace/replay_cache.hh), so
+ * sweeps can replay from disk without regenerating workloads.
+ *
+ * All paths reproduce DataCache's counter and traffic accounting
  * exactly; tests/test_engine_differential.cc holds the engine to
- * byte-identical RunResults against runTrace().
+ * byte-identical RunResults against runTrace(), across scalar vs
+ * vector replay and in-memory vs mapped sources.
  */
 
 #ifndef JCACHE_SIM_MULTICONFIG_HH
@@ -39,6 +49,7 @@
 #include "core/config.hh"
 #include "sim/run.hh"
 #include "trace/blocks.hh"
+#include "trace/replay.hh"
 #include "trace/trace.hh"
 
 namespace jcache::sim
@@ -63,18 +74,28 @@ struct LaneSpec
 bool fastLaneEligible(const core::CacheConfig& config);
 
 /**
- * Replay `trace` once through every lane.
+ * Replay `source` once through every lane.
  *
- * @param trace         the reference stream.
+ * @param source        where the blocks come from; sources with a
+ *                      fixed on-disk block size (MappedReplayCache)
+ *                      ignore `blockRecords`.
  * @param lanes         configurations to simulate; each is validated.
- * @param blockRecords  records per block of the outer walk; the
- *                      default is tuned, see trace::kDefaultBlockRecords.
+ * @param blockRecords  preferred records per block of the outer walk;
+ *                      the default is tuned, see
+ *                      trace::kDefaultBlockRecords.
  * @return one RunResult per lane, in `lanes` order, byte-identical to
  *         runTrace(trace, lanes[i].config, lanes[i].flushAtEnd).
  *
- * Emits a `sweep.trace_pass` span and advances the
- * `jcache_engine_records_total` counter when telemetry is armed.
+ * Emits `sweep.trace_pass` and per-block `sweep.block_decode` spans,
+ * and advances the `jcache_engine_records_total` and
+ * `jcache_engine_blocks_total` counters when telemetry is armed.
  */
+std::vector<RunResult>
+runTracePass(const trace::ReplaySource& source,
+             const std::vector<LaneSpec>& lanes,
+             std::size_t blockRecords = trace::kDefaultBlockRecords);
+
+/** Replay an in-memory `trace`: wraps it in a TraceReplaySource. */
 std::vector<RunResult>
 runTracePass(const trace::Trace& trace,
              const std::vector<LaneSpec>& lanes,

@@ -64,11 +64,19 @@ TraceSet::TraceSet(const workloads::WorkloadConfig& config,
 const trace::Trace&
 TraceSet::get(const std::string& name) const
 {
+    if (const trace::Trace* t = find(name))
+        return *t;
+    fatal("no trace named " + name);
+}
+
+const trace::Trace*
+TraceSet::find(const std::string& name) const
+{
     for (const trace::Trace& t : traces_) {
         if (t.name() == name)
-            return t;
+            return &t;
     }
-    fatal("no trace named " + name);
+    return nullptr;
 }
 
 namespace

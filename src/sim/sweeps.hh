@@ -57,6 +57,9 @@ class TraceSet
     /** Trace by benchmark name; throws FatalError if unknown. */
     const trace::Trace& get(const std::string& name) const;
 
+    /** Trace by name, or nullptr when the set holds no such trace. */
+    const trace::Trace* find(const std::string& name) const;
+
     std::size_t size() const { return traces_.size(); }
 
     /**

@@ -42,12 +42,26 @@ cellKey(const KeyContext& ctx, const std::string& trace_identity,
 }
 
 std::string
+cellKey(const KeyContext& ctx, const sim::ResolvedTrace& resolved,
+        const std::string& config_key, bool flush)
+{
+    return cellKey(ctx, resolved.identity, config_key, flush);
+}
+
+std::string
 sweepKey(const KeyContext& ctx, const std::string& trace_identity,
          const std::string& axis, const std::string& config_key)
 {
     return util::fnv1aHex("sweep|" + contextText(ctx) + "|" +
                           trace_identity + "|" + axis + "|" +
                           config_key);
+}
+
+std::string
+sweepKey(const KeyContext& ctx, const sim::ResolvedTrace& resolved,
+         const std::string& axis, const std::string& config_key)
+{
+    return sweepKey(ctx, resolved.identity, axis, config_key);
 }
 
 std::string

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sim/engine.hh"
+#include "sim/trace_ref.hh"
 #include "util/version.hh"
 
 namespace jcache::store
@@ -68,6 +69,11 @@ std::string cellKey(const KeyContext& ctx,
                     const std::string& trace_identity,
                     const std::string& config_key, bool flush);
 
+/** cellKey() of a TraceRepository resolution (uses its identity). */
+std::string cellKey(const KeyContext& ctx,
+                    const sim::ResolvedTrace& resolved,
+                    const std::string& config_key, bool flush);
+
 /**
  * The 16-hex key of a whole-sweep response payload (one axis
  * expanded over one trace): digests the axis name alongside the
@@ -75,6 +81,12 @@ std::string cellKey(const KeyContext& ctx,
  */
 std::string sweepKey(const KeyContext& ctx,
                      const std::string& trace_identity,
+                     const std::string& axis,
+                     const std::string& config_key);
+
+/** sweepKey() of a TraceRepository resolution (uses its identity). */
+std::string sweepKey(const KeyContext& ctx,
+                     const sim::ResolvedTrace& resolved,
                      const std::string& axis,
                      const std::string& config_key);
 

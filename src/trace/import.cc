@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/varint.hh"
 #include "util/bitops.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -36,38 +37,6 @@ constexpr std::uint64_t kMinInterchangeRecordBytes = 3;
 
 /** JCTX header bytes: magic + u16 version + u16 flags + u64 count. */
 constexpr std::uint64_t kInterchangeHeaderBytes = 4 + 2 + 2 + 8;
-
-std::uint64_t
-zigzag(std::int64_t v)
-{
-    return (static_cast<std::uint64_t>(v) << 1) ^
-           static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t
-unzigzag(std::uint64_t v)
-{
-    return static_cast<std::int64_t>(v >> 1) ^
-           -static_cast<std::int64_t>(v & 1);
-}
-
-template <typename T>
-void
-putLe(std::ostream& os, T value)
-{
-    for (unsigned i = 0; i < sizeof(T); ++i)
-        os.put(static_cast<char>((value >> (8 * i)) & 0xff));
-}
-
-void
-putVarint(std::ostream& os, std::uint64_t value)
-{
-    while (value >= 0x80) {
-        os.put(static_cast<char>((value & 0x7f) | 0x80));
-        value >>= 7;
-    }
-    os.put(static_cast<char>(value));
-}
 
 /**
  * Byte-counting reader over a stream: every importer error must name
@@ -357,8 +326,8 @@ exportTraceBinary(const Trace& trace, std::ostream& os)
         std::uint8_t meta = static_cast<std::uint8_t>(
             (r.type == RefType::Write ? 1 : 0) | (size_log2 << 1));
         os.put(static_cast<char>(meta));
-        putVarint(os, zigzag(static_cast<std::int64_t>(r.addr) -
-                             static_cast<std::int64_t>(prev_addr)));
+        putVarint(os, zigzagEncode(static_cast<std::int64_t>(r.addr) -
+                                   static_cast<std::int64_t>(prev_addr)));
         putVarint(os, r.instrDelta);
         prev_addr = r.addr;
     }
@@ -441,7 +410,8 @@ importTraceBinary(std::istream& is, const std::string& name,
         std::uint64_t delta_at = reader.offset;
         r.addr = static_cast<Addr>(
             static_cast<std::int64_t>(prev_addr) +
-            unzigzag(reader.requireVarint("address delta of " + what)));
+            zigzagDecode(
+                reader.requireVarint("address delta of " + what)));
         std::uint64_t instr = reader.requireVarint(
             "instruction delta of " + what);
         if (instr > 0xffffffffull) {

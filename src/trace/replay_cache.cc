@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Implementation of the JCRC replay cache (see replay_cache.hh for
+ * the format).
+ */
+
+#include "trace/replay_cache.hh"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+
+#include "trace/varint.hh"
+#include "util/bitops.hh"
+#include "util/fs.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JCACHE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define JCACHE_HAVE_MMAP 0
+#endif
+
+namespace jcache::trace
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> kMagicReplayCache = {'J', 'C', 'R', 'C'};
+
+/** Fixed header bytes before the trace name. */
+constexpr std::size_t kHeaderBytes = 4 + 2 + 2 + 8 + 8 + 8 + 16 + 4;
+
+constexpr std::size_t kDigestBytes = 16;
+
+bool
+isHexDigest(const std::string& digest)
+{
+    if (digest.size() != kDigestBytes)
+        return false;
+    for (char c : digest) {
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+replayCachePath(const std::string& dir, const std::string& digestHex)
+{
+    return dir + "/" + digestHex + ".jcrc";
+}
+
+void
+writeReplayCache(const Trace& trace, const std::string& path,
+                 std::size_t blockRecords)
+{
+    if (blockRecords == 0)
+        blockRecords = 1;
+
+    const std::string digest = contentDigest(trace);
+    fatalIf(!isHexDigest(digest),
+            "unexpected trace digest format: " + digest);
+
+    const std::size_t count = trace.size();
+    const std::size_t block_count =
+        (count + blockRecords - 1) / blockRecords;
+
+    // Encode every block payload first, noting where each begins, so
+    // the offset table can be emitted with absolute file offsets.
+    std::string payload;
+    payload.reserve(count * 3);
+    std::vector<std::uint64_t> starts;
+    starts.reserve(block_count);
+    for (std::size_t b = 0; b < block_count; ++b) {
+        starts.push_back(payload.size());
+        const std::size_t first = b * blockRecords;
+        const std::size_t n = std::min(blockRecords, count - first);
+        Addr prev_addr = 0; // reset per block: blocks decode alone
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceRecord& r = trace[first + i];
+            const unsigned size_log2 = floorLog2(r.size);
+            const auto meta = static_cast<std::uint8_t>(
+                (r.type == RefType::Write ? 1 : 0) | (size_log2 << 1));
+            payload.push_back(static_cast<char>(meta));
+            appendVarint(payload, zigzagEncode(
+                                      static_cast<std::int64_t>(r.addr) -
+                                      static_cast<std::int64_t>(prev_addr)));
+            appendVarint(payload, r.instrDelta);
+            prev_addr = r.addr;
+        }
+    }
+
+    const std::string& name = trace.name();
+    const std::size_t payload_base =
+        kHeaderBytes + name.size() + 8 * block_count;
+
+    std::string out;
+    out.reserve(payload_base + payload.size());
+    out.append(kMagicReplayCache.data(), kMagicReplayCache.size());
+    appendLe<std::uint16_t>(out, kReplayCacheVersion);
+    appendLe<std::uint16_t>(out, 0); // flags, reserved
+    appendLe<std::uint64_t>(out, count);
+    appendLe<std::uint64_t>(out, blockRecords);
+    appendLe<std::uint64_t>(out, block_count);
+    out.append(digest);
+    appendLe<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+    out.append(name);
+    for (std::uint64_t start : starts)
+        appendLe<std::uint64_t>(out, payload_base + start);
+    out.append(payload);
+
+    util::atomicWriteFile(path, out);
+}
+
+std::string
+ensureReplayCache(const Trace& trace, const std::string& dir,
+                  std::size_t blockRecords)
+{
+    util::ensureDirectory(dir);
+    const std::string path = replayCachePath(dir, contentDigest(trace));
+    if (!std::filesystem::exists(path))
+        writeReplayCache(trace, path, blockRecords);
+    return path;
+}
+
+void
+MappedReplayCache::corrupt(const std::string& message) const
+{
+    throw ReplayCacheError("corrupt replay cache: " + message +
+                           " [file: " + path_ + "]");
+}
+
+MappedReplayCache::MappedReplayCache(const std::string& path)
+    : path_(path)
+{
+#if JCACHE_HAVE_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+        struct stat st = {};
+        if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+            void* map = ::mmap(nullptr,
+                               static_cast<std::size_t>(st.st_size),
+                               PROT_READ, MAP_PRIVATE, fd, 0);
+            if (map != MAP_FAILED) {
+                data_ = static_cast<const unsigned char*>(map);
+                size_ = static_cast<std::size_t>(st.st_size);
+                mapped_ = true;
+            }
+        }
+        ::close(fd);
+    }
+#endif
+    if (!mapped_) {
+        std::optional<std::string> bytes = util::readFileIfExists(path);
+        if (!bytes) {
+            throw util::FsError("cannot open replay cache: " + path);
+        }
+        buffer_ = std::move(*bytes);
+        data_ = reinterpret_cast<const unsigned char*>(buffer_.data());
+        size_ = buffer_.size();
+    }
+
+    if (size_ < kHeaderBytes)
+        corrupt("file shorter than the header");
+
+    const unsigned char* p = data_;
+    const unsigned char* end = data_ + size_;
+    if (std::memcmp(p, kMagicReplayCache.data(),
+                    kMagicReplayCache.size()) != 0)
+        corrupt("bad magic");
+    p += kMagicReplayCache.size();
+
+    std::uint16_t version = 0;
+    std::uint16_t flags = 0;
+    std::uint64_t count = 0;
+    std::uint64_t block_records = 0;
+    std::uint64_t block_count = 0;
+    readLe(p, end, version);
+    readLe(p, end, flags);
+    readLe(p, end, count);
+    readLe(p, end, block_records);
+    readLe(p, end, block_count);
+    if (version != kReplayCacheVersion)
+        corrupt("unsupported version " + std::to_string(version));
+    if (flags != 0)
+        corrupt("reserved flags set: " + std::to_string(flags));
+    if (block_records == 0)
+        corrupt("zero records per block");
+    const std::uint64_t expected_blocks =
+        (count + block_records - 1) / block_records;
+    if (block_count != expected_blocks) {
+        corrupt("block count " + std::to_string(block_count) +
+                " does not cover " + std::to_string(count) + " records");
+    }
+
+    digest_.assign(reinterpret_cast<const char*>(p), kDigestBytes);
+    p += kDigestBytes;
+    if (!isHexDigest(digest_))
+        corrupt("malformed content digest");
+
+    std::uint32_t name_len = 0;
+    readLe(p, end, name_len);
+    if (name_len > kMaxTraceNameBytes)
+        corrupt("trace name length " + std::to_string(name_len) +
+                " exceeds the cap");
+    if (static_cast<std::uint64_t>(end - p) <
+        name_len + 8ull * block_count)
+        corrupt("truncated before the offset table ends");
+    name_.assign(reinterpret_cast<const char*>(p), name_len);
+    p += name_len;
+
+    count_ = count;
+    block_records_ = static_cast<std::size_t>(block_records);
+    block_count_ = static_cast<std::size_t>(block_count);
+    offsets_ = p;
+    identity_ = name_ + "#" + digest_ + "#" + std::to_string(count_);
+
+    // The offset table must be monotone and in bounds; the payload
+    // bytes themselves are validated by decodeBlock.
+    const std::uint64_t payload_base =
+        kHeaderBytes + name_len + 8ull * block_count;
+    std::uint64_t prev = payload_base;
+    for (std::size_t b = 0; b < block_count_; ++b) {
+        const unsigned char* op = offsets_ + 8 * b;
+        std::uint64_t offset = 0;
+        readLe(op, end, offset);
+        if (offset < prev || offset > size_)
+            corrupt("offset table entry " + std::to_string(b) +
+                    " out of order or out of bounds");
+        prev = offset;
+    }
+}
+
+MappedReplayCache::~MappedReplayCache()
+{
+#if JCACHE_HAVE_MMAP
+    if (mapped_)
+        ::munmap(const_cast<unsigned char*>(data_), size_);
+#endif
+}
+
+std::size_t
+MappedReplayCache::blockSize(std::size_t index) const
+{
+    const std::size_t first = index * block_records_;
+    return std::min(block_records_,
+                    static_cast<std::size_t>(count_) - first);
+}
+
+void
+MappedReplayCache::decodeBlock(std::size_t index,
+                               std::vector<TraceRecord>& out) const
+{
+    const unsigned char* op = offsets_ + 8 * index;
+    std::uint64_t start = 0;
+    readLe(op, data_ + size_, start);
+    std::uint64_t stop = size_;
+    if (index + 1 < block_count_) {
+        const unsigned char* np = offsets_ + 8 * (index + 1);
+        readLe(np, data_ + size_, stop);
+    }
+
+    const unsigned char* p = data_ + start;
+    const unsigned char* end = data_ + stop;
+    const std::size_t n = blockSize(index);
+    out.clear();
+    out.reserve(n);
+    Addr prev_addr = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto what = [&] {
+            return "record " + std::to_string(i) + " of block " +
+                   std::to_string(index);
+        };
+        if (p >= end)
+            corrupt("truncated at " + what());
+        const unsigned char meta = *p++;
+        if ((meta & ~0x07u) != 0)
+            corrupt("reserved meta bits set in " + what());
+        TraceRecord r;
+        r.type = (meta & 1) ? RefType::Write : RefType::Read;
+        r.size = static_cast<std::uint8_t>(1u << ((meta >> 1) & 0x3));
+        std::uint64_t delta = 0;
+        if (!readVarint(p, end, delta))
+            corrupt("bad address delta in " + what());
+        r.addr = static_cast<Addr>(static_cast<std::int64_t>(prev_addr) +
+                                   zigzagDecode(delta));
+        std::uint64_t instr = 0;
+        if (!readVarint(p, end, instr))
+            corrupt("bad instruction delta in " + what());
+        if (instr > 0xffffffffull)
+            corrupt("instruction delta out of range in " + what());
+        r.instrDelta = static_cast<std::uint32_t>(instr);
+        prev_addr = r.addr;
+        out.push_back(r);
+    }
+    if (p != end)
+        corrupt("trailing bytes after block " + std::to_string(index));
+}
+
+class MappedReplayCache::Cursor final : public BlockCursor
+{
+  public:
+    explicit Cursor(const MappedReplayCache& owner) : owner_(&owner) {}
+
+    bool next(TraceBlock& out) override
+    {
+        if (block_ >= owner_->blockCount())
+            return false;
+        owner_->decodeBlock(block_, buffer_);
+        out = TraceBlock{buffer_.data(), buffer_.size(),
+                         block_ * owner_->blockRecords()};
+        ++block_;
+        return true;
+    }
+
+  private:
+    const MappedReplayCache* owner_;
+    std::size_t block_ = 0;
+    std::vector<TraceRecord> buffer_;
+};
+
+std::unique_ptr<BlockCursor>
+MappedReplayCache::blocks(std::size_t /*blockRecords*/) const
+{
+    return std::make_unique<Cursor>(*this);
+}
+
+} // namespace jcache::trace

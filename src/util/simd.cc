@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Implementation of the SIMD dispatch decision.
+ */
+
+#include "util/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace jcache::simd
+{
+
+namespace
+{
+
+std::atomic<bool> force_scalar{false};
+
+bool
+envDisabled()
+{
+    // Sampled once: the differential CI job sets JCACHE_NO_AVX2 for
+    // the whole process, and in-process tests use forceScalar().
+    static const bool disabled = [] {
+        const char* env = std::getenv("JCACHE_NO_AVX2");
+        return env != nullptr && *env != '\0' &&
+               std::string_view(env) != "0";
+    }();
+    return disabled;
+}
+
+} // namespace
+
+bool
+avx2Compiled()
+{
+    return JCACHE_SIMD_AVX2 != 0;
+}
+
+bool
+avx2Runtime()
+{
+#if JCACHE_SIMD_AVX2
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+bool
+avx2Enabled()
+{
+    if (force_scalar.load(std::memory_order_relaxed))
+        return false;
+    static const bool enabled =
+        avx2Compiled() && avx2Runtime() && !envDisabled();
+    return enabled;
+}
+
+void
+forceScalar(bool force)
+{
+    force_scalar.store(force, std::memory_order_relaxed);
+}
+
+} // namespace jcache::simd

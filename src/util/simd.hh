@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Portable SIMD dispatch for the one-pass replay kernels.
+ *
+ * The vectorized fast-lane replay (sim/multiconfig.cc) batches the
+ * tag-compare/dirty-update inner loop across lanes with AVX2 64-bit
+ * gathers.  That kernel must coexist with binaries built for plain
+ * x86-64 and with machines that lack AVX2, so this header owns the
+ * whole dispatch story:
+ *
+ *  - **Compile time** — JCACHE_SIMD_AVX2 is 1 when the toolchain can
+ *    emit AVX2 at all (x86-64 GCC/Clang).  Vector kernels are then
+ *    compiled as function-multiversioned bodies carrying
+ *    JCACHE_TARGET_AVX2, so the rest of the translation unit keeps
+ *    the baseline ISA and the binary still runs on pre-AVX2 parts.
+ *  - **Run time** — avx2Enabled() answers whether the vector path may
+ *    execute here and now: the CPU must report AVX2 and the
+ *    JCACHE_NO_AVX2 environment variable must be unset (any value
+ *    other than "0" forces the scalar path; the differential CI job
+ *    uses it to prove scalar and vector replay are byte-identical).
+ *  - **Tests** — forceScalar() flips the decision in-process, so one
+ *    test binary can run the same workload down both paths and
+ *    compare every counter.
+ *
+ * The scalar fallback is not a degraded mode: it is the reference
+ * semantics, and the vector path is held to byte-identical counters
+ * by tests/test_simd.cc and the engine differential suite.
+ */
+
+#ifndef JCACHE_UTIL_SIMD_HH
+#define JCACHE_UTIL_SIMD_HH
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+/** 1 when this build can emit AVX2 kernels (x86-64 GCC/Clang). */
+#define JCACHE_SIMD_AVX2 1
+/**
+ * Function attribute for AVX2 kernels: the function body may use
+ * AVX2 intrinsics without raising the baseline ISA of the rest of
+ * the build.  Empty on targets where JCACHE_SIMD_AVX2 is 0.
+ */
+#define JCACHE_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define JCACHE_SIMD_AVX2 0
+#define JCACHE_TARGET_AVX2
+#endif
+
+#if JCACHE_SIMD_AVX2
+#include <immintrin.h>
+#endif
+
+namespace jcache::simd
+{
+
+/** Lanes one 256-bit vector carries at 64 bits per lane. */
+inline constexpr unsigned kLanesPerVector = 4;
+
+/** True when the build can emit AVX2 kernels at all. */
+bool avx2Compiled();
+
+/** True when the running CPU reports AVX2 support. */
+bool avx2Runtime();
+
+/**
+ * Should the vector replay path execute?  True only when the kernel
+ * is compiled in, the CPU supports it, JCACHE_NO_AVX2 is unset (or
+ * "0"), and no test has called forceScalar(true).  The environment
+ * variable is sampled once per process.
+ */
+bool avx2Enabled();
+
+/**
+ * Test hook: force avx2Enabled() to answer false (true re-allows the
+ * vector path).  Lets one process replay the same trace down both
+ * paths and compare counters; not intended for production use —
+ * deployments set JCACHE_NO_AVX2 instead.
+ */
+void forceScalar(bool force);
+
+} // namespace jcache::simd
+
+#endif // JCACHE_UTIL_SIMD_HH

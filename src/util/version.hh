@@ -34,13 +34,13 @@ inline constexpr unsigned kProtocolVersion = 1;
  * `unsupported_version` error.  A request without the field is
  * accepted, for clients predating the handshake.
  */
-inline constexpr const char* kApiVersion = "1.3";
+inline constexpr const char* kApiVersion = "1.4";
 
 /** The major component of kApiVersion, for the compatibility check. */
 inline constexpr unsigned kApiVersionMajor = 1;
 
 /** The minor component of kApiVersion, digested into result keys. */
-inline constexpr unsigned kApiVersionMinor = 3;
+inline constexpr unsigned kApiVersionMinor = 4;
 
 /**
  * Version of the simulation engine's *observable semantics*.  Bumped

@@ -97,6 +97,22 @@ cmp "$WORKDIR/upload_client.txt" "$WORKDIR/upload_offline.txt" \
     || fail "upload output differs from jcache-sim"
 echo "service_smoke: upload output byte-identical"
 
+# 2c. Upload with --digest-only, then run the trace again purely by
+#     its content digest: the daemon resolves the digest against the
+#     uploaded trace and the rendered table must match the offline
+#     replay of the same file byte for byte.
+DIGEST=$("$CLIENT" --port "$PORT" upload "$UPLOAD_TRACE" --size 16 \
+    --digest-only) || fail "client upload --digest-only"
+case "$DIGEST" in
+    ????????????????) ;;
+    *) fail "--digest-only printed '$DIGEST', not a 16-hex digest" ;;
+esac
+"$CLIENT" --port "$PORT" run "digest:$DIGEST" --size 16 \
+    > "$WORKDIR/run_by_digest.txt" || fail "run by digest"
+cmp "$WORKDIR/run_by_digest.txt" "$WORKDIR/upload_offline.txt" \
+    || fail "run-by-digest output differs from jcache-sim"
+echo "service_smoke: run by digest $DIGEST byte-identical"
+
 # 3. The repeated run must be served from the result cache (--verbose
 #    reports the digest and hit/computed on stderr) and stay identical.
 "$CLIENT" --port "$PORT" --verbose run ccom --size 16 \
@@ -111,8 +127,9 @@ echo "service_smoke: repeated run served from result cache"
 # 4. The stats response accounts for that hit, and for the persistent
 #    store the daemon was started over.
 "$CLIENT" --port "$PORT" stats > "$WORKDIR/stats.json" || fail "stats"
-grep -q '"hits": 1' "$WORKDIR/stats.json" \
-    || fail "stats do not show the result-cache hit"
+# Two hits by now: the duplicate upload in 2c and the repeated run.
+grep -q '"hits": 2' "$WORKDIR/stats.json" \
+    || fail "stats do not show the result-cache hits"
 grep -q '"store"' "$WORKDIR/stats.json" \
     || fail "stats carry no store block"
 grep -q '"enabled": true' "$WORKDIR/stats.json" \

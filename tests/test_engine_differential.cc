@@ -24,6 +24,8 @@
 #include "sim/multiconfig.hh"
 #include "sim/sweeps.hh"
 #include "trace/import.hh"
+#include "trace/replay_cache.hh"
+#include "util/simd.hh"
 #include "workloads/workload.hh"
 
 namespace jcache::sim
@@ -355,6 +357,58 @@ TEST(EngineDifferential, StoreRoundTripIsByteIdentical)
         service::renderRunTable(a, fresh.results[i], t.name(), false);
         service::renderRunTable(b, replayed[i], t.name(), false);
         EXPECT_EQ(a.str(), b.str());
+    }
+    fs::remove_all(dir);
+}
+
+TEST(EngineDifferential, ForcedScalarIsByteIdentical)
+{
+    // The AVX2 replay tiles must be invisible in the counters: the
+    // same grid replayed with the vector path disabled renders the
+    // same wire JSON for every cell.  (On machines without AVX2 both
+    // passes take the scalar path and the test is a tautology — the
+    // CI x86-64 runners are the real audience.)
+    const trace::Trace& t = traces().front();
+    std::vector<Request> requests = fig13to16Grid(t);
+    BatchOutcome vectored = runWith(requests, Engine::OnePass);
+    simd::forceScalar(true);
+    BatchOutcome scalar = runWith(requests, Engine::OnePass);
+    simd::forceScalar(false);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectIdentical(vectored.results[i], scalar.results[i]);
+        EXPECT_EQ(resultJson(vectored.results[i]),
+                  resultJson(scalar.results[i]));
+    }
+}
+
+TEST(EngineDifferential, MappedReplaySourceIsByteIdentical)
+{
+    // Replaying from the mmap'd JCRC cache must equal replaying the
+    // in-memory trace, across both engines' comparison baseline.
+    namespace fs = std::filesystem;
+    std::string dir =
+        (fs::temp_directory_path() /
+         ("jcache_replay_differential_" + std::to_string(::getpid())))
+            .string();
+    fs::remove_all(dir);
+
+    const trace::Trace& t = traces().front();
+    trace::MappedReplayCache mapped(trace::ensureReplayCache(t, dir));
+    EXPECT_EQ(mapped.digest(), trace::contentDigest(t));
+
+    std::vector<Request> memory = fig13to16Grid(t);
+    std::vector<Request> via_cache = memory;
+    for (Request& r : via_cache)
+        r.source = &mapped;
+    BatchOutcome percell = runWith(memory, Engine::PerCell);
+    BatchOutcome from_memory = runWith(memory, Engine::OnePass);
+    BatchOutcome from_cache = runWith(via_cache, Engine::OnePass);
+    for (std::size_t i = 0; i < memory.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectIdentical(percell.results[i], from_cache.results[i]);
+        EXPECT_EQ(resultJson(from_memory.results[i]),
+                  resultJson(from_cache.results[i]));
     }
     fs::remove_all(dir);
 }

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the JCRC on-disk replay cache (trace/replay_cache.hh):
+ * write/mmap round trips, header metadata, digest-addressed naming,
+ * and rejection of corrupt or truncated files.
+ */
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/replay_cache.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace jcache::trace
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A per-test scratch directory, removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    explicit TempDir(const std::string& tag)
+        : path((fs::temp_directory_path() /
+                (tag + "_" + std::to_string(::getpid())))
+                   .string())
+    {
+        fs::remove_all(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+Trace
+sampleTrace()
+{
+    workloads::WorkloadConfig config;
+    config.scale = 1;
+    return workloads::generateTrace(
+        *workloads::makeWorkload("ccom", config));
+}
+
+/** Drain every record out of a replay source through its cursor. */
+std::vector<TraceRecord>
+drain(const ReplaySource& source)
+{
+    std::vector<TraceRecord> records;
+    auto cursor = source.blocks(kDefaultBlockRecords);
+    TraceBlock block;
+    while (cursor->next(block))
+        records.insert(records.end(), block.records,
+                       block.records + block.count);
+    return records;
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string& path, const std::string& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ReplayCache, RoundTripsEveryRecord)
+{
+    TempDir dir("jcache_replay_roundtrip");
+    Trace trace = sampleTrace();
+    std::string path = ensureReplayCache(trace, dir.path);
+    EXPECT_EQ(path, replayCachePath(dir.path, contentDigest(trace)));
+
+    MappedReplayCache cache(path);
+    EXPECT_EQ(cache.name(), trace.name());
+    EXPECT_EQ(cache.records(), trace.records().size());
+    EXPECT_EQ(cache.digest(), contentDigest(trace));
+    EXPECT_EQ(cache.identity(), traceIdentity(trace));
+    EXPECT_EQ(drain(cache), trace.records());
+}
+
+TEST(ReplayCache, ShortBlocksDecodeIndependently)
+{
+    // A tiny block size forces many blocks plus a short tail block;
+    // every boundary must still reproduce the exact record stream.
+    TempDir dir("jcache_replay_blocks");
+    Trace trace = sampleTrace();
+    std::string path = replayCachePath(dir.path, contentDigest(trace));
+    fs::create_directories(dir.path);
+    writeReplayCache(trace, path, 7);
+
+    MappedReplayCache cache(path);
+    EXPECT_EQ(cache.blockRecords(), 7u);
+    EXPECT_EQ(cache.blockCount(),
+              (trace.records().size() + 6) / 7);
+    EXPECT_EQ(drain(cache), trace.records());
+
+    // Two concurrent cursors do not disturb each other.
+    auto a = cache.blocks(0);
+    auto b = cache.blocks(0);
+    TraceBlock first_a;
+    TraceBlock first_b;
+    ASSERT_TRUE(a->next(first_a));
+    ASSERT_TRUE(b->next(first_b));
+    ASSERT_GT(first_a.count, 0u);
+    EXPECT_EQ(first_a.records[0], first_b.records[0]);
+}
+
+TEST(ReplayCache, EnsureIsIdempotent)
+{
+    TempDir dir("jcache_replay_idem");
+    Trace trace = sampleTrace();
+    std::string first = ensureReplayCache(trace, dir.path);
+    std::string bytes = readFile(first);
+    std::string second = ensureReplayCache(trace, dir.path);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(readFile(second), bytes);
+}
+
+TEST(ReplayCache, RejectsBadMagicAndVersion)
+{
+    TempDir dir("jcache_replay_magic");
+    Trace trace = sampleTrace();
+    std::string path = ensureReplayCache(trace, dir.path);
+    std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 8u);
+
+    std::string bad_magic = bytes;
+    bad_magic[0] = 'X';
+    writeFile(path, bad_magic);
+    EXPECT_THROW(MappedReplayCache{path}, ReplayCacheError);
+
+    std::string bad_version = bytes;
+    bad_version[4] = static_cast<char>(kReplayCacheVersion + 1);
+    writeFile(path, bad_version);
+    EXPECT_THROW(MappedReplayCache{path}, ReplayCacheError);
+}
+
+TEST(ReplayCache, RejectsTruncation)
+{
+    TempDir dir("jcache_replay_trunc");
+    Trace trace = sampleTrace();
+    std::string path = ensureReplayCache(trace, dir.path);
+    std::string bytes = readFile(path);
+
+    // Headerless stub: fails structural validation on open.
+    writeFile(path, bytes.substr(0, 10));
+    EXPECT_THROW(MappedReplayCache{path}, ReplayCacheError);
+
+    // Payload cut short: opens (the header is intact) but the cursor
+    // must hit the damage rather than fabricate records.
+    writeFile(path, bytes.substr(0, bytes.size() - 8));
+    EXPECT_THROW(
+        {
+            MappedReplayCache cache(path);
+            drain(cache);
+        },
+        ReplayCacheError);
+}
+
+TEST(ReplayCache, EmptyTraceRoundTrips)
+{
+    TempDir dir("jcache_replay_empty");
+    Trace empty("empty");
+    std::string path = ensureReplayCache(empty, dir.path);
+    MappedReplayCache cache(path);
+    EXPECT_EQ(cache.records(), 0u);
+    EXPECT_TRUE(drain(cache).empty());
+}
+
+} // namespace
+} // namespace jcache::trace

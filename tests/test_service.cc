@@ -124,10 +124,20 @@ TEST(Service, ApiVersionHandshake)
 TEST(Service, RejectsBadRunRequests)
 {
     Service service(testConfig());
-    // Missing and unknown workloads fail before anything queues.
+    // Missing and unknown workloads fail before anything queues;
+    // unknown traces answer with the typed `unknown_trace` code.
     expectError(service, "{\"type\": \"run\"}", "bad_request");
     expectError(service,
                 "{\"type\": \"run\", \"workload\": \"nonesuch\"}",
+                "unknown_trace");
+    expectError(service,
+                "{\"type\": \"run\", \"trace_ref\": "
+                "\"digest:0123456789abcdef\"}",
+                "unknown_trace");
+    // Path refs never resolve server-side files.
+    expectError(service,
+                "{\"type\": \"run\", \"trace_ref\": "
+                "\"path:/etc/passwd\"}",
                 "bad_request");
     // A config that fails CacheConfig::validate().
     expectError(service,
@@ -448,6 +458,63 @@ TEST(Service, UploadRunsAnExternalTrace)
     JsonValue text_ok = parseResponse(service.handle(
         uploadRequest(kMiniTrace, ", \"encoding\": \"text\"")));
     EXPECT_TRUE(text_ok.getBool("ok", false));
+}
+
+TEST(Service, UploadThenRunByDigestMatchesInline)
+{
+    Service service(testConfig());
+    JsonValue uploaded =
+        parseResponse(service.handle(uploadRequest(kMiniTrace)));
+    ASSERT_TRUE(uploaded.getBool("ok", false))
+        << uploaded.getString("error");
+    std::string trace_digest =
+        uploaded.get("payload").getString("trace_digest");
+    ASSERT_EQ(trace_digest.size(), 16u);
+
+    // Running the uploaded trace again by digest reference must
+    // reproduce the inline upload's counters exactly: both paths run
+    // the same trace bytes through the same engine.
+    JsonValue ran = parseResponse(service.handle(
+        "{\"type\": \"run\", \"trace_ref\": \"digest:" + trace_digest +
+        "\", \"config\": {\"size_bytes\": 4096}}"));
+    ASSERT_TRUE(ran.getBool("ok", false)) << ran.getString("error");
+    EXPECT_EQ(ran.get("payload").getString("trace_digest"),
+              trace_digest);
+
+    const JsonValue& inline_result =
+        uploaded.get("payload").get("result");
+    const JsonValue& digest_result = ran.get("payload").get("result");
+    EXPECT_EQ(inline_result.getNumber("instructions", -1),
+              digest_result.getNumber("instructions", -2));
+
+    const JsonValue& a = inline_result.get("cache");
+    const JsonValue& b = digest_result.get("cache");
+    ASSERT_TRUE(a.isObject());
+    ASSERT_TRUE(b.isObject());
+    for (const char* field :
+         {"reads", "writes", "read_hits", "write_hits", "read_misses",
+          "partial_valid_read_misses", "write_misses",
+          "write_miss_fetches", "lines_fetched",
+          "writes_to_dirty_lines", "write_throughs", "invalidations",
+          "victims", "dirty_victims", "dirty_victim_dirty_bytes",
+          "flushed_valid_lines", "flushed_dirty_lines",
+          "flushed_dirty_bytes", "victim_cache_hits", "line_allocs",
+          "validate_fallbacks"}) {
+        EXPECT_EQ(a.getNumber(field, -1), b.getNumber(field, -2))
+            << "counter diverged: " << field;
+    }
+
+    // A name reference resolves through the same repository and keys
+    // identically to the legacy bare-workload form.
+    JsonValue named = parseResponse(service.handle(
+        "{\"type\": \"run\", \"trace_ref\": \"name:ccom\","
+        " \"config\": {\"size_bytes\": 4096}}"));
+    ASSERT_TRUE(named.getBool("ok", false))
+        << named.getString("error");
+    JsonValue legacy =
+        parseResponse(service.handle(runRequest("ccom", 4)));
+    EXPECT_TRUE(legacy.getBool("cached", false));
+    EXPECT_EQ(legacy.getString("digest"), named.getString("digest"));
 }
 
 TEST(Service, UploadRejectsBadBodies)

@@ -8,12 +8,12 @@
  *                 [--version] <command> [args]
  *
  * Commands:
- *   run <workload> [--size KB] [--line B] [--assoc N] [--hit wt|wb]
+ *   run <trace-ref> [--size KB] [--line B] [--assoc N] [--hit wt|wb]
  *       [--miss fow|wv|wa|wi] [--replacement lru|fifo|random]
  *       [--no-flush]
- *   sweep <workload> --axis size|line|assoc [--metric miss|traffic|dirty]
+ *   sweep <trace-ref> --axis size|line|assoc [--metric miss|traffic|dirty]
  *       [--hit wt|wb] [--miss fow|wv|wa|wi]
- *   upload <trace-file> [--name NAME] [run flags]
+ *   upload <trace-file> [--name NAME] [--digest-only] [run flags]
  *   stats | health | ping | shutdown
  *   metrics [--metrics-port N] [--json]
  *
@@ -27,11 +27,19 @@
  * them through the same shared renderer the offline tools use.
  * --verbose reports the result digest and cache status on stderr.
  *
+ * A <trace-ref> is a workload name ("grr"), or a `digest:<16 hex>`
+ * reference to a trace the daemon already knows — uploaded earlier
+ * or sitting in its --trace-cache-dir.  Bare names keep working
+ * unchanged (they parse as `name:` refs).
+ *
  * `upload` sends a local trace file (any encoding of
  * docs/TRACE_FORMAT.md or the native formats; re-encoded as
  * interchange text on the wire) for the daemon to simulate, and
  * renders the result exactly like `run` — so uploading a file and
- * running `jcache-sim` on it print byte-identical tables.
+ * running `jcache-sim` on it print byte-identical tables.  The
+ * trace's canonical content digest is reported on stderr (so stdout
+ * stays table-identical); `--digest-only` instead prints just the
+ * digest on stdout, for scripts that upload and then run by digest.
  *
  * --retry turns transport failures and `busy` sheds into bounded
  * retries with exponential backoff and jitter (base --backoff ms,
@@ -70,6 +78,7 @@
 #include "stats/json.hh"
 #include "telemetry/exposition.hh"
 #include "telemetry/http_exporter.hh"
+#include "sim/trace_ref.hh"
 #include "trace/import.hh"
 #include "util/logging.hh"
 #include "util/version.hh"
@@ -87,13 +96,15 @@ usage()
         "  [--verbose] [--retry [N]] [--backoff MS] [--deadline MS]\n"
         "  [--version] <command> [args]\n"
         "commands:\n"
-        "  run <workload> [--size KB] [--line B] [--assoc N]\n"
+        "  run <trace-ref> [--size KB] [--line B] [--assoc N]\n"
         "      [--hit wt|wb] [--miss fow|wv|wa|wi]\n"
         "      [--replacement lru|fifo|random] [--no-flush]\n"
-        "  sweep <workload> --axis size|line|assoc\n"
+        "  sweep <trace-ref> --axis size|line|assoc\n"
         "      [--metric miss|traffic|dirty] [--hit wt|wb]\n"
         "      [--miss fow|wv|wa|wi]\n"
-        "  upload <trace-file> [--name NAME] [run flags]\n"
+        "  upload <trace-file> [--name NAME] [--digest-only]\n"
+        "      [run flags]\n"
+        "  (a <trace-ref> is a workload name or digest:<16 hex>)\n"
         "  stats\n"
         "  health\n"
         "  ping\n"
@@ -208,7 +219,8 @@ isNonRetryableCode(const std::string& code)
     return code == "parse_error" || code == "bad_request" ||
            code == "unknown_type" || code == "protocol_mismatch" ||
            code == "unsupported_version" || code == "internal_error" ||
-           code == "trace_too_large" || code == "bad_trace";
+           code == "trace_too_large" || code == "bad_trace" ||
+           code == "unknown_trace";
 }
 
 /**
@@ -447,6 +459,21 @@ writePreamble(stats::JsonWriter& json, const std::string& type,
         json.field("deadline_ms", deadline_millis);
 }
 
+/**
+ * Write the trace reference: the canonical `trace_ref` spec, plus
+ * the legacy `workload` field for plain names so a pre-1.4 daemon
+ * still serves them.
+ */
+void
+writeTraceRef(stats::JsonWriter& json, const std::string& spec)
+{
+    std::optional<sim::TraceRef> ref = sim::TraceRef::parse(spec);
+    fatalIf(!ref, "malformed trace reference: '" + spec + "'");
+    json.field("trace_ref", ref->spec());
+    if (ref->kind() == sim::TraceRef::Kind::Name)
+        json.field("workload", ref->value());
+}
+
 std::string
 runRequest(const std::string& workload, const RunFlags& flags,
            const std::string& request_id, double deadline_millis)
@@ -456,7 +483,7 @@ runRequest(const std::string& workload, const RunFlags& flags,
     json.beginObject();
     writePreamble(json, "run", deadline_millis);
     json.field("request_id", request_id);
-    json.field("workload", workload);
+    writeTraceRef(json, workload);
     json.field("flush", flags.flush);
     service::writeCacheConfig(json, "config", flags.config);
     json.endObject();
@@ -473,7 +500,7 @@ sweepRequest(const std::string& workload, const std::string& axis,
     json.beginObject();
     writePreamble(json, "sweep", deadline_millis);
     json.field("request_id", request_id);
-    json.field("workload", workload);
+    writeTraceRef(json, workload);
     json.field("axis", axis);
     service::writeCacheConfig(json, "config", base);
     json.endObject();
@@ -685,12 +712,17 @@ main(int argc, char** argv)
                 return usage();
             std::string path = argv[i++];
             std::string name;
+            bool digest_only = false;
             RunFlags flags;
             flags.config.hitPolicy = core::WriteHitPolicy::WriteBack;
             for (; i < argc; ++i) {
                 std::string flag = argv[i];
                 if (flag == "--no-flush") {
                     flags.flush = false;
+                    continue;
+                }
+                if (flag == "--digest-only") {
+                    digest_only = true;
                     continue;
                 }
                 if (i + 1 >= argc)
@@ -736,6 +768,18 @@ main(int argc, char** argv)
 
             const service::JsonValue& payload =
                 response.get("payload");
+            // The canonical content digest: what a later
+            // `run digest:<...>` resolves by.  Stderr keeps stdout
+            // byte-identical to jcache-sim's table for this trace.
+            std::string trace_digest =
+                payload.getString("trace_digest");
+            if (digest_only) {
+                std::cout << trace_digest << "\n";
+                return 0;
+            }
+            if (!trace_digest.empty())
+                std::cerr << "trace digest " << trace_digest
+                          << "\n";
             sim::RunResult result =
                 service::parseRunResult(payload.get("result"));
             service::renderRunTable(

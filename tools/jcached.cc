@@ -12,6 +12,7 @@
  *           [--admission codel|queue-cap]
  *           [--admission-target-ms MS] [--admission-interval-ms MS]
  *           [--store-dir PATH] [--store-cap-bytes N]
+ *           [--trace-cache-dir PATH]
  *           [--metrics-port N] [--metrics-port-file PATH]
  *           [--trace-out PATH] [--version]
  *
@@ -37,6 +38,11 @@
  * result cache (docs/STORAGE.md): results survive restarts and are
  * shared with `jcache-sweep --incremental` runs over the same
  * directory.  --store-cap-bytes bounds it (default 256 MiB).
+ *
+ * --trace-cache-dir points the daemon's trace repository at a
+ * replay-cache directory (docs/ENGINE.md): `digest:` trace
+ * references also resolve against `<digest>.jcrc` files there and
+ * replay them mmap'd, without materializing the records.
  *
  * --admission selects the overload policy (docs/RESILIENCE.md):
  * `codel` (default) sheds from the queue front when median sojourn
@@ -100,6 +106,7 @@ usage()
         "  [--admission codel|queue-cap]\n"
         "  [--admission-target-ms MS] [--admission-interval-ms MS]\n"
         "  [--store-dir PATH] [--store-cap-bytes N]\n"
+        "  [--trace-cache-dir PATH]\n"
         "  [--metrics-port N] [--metrics-port-file PATH]\n"
         "  [--trace-out PATH] [--version]\n";
     return 2;
@@ -331,6 +338,8 @@ main(int argc, char** argv)
                 std::strtod(value.c_str(), nullptr);
         } else if (flag == "--store-dir") {
             config.service.storeDir = value;
+        } else if (flag == "--trace-cache-dir") {
+            config.service.traceCacheDir = value;
         } else if (flag == "--store-cap-bytes") {
             config.service.storeCapBytes =
                 std::strtoull(value.c_str(), nullptr, 10);
